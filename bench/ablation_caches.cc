@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: sensitivity of the conventional and multi-granular
+ * engines to the on-chip security cache sizes (the paper fixes 8KB
+ * metadata + 4KB MAC, Sec. 5.1).
+ *
+ * Expected shape: conventional protection is strongly cache-bound --
+ * growing the metadata cache recovers much of its overhead -- while
+ * the multi-granular engine, whose promoted counters and merged MACs
+ * shrink the metadata working set, is far less sensitive.  That gap
+ * is the "improves the utilization of security caches" claim of
+ * Sec. 5.2.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/multigran_engine.hh"
+#include "hetero/hetero_system.hh"
+#include "mee/conventional_engine.hh"
+
+using namespace mgmee;
+
+namespace {
+
+double
+runWith(const Scenario &sc, std::size_t meta_bytes,
+        std::size_t mac_bytes, bool ours, const RunResult &unsec)
+{
+    TimingConfig timing;
+    timing.parallel_walk = true;
+    timing.meta_cache_bytes = meta_bytes;
+    timing.mac_cache_bytes = mac_bytes;
+
+    std::unique_ptr<TimingEngine> engine;
+    if (ours) {
+        MultiGranEngineConfig cfg;
+        cfg.timing = timing;
+        engine = std::make_unique<MultiGranEngine>("ours",
+                                                   scenarioDataBytes(),
+                                                   cfg);
+    } else {
+        engine = std::make_unique<ConventionalEngine>(
+            scenarioDataBytes(), timing);
+    }
+    HeteroSystem sys(buildDevices(sc, bench::envSeed(),
+                                  bench::envScale()),
+                     std::move(engine));
+    sys.run();
+    RunResult r;
+    r.device_finish = sys.deviceFinishTimes();
+    return normalizedExecTime(r, unsec);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Scenario scenarios[] = {
+        {"cc1", "xal", "mm", "alex", "dlrm"},
+        {"c1", "gcc", "sten", "alex", "dlrm"},
+        {"f1", "xal", "pr", "sfrnn", "ncf"},
+    };
+
+    std::printf("=== Ablation: security cache sizes (normalized "
+                "exec time) ===\n");
+    std::printf("%-6s %-14s", "scen", "scheme");
+    for (std::size_t kb : {2, 4, 8, 16, 32})
+        std::printf("  meta=%2zuKB", kb);
+    std::printf("\n");
+
+    for (const Scenario &sc : scenarios) {
+        const RunResult unsec = runScenario(
+            sc, Scheme::Unsecure, bench::envSeed(), bench::envScale());
+        for (bool ours : {false, true}) {
+            std::printf("%-6s %-14s", sc.id.c_str(),
+                        ours ? "Ours" : "Conventional");
+            for (std::size_t kb : {2, 4, 8, 16, 32}) {
+                std::printf("    %6.3fx",
+                            runWith(sc, kb * 1024,
+                                    kb * 512,  // MAC cache scales 1:2
+                                    ours, unsec));
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\n(The paper's configuration is the meta=8KB "
+                "column; Ours' flatter curve shows its smaller "
+                "metadata working set.)\n");
+    return 0;
+}

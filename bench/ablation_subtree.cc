@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: the subtree optimizations layered on the multi-granular
+ * engine (Sec. 2.4 / Fig. 3) -- BMF-style root-cache size and pinning
+ * level, and PENGLAI-style unused-region pruning.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/multigran_engine.hh"
+#include "hetero/hetero_system.hh"
+
+using namespace mgmee;
+
+namespace {
+
+double
+runWith(const Scenario &sc, unsigned root_entries,
+        unsigned root_level, bool unused, const RunResult &unsec)
+{
+    MultiGranEngineConfig cfg;
+    cfg.timing.parallel_walk = true;
+    cfg.timing.root_cache_entries = root_entries;
+    cfg.timing.root_cache_level = root_level;
+    cfg.timing.unused_pruning = unused;
+    auto engine = std::make_unique<MultiGranEngine>(
+        "ours", scenarioDataBytes(), cfg);
+    HeteroSystem sys(buildDevices(sc, bench::envSeed(),
+                                  bench::envScale()),
+                     std::move(engine));
+    sys.run();
+    RunResult r;
+    r.device_finish = sys.deviceFinishTimes();
+    return normalizedExecTime(r, unsec);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Scenario scenarios[] = {
+        {"cc1", "xal", "mm", "alex", "dlrm"},
+        {"ff2", "mcf", "syr2k", "sfrnn", "dlrm"},
+    };
+
+    for (const Scenario &sc : scenarios) {
+        const RunResult unsec = runScenario(
+            sc, Scheme::Unsecure, bench::envSeed(), bench::envScale());
+
+        std::printf("=== %s: subtree-root cache sweep (unused "
+                    "pruning off) ===\n",
+                    sc.id.c_str());
+        std::printf("%8s", "entries");
+        for (unsigned lvl : {1, 2, 3, 4})
+            std::printf("   level=%u", lvl);
+        std::printf("\n");
+        for (unsigned entries : {0, 16, 64, 256}) {
+            std::printf("%8u", entries);
+            for (unsigned lvl : {1, 2, 3, 4}) {
+                std::printf("   %6.3fx",
+                            runWith(sc, entries, lvl, false, unsec));
+            }
+            std::printf("%s\n",
+                        entries == 64 ? "   <- paper-combo size" : "");
+        }
+
+        std::printf("unused pruning alone: %.3fx; combined "
+                    "(64@L3 + pruning): %.3fx\n\n",
+                    runWith(sc, 0, 3, true, unsec),
+                    runWith(sc, 64, 3, true, unsec));
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: access-tracker sizing (Sec. 4.4/4.5 fix 12 entries of
+ * 32KB coverage with a 16K-cycle lifetime, budgeted to match prior
+ * work's on-chip storage).
+ *
+ * Sweeps the entry count and the lifetime and reports the
+ * multi-granular engine's normalized execution time plus detection
+ * activity.  Too few entries or too short a lifetime evict chunks
+ * before streams complete (under-promotion); very long lifetimes
+ * stale the detector.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/multigran_engine.hh"
+#include "hetero/hetero_system.hh"
+
+using namespace mgmee;
+
+namespace {
+
+struct Outcome
+{
+    double norm;
+    std::uint64_t detections;
+    std::uint64_t switches;
+};
+
+Outcome
+runWith(const Scenario &sc, unsigned entries, Cycle lifetime,
+        const RunResult &unsec)
+{
+    MultiGranEngineConfig cfg;
+    cfg.timing.parallel_walk = true;
+    cfg.tracker.entries = entries;
+    cfg.tracker.lifetime = lifetime;
+    auto engine = std::make_unique<MultiGranEngine>(
+        "ours", scenarioDataBytes(), cfg);
+    HeteroSystem sys(buildDevices(sc, bench::envSeed(),
+                                  bench::envScale()),
+                     std::move(engine));
+    sys.run();
+    RunResult r;
+    r.device_finish = sys.deviceFinishTimes();
+    return {normalizedExecTime(r, unsec),
+            sys.engine().stats().get("detections"),
+            sys.engine().stats().get("switches")};
+}
+
+} // namespace
+
+int
+main()
+{
+    const Scenario sc{"c1", "gcc", "sten", "alex", "dlrm"};
+    const RunResult unsec = runScenario(sc, Scheme::Unsecure,
+                                        bench::envSeed(),
+                                        bench::envScale());
+
+    std::printf("=== Ablation: access-tracker entries (lifetime "
+                "16K cycles) ===\n");
+    std::printf("%8s %10s %12s %10s\n", "entries", "exec", "detections",
+                "switches");
+    for (unsigned entries : {2, 4, 8, 12, 24, 48}) {
+        const Outcome o = runWith(sc, entries, 16 * 1024, unsec);
+        std::printf("%8u %9.3fx %12llu %10llu%s\n", entries, o.norm,
+                    static_cast<unsigned long long>(o.detections),
+                    static_cast<unsigned long long>(o.switches),
+                    entries == 12 ? "   <- paper (3 x 4 PUs)" : "");
+    }
+
+    std::printf("\n=== Ablation: entry lifetime (12 entries) ===\n");
+    std::printf("%9s %10s %12s %10s\n", "lifetime", "exec",
+                "detections", "switches");
+    for (Cycle lifetime :
+         {Cycle{2048}, Cycle{8192}, Cycle{16384}, Cycle{65536},
+          Cycle{262144}}) {
+        const Outcome o = runWith(sc, 12, lifetime, unsec);
+        std::printf("%8lluc %9.3fx %12llu %10llu%s\n",
+                    static_cast<unsigned long long>(lifetime), o.norm,
+                    static_cast<unsigned long long>(o.detections),
+                    static_cast<unsigned long long>(o.switches),
+                    lifetime == 16384 ? "   <- paper (16K cycles)"
+                                      : "");
+    }
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure/table reproduction benches:
+ * environment-variable knobs, scenario sweeps, and small formatting
+ * helpers.
+ *
+ * Knobs:
+ *   MGMEE_SCENARIOS  cap on the number of scenarios swept (default:
+ *                    all 250)
+ *   MGMEE_SCALE      trace-length multiplier (default 0.5 -- a full
+ *                    sweep finishes in seconds; raise for smoother
+ *                    statistics)
+ *   MGMEE_SEED       base RNG seed (default 1)
+ */
+
+#ifndef MGMEE_BENCH_BENCH_UTIL_HH
+#define MGMEE_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/metrics.hh"
+
+namespace mgmee::bench {
+
+inline double
+envScale()
+{
+    const char *s = std::getenv("MGMEE_SCALE");
+    return s ? std::atof(s) : 0.5;
+}
+
+inline std::uint64_t
+envSeed()
+{
+    const char *s = std::getenv("MGMEE_SEED");
+    return s ? std::strtoull(s, nullptr, 10) : 1;
+}
+
+inline std::vector<Scenario>
+sweepScenarios()
+{
+    std::vector<Scenario> all = allScenarios();
+    if (const char *s = std::getenv("MGMEE_SCENARIOS")) {
+        const std::size_t n = std::strtoull(s, nullptr, 10);
+        if (n > 0 && n < all.size()) {
+            // Take an evenly spaced subsample to stay representative.
+            std::vector<Scenario> subset;
+            for (std::size_t i = 0; i < n; ++i)
+                subset.push_back(all[i * all.size() / n]);
+            return subset;
+        }
+    }
+    return all;
+}
+
+/** Normalized metrics of one scheme over a scenario sweep. */
+struct SweepStats
+{
+    std::vector<double> exec_norm;     //!< vs unsecure
+    std::vector<double> traffic_norm;  //!< vs unsecure
+    std::vector<double> misses;        //!< raw security-cache misses
+};
+
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0;
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return s / v.size();
+}
+
+inline double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0;
+    std::sort(v.begin(), v.end());
+    const double idx = p * (v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - lo;
+    return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+/**
+ * Run @p schemes over @p scenarios; index [scheme][scenario].
+ * Scenarios are independent simulations, so they fan out over
+ * hardware threads (results are written by scenario index and are
+ * bit-identical to a serial run).
+ */
+inline std::vector<SweepStats>
+runSweep(const std::vector<Scenario> &scenarios,
+         const std::vector<Scheme> &schemes, double scale,
+         std::uint64_t seed, bool use_static_best_search = false)
+{
+    std::vector<SweepStats> out(schemes.size());
+    for (auto &stats : out) {
+        stats.exec_norm.resize(scenarios.size());
+        stats.traffic_norm.resize(scenarios.size());
+        stats.misses.resize(scenarios.size());
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (std::size_t s = next.fetch_add(1);
+             s < scenarios.size(); s = next.fetch_add(1)) {
+            const Scenario &sc = scenarios[s];
+            const RunResult unsec =
+                runScenario(sc, Scheme::Unsecure, seed, scale);
+            std::array<Granularity, 8> static_best{};
+            if (use_static_best_search)
+                static_best = searchStaticBest(sc, seed, scale);
+            for (std::size_t i = 0; i < schemes.size(); ++i) {
+                const RunResult r = runScenario(
+                    sc, schemes[i], seed, scale, static_best);
+                out[i].exec_norm[s] = normalizedExecTime(r, unsec);
+                out[i].traffic_norm[s] =
+                    static_cast<double>(r.total_bytes) /
+                    static_cast<double>(unsec.total_bytes);
+                out[i].misses[s] =
+                    static_cast<double>(r.security_misses);
+            }
+        }
+    };
+
+    const unsigned threads = std::max(
+        1u, std::min<unsigned>(std::thread::hardware_concurrency(),
+                               8u));
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &t : pool)
+        t.join();
+    return out;
+}
+
+inline void
+printCdf(const char *title, const std::vector<Scheme> &schemes,
+         const std::vector<SweepStats> &stats)
+{
+    std::printf("%s\n", title);
+    std::printf("%-28s", "percentile");
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+        std::printf("   p%-4.0f", p * 100);
+    std::printf("   mean\n");
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        std::printf("%-28s", schemeName(schemes[i]));
+        for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+            std::printf("  %6.3f", percentile(stats[i].exec_norm, p));
+        std::printf("  %6.3f\n", mean(stats[i].exec_norm));
+    }
+}
+
+} // namespace mgmee::bench
+
+#endif // MGMEE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine-readable export: run the full scenario sweep for every
+ * scheme and write per-scenario CSV rows, ready for
+ * scripts/plot_results.py (or your plotting tool of choice) to
+ * regenerate the paper's figures as charts.
+ *
+ * Output: results/sweep.csv (override with MGMEE_RESULTS_DIR).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "bench/bench_util.hh"
+
+using namespace mgmee;
+
+int
+main()
+{
+    const char *env_dir = std::getenv("MGMEE_RESULTS_DIR");
+    const std::string dir = env_dir ? env_dir : "results";
+    ::mkdir(dir.c_str(), 0755);
+    const std::string path = dir + "/sweep.csv";
+
+    std::ofstream csv(path);
+    if (!csv) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    csv << "scenario,cpu,gpu,npu1,npu2,scheme,norm_exec,"
+           "norm_traffic,sec_misses\n";
+
+    const std::vector<Scheme> schemes = {
+        Scheme::Conventional, Scheme::Adaptive, Scheme::CommonCTR,
+        Scheme::MultiCtrOnly, Scheme::Ours, Scheme::BmfUnused,
+        Scheme::BmfUnusedOurs,
+    };
+
+    const auto scenarios = bench::sweepScenarios();
+    const double scale = bench::envScale();
+    const std::uint64_t seed = bench::envSeed();
+
+    std::size_t done = 0;
+    for (const Scenario &sc : scenarios) {
+        const RunResult unsec =
+            runScenario(sc, Scheme::Unsecure, seed, scale);
+        for (Scheme scheme : schemes) {
+            const RunResult r = runScenario(sc, scheme, seed, scale);
+            csv << sc.id << ',' << sc.cpu << ',' << sc.gpu << ','
+                << sc.npu1 << ',' << sc.npu2 << ','
+                << schemeName(scheme) << ','
+                << normalizedExecTime(r, unsec) << ','
+                << static_cast<double>(r.total_bytes) /
+                       static_cast<double>(unsec.total_bytes)
+                << ',' << r.security_misses << '\n';
+        }
+        if (++done % 50 == 0) {
+            std::printf("  %zu/%zu scenarios\n", done,
+                        scenarios.size());
+        }
+    }
+    std::printf("wrote %s (%zu scenarios x %zu schemes)\n",
+                path.c_str(), scenarios.size(), schemes.size());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 4 reproduction: the ratio of stream chunks (64B / 512B /
+ * 4KB / 32KB) for each single-device workload, measured with the
+ * 16K-cycle window classifier of Sec. 3.1.
+ *
+ * Paper anchors: CPU dominated by 64B (xal the outlier with 19.5%
+ * 512B); GPU diverse (mm/sten coarse, syr2k/pr fine, floyd mixed);
+ * NPU 32KB-heavy (alex 74.1%, NPU average 64.5% 32KB).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/registry.hh"
+
+using namespace mgmee;
+
+int
+main()
+{
+    std::printf("=== Figure 4: ratio of stream chunks per workload "
+                "===\n");
+    std::printf("%-8s %-4s   %6s  %6s  %6s  %6s\n", "workload", "dev",
+                "64B", "512B", "4KB", "32KB");
+
+    double npu_lines[4] = {0, 0, 0, 0};
+    for (const WorkloadSpec &spec : allWorkloads()) {
+        const Trace trace = generateTrace(spec, 0, bench::envSeed(),
+                                          bench::envScale() * 2);
+        const TraceProfile p = profileTrace(trace);
+        const double total = static_cast<double>(
+            p.lines64 + p.lines512 + p.lines4k + p.lines32k);
+        std::printf("%-8s %-4s   %5.1f%%  %5.1f%%  %5.1f%%  %5.1f%%\n",
+                    spec.name.c_str(), deviceKindName(spec.kind),
+                    100.0 * p.lines64 / total,
+                    100.0 * p.lines512 / total,
+                    100.0 * p.lines4k / total,
+                    100.0 * p.lines32k / total);
+        if (spec.kind == DeviceKind::NPU && spec.name != "yt") {
+            npu_lines[0] += static_cast<double>(p.lines64);
+            npu_lines[1] += static_cast<double>(p.lines512);
+            npu_lines[2] += static_cast<double>(p.lines4k);
+            npu_lines[3] += static_cast<double>(p.lines32k);
+        }
+    }
+
+    const double npu_total =
+        npu_lines[0] + npu_lines[1] + npu_lines[2] + npu_lines[3];
+    std::printf("\nNPU aggregate 32KB share: %.1f%% "
+                "(paper: 64.5%%)\n",
+                100.0 * npu_lines[3] / npu_total);
+    return 0;
+}

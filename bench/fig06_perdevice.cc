@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 6 reproduction: why per-device static granularity is not
+ * enough.  For alex and sfrnn, compare the best per-device fixed
+ * granularity (Per-device-best) against per-partition (512B-tracked)
+ * dynamic granularity (our detector), in execution time and traffic
+ * relative to the conventional scheme.
+ *
+ * Paper anchors: Per-device-best DEGRADES alex by 13.6% and sfrnn by
+ * 16.3% vs conventional (traffic +20.4% / +23.0%), while
+ * per-partition granularity IMPROVES them by 15.6% / 14.4%
+ * (traffic -19.0% / -17.0%).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "devices/npu_model.hh"
+#include "hetero/hetero_system.hh"
+
+using namespace mgmee;
+
+namespace {
+
+struct Outcome
+{
+    double exec;
+    double traffic;
+};
+
+Outcome
+runNpu(const char *workload, Scheme scheme, Granularity static_gran)
+{
+    std::vector<Device> devs;
+    devs.push_back(makeNpuDevice(workload, 0, 0, bench::envSeed(),
+                                 bench::envScale()));
+    std::array<Granularity, 8> gran{};
+    gran.fill(static_gran);
+    HeteroSystem sys(std::move(devs),
+                     makeEngine(scheme, scenarioDataBytes(), gran));
+    sys.run();
+    return {static_cast<double>(sys.deviceFinishTimes()[0]),
+            static_cast<double>(sys.mem().totalBytes())};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 6: per-device vs per-partition "
+                "granularity (alex, sfrnn) ===\n");
+    std::printf("%-8s %-20s %12s %12s\n", "workload", "scheme",
+                "exec vs conv", "traffic vs conv");
+
+    for (const char *wl : {"alex", "sfrnn"}) {
+        const Outcome conv =
+            runNpu(wl, Scheme::Conventional, Granularity::Line64B);
+
+        // Per-device-best: sweep the four static granularities and
+        // keep the best-performing one (the paper's exhaustive
+        // per-device search).
+        Outcome best{1e30, 0};
+        Granularity best_g = Granularity::Line64B;
+        for (Granularity g :
+             {Granularity::Line64B, Granularity::Part512B,
+              Granularity::Sub4KB, Granularity::Chunk32KB}) {
+            const Outcome o = runNpu(wl, Scheme::StaticDeviceBest, g);
+            if (o.exec < best.exec) {
+                best = o;
+                best_g = g;
+            }
+        }
+        // A single coarse choice misclassifies the minority pattern;
+        // report the aggressively coarse point the paper analyses
+        // (the per-device pick for an NPU is coarse).
+        const Outcome coarse =
+            runNpu(wl, Scheme::StaticDeviceBest,
+                   Granularity::Chunk32KB);
+
+        // Per-partition dynamic detection (our mechanism).
+        const Outcome dyn =
+            runNpu(wl, Scheme::Ours, Granularity::Line64B);
+
+        std::printf("%-8s %-20s %11.3fx %11.3fx\n", wl,
+                    "Per-device-32KB", coarse.exec / conv.exec,
+                    coarse.traffic / conv.traffic);
+        std::printf("%-8s %-17s(%s) %8.3fx %11.3fx\n", wl,
+                    "Per-device-best", granularityName(best_g),
+                    best.exec / conv.exec,
+                    best.traffic / conv.traffic);
+        std::printf("%-8s %-20s %11.3fx %11.3fx\n", wl,
+                    "Per-partition (dyn)", dyn.exec / conv.exec,
+                    dyn.traffic / conv.traffic);
+    }
+    std::printf("\n(paper: per-device-best alex 1.136x / sfrnn "
+                "1.163x; per-partition alex 0.844x / sfrnn 0.856x)\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Figure 19 reproduction over the 11 selected scenarios (Table 4):
+ *  (a) normalized execution time per scheme per scenario;
+ *  (b) stream-chunk composition of each scenario;
+ *  (c) per-device normalized execution of Ours vs Conventional.
+ *
+ * Paper anchors: improvement grows from the ff group (5.9%) to the
+ * cc group (24.1%); per-device average improvements CPU 24.2%,
+ * GPU 22.7%, NPU 9.5%; scenario stream-chunk mixes range 22.1-60.7%
+ * (64B) and 34.8-71.9% (32KB).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/registry.hh"
+
+using namespace mgmee;
+
+int
+main()
+{
+    const double scale = bench::envScale();
+    const std::uint64_t seed = bench::envSeed();
+    const auto scenarios = selectedScenarios();
+
+    // ---- (a) normalized execution time ----------------------------
+    std::printf("=== Figure 19 (a): normalized execution time, "
+                "selected scenarios ===\n");
+    std::printf("%-5s %13s %13s %13s %13s\n", "id", "Conventional",
+                "Multi(CTR)", "Ours", "BMF&U+Ours");
+    double group_gain[4] = {0, 0, 0, 0};
+    int group_n[4] = {0, 0, 0, 0};
+    std::vector<double> per_dev_conv(4, 0), per_dev_ours(4, 0);
+
+    for (const Scenario &sc : scenarios) {
+        const auto unsec =
+            runScenario(sc, Scheme::Unsecure, seed, scale);
+        const auto conv =
+            runScenario(sc, Scheme::Conventional, seed, scale);
+        const auto ctr =
+            runScenario(sc, Scheme::MultiCtrOnly, seed, scale);
+        const auto ours = runScenario(sc, Scheme::Ours, seed, scale);
+        const auto combo =
+            runScenario(sc, Scheme::BmfUnusedOurs, seed, scale);
+
+        const double n_conv = normalizedExecTime(conv, unsec);
+        const double n_ours = normalizedExecTime(ours, unsec);
+        std::printf("%-5s %12.3fx %12.3fx %12.3fx %12.3fx\n",
+                    sc.id.c_str(), n_conv,
+                    normalizedExecTime(ctr, unsec), n_ours,
+                    normalizedExecTime(combo, unsec));
+
+        const int group = sc.id[0] == 'f' && sc.id[1] == 'f' ? 0
+                          : sc.id[0] == 'f'                  ? 1
+                          : sc.id[0] == 'c' && sc.id[1] == 'c'
+                              ? 3
+                              : 2;
+        group_gain[group] += 1.0 - n_ours / n_conv;
+        group_n[group] += 1;
+
+        const auto pd_conv = normalizedPerDevice(conv, unsec);
+        const auto pd_ours = normalizedPerDevice(ours, unsec);
+        for (int d = 0; d < 4; ++d) {
+            per_dev_conv[d] += pd_conv[d];
+            per_dev_ours[d] += pd_ours[d];
+        }
+    }
+
+    std::printf("\nGroup improvement of Ours vs Conventional "
+                "(paper: ff 5.9%% ... cc 24.1%%):\n");
+    const char *gname[4] = {"ff", "f", "c", "cc"};
+    for (int g = 0; g < 4; ++g) {
+        std::printf("  %-3s %5.1f%%\n", gname[g],
+                    100.0 * group_gain[g] / group_n[g]);
+    }
+
+    // ---- (b) stream-chunk composition ------------------------------
+    std::printf("\n=== Figure 19 (b): stream-chunk mix per scenario "
+                "===\n");
+    std::printf("%-5s %7s %7s %7s %7s\n", "id", "64B", "512B", "4KB",
+                "32KB");
+    for (const Scenario &sc : scenarios) {
+        TraceProfile sum;
+        unsigned slot = 0;
+        for (const std::string &wl :
+             {sc.cpu, sc.gpu, sc.npu1, sc.npu2}) {
+            const auto p = profileTrace(generateTrace(
+                findWorkload(wl), slot * (Addr{64} << 20),
+                seed * 4 + slot, scale));
+            sum.lines64 += p.lines64;
+            sum.lines512 += p.lines512;
+            sum.lines4k += p.lines4k;
+            sum.lines32k += p.lines32k;
+            ++slot;
+        }
+        const double total = static_cast<double>(
+            sum.lines64 + sum.lines512 + sum.lines4k + sum.lines32k);
+        std::printf("%-5s %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+                    sc.id.c_str(), 100 * sum.lines64 / total,
+                    100 * sum.lines512 / total,
+                    100 * sum.lines4k / total,
+                    100 * sum.lines32k / total);
+    }
+
+    // ---- (c) per-device execution ----------------------------------
+    std::printf("\n=== Figure 19 (c): per-device improvement of Ours "
+                "(avg over 11 scenarios) ===\n");
+    const char *dev[4] = {"CPU", "GPU", "NPU1", "NPU2"};
+    for (int d = 0; d < 4; ++d) {
+        std::printf("  %-5s conv %.3fx -> ours %.3fx  (%+.1f%%)\n",
+                    dev[d], per_dev_conv[d] / scenarios.size(),
+                    per_dev_ours[d] / scenarios.size(),
+                    100.0 * (per_dev_ours[d] / per_dev_conv[d] - 1));
+    }
+    std::printf("(paper: CPU -24.2%%, GPU -22.7%%, NPU -9.5%%)\n");
+    return 0;
+}

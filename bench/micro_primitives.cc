@@ -1,0 +1,208 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the engine primitives: AES OTP
+ * generation, SipHash MACs, nested (coarse) MACs, Algorithm-1
+ * detection, address computation, and functional read/write paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.hh"
+#include "core/access_tracker.hh"
+#include "core/address_computer.hh"
+#include "crypto/mac.hh"
+#include "crypto/otp.hh"
+#include "hetero/metrics.hh"
+#include "mee/secure_memory.hh"
+#include "tree/split_counter.hh"
+
+namespace {
+
+using namespace mgmee;
+
+Aes128::Key
+benchAesKey()
+{
+    Aes128::Key k{};
+    for (unsigned i = 0; i < 16; ++i)
+        k[i] = static_cast<std::uint8_t>(i);
+    return k;
+}
+
+void
+BM_OtpGeneration(benchmark::State &state)
+{
+    OtpGenerator gen(benchAesKey());
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.makePad(addr, 1));
+        addr += kCachelineBytes;
+    }
+    state.SetBytesProcessed(state.iterations() * kCachelineBytes);
+}
+BENCHMARK(BM_OtpGeneration);
+
+void
+BM_LineMac(benchmark::State &state)
+{
+    MacEngine mac({1, 2});
+    std::uint8_t data[kCachelineBytes] = {};
+    std::uint64_t ctr = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mac.lineMac(0x1000, ++ctr, data));
+    state.SetBytesProcessed(state.iterations() * kCachelineBytes);
+}
+BENCHMARK(BM_LineMac);
+
+void
+BM_NestedMac(benchmark::State &state)
+{
+    MacEngine mac({1, 2});
+    std::vector<Mac> fine(state.range(0), 0x42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mac.nestedMac(fine));
+}
+BENCHMARK(BM_NestedMac)->Arg(8)->Arg(64)->Arg(512);
+
+void
+BM_DetectGranularity(benchmark::State &state)
+{
+    AccessTracker::BitVector bits;
+    bits.fill(0xff00ff00ff00ff00ull);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(detectGranularity(bits));
+}
+BENCHMARK(BM_DetectGranularity);
+
+void
+BM_AccessTracker(benchmark::State &state)
+{
+    AccessTracker tracker;
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        tracker.recordAccess(addr, ++now);
+        addr += kCachelineBytes;
+    }
+}
+BENCHMARK(BM_AccessTracker);
+
+void
+BM_MacAddressCompute(benchmark::State &state)
+{
+    MetadataLayout layout(256 * kChunkBytes);
+    AddressComputer ac(layout);
+    const StreamPart sp = 0x00ff00ff00ff00ffull;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ac.macLoc(addr, sp));
+        addr = (addr + kCachelineBytes) % (256 * kChunkBytes);
+    }
+}
+BENCHMARK(BM_MacAddressCompute);
+
+void
+BM_CounterAddressCompute(benchmark::State &state)
+{
+    MetadataLayout layout(256 * kChunkBytes);
+    AddressComputer ac(layout);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ac.counterLocAt(addr, Granularity::Sub4KB));
+        addr = (addr + kCachelineBytes) % (256 * kChunkBytes);
+    }
+}
+BENCHMARK(BM_CounterAddressCompute);
+
+void
+BM_SecureWriteLine(benchmark::State &state)
+{
+    SecureMemory::Keys keys;
+    keys.aes = benchAesKey();
+    keys.mac = {3, 4};
+    SecureMemory mem(64 * kChunkBytes, keys);
+    std::vector<std::uint8_t> line(kCachelineBytes, 0x5a);
+    Addr addr = 0;
+    for (auto _ : state) {
+        mem.write(addr, line);
+        addr = (addr + kCachelineBytes) % (64 * kChunkBytes);
+    }
+    state.SetBytesProcessed(state.iterations() * kCachelineBytes);
+}
+BENCHMARK(BM_SecureWriteLine);
+
+void
+BM_SecureReadChunkCoarse(benchmark::State &state)
+{
+    SecureMemory::Keys keys;
+    keys.aes = benchAesKey();
+    keys.mac = {3, 4};
+    SecureMemory mem(16 * kChunkBytes, keys);
+    std::vector<std::uint8_t> buf(kChunkBytes, 1);
+    mem.write(0, buf);
+    mem.applyStreamPart(0, kAllStream);
+    for (auto _ : state)
+        mem.read(0, buf);
+    state.SetBytesProcessed(state.iterations() * kChunkBytes);
+}
+BENCHMARK(BM_SecureReadChunkCoarse);
+
+void
+BM_TreeReadWalkCold(benchmark::State &state)
+{
+    // Cold walks: every level misses the metadata cache.
+    SecureMemory::Keys keys;
+    keys.aes = benchAesKey();
+    keys.mac = {3, 4};
+    SecureMemory mem(64 * kChunkBytes, keys);
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    Addr addr = 0;
+    for (auto _ : state) {
+        mem.read(addr, out);
+        addr = (addr + kSubchunkBytes) % (64 * kChunkBytes);
+    }
+}
+BENCHMARK(BM_TreeReadWalkCold);
+
+void
+BM_SplitCounterBump(benchmark::State &state)
+{
+    SplitCounterLine line(7);
+    unsigned slot = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(line.bump(slot));
+        slot = (slot + 1) % kTreeArity;
+    }
+}
+BENCHMARK(BM_SplitCounterBump);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    Histogram h;
+    std::uint64_t v = 1;
+    for (auto _ : state) {
+        h.record(v);
+        v = v * 2862933555777941757ULL + 3037000493ULL;
+        v >>= 40;
+    }
+    benchmark::DoNotOptimize(h.percentile(0.5));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_ScenarioRun(benchmark::State &state)
+{
+    // End-to-end cost of one scheme on one scenario at small scale.
+    const Scenario sc{"cc1", "xal", "mm", "alex", "dlrm"};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runScenario(sc, Scheme::Ours, 1, 0.1));
+    }
+}
+BENCHMARK(BM_ScenarioRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

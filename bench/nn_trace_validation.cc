@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cross-validation of the two NPU trace models: the statistical
+ * generators calibrated to the paper's Fig. 4 mixes, and the
+ * independent layer-accurate model built from actual network shapes
+ * (workloads/nn_layers).  Agreement on the stream-chunk composition
+ * is evidence that the calibrated substrate reflects real tiled NN
+ * execution rather than a curve fit.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "workloads/nn_layers.hh"
+#include "workloads/registry.hh"
+
+using namespace mgmee;
+
+namespace {
+
+void
+printProfile(const char *label, const TraceProfile &p)
+{
+    const double total = static_cast<double>(
+        p.lines64 + p.lines512 + p.lines4k + p.lines32k);
+    std::printf("  %-22s %6.1f%% %6.1f%% %6.1f%% %6.1f%%   "
+                "(%llu reqs, %.0f%% writes)\n",
+                label, 100 * p.lines64 / total,
+                100 * p.lines512 / total, 100 * p.lines4k / total,
+                100 * p.lines32k / total,
+                static_cast<unsigned long long>(p.requests),
+                100.0 * static_cast<double>(p.writes) /
+                    static_cast<double>(p.requests));
+}
+
+} // namespace
+
+int
+main()
+{
+    const NpuConfig cfg;  // Table 3 defaults
+    struct Pair
+    {
+        const char *workload;
+        std::vector<NnLayer> layers;
+    };
+    const Pair pairs[] = {
+        {"alex", alexNetLayers()},
+        {"yt", yoloTinyLayers()},
+        {"dlrm", dlrmLayers()},
+        {"ncf", ncfLayers()},
+        {"sfrnn", sfrnnLayers()},
+    };
+
+    std::printf("=== NPU trace cross-validation: statistical vs "
+                "layer-accurate ===\n");
+    std::printf("  %-22s %6s %6s %6s %6s\n", "model", "64B", "512B",
+                "4KB", "32KB");
+    for (const Pair &p : pairs) {
+        printProfile(
+            (std::string(p.workload) + " (statistical)").c_str(),
+            profileTrace(generateTrace(findWorkload(p.workload), 0,
+                                       bench::envSeed(), 1.0)));
+        printProfile(
+            (std::string(p.workload) + " (layer model)").c_str(),
+            profileTrace(generateNnTrace(p.layers, cfg, 0,
+                                         bench::envSeed())));
+
+        // Footprint summary from the analytical model.
+        std::size_t weights = 0;
+        std::uint64_t macs = 0;
+        for (const NnLayer &l : p.layers) {
+            const LayerTraffic t = analyzeLayer(l);
+            weights += t.weight_bytes;
+            macs += t.macs;
+        }
+        std::printf("  %-22s weights %.2f MB, %.1f GMACs\n\n", "",
+                    static_cast<double>(weights) / (1 << 20),
+                    static_cast<double>(macs) * 1e-9);
+    }
+    std::printf(
+        "(The layer model is independent of the Fig. 4 calibration; "
+        "both agree that CNNs/RNNs are\ncoarse-dominated and "
+        "recommenders mix fine gathers with coarse MLP streams.  The "
+        "ideal\ntiling is *coarser* than the calibrated mixes -- the "
+        "statistical model's extra fine share\nmodels im2col, halo "
+        "reads and partial tiles that perfect tiling omits, matching "
+        "the\npaper's measured 74.1%% for alex rather than the "
+        "theoretical optimum.)\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 2 reproduction: classification of granularity-switching
+ * events and their additional-fetch classes, measured over the
+ * scenario sweep with the full dynamic engine.
+ *
+ * Paper anchors: 73.5% correct predictions; scale-down all-types
+ * 4.4%; scale-up WAR 5.1% / WAW 3.0% / RAR 8.8% / RAW 5.2%.  MAC
+ * side: coarse->fine read-only 1.6%, written 2.8%, fine->coarse
+ * 22.1%.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/multigran_engine.hh"
+#include "hetero/hetero_system.hh"
+
+using namespace mgmee;
+
+int
+main()
+{
+    const double scale = bench::envScale();
+    const std::uint64_t seed = bench::envSeed();
+    std::vector<Scenario> scenarios = bench::sweepScenarios();
+    if (scenarios.size() > 50) {
+        std::vector<Scenario> s;
+        for (std::size_t i = 0; i < 50; ++i)
+            s.push_back(scenarios[i * scenarios.size() / 50]);
+        scenarios = s;
+    }
+
+    StatGroup totals("switch");
+    for (const Scenario &sc : scenarios) {
+        auto engine = makeEngine(Scheme::Ours, scenarioDataBytes());
+        auto *mg = dynamic_cast<MultiGranEngine *>(engine.get());
+        HeteroSystem sys(buildDevices(sc, seed, scale),
+                         std::move(engine));
+        sys.run();
+        totals.merge(
+            dynamic_cast<const MultiGranEngine &>(sys.engine())
+                .switchModel()
+                .stats());
+        (void)mg;
+    }
+
+    auto pct = [&](const char *stat, double denom) {
+        return 100.0 * static_cast<double>(totals.get(stat)) / denom;
+    };
+
+    double ctr_total = 0;
+    for (const char *s :
+         {"ctr.correct", "ctr.coarse_to_fine_all",
+          "ctr.fine_to_coarse_war", "ctr.fine_to_coarse_waw",
+          "ctr.fine_to_coarse_rar", "ctr.fine_to_coarse_raw"})
+        ctr_total += static_cast<double>(totals.get(s));
+
+    std::printf("=== Table 2: granularity-switching overhead classes "
+                "===\n");
+    std::printf("Counter and integrity tree  (paper ratios in "
+                "parens)\n");
+    std::printf("  %-28s %6.1f%%  (73.5%%)\n", "correct prediction",
+                pct("ctr.correct", ctr_total));
+    std::printf("  %-28s %6.1f%%  ( 4.4%%)   zero: lazy switching\n",
+                "coarse->fine (all)",
+                pct("ctr.coarse_to_fine_all", ctr_total));
+    std::printf("  %-28s %6.1f%%  ( 5.1%%)   zero: lazy switching\n",
+                "fine->coarse WAR",
+                pct("ctr.fine_to_coarse_war", ctr_total));
+    std::printf("  %-28s %6.1f%%  ( 3.0%%)   zero: lazy switching\n",
+                "fine->coarse WAW",
+                pct("ctr.fine_to_coarse_waw", ctr_total));
+    std::printf("  %-28s %6.1f%%  ( 8.8%%)   fetch parent..root\n",
+                "fine->coarse RAR",
+                pct("ctr.fine_to_coarse_rar", ctr_total));
+    std::printf("  %-28s %6.1f%%  ( 5.2%%)   fetch parent..root "
+                "(cached)\n",
+                "fine->coarse RAW",
+                pct("ctr.fine_to_coarse_raw", ctr_total));
+
+    double mac_total = 0;
+    for (const char *s :
+         {"mac.correct", "mac.coarse_to_fine_ro",
+          "mac.coarse_to_fine_rw", "mac.fine_to_coarse"})
+        mac_total += static_cast<double>(totals.get(s));
+
+    std::printf("Message authentication code\n");
+    std::printf("  %-28s %6.1f%%  (73.5%%)\n", "correct prediction",
+                pct("mac.correct", mac_total));
+    std::printf("  %-28s %6.1f%%  ( 1.6%%)   fetch fine MACs\n",
+                "coarse->fine read-only",
+                pct("mac.coarse_to_fine_ro", mac_total));
+    std::printf("  %-28s %6.1f%%  ( 2.8%%)   fetch whole data chunk\n",
+                "coarse->fine written",
+                pct("mac.coarse_to_fine_rw", mac_total));
+    std::printf("  %-28s %6.1f%%  (22.1%%)   zero: lazy switching\n",
+                "fine->coarse (all)",
+                pct("mac.fine_to_coarse", mac_total));
+
+    const double mispred =
+        100.0 - pct("ctr.correct", ctr_total);
+    std::printf("\nMisprediction probability: %.1f%% (paper: "
+                "26.5%%)\n",
+                mispred);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * End-to-end heterogeneous-SoC simulation: build the Orin-like system
+ * (CPU + GPU + 2 NPUs, Table 3), run one scenario under several
+ * protection schemes, and print the paper's metrics.
+ *
+ * Usage:
+ *   ./build/examples/hetero_soc [scenario-id]
+ * where scenario-id is one of the 11 selected scenarios (ff1..cc3),
+ * "finance", "autodrive", or any "cpu+gpu+npu+npu" combination such
+ * as "xal+mm+alex+dlrm".  Default: cc1.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "hetero/hetero_system.hh"
+#include "hetero/metrics.hh"
+
+using namespace mgmee;
+
+namespace {
+
+Scenario
+parseScenario(const std::string &arg)
+{
+    for (const Scenario &s : selectedScenarios())
+        if (s.id == arg)
+            return s;
+    if (arg == "finance")
+        return financeScenario();
+    if (arg == "autodrive")
+        return autodriveScenario();
+
+    // "cpu+gpu+npu1+npu2" free-form spec.
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    std::string rest = arg;
+    while ((pos = rest.find('+')) != std::string::npos) {
+        parts.push_back(rest.substr(0, pos));
+        rest.erase(0, pos + 1);
+    }
+    parts.push_back(rest);
+    if (parts.size() == 4)
+        return {arg, parts[0], parts[1], parts[2], parts[3]};
+    fatal("unknown scenario '%s' (try cc1, ff1, finance, "
+          "or cpu+gpu+npu+npu)",
+          arg.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Scenario scenario =
+        parseScenario(argc > 1 ? argv[1] : "cc1");
+
+    std::printf("scenario %s: CPU=%s GPU=%s NPU1=%s NPU2=%s\n\n",
+                scenario.id.c_str(), scenario.cpu.c_str(),
+                scenario.gpu.c_str(), scenario.npu1.c_str(),
+                scenario.npu2.c_str());
+
+    const RunResult unsec =
+        runScenario(scenario, Scheme::Unsecure, /*seed=*/1,
+                    /*scale=*/1.0);
+
+    std::printf("%-20s %10s %10s %12s %s\n", "scheme", "norm.exec",
+                "traffic", "sec.misses", "per-device exec");
+    for (Scheme scheme : kMainSchemes) {
+        std::array<Granularity, 8> static_gran{};
+        if (scheme == Scheme::StaticDeviceBest)
+            static_gran = searchStaticBest(scenario, 1, 1.0);
+        HeteroSystem sys(buildDevices(scenario, 1, 1.0),
+                         makeEngine(scheme, scenarioDataBytes(),
+                                    static_gran));
+        sys.run();
+        RunResult r;
+        r.device_finish = sys.deviceFinishTimes();
+        r.total_bytes = sys.mem().totalBytes();
+        r.security_misses = sys.engine().securityCacheMisses();
+        std::printf("%-20s %9.3fx %9.3fx %12llu  [",
+                    schemeName(scheme), normalizedExecTime(r, unsec),
+                    static_cast<double>(r.total_bytes) /
+                        unsec.total_bytes,
+                    static_cast<unsigned long long>(
+                        r.security_misses));
+        const auto per_dev = normalizedPerDevice(r, unsec);
+        for (std::size_t d = 0; d < per_dev.size(); ++d)
+            std::printf("%s%.3f", d ? " " : "", per_dev[d]);
+        std::printf("]  read-lat %s\n",
+                    sys.readLatency().summary().c_str());
+    }
+
+    std::printf("\nAll values are normalized to the unsecured "
+                "system; lower is better.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: protect a buffer with the multi-granular engine,
+ * promote it to coarse granularity, and watch tampering and replay
+ * get caught.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/multigran_memory.hh"
+
+using namespace mgmee;
+
+int
+main()
+{
+    SecureMemory::Keys keys;
+    for (unsigned i = 0; i < 16; ++i)
+        keys.aes[i] = static_cast<std::uint8_t>(i * 3 + 5);
+    keys.mac = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+
+    // A 1MB protected region (32 chunks of 32KB).
+    SecureMemory mem(32 * kChunkBytes, keys);
+
+    // 1. Ordinary fine-grained (64B) protection.
+    std::vector<std::uint8_t> secret(4096);
+    for (std::size_t i = 0; i < secret.size(); ++i)
+        secret[i] = static_cast<std::uint8_t>(i);
+    mem.write(0, secret);
+
+    std::vector<std::uint8_t> out(secret.size());
+    mem.read(0, out);
+    std::printf("fine-grained round trip: %s\n",
+                out == secret ? "ok" : "FAILED");
+    std::printf("granularity at 0x0: %s, counter=%llu\n",
+                granularityName(mem.granularityAt(0)),
+                static_cast<unsigned long long>(
+                    mem.effectiveCounter(0)));
+
+    // 2. Promote the first 4KB to a single shared counter + merged
+    //    MAC (one metadata pair instead of 64).
+    mem.applyStreamPart(0, subchunkMask(0));
+    mem.read(0, out);
+    std::printf("after 4KB promotion:     %s (granularity %s)\n",
+                out == secret ? "ok" : "FAILED",
+                granularityName(mem.granularityAt(0)));
+
+    // 3. Tampering with any off-chip byte is detected by the merged
+    //    (nested-hash) MAC.
+    mem.corruptData(/*addr=*/1234, /*byte_index=*/7);
+    auto st = mem.read(0, out);
+    std::printf("tampered ciphertext:     detected=%s (%s)\n",
+                st == SecureMemory::Status::Ok ? "NO" : "yes",
+                SecureMemory::statusName(st));
+
+    // Repair by rewriting the data.
+    mem.write(0, secret);
+
+    // 4. Replay: save the off-chip state, overwrite, restore.
+    const auto stale = mem.captureForReplay(0);
+    secret[0] ^= 0xff;
+    mem.write(0, secret);
+    mem.replay(stale);
+    st = mem.read(0, out);
+    std::printf("replayed stale data:     detected=%s (%s)\n",
+                st == SecureMemory::Status::Ok ? "NO" : "yes",
+                SecureMemory::statusName(st));
+
+    // 5. Dynamic detection: a fresh memory that promotes itself.
+    DynamicSecureMemory dyn(32 * kChunkBytes, keys);
+    std::vector<std::uint8_t> line(kCachelineBytes, 0xab);
+    Cycle now = 0;
+    for (unsigned l = 0; l < kLinesPerChunk; ++l)
+        dyn.write(l * kCachelineBytes, line, now++);
+    dyn.read(0, out, now);  // lazy switch applies here
+    std::printf("dynamic detection:       chunk 0 promoted to %s "
+                "(%llu switch(es))\n",
+                granularityName(dyn.memory().granularityAt(0)),
+                static_cast<unsigned long long>(dyn.switchesApplied()));
+    return 0;
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * A tiny persistent-style key-value store built on the protected
+ * memory API -- the kind of substrate a TEE application would use.
+ *
+ * Layout inside one SecureMemory region:
+ *   [0, 64)                      header (magic, entry count)
+ *   [64, 64 + N*128)             entries: 32B key + 92B value + len
+ *
+ * Every get/put round trips through encryption, MAC verification and
+ * the integrity tree; the demo also shows that an off-chip attacker
+ * cannot flip a stored value or roll back a deleted secret without
+ * detection.
+ *
+ * Run: ./build/examples/secure_kv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/multigran_memory.hh"
+
+using namespace mgmee;
+
+namespace {
+
+/** Fixed-slot KV store over protected memory. */
+class SecureKv
+{
+  public:
+    static constexpr unsigned kMaxEntries = 64;
+    static constexpr unsigned kKeyBytes = 32;
+    static constexpr unsigned kValueBytes = 92;
+
+    explicit SecureKv(SecureMemory &mem) : mem_(mem) {}
+
+    bool
+    put(const std::string &key, const std::string &value)
+    {
+        if (key.size() >= kKeyBytes || value.size() >= kValueBytes)
+            return false;
+        int slot = find(key);
+        if (slot < 0)
+            slot = find("");  // first free slot
+        if (slot < 0)
+            return false;
+
+        Entry e{};
+        std::memcpy(e.key, key.data(), key.size());
+        std::memcpy(e.value, value.data(), value.size());
+        e.len = static_cast<std::uint32_t>(value.size());
+        return writeEntry(static_cast<unsigned>(slot), e);
+    }
+
+    std::optional<std::string>
+    get(const std::string &key)
+    {
+        const int slot = find(key);
+        if (slot < 0)
+            return std::nullopt;
+        Entry e{};
+        if (!readEntry(static_cast<unsigned>(slot), e))
+            return std::nullopt;   // integrity failure
+        return std::string(e.value, e.len);
+    }
+
+    bool
+    erase(const std::string &key)
+    {
+        const int slot = find(key);
+        if (slot < 0)
+            return false;
+        return writeEntry(static_cast<unsigned>(slot), Entry{});
+    }
+
+    /** Address of a key's slot (for the attack demo). */
+    Addr
+    slotAddr(const std::string &key)
+    {
+        const int slot = find(key);
+        return slot < 0 ? 0
+                        : 64 + static_cast<Addr>(slot) *
+                                   sizeof(Entry);
+    }
+
+  private:
+    struct Entry
+    {
+        char key[kKeyBytes];
+        char value[kValueBytes];
+        std::uint32_t len;
+    };
+    static_assert(sizeof(Entry) == 128);
+
+    int
+    find(const std::string &key)
+    {
+        for (unsigned s = 0; s < kMaxEntries; ++s) {
+            Entry e{};
+            if (!readEntry(s, e))
+                continue;
+            if (key.size() < kKeyBytes &&
+                std::strncmp(e.key, key.c_str(), kKeyBytes) == 0)
+                return static_cast<int>(s);
+        }
+        return -1;
+    }
+
+    bool
+    readEntry(unsigned slot, Entry &e)
+    {
+        std::uint8_t buf[sizeof(Entry)];
+        if (mem_.read(64 + slot * sizeof(Entry), buf) !=
+            SecureMemory::Status::Ok)
+            return false;
+        std::memcpy(&e, buf, sizeof(Entry));
+        return true;
+    }
+
+    bool
+    writeEntry(unsigned slot, const Entry &e)
+    {
+        std::uint8_t buf[sizeof(Entry)];
+        std::memcpy(buf, &e, sizeof(Entry));
+        return mem_.write(64 + slot * sizeof(Entry), buf) ==
+               SecureMemory::Status::Ok;
+    }
+
+    SecureMemory &mem_;
+};
+
+} // namespace
+
+int
+main()
+{
+    SecureMemory::Keys keys;
+    for (unsigned i = 0; i < 16; ++i)
+        keys.aes[i] = static_cast<std::uint8_t>(i * 37 + 5);
+    keys.mac = {0x6b7673746f726531ULL, 0x6d676d6565646d6fULL};
+
+    SecureMemory mem(kChunkBytes, keys);
+    SecureKv kv(mem);
+
+    std::printf("== secure key-value store on protected memory ==\n");
+    kv.put("api-token", "sk-live-3e7a99c0ffee");
+    kv.put("db-password", "correct horse battery staple");
+    kv.put("feature-flag", "rollout=25%");
+
+    std::printf("get(api-token)    = %s\n",
+                kv.get("api-token").value_or("<integrity fail>")
+                    .c_str());
+    std::printf("get(db-password)  = %s\n",
+                kv.get("db-password").value_or("<integrity fail>")
+                    .c_str());
+
+    // Update in place.
+    kv.put("feature-flag", "rollout=100%");
+    std::printf("get(feature-flag) = %s\n",
+                kv.get("feature-flag").value_or("<integrity fail>")
+                    .c_str());
+
+    // 1. An off-chip attacker flips one bit of the stored password.
+    const Addr victim = kv.slotAddr("db-password");
+    mem.corruptData(victim + SecureKv::kKeyBytes, 0);
+    const auto tampered = kv.get("db-password");
+    std::printf("after bit-flip    = %s\n",
+                tampered ? tampered->c_str()
+                         : "<integrity fail> (attack detected)");
+
+    // Repair and verify normal operation resumes.
+    kv.put("db-password", "correct horse battery staple");
+    std::printf("after repair      = %s\n",
+                kv.get("db-password").value_or("<integrity fail>")
+                    .c_str());
+
+    // 2. Rollback attack: snapshot a secret, rotate it, replay the
+    //    old off-chip state.
+    const Addr token_addr = kv.slotAddr("api-token");
+    const auto stale = mem.captureForReplay(token_addr +
+                                            SecureKv::kKeyBytes);
+    kv.put("api-token", "sk-live-ROTATED-0042");
+    mem.replay(stale);
+    const auto rolled = kv.get("api-token");
+    std::printf("after rollback    = %s\n",
+                rolled ? rolled->c_str()
+                       : "<integrity fail> (replay detected)");
+
+    return 0;
+}

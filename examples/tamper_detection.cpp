@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Security walkthrough: every attack from the threat model (Sec. 2.5)
+ * against the functional engine, at every granularity.
+ *
+ *  - ciphertext tampering   -> MAC mismatch
+ *  - MAC tampering          -> MAC mismatch
+ *  - counter tampering      -> MAC/tree mismatch
+ *  - replay (rollback)      -> tree mismatch (root is on-chip)
+ *
+ * Run: ./build/examples/tamper_detection
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "mee/secure_memory.hh"
+
+using namespace mgmee;
+
+namespace {
+
+int g_failures = 0;
+
+void
+expectDetected(const char *what, SecureMemory::Status st)
+{
+    const bool detected = st != SecureMemory::Status::Ok;
+    std::printf("  %-34s %s (%s)\n", what,
+                detected ? "DETECTED" : "*** MISSED ***",
+                SecureMemory::statusName(st));
+    if (!detected)
+        ++g_failures;
+}
+
+SecureMemory::Keys
+demoKeys()
+{
+    SecureMemory::Keys keys;
+    for (unsigned i = 0; i < 16; ++i)
+        keys.aes[i] = static_cast<std::uint8_t>(0xA5 ^ (i * 29));
+    keys.mac = {0x6d676d6565736563ULL, 0x75726974796b6579ULL};
+    return keys;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::uint8_t> secret(kChunkBytes);
+    for (std::size_t i = 0; i < secret.size(); ++i)
+        secret[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    std::vector<std::uint8_t> out(kCachelineBytes);
+
+    const StreamPart maps[] = {kAllFine, StreamPart{0b1},
+                               subchunkMask(0), kAllStream};
+
+    for (StreamPart sp : maps) {
+        SecureMemory mem(8 * kChunkBytes, demoKeys());
+        mem.write(0, secret);
+        mem.applyStreamPart(0, sp);
+        std::printf("granularity at 0x0: %s\n",
+                    granularityName(mem.granularityAt(0)));
+
+        // Baseline: intact data verifies and decrypts.
+        auto st = mem.read(0, out);
+        if (st != SecureMemory::Status::Ok ||
+            out[5] != secret[5]) {
+            std::printf("  *** round trip broken ***\n");
+            ++g_failures;
+        }
+
+        // 1. Flip one ciphertext byte.  Coarse units detect it from
+        //    ANY line of the unit (the merged MAC nests every fine
+        //    MAC); fine granularity requires reading the line itself.
+        mem.corruptData(3 * kCachelineBytes, 42);
+        const Addr probe = sp == kAllFine ? 3 * kCachelineBytes : 0;
+        expectDetected("ciphertext bit-flip", mem.read(probe, out));
+        mem.write(0, secret);  // repair
+
+        // 2. Flip a bit of the stored (possibly merged) MAC.
+        mem.corruptMac(0);
+        expectDetected("MAC bit-flip", mem.read(0, out));
+        mem.write(0, secret);
+
+        // 3. Flip the (possibly promoted) counter, unless it lives
+        //    on-chip where the attacker cannot reach it.
+        if (promotionLevels(mem.granularityAt(0)) <
+            mem.layout().geometry().levels()) {
+            mem.corruptCounter(0);
+            expectDetected("counter bit-flip", mem.read(0, out));
+            mem.write(0, secret);
+        } else {
+            std::printf("  %-34s (counter on-chip: out of the "
+                        "attacker's reach)\n",
+                        "counter bit-flip");
+        }
+
+        // 4. Replay: capture all off-chip state, overwrite, restore.
+        const auto stale = mem.captureForReplay(0);
+        auto fresh = secret;
+        fresh[0] ^= 0xff;
+        mem.write(0, fresh);
+        mem.replay(stale);
+        expectDetected("replay of stale snapshot", mem.read(0, out));
+
+        std::printf("\n");
+    }
+
+    if (g_failures == 0) {
+        std::printf("all attacks detected at every granularity.\n");
+        return 0;
+    }
+    std::printf("%d attack(s) went undetected!\n", g_failures);
+    return 1;
+}

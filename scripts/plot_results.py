@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Plot the paper-reproduction figures from results/sweep.csv.
+
+Usage:
+    build/bench/export_results          # writes results/sweep.csv
+    python3 scripts/plot_results.py     # writes results/*.png
+
+Requires matplotlib; degrades to printing summary tables without it.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+RESULTS = os.environ.get("MGMEE_RESULTS_DIR", "results")
+
+SCHEME_ORDER = [
+    "Conventional",
+    "Adaptive",
+    "CommonCTR",
+    "Multi(CTR)-only",
+    "Ours",
+    "BMF&Unused",
+    "BMF&Unused+Ours",
+]
+
+
+def load():
+    path = os.path.join(RESULTS, "sweep.csv")
+    rows = []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            row["norm_exec"] = float(row["norm_exec"])
+            row["norm_traffic"] = float(row["norm_traffic"])
+            row["sec_misses"] = int(row["sec_misses"])
+            rows.append(row)
+    return rows
+
+
+def summarize(rows):
+    by_scheme = defaultdict(list)
+    for row in rows:
+        by_scheme[row["scheme"]].append(row)
+    print(f"{'scheme':<20} {'exec':>8} {'traffic':>9} {'misses':>12}")
+    for scheme in SCHEME_ORDER:
+        rs = by_scheme.get(scheme)
+        if not rs:
+            continue
+        exec_mean = sum(r["norm_exec"] for r in rs) / len(rs)
+        traffic_mean = sum(r["norm_traffic"] for r in rs) / len(rs)
+        miss_mean = sum(r["sec_misses"] for r in rs) / len(rs)
+        print(f"{scheme:<20} {exec_mean:>7.3f}x {traffic_mean:>8.3f}x"
+              f" {miss_mean:>12.0f}")
+    return by_scheme
+
+
+def plot(by_scheme):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; summary tables only")
+        return
+
+    # Figure 15-style CDF of normalized execution time.
+    fig, ax = plt.subplots(figsize=(7, 4))
+    for scheme in SCHEME_ORDER:
+        rs = by_scheme.get(scheme)
+        if not rs:
+            continue
+        xs = sorted(r["norm_exec"] for r in rs)
+        ys = [i / (len(xs) - 1) if len(xs) > 1 else 1.0
+              for i in range(len(xs))]
+        ax.plot(xs, ys, label=scheme, linewidth=1.4)
+    ax.set_xlabel("normalized execution time (vs unsecure)")
+    ax.set_ylabel("CDF over scenarios")
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(RESULTS, "fig15_cdf.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+    # Figure 16/18-style mean bars.
+    fig, axes = plt.subplots(1, 3, figsize=(12, 3.6))
+    metrics = [("norm_exec", "exec time"),
+               ("norm_traffic", "traffic"),
+               ("sec_misses", "security-cache misses")]
+    for ax, (key, label) in zip(axes, metrics):
+        names, values = [], []
+        for scheme in SCHEME_ORDER:
+            rs = by_scheme.get(scheme)
+            if not rs:
+                continue
+            names.append(scheme)
+            values.append(sum(r[key] for r in rs) / len(rs))
+        if key == "sec_misses" and values:
+            base = values[0]
+            values = [v / base for v in values]
+        ax.bar(range(len(names)), values, color="#5577aa")
+        ax.set_xticks(range(len(names)))
+        ax.set_xticklabels(names, rotation=35, ha="right",
+                           fontsize=7)
+        ax.set_title(label, fontsize=10)
+        ax.grid(axis="y", alpha=0.3)
+    fig.tight_layout()
+    out = os.path.join(RESULTS, "fig16_18_means.png")
+    fig.savefig(out, dpi=150)
+    print("wrote", out)
+
+
+def main():
+    try:
+        rows = load()
+    except FileNotFoundError:
+        print("run build/bench/export_results first", file=sys.stderr)
+        return 1
+    by_scheme = summarize(rows)
+    plot(by_scheme)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+#include "baselines/adaptive_mac_engine.hh"
+
+namespace mgmee {
+
+std::unique_ptr<MultiGranEngine>
+makeAdaptiveEngine(std::size_t data_bytes, const TimingConfig &timing)
+{
+    MultiGranEngineConfig cfg;
+    cfg.timing = timing;
+    cfg.coarse_ctrs = false;               // counters stay 64B
+    cfg.coarse_macs = true;                // dual-granular MAC
+    cfg.dual_only = Granularity::Sub4KB;   // 4KB coarse level
+    cfg.double_mac_store = true;           // fine MACs kept alongside
+    return std::make_unique<MultiGranEngine>("Adaptive", data_bytes,
+                                             cfg);
+}
+
+} // namespace mgmee

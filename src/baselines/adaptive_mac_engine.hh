@@ -1,0 +1,27 @@
+/**
+ * @file
+ * "Adaptive" baseline (Yuan et al., HPCA'22 [56]): 64B-granular
+ * counters with a dynamically detected dual-granular (64B / 4KB) MAC.
+ *
+ * Modelled as a configuration of the unified engine: coarse counters
+ * off, coarse MACs capped at 4KB, and double MAC storage (the scheme
+ * keeps fine and coarse MACs side by side, paying extra MAC-update
+ * traffic and gaining no compaction).
+ */
+
+#ifndef MGMEE_BASELINES_ADAPTIVE_MAC_ENGINE_HH
+#define MGMEE_BASELINES_ADAPTIVE_MAC_ENGINE_HH
+
+#include <memory>
+
+#include "core/multigran_engine.hh"
+
+namespace mgmee {
+
+/** Build the Adaptive (dual-granular MAC) baseline engine. */
+std::unique_ptr<MultiGranEngine>
+makeAdaptiveEngine(std::size_t data_bytes, const TimingConfig &timing);
+
+} // namespace mgmee
+
+#endif // MGMEE_BASELINES_ADAPTIVE_MAC_ENGINE_HH

@@ -1,0 +1,114 @@
+#include "baselines/common_counters_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+CommonCountersEngine::CommonCountersEngine(std::size_t data_bytes,
+                                           const TimingConfig &cfg)
+    : MeeTimingBase("CommonCTR", data_bytes, cfg)
+{
+    tracker_.setEvictCallback([this](const AccessTracker::Eviction &ev) {
+        detections_.emplace_back(ev.chunk, ev.stream_part);
+    });
+}
+
+Cycle
+CommonCountersEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    const Cycle issue = req.issue;
+    stats_.add(req.is_write ? "writes" : "reads");
+
+    const bool skip_tree =
+        !req.is_write && unused_.canSkipWalk(req.addr);
+    unused_.markTouched(req.addr);
+
+    const Cycle data_done =
+        mem.serve(issue, req.addr, req.bytes, req.is_write);
+
+    Cycle ctr_done = issue;
+    Cycle mac_done = issue;
+    const Addr first = alignDown(req.addr, kCachelineBytes);
+    const Addr last = alignDown(req.addr + (req.bytes ? req.bytes - 1
+                                                      : 0),
+                                kCachelineBytes);
+
+    for (Addr span = alignDown(first, kPartitionBytes); span <= last;
+         span += kPartitionBytes) {
+        const std::uint64_t chunk = chunkIndex(span);
+
+        // Writes to a common segment break uniformity unless they
+        // rewrite it wholesale; conservatively demote and let the
+        // next scan re-detect (paper: mandatory re-scan per kernel).
+        if (req.is_write && common_.contains(chunk) &&
+            req.bytes < kChunkBytes) {
+            common_.erase(chunk);
+            stats_.add("demotions");
+        }
+
+        if (!skip_tree) {
+            if (!req.is_write && common_.contains(chunk)) {
+                // Shared counter lives on-chip: no fetch, no walk.
+                ctr_done = std::max(ctr_done, issue + cfg_.hit_latency);
+                stats_.add("common_hits");
+            } else {
+                const std::uint64_t leaf = lineIndex(span);
+                if (req.is_write) {
+                    writeWalk(0, leaf, issue, mem);
+                } else {
+                    ctr_done = std::max(
+                        ctr_done, readWalk(0, leaf, issue, mem));
+                }
+            }
+        }
+
+        // MACs are conventional 64B-granular.
+        const Addr mac_line =
+            layout_.macLineAddr(layout_.fineMacIndex(span));
+        mac_done = std::max(
+            mac_done, touchMac(mac_line, req.is_write, issue, mem));
+    }
+
+    // Track streaming to nominate candidates for the next scan.
+    for (Addr la = first; la <= last; la += kCachelineBytes)
+        tracker_.recordAccess(la, issue);
+    for (const auto &[chunk, sp] : detections_) {
+        if (sp == kAllStream)
+            candidates_.insert(chunk);
+    }
+    detections_.clear();
+
+    if (req.is_write)
+        return issue;
+
+    Cycle done = std::max(data_done, ctr_done + cfg_.otp_latency) +
+                 cfg_.xor_latency;
+    done = std::max(done, mac_done) + cfg_.hash_latency;
+    return done;
+}
+
+void
+CommonCountersEngine::kernelBoundary(Cycle now, MemCtrl &mem)
+{
+    // Scan step: read all 64 leaf-counter lines of every candidate
+    // segment to verify counter uniformity.
+    for (const std::uint64_t chunk : candidates_) {
+        const std::uint64_t leaf0 = chunk * kLinesPerChunk;
+        for (unsigned l = 0; l < kLinesPerChunk / kTreeArity; ++l) {
+            mem.serve(now,
+                      layout_.counterLineAddr(0, leaf0 +
+                                                     l * kTreeArity),
+                      kCachelineBytes, false, Traffic::Counter);
+        }
+        stats_.add("scanned_segments");
+        if (common_.size() < kMaxCommon) {
+            common_.insert(chunk);
+            stats_.add("promotions");
+        } else {
+            stats_.add("table_full_rejections");
+        }
+    }
+    candidates_.clear();
+}
+
+} // namespace mgmee

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * "Common Counters" baseline (Na et al., HPCA'21 [35]): dual-granular
+ * counters via a small on-chip table of shared counters for 32KB
+ * segments whose counter values are uniform, detected by a scanning
+ * step at kernel boundaries.  MACs stay 64B-granular and the integrity
+ * tree is unmodified (accesses through a common counter skip both the
+ * counter fetch and the tree walk because the shared counter is
+ * on-chip and trusted).
+ */
+
+#ifndef MGMEE_BASELINES_COMMON_COUNTERS_ENGINE_HH
+#define MGMEE_BASELINES_COMMON_COUNTERS_ENGINE_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/access_tracker.hh"
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** Dual-granular-counter engine with a bounded common-counter set. */
+class CommonCountersEngine : public MeeTimingBase
+{
+  public:
+    /** Paper: "a limited set of 16 shared counters". */
+    static constexpr unsigned kMaxCommon = 16;
+
+    CommonCountersEngine(std::size_t data_bytes,
+                         const TimingConfig &cfg);
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+    /**
+     * Kernel-termination scan: reads every leaf-counter line of each
+     * candidate segment to test uniformity, then promotes uniform
+     * segments into the common set (up to the 16-entry limit).
+     */
+    void kernelBoundary(Cycle now, MemCtrl &mem) override;
+
+    std::size_t commonSegments() const { return common_.size(); }
+
+  private:
+    AccessTracker tracker_;
+    /** Chunks currently covered by an on-chip common counter. */
+    std::unordered_set<std::uint64_t> common_;
+    /** Uniformly-streamed chunks awaiting the next scan. */
+    std::unordered_set<std::uint64_t> candidates_;
+    std::vector<std::pair<std::uint64_t, StreamPart>> detections_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_BASELINES_COMMON_COUNTERS_ENGINE_HH

@@ -1,0 +1,17 @@
+#include "baselines/static_best.hh"
+
+namespace mgmee {
+
+std::unique_ptr<MultiGranEngine>
+makeStaticEngine(std::size_t data_bytes, const TimingConfig &timing,
+                 const std::array<Granularity, 8> &per_device,
+                 const std::string &name)
+{
+    MultiGranEngineConfig cfg;
+    cfg.timing = timing;
+    cfg.dynamic = false;
+    cfg.static_gran = per_device;
+    return std::make_unique<MultiGranEngine>(name, data_bytes, cfg);
+}
+
+} // namespace mgmee

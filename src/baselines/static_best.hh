@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Static per-device granularity baselines (Sec. 3.3 / Fig. 6 and the
+ * "Static-device-best" scheme of Table 5).
+ *
+ * The engine applies one fixed granularity to every address a device
+ * touches; the exhaustive search over the 4^D per-device granularity
+ * assignments is performed by the evaluation harness using
+ * makeStaticEngine for each candidate.
+ */
+
+#ifndef MGMEE_BASELINES_STATIC_BEST_HH
+#define MGMEE_BASELINES_STATIC_BEST_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "core/multigran_engine.hh"
+
+namespace mgmee {
+
+/** Build an engine with a fixed granularity per device. */
+std::unique_ptr<MultiGranEngine>
+makeStaticEngine(std::size_t data_bytes, const TimingConfig &timing,
+                 const std::array<Granularity, 8> &per_device,
+                 const std::string &name = "Static");
+
+/** All candidate granularities for the exhaustive search. */
+constexpr std::array<Granularity, 4> kAllGranularities = {
+    Granularity::Line64B,
+    Granularity::Part512B,
+    Granularity::Sub4KB,
+    Granularity::Chunk32KB,
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_BASELINES_STATIC_BEST_HH

@@ -1,0 +1,96 @@
+#include "baselines/treeless_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+TreelessEngine::TreelessEngine(std::size_t data_bytes,
+                               const TimingConfig &cfg,
+                               std::array<bool, 8> managed,
+                               unsigned version_entries)
+    : MeeTimingBase("Treeless", data_bytes, cfg), managed_(managed),
+      capacity_(version_entries)
+{
+}
+
+void
+TreelessEngine::cover(std::uint64_t chunk, Cycle now, MemCtrl &mem)
+{
+    auto it = map_.find(chunk);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        // Demote the LRU region to tree protection: its blocks must
+        // be re-encrypted under per-block counters and their tree
+        // path initialised -- a full 32KB read+write sweep.
+        const std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        mem.serve(now, victim * kChunkBytes, kChunkBytes, false,
+                  Traffic::Rmw);
+        mem.serve(now, victim * kChunkBytes, kChunkBytes, true,
+                  Traffic::Rmw);
+        stats_.add("version_evictions");
+        stats_.add("eviction_lines", kLinesPerChunk);
+    }
+    lru_.push_front(chunk);
+    map_[chunk] = lru_.begin();
+    stats_.add("version_fills");
+}
+
+Cycle
+TreelessEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    const Cycle issue = req.issue;
+    stats_.add(req.is_write ? "writes" : "reads");
+
+    const Cycle data_done =
+        mem.serve(issue, req.addr, req.bytes, req.is_write);
+
+    Cycle ctr_done = issue;
+    Cycle mac_done = issue;
+    const Addr first = alignDown(req.addr, kCachelineBytes);
+    const Addr last = alignDown(req.addr + (req.bytes ? req.bytes - 1
+                                                      : 0),
+                                kCachelineBytes);
+
+    const bool managed = managed_[req.device % managed_.size()];
+    for (Addr span = alignDown(first, kPartitionBytes); span <= last;
+         span += kPartitionBytes) {
+        if (managed) {
+            // The compiler declared this tensor tile: its version is
+            // on-chip, so the counter side is free.
+            cover(chunkIndex(span), issue, mem);
+            ctr_done = std::max(ctr_done, issue + cfg_.hit_latency);
+            stats_.add("version_hits");
+        } else {
+            // No software-managed versions for general traffic: the
+            // conventional per-block counter tree takes over.
+            const std::uint64_t leaf = lineIndex(span);
+            if (req.is_write)
+                writeWalk(0, leaf, issue, mem);
+            else
+                ctr_done = std::max(ctr_done,
+                                    readWalk(0, leaf, issue, mem));
+            stats_.add("fallback_spans");
+        }
+
+        // MACs remain 64B-granular (MGX keeps per-block MACs).
+        const Addr mac_line =
+            layout_.macLineAddr(layout_.fineMacIndex(span));
+        mac_done = std::max(
+            mac_done, touchMac(mac_line, req.is_write, issue, mem));
+    }
+
+    if (req.is_write)
+        return issue;
+
+    Cycle done = std::max(data_done, ctr_done + cfg_.otp_latency) +
+                 cfg_.xor_latency;
+    done = std::max(done, mac_done) + cfg_.hash_latency;
+    return done;
+}
+
+} // namespace mgmee

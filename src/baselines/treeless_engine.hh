@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tree-less version-number engine (TNPU / MGX / GuardNN style; the
+ * "ML-specific" rows of Table 1).
+ *
+ * These schemes replace the integrity tree with a small on-chip table
+ * of version numbers -- but only because the NPU's *software-managed*
+ * execution lets the compiler declare, ahead of time, which tensor
+ * each access belongs to and when its version advances.  Inside that
+ * domain the counter side of protection is free: no counter fetch,
+ * no tree walk.  Outside it (CPU/GPU traffic with no compiler
+ * knowledge of versions) there is nothing to look up, and accesses
+ * fall back to a conventional per-block counter tree.  MACs stay
+ * 64B-granular throughout.
+ *
+ * This is exactly the paper's Sec. 2.3 critique made executable:
+ * "this approach cannot be applied to general applications" -- a
+ * heterogeneous SoC would need this engine for the NPUs *plus* a
+ * full conventional engine for everyone else, and the CPU/GPU share
+ * of the overhead remains untouched.
+ */
+
+#ifndef MGMEE_BASELINES_TREELESS_ENGINE_HH
+#define MGMEE_BASELINES_TREELESS_ENGINE_HH
+
+#include <array>
+#include <list>
+#include <unordered_map>
+
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** Version-table engine for software-managed (NPU) devices, with a
+ *  conventional-tree fallback for everything else. */
+class TreelessEngine : public MeeTimingBase
+{
+  public:
+    /**
+     * @param managed  per-device flag: true where a compiler manages
+     *                 tensor versions (NPUs); false falls back to the
+     *                 conventional tree (CPUs/GPUs)
+     * @param version_entries on-chip version slots (32KB tensor
+     *                 tiles); TNPU-class designs afford a few hundred
+     */
+    TreelessEngine(std::size_t data_bytes, const TimingConfig &cfg,
+                   std::array<bool, 8> managed,
+                   unsigned version_entries = 512);
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+    std::uint64_t versionHits() const
+    {
+        return stats_.get("version_hits");
+    }
+
+  private:
+    /**
+     * Ensure @p chunk holds an on-chip version slot, evicting the LRU
+     * entry if full.  Eviction demotes the victim to tree protection,
+     * which re-encrypts and re-MACs the whole 32KB region -- the
+     * scalability cliff when the table is undersized.
+     */
+    void cover(std::uint64_t chunk, Cycle now, MemCtrl &mem);
+
+    std::array<bool, 8> managed_;
+    unsigned capacity_;
+    std::list<std::uint64_t> lru_;  //!< front = MRU
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        map_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_BASELINES_TREELESS_ENGINE_HH

@@ -1,0 +1,99 @@
+#include "cache/cache.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mgmee {
+
+Cache::Cache(std::string name, std::size_t size_bytes, unsigned ways,
+             std::size_t line_bytes)
+    : name_(std::move(name)), line_bytes_(line_bytes), ways_(ways)
+{
+    fatal_if(ways == 0, "%s: zero-way cache", name_.c_str());
+    fatal_if(size_bytes % (line_bytes * ways) != 0,
+             "%s: size %zu not divisible by ways*line", name_.c_str(),
+             size_bytes);
+    num_sets_ = size_bytes / (line_bytes * ways);
+    fatal_if(!isPowerOfTwo(num_sets_),
+             "%s: set count %zu not a power of two", name_.c_str(),
+             num_sets_);
+    sets_.resize(num_sets_ * ways_);
+}
+
+CacheResult
+Cache::access(Addr addr, bool is_write)
+{
+    const Addr tag = lineAddr(addr);
+    Line *set = &sets_[setIndex(addr) * ways_];
+    ++stamp_;
+
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = stamp_;
+            line.dirty |= is_write;
+            ++hits_;
+            return {true, false, 0};
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+
+    ++misses_;
+    CacheResult res;
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.victim_addr = victim->tag;
+        ++writebacks_;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lru = stamp_;
+    return res;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Addr tag = lineAddr(addr);
+    const Line *set = &sets_[setIndex(addr) * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = lineAddr(addr);
+    Line *set = &sets_[setIndex(addr) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            const bool was_dirty = line.dirty;
+            line.valid = false;
+            line.dirty = false;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : sets_) {
+        if (line.valid && line.dirty)
+            ++writebacks_;
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace mgmee

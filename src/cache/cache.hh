@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Generic tag-only set-associative cache model with LRU replacement
+ * and write-back semantics.
+ *
+ * Used for the on-chip security metadata cache (8KB), the MAC cache
+ * (4KB), the subtree-root cache of the BMF scheme, and coarse device
+ * LLC filtering.  Only tags and dirty bits are modelled; payloads live
+ * in the functional layer.
+ */
+
+#ifndef MGMEE_CACHE_CACHE_HH
+#define MGMEE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** Outcome of a cache access. */
+struct CacheResult
+{
+    bool hit = false;            //!< tag present before the access
+    bool writeback = false;      //!< a dirty victim was evicted
+    Addr victim_addr = 0;        //!< line address of the dirty victim
+};
+
+/** Set-associative, LRU, write-back, tag-only cache. */
+class Cache
+{
+  public:
+    /**
+     * @param name       stat prefix
+     * @param size_bytes total capacity; must be ways*line_bytes*2^k
+     * @param ways       associativity
+     * @param line_bytes line size (default 64B)
+     */
+    Cache(std::string name, std::size_t size_bytes, unsigned ways,
+          std::size_t line_bytes = kCachelineBytes);
+
+    /**
+     * Access @p addr; on miss the line is filled (allocate-on-miss)
+     * and an LRU victim may be written back.
+     * @param is_write marks the line dirty on hit or fill.
+     */
+    CacheResult access(Addr addr, bool is_write);
+
+    /** Probe without changing any state. */
+    bool contains(Addr addr) const;
+
+    /**
+     * Drop @p addr from the cache if present; returns true if the
+     * dropped line was dirty.  Used when metadata is restructured
+     * (granularity switch invalidates promoted/demoted lines).
+     */
+    bool invalidate(Addr addr);
+
+    /** Invalidate every line; dirty lines are counted as writebacks. */
+    void flush();
+
+    // Stats accessors.
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t accesses() const { return hits_ + misses_; }
+    void resetStats() { hits_ = misses_ = writebacks_ = 0; }
+
+    const std::string &name() const { return name_; }
+    std::size_t sizeBytes() const { return sets_.size() / ways_ *
+                                           ways_ * line_bytes_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;   //!< last-touch stamp
+    };
+
+    Addr lineAddr(Addr a) const { return a / line_bytes_ * line_bytes_; }
+    std::size_t setIndex(Addr a) const
+    {
+        return (a / line_bytes_) % num_sets_;
+    }
+
+    std::string name_;
+    std::size_t line_bytes_;
+    unsigned ways_;
+    std::size_t num_sets_;
+    std::vector<Line> sets_;     //!< num_sets_*ways_ lines, row-major
+    std::uint64_t stamp_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CACHE_CACHE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the address math and
+ * the access-tracker bit vectors.
+ */
+
+#ifndef MGMEE_COMMON_BITOPS_HH
+#define MGMEE_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace mgmee {
+
+/** Integer log2; @p v must be a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer pow: base^exp. */
+constexpr std::uint64_t
+ipow(std::uint64_t base, unsigned exp)
+{
+    std::uint64_t r = 1;
+    for (unsigned i = 0; i < exp; ++i)
+        r *= base;
+    return r;
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popcount64(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bitsOf(std::uint64_t v, unsigned lo, unsigned width)
+{
+    if (width >= 64)
+        return v >> lo;
+    return (v >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+} // namespace mgmee
+
+#endif // MGMEE_COMMON_BITOPS_HH

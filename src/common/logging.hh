@@ -1,0 +1,47 @@
+/**
+ * @file
+ * gem5-style status/error helpers: panic, fatal, warn, inform.
+ *
+ * panic()  -- an internal invariant broke (a simulator bug); aborts.
+ * fatal()  -- the user asked for something unsupported; exits cleanly.
+ * warn()   -- suspicious but survivable condition.
+ * inform() -- plain status output.
+ */
+
+#ifndef MGMEE_COMMON_LOGGING_HH
+#define MGMEE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mgmee {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
+void warnImpl(const char *fmt, ...);
+void informImpl(const char *fmt, ...);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace mgmee
+
+#define panic(...) ::mgmee::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::mgmee::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::mgmee::warnImpl(__VA_ARGS__)
+#define inform(...) ::mgmee::informImpl(__VA_ARGS__)
+
+#define panic_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                  \
+    do {                                                                     \
+        if (cond)                                                            \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // MGMEE_COMMON_LOGGING_HH

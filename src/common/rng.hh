@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator (xoshiro256**) for workload
+ * trace synthesis.  std::mt19937 is avoided so trace generation is
+ * fast and bit-identical across standard libraries.
+ */
+
+#ifndef MGMEE_COMMON_RNG_HH
+#define MGMEE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mgmee {
+
+/** xoshiro256** by Blackman & Vigna; seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        // splitmix64 seeding expands one word into the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_COMMON_RNG_HH

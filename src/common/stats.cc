@@ -1,0 +1,83 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace mgmee {
+
+std::uint64_t
+StatGroup::get(const std::string &stat) const
+{
+    auto it = counters_.find(stat);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : counters_) {
+        if (!name_.empty())
+            os << name_ << '.';
+        os << k << ' ' << v << '\n';
+    }
+    return os.str();
+}
+
+void
+Histogram::record(std::uint64_t value)
+{
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    // Bucket b holds values with bit_width b (bucket 0 holds zero);
+    // widths above 63 clamp into the last bucket.
+    const unsigned bucket = std::min<unsigned>(
+        kBuckets - 1, static_cast<unsigned>(std::bit_width(value)));
+    ++buckets_[bucket];
+}
+
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::min(1.0, std::max(0.0, p));
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        seen += buckets_[b];
+        if (seen > rank) {
+            // Upper edge of bucket b, clamped to the observed max.
+            const std::uint64_t edge =
+                b == 0 ? 0
+                : b >= kBuckets - 1
+                    ? max_
+                    : (std::uint64_t{1} << b) - 1;
+            return std::min(edge, max_);
+        }
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << count_ << " mean=" << mean()
+       << " p50<=" << percentile(0.5) << " p99<=" << percentile(0.99)
+       << " max=" << max();
+    return os.str();
+}
+
+} // namespace mgmee

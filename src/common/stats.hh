@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, loosely modelled on gem5's
+ * stats package.  Engines register scalar counters; harnesses snapshot
+ * and print them.
+ */
+
+#ifndef MGMEE_COMMON_STATS_HH
+#define MGMEE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgmee {
+
+/** A named group of scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p stat (created on first use). */
+    void
+    add(const std::string &stat, std::uint64_t delta = 1)
+    {
+        counters_[stat] += delta;
+    }
+
+    /** Current value of @p stat (0 if never touched). */
+    std::uint64_t get(const std::string &stat) const;
+
+    /** Reset every counter to zero. */
+    void reset() { counters_.clear(); }
+
+    /** Merge all counters of @p other into this group. */
+    void merge(const StatGroup &other);
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Render "name.stat value" lines, sorted by stat name. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Power-of-two bucketed histogram for latency-style samples.  Keeps
+ * exact count/sum/min/max and log2 buckets, giving ~2x-resolution
+ * percentiles without storing samples.
+ */
+class Histogram
+{
+  public:
+    void record(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+    }
+
+    /**
+     * Approximate p-quantile (0..1): the upper edge of the bucket
+     * containing that rank.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** "count mean p50 p99 max" summary line. */
+    std::string summary() const;
+
+  private:
+    static constexpr unsigned kBuckets = 64;
+
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_COMMON_STATS_HH

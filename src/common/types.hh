@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Fundamental types and address-geometry constants shared by every
+ * mgmee module.
+ *
+ * The paper fixes an 8-ary counter tree over 64B cachelines, which
+ * yields the four granularity candidates 64B, 512B, 4KB and 32KB
+ * (each 8x coarser than the previous).  All geometry below follows
+ * from those two numbers.
+ */
+
+#ifndef MGMEE_COMMON_TYPES_HH
+#define MGMEE_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mgmee {
+
+using Addr = std::uint64_t;
+using Cycle = std::uint64_t;
+
+/** Size of the finest protection unit: one cacheline. */
+constexpr std::size_t kCachelineBytes = 64;
+/** Arity of the counter integrity tree (children per node). */
+constexpr std::size_t kTreeArity = 8;
+/** Second-finest granularity: one "partition" (8 cachelines). */
+constexpr std::size_t kPartitionBytes = kCachelineBytes * kTreeArity;
+/** Third granularity: one "subchunk" (4KB). */
+constexpr std::size_t kSubchunkBytes = kPartitionBytes * kTreeArity;
+/** Coarsest granularity and the unit tracked per table entry: 32KB. */
+constexpr std::size_t kChunkBytes = kSubchunkBytes * kTreeArity;
+
+/** Cachelines per 32KB chunk (512). */
+constexpr std::size_t kLinesPerChunk = kChunkBytes / kCachelineBytes;
+/** 512B partitions per 32KB chunk (64). */
+constexpr std::size_t kPartitionsPerChunk = kChunkBytes / kPartitionBytes;
+/** 4KB subchunks per 32KB chunk (8). */
+constexpr std::size_t kSubchunksPerChunk = kChunkBytes / kSubchunkBytes;
+/** Cachelines per 512B partition (8). */
+constexpr std::size_t kLinesPerPartition = kPartitionBytes / kCachelineBytes;
+
+/** Bytes of MAC stored per protected 64B cacheline. */
+constexpr std::size_t kMacBytes = 8;
+/** MACs that fit in one 64B MAC cacheline. */
+constexpr std::size_t kMacsPerLine = kCachelineBytes / kMacBytes;
+
+/** Number of address bits covered by a cacheline / partition / chunk. */
+constexpr unsigned kCachelineBits = 6;   // log2(64)
+constexpr unsigned kPartitionBits = 9;   // log2(512)
+constexpr unsigned kSubchunkBits = 12;   // log2(4096)
+constexpr unsigned kChunkBits = 15;      // log2(32768)
+
+/** The four supported protection granularities. */
+enum class Granularity : std::uint8_t {
+    Line64B = 0,    //!< conventional fine granularity
+    Part512B = 1,   //!< one shared counter+MAC per 512B
+    Sub4KB = 2,     //!< one shared counter+MAC per 4KB
+    Chunk32KB = 3,  //!< one shared counter+MAC per 32KB
+};
+
+/** Number of tree levels pruned by a granularity (Eq. 2 of the paper). */
+constexpr unsigned
+promotionLevels(Granularity g)
+{
+    return static_cast<unsigned>(g);
+}
+
+/** Size in bytes of one protection unit at granularity @p g. */
+constexpr std::size_t
+granularityBytes(Granularity g)
+{
+    std::size_t bytes = kCachelineBytes;
+    for (unsigned i = 0; i < promotionLevels(g); ++i)
+        bytes *= kTreeArity;
+    return bytes;
+}
+
+/** Short human-readable label ("64B", "512B", "4KB", "32KB"). */
+constexpr const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::Line64B: return "64B";
+      case Granularity::Part512B: return "512B";
+      case Granularity::Sub4KB: return "4KB";
+      case Granularity::Chunk32KB: return "32KB";
+    }
+    return "?";
+}
+
+/** Identifier of a processing unit in the heterogeneous SoC. */
+enum class DeviceKind : std::uint8_t { CPU = 0, GPU = 1, NPU = 2 };
+
+constexpr const char *
+deviceKindName(DeviceKind k)
+{
+    switch (k) {
+      case DeviceKind::CPU: return "CPU";
+      case DeviceKind::GPU: return "GPU";
+      case DeviceKind::NPU: return "NPU";
+    }
+    return "?";
+}
+
+/** Address helpers. */
+constexpr Addr alignDown(Addr a, std::size_t unit) { return a / unit * unit; }
+constexpr Addr chunkBase(Addr a) { return alignDown(a, kChunkBytes); }
+constexpr std::uint64_t chunkIndex(Addr a) { return a >> kChunkBits; }
+constexpr std::uint64_t lineIndex(Addr a) { return a >> kCachelineBits; }
+/** Cacheline offset of @p a inside its 32KB chunk (0..511). */
+constexpr unsigned
+lineInChunk(Addr a)
+{
+    return static_cast<unsigned>((a >> kCachelineBits) &
+                                 (kLinesPerChunk - 1));
+}
+/** 512B partition offset of @p a inside its 32KB chunk (0..63). */
+constexpr unsigned
+partInChunk(Addr a)
+{
+    return static_cast<unsigned>((a >> kPartitionBits) &
+                                 (kPartitionsPerChunk - 1));
+}
+/** 4KB subchunk offset of @p a inside its 32KB chunk (0..7). */
+constexpr unsigned
+subInChunk(Addr a)
+{
+    return static_cast<unsigned>((a >> kSubchunkBits) &
+                                 (kSubchunksPerChunk - 1));
+}
+
+} // namespace mgmee
+
+#endif // MGMEE_COMMON_TYPES_HH

@@ -1,0 +1,108 @@
+#include "core/access_tracker.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mgmee {
+
+StreamPart
+detectGranularity(
+    const std::array<std::uint64_t, kLinesPerChunk / 64> &access_bits)
+{
+    // Algorithm 1: split the 512 access bits into 64 partitions of 8
+    // bits; a partition whose bits are all set is a stream partition.
+    StreamPart stream_part = 0;
+    for (unsigned part = 0; part < kPartitionsPerChunk; ++part) {
+        const unsigned word = part / 8;     // 8 partitions per word
+        const unsigned shift = (part % 8) * 8;
+        const std::uint64_t p = (access_bits[word] >> shift) & 0xff;
+        if (p == 0xff)
+            stream_part |= StreamPart{1} << part;
+    }
+    return stream_part;
+}
+
+AccessTracker::AccessTracker(const AccessTrackerConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg.entries == 0, "access tracker needs >=1 entry");
+    entries_.resize(cfg_.entries);
+}
+
+void
+AccessTracker::evict(Entry &entry)
+{
+    if (!entry.valid)
+        return;
+    unsigned touched = 0;
+    for (std::uint64_t word : entry.bits)
+        touched += popcount64(word);
+    StreamPart touched_parts = 0;
+    for (unsigned part = 0; part < kPartitionsPerChunk; ++part) {
+        const std::uint64_t p =
+            (entry.bits[part / 8] >> ((part % 8) * 8)) & 0xff;
+        if (p != 0)
+            touched_parts |= StreamPart{1} << part;
+    }
+    if (callback_) {
+        callback_({entry.chunk, detectGranularity(entry.bits),
+                   touched_parts, touched});
+    }
+    entry = Entry{};
+    ++evictions_;
+}
+
+void
+AccessTracker::expire(Cycle now)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && now - entry.allocated > cfg_.lifetime)
+            evict(entry);
+    }
+}
+
+void
+AccessTracker::recordAccess(Addr addr, Cycle now)
+{
+    ++accesses_;
+    expire(now);
+
+    const std::uint64_t chunk = chunkIndex(addr);
+    const unsigned line = lineInChunk(addr);
+
+    Entry *lru = &entries_[0];
+    Entry *target = nullptr;
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.chunk == chunk) {
+            target = &entry;
+            break;
+        }
+        if (!entry.valid) {
+            lru = &entry;
+        } else if (lru->valid && entry.last_use < lru->last_use) {
+            lru = &entry;
+        }
+    }
+
+    if (!target) {
+        // Allocate, evicting the LRU victim if necessary.
+        evict(*lru);
+        target = lru;
+        target->valid = true;
+        target->chunk = chunk;
+        target->allocated = now;
+    }
+
+    target->bits[line / 64] |= std::uint64_t{1} << (line % 64);
+    target->last_use = now;
+    if (++target->count >= cfg_.max_accesses)
+        evict(*target);
+}
+
+void
+AccessTracker::flush()
+{
+    for (auto &entry : entries_)
+        evict(entry);
+}
+
+} // namespace mgmee

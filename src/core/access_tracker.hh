@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The access tracker and granularity-detection engine (Sec. 4.4,
+ * Fig. 12 and Algorithm 1).
+ *
+ * Each of the 12 entries records one 32KB chunk: a 49-bit chunk index
+ * tag plus a 512-bit one-hot vector of touched cachelines.  An entry
+ * is evicted when (a) its access count exceeds 512 accesses, (b) its
+ * lifetime exceeds 16K cycles, or (c) capacity pressure selects it by
+ * LRU.  On eviction, Algorithm 1 condenses the 512-bit vector into a
+ * 64-bit stream-partition map: partition i is a stream partition iff
+ * all 8 of its cacheline bits are set.
+ */
+
+#ifndef MGMEE_CORE_ACCESS_TRACKER_HH
+#define MGMEE_CORE_ACCESS_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/granularity.hh"
+
+namespace mgmee {
+
+/** Configuration of the access tracker (paper defaults). */
+struct AccessTrackerConfig
+{
+    /** 3 x (# processing units) = 12 entries (Sec. 4.4). */
+    unsigned entries = 12;
+    /** Entry lifetime before forced eviction. */
+    Cycle lifetime = 16 * 1024;
+    /** Access-count eviction threshold (32KB / 64B). */
+    unsigned max_accesses = kLinesPerChunk;
+};
+
+/**
+ * Algorithm 1: condense a 512-bit access vector into the 64-bit
+ * stream-partition map.
+ */
+StreamPart detectGranularity(
+    const std::array<std::uint64_t, kLinesPerChunk / 64> &access_bits);
+
+/** Hardware access tracker with LRU entry management. */
+class AccessTracker
+{
+  public:
+    /** 512 access bits as 8 x 64-bit words. */
+    using BitVector = std::array<std::uint64_t, kLinesPerChunk / 64>;
+
+    /** Eviction result delivered to the detection engine. */
+    struct Eviction
+    {
+        std::uint64_t chunk;     //!< chunk index
+        StreamPart stream_part;  //!< Algorithm-1 output
+        /**
+         * Partitions with at least one access in this entry.  The
+         * detection is evidence only for these; untouched partitions
+         * keep their previous granularity in the table.
+         */
+        StreamPart touched_parts;
+        unsigned touched_lines;  //!< popcount of the vector
+    };
+
+    using EvictCallback = std::function<void(const Eviction &)>;
+
+    explicit AccessTracker(const AccessTrackerConfig &cfg = {});
+
+    /**
+     * Record a cacheline access at cycle @p now.  May trigger one or
+     * more evictions (lifetime expiry of other entries, capacity).
+     */
+    void recordAccess(Addr addr, Cycle now);
+
+    /** Evict everything (end of simulation). */
+    void flush();
+
+    void setEvictCallback(EvictCallback cb) { callback_ = std::move(cb); }
+
+    /** On-chip storage the tracker occupies, in bits (Sec. 4.5). */
+    static constexpr unsigned
+    entryBits()
+    {
+        return kLinesPerChunk + 49;  // 512 access bits + chunk tag
+    }
+
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t chunk = 0;
+        BitVector bits{};
+        unsigned count = 0;          //!< accesses recorded
+        Cycle allocated = 0;         //!< allocation cycle (lifetime)
+        Cycle last_use = 0;          //!< LRU stamp
+    };
+
+    void evict(Entry &entry);
+    void expire(Cycle now);
+
+    AccessTrackerConfig cfg_;
+    std::vector<Entry> entries_;
+    EvictCallback callback_;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_ACCESS_TRACKER_HH

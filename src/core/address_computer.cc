@@ -1,0 +1,96 @@
+#include "core/address_computer.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace mgmee {
+
+std::uint64_t
+AddressComputer::macsPerChunk(StreamPart sp)
+{
+    if (sp == kAllStream)
+        return 1;
+    std::uint64_t macs = 0;
+    for (unsigned sub = 0; sub < kSubchunksPerChunk; ++sub) {
+        const StreamPart mask = subchunkMask(sub);
+        if ((sp & mask) == mask) {
+            macs += 1;  // whole 4KB subchunk: one merged MAC
+        } else {
+            const unsigned streams =
+                popcount64(bitsOf(sp, 8 * sub, 8));
+            // stream partitions: 1 MAC each; fine partitions: 8 each.
+            macs += streams + (8 - streams) * kLinesPerPartition;
+        }
+    }
+    return macs;
+}
+
+std::uint64_t
+AddressComputer::intraChunkMacIndex(Addr data_addr, StreamPart sp)
+{
+    if (sp == kAllStream)
+        return 0;
+
+    const unsigned my_sub = subInChunk(data_addr);
+    const unsigned my_part = partInChunk(data_addr);
+    std::uint64_t idx = 0;
+
+    for (unsigned sub = 0; sub < kSubchunksPerChunk; ++sub) {
+        const StreamPart mask = subchunkMask(sub);
+        const bool whole_sub = (sp & mask) == mask;
+        if (sub < my_sub) {
+            if (whole_sub) {
+                idx += 1;
+            } else {
+                const unsigned streams =
+                    popcount64(bitsOf(sp, 8 * sub, 8));
+                idx += streams + (8 - streams) * kLinesPerPartition;
+            }
+            continue;
+        }
+        // sub == my_sub
+        if (whole_sub)
+            return idx;  // the merged 4KB MAC
+        for (unsigned p = 8 * sub; p < my_part; ++p)
+            idx += isStreamPartition(sp, p) ? 1 : kLinesPerPartition;
+        if (isStreamPartition(sp, my_part))
+            return idx;  // the merged 512B MAC
+        // Fine partition: one MAC per cacheline.
+        const unsigned line_in_part =
+            lineInChunk(data_addr) % kLinesPerPartition;
+        return idx + line_in_part;
+    }
+    panic("unreachable: subchunk walk fell through");
+}
+
+MacLoc
+AddressComputer::macLoc(Addr data_addr, StreamPart sp) const
+{
+    // Eq. 1 with Idx = 512 * chunk + compacted intra-chunk index:
+    // earlier chunks are budgeted as if finest-grained.
+    const std::uint64_t idx =
+        chunkIndex(data_addr) * kLinesPerChunk +
+        intraChunkMacIndex(data_addr, sp);
+    return {idx, layout_.macLineAddr(idx)};
+}
+
+CounterLoc
+AddressComputer::counterLocAt(Addr data_addr, Granularity g) const
+{
+    // Eq. 2: Parents = log_arity(granularity / 64B); Eq. 3: ancestor
+    // of the leaf index; Eq. 4: line address within that level.
+    const unsigned parents = promotionLevels(g);
+    const std::uint64_t leaf = lineIndex(data_addr);
+    const std::uint64_t idx = TreeGeometry::ancestorIndex(leaf, parents);
+    if (parents >= layout_.geometry().levels())
+        return {parents, idx, 0, true};
+    return {parents, idx, layout_.counterLineAddr(parents, idx), false};
+}
+
+CounterLoc
+AddressComputer::counterLoc(Addr data_addr, StreamPart sp) const
+{
+    return counterLocAt(data_addr, granularityOfAddr(sp, data_addr));
+}
+
+} // namespace mgmee

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Granularity-aware address computation for merged MACs and promoted
+ * counters (Sec. 4.3, Eqs. 1-4 and Fig. 9).
+ *
+ * MACs: inside each 32KB chunk, coarse regions contribute one MAC and
+ * fine partitions contribute eight; all MACs are compacted to the
+ * front of the chunk's MAC slab in data-address order, removing the
+ * fragmentation of Fig. 9.  Across chunks the slab base assumes every
+ * earlier chunk is finest-grained (512 MACs per chunk), so
+ * Addr_MAC = Base + Idx * 8  (Eq. 1) with Idx = chunk*512 + intra.
+ *
+ * Counters: a unit of granularity g uses the counter `promotionLevels(g)`
+ * levels above its leaf (Eq. 2/3: Idx = Ancestor^k(leaf index)), whose
+ * line address follows Eq. 4.
+ */
+
+#ifndef MGMEE_CORE_ADDRESS_COMPUTER_HH
+#define MGMEE_CORE_ADDRESS_COMPUTER_HH
+
+#include <cstdint>
+
+#include "core/granularity.hh"
+#include "tree/layout.hh"
+
+namespace mgmee {
+
+/** Location of the counter protecting a data address. */
+struct CounterLoc
+{
+    unsigned level = 0;        //!< tree level (0 = leaf)
+    std::uint64_t index = 0;   //!< counter index within the level
+    Addr line_addr = 0;        //!< metadata line holding the counter
+    /**
+     * True when the promoted counter lands in (or above) the on-chip
+     * root node, so no memory fetch is needed at all.  Happens for
+     * coarse granularities over small protected regions.
+     */
+    bool on_chip = false;
+};
+
+/** Location of the MAC protecting a data address. */
+struct MacLoc
+{
+    std::uint64_t index = 0;   //!< flat MAC index (Eq. 1 Idx)
+    Addr line_addr = 0;        //!< MAC-region line holding the MAC
+};
+
+/** Resolves metadata addresses under a given stream-partition map. */
+class AddressComputer
+{
+  public:
+    explicit AddressComputer(const MetadataLayout &layout)
+        : layout_(layout) {}
+
+    /**
+     * MAC location for @p data_addr when its chunk is configured with
+     * @p sp.  The returned index accounts for intra-chunk compaction.
+     */
+    MacLoc macLoc(Addr data_addr, StreamPart sp) const;
+
+    /**
+     * Number of MACs the chunk stores under @p sp (1..512); the
+     * compacted slab occupies ceil(n/8) MAC lines.
+     */
+    static std::uint64_t macsPerChunk(StreamPart sp);
+
+    /** Intra-chunk compacted MAC index of @p data_addr under @p sp. */
+    static std::uint64_t intraChunkMacIndex(Addr data_addr,
+                                            StreamPart sp);
+
+    /**
+     * Counter location for @p data_addr at granularity implied by
+     * @p sp (Eqs. 2-4).
+     */
+    CounterLoc counterLoc(Addr data_addr, StreamPart sp) const;
+
+    /** Counter location for an explicit granularity. */
+    CounterLoc counterLocAt(Addr data_addr, Granularity g) const;
+
+  private:
+    const MetadataLayout &layout_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_ADDRESS_COMPUTER_HH

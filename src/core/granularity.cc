@@ -1,0 +1,8 @@
+#include "core/granularity.hh"
+
+// All StreamPart helpers are constexpr in the header; this file exists
+// to keep one translation unit per module and to host future
+// non-inline helpers.
+
+namespace mgmee {
+} // namespace mgmee

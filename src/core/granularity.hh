@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The per-chunk stream-partition bitmap (`stream_part`) and the rules
+ * deriving one of the four granularities from it.
+ *
+ * One bit per 512B partition of a 32KB chunk (64 bits total).  Bit i
+ * set means partition i was detected as a *stream partition* (all 8 of
+ * its cachelines touched within the detection window), so it is
+ * protected at >=512B granularity.  Hierarchical coarsening (Sec. 4.4):
+ *   - all 64 bits set           -> the whole chunk is 32KB-granular;
+ *   - an aligned 8-bit group set -> that 4KB subchunk is 4KB-granular;
+ *   - a single bit set           -> that partition is 512B-granular;
+ *   - bit clear                  -> 64B (conventional) granularity.
+ */
+
+#ifndef MGMEE_CORE_GRANULARITY_HH
+#define MGMEE_CORE_GRANULARITY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** 64-bit stream-partition position map of one 32KB chunk. */
+using StreamPart = std::uint64_t;
+
+/** All partitions fine (the conventional default). */
+constexpr StreamPart kAllFine = 0;
+/** All partitions stream: the whole chunk is 32KB-granular. */
+constexpr StreamPart kAllStream = ~StreamPart{0};
+
+/** Bitmask covering the 8 partitions of 4KB subchunk @p sub. */
+constexpr StreamPart
+subchunkMask(unsigned sub)
+{
+    return StreamPart{0xff} << (8 * sub);
+}
+
+/** True iff partition @p part (0..63) is a stream partition. */
+constexpr bool
+isStreamPartition(StreamPart sp, unsigned part)
+{
+    return (sp >> part) & 1;
+}
+
+/** Granularity of the protection unit containing partition @p part. */
+constexpr Granularity
+granularityOfPartition(StreamPart sp, unsigned part)
+{
+    if (sp == kAllStream)
+        return Granularity::Chunk32KB;
+    const unsigned sub = part / kTreeArity;
+    if ((sp & subchunkMask(sub)) == subchunkMask(sub))
+        return Granularity::Sub4KB;
+    if (isStreamPartition(sp, part))
+        return Granularity::Part512B;
+    return Granularity::Line64B;
+}
+
+/** Granularity of the unit protecting data address @p addr. */
+constexpr Granularity
+granularityOfAddr(StreamPart sp, Addr addr)
+{
+    return granularityOfPartition(sp, partInChunk(addr));
+}
+
+/**
+ * Base data address of the protection unit containing @p addr at
+ * granularity @p g.
+ */
+constexpr Addr
+unitBase(Addr addr, Granularity g)
+{
+    return alignDown(addr, granularityBytes(g));
+}
+
+/** Cachelines per protection unit at granularity @p g. */
+constexpr std::uint64_t
+unitLines(Granularity g)
+{
+    return granularityBytes(g) / kCachelineBytes;
+}
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_GRANULARITY_HH

@@ -1,0 +1,41 @@
+#include "core/granularity_table.hh"
+
+namespace mgmee {
+
+GranResolution
+GranularityTable::resolveOnAccess(Addr addr, bool is_write)
+{
+    const std::uint64_t chunk = chunkIndex(addr);
+    const unsigned part = partInChunk(addr);
+    const std::uint64_t bit = std::uint64_t{1} << part;
+
+    auto &e = entries_[chunk];
+
+    GranResolution res;
+    res.prev_was_write = (e.last_write & bit) != 0;
+    res.partition_written = (e.written & bit) != 0;
+    res.first_access = (e.accessed & bit) == 0;
+    res.from = granularityOfPartition(e.current, part);
+
+    if (e.current != e.next) {
+        // Lazy switching: the pending map is adopted on the chunk's
+        // first access after detection.  The switch cost is charged
+        // per Table 2 based on how the *touched* partition
+        // transitions; untouched partitions reorganise as part of
+        // the same switching procedure.
+        e.current = e.next;
+    }
+    res.to = granularityOfPartition(e.current, part);
+    res.switched = res.from != res.to;
+
+    e.accessed |= bit;
+    if (is_write) {
+        e.written |= bit;
+        e.last_write |= bit;
+    } else {
+        e.last_write &= ~bit;
+    }
+    return res;
+}
+
+} // namespace mgmee

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The protected granularity table with lazy switching (Sec. 4.4).
+ *
+ * One entry per 32KB chunk holds *two* 64-bit stream-partition maps:
+ * `current` (the layout metadata is actually organised under) and
+ * `next` (the most recent detection result).  A partition's pending
+ * transition is resolved lazily, on its next access, so most switches
+ * piggyback on accesses that fetch the needed metadata anyway
+ * (Table 2).  Entries are 16B; the table lives in a protected memory
+ * region secured by a discrete fixed-64B tree, and its own accesses
+ * are charged through the metadata cache by the engines.
+ */
+
+#ifndef MGMEE_CORE_GRANULARITY_TABLE_HH
+#define MGMEE_CORE_GRANULARITY_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/granularity.hh"
+#include "tree/layout.hh"
+
+namespace mgmee {
+
+/** Outcome of lazily resolving one partition's pending transition. */
+struct GranResolution
+{
+    bool switched = false;         //!< a granularity change happened
+    Granularity from = Granularity::Line64B;
+    Granularity to = Granularity::Line64B;
+    bool prev_was_write = false;   //!< last access type of partition
+    bool partition_written = false;  //!< ever written (R/O MAC rule)
+    bool first_access = false;     //!< partition never accessed before
+};
+
+/** Per-chunk current/next granularity state plus access history. */
+class GranularityTable
+{
+  public:
+    explicit GranularityTable(const MetadataLayout &layout)
+        : layout_(layout) {}
+
+    /** Current stream-partition map of @p chunk (all-fine default). */
+    StreamPart
+    current(std::uint64_t chunk) const
+    {
+        auto it = entries_.find(chunk);
+        return it == entries_.end() ? kAllFine : it->second.current;
+    }
+
+    /** Pending map of @p chunk. */
+    StreamPart
+    next(std::uint64_t chunk) const
+    {
+        auto it = entries_.find(chunk);
+        return it == entries_.end() ? kAllFine : it->second.next;
+    }
+
+    /** Install a detection result as the pending map (lazy switch). */
+    void
+    setNext(std::uint64_t chunk, StreamPart sp)
+    {
+        entries_[chunk].next = sp;
+    }
+
+    /**
+     * Force @p chunk's current map (eager switch; used by tests and
+     * by static-granularity baselines).
+     */
+    void
+    setCurrent(std::uint64_t chunk, StreamPart sp)
+    {
+        auto &e = entries_[chunk];
+        e.current = sp;
+        e.next = sp;
+    }
+
+    /**
+     * Resolve the pending transition (if any) of the partition
+     * containing @p addr, record access history, and report what
+     * happened so the caller can charge switching costs.
+     */
+    GranResolution resolveOnAccess(Addr addr, bool is_write);
+
+    /** Address of the table line for @p chunk's 16B entry. */
+    Addr
+    tableLineAddr(std::uint64_t chunk) const
+    {
+        return layout_.granTableLineAddr(chunk);
+    }
+
+    /** Number of chunks with a non-default entry. */
+    std::size_t populatedChunks() const { return entries_.size(); }
+
+    /** Per-partition ever-written bits of @p chunk. */
+    std::uint64_t
+    writtenMask(std::uint64_t chunk) const
+    {
+        auto it = entries_.find(chunk);
+        return it == entries_.end() ? 0 : it->second.written;
+    }
+
+    /** True if any partition of the unit at @p ubase was written. */
+    bool
+    unitWritten(Addr ubase, Granularity g) const
+    {
+        const std::uint64_t mask = writtenMask(chunkIndex(ubase));
+        if (g == Granularity::Chunk32KB)
+            return mask != 0;
+        const unsigned first = partInChunk(ubase);
+        const unsigned parts = static_cast<unsigned>(
+            unitLines(g) / kLinesPerPartition);
+        for (unsigned p = first; p < first + std::max(1u, parts); ++p)
+            if ((mask >> p) & 1)
+                return true;
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        StreamPart current = kAllFine;
+        StreamPart next = kAllFine;
+        std::uint64_t written = 0;      //!< per-partition written bit
+        std::uint64_t last_write = 0;   //!< last access type bit
+        std::uint64_t accessed = 0;     //!< per-partition touched bit
+    };
+
+    const MetadataLayout &layout_;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_GRANULARITY_TABLE_HH

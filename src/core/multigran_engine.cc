@@ -1,0 +1,382 @@
+#include "core/multigran_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+MultiGranEngine::MultiGranEngine(std::string name,
+                                 std::size_t data_bytes,
+                                 const MultiGranEngineConfig &cfg)
+    : MeeTimingBase(std::move(name), data_bytes, cfg.timing),
+      mcfg_(cfg), addr_comp_(layout_), table_(layout_),
+      table_cache_(name_ + ".tbl", 2 * 1024, 8),
+      tracker_(cfg.tracker),
+      write_units_(cfg.timing.unit_buffer_entries,
+                   cfg.timing.unit_buffer_window),
+      write_gather_(cfg.timing.unit_buffer_entries,
+                    cfg.timing.unit_buffer_window)
+{
+    tracker_.setEvictCallback([this](const AccessTracker::Eviction &ev) {
+        detections_.push_back(ev);
+    });
+}
+
+Granularity
+MultiGranEngine::capGran(Granularity g) const
+{
+    if (!mcfg_.dual_only)
+        return g;
+    // Dual-granularity prior work: either fine or exactly the dual
+    // size; intermediate detections cannot be represented.
+    return g >= *mcfg_.dual_only ? *mcfg_.dual_only
+                                 : Granularity::Line64B;
+}
+
+Granularity
+MultiGranEngine::granOf(Addr addr, unsigned device) const
+{
+    if (!mcfg_.dynamic)
+        return mcfg_.static_gran[device % mcfg_.static_gran.size()];
+    const StreamPart sp = table_.current(chunkIndex(addr));
+    return capGran(granularityOfAddr(sp, addr));
+}
+
+Addr
+MultiGranEngine::macLineOf(Addr ubase, Granularity g_mac,
+                           unsigned device) const
+{
+    std::uint64_t intra;
+    if (mcfg_.dynamic) {
+        // Exact compacted index under the chunk's current map
+        // (Fig. 9 / Eq. 1).
+        StreamPart sp = table_.current(chunkIndex(ubase));
+        if (granularityOfAddr(sp, ubase) != g_mac) {
+            // Flag-clamped (e.g. MAC-only schemes): approximate with
+            // the uniform layout below.
+            intra = lineInChunk(ubase) >>
+                    (3 * promotionLevels(g_mac));
+        } else {
+            intra = AddressComputer::intraChunkMacIndex(ubase, sp);
+        }
+    } else {
+        (void)device;
+        // Uniform static granularity: units pack densely in order.
+        intra = lineInChunk(ubase) >> (3 * promotionLevels(g_mac));
+    }
+    return layout_.macLineAddr(chunkIndex(ubase) * kLinesPerChunk +
+                               intra);
+}
+
+Cycle
+MultiGranEngine::touchTable(Addr line, bool is_write, Cycle now,
+                            MemCtrl &mem)
+{
+    const CacheResult res = table_cache_.access(line, is_write);
+    if (res.writeback) {
+        mem.serve(now, res.victim_addr, kCachelineBytes, true,
+                  Traffic::Table);
+        stats_.add("table_writebacks");
+    }
+    if (res.hit)
+        return now + cfg_.hit_latency;
+    stats_.add("table_fetches");
+    return mem.serve(now, line, kCachelineBytes, false,
+                     Traffic::Table);
+}
+
+Cycle
+MultiGranEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    const Cycle issue = req.issue;
+    stats_.add(req.is_write ? "writes" : "reads");
+
+    const bool skip_tree =
+        !req.is_write && unused_.canSkipWalk(req.addr);
+    unused_.markTouched(req.addr);
+
+    const Addr first = alignDown(req.addr, kCachelineBytes);
+    const Addr last = alignDown(req.addr + (req.bytes ? req.bytes - 1
+                                                      : 0),
+                                kCachelineBytes);
+
+    // Granularity-table lookup: one protected-memory access per chunk
+    // touched (16B entries, 4 per line -- high locality, Sec. 4.4).
+    // The engine keeps the last entry in a register, so consecutive
+    // requests to the same chunk cost nothing.
+    if (mcfg_.dynamic) {
+        for (std::uint64_t c = chunkIndex(first);
+             c <= chunkIndex(last); ++c) {
+            if (c == last_table_chunk_)
+                continue;
+            last_table_chunk_ = c;
+            touchTable(table_.tableLineAddr(c), false, issue, mem);
+        }
+    }
+
+    Cycle data_done = issue;
+    Cycle ctr_done = issue;
+    Cycle mac_done = issue;
+
+    for (Addr span = alignDown(first, kPartitionBytes); span <= last;
+         span += kPartitionBytes) {
+        // ---- lazy switching (Table 2) --------------------------------
+        // (Static engines also resolve: it maintains the per-
+        // partition written bits that gate the read-only MAC rules.)
+        {
+            const GranResolution res =
+                table_.resolveOnAccess(span, req.is_write);
+            if (mcfg_.dynamic && res.switched) {
+                stats_.add("switches");
+                unit_buffer_.invalidate(unitBase(span, res.from));
+                write_units_.invalidate(unitBase(span, res.from));
+                write_gather_.discard(unitBase(span, res.from));
+            }
+            if (mcfg_.dynamic && mcfg_.charge_switch_costs) {
+                const SwitchCost cost =
+                    switch_model_.apply(res, req.is_write);
+                if (cost.fetch_parent_to_root && mcfg_.coarse_ctrs) {
+                    const unsigned p = promotionLevels(
+                        capGran(res.to));
+                    ctr_done = std::max(
+                        ctr_done,
+                        readWalk(p, lineIndex(span) >> (3 * p), issue,
+                                 mem));
+                    stats_.add("switch_tree_fetches");
+                }
+                if (cost.mac_lines && mcfg_.coarse_macs) {
+                    // Stashed fine MACs live in the unprotected
+                    // region; fetch them directly.
+                    mem.serve(issue, layout_.macLineAddr(
+                                         layout_.fineMacIndex(span)),
+                              cost.mac_lines * kCachelineBytes, false,
+                              Traffic::Switch);
+                    stats_.add("switch_mac_lines", cost.mac_lines);
+                }
+                if (cost.data_lines && mcfg_.coarse_macs) {
+                    mem.serve(issue, unitBase(span, res.from),
+                              cost.data_lines * kCachelineBytes,
+                              false, Traffic::Switch);
+                    stats_.add("switch_data_lines", cost.data_lines);
+                }
+            }
+        }
+
+        const Granularity g = granOf(span, req.device);
+        const Granularity g_ctr =
+            mcfg_.coarse_ctrs ? g : Granularity::Line64B;
+        const Granularity g_mac =
+            mcfg_.coarse_macs ? g : Granularity::Line64B;
+
+        // ---- counters & tree -----------------------------------------
+        if (!skip_tree) {
+            if (g_ctr == Granularity::Line64B) {
+                const std::uint64_t leaf = lineIndex(span);
+                if (req.is_write) {
+                    writeWalk(0, leaf, issue, mem);
+                    noteCounterBump(0, leaf / kTreeArity, span,
+                                    kPartitionBytes, issue, mem);
+                } else {
+                    ctr_done = std::max(
+                        ctr_done, readWalk(0, leaf, issue, mem));
+                }
+            } else {
+                const Addr ubase = unitBase(span, g_ctr);
+                const CounterLoc loc =
+                    addr_comp_.counterLocAt(ubase, g_ctr);
+                if (req.is_write) {
+                    // The shared counter bumps once per unit rewrite.
+                    if (!write_units_.contains(ubase, issue)) {
+                        write_units_.insert(ubase, issue, issue);
+                        if (!loc.on_chip)
+                            writeWalk(loc.level, loc.index, issue,
+                                      mem);
+                        noteCounterBump(loc.level, loc.index, ubase,
+                                        granularityBytes(g_ctr),
+                                        issue, mem);
+                    }
+                } else if (loc.on_chip) {
+                    ctr_done = std::max(
+                        ctr_done, issue + cfg_.hit_latency);
+                } else {
+                    ctr_done = std::max(
+                        ctr_done, readWalk(loc.level, loc.index,
+                                           issue, mem));
+                }
+            }
+        }
+
+        // ---- MACs ------------------------------------------------------
+        if (g_mac == Granularity::Line64B) {
+            const Addr mac_line =
+                layout_.macLineAddr(layout_.fineMacIndex(span));
+            mac_done = std::max(
+                mac_done,
+                touchMac(mac_line, req.is_write, issue, mem));
+        } else {
+            const Addr ubase = unitBase(span, g_mac);
+            const Addr mac_line = macLineOf(ubase, g_mac, req.device);
+            mac_done = std::max(
+                mac_done,
+                touchMac(mac_line, req.is_write, issue, mem));
+            if (mcfg_.double_mac_store && req.is_write) {
+                // Adaptive keeps the fine MACs too: extra update.
+                touchMac(layout_.macLineAddr(
+                             layout_.fineMacIndex(span)),
+                         true, issue, mem);
+                stats_.add("double_mac_updates");
+            }
+        }
+
+        // ---- data ------------------------------------------------------
+        const Addr span_lo = std::max<Addr>(span, req.addr);
+        const Addr span_hi =
+            std::min<Addr>(span + kPartitionBytes,
+                           req.addr + req.bytes);
+        if (req.is_write) {
+            mem.serve(issue, span_lo,
+                      static_cast<std::uint32_t>(span_hi - span_lo),
+                      true);
+            // Coarse units are re-encrypted / re-MACed wholesale: a
+            // unit not fully rewritten within the gather window owes
+            // a read-modify-write fetch of its missing lines.  With
+            // dual MAC storage (Adaptive) and fine counters, lines
+            // update independently and no RMW is needed.
+            const bool rmw_ctr =
+                mcfg_.coarse_ctrs && g != Granularity::Line64B;
+            const bool rmw_mac = mcfg_.coarse_macs &&
+                                 !mcfg_.double_mac_store &&
+                                 g != Granularity::Line64B;
+            if (rmw_ctr || rmw_mac) {
+                rmw_scratch_.clear();
+                write_gather_.add(unitBase(span, g), unitLines(g),
+                                  (span_hi - span_lo) /
+                                      kCachelineBytes,
+                                  issue, rmw_scratch_);
+                for (const auto &inc : rmw_scratch_) {
+                    mem.serve(issue, inc.unit_base,
+                              static_cast<std::uint32_t>(
+                                  inc.missing_lines *
+                                  kCachelineBytes),
+                              false, Traffic::Rmw);
+                    stats_.add("rmw_fetches");
+                    stats_.add("rmw_lines", inc.missing_lines);
+                }
+            }
+        } else if (g_mac != Granularity::Line64B &&
+                   !mcfg_.double_mac_store) {
+            // Verifying a merged MAC needs the whole unit: first
+            // touch bulk-fetches it, later touches ride the buffer.
+            // (Schemes that keep fine MACs alongside -- Adaptive --
+            // verify lines individually and never overfetch.)
+            const Addr ubase = unitBase(span, g_mac);
+            const bool stream_start = span_lo == ubase;
+            if (unit_buffer_.contains(ubase, issue)) {
+                // Ride the in-flight transfer below.
+            } else if (!stream_start &&
+                       !table_.unitWritten(ubase, g_mac)) {
+                // Sparse read of a read-only coarse unit: verify with
+                // the constant fine MACs stashed in the unprotected
+                // region (Table 2 "Negligible: fetch fine MACs").
+                mac_done = std::max(
+                    mac_done,
+                    touchMac(layout_.macLineAddr(
+                                 layout_.fineMacIndex(span)),
+                             false, issue, mem));
+                data_done = std::max(
+                    data_done,
+                    mem.serve(issue, span_lo,
+                              static_cast<std::uint32_t>(span_hi -
+                                                         span_lo),
+                              false));
+                stats_.add("ro_fine_verifies");
+                continue;
+            }
+            if (!unit_buffer_.contains(ubase, issue)) {
+                // The merged MAC nests every fine MAC of the unit, so
+                // verification -- and therefore this access -- gates
+                // on the whole unit arriving.  This is the
+                // misprediction cost of Sec. 4.4: sparse touches of a
+                // written coarse unit stall on a full-unit transfer.
+                const Cycle bulk_done = mem.serve(
+                    issue, ubase,
+                    static_cast<std::uint32_t>(
+                        granularityBytes(g_mac)),
+                    false);
+                unit_buffer_.insert(ubase, issue, bulk_done);
+                data_done = std::max(data_done, bulk_done);
+                stats_.add("bulk_fetches");
+                stats_.add("bulk_lines", unitLines(g_mac));
+                if (!stream_start)
+                    stats_.add("mispredict_bulks");
+            } else {
+                // Ride the in-flight transfer: no new traffic, but
+                // the data arrives with the bulk, not instantly.
+                data_done = std::max(
+                    data_done,
+                    std::max(issue,
+                             unit_buffer_.transferDone(ubase)) +
+                        cfg_.hit_latency);
+                stats_.add("bulk_rides");
+            }
+        } else {
+            data_done = std::max(
+                data_done,
+                mem.serve(issue, span_lo,
+                          static_cast<std::uint32_t>(span_hi -
+                                                     span_lo),
+                          false));
+        }
+    }
+
+    // ---- pattern tracking & detection --------------------------------
+    if (mcfg_.dynamic) {
+        for (Addr la = first; la <= last; la += kCachelineBytes)
+            tracker_.recordAccess(la, issue);
+        for (const auto &ev : detections_) {
+            const std::uint64_t chunk = ev.chunk;
+            // The detection is evidence only for the partitions this
+            // tracker entry observed; untouched partitions keep
+            // their previous granularity.
+            StreamPart merged =
+                (table_.next(chunk) & ~ev.touched_parts) |
+                (ev.stream_part & ev.touched_parts);
+            // Cap the map per the dual-granularity ablation so the
+            // pending state matches what granOf() can express.
+            if (mcfg_.dual_only) {
+                StreamPart capped = 0;
+                if (*mcfg_.dual_only == Granularity::Chunk32KB) {
+                    capped = merged == kAllStream ? kAllStream : 0;
+                } else if (*mcfg_.dual_only == Granularity::Sub4KB) {
+                    for (unsigned s = 0; s < kSubchunksPerChunk; ++s)
+                        if ((merged & subchunkMask(s)) ==
+                            subchunkMask(s))
+                            capped |= subchunkMask(s);
+                    if (capped == kAllStream)
+                        capped &= ~subchunkMask(7);  // stay dual
+                } else {
+                    capped = merged;
+                }
+                merged = capped;
+            }
+            // Only spend a protected-memory write when the pending
+            // map actually changes (no-op detections are free).
+            if (table_.next(chunk) != merged) {
+                table_.setNext(chunk, merged);
+                touchTable(table_.tableLineAddr(chunk), true, issue,
+                           mem);
+                stats_.add("detections");
+            }
+        }
+        detections_.clear();
+    }
+
+    if (req.is_write)
+        return issue;  // posted
+
+    Cycle done = std::max(data_done, ctr_done + cfg_.otp_latency) +
+                 cfg_.xor_latency;
+    done = std::max(done, mac_done) + cfg_.hash_latency;
+    return done;
+}
+
+} // namespace mgmee

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Timing/traffic model of the multi-granular MAC & tree engine
+ * ("Ours" in the paper), with configuration flags that also express
+ * several of the evaluated schemes:
+ *
+ *  - coarse_ctrs + coarse_macs + dynamic            -> Ours
+ *  - coarse_ctrs only                               -> Multi(CTR)-only
+ *  - coarse_macs only + dual_only=4KB               -> Adaptive [56]
+ *  - dynamic=false + per-device static granularity  -> Static-device-*
+ *  - dual_only=<g>                                  -> dual-granularity
+ *                                                      ablation (Fig. 20)
+ *  - charge_switch_costs=false                      -> "w/o switching
+ *                                                      overhead" (Fig. 20)
+ *  - timing.root_cache_entries / unused_pruning     -> +BMF&Unused
+ *
+ * Cost model per request (Sec. 4.3/4.4):
+ *  - fine regions behave exactly like the conventional engine;
+ *  - a coarse unit shares one promoted counter (shorter tree walk,
+ *    one metadata line per unit) and one merged MAC;
+ *  - verifying a merged MAC requires the whole unit's data, so the
+ *    first touch of a coarse unit performs a bulk fetch; subsequent
+ *    touches within the validation window ride that transfer
+ *    (UnitBuffer).  Sparse accesses to coarse units therefore pay the
+ *    misprediction overfetch the paper describes;
+ *  - lazy granularity switching is classified and charged per
+ *    Table 2 via SwitchCostModel;
+ *  - the granularity table itself lives in protected memory and is
+ *    charged through the metadata cache.
+ */
+
+#ifndef MGMEE_CORE_MULTIGRAN_ENGINE_HH
+#define MGMEE_CORE_MULTIGRAN_ENGINE_HH
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/access_tracker.hh"
+#include "core/address_computer.hh"
+#include "core/granularity_table.hh"
+#include "core/switch_cost.hh"
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** Configuration of the multi-granular engine and its ablations. */
+struct MultiGranEngineConfig
+{
+    TimingConfig timing;
+
+    bool coarse_ctrs = true;   //!< multi-granular counters (tree)
+    bool coarse_macs = true;   //!< multi-granular merged MACs
+    bool dynamic = true;       //!< tracker + detection + lazy switch
+    bool charge_switch_costs = true;
+    /** Adaptive [56] stores coarse AND fine MACs side by side. */
+    bool double_mac_store = false;
+    /** Restrict to dual granularity {64B, g} (prior-work model). */
+    std::optional<Granularity> dual_only;
+
+    AccessTrackerConfig tracker;
+
+    /** Per-device fixed granularity when dynamic == false. */
+    std::array<Granularity, 8> static_gran{};
+};
+
+/** The unified multi-granular MAC & integrity-tree timing engine. */
+class MultiGranEngine : public MeeTimingBase
+{
+  public:
+    MultiGranEngine(std::string name, std::size_t data_bytes,
+                    const MultiGranEngineConfig &cfg);
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+    const SwitchCostModel &switchModel() const { return switch_model_; }
+    const GranularityTable &table() const { return table_; }
+    const AccessTracker &tracker() const { return tracker_; }
+
+    std::uint64_t
+    securityCacheMisses() const override
+    {
+        return MeeTimingBase::securityCacheMisses() +
+               table_cache_.misses();
+    }
+
+  private:
+    /** Apply the dual-granularity cap (if any). */
+    Granularity capGran(Granularity g) const;
+
+    /** Effective granularity of the partition containing @p addr. */
+    Granularity granOf(Addr addr, unsigned device) const;
+
+    /** MAC line address of the unit at @p ubase / granularity. */
+    Addr macLineOf(Addr ubase, Granularity g_mac, unsigned device) const;
+
+    /** Access a granularity-table line through its dedicated cache. */
+    Cycle touchTable(Addr line, bool is_write, Cycle now, MemCtrl &mem);
+
+    MultiGranEngineConfig mcfg_;
+    AddressComputer addr_comp_;
+    GranularityTable table_;
+    /**
+     * Small dedicated cache for granularity-table lines (the table
+     * lives in protected memory; a 2KB buffer alongside the metadata
+     * cache keeps its high-locality entries from thrashing the tree
+     * nodes -- Sec. 4.4 measures the table path at 0.3% overhead).
+     */
+    Cache table_cache_;
+    AccessTracker tracker_;
+    SwitchCostModel switch_model_;
+    /** Gating of once-per-unit counter/MAC write updates. */
+    UnitBuffer write_units_;
+    /** Write-combining / RMW model for coarse-unit writes. */
+    WriteGather write_gather_;
+    std::vector<WriteGather::Incomplete> rmw_scratch_;
+    /** Detection results pending table update (drained per access). */
+    std::vector<AccessTracker::Eviction> detections_;
+    /** Register-cached granularity-table entry (last chunk). */
+    std::uint64_t last_table_chunk_ = ~std::uint64_t{0};
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_MULTIGRAN_ENGINE_HH

@@ -1,0 +1,209 @@
+#include "core/multigran_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+// ---- SecureMemory::applyStreamPart -------------------------------------
+//
+// Granularity reconfiguration of one chunk (Sec. 4.3/4.4, Fig. 13):
+//  - promotion: the new shared counter becomes max(children)+1 (a
+//    never-used value), the unit is re-encrypted under it, and every
+//    counter/node below the promoted level is pruned;
+//  - demotion: child counters are recreated with the parent's value
+//    (no re-encryption needed -- every line's effective counter value
+//    is unchanged);
+//  - afterwards the chunk's MAC slab is rebuilt compacted (Fig. 9).
+
+void
+SecureMemory::applyStreamPart(std::uint64_t chunk, StreamPart new_sp)
+{
+    const StreamPart old_sp = streamPart(chunk);
+    if (old_sp == new_sp) {
+        stream_parts_[chunk] = new_sp;
+        return;
+    }
+    ensureChunkInitialized(chunk);
+
+    const Addr base = chunk * kChunkBytes;
+    const unsigned levels = layout_.geometry().levels();
+
+    auto promote = [&](Addr ubase, Granularity g_new) {
+        const unsigned p_new = promotionLevels(g_new);
+        const std::uint64_t lines = unitLines(g_new);
+        const std::uint64_t first_leaf = lineIndex(ubase);
+
+        // Decrypt under the old counters before anything moves.
+        std::vector<std::uint8_t> plain(lines * kCachelineBytes);
+        decryptLines(ubase, lines, plain.data());
+
+        std::uint64_t maxv = 0;
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            maxv = std::max(
+                maxv, effectiveCounter(ubase + l * kCachelineBytes));
+        }
+
+        // Prune every counter and node MAC below the promoted level.
+        for (unsigned lvl = 0; lvl < p_new && lvl < levels; ++lvl) {
+            const std::uint64_t cnt = lines >> (3 * lvl);
+            const std::uint64_t start = first_leaf >> (3 * lvl);
+            for (std::uint64_t i = start; i < start + cnt; ++i)
+                eraseCounter(lvl, i);
+            for (std::uint64_t n = start / kTreeArity;
+                 n < start / kTreeArity + cnt / kTreeArity; ++n)
+                eraseNodeMac(lvl, n);
+        }
+
+        const std::uint64_t idx = first_leaf >> (3 * p_new);
+        const std::uint64_t newv = maxv + 1;
+        setCounterAndPropagate(p_new, idx, newv);
+
+        // Re-encrypt the whole unit under the shared counter.
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            const Addr la = ubase + l * kCachelineBytes;
+            auto &line = cipherLine(la);
+            std::memcpy(line.data(),
+                        plain.data() + l * kCachelineBytes,
+                        kCachelineBytes);
+            const Pad pad = otp_.makePad(la, newv);
+            OtpGenerator::applyPad(pad, line.data());
+        }
+    };
+
+    auto demote = [&](Addr ubase, Granularity g_old) {
+        const unsigned p_old = promotionLevels(g_old);
+        const std::uint64_t lines = unitLines(g_old);
+        const std::uint64_t first_leaf = lineIndex(ubase);
+        const CounterLoc loc = addr_.counterLocAt(ubase, g_old);
+        const std::uint64_t shared = counterAt(loc.level, loc.index);
+
+        // Recreate counters below the old level wherever the new
+        // configuration keeps that level alive, with the parent's
+        // value (Fig. 13 (b): same value, no re-encryption).
+        for (unsigned lvl = 0; lvl < p_old && lvl < levels; ++lvl) {
+            const std::uint64_t cnt = lines >> (3 * lvl);
+            const std::uint64_t start = first_leaf >> (3 * lvl);
+            for (std::uint64_t i = start; i < start + cnt; ++i) {
+                const Addr a = (i << (3 * lvl)) << kCachelineBits;
+                const unsigned p_a = promotionLevels(
+                    granularityOfAddr(new_sp, a));
+                if (lvl >= p_a)
+                    setCounterRaw(lvl, i, shared);
+                else
+                    eraseCounter(lvl, i);
+            }
+        }
+        // Refresh node MACs bottom-up once all values are final.
+        for (unsigned lvl = 0; lvl < p_old && lvl < levels; ++lvl) {
+            const std::uint64_t cnt = lines >> (3 * lvl);
+            const std::uint64_t start = first_leaf >> (3 * lvl);
+            for (std::uint64_t n = start / kTreeArity;
+                 n < start / kTreeArity + cnt / kTreeArity; ++n) {
+                bool any = false;
+                for (unsigned c = 0; c < kTreeArity && !any; ++c)
+                    any = counters_.contains(key(lvl,
+                                                 n * kTreeArity + c));
+                if (any)
+                    refreshNodeMac(lvl, n);
+                else
+                    eraseNodeMac(lvl, n);
+            }
+        }
+    };
+
+    std::unordered_set<Addr> processed;
+    for (unsigned part = 0; part < kPartitionsPerChunk; ++part) {
+        const Addr pbase = base + part * kPartitionBytes;
+        const Granularity g_old = granularityOfPartition(old_sp, part);
+        const Granularity g_new = granularityOfPartition(new_sp, part);
+        if (g_old == g_new)
+            continue;
+        if (g_new > g_old) {
+            const Addr ubase = unitBase(pbase, g_new);
+            if (processed.insert(ubase).second)
+                promote(ubase, g_new);
+        } else {
+            const Addr ubase = unitBase(pbase, g_old);
+            if (processed.insert(ubase).second)
+                demote(ubase, g_old);
+        }
+    }
+
+    stream_parts_[chunk] = new_sp;
+    rebuildChunkMacs(chunk, new_sp);
+}
+
+// ---- DynamicSecureMemory -------------------------------------------------
+
+DynamicSecureMemory::DynamicSecureMemory(std::size_t data_bytes,
+                                         const SecureMemory::Keys &keys,
+                                         const AccessTrackerConfig &tcfg)
+    : mem_(data_bytes, keys), tracker_(tcfg)
+{
+    tracker_.setEvictCallback([this](const AccessTracker::Eviction &ev) {
+        pending_[ev.chunk] = ev.stream_part;
+    });
+}
+
+StreamPart
+DynamicSecureMemory::pending(std::uint64_t chunk) const
+{
+    auto it = pending_.find(chunk);
+    return it == pending_.end() ? mem_.streamPart(chunk) : it->second;
+}
+
+void
+DynamicSecureMemory::track(Addr addr, std::size_t bytes, Cycle now)
+{
+    const Addr first = alignDown(addr, kCachelineBytes);
+    const Addr last = alignDown(addr + (bytes ? bytes - 1 : 0),
+                                kCachelineBytes);
+    for (Addr la = first; la <= last; la += kCachelineBytes)
+        tracker_.recordAccess(la, now);
+}
+
+void
+DynamicSecureMemory::resolvePending(Addr addr, std::size_t bytes)
+{
+    const std::uint64_t first = chunkIndex(addr);
+    const std::uint64_t last =
+        chunkIndex(addr + (bytes ? bytes - 1 : 0));
+    for (std::uint64_t c = first; c <= last; ++c) {
+        auto it = pending_.find(c);
+        if (it == pending_.end())
+            continue;
+        if (mem_.streamPart(c) != it->second) {
+            mem_.applyStreamPart(c, it->second);
+            ++switches_;
+        }
+        pending_.erase(it);
+    }
+}
+
+SecureMemory::Status
+DynamicSecureMemory::write(Addr addr,
+                           std::span<const std::uint8_t> data,
+                           Cycle now)
+{
+    resolvePending(addr, data.size());
+    const auto st = mem_.write(addr, data);
+    track(addr, data.size(), now);
+    return st;
+}
+
+SecureMemory::Status
+DynamicSecureMemory::read(Addr addr, std::span<std::uint8_t> out,
+                          Cycle now)
+{
+    resolvePending(addr, out.size());
+    const auto st = mem_.read(addr, out);
+    track(addr, out.size(), now);
+    return st;
+}
+
+} // namespace mgmee

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dynamic functional secure memory: couples SecureMemory with the
+ * access tracker and Algorithm-1 detection so granularity adapts to
+ * the observed access pattern automatically, exactly as the hardware
+ * in Fig. 11 would.
+ *
+ * (The promotion/demotion member functions of SecureMemory itself are
+ * also implemented in this translation unit -- see
+ * SecureMemory::applyStreamPart.)
+ */
+
+#ifndef MGMEE_CORE_MULTIGRAN_MEMORY_HH
+#define MGMEE_CORE_MULTIGRAN_MEMORY_HH
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "core/access_tracker.hh"
+#include "mee/secure_memory.hh"
+
+namespace mgmee {
+
+/**
+ * SecureMemory with dynamic granularity detection.  Every access is
+ * fed to the access tracker; detection results are installed as
+ * *pending* maps and applied lazily on the chunk's next access,
+ * mirroring the lazy-switching design of Sec. 4.4.
+ */
+class DynamicSecureMemory
+{
+  public:
+    DynamicSecureMemory(std::size_t data_bytes,
+                        const SecureMemory::Keys &keys,
+                        const AccessTrackerConfig &tcfg = {});
+
+    /** Write with automatic pattern tracking at cycle @p now. */
+    SecureMemory::Status write(Addr addr,
+                               std::span<const std::uint8_t> data,
+                               Cycle now);
+
+    /** Read with automatic pattern tracking at cycle @p now. */
+    SecureMemory::Status read(Addr addr, std::span<std::uint8_t> out,
+                              Cycle now);
+
+    /** Underlying functional memory (for inspection in tests). */
+    SecureMemory &memory() { return mem_; }
+    const SecureMemory &memory() const { return mem_; }
+
+    AccessTracker &tracker() { return tracker_; }
+
+    /** Pending (detected but not yet applied) map of @p chunk. */
+    StreamPart pending(std::uint64_t chunk) const;
+
+    /** Number of lazy switches applied so far. */
+    std::uint64_t switchesApplied() const { return switches_; }
+
+  private:
+    void track(Addr addr, std::size_t bytes, Cycle now);
+    void resolvePending(Addr addr, std::size_t bytes);
+
+    SecureMemory mem_;
+    AccessTracker tracker_;
+    std::unordered_map<std::uint64_t, StreamPart> pending_;
+    std::uint64_t switches_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_MULTIGRAN_MEMORY_HH

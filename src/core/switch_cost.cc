@@ -1,0 +1,89 @@
+#include "core/switch_cost.hh"
+
+namespace mgmee {
+
+CtrSwitchClass
+SwitchCostModel::classifyCtr(const GranResolution &res,
+                             bool is_write) const
+{
+    if (!res.switched)
+        return CtrSwitchClass::CorrectPrediction;
+    if (res.to < res.from)
+        return CtrSwitchClass::CoarseToFineAll;
+    // Scale-up: first letter is the current access, second the
+    // previous access to the partition.
+    if (is_write) {
+        return res.prev_was_write ? CtrSwitchClass::FineToCoarseWAW
+                                  : CtrSwitchClass::FineToCoarseWAR;
+    }
+    return res.prev_was_write ? CtrSwitchClass::FineToCoarseRAW
+                              : CtrSwitchClass::FineToCoarseRAR;
+}
+
+MacSwitchClass
+SwitchCostModel::classifyMac(const GranResolution &res) const
+{
+    if (!res.switched)
+        return MacSwitchClass::CorrectPrediction;
+    if (res.to > res.from)
+        return MacSwitchClass::FineToCoarse;
+    return res.partition_written ? MacSwitchClass::CoarseToFineWritten
+                                 : MacSwitchClass::CoarseToFineReadOnly;
+}
+
+SwitchCost
+SwitchCostModel::apply(const GranResolution &res, bool is_write)
+{
+    const CtrSwitchClass ctr = classifyCtr(res, is_write);
+    const MacSwitchClass mac = classifyMac(res);
+    stats_.add(std::string("ctr.") + name(ctr));
+    stats_.add(std::string("mac.") + name(mac));
+
+    SwitchCost cost;
+    if (ctr == CtrSwitchClass::FineToCoarseRAR ||
+        ctr == CtrSwitchClass::FineToCoarseRAW) {
+        cost.fetch_parent_to_root = true;
+    }
+    // Costs are charged per resolution event, and events fire per
+    // *touched partition* (lazy switching resolves the rest of the
+    // region as its partitions are used), so each event pays for one
+    // 512B partition's worth of reorganisation.
+    if (mac == MacSwitchClass::CoarseToFineReadOnly) {
+        // Fetch the stashed fine MACs of the demoted partition.
+        cost.mac_lines = 1;
+    } else if (mac == MacSwitchClass::CoarseToFineWritten) {
+        // Refetch the partition's data to recompute its fine MACs.
+        cost.data_lines = kLinesPerPartition;
+    }
+    return cost;
+}
+
+const char *
+SwitchCostModel::name(CtrSwitchClass c)
+{
+    switch (c) {
+      case CtrSwitchClass::CorrectPrediction: return "correct";
+      case CtrSwitchClass::CoarseToFineAll: return "coarse_to_fine_all";
+      case CtrSwitchClass::FineToCoarseWAR: return "fine_to_coarse_war";
+      case CtrSwitchClass::FineToCoarseWAW: return "fine_to_coarse_waw";
+      case CtrSwitchClass::FineToCoarseRAR: return "fine_to_coarse_rar";
+      case CtrSwitchClass::FineToCoarseRAW: return "fine_to_coarse_raw";
+    }
+    return "?";
+}
+
+const char *
+SwitchCostModel::name(MacSwitchClass c)
+{
+    switch (c) {
+      case MacSwitchClass::CorrectPrediction: return "correct";
+      case MacSwitchClass::CoarseToFineReadOnly:
+        return "coarse_to_fine_ro";
+      case MacSwitchClass::CoarseToFineWritten:
+        return "coarse_to_fine_rw";
+      case MacSwitchClass::FineToCoarse: return "fine_to_coarse";
+    }
+    return "?";
+}
+
+} // namespace mgmee

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Classification and costing of granularity-switching events
+ * (Table 2 of the paper).
+ *
+ * Counter/tree rules:
+ *   - coarse->fine (scale-down), any type: zero extra fetches -- the
+ *     child counters inherit the parent value (lazy switching);
+ *   - fine->coarse WAR/WAW: zero -- the write fetches to the root
+ *     anyway;
+ *   - fine->coarse RAR/RAW: fetch parent..root (RAW usually hits the
+ *     metadata cache thanks to the preceding write).
+ *
+ * MAC rules:
+ *   - coarse->fine on read-only data: fetch the stashed fine MACs;
+ *   - coarse->fine on written data: fetch the whole data unit to
+ *     recompute fine MACs;
+ *   - fine->coarse: zero (nested hash folds the already-needed fine
+ *     MACs; lazy switching).
+ */
+
+#ifndef MGMEE_CORE_SWITCH_COST_HH
+#define MGMEE_CORE_SWITCH_COST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "core/granularity.hh"
+#include "core/granularity_table.hh"
+
+namespace mgmee {
+
+/** Table 2 counter/tree event categories. */
+enum class CtrSwitchClass : std::uint8_t
+{
+    CorrectPrediction,   //!< fine-fine or coarse-coarse
+    CoarseToFineAll,     //!< scale-down, all types: zero cost
+    FineToCoarseWAR,     //!< zero (lazy)
+    FineToCoarseWAW,     //!< zero (lazy)
+    FineToCoarseRAR,     //!< fetch parent..root
+    FineToCoarseRAW,     //!< fetch parent..root, likely cached
+};
+
+/** Table 2 MAC event categories. */
+enum class MacSwitchClass : std::uint8_t
+{
+    CorrectPrediction,
+    CoarseToFineReadOnly,   //!< fetch stashed fine MACs
+    CoarseToFineWritten,    //!< fetch the whole data unit
+    FineToCoarse,           //!< zero (lazy)
+};
+
+/** Physical work a switch event implies, in 64B lines. */
+struct SwitchCost
+{
+    /** Walk tree nodes from the parent level up to the root. */
+    bool fetch_parent_to_root = false;
+    /** Fine-MAC lines to fetch (read-only scale-down). */
+    std::uint64_t mac_lines = 0;
+    /** Data lines to fetch for MAC recomputation (written scale-down). */
+    std::uint64_t data_lines = 0;
+};
+
+/** Classifies resolutions and accumulates the Table 2 ratio stats. */
+class SwitchCostModel
+{
+  public:
+    CtrSwitchClass classifyCtr(const GranResolution &res,
+                               bool is_write) const;
+    MacSwitchClass classifyMac(const GranResolution &res) const;
+
+    /**
+     * Classify @p res (current access type @p is_write), tally the
+     * stats, and return the implied fetch work.
+     */
+    SwitchCost apply(const GranResolution &res, bool is_write);
+
+    /** Accumulated per-class counts (for bench/table2_switching). */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
+    static const char *name(CtrSwitchClass c);
+    static const char *name(MacSwitchClass c);
+
+  private:
+    StatGroup stats_{"switch"};
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CORE_SWITCH_COST_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal software AES-128 block cipher.
+ *
+ * The memory-protection engine generates one-time pads by encrypting
+ * (address, counter) tuples under a per-boot secret key, exactly as in
+ * counter-mode memory encryption (Fig. 2 of the paper).  This is a
+ * straightforward byte-oriented FIPS-197 implementation: correctness
+ * and determinism matter here, not throughput (the timing layer charges
+ * a fixed 10-cycle OTP latency instead of modelling the pipeline).
+ */
+
+#ifndef MGMEE_CRYPTO_AES128_HH
+#define MGMEE_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mgmee {
+
+/** AES-128 with a fixed expanded key. */
+class Aes128
+{
+  public:
+    using Block = std::array<std::uint8_t, 16>;
+    using Key = std::array<std::uint8_t, 16>;
+
+    explicit Aes128(const Key &key) { expandKey(key); }
+
+    /** Encrypt one 16B block in place. */
+    void encryptBlock(Block &block) const;
+
+    /** Convenience: encrypt and return a copy. */
+    Block
+    encrypt(const Block &block) const
+    {
+        Block out = block;
+        encryptBlock(out);
+        return out;
+    }
+
+  private:
+    void expandKey(const Key &key);
+
+    /** 11 round keys of 16 bytes each. */
+    std::array<std::uint8_t, 176> roundKeys_{};
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CRYPTO_AES128_HH

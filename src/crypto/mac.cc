@@ -1,0 +1,48 @@
+#include "crypto/mac.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+Mac
+MacEngine::lineMac(Addr line_addr, std::uint64_t counter,
+                   const std::uint8_t *data) const
+{
+    std::uint8_t buf[16 + kCachelineBytes];
+    std::memcpy(buf, &line_addr, 8);
+    std::memcpy(buf + 8, &counter, 8);
+    std::memcpy(buf + 16, data, kCachelineBytes);
+    return sipHash24(key_, buf, sizeof(buf));
+}
+
+Mac
+MacEngine::nestedMac(std::span<const Mac> fine_macs) const
+{
+    panic_if(fine_macs.empty(), "nestedMac over empty MAC list");
+    // MAC_coarse = H(...H(H(mac_0), mac_1)..., mac_n-1): fold-left of
+    // the running digest with the next fine MAC.
+    std::uint64_t acc = sipHash24(key_, &fine_macs[0], sizeof(Mac));
+    for (std::size_t i = 1; i < fine_macs.size(); ++i) {
+        std::uint64_t pair[2] = {acc, fine_macs[i]};
+        acc = sipHash24(key_, pair, sizeof(pair));
+    }
+    return acc;
+}
+
+Mac
+MacEngine::nodeMac(Addr node_addr, std::uint64_t parent_counter,
+                   std::span<const std::uint64_t> counters) const
+{
+    std::uint8_t buf[16 + kTreeArity * 8];
+    panic_if(counters.size() != kTreeArity,
+             "nodeMac expects %zu counters, got %zu", kTreeArity,
+             counters.size());
+    std::memcpy(buf, &node_addr, 8);
+    std::memcpy(buf + 8, &parent_counter, 8);
+    std::memcpy(buf + 16, counters.data(), kTreeArity * 8);
+    return sipHash24(key_, buf, sizeof(buf));
+}
+
+} // namespace mgmee

@@ -1,0 +1,31 @@
+#include "crypto/otp.hh"
+
+#include <cstring>
+
+namespace mgmee {
+
+Pad
+OtpGenerator::makePad(Addr line_addr, std::uint64_t counter) const
+{
+    Pad pad;
+    for (unsigned i = 0; i < kCachelineBytes / 16; ++i) {
+        Aes128::Block block{};
+        std::memcpy(block.data(), &line_addr, 8);
+        std::memcpy(block.data() + 8, &counter, 8);
+        // Mix the sub-block index into the last byte so the four AES
+        // inputs per cacheline differ.
+        block[15] ^= static_cast<std::uint8_t>(i + 1);
+        aes_.encryptBlock(block);
+        std::memcpy(pad.data() + 16 * i, block.data(), 16);
+    }
+    return pad;
+}
+
+void
+OtpGenerator::applyPad(const Pad &pad, std::uint8_t *data)
+{
+    for (unsigned i = 0; i < kCachelineBytes; ++i)
+        data[i] ^= pad[i];
+}
+
+} // namespace mgmee

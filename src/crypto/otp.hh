@@ -1,0 +1,47 @@
+/**
+ * @file
+ * One-time-pad generation for counter-mode memory encryption.
+ *
+ * A 64B pad is derived from (secret key, cacheline address, counter)
+ * by running AES-128 over four 16B blocks (Fig. 2 of the paper).  The
+ * pad is XORed with plaintext to encrypt and with ciphertext to
+ * decrypt.  Counter uniqueness per (address, version) guarantees pad
+ * uniqueness.
+ */
+
+#ifndef MGMEE_CRYPTO_OTP_HH
+#define MGMEE_CRYPTO_OTP_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "crypto/aes128.hh"
+
+namespace mgmee {
+
+/** A full-cacheline one-time pad. */
+using Pad = std::array<std::uint8_t, kCachelineBytes>;
+
+/** Generates per-cacheline one-time pads under a fixed AES key. */
+class OtpGenerator
+{
+  public:
+    explicit OtpGenerator(const Aes128::Key &key) : aes_(key) {}
+
+    /**
+     * Derive the pad for @p line_addr (64B-aligned) at version
+     * @p counter.
+     */
+    Pad makePad(Addr line_addr, std::uint64_t counter) const;
+
+    /** XOR @p pad into @p data (encrypt or decrypt in place). */
+    static void applyPad(const Pad &pad, std::uint8_t *data);
+
+  private:
+    Aes128 aes_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_CRYPTO_OTP_HH

@@ -1,0 +1,19 @@
+#include "devices/cpu_model.hh"
+
+#include "common/logging.hh"
+#include "workloads/registry.hh"
+
+namespace mgmee {
+
+Device
+makeCpuDevice(const std::string &workload_name, unsigned index,
+              Addr base, std::uint64_t seed, double scale)
+{
+    const WorkloadSpec &spec = findWorkload(workload_name);
+    fatal_if(spec.kind != DeviceKind::CPU,
+             "'%s' is not a CPU workload", workload_name.c_str());
+    return Device("CPU:" + spec.name, DeviceKind::CPU, index,
+                  generateTrace(spec, base, seed, scale), spec.window);
+}
+
+} // namespace mgmee

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Factory for the CPU device model (8-core Orin-class Cortex,
+ * Table 3), bound to a CPU workload spec.
+ */
+
+#ifndef MGMEE_DEVICES_CPU_MODEL_HH
+#define MGMEE_DEVICES_CPU_MODEL_HH
+
+#include <string>
+
+#include "devices/device.hh"
+
+namespace mgmee {
+
+/**
+ * Build a CPU device replaying @p workload_name.
+ * @param index device slot in the hetero system
+ * @param base  base address of the device's memory window
+ * @param seed  trace RNG seed
+ * @param scale trace-length multiplier
+ */
+Device makeCpuDevice(const std::string &workload_name, unsigned index,
+                     Addr base, std::uint64_t seed,
+                     double scale = 1.0);
+
+} // namespace mgmee
+
+#endif // MGMEE_DEVICES_CPU_MODEL_HH

@@ -1,0 +1,51 @@
+#include "devices/device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+Device::Device(std::string name, DeviceKind kind, unsigned index,
+               Trace trace, unsigned window)
+    : name_(std::move(name)), kind_(kind), index_(index),
+      trace_(std::move(trace)), window_(std::max(1u, window))
+{
+}
+
+Cycle
+Device::nextIssue() const
+{
+    panic_if(done(), "%s: nextIssue past end of trace", name_.c_str());
+    Cycle t = last_issue_ + trace_[next_].gap;
+    if (inflight_.size() >= window_)
+        t = std::max(t, inflight_.front());
+    return t;
+}
+
+MemRequest
+Device::makeRequest() const
+{
+    const TraceOp &op = trace_[next_];
+    MemRequest req;
+    req.addr = op.addr;
+    req.bytes = op.bytes;
+    req.is_write = op.is_write;
+    req.device = index_;
+    req.issue = nextIssue();
+    return req;
+}
+
+void
+Device::complete(Cycle completion)
+{
+    panic_if(done(), "%s: complete past end of trace", name_.c_str());
+    last_issue_ = nextIssue();
+    inflight_.push_back(std::max(completion, last_issue_));
+    if (inflight_.size() > window_)
+        inflight_.pop_front();
+    finish_ = std::max(finish_, inflight_.back());
+    ++next_;
+}
+
+} // namespace mgmee

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace-driven processing-unit model.
+ *
+ * A device replays its off-chip trace in a closed loop with a bounded
+ * outstanding-request window (memory-level parallelism): request i
+ * may not issue before the completion of request i-window, and not
+ * before its own compute gap after request i-1's issue.  This is how
+ * protection-induced latency feeds back into device progress -- the
+ * queueing amplification central to the paper's Sec. 3.2.
+ */
+
+#ifndef MGMEE_DEVICES_DEVICE_HH
+#define MGMEE_DEVICES_DEVICE_HH
+
+#include <deque>
+#include <string>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+#include "workloads/trace_gen.hh"
+
+namespace mgmee {
+
+/** One processing unit of the heterogeneous SoC. */
+class Device
+{
+  public:
+    /**
+     * @param name   display name ("CPU:mcf")
+     * @param kind   CPU/GPU/NPU
+     * @param index  position in the hetero system (request tag)
+     * @param trace  off-chip request trace (addresses pre-offset)
+     * @param window outstanding-request limit
+     */
+    Device(std::string name, DeviceKind kind, unsigned index,
+           Trace trace, unsigned window);
+
+    bool done() const { return next_ >= trace_.size(); }
+
+    /** Earliest cycle the next trace op may issue. */
+    Cycle nextIssue() const;
+
+    /** Materialise the next op as a MemRequest issued at nextIssue. */
+    MemRequest makeRequest() const;
+
+    /** Commit the next op with its completion time. */
+    void complete(Cycle completion);
+
+    /** Completion cycle of the device's last committed request. */
+    Cycle finishTime() const { return finish_; }
+
+    const std::string &name() const { return name_; }
+    DeviceKind kind() const { return kind_; }
+    unsigned index() const { return index_; }
+    std::size_t requests() const { return next_; }
+    std::size_t traceLength() const { return trace_.size(); }
+
+  private:
+    std::string name_;
+    DeviceKind kind_;
+    unsigned index_;
+    Trace trace_;
+    unsigned window_;
+
+    std::size_t next_ = 0;
+    Cycle last_issue_ = 0;
+    Cycle finish_ = 0;
+    /** Completion times of in-flight window (FIFO of size window). */
+    std::deque<Cycle> inflight_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_DEVICES_DEVICE_HH

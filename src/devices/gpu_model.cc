@@ -1,0 +1,19 @@
+#include "devices/gpu_model.hh"
+
+#include "common/logging.hh"
+#include "workloads/registry.hh"
+
+namespace mgmee {
+
+Device
+makeGpuDevice(const std::string &workload_name, unsigned index,
+              Addr base, std::uint64_t seed, double scale)
+{
+    const WorkloadSpec &spec = findWorkload(workload_name);
+    fatal_if(spec.kind != DeviceKind::GPU,
+             "'%s' is not a GPU workload", workload_name.c_str());
+    return Device("GPU:" + spec.name, DeviceKind::GPU, index,
+                  generateTrace(spec, base, seed, scale), spec.window);
+}
+
+} // namespace mgmee

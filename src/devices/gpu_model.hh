@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Factory for the GPU device model (14-SM integrated Ampere,
+ * Table 3), bound to a GPU workload spec.
+ */
+
+#ifndef MGMEE_DEVICES_GPU_MODEL_HH
+#define MGMEE_DEVICES_GPU_MODEL_HH
+
+#include <string>
+
+#include "devices/device.hh"
+
+namespace mgmee {
+
+/** Build a GPU device replaying @p workload_name. */
+Device makeGpuDevice(const std::string &workload_name, unsigned index,
+                     Addr base, std::uint64_t seed,
+                     double scale = 1.0);
+
+} // namespace mgmee
+
+#endif // MGMEE_DEVICES_GPU_MODEL_HH

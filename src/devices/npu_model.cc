@@ -1,0 +1,19 @@
+#include "devices/npu_model.hh"
+
+#include "common/logging.hh"
+#include "workloads/registry.hh"
+
+namespace mgmee {
+
+Device
+makeNpuDevice(const std::string &workload_name, unsigned index,
+              Addr base, std::uint64_t seed, double scale)
+{
+    const WorkloadSpec &spec = findWorkload(workload_name);
+    fatal_if(spec.kind != DeviceKind::NPU,
+             "'%s' is not an NPU workload", workload_name.c_str());
+    return Device("NPU:" + spec.name, DeviceKind::NPU, index,
+                  generateTrace(spec, base, seed, scale), spec.window);
+}
+
+} // namespace mgmee

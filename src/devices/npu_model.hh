@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Factory for the NPU device model (45x45 systolic array with
+ * software-managed scratchpad, Table 3), bound to an NPU workload.
+ */
+
+#ifndef MGMEE_DEVICES_NPU_MODEL_HH
+#define MGMEE_DEVICES_NPU_MODEL_HH
+
+#include <string>
+
+#include "devices/device.hh"
+
+namespace mgmee {
+
+/** Build an NPU device replaying @p workload_name. */
+Device makeNpuDevice(const std::string &workload_name, unsigned index,
+                     Addr base, std::uint64_t seed,
+                     double scale = 1.0);
+
+} // namespace mgmee
+
+#endif // MGMEE_DEVICES_NPU_MODEL_HH

@@ -1,0 +1,63 @@
+#include "hetero/hetero_system.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+HeteroSystem::HeteroSystem(std::vector<Device> devices,
+                           std::unique_ptr<TimingEngine> engine,
+                           const SystemConfig &cfg)
+    : devices_(std::move(devices)), engine_(std::move(engine)),
+      mem_(cfg.mem), cfg_(cfg)
+{
+    fatal_if(devices_.empty(), "hetero system needs >=1 device");
+    fatal_if(!engine_, "hetero system needs an engine");
+}
+
+void
+HeteroSystem::run()
+{
+    Cycle next_boundary = cfg_.kernel_boundary_interval;
+    while (true) {
+        // Pick the device that can issue earliest.
+        Device *next = nullptr;
+        Cycle best = std::numeric_limits<Cycle>::max();
+        for (auto &dev : devices_) {
+            if (dev.done())
+                continue;
+            const Cycle t = dev.nextIssue();
+            if (t < best) {
+                best = t;
+                next = &dev;
+            }
+        }
+        if (!next)
+            break;
+
+        while (best >= next_boundary) {
+            engine_->kernelBoundary(next_boundary, mem_);
+            next_boundary += cfg_.kernel_boundary_interval;
+        }
+
+        const MemRequest req = next->makeRequest();
+        const Cycle done = engine_->access(req, mem_);
+        if (!req.is_write)
+            read_latency_.record(done - req.issue);
+        next->complete(done);
+    }
+    engine_->kernelBoundary(next_boundary, mem_);
+}
+
+std::vector<Cycle>
+HeteroSystem::deviceFinishTimes() const
+{
+    std::vector<Cycle> times;
+    times.reserve(devices_.size());
+    for (const auto &dev : devices_)
+        times.push_back(dev.finishTime());
+    return times;
+}
+
+} // namespace mgmee

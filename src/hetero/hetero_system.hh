@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The heterogeneous SoC: CPU + GPU + 2 NPUs sharing one LPDDR memory
+ * controller behind one memory-protection engine (Fig. 7, Table 3).
+ *
+ * Devices replay their traces in a closed loop; the system advances
+ * whichever device can issue earliest, so protection-induced latency
+ * and bandwidth contention propagate between devices exactly as the
+ * paper's combined-simulator methodology (Sec. 5.1).
+ */
+
+#ifndef MGMEE_HETERO_HETERO_SYSTEM_HH
+#define MGMEE_HETERO_HETERO_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "devices/device.hh"
+#include "mee/timing_engine.hh"
+#include "mem/mem_ctrl.hh"
+
+namespace mgmee {
+
+/** Address window reserved per device (disjoint working sets). */
+constexpr Addr kDeviceStride = Addr{64} << 20;
+
+/** System-level configuration. */
+struct SystemConfig
+{
+    MemCtrlConfig mem;
+    /** Period of kernelBoundary() hooks (CommonCTR scans). */
+    Cycle kernel_boundary_interval = 100 * 1000;
+};
+
+/** Composition of devices + engine + controller, with a run loop. */
+class HeteroSystem
+{
+  public:
+    HeteroSystem(std::vector<Device> devices,
+                 std::unique_ptr<TimingEngine> engine,
+                 const SystemConfig &cfg = {});
+
+    /** Run every device trace to completion. */
+    void run();
+
+    /** Per-device completion cycles (order = construction order). */
+    std::vector<Cycle> deviceFinishTimes() const;
+
+    const std::vector<Device> &devices() const { return devices_; }
+
+    /** Verified-read completion latency distribution (cycles). */
+    const Histogram &readLatency() const { return read_latency_; }
+
+    TimingEngine &engine() { return *engine_; }
+    const TimingEngine &engine() const { return *engine_; }
+    MemCtrl &mem() { return mem_; }
+    const MemCtrl &mem() const { return mem_; }
+
+  private:
+    std::vector<Device> devices_;
+    std::unique_ptr<TimingEngine> engine_;
+    MemCtrl mem_;
+    SystemConfig cfg_;
+    Histogram read_latency_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_HETERO_HETERO_SYSTEM_HH

@@ -1,0 +1,94 @@
+#include "hetero/metrics.hh"
+
+#include "baselines/static_best.hh"
+#include "common/logging.hh"
+#include "hetero/hetero_system.hh"
+
+namespace mgmee {
+
+RunResult
+runScenario(const Scenario &scenario, Scheme scheme,
+            std::uint64_t seed, double scale,
+            const std::array<Granularity, 8> &static_gran)
+{
+    HeteroSystem sys(buildDevices(scenario, seed, scale),
+                     makeEngine(scheme, scenarioDataBytes(),
+                                static_gran));
+    sys.run();
+
+    RunResult res;
+    res.scheme = scheme;
+    res.device_finish = sys.deviceFinishTimes();
+    res.total_bytes = sys.mem().totalBytes();
+    res.security_misses = sys.engine().securityCacheMisses();
+    for (const auto &dev : sys.devices())
+        res.requests += dev.requests();
+    return res;
+}
+
+std::vector<double>
+normalizedPerDevice(const RunResult &scheme, const RunResult &unsecure)
+{
+    panic_if(scheme.device_finish.size() !=
+                 unsecure.device_finish.size(),
+             "mismatched device counts in normalization");
+    std::vector<double> norm;
+    norm.reserve(scheme.device_finish.size());
+    for (std::size_t i = 0; i < scheme.device_finish.size(); ++i) {
+        const double denom =
+            static_cast<double>(unsecure.device_finish[i]);
+        norm.push_back(denom > 0
+                           ? scheme.device_finish[i] / denom
+                           : 1.0);
+    }
+    return norm;
+}
+
+double
+normalizedExecTime(const RunResult &scheme, const RunResult &unsecure)
+{
+    const auto per_dev = normalizedPerDevice(scheme, unsecure);
+    double sum = 0;
+    for (double v : per_dev)
+        sum += v;
+    return per_dev.empty() ? 1.0 : sum / per_dev.size();
+}
+
+std::array<Granularity, 8>
+searchStaticBest(const Scenario &scenario, std::uint64_t seed,
+                 double scale)
+{
+    // The search profiles a *separate* trace instance (same workload
+    // statistics, different seed): the paper notes the per-device
+    // technique "requires an expensive warmup process for each
+    // execution", i.e. the choice is made before the measured run.
+    const std::uint64_t profile_seed = seed ^ 0x9e37;
+    const RunResult unsec =
+        runScenario(scenario, Scheme::Unsecure, profile_seed, scale);
+
+    // Sweep one shared granularity across all devices, then pick per
+    // device the granularity that minimised *its own* normalized
+    // time.  (The cross terms are second-order; the paper's search is
+    // also per-device.)
+    std::array<Granularity, 8> best{};
+    std::array<double, 8> best_score{};
+    best_score.fill(1e30);
+
+    for (Granularity g : kAllGranularities) {
+        std::array<Granularity, 8> all;
+        all.fill(g);
+        const RunResult r = runScenario(
+            scenario, Scheme::StaticDeviceBest, profile_seed, scale,
+            all);
+        const auto per_dev = normalizedPerDevice(r, unsec);
+        for (std::size_t d = 0; d < per_dev.size(); ++d) {
+            if (per_dev[d] < best_score[d]) {
+                best_score[d] = per_dev[d];
+                best[d] = g;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace mgmee

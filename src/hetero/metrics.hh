@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Scenario execution and the paper's metrics: per-device normalized
+ * execution time (vs the unsecured run), data traffic, and security
+ * cache misses (Sec. 5.2).  Includes the exhaustive per-device
+ * granularity search used by Static-device-best.
+ */
+
+#ifndef MGMEE_HETERO_METRICS_HH
+#define MGMEE_HETERO_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hetero/scenario.hh"
+#include "hetero/schemes.hh"
+
+namespace mgmee {
+
+/** Raw results of one scheme on one scenario. */
+struct RunResult
+{
+    Scheme scheme = Scheme::Unsecure;
+    std::vector<Cycle> device_finish;   //!< per-device completion
+    std::uint64_t total_bytes = 0;      //!< DRAM traffic (all causes)
+    std::uint64_t security_misses = 0;  //!< metadata + MAC cache
+    std::uint64_t requests = 0;
+};
+
+/** Run @p scheme on @p scenario (fresh devices, deterministic). */
+RunResult runScenario(const Scenario &scenario, Scheme scheme,
+                      std::uint64_t seed = 1, double scale = 1.0,
+                      const std::array<Granularity, 8> &static_gran = {});
+
+/**
+ * Normalized execution time: mean over devices of
+ * finish(scheme)/finish(unsecure) (Sec. 5.2 methodology).
+ */
+double normalizedExecTime(const RunResult &scheme,
+                          const RunResult &unsecure);
+
+/** Per-device normalized execution times. */
+std::vector<double> normalizedPerDevice(const RunResult &scheme,
+                                        const RunResult &unsecure);
+
+/**
+ * Exhaustive per-device granularity search (Static-device-best):
+ * picks, per device, the fixed granularity minimising that device's
+ * normalized time under a per-device sweep (4 x 4 runs instead of
+ * 4^4; the paper's search is equally per-device).
+ */
+std::array<Granularity, 8>
+searchStaticBest(const Scenario &scenario, std::uint64_t seed = 1,
+                 double scale = 1.0);
+
+} // namespace mgmee
+
+#endif // MGMEE_HETERO_METRICS_HH

@@ -1,0 +1,95 @@
+#include "hetero/scenario.hh"
+
+#include "devices/cpu_model.hh"
+#include "devices/gpu_model.hh"
+#include "devices/npu_model.hh"
+#include "hetero/hetero_system.hh"
+#include "workloads/registry.hh"
+
+namespace mgmee {
+
+std::vector<Scenario>
+allScenarios()
+{
+    // Table 4: 5 CPU x 5 GPU x multisets of 2 from the 4 NPU
+    // workloads = 5 * 5 * 10 = 250 scenarios.
+    static const char *kNpus[] = {"ncf", "dlrm", "alex", "sfrnn"};
+    std::vector<Scenario> scenarios;
+    scenarios.reserve(250);
+    for (const auto &cpu : cpuWorkloads()) {
+        if (cpu.name == "sc")
+            continue;  // real-world extra, not part of the 250
+        for (const auto &gpu : gpuWorkloads()) {
+            for (unsigned i = 0; i < 4; ++i) {
+                for (unsigned j = i; j < 4; ++j) {
+                    Scenario s;
+                    s.cpu = cpu.name;
+                    s.gpu = gpu.name;
+                    s.npu1 = kNpus[i];
+                    s.npu2 = kNpus[j];
+                    s.id = s.cpu + "+" + s.gpu + "+" + s.npu1 + "+" +
+                           s.npu2;
+                    scenarios.push_back(std::move(s));
+                }
+            }
+        }
+    }
+    return scenarios;
+}
+
+std::vector<Scenario>
+selectedScenarios()
+{
+    // Table 4 "Selected Scenarios".
+    return {
+        {"ff1", "bw", "syr2k", "ncf", "dlrm"},
+        {"ff2", "mcf", "syr2k", "sfrnn", "dlrm"},
+        {"ff3", "gcc", "floyd", "sfrnn", "ncf"},
+        {"f1", "xal", "pr", "sfrnn", "ncf"},
+        {"f2", "xal", "pr", "ncf", "ncf"},
+        {"c1", "gcc", "sten", "alex", "dlrm"},
+        {"c2", "bw", "sten", "ncf", "ncf"},
+        {"c3", "mcf", "sten", "sfrnn", "sfrnn"},
+        {"cc1", "xal", "mm", "alex", "dlrm"},
+        {"cc2", "ray", "mm", "alex", "alex"},
+        {"cc3", "ray", "floyd", "alex", "alex"},
+    };
+}
+
+Scenario
+financeScenario()
+{
+    // Table 6: GPU (pr) -> CPU (mcf) -> NPU (dlrm); the second NPU
+    // slot re-runs dlrm's serving stage.
+    return {"finance", "mcf", "pr", "dlrm", "dlrm"};
+}
+
+Scenario
+autodriveScenario()
+{
+    // Table 6: GPU (sten) -> NPU (yt) -> CPU (sc).
+    return {"autodrive", "sc", "sten", "yt", "yt"};
+}
+
+std::vector<Device>
+buildDevices(const Scenario &s, std::uint64_t seed, double scale)
+{
+    std::vector<Device> devices;
+    devices.push_back(makeCpuDevice(s.cpu, 0, 0 * kDeviceStride,
+                                    seed * 4 + 0, scale));
+    devices.push_back(makeGpuDevice(s.gpu, 1, 1 * kDeviceStride,
+                                    seed * 4 + 1, scale));
+    devices.push_back(makeNpuDevice(s.npu1, 2, 2 * kDeviceStride,
+                                    seed * 4 + 2, scale));
+    devices.push_back(makeNpuDevice(s.npu2, 3, 3 * kDeviceStride,
+                                    seed * 4 + 3, scale));
+    return devices;
+}
+
+std::size_t
+scenarioDataBytes()
+{
+    return 4 * kDeviceStride;
+}
+
+} // namespace mgmee

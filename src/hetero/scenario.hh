@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Scenario catalogue (Table 4 bottom / Table 6): the full 250-scenario
+ * cross product (5 CPU x 5 GPU x 10 NPU multisets), the 11 selected
+ * scenarios of Sec. 5.4, and the two real-world pipelines of Sec. 5.5.
+ */
+
+#ifndef MGMEE_HETERO_SCENARIO_HH
+#define MGMEE_HETERO_SCENARIO_HH
+
+#include <string>
+#include <vector>
+
+#include "devices/device.hh"
+
+namespace mgmee {
+
+/** One CPU + one GPU + two NPU workloads. */
+struct Scenario
+{
+    std::string id;
+    std::string cpu;
+    std::string gpu;
+    std::string npu1;
+    std::string npu2;
+};
+
+/** All 250 Orin scenarios: 5 x 5 x C(4+2-1, 2). */
+std::vector<Scenario> allScenarios();
+
+/** The 11 selected scenarios of Table 4 (ff1..cc3). */
+std::vector<Scenario> selectedScenarios();
+
+/** Real-world pipelines of Table 6. */
+Scenario financeScenario();
+Scenario autodriveScenario();
+
+/**
+ * Instantiate a scenario's four devices with disjoint address
+ * windows.  Seeds derive from @p seed and the device slot so every
+ * scheme sees an identical trace set.
+ */
+std::vector<Device> buildDevices(const Scenario &s, std::uint64_t seed,
+                                 double scale = 1.0);
+
+/** Protected-region size covering all four device windows. */
+std::size_t scenarioDataBytes();
+
+} // namespace mgmee
+
+#endif // MGMEE_HETERO_SCENARIO_HH

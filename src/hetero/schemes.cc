@@ -1,0 +1,121 @@
+#include "hetero/schemes.hh"
+
+#include "baselines/adaptive_mac_engine.hh"
+#include "baselines/common_counters_engine.hh"
+#include "baselines/static_best.hh"
+#include "common/logging.hh"
+#include "core/multigran_engine.hh"
+#include "mee/conventional_engine.hh"
+#include "mee/unsecure_engine.hh"
+
+namespace mgmee {
+
+namespace {
+
+/** BMF root cache + PENGLAI unused pruning, per the paper's combo. */
+TimingConfig
+withSubtreeOpts(TimingConfig cfg)
+{
+    cfg.root_cache_entries = 64;
+    cfg.root_cache_level = 3;
+    cfg.unused_pruning = true;
+    return cfg;
+}
+
+std::unique_ptr<MultiGranEngine>
+makeOurs(const char *name, std::size_t data_bytes, TimingConfig timing,
+         bool charge_switch, std::optional<Granularity> dual)
+{
+    MultiGranEngineConfig cfg;
+    cfg.timing = timing;
+    cfg.charge_switch_costs = charge_switch;
+    cfg.dual_only = dual;
+    return std::make_unique<MultiGranEngine>(name, data_bytes, cfg);
+}
+
+} // namespace
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Unsecure: return "Unsecure";
+      case Scheme::Conventional: return "Conventional";
+      case Scheme::ConventionalMacOnly: return "Conv(MAC-only)";
+      case Scheme::Adaptive: return "Adaptive";
+      case Scheme::CommonCTR: return "CommonCTR";
+      case Scheme::StaticDeviceBest: return "Static-device-best";
+      case Scheme::MultiCtrOnly: return "Multi(CTR)-only";
+      case Scheme::Ours: return "Ours";
+      case Scheme::OursNoSwitchCost: return "Ours w/o Switch";
+      case Scheme::OursDual512: return "Dual(512B)";
+      case Scheme::OursDual4K: return "Dual(4KB)";
+      case Scheme::OursDual32K: return "Dual(32KB)";
+      case Scheme::BmfUnused: return "BMF&Unused";
+      case Scheme::BmfUnusedOurs: return "BMF&Unused+Ours";
+      case Scheme::BmfUnusedOursNoSwitchCost:
+        return "BMF&Unused+Ours w/o Switch";
+    }
+    return "?";
+}
+
+std::unique_ptr<TimingEngine>
+makeEngine(Scheme scheme, std::size_t data_bytes,
+           const std::array<Granularity, 8> &static_gran)
+{
+    TimingConfig timing;  // paper defaults
+    timing.parallel_walk = true;
+    switch (scheme) {
+      case Scheme::Unsecure:
+        return std::make_unique<UnsecureEngine>();
+      case Scheme::Conventional:
+        return std::make_unique<ConventionalEngine>(data_bytes,
+                                                    timing);
+      case Scheme::ConventionalMacOnly:
+        return std::make_unique<ConventionalEngine>(
+            data_bytes, timing,
+            ConventionalEngine::CostMask{true, false});
+      case Scheme::Adaptive:
+        return makeAdaptiveEngine(data_bytes, timing);
+      case Scheme::CommonCTR:
+        return std::make_unique<CommonCountersEngine>(data_bytes,
+                                                      timing);
+      case Scheme::StaticDeviceBest:
+        return makeStaticEngine(data_bytes, timing, static_gran,
+                                "Static-device-best");
+      case Scheme::MultiCtrOnly: {
+        MultiGranEngineConfig cfg;
+        cfg.timing = timing;
+        cfg.coarse_macs = false;
+        return std::make_unique<MultiGranEngine>("Multi(CTR)-only",
+                                                 data_bytes, cfg);
+      }
+      case Scheme::Ours:
+        return makeOurs("Ours", data_bytes, timing, true,
+                        std::nullopt);
+      case Scheme::OursNoSwitchCost:
+        return makeOurs("Ours-noswitch", data_bytes, timing, false,
+                        std::nullopt);
+      case Scheme::OursDual512:
+        return makeOurs("Dual512", data_bytes, timing, true,
+                        Granularity::Part512B);
+      case Scheme::OursDual4K:
+        return makeOurs("Dual4K", data_bytes, timing, true,
+                        Granularity::Sub4KB);
+      case Scheme::OursDual32K:
+        return makeOurs("Dual32K", data_bytes, timing, true,
+                        Granularity::Chunk32KB);
+      case Scheme::BmfUnused:
+        return std::make_unique<ConventionalEngine>(
+            data_bytes, withSubtreeOpts(timing));
+      case Scheme::BmfUnusedOurs:
+        return makeOurs("BMF&Unused+Ours", data_bytes,
+                        withSubtreeOpts(timing), true, std::nullopt);
+      case Scheme::BmfUnusedOursNoSwitchCost:
+        return makeOurs("BMF&Unused+Ours-noswitch", data_bytes,
+                        withSubtreeOpts(timing), false, std::nullopt);
+    }
+    panic("unhandled scheme");
+}
+
+} // namespace mgmee

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Factory for every evaluated memory-protection scheme (Table 5).
+ */
+
+#ifndef MGMEE_HETERO_SCHEMES_HH
+#define MGMEE_HETERO_SCHEMES_HH
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** The simulation schemes of Table 5 (plus Fig. 20 ablations). */
+enum class Scheme
+{
+    Unsecure,             //!< no protection
+    Conventional,         //!< fixed 64B CTRs + MACs
+    ConventionalMacOnly,  //!< Fig. 5: +Cost(MAC)
+    Adaptive,             //!< dual-granular MAC [56]
+    CommonCTR,            //!< dual-granular CTR [35]
+    StaticDeviceBest,     //!< per-device exhaustive (set per-device g)
+    MultiCtrOnly,         //!< multi-granular CTRs, 64B MACs
+    Ours,                 //!< multi-granular CTRs + MACs
+    OursNoSwitchCost,     //!< Fig. 20: w/o switching overhead
+    OursDual512,          //!< Fig. 20: dual {64B,512B}
+    OursDual4K,           //!< Fig. 20: dual {64B,4KB}
+    OursDual32K,          //!< Fig. 20: dual {64B,32KB}
+    BmfUnused,            //!< conventional + subtree opts [16,17]
+    BmfUnusedOurs,        //!< ours + subtree opts
+    BmfUnusedOursNoSwitchCost,  //!< Fig. 20 rightmost bar
+};
+
+/** Display name matching the paper's legends. */
+const char *schemeName(Scheme s);
+
+/** All Table-5 schemes in presentation order. */
+constexpr std::array<Scheme, 9> kMainSchemes = {
+    Scheme::Unsecure,      Scheme::Conventional,
+    Scheme::Adaptive,      Scheme::CommonCTR,
+    Scheme::StaticDeviceBest, Scheme::MultiCtrOnly,
+    Scheme::Ours,          Scheme::BmfUnused,
+    Scheme::BmfUnusedOurs,
+};
+
+/**
+ * Build the engine for @p scheme over a protected region of
+ * @p data_bytes.  For StaticDeviceBest pass the chosen per-device
+ * granularities (the exhaustive search lives in hetero/metrics).
+ */
+std::unique_ptr<TimingEngine>
+makeEngine(Scheme scheme, std::size_t data_bytes,
+           const std::array<Granularity, 8> &static_gran = {});
+
+} // namespace mgmee
+
+#endif // MGMEE_HETERO_SCHEMES_HH

@@ -1,0 +1,66 @@
+#include "mee/conventional_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+Cycle
+ConventionalEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    stats_.add(req.is_write ? "writes" : "reads");
+
+    // Data movement.
+    const Cycle data_done =
+        mem.serve(req.issue, req.addr, req.bytes, req.is_write);
+
+    const bool skip_tree =
+        !req.is_write && unused_.canSkipWalk(req.addr);
+    unused_.markTouched(req.addr);
+
+    // Walk the request one 512B metadata-line span at a time: one
+    // leaf-counter line and one MAC line each cover 8 data lines.
+    Cycle ctr_done = req.issue;
+    Cycle mac_done = req.issue;
+    const Addr first = alignDown(req.addr, kCachelineBytes);
+    const Addr last = alignDown(req.addr + (req.bytes ? req.bytes - 1
+                                                      : 0),
+                                kCachelineBytes);
+    for (Addr span = alignDown(first, kPartitionBytes); span <= last;
+         span += kPartitionBytes) {
+        if (mask_.counters && !skip_tree) {
+            const std::uint64_t leaf = lineIndex(span);
+            if (req.is_write) {
+                writeWalk(0, leaf, req.issue, mem);
+                // One leaf-counter line's minors cover this 512B span.
+                noteCounterBump(0, leaf / kTreeArity, span,
+                                kPartitionBytes, req.issue, mem);
+            } else {
+                ctr_done = std::max(
+                    ctr_done, readWalk(0, leaf, req.issue, mem));
+            }
+        }
+        if (mask_.macs) {
+            const Addr mac_line =
+                layout_.macLineAddr(layout_.fineMacIndex(span));
+            mac_done = std::max(
+                mac_done,
+                touchMac(mac_line, req.is_write, req.issue, mem));
+        }
+    }
+
+    if (req.is_write)
+        return req.issue;  // posted
+
+    // Decryption waits for data and the counter-derived OTP; the
+    // integrity check additionally waits for the MAC.
+    Cycle done = data_done;
+    if (mask_.counters) {
+        done = std::max(done, ctr_done + cfg_.otp_latency) +
+               cfg_.xor_latency;
+    }
+    if (mask_.macs)
+        done = std::max(done, mac_done) + cfg_.hash_latency;
+    return done;
+}
+
+} // namespace mgmee

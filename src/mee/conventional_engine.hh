@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Conventional fixed-granularity memory protection: one counter and
+ * one 8B MAC per 64B line, full 8-ary counter tree (the paper's
+ * "Conventional" scheme and the substrate of Fig. 5's breakdown).
+ *
+ * Cost knobs allow disabling the MAC or the counter side so the
+ * harness can reproduce the +Cost(MAC) / +Cost(counter) breakdown.
+ */
+
+#ifndef MGMEE_MEE_CONVENTIONAL_ENGINE_HH
+#define MGMEE_MEE_CONVENTIONAL_ENGINE_HH
+
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** Fixed 64B-granular MAC & counter tree engine. */
+class ConventionalEngine : public MeeTimingBase
+{
+  public:
+    /** Which metadata families are charged (for Fig. 5 breakdown). */
+    struct CostMask
+    {
+        bool macs = true;
+        bool counters = true;
+    };
+
+    ConventionalEngine(std::size_t data_bytes, const TimingConfig &cfg,
+                       CostMask mask = CostMask{true, true})
+        : MeeTimingBase(maskName(mask), data_bytes, cfg), mask_(mask)
+    {
+    }
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+  private:
+    static const char *
+    maskName(CostMask mask)
+    {
+        if (mask.macs && mask.counters)
+            return "Conventional";
+        if (mask.macs)
+            return "Conventional(MAC-only)";
+        return "Conventional(CTR-only)";
+    }
+
+    CostMask mask_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEE_CONVENTIONAL_ENGINE_HH

@@ -1,0 +1,77 @@
+#include "mee/domain.hh"
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+std::size_t
+SecureDomainManager::addDomain(std::string name, Addr base,
+                               std::size_t bytes,
+                               const SecureMemory::Keys &keys)
+{
+    fatal_if(base % kChunkBytes != 0 || bytes % kChunkBytes != 0,
+             "domain '%s' window must be 32KB-chunk aligned",
+             name.c_str());
+    fatal_if(bytes == 0, "domain '%s' is empty", name.c_str());
+    for (const Domain &d : domains_) {
+        const bool disjoint =
+            base + bytes <= d.base || d.base + d.bytes <= base;
+        fatal_if(d.mem && !disjoint,
+                 "domain '%s' overlaps existing domain '%s'",
+                 name.c_str(), d.name.c_str());
+    }
+    Domain dom;
+    dom.name = std::move(name);
+    dom.base = base;
+    dom.bytes = bytes;
+    dom.mem = std::make_unique<SecureMemory>(bytes, keys);
+    domains_.push_back(std::move(dom));
+    return domains_.size() - 1;
+}
+
+SecureDomainManager::Domain *
+SecureDomainManager::find(Addr addr, std::size_t bytes)
+{
+    for (Domain &d : domains_) {
+        if (!d.mem)
+            continue;
+        if (addr >= d.base && addr + bytes <= d.base + d.bytes)
+            return &d;
+    }
+    return nullptr;
+}
+
+SecureMemory *
+SecureDomainManager::domainOf(Addr addr)
+{
+    Domain *d = find(addr, 1);
+    return d ? d->mem.get() : nullptr;
+}
+
+SecureMemory::Status
+SecureDomainManager::write(Addr addr,
+                           std::span<const std::uint8_t> data)
+{
+    Domain *d = find(addr, data.size());
+    fatal_if(!d, "write at 0x%llx+%zu crosses or misses all domains",
+             static_cast<unsigned long long>(addr), data.size());
+    return d->mem->write(addr - d->base, data);
+}
+
+SecureMemory::Status
+SecureDomainManager::read(Addr addr, std::span<std::uint8_t> out)
+{
+    Domain *d = find(addr, out.size());
+    fatal_if(!d, "read at 0x%llx+%zu crosses or misses all domains",
+             static_cast<unsigned long long>(addr), out.size());
+    return d->mem->read(addr - d->base, out);
+}
+
+void
+SecureDomainManager::destroyDomain(std::size_t id)
+{
+    fatal_if(id >= domains_.size(), "no such domain %zu", id);
+    domains_[id].mem.reset();
+}
+
+} // namespace mgmee

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Protection domains: independent keys and integrity trees per
+ * address window.
+ *
+ * The paper's TCB spans several per-device TEEs (Sec. 2.5); TNPU /
+ * GuardNN / TensorTEE-style systems give each accelerator its own key
+ * domain while sharing the physical memory.  This manager routes
+ * accesses to per-domain SecureMemory instances, so
+ *  - plaintext equal across domains never yields equal ciphertext,
+ *  - ciphertext spliced from one domain into another never verifies,
+ *  - one domain can be rekeyed or torn down without touching others.
+ */
+
+#ifndef MGMEE_MEE_DOMAIN_HH
+#define MGMEE_MEE_DOMAIN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mee/secure_memory.hh"
+
+namespace mgmee {
+
+/** Routes protected accesses to per-key-domain engines. */
+class SecureDomainManager
+{
+  public:
+    /**
+     * Register a domain covering [base, base+bytes) with its own key
+     * material.  Windows must be chunk-aligned and disjoint.
+     * @return domain id
+     */
+    std::size_t addDomain(std::string name, Addr base,
+                          std::size_t bytes,
+                          const SecureMemory::Keys &keys);
+
+    /** Write through the owning domain; spans must not cross. */
+    SecureMemory::Status write(Addr addr,
+                               std::span<const std::uint8_t> data);
+
+    /** Read through the owning domain; spans must not cross. */
+    SecureMemory::Status read(Addr addr,
+                              std::span<std::uint8_t> out);
+
+    /** Domain owning @p addr, or nullptr. */
+    SecureMemory *domainOf(Addr addr);
+
+    /** Domain memory by id (for rekeying, attacks in tests). */
+    SecureMemory &memory(std::size_t id) { return *domains_[id].mem; }
+    const std::string &name(std::size_t id) const
+    {
+        return domains_[id].name;
+    }
+
+    std::size_t domainCount() const { return domains_.size(); }
+
+    /**
+     * Tear a domain down: its keys and metadata vanish; its window
+     * can be re-registered with fresh keys (enclave destruction).
+     */
+    void destroyDomain(std::size_t id);
+
+  private:
+    struct Domain
+    {
+        std::string name;
+        Addr base = 0;
+        std::size_t bytes = 0;
+        std::unique_ptr<SecureMemory> mem;
+    };
+
+    Domain *find(Addr addr, std::size_t bytes);
+
+    std::vector<Domain> domains_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEE_DOMAIN_HH

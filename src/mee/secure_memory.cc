@@ -1,0 +1,523 @@
+#include "mee/secure_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+SecureMemory::SecureMemory(std::size_t data_bytes, const Keys &keys)
+    : layout_(data_bytes), addr_(layout_), otp_(keys.aes),
+      mac_(keys.mac)
+{
+}
+
+const char *
+SecureMemory::statusName(Status s)
+{
+    switch (s) {
+      case Status::Ok: return "Ok";
+      case Status::MacMismatch: return "MacMismatch";
+      case Status::TreeMismatch: return "TreeMismatch";
+    }
+    return "?";
+}
+
+// ---- tree plumbing -----------------------------------------------------
+
+std::uint64_t
+SecureMemory::counterAt(unsigned level, std::uint64_t index) const
+{
+    if (level >= layout_.geometry().levels()) {
+        // On-chip trusted storage: levels at/above the root node.
+        auto it = counters_.find(key(level, index) | kTrustedBit);
+        return it == counters_.end() ? 0 : it->second;
+    }
+    auto it = counters_.find(key(level, index));
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+SecureMemory::setCounterRaw(unsigned level, std::uint64_t index,
+                            std::uint64_t value)
+{
+    if (level >= layout_.geometry().levels()) {
+        counters_[key(level, index) | kTrustedBit] = value;
+        return;
+    }
+    counters_[key(level, index)] = value;
+}
+
+void
+SecureMemory::eraseCounter(unsigned level, std::uint64_t index)
+{
+    if (level >= layout_.geometry().levels())
+        return;  // trusted storage is never pruned
+    counters_.erase(key(level, index));
+}
+
+void
+SecureMemory::refreshNodeMac(unsigned level, std::uint64_t node)
+{
+    std::array<std::uint64_t, kTreeArity> ctrs{};
+    for (unsigned c = 0; c < kTreeArity; ++c)
+        ctrs[c] = counterAt(level, node * kTreeArity + c);
+    const Addr node_addr =
+        layout_.counterLineAddr(level, node * kTreeArity);
+    const std::uint64_t parent = counterAt(level + 1, node);
+    node_macs_[key(level, node)] =
+        mac_.nodeMac(node_addr, parent, ctrs);
+}
+
+void
+SecureMemory::eraseNodeMac(unsigned level, std::uint64_t node)
+{
+    node_macs_.erase(key(level, node));
+}
+
+void
+SecureMemory::setCounterAndPropagate(unsigned level, std::uint64_t index,
+                                     std::uint64_t value)
+{
+    setCounterRaw(level, index, value);
+    const unsigned levels = layout_.geometry().levels();
+    if (level >= levels)
+        return;  // trusted storage needs no MAC maintenance
+
+    unsigned lvl = level;
+    std::uint64_t i = index;
+    while (lvl < levels) {
+        const std::uint64_t node = i / kTreeArity;
+        // The child node changed, so its version counter in the
+        // parent moves, and the node MAC is recomputed under the new
+        // version.
+        setCounterRaw(lvl + 1, node, counterAt(lvl + 1, node) + 1);
+        refreshNodeMac(lvl, node);
+        ++lvl;
+        i = node;
+    }
+}
+
+SecureMemory::Status
+SecureMemory::verifyPath(unsigned level, std::uint64_t index) const
+{
+    const unsigned levels = layout_.geometry().levels();
+    std::uint64_t i = index;
+    for (unsigned lvl = level; lvl < levels; ++lvl) {
+        const std::uint64_t node = i / kTreeArity;
+        std::array<std::uint64_t, kTreeArity> ctrs{};
+        for (unsigned c = 0; c < kTreeArity; ++c)
+            ctrs[c] = counterAt(lvl, node * kTreeArity + c);
+        const Addr node_addr =
+            layout_.counterLineAddr(lvl, node * kTreeArity);
+        const std::uint64_t parent = counterAt(lvl + 1, node);
+        const Mac expected = mac_.nodeMac(node_addr, parent, ctrs);
+
+        auto it = node_macs_.find(key(lvl, node));
+        if (it == node_macs_.end()) {
+            // First touch of a pristine node: install its MAC.
+            node_macs_[key(lvl, node)] = expected;
+        } else if (it->second != expected) {
+            return Status::TreeMismatch;
+        }
+        i = node;
+    }
+    return Status::Ok;
+}
+
+// ---- data & MAC storage --------------------------------------------------
+
+std::array<std::uint8_t, kCachelineBytes> &
+SecureMemory::cipherLine(Addr line_addr)
+{
+    return cipher_[lineIndex(line_addr)];
+}
+
+const std::array<std::uint8_t, kCachelineBytes> &
+SecureMemory::cipherLineConst(Addr line_addr) const
+{
+    static const std::array<std::uint8_t, kCachelineBytes> zeros{};
+    auto it = cipher_.find(lineIndex(line_addr));
+    return it == cipher_.end() ? zeros : it->second;
+}
+
+std::optional<Mac>
+SecureMemory::macSlot(std::uint64_t chunk, std::uint64_t intra) const
+{
+    auto it = mac_slabs_.find(chunk);
+    if (it == mac_slabs_.end() || intra >= it->second.size())
+        return std::nullopt;
+    return it->second[intra];
+}
+
+void
+SecureMemory::setMacSlot(std::uint64_t chunk, std::uint64_t intra,
+                         Mac mac)
+{
+    auto &slab = mac_slabs_[chunk];
+    if (slab.size() <= intra)
+        slab.resize(kLinesPerChunk);
+    slab[intra] = mac;
+}
+
+Mac
+SecureMemory::fineMacOf(Addr line_addr, std::uint64_t counter) const
+{
+    return mac_.lineMac(line_addr, counter,
+                        cipherLineConst(line_addr).data());
+}
+
+std::uint64_t
+SecureMemory::effectiveCounter(Addr addr) const
+{
+    const Granularity g = granularityAt(addr);
+    const CounterLoc loc = addr_.counterLocAt(addr, g);
+    return counterAt(loc.level, loc.index);
+}
+
+// ---- unit operations -------------------------------------------------------
+
+void
+SecureMemory::ensureChunkInitialized(std::uint64_t chunk)
+{
+    if (initialized_.contains(chunk))
+        return;
+    initialized_.insert(chunk);
+
+    const Addr base = chunk * kChunkBytes;
+    for (unsigned l = 0; l < kLinesPerChunk; ++l) {
+        const Addr la = base + l * kCachelineBytes;
+        auto &line = cipherLine(la);
+        line.fill(0);
+        const Pad pad = otp_.makePad(la, effectiveCounter(la));
+        OtpGenerator::applyPad(pad, line.data());
+    }
+    rebuildChunkMacs(chunk, streamPart(chunk));
+}
+
+void
+SecureMemory::rebuildChunkMacs(std::uint64_t chunk, StreamPart sp)
+{
+    auto &slab = mac_slabs_[chunk];
+    slab.assign(kLinesPerChunk, std::nullopt);
+
+    const Addr base = chunk * kChunkBytes;
+    unsigned part = 0;
+    while (part < kPartitionsPerChunk) {
+        const Addr pbase = base + part * kPartitionBytes;
+        const Granularity g = granularityOfPartition(sp, part);
+        const Addr ubase = unitBase(pbase, g);
+        const std::uint64_t lines = unitLines(g);
+
+        if (g == Granularity::Line64B) {
+            // Fine partition: each line owns its leaf counter.
+            for (unsigned l = 0; l < kLinesPerPartition; ++l) {
+                const Addr la = ubase + l * kCachelineBytes;
+                slab[AddressComputer::intraChunkMacIndex(la, sp)] =
+                    fineMacOf(la, counterAt(0, lineIndex(la)));
+            }
+            part += 1;
+        } else {
+            const CounterLoc loc = addr_.counterLocAt(ubase, g);
+            const std::uint64_t ctr = counterAt(loc.level, loc.index);
+            std::vector<Mac> fine(lines);
+            for (std::uint64_t l = 0; l < lines; ++l)
+                fine[l] = fineMacOf(ubase + l * kCachelineBytes, ctr);
+            slab[AddressComputer::intraChunkMacIndex(ubase, sp)] =
+                mac_.nestedMac(fine);
+            part += static_cast<unsigned>(lines / kLinesPerPartition);
+        }
+    }
+}
+
+SecureMemory::Status
+SecureMemory::verifyUnit(Addr unit_base, Granularity g) const
+{
+    const std::uint64_t chunk = chunkIndex(unit_base);
+    const StreamPart sp = streamPart(chunk);
+    const CounterLoc loc = addr_.counterLocAt(unit_base, g);
+    const std::uint64_t ctr = counterAt(loc.level, loc.index);
+    const std::uint64_t lines = unitLines(g);
+
+    const std::uint64_t intra =
+        AddressComputer::intraChunkMacIndex(unit_base, sp);
+    const std::optional<Mac> stored = macSlot(chunk, intra);
+    if (!stored)
+        return Status::MacMismatch;
+
+    Mac computed;
+    if (g == Granularity::Line64B) {
+        computed = fineMacOf(unit_base, ctr);
+    } else {
+        std::vector<Mac> fine(lines);
+        for (std::uint64_t l = 0; l < lines; ++l)
+            fine[l] = fineMacOf(unit_base + l * kCachelineBytes, ctr);
+        computed = mac_.nestedMac(fine);
+    }
+    if (computed != *stored)
+        return Status::MacMismatch;
+
+    if (loc.level >= layout_.geometry().levels())
+        return Status::Ok;  // counter itself is on-chip (trusted)
+    return verifyPath(loc.level, loc.index);
+}
+
+void
+SecureMemory::decryptLines(Addr start_line, std::size_t count,
+                           std::uint8_t *out) const
+{
+    for (std::size_t l = 0; l < count; ++l) {
+        const Addr la = start_line + l * kCachelineBytes;
+        const auto &cipher = cipherLineConst(la);
+        const Pad pad = otp_.makePad(la, effectiveCounter(la));
+        for (unsigned b = 0; b < kCachelineBytes; ++b)
+            out[l * kCachelineBytes + b] = cipher[b] ^ pad[b];
+    }
+}
+
+SecureMemory::Status
+SecureMemory::writeUnit(Addr unit_base, Granularity g,
+                        std::size_t offset,
+                        std::span<const std::uint8_t> data)
+{
+    const std::uint64_t chunk = chunkIndex(unit_base);
+    ensureChunkInitialized(chunk);
+
+    const std::uint64_t lines = unitLines(g);
+    std::vector<std::uint8_t> plain(lines * kCachelineBytes);
+    panic_if(offset + data.size() > plain.size(),
+             "writeUnit: splice out of range");
+
+    if (data.size() == plain.size()) {
+        // Full overwrite: the old contents are irrelevant, so no
+        // verification or decryption is needed (streaming writes).
+    } else {
+        // Read-modify-write: the old data must verify before it is
+        // spliced with the new bytes.
+        const Status st = verifyUnit(unit_base, g);
+        if (st != Status::Ok)
+            return st;
+        decryptLines(unit_base, lines, plain.data());
+    }
+    std::memcpy(plain.data() + offset, data.data(), data.size());
+
+    // Freshness: bump the unit counter, then re-encrypt every line of
+    // the unit under the new value.
+    const CounterLoc loc = addr_.counterLocAt(unit_base, g);
+    const std::uint64_t newv = counterAt(loc.level, loc.index) + 1;
+    setCounterAndPropagate(loc.level, loc.index, newv);
+
+    const StreamPart sp = streamPart(chunk);
+    std::vector<Mac> fine(lines);
+    for (std::uint64_t l = 0; l < lines; ++l) {
+        const Addr la = unit_base + l * kCachelineBytes;
+        auto &line = cipherLine(la);
+        std::memcpy(line.data(), plain.data() + l * kCachelineBytes,
+                    kCachelineBytes);
+        const Pad pad = otp_.makePad(la, newv);
+        OtpGenerator::applyPad(pad, line.data());
+        fine[l] = fineMacOf(la, newv);
+    }
+
+    if (g == Granularity::Line64B) {
+        setMacSlot(chunk,
+                   AddressComputer::intraChunkMacIndex(unit_base, sp),
+                   fine[0]);
+    } else {
+        setMacSlot(chunk,
+                   AddressComputer::intraChunkMacIndex(unit_base, sp),
+                   mac_.nestedMac(fine));
+    }
+    return Status::Ok;
+}
+
+void
+SecureMemory::rekey(const Keys &new_keys)
+{
+    // Capture plaintext of every initialised chunk under the old
+    // keys first.
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        plains;
+    for (const std::uint64_t chunk : initialized_) {
+        auto &buf = plains[chunk];
+        buf.resize(kChunkBytes);
+        decryptLines(chunk * kChunkBytes, kLinesPerChunk, buf.data());
+    }
+
+    otp_ = OtpGenerator(new_keys.aes);
+    mac_ = MacEngine(new_keys.mac);
+
+    // Re-encrypt under the unchanged counters and rebuild all MACs.
+    for (auto &[chunk, plain] : plains) {
+        const Addr base = chunk * kChunkBytes;
+        for (unsigned l = 0; l < kLinesPerChunk; ++l) {
+            const Addr la = base + l * kCachelineBytes;
+            auto &line = cipherLine(la);
+            std::memcpy(line.data(), plain.data() +
+                                         l * kCachelineBytes,
+                        kCachelineBytes);
+            const Pad pad = otp_.makePad(la, effectiveCounter(la));
+            OtpGenerator::applyPad(pad, line.data());
+        }
+        rebuildChunkMacs(chunk, streamPart(chunk));
+    }
+
+    // Node MACs are keyed too: recompute every stored one.
+    std::vector<std::uint64_t> node_keys;
+    node_keys.reserve(node_macs_.size());
+    for (const auto &[k, mac] : node_macs_)
+        node_keys.push_back(k);
+    for (const std::uint64_t k : node_keys) {
+        refreshNodeMac(static_cast<unsigned>(k >> 56),
+                       k & ((std::uint64_t{1} << 56) - 1));
+    }
+}
+
+// ---- public read/write ----------------------------------------------------
+
+SecureMemory::Status
+SecureMemory::write(Addr addr, std::span<const std::uint8_t> data)
+{
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const Addr cur = addr + done;
+        const Granularity g = granularityAt(cur);
+        const Addr ubase = unitBase(cur, g);
+        const Addr uend = ubase + granularityBytes(g);
+        const std::size_t span = std::min<std::size_t>(
+            data.size() - done, uend - cur);
+        const Status st = writeUnit(ubase, g, cur - ubase,
+                                    data.subspan(done, span));
+        if (st != Status::Ok)
+            return st;
+        done += span;
+    }
+    return Status::Ok;
+}
+
+SecureMemory::Status
+SecureMemory::read(Addr addr, std::span<std::uint8_t> out)
+{
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const Addr cur = addr + done;
+        const std::uint64_t chunk = chunkIndex(cur);
+        ensureChunkInitialized(chunk);
+
+        const Granularity g = granularityAt(cur);
+        const Addr ubase = unitBase(cur, g);
+        const Addr uend = ubase + granularityBytes(g);
+        const std::size_t span = std::min<std::size_t>(
+            out.size() - done, uend - cur);
+
+        const Status st = verifyUnit(ubase, g);
+        if (st != Status::Ok)
+            return st;
+
+        // Decrypt the overlapped lines, honouring partial-line edges.
+        Addr pos = cur;
+        std::size_t left = span;
+        while (left > 0) {
+            const Addr la = alignDown(pos, kCachelineBytes);
+            std::uint8_t tmp[kCachelineBytes];
+            decryptLines(la, 1, tmp);
+            const std::size_t off = pos - la;
+            const std::size_t n =
+                std::min<std::size_t>(left, kCachelineBytes - off);
+            std::memcpy(out.data() + done + (span - left), tmp + off, n);
+            pos += n;
+            left -= n;
+        }
+        done += span;
+    }
+    return Status::Ok;
+}
+
+// ---- attack surface ---------------------------------------------------------
+
+void
+SecureMemory::corruptData(Addr addr, unsigned byte_index)
+{
+    ensureChunkInitialized(chunkIndex(addr));
+    auto &line = cipherLine(alignDown(addr, kCachelineBytes));
+    line[byte_index % kCachelineBytes] ^= 0x01;
+}
+
+void
+SecureMemory::corruptMac(Addr addr)
+{
+    const std::uint64_t chunk = chunkIndex(addr);
+    ensureChunkInitialized(chunk);
+    const StreamPart sp = streamPart(chunk);
+    const std::uint64_t intra =
+        AddressComputer::intraChunkMacIndex(
+            unitBase(addr, granularityAt(addr)), sp);
+    auto &slab = mac_slabs_[chunk];
+    panic_if(intra >= slab.size() || !slab[intra],
+             "corruptMac: no MAC stored for address");
+    slab[intra] = *slab[intra] ^ 0x1;
+}
+
+void
+SecureMemory::corruptCounter(Addr addr)
+{
+    ensureChunkInitialized(chunkIndex(addr));
+    const Granularity g = granularityAt(addr);
+    const CounterLoc loc = addr_.counterLocAt(addr, g);
+    panic_if(loc.level >= layout_.geometry().levels(),
+             "corruptCounter: counter is on-chip (untamperable)");
+    setCounterRaw(loc.level, loc.index,
+                  counterAt(loc.level, loc.index) ^ 0x1);
+}
+
+SecureMemory::Replay
+SecureMemory::captureForReplay(Addr addr)
+{
+    const Addr la = alignDown(addr, kCachelineBytes);
+    const std::uint64_t chunk = chunkIndex(la);
+    ensureChunkInitialized(chunk);
+    // Materialise node MACs along the path so the capture is complete.
+    const Granularity g = granularityAt(la);
+    (void)verifyUnit(unitBase(la, g), g);
+
+    const CounterLoc loc = addr_.counterLocAt(la, g);
+    Replay r;
+    r.addr = la;
+    r.cipher = cipherLineConst(la);
+    const StreamPart sp = streamPart(chunk);
+    const std::uint64_t intra =
+        AddressComputer::intraChunkMacIndex(unitBase(la, g), sp);
+    r.mac = macSlot(chunk, intra).value_or(0);
+    r.leaf_counter = counterAt(loc.level, loc.index);
+    if (loc.level < layout_.geometry().levels()) {
+        auto it = node_macs_.find(key(loc.level,
+                                      loc.index / kTreeArity));
+        r.leaf_node_mac = it == node_macs_.end() ? 0 : it->second;
+    }
+    return r;
+}
+
+void
+SecureMemory::replay(const Replay &r)
+{
+    const std::uint64_t chunk = chunkIndex(r.addr);
+    const Granularity g = granularityAt(r.addr);
+    const CounterLoc loc = addr_.counterLocAt(r.addr, g);
+    cipherLine(r.addr) = r.cipher;
+    const StreamPart sp = streamPart(chunk);
+    setMacSlot(chunk,
+               AddressComputer::intraChunkMacIndex(
+                   unitBase(r.addr, g), sp),
+               r.mac);
+    if (loc.level < layout_.geometry().levels()) {
+        setCounterRaw(loc.level, loc.index, r.leaf_counter);
+        node_macs_[key(loc.level, loc.index / kTreeArity)] =
+            r.leaf_node_mac;
+    }
+    // Note: on-chip trusted counters are deliberately NOT restored --
+    // an attacker cannot reach them.  That is what makes the replay
+    // detectable.
+}
+
+} // namespace mgmee

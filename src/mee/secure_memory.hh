@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Functional model of the multi-granular memory protection engine.
+ *
+ * This class actually performs counter-mode encryption (AES-128 OTPs),
+ * MAC generation/verification (SipHash), and 8-ary counter-tree
+ * maintenance over a simulated off-chip memory, at any mix of the four
+ * granularities.  It exists to prove the scheme *works*: data written
+ * at one granularity reads back intact across promotions/demotions,
+ * and tampering or replaying any off-chip byte (data, MAC, counter)
+ * is detected.  Timing/traffic is modelled separately by the engines
+ * in mee/ and core/.
+ *
+ * Granularity state is a per-chunk StreamPart map (see
+ * core/granularity.hh).  Promotion moves a unit's counter
+ * `promotionLevels(g)` levels up the tree and prunes everything below
+ * (Fig. 10); the unit MAC becomes the nested hash of its fine MACs
+ * (Eq. 5); MAC slots are compacted per Fig. 9.  All of that is driven
+ * by applyStreamPart() (implemented in core/multigran_memory.cc).
+ */
+
+#ifndef MGMEE_MEE_SECURE_MEMORY_HH
+#define MGMEE_MEE_SECURE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/address_computer.hh"
+#include "core/granularity.hh"
+#include "crypto/mac.hh"
+#include "crypto/otp.hh"
+#include "tree/layout.hh"
+
+namespace mgmee {
+
+/** Functional multi-granular secure memory. */
+class SecureMemory
+{
+  public:
+    /** Verification outcome of an access. */
+    enum class Status : std::uint8_t
+    {
+        Ok = 0,
+        MacMismatch,    //!< data/MAC integrity failure
+        TreeMismatch,   //!< counter freshness (replay) failure
+    };
+
+    /** Secret key material (per boot). */
+    struct Keys
+    {
+        Aes128::Key aes{};
+        SipKey mac{};
+    };
+
+    SecureMemory(std::size_t data_bytes, const Keys &keys);
+    virtual ~SecureMemory() = default;
+
+    SecureMemory(const SecureMemory &) = delete;
+    SecureMemory &operator=(const SecureMemory &) = delete;
+
+    /** Encrypt+authenticate @p data into [addr, addr+size). */
+    Status write(Addr addr, std::span<const std::uint8_t> data);
+
+    /** Verify+decrypt [addr, addr+size) into @p out. */
+    Status read(Addr addr, std::span<std::uint8_t> out);
+
+    /**
+     * Reconfigure @p chunk to the stream-partition map @p sp,
+     * promoting/demoting counters, re-encrypting where the paper
+     * requires it, and re-compacting the chunk's MAC slab.
+     */
+    void applyStreamPart(std::uint64_t chunk, StreamPart sp);
+
+    /**
+     * Rotate the secret keys: every initialised chunk is decrypted
+     * under the old keys and re-encrypted/re-MACed under @p new_keys
+     * (counters and granularity state are preserved).  Used at boot,
+     * hibernate/resume, or on a key-compromise response.
+     */
+    void rekey(const Keys &new_keys);
+
+    /** Current stream-partition map of @p chunk. */
+    StreamPart
+    streamPart(std::uint64_t chunk) const
+    {
+        auto it = stream_parts_.find(chunk);
+        return it == stream_parts_.end() ? kAllFine : it->second;
+    }
+
+    /** Granularity currently protecting @p addr. */
+    Granularity
+    granularityAt(Addr addr) const
+    {
+        return granularityOfAddr(streamPart(chunkIndex(addr)), addr);
+    }
+
+    /** Counter value currently encrypting the line at @p addr. */
+    std::uint64_t effectiveCounter(Addr addr) const;
+
+    // ---- attack surface (tests) -------------------------------------
+    /** Flip a ciphertext byte in off-chip memory. */
+    void corruptData(Addr addr, unsigned byte_index);
+    /** Flip a bit of the stored MAC protecting @p addr. */
+    void corruptMac(Addr addr);
+    /** Flip a stored counter value (off-chip tree node content). */
+    void corruptCounter(Addr addr);
+
+    /** Off-chip state of one line, capturable for replay attacks. */
+    struct Replay
+    {
+        Addr addr = 0;
+        std::array<std::uint8_t, kCachelineBytes> cipher{};
+        Mac mac = 0;
+        std::uint64_t leaf_counter = 0;
+        Mac leaf_node_mac = 0;
+    };
+
+    /** Capture everything an off-chip attacker could save. */
+    Replay captureForReplay(Addr addr);
+    /** Restore a captured state (the replay attack itself). */
+    void replay(const Replay &r);
+
+    const MetadataLayout &layout() const { return layout_; }
+    const AddressComputer &addrComputer() const { return addr_; }
+
+    static const char *statusName(Status s);
+
+  protected:
+    // ---- tree plumbing ----------------------------------------------
+    /** Key packing (level, index) into one 64-bit map key. */
+    static std::uint64_t
+    key(unsigned level, std::uint64_t index)
+    {
+        return (static_cast<std::uint64_t>(level) << 56) | index;
+    }
+
+    /**
+     * Key flag marking counters held in on-chip trusted storage
+     * (levels at/above the root node).  An attacker cannot touch
+     * these, which is what anchors replay detection.
+     */
+    static constexpr std::uint64_t kTrustedBit = std::uint64_t{1} << 63;
+
+    /** Counter value at (level, index); root array above levels(). */
+    std::uint64_t counterAt(unsigned level, std::uint64_t index) const;
+    void setCounterRaw(unsigned level, std::uint64_t index,
+                       std::uint64_t value);
+    void eraseCounter(unsigned level, std::uint64_t index);
+
+    /** Recompute the stored MAC of tree node (level, node). */
+    void refreshNodeMac(unsigned level, std::uint64_t node);
+    void eraseNodeMac(unsigned level, std::uint64_t node);
+
+    /**
+     * Set counter (level, index) to @p value and propagate: bump each
+     * ancestor and refresh the node MACs along the path (the child
+     * node changed, so its version counter in the parent must move).
+     */
+    void setCounterAndPropagate(unsigned level, std::uint64_t index,
+                                std::uint64_t value);
+
+    /** Verify node MACs from (level, index)'s node up to the root. */
+    Status verifyPath(unsigned level, std::uint64_t index) const;
+
+    // ---- data & MAC storage ------------------------------------------
+    std::array<std::uint8_t, kCachelineBytes> &
+    cipherLine(Addr line_addr);
+    const std::array<std::uint8_t, kCachelineBytes> &
+    cipherLineConst(Addr line_addr) const;
+
+    /** Per-chunk MAC slab slot access (compacted indices). */
+    std::optional<Mac> macSlot(std::uint64_t chunk,
+                               std::uint64_t intra) const;
+    void setMacSlot(std::uint64_t chunk, std::uint64_t intra, Mac mac);
+
+    // ---- unit-level operations ---------------------------------------
+    /** Initialise every line/MAC/counter of @p chunk (zero data). */
+    void ensureChunkInitialized(std::uint64_t chunk);
+
+    /** Verify the whole protection unit containing @p addr. */
+    Status verifyUnit(Addr unit_base, Granularity g) const;
+
+    /**
+     * Read-modify-write of one unit: decrypt, splice @p data at
+     * @p offset, bump the unit counter, re-encrypt, re-MAC.
+     */
+    Status writeUnit(Addr unit_base, Granularity g, std::size_t offset,
+                     std::span<const std::uint8_t> data);
+
+    /** Decrypt @p lines of the (verified) unit into @p out. */
+    void decryptLines(Addr start_line, std::size_t count,
+                      std::uint8_t *out) const;
+
+    /** Fine MAC of one stored ciphertext line under @p counter. */
+    Mac fineMacOf(Addr line_addr, std::uint64_t counter) const;
+
+    /** Recompute and store every MAC slot of @p chunk under @p sp. */
+    void rebuildChunkMacs(std::uint64_t chunk, StreamPart sp);
+
+    MetadataLayout layout_;
+    AddressComputer addr_;
+    OtpGenerator otp_;
+    MacEngine mac_;
+
+    /** Off-chip ciphertext, keyed by line index. */
+    std::unordered_map<std::uint64_t,
+                       std::array<std::uint8_t, kCachelineBytes>>
+        cipher_;
+    /**
+     * Counters, keyed by key(level, index); entries with kTrustedBit
+     * set model on-chip trusted storage.
+     */
+    std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+    /** Off-chip per-node MACs, keyed by key(level, node). */
+    mutable std::unordered_map<std::uint64_t, Mac> node_macs_;
+    /** Per-chunk compacted MAC slabs (512 slots max). */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::optional<Mac>>>
+        mac_slabs_;
+    /** Per-chunk stream-partition maps (functional ground truth). */
+    std::unordered_map<std::uint64_t, StreamPart> stream_parts_;
+    /** Chunks whose lines/MACs have been initialised. */
+    std::unordered_set<std::uint64_t> initialized_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEE_SECURE_MEMORY_HH

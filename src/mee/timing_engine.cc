@@ -1,0 +1,245 @@
+#include "mee/timing_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+// ---- UnitBuffer ---------------------------------------------------------
+
+bool
+UnitBuffer::contains(Addr unit_base, Cycle now)
+{
+    auto it = map_.find(unit_base);
+    if (it == map_.end())
+        return false;
+    if (now - it->second->stamp > window_) {
+        lru_.erase(it->second);
+        map_.erase(it);
+        return false;
+    }
+    it->second->stamp = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+Cycle
+UnitBuffer::transferDone(Addr unit_base) const
+{
+    auto it = map_.find(unit_base);
+    return it == map_.end() ? 0 : it->second->done;
+}
+
+void
+UnitBuffer::insert(Addr unit_base, Cycle now, Cycle done)
+{
+    auto it = map_.find(unit_base);
+    if (it != map_.end()) {
+        it->second->stamp = now;
+        it->second->done = done;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= entries_) {
+        map_.erase(lru_.back().unit);
+        lru_.pop_back();
+    }
+    lru_.push_front({unit_base, now, done});
+    map_[unit_base] = lru_.begin();
+}
+
+void
+UnitBuffer::invalidate(Addr unit_base)
+{
+    auto it = map_.find(unit_base);
+    if (it == map_.end())
+        return;
+    lru_.erase(it->second);
+    map_.erase(it);
+}
+
+// ---- WriteGather --------------------------------------------------------
+
+void
+WriteGather::close(const Entry &e, std::vector<Incomplete> &out)
+{
+    if (e.written < e.total)
+        out.push_back({e.unit, e.total - e.written});
+}
+
+void
+WriteGather::add(Addr unit_base, std::uint64_t unit_lines,
+                 std::uint64_t lines, Cycle now,
+                 std::vector<Incomplete> &out)
+{
+    // Lazily expire stale gathers from the LRU tail.
+    while (!lru_.empty() && now - lru_.back().start > window_) {
+        close(lru_.back(), out);
+        map_.erase(lru_.back().unit);
+        lru_.pop_back();
+    }
+
+    auto it = map_.find(unit_base);
+    if (it == map_.end()) {
+        if (map_.size() >= entries_) {
+            close(lru_.back(), out);
+            map_.erase(lru_.back().unit);
+            lru_.pop_back();
+        }
+        lru_.push_front({unit_base, now, unit_lines, 0});
+        map_[unit_base] = lru_.begin();
+        it = map_.find(unit_base);
+    } else {
+        lru_.splice(lru_.begin(), lru_, it->second);
+    }
+
+    Entry &e = *it->second;
+    e.written = std::min(e.total, e.written + lines);
+    if (e.written >= e.total) {
+        // Fully gathered: the unit is rewritten wholesale, no RMW.
+        lru_.erase(it->second);
+        map_.erase(it);
+    }
+}
+
+void
+WriteGather::discard(Addr unit_base)
+{
+    auto it = map_.find(unit_base);
+    if (it == map_.end())
+        return;
+    lru_.erase(it->second);
+    map_.erase(it);
+}
+
+// ---- MeeTimingBase ------------------------------------------------------
+
+MeeTimingBase::MeeTimingBase(std::string name, std::size_t data_bytes,
+                             const TimingConfig &cfg)
+    : name_(std::move(name)), cfg_(cfg), layout_(data_bytes),
+      meta_cache_(name_ + ".meta", cfg.meta_cache_bytes,
+                  cfg.meta_cache_ways),
+      mac_cache_(name_ + ".mac", cfg.mac_cache_bytes,
+                 cfg.mac_cache_ways),
+      root_cache_(cfg.root_cache_entries, cfg.root_cache_level),
+      unused_(cfg.unused_pruning),
+      unit_buffer_(cfg.unit_buffer_entries, cfg.unit_buffer_window)
+{
+    stats_ = StatGroup(name_);
+}
+
+Cycle
+MeeTimingBase::touchMeta(Addr line, bool is_write, Cycle now,
+                         MemCtrl &mem)
+{
+    const CacheResult res = meta_cache_.access(line, is_write);
+    if (res.writeback) {
+        mem.serve(now, res.victim_addr, kCachelineBytes, true,
+                  Traffic::Counter);
+        stats_.add("meta_writebacks");
+    }
+    if (res.hit)
+        return now + cfg_.hit_latency;
+    stats_.add("meta_fetches");
+    return mem.serve(now, line, kCachelineBytes, false,
+                     Traffic::Counter);
+}
+
+Cycle
+MeeTimingBase::touchMac(Addr line, bool is_write, Cycle now,
+                        MemCtrl &mem)
+{
+    const CacheResult res = mac_cache_.access(line, is_write);
+    if (res.writeback) {
+        mem.serve(now, res.victim_addr, kCachelineBytes, true,
+                  Traffic::Mac);
+        stats_.add("mac_writebacks");
+    }
+    if (res.hit)
+        return now + cfg_.hit_latency;
+    stats_.add("mac_fetches");
+    return mem.serve(now, line, kCachelineBytes, false,
+                     Traffic::Mac);
+}
+
+Cycle
+MeeTimingBase::readWalk(unsigned level, std::uint64_t index, Cycle now,
+                        MemCtrl &mem)
+{
+    // Every node address on the branch is computable from the leaf
+    // index, so the engine fetches the whole branch in parallel (as
+    // the SGX MEE does) and verifies bottom-up as nodes arrive.  The
+    // walk still stops at the first trusted level: a metadata-cache
+    // hit, a pinned subtree root, or the on-chip root.
+    const TreeGeometry &geom = layout_.geometry();
+    Cycle done = now;
+    std::uint64_t idx = index;
+    for (unsigned lvl = level; lvl < geom.levels(); ++lvl) {
+        const Addr line = layout_.counterLineAddr(lvl, idx);
+        // A pinned subtree root is trusted: stop before any fetch.
+        if (lvl == root_cache_.level() && root_cache_.lookup(line)) {
+            stats_.add("walk_root_cache_stops");
+            return std::max(done, now + cfg_.hit_latency);
+        }
+        const bool hit = meta_cache_.contains(line);
+        done = cfg_.parallel_walk
+                   ? std::max(done, touchMeta(line, false, now, mem))
+                   : touchMeta(line, false, done, mem);
+        stats_.add("walk_levels");
+        if (hit)
+            return done;  // verified against the trusted cached copy
+        if (lvl == root_cache_.level())
+            root_cache_.insert(line);  // pin the hot subtree root
+        idx /= kTreeArity;
+    }
+    // Reached the on-chip root node.
+    stats_.add("walk_to_root");
+    return done;
+}
+
+void
+MeeTimingBase::noteCounterBump(unsigned level, std::uint64_t index,
+                               Addr region_base,
+                               std::size_t region_bytes, Cycle now,
+                               MemCtrl &mem)
+{
+    if (cfg_.minor_counter_bits == 0)
+        return;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(level) << 56) | index;
+    if (++ctr_bumps_[key] < (std::uint32_t{1}
+                             << cfg_.minor_counter_bits)) {
+        return;
+    }
+    // Minor overflow: the major advances and every block covered by
+    // this counter is re-encrypted (read old, write new).
+    ctr_bumps_[key] = 0;
+    mem.serve(now, region_base,
+              static_cast<std::uint32_t>(region_bytes), false,
+              Traffic::Rmw);
+    mem.serve(now, region_base,
+              static_cast<std::uint32_t>(region_bytes), true,
+              Traffic::Rmw);
+    stats_.add("ctr_overflows");
+    stats_.add("ctr_overflow_lines",
+               region_bytes / kCachelineBytes);
+}
+
+void
+MeeTimingBase::writeWalk(unsigned level, std::uint64_t index, Cycle now,
+                         MemCtrl &mem)
+{
+    const TreeGeometry &geom = layout_.geometry();
+    std::uint64_t idx = index;
+    for (unsigned lvl = level; lvl < geom.levels(); ++lvl) {
+        const Addr line = layout_.counterLineAddr(lvl, idx);
+        // Writes update every level up to the root (Fig. 14); each
+        // level is fetched on miss and dirtied.
+        touchMeta(line, true, now, mem);
+        stats_.add("write_walk_levels");
+        if (lvl == root_cache_.level())
+            root_cache_.insert(line);
+        idx /= kTreeArity;
+    }
+}
+
+} // namespace mgmee

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Timing/traffic model interfaces for memory-protection engines.
+ *
+ * A TimingEngine sits between the devices and the memory controller:
+ * each off-chip request is charged for its data movement plus whatever
+ * security metadata (counters, tree nodes, MACs, granularity-table
+ * lines) the scheme needs, filtered through the on-chip metadata and
+ * MAC caches.  Engines return the cycle at which a read's data is
+ * decrypted and verified; writes are posted.
+ *
+ * The latency constants follow the paper's setup (Sec. 5.1): 10-cycle
+ * OTP generation, 1-cycle XOR, 8KB metadata cache, 4KB MAC cache.
+ */
+
+#ifndef MGMEE_MEE_TIMING_ENGINE_HH
+#define MGMEE_MEE_TIMING_ENGINE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/request.hh"
+#include "subtree/subtree_cache.hh"
+#include "subtree/unused_filter.hh"
+#include "tree/layout.hh"
+
+namespace mgmee {
+
+/** Timing parameters shared by all schemes. */
+struct TimingConfig
+{
+    Cycle otp_latency = 10;      //!< OTP generation (paper)
+    Cycle xor_latency = 1;       //!< pad XOR (paper)
+    Cycle hash_latency = 20;     //!< MAC compute/compare
+    Cycle hit_latency = 2;       //!< on-chip security cache hit
+
+    std::size_t meta_cache_bytes = 8 * 1024;  //!< paper: 8KB
+    unsigned meta_cache_ways = 8;
+    std::size_t mac_cache_bytes = 4 * 1024;   //!< paper: 4KB
+    unsigned mac_cache_ways = 8;
+
+    /** BMF-style subtree-root cache (0 entries = off). */
+    unsigned root_cache_entries = 0;
+    unsigned root_cache_level = 3;
+    /** PENGLAI-style unused-region pruning. */
+    bool unused_pruning = false;
+
+    /**
+     * Fetch tree-branch nodes concurrently (SGX-MEE style) instead of
+     * level-by-level.  Serial walks make tree height a first-order
+     * latency cost, which is the regime the paper's traversal-path
+     * argument assumes.
+     */
+    bool parallel_walk = false;
+
+    /** Validated-coarse-unit buffer (models bulk transfers). */
+    unsigned unit_buffer_entries = 256;
+    Cycle unit_buffer_window = 16 * 1024;
+
+    /**
+     * Split-counter minor width in bits (VAULT / Morphable-Counters
+     * style; SGX uses 56-bit majors with small per-line minors).
+     * A counter whose minor saturates after 2^bits bumps forces
+     * re-encryption of everything it covers.  0 models ideal
+     * monotonic counters that never overflow (the paper's setting).
+     */
+    unsigned minor_counter_bits = 0;
+};
+
+/**
+ * Tracks coarse protection units whose bulk fetch+verification is
+ * still fresh; further line accesses inside the window ride the
+ * transfer already in flight instead of re-fetching -- but their
+ * data still arrives no earlier than that transfer completes.
+ */
+class UnitBuffer
+{
+  public:
+    UnitBuffer(unsigned entries, Cycle window)
+        : entries_(entries), window_(window) {}
+
+    /** True if @p unit_base was validated within the window. */
+    bool contains(Addr unit_base, Cycle now);
+
+    /**
+     * Completion cycle of the bulk transfer backing @p unit_base.
+     * Only meaningful right after contains() returned true.
+     */
+    Cycle transferDone(Addr unit_base) const;
+
+    /** Record a validation of @p unit_base done at @p done. */
+    void insert(Addr unit_base, Cycle now, Cycle done);
+
+    /** Drop @p unit_base (e.g. its granularity changed). */
+    void invalidate(Addr unit_base);
+
+  private:
+    struct Entry
+    {
+        Addr unit = 0;
+        Cycle stamp = 0;   //!< last-touch cycle (window expiry)
+        Cycle done = 0;    //!< bulk-transfer completion
+    };
+
+    unsigned entries_;
+    Cycle window_;
+    std::list<Entry> lru_;  //!< front = MRU
+    std::unordered_map<Addr, std::list<Entry>::iterator> map_;
+};
+
+/**
+ * Write-combining model for coarse protection units.  A unit whose
+ * counter and MAC are shared must be re-encrypted and re-MACed as a
+ * whole on any write; streaming writes that cover the full unit
+ * within the gather window need no old data, but a unit evicted or
+ * expired with partial coverage pays a read-modify-write fetch of the
+ * missing lines.  This is the cost that makes aggressive static
+ * granularity lose on scattered writes (Sec. 3.3 / Fig. 6).
+ */
+class WriteGather
+{
+  public:
+    WriteGather(unsigned entries, Cycle window)
+        : entries_(entries), window_(window) {}
+
+    /** A unit that closed with incomplete coverage (owes an RMW). */
+    struct Incomplete
+    {
+        Addr unit_base;
+        std::uint64_t missing_lines;
+    };
+
+    /**
+     * Record @p lines newly written to the unit at @p unit_base
+     * (which has @p unit_lines lines total).  Expired or evicted
+     * partially-covered units are appended to @p out for the caller
+     * to charge.
+     */
+    void add(Addr unit_base, std::uint64_t unit_lines,
+             std::uint64_t lines, Cycle now,
+             std::vector<Incomplete> &out);
+
+    /** Drop a unit without charging (granularity switched). */
+    void discard(Addr unit_base);
+
+  private:
+    struct Entry
+    {
+        Addr unit = 0;
+        Cycle start = 0;
+        std::uint64_t total = 0;
+        std::uint64_t written = 0;
+    };
+
+    void close(const Entry &e, std::vector<Incomplete> &out);
+
+    unsigned entries_;
+    Cycle window_;
+    std::list<Entry> lru_;  //!< front = MRU
+    std::unordered_map<Addr, std::list<Entry>::iterator> map_;
+};
+
+/** Abstract protection engine as seen by the hetero system. */
+class TimingEngine
+{
+  public:
+    virtual ~TimingEngine() = default;
+
+    /**
+     * Process one off-chip request at its issue cycle, charging all
+     * induced traffic on @p mem.
+     * @return completion cycle of the verified data (reads) or the
+     *         issue cycle (posted writes).
+     */
+    virtual Cycle access(const MemRequest &req, MemCtrl &mem) = 0;
+
+    /** Hook for kernel/phase boundaries (CommonCounters scans). */
+    virtual void kernelBoundary(Cycle now, MemCtrl &mem)
+    {
+        (void)now;
+        (void)mem;
+    }
+
+    /** Scheme name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Total security-cache misses (metadata + MAC). */
+    virtual std::uint64_t securityCacheMisses() const { return 0; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  protected:
+    StatGroup stats_;
+};
+
+/**
+ * Shared machinery for real protection schemes: the metadata/MAC
+ * caches, integrity-tree walks with optional subtree optimizations,
+ * and traffic charging helpers.
+ */
+class MeeTimingBase : public TimingEngine
+{
+  public:
+    MeeTimingBase(std::string name, std::size_t data_bytes,
+                  const TimingConfig &cfg);
+
+    std::uint64_t
+    securityCacheMisses() const override
+    {
+        return meta_cache_.misses() + mac_cache_.misses();
+    }
+
+    const char *name() const override { return name_.c_str(); }
+
+    const Cache &metaCache() const { return meta_cache_; }
+    const Cache &macCache() const { return mac_cache_; }
+    const MetadataLayout &layout() const { return layout_; }
+
+  protected:
+    /**
+     * Access one metadata line through the metadata cache; misses
+     * fetch from DRAM, dirty victims write back.
+     * @return completion cycle of the line (hit: now + hit latency).
+     */
+    Cycle touchMeta(Addr line, bool is_write, Cycle now, MemCtrl &mem);
+
+    /** Same through the MAC cache. */
+    Cycle touchMac(Addr line, bool is_write, Cycle now, MemCtrl &mem);
+
+    /**
+     * Read-side integrity walk from the counter at (level, index) up
+     * to the first trusted stop: a metadata-cache hit, a pinned
+     * subtree root, or the on-chip root.  Serialised fetches.
+     * @return completion cycle of the verification chain.
+     */
+    Cycle readWalk(unsigned level, std::uint64_t index, Cycle now,
+                   MemCtrl &mem);
+
+    /**
+     * Write-side walk: every level up to the root is fetched (on
+     * miss) and dirtied (Fig. 14: writes extend to the root).
+     */
+    void writeWalk(unsigned level, std::uint64_t index, Cycle now,
+                   MemCtrl &mem);
+
+    /**
+     * Record one bump of counter (level, index) that covers
+     * [region_base, region_base + region_bytes).  With split
+     * counters enabled, the 2^minor_counter_bits-th bump overflows
+     * the minor and charges a read+write re-encryption sweep of the
+     * covered region.
+     */
+    void noteCounterBump(unsigned level, std::uint64_t index,
+                         Addr region_base, std::size_t region_bytes,
+                         Cycle now, MemCtrl &mem);
+
+    std::string name_;
+    TimingConfig cfg_;
+    MetadataLayout layout_;
+    Cache meta_cache_;
+    Cache mac_cache_;
+    SubtreeRootCache root_cache_;
+    UnusedFilter unused_;
+    UnitBuffer unit_buffer_;
+    /** Bump counts for split-counter overflow tracking. */
+    std::unordered_map<std::uint64_t, std::uint32_t> ctr_bumps_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEE_TIMING_ENGINE_HH

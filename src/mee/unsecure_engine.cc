@@ -1,0 +1,12 @@
+#include "mee/unsecure_engine.hh"
+
+namespace mgmee {
+
+Cycle
+UnsecureEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    stats_.add(req.is_write ? "writes" : "reads");
+    return mem.serve(req.issue, req.addr, req.bytes, req.is_write);
+}
+
+} // namespace mgmee

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Baseline with no memory protection: requests move only their own
+ * data.  Normalisation anchor for every evaluation figure.
+ */
+
+#ifndef MGMEE_MEE_UNSECURE_ENGINE_HH
+#define MGMEE_MEE_UNSECURE_ENGINE_HH
+
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** Pass-through engine (the paper's "Unsecure" scheme). */
+class UnsecureEngine : public TimingEngine
+{
+  public:
+    UnsecureEngine() { stats_ = StatGroup("unsecure"); }
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+    const char *name() const override { return "Unsecure"; }
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEE_UNSECURE_ENGINE_HH

@@ -1,0 +1,78 @@
+#include "mem/mem_ctrl.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+MemCtrl::MemCtrl(const MemCtrlConfig &cfg) : cfg_(cfg)
+{
+    fatal_if(cfg.channels == 0, "memory controller needs >=1 channel");
+    busy_until_.assign(cfg_.channels, 0);
+}
+
+unsigned
+MemCtrl::channelOf(Addr line_addr) const
+{
+    // Interleave consecutive cachelines across channels.
+    return static_cast<unsigned>((line_addr >> kCachelineBits) %
+                                 cfg_.channels);
+}
+
+const char *
+trafficName(Traffic t)
+{
+    switch (t) {
+      case Traffic::Data: return "data";
+      case Traffic::Counter: return "counter";
+      case Traffic::Mac: return "mac";
+      case Traffic::Table: return "table";
+      case Traffic::Switch: return "switch";
+      case Traffic::Rmw: return "rmw";
+    }
+    return "?";
+}
+
+Cycle
+MemCtrl::serve(Cycle issue, Addr addr, std::uint32_t bytes,
+               bool is_write, Traffic cls)
+{
+    const Addr first = alignDown(addr, kCachelineBytes);
+    const Addr last = alignDown(addr + (bytes ? bytes - 1 : 0),
+                                kCachelineBytes);
+    Cycle done = issue;
+    for (Addr line = first; line <= last; line += kCachelineBytes) {
+        Cycle &busy = busy_until_[channelOf(line)];
+        const Cycle start = std::max(busy, issue);
+        busy = start + cfg_.service_cycles_per_line;
+        done = std::max(done, busy + cfg_.access_latency);
+        ++lines_served_;
+        by_class_[static_cast<unsigned>(cls)] += kCachelineBytes;
+        if (is_write)
+            bytes_written_ += kCachelineBytes;
+        else
+            bytes_read_ += kCachelineBytes;
+    }
+    // Posted writes: the issuer does not wait for DRAM completion.
+    return is_write ? issue : done;
+}
+
+Cycle
+MemCtrl::drainCycle() const
+{
+    Cycle c = 0;
+    for (Cycle busy : busy_until_)
+        c = std::max(c, busy);
+    return c;
+}
+
+void
+MemCtrl::resetStats()
+{
+    bytes_read_ = bytes_written_ = lines_served_ = 0;
+    for (auto &b : by_class_)
+        b = 0;
+}
+
+} // namespace mgmee

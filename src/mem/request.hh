@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Memory request descriptor exchanged between devices, the protection
+ * engine and the memory controller.
+ */
+
+#ifndef MGMEE_MEM_REQUEST_HH
+#define MGMEE_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** One off-chip access as seen below the device LLC. */
+struct MemRequest
+{
+    Addr addr = 0;               //!< 64B-aligned start address
+    std::uint32_t bytes = kCachelineBytes;  //!< request footprint
+    bool is_write = false;
+    unsigned device = 0;         //!< index within the hetero system
+    Cycle issue = 0;             //!< earliest cycle it may reach DRAM
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEM_REQUEST_HH

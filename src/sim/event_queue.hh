@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal gem5-style discrete-event simulation core.
+ *
+ * The evaluation harness uses a closed-loop issue-order model
+ * (hetero/HeteroSystem) because it is fast enough for 250-scenario
+ * sweeps.  This event queue backs an alternative, fully event-driven
+ * runner (sim/EventDrivenSystem) used to cross-validate that model:
+ * both must agree on device finish times within a tight bound
+ * (tests/event_sim_test.cc).
+ */
+
+#ifndef MGMEE_SIM_EVENT_QUEUE_HH
+#define MGMEE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** Discrete-event queue with deterministic tie-breaking. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule @p handler at absolute cycle @p when. */
+    void
+    schedule(Cycle when, Handler handler)
+    {
+        events_.push(Event{when, seq_++, std::move(handler)});
+    }
+
+    /** Current simulated time (last dispatched event's cycle). */
+    Cycle now() const { return now_; }
+
+    bool empty() const { return events_.empty(); }
+
+    /** Dispatch events in (cycle, insertion) order until drained. */
+    void
+    run()
+    {
+        while (!events_.empty()) {
+            // Copy out before pop: the handler may schedule more.
+            Event ev = events_.top();
+            events_.pop();
+            now_ = ev.when;
+            ev.handler();
+            ++dispatched_;
+        }
+    }
+
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;   //!< FIFO among same-cycle events
+        Handler handler;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        events_;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,57 @@
+#include "sim/event_system.hh"
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+EventDrivenSystem::EventDrivenSystem(
+    std::vector<Device> devices,
+    std::unique_ptr<TimingEngine> engine, const MemCtrlConfig &mem_cfg)
+    : devices_(std::move(devices)), engine_(std::move(engine)),
+      mem_(mem_cfg)
+{
+    fatal_if(devices_.empty(), "event system needs >=1 device");
+    fatal_if(!engine_, "event system needs an engine");
+}
+
+void
+EventDrivenSystem::issueNext(std::size_t d)
+{
+    Device &dev = devices_[d];
+    if (dev.done())
+        return;
+
+    const MemRequest req = dev.makeRequest();
+    const Cycle done = engine_->access(req, mem_);
+    dev.complete(done);
+
+    if (!dev.done()) {
+        queue_.schedule(dev.nextIssue(),
+                        [this, d]() { issueNext(d); });
+    }
+}
+
+void
+EventDrivenSystem::run()
+{
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+        if (!devices_[d].done()) {
+            queue_.schedule(devices_[d].nextIssue(),
+                            [this, d]() { issueNext(d); });
+        }
+    }
+    queue_.run();
+    engine_->kernelBoundary(queue_.now(), mem_);
+}
+
+std::vector<Cycle>
+EventDrivenSystem::deviceFinishTimes() const
+{
+    std::vector<Cycle> times;
+    times.reserve(devices_.size());
+    for (const Device &dev : devices_)
+        times.push_back(dev.finishTime());
+    return times;
+}
+
+} // namespace mgmee

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Event-driven variant of the heterogeneous system.
+ *
+ * Each device is driven by issue events: when a device's next trace
+ * op becomes eligible (compute gap elapsed AND an outstanding-request
+ * slot is free), an event fires that pushes the request through the
+ * protection engine and schedules the follow-up issue event.  The
+ * observable behaviour (per-device finish times, traffic) must match
+ * hetero/HeteroSystem, which dispatches the same requests in global
+ * issue order without a queue -- the cross-check that validates the
+ * fast model.
+ */
+
+#ifndef MGMEE_SIM_EVENT_SYSTEM_HH
+#define MGMEE_SIM_EVENT_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "devices/device.hh"
+#include "mee/timing_engine.hh"
+#include "mem/mem_ctrl.hh"
+#include "sim/event_queue.hh"
+
+namespace mgmee {
+
+/** Event-driven SoC runner (validation twin of HeteroSystem). */
+class EventDrivenSystem
+{
+  public:
+    EventDrivenSystem(std::vector<Device> devices,
+                      std::unique_ptr<TimingEngine> engine,
+                      const MemCtrlConfig &mem_cfg = {});
+
+    /** Run all devices to completion. */
+    void run();
+
+    std::vector<Cycle> deviceFinishTimes() const;
+
+    const MemCtrl &mem() const { return mem_; }
+    const TimingEngine &engine() const { return *engine_; }
+    const EventQueue &queue() const { return queue_; }
+
+  private:
+    /** Issue the next op of device @p d, then schedule its follower. */
+    void issueNext(std::size_t d);
+
+    std::vector<Device> devices_;
+    std::unique_ptr<TimingEngine> engine_;
+    MemCtrl mem_;
+    EventQueue queue_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_SIM_EVENT_SYSTEM_HH

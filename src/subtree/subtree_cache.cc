@@ -1,0 +1,37 @@
+#include "subtree/subtree_cache.hh"
+
+namespace mgmee {
+
+bool
+SubtreeRootCache::lookup(Addr node_line)
+{
+    if (!enabled())
+        return false;
+    ++lookups_;
+    auto it = map_.find(node_line);
+    if (it == map_.end())
+        return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+}
+
+void
+SubtreeRootCache::insert(Addr node_line)
+{
+    if (!enabled())
+        return;
+    auto it = map_.find(node_line);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= entries_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(node_line);
+    map_[node_line] = lru_.begin();
+}
+
+} // namespace mgmee

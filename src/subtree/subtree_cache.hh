@@ -1,0 +1,61 @@
+/**
+ * @file
+ * On-chip subtree-root cache in the style of Bonsai Merkle Forests
+ * (Freij et al., MICRO'21).
+ *
+ * A small fully-associative LRU structure pins the tree nodes of hot
+ * subtrees on-chip.  A verification walk that reaches a pinned node
+ * stops there: the node is trusted, so the levels above need not be
+ * fetched.  We pin nodes of one fixed level (default: level 3, whose
+ * counters each cover 32KB), which matches the paper's use of
+ * BMF for hot-region pruning (Fig. 3 (a)).
+ */
+
+#ifndef MGMEE_SUBTREE_SUBTREE_CACHE_HH
+#define MGMEE_SUBTREE_SUBTREE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** Fully-associative LRU cache of trusted subtree-root node lines. */
+class SubtreeRootCache
+{
+  public:
+    /**
+     * @param entries number of pinned roots (0 disables the cache)
+     * @param level   tree level whose nodes are eligible for pinning
+     */
+    explicit SubtreeRootCache(unsigned entries = 0, unsigned level = 3)
+        : entries_(entries), level_(level) {}
+
+    /** Tree level whose nodes this cache pins. */
+    unsigned level() const { return level_; }
+
+    bool enabled() const { return entries_ != 0; }
+
+    /** True (and refreshed as MRU) if @p node_line is pinned. */
+    bool lookup(Addr node_line);
+
+    /** Pin @p node_line, evicting the LRU root if full. */
+    void insert(Addr node_line);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    unsigned entries_;
+    unsigned level_;
+    std::list<Addr> lru_;  //!< front = MRU
+    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t lookups_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_SUBTREE_SUBTREE_CACHE_HH

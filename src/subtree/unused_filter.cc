@@ -1,0 +1,6 @@
+#include "subtree/unused_filter.hh"
+
+// Header-only today; anchors the module's translation unit.
+
+namespace mgmee {
+} // namespace mgmee

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unused-memory-region pruning in the style of PENGLAI's mountable
+ * trees (Feng et al., OSDI'21).
+ *
+ * Subtrees covering memory that was never written hold known-zero
+ * counters, so reads of such regions need no tree traversal at all.
+ * The filter tracks, per 32KB chunk, whether any write has "mounted"
+ * its subtree.
+ */
+
+#ifndef MGMEE_SUBTREE_UNUSED_FILTER_HH
+#define MGMEE_SUBTREE_UNUSED_FILTER_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** Tracks which chunks have ever been touched (tree "mounted"). */
+class UnusedFilter
+{
+  public:
+    explicit UnusedFilter(bool enabled = false) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+
+    /** Record any access to @p addr; returns true if newly mounted. */
+    bool
+    markTouched(Addr addr)
+    {
+        if (!enabled_)
+            return false;
+        return mounted_.insert(chunkIndex(addr)).second;
+    }
+
+    /**
+     * True if this access can skip the integrity walk because the
+     * covering subtree was never mounted: its counters are known
+     * zero, so there is nothing to verify yet.  Only the first touch
+     * of a chunk qualifies; afterwards the subtree is mounted.
+     */
+    bool
+    canSkipWalk(Addr addr) const
+    {
+        if (!enabled_)
+            return false;
+        return !mounted_.contains(chunkIndex(addr));
+    }
+
+    std::size_t mountedChunks() const { return mounted_.size(); }
+
+  private:
+    bool enabled_;
+    std::unordered_set<std::uint64_t> mounted_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_SUBTREE_UNUSED_FILTER_HH

@@ -1,0 +1,8 @@
+#include "tree/layout.hh"
+
+// MetadataLayout is header-only today; this translation unit anchors
+// the class for future out-of-line growth and keeps the build list
+// uniform (one .cc per module).
+
+namespace mgmee {
+} // namespace mgmee

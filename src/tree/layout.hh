@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Physical layout of security metadata in the (simulated) address
+ * space.
+ *
+ * Data occupies [0, dataBytes).  MACs, counter-tree levels and the
+ * granularity table live in disjoint high regions so that metadata
+ * traffic is distinguishable from data traffic and indexes cleanly
+ * into the metadata/MAC caches.
+ */
+
+#ifndef MGMEE_TREE_LAYOUT_HH
+#define MGMEE_TREE_LAYOUT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "tree/tree_index.hh"
+
+namespace mgmee {
+
+/** Address-space map for one protected memory domain. */
+class MetadataLayout
+{
+  public:
+    /** Region bases (line-aligned, far above any data address). */
+    static constexpr Addr kMacBase = Addr{1} << 40;
+    static constexpr Addr kCounterBase = Addr{1} << 41;
+    static constexpr Addr kGranTableBase = Addr{1} << 42;
+
+    explicit MetadataLayout(std::size_t data_bytes)
+        : geom_(data_bytes) {}
+
+    const TreeGeometry &geometry() const { return geom_; }
+
+    /**
+     * Address of the MAC-region cacheline holding the MAC with flat
+     * index @p mac_index.  Per Eq. 1 the byte address is
+     * base + index * 8; we return the containing 64B line.
+     */
+    Addr
+    macLineAddr(std::uint64_t mac_index) const
+    {
+        return kMacBase +
+               alignDown(mac_index * kMacBytes, kCachelineBytes);
+    }
+
+    /**
+     * Fine-grained (64B-granularity) MAC index of @p data_addr:
+     * one MAC per cacheline, chunk-major (Sec. 4.3: "an address of a
+     * counter or a MAC is computed by 32KB chunks, considering that
+     * every granularity ... in previous chunks is finest-grained").
+     */
+    std::uint64_t
+    fineMacIndex(Addr data_addr) const
+    {
+        return lineIndex(data_addr);
+    }
+
+    /**
+     * Address of the metadata line holding counter @p index of tree
+     * level @p level (Eq. 4 generalised across levels).
+     */
+    Addr
+    counterLineAddr(unsigned level, std::uint64_t index) const
+    {
+        return kCounterBase +
+               geom_.lineOffset(level, index) * kCachelineBytes;
+    }
+
+    /**
+     * Address of the granularity-table line for @p chunk.  Each entry
+     * is 16B (8B current + 8B next bitmap), four entries per line.
+     */
+    Addr
+    granTableLineAddr(std::uint64_t chunk) const
+    {
+        return kGranTableBase + alignDown(chunk * 16, kCachelineBytes);
+    }
+
+    /** Classify an address into data vs metadata regions. */
+    static bool isMacAddr(Addr a)
+    {
+        return a >= kMacBase && a < kCounterBase;
+    }
+    static bool isCounterAddr(Addr a)
+    {
+        return a >= kCounterBase && a < kGranTableBase;
+    }
+    static bool isGranTableAddr(Addr a) { return a >= kGranTableBase; }
+    static bool isDataAddr(Addr a) { return a < kMacBase; }
+
+  private:
+    TreeGeometry geom_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_TREE_LAYOUT_HH

@@ -1,0 +1,48 @@
+#include "tree/split_counter.hh"
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+SplitCounterLine::SplitCounterLine(unsigned minor_bits)
+    : minor_bits_(minor_bits)
+{
+    fatal_if(minor_bits == 0 || minor_bits > 16,
+             "split-counter minors must be 1..16 bits, got %u",
+             minor_bits);
+}
+
+std::uint64_t
+SplitCounterLine::value(unsigned i) const
+{
+    panic_if(i >= kTreeArity, "split-counter slot %u out of range", i);
+    return (major_ << minor_bits_) | minors_[i];
+}
+
+std::uint16_t
+SplitCounterLine::minor(unsigned i) const
+{
+    panic_if(i >= kTreeArity, "split-counter slot %u out of range", i);
+    return minors_[i];
+}
+
+bool
+SplitCounterLine::bump(unsigned i)
+{
+    panic_if(i >= kTreeArity, "split-counter slot %u out of range", i);
+    const std::uint16_t saturated = static_cast<std::uint16_t>(
+        (std::uint32_t{1} << minor_bits_) - 1);
+    if (minors_[i] < saturated) {
+        ++minors_[i];
+        return false;
+    }
+    // Minor overflow: advance the major, reset every minor.  All
+    // logical values jump to a never-used range, so every covered
+    // block needs re-encryption under its new counter.
+    ++major_;
+    minors_.fill(0);
+    ++overflows_;
+    return true;
+}
+
+} // namespace mgmee

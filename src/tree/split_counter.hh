@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Split-counter encoding of one 64B counter line (SGX-MEE / VAULT
+ * style, cf. Morphable Counters in the paper's related work).
+ *
+ * A monotonic 64-bit counter per block is cheap to reason about but
+ * expensive to store.  Real engines pack one 56-bit *major* plus
+ * `arity` small *minors* into a single metadata line; the logical
+ * counter of block i is (major << minor_bits) | minor[i].  When a
+ * minor saturates, the major advances, every minor resets, and every
+ * block covered by the line must be re-encrypted (their logical
+ * counters all jump).
+ *
+ * This module models that encoding bit-exactly and reports overflow
+ * events; the timing engines consume the same semantics through
+ * TimingConfig::minor_counter_bits.
+ */
+
+#ifndef MGMEE_TREE_SPLIT_COUNTER_HH
+#define MGMEE_TREE_SPLIT_COUNTER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** One 64B metadata line of split counters. */
+class SplitCounterLine
+{
+  public:
+    /**
+     * @param minor_bits width of each minor counter (1..16)
+     */
+    explicit SplitCounterLine(unsigned minor_bits);
+
+    /** Logical (monotonic) counter value of slot @p i. */
+    std::uint64_t value(unsigned i) const;
+
+    /**
+     * Bump slot @p i.
+     * @retval true  a minor overflowed: the major advanced, all
+     *               minors reset, and the caller must re-encrypt
+     *               every block the line covers.
+     */
+    bool bump(unsigned i);
+
+    std::uint64_t major() const { return major_; }
+    std::uint16_t minor(unsigned i) const;
+    unsigned minorBits() const { return minor_bits_; }
+
+    /** Storage the encoding uses per line, in bits. */
+    unsigned
+    storageBits() const
+    {
+        return kMajorBits +
+               static_cast<unsigned>(kTreeArity) * minor_bits_;
+    }
+
+    /** Bumps of one slot before its minor saturates. */
+    std::uint64_t
+    bumpsPerOverflow() const
+    {
+        return std::uint64_t{1} << minor_bits_;
+    }
+
+    std::uint64_t overflows() const { return overflows_; }
+
+    static constexpr unsigned kMajorBits = 56;
+
+  private:
+    unsigned minor_bits_;
+    std::uint64_t major_ = 0;
+    std::array<std::uint16_t, kTreeArity> minors_{};
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_TREE_SPLIT_COUNTER_HH

@@ -1,0 +1,45 @@
+#include "tree/tree_index.hh"
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+TreeGeometry::TreeGeometry(std::size_t data_bytes)
+{
+    // Round the protected region up to whole 32KB chunks so every
+    // chunk owns a complete 3-level subtree.
+    const std::size_t chunks =
+        (data_bytes + kChunkBytes - 1) / kChunkBytes;
+    data_bytes_ = chunks * kChunkBytes;
+    fatal_if(chunks == 0, "integrity tree over empty region");
+
+    std::uint64_t count = data_bytes_ / kCachelineBytes;
+    while (count > kTreeArity) {
+        counts_.push_back(count);
+        count = (count + kTreeArity - 1) / kTreeArity;
+    }
+    // The final <=8 counters form the on-chip root node; they are not
+    // stored in memory, so they do not appear in counts_.
+
+    line_base_.resize(counts_.size());
+    std::uint64_t base = 0;
+    for (std::size_t lvl = 0; lvl < counts_.size(); ++lvl) {
+        line_base_[lvl] = base;
+        base += (counts_[lvl] + kTreeArity - 1) / kTreeArity;
+    }
+    total_lines_ = base;
+}
+
+std::uint64_t
+TreeGeometry::lineOffset(unsigned level, std::uint64_t index) const
+{
+    panic_if(level >= counts_.size(),
+             "tree level %u out of range (%zu levels)", level,
+             counts_.size());
+    panic_if(index >= counts_[level],
+             "counter index %llu out of range at level %u",
+             static_cast<unsigned long long>(index), level);
+    return line_base_[level] + index / kTreeArity;
+}
+
+} // namespace mgmee

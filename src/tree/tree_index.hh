@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Index math for the 8-ary counter integrity tree.
+ *
+ * Level 0 holds one counter per protected 64B line; each level above
+ * holds one counter per 8 children.  Counters are packed 8 per 64B
+ * metadata cacheline, so the counter at (level, index) lives in node
+ * index/8 of that level.  The root level has at most `arity` counters
+ * and is pinned on-chip.
+ */
+
+#ifndef MGMEE_TREE_TREE_INDEX_HH
+#define MGMEE_TREE_TREE_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** Static geometry of an integrity tree covering a data region. */
+class TreeGeometry
+{
+  public:
+    /**
+     * @param data_bytes size of the protected region; rounded up to a
+     *                   whole number of 32KB chunks.
+     */
+    explicit TreeGeometry(std::size_t data_bytes);
+
+    /** Number of counter levels stored in memory (root excluded). */
+    unsigned levels() const { return static_cast<unsigned>(
+            counts_.size()); }
+
+    /** Counters stored at @p level (level < levels()). */
+    std::uint64_t countersAt(unsigned level) const
+    {
+        return counts_[level];
+    }
+
+    /** Total 64B metadata lines across all in-memory levels. */
+    std::uint64_t totalCounterLines() const { return total_lines_; }
+
+    /**
+     * Flat line offset (in 64B units from the counter-region base) of
+     * the metadata line holding counter @p index of @p level.
+     */
+    std::uint64_t lineOffset(unsigned level, std::uint64_t index) const;
+
+    /** Parent counter index (one level up). */
+    static std::uint64_t parentIndex(std::uint64_t index)
+    {
+        return index / kTreeArity;
+    }
+
+    /** Ancestor @p k levels up (Eq. 3 of the paper). */
+    static std::uint64_t
+    ancestorIndex(std::uint64_t index, unsigned k)
+    {
+        for (unsigned i = 0; i < k; ++i)
+            index /= kTreeArity;
+        return index;
+    }
+
+    /** First child index (one level down). */
+    static std::uint64_t childIndex(std::uint64_t index, unsigned child)
+    {
+        return index * kTreeArity + child;
+    }
+
+    std::uint64_t leafCount() const { return counts_.empty() ? 0 :
+                                             counts_[0]; }
+    std::size_t dataBytes() const { return data_bytes_; }
+
+  private:
+    std::size_t data_bytes_;
+    std::vector<std::uint64_t> counts_;       //!< counters per level
+    std::vector<std::uint64_t> line_base_;    //!< line offset of level
+    std::uint64_t total_lines_ = 0;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_TREE_TREE_INDEX_HH

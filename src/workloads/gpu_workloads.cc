@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GPU workload models (Table 4): floyd, mm, pr, sten, syr2k.
+ *
+ * GPUs issue coalesced 256B warp requests with deep MLP.  The paper's
+ * mix (Sec. 3.1): syr2k and pr fine, mm and sten coarse, floyd
+ * genuinely diverse.
+ */
+
+#include "workloads/registry.hh"
+
+namespace mgmee {
+
+const std::vector<WorkloadSpec> &
+gpuWorkloads()
+{
+    static const std::vector<WorkloadSpec> specs = [] {
+        std::vector<WorkloadSpec> v;
+
+        WorkloadSpec base;
+        base.kind = DeviceKind::GPU;
+        base.window = 48;
+        base.stream_req_bytes = 256;
+        base.fine_episode_lines = 6;
+        base.footprint = 24ull << 20;
+        base.ops = 6000;
+        base.gap_line = 2;
+        base.gap_episode = 495;
+
+        // Floyd-Warshall (APP SDK): diverse mix, small traffic.
+        WorkloadSpec floyd = base;
+        floyd.name = "floyd";
+        floyd.r64 = 0.30; floyd.r512 = 0.12; floyd.r4k = 0.28;
+        floyd.r32k = 0.30;
+        floyd.gap_fine = 68;
+        floyd.gap_episode = 891;
+        floyd.write_frac = 0.3;
+        floyd.partial_frac = 0.4;
+        v.push_back(floyd);
+
+        // Matrix-Multiplication (APP SDK): very coarse, medium.
+        WorkloadSpec mm = base;
+        mm.name = "mm";
+        mm.r64 = 0.08; mm.r512 = 0.02; mm.r4k = 0.15; mm.r32k = 0.75;
+        mm.gap_fine = 59;
+        mm.gap_episode = 495;
+        mm.write_frac = 0.25;
+        mm.partial_frac = 0.2;
+        v.push_back(mm);
+
+        // Page-Rank (Pannotia): irregular graph, fine, medium.
+        WorkloadSpec pr = base;
+        pr.name = "pr";
+        pr.r64 = 0.84; pr.r512 = 0.10; pr.r4k = 0.06;
+        pr.gap_fine = 19;
+        pr.write_frac = 0.25;
+        pr.footprint = 32ull << 20;
+        v.push_back(pr);
+
+        // Stencil2d (SHOC): coarse, LARGE traffic.
+        WorkloadSpec sten = base;
+        sten.name = "sten";
+        sten.r64 = 0.10; sten.r512 = 0.05; sten.r4k = 0.55;
+        sten.r32k = 0.30;
+        sten.gap_fine = 28;
+        sten.gap_line = 1;
+        sten.gap_episode = 147;
+        sten.write_frac = 0.35;
+        sten.ops = 8000;
+        sten.partial_frac = 0.45;
+        v.push_back(sten);
+
+        // Symmetric-Rank-2k (Polybench): fine, medium.
+        WorkloadSpec syr2k = base;
+        syr2k.name = "syr2k";
+        syr2k.r64 = 0.88; syr2k.r512 = 0.08; syr2k.r4k = 0.04;
+        syr2k.gap_fine = 26;
+        syr2k.write_frac = 0.2;
+        v.push_back(syr2k);
+
+        return v;
+    }();
+    return specs;
+}
+
+} // namespace mgmee

@@ -1,0 +1,322 @@
+#include "workloads/nn_layers.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mgmee {
+
+LayerTraffic
+analyzeLayer(const NnLayer &layer)
+{
+    LayerTraffic t;
+    switch (layer.kind) {
+      case NnLayer::Kind::Conv: {
+        const unsigned out_h =
+            (layer.in_h - layer.kernel) / layer.stride + 1;
+        const unsigned out_w =
+            (layer.in_w - layer.kernel) / layer.stride + 1;
+        t.weight_bytes = std::size_t{layer.out_c} * layer.in_c *
+                         layer.kernel * layer.kernel;
+        t.input_bytes =
+            std::size_t{layer.in_c} * layer.in_h * layer.in_w;
+        t.output_bytes = std::size_t{layer.out_c} * out_h * out_w;
+        t.macs = static_cast<std::uint64_t>(t.weight_bytes) * out_h *
+                 out_w;
+        break;
+      }
+      case NnLayer::Kind::Fc:
+        t.weight_bytes = std::size_t{layer.in_dim} * layer.out_dim;
+        t.input_bytes = layer.in_dim;
+        t.output_bytes = layer.out_dim;
+        t.macs = t.weight_bytes;
+        break;
+      case NnLayer::Kind::Embedding:
+        t.weight_bytes = std::size_t{layer.rows} * layer.dim;
+        t.input_bytes = std::size_t{layer.lookups} * layer.dim;
+        t.output_bytes = std::size_t{layer.lookups} * layer.dim;
+        t.macs = t.input_bytes;  // gather+reduce
+        break;
+      case NnLayer::Kind::Recurrent: {
+        const std::size_t dense =
+            std::size_t{layer.hidden} * layer.hidden * 2;
+        t.weight_bytes = static_cast<std::size_t>(
+            static_cast<double>(dense) * (1.0 - layer.sparsity));
+        t.input_bytes = std::size_t{layer.hidden} * layer.steps;
+        t.output_bytes = std::size_t{layer.hidden} * layer.steps;
+        t.macs = static_cast<std::uint64_t>(t.weight_bytes) *
+                 layer.steps;
+        break;
+      }
+    }
+    return t;
+}
+
+namespace {
+
+/** Append a bulk DMA stream of @p bytes starting at @p addr. */
+void
+emitStream(Trace &trace, Addr addr, std::size_t bytes, bool is_write,
+           const NpuConfig &cfg, Cycle lead_gap)
+{
+    bool first = true;
+    for (std::size_t off = 0; off < bytes;
+         off += cfg.dma_beat_bytes) {
+        TraceOp op;
+        op.addr = addr + off;
+        op.bytes = static_cast<std::uint32_t>(std::min<std::size_t>(
+            cfg.dma_beat_bytes, bytes - off));
+        op.is_write = is_write;
+        op.gap = first ? lead_gap : cfg.dma_beat_gap;
+        first = false;
+        trace.push_back(op);
+    }
+}
+
+} // namespace
+
+Trace
+generateNnTrace(const std::vector<NnLayer> &layers,
+                const NpuConfig &cfg, Addr base, std::uint64_t seed)
+{
+    fatal_if(layers.empty(), "empty network");
+    Rng rng(seed);
+    Trace trace;
+
+    // Lay tensors out sequentially: weights first (chunk-aligned per
+    // layer, as a compiler would), then an activation ping-pong
+    // region.
+    Addr weight_base = base;
+    std::vector<Addr> weight_addr(layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        weight_addr[i] = weight_base;
+        const LayerTraffic t = analyzeLayer(layers[i]);
+        weight_base += alignDown(t.weight_bytes + kChunkBytes - 1,
+                                 kChunkBytes) +
+                       kChunkBytes;
+    }
+    Addr act_a = weight_base;
+    Addr act_b =
+        act_a + (Addr{8} << 20);  // 8MB ping-pong halves
+
+    const std::uint64_t pe_throughput =
+        std::uint64_t{cfg.pe_rows} * cfg.pe_cols;
+
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const NnLayer &layer = layers[i];
+        const LayerTraffic t = analyzeLayer(layer);
+
+        if (layer.kind == NnLayer::Kind::Embedding) {
+            // Sparse gathers: one row per lookup from a large table
+            // that cannot be tiled into the scratchpad.
+            const std::size_t row_bytes =
+                std::max<std::size_t>(layer.dim, kCachelineBytes);
+            for (unsigned l = 0; l < layer.lookups; ++l) {
+                TraceOp op;
+                op.addr = weight_addr[i] +
+                          rng.below(layer.rows) * row_bytes;
+                op.addr = alignDown(op.addr, kCachelineBytes);
+                op.bytes = static_cast<std::uint32_t>(row_bytes);
+                op.gap = 40;  // index computation between gathers
+                trace.push_back(op);
+            }
+            emitStream(trace, act_a, t.output_bytes, true, cfg, 100);
+            std::swap(act_a, act_b);
+            continue;
+        }
+
+        // Tile the layer so (weight tile + input tile + output tile)
+        // fits the scratchpad; each tile round trips through DRAM.
+        const std::size_t tile = std::max<std::size_t>(
+            alignDown(cfg.scratchpad_bytes / 3, kChunkBytes),
+            kChunkBytes);
+        const unsigned weight_passes =
+            layer.kind == NnLayer::Kind::Recurrent
+                ? std::max(1u, layer.steps / 8)  // re-stream weights
+                : 1;
+
+        for (unsigned pass = 0; pass < weight_passes; ++pass) {
+            for (std::size_t woff = 0; woff < t.weight_bytes;
+                 woff += tile) {
+                const std::size_t wlen =
+                    std::min(tile, t.weight_bytes - woff);
+                emitStream(trace, weight_addr[i] + woff, wlen, false,
+                           cfg, 200);
+                // Matching share of the input activations.
+                const std::size_t in_share = std::min<std::size_t>(
+                    t.input_bytes,
+                    std::max<std::size_t>(kCachelineBytes,
+                                          t.input_bytes * wlen /
+                                              t.weight_bytes));
+                emitStream(trace, act_a + (woff % (Addr{4} << 20)),
+                           in_share, false, cfg, 10);
+                // Systolic compute for this tile.
+                const Cycle compute = static_cast<Cycle>(
+                    (t.macs / weight_passes) *
+                    (static_cast<double>(wlen) / t.weight_bytes) /
+                    pe_throughput);
+                // Output share, written behind the compute.
+                const std::size_t out_share = std::min<std::size_t>(
+                    t.output_bytes,
+                    std::max<std::size_t>(kCachelineBytes,
+                                          t.output_bytes * wlen /
+                                              t.weight_bytes));
+                emitStream(trace, act_b + (woff % (Addr{4} << 20)),
+                           out_share, true, cfg,
+                           std::max<Cycle>(compute, 1));
+            }
+        }
+        std::swap(act_a, act_b);
+    }
+    return trace;
+}
+
+std::vector<NnLayer>
+alexNetLayers()
+{
+    auto conv = [](const char *name, unsigned in_c, unsigned in_hw,
+                   unsigned out_c, unsigned k, unsigned s) {
+        NnLayer l;
+        l.kind = NnLayer::Kind::Conv;
+        l.name = name;
+        l.in_c = in_c;
+        l.in_h = l.in_w = in_hw;
+        l.out_c = out_c;
+        l.kernel = k;
+        l.stride = s;
+        return l;
+    };
+    auto fc = [](const char *name, unsigned in, unsigned out) {
+        NnLayer l;
+        l.kind = NnLayer::Kind::Fc;
+        l.name = name;
+        l.in_dim = in;
+        l.out_dim = out;
+        return l;
+    };
+    return {
+        conv("conv1", 3, 227, 96, 11, 4),
+        conv("conv2", 96, 27, 256, 5, 1),
+        conv("conv3", 256, 13, 384, 3, 1),
+        conv("conv4", 384, 13, 384, 3, 1),
+        conv("conv5", 384, 13, 256, 3, 1),
+        fc("fc6", 9216, 4096),
+        fc("fc7", 4096, 4096),
+        fc("fc8", 4096, 1000),
+    };
+}
+
+std::vector<NnLayer>
+yoloTinyLayers()
+{
+    std::vector<NnLayer> layers;
+    unsigned c = 16, hw = 416;
+    unsigned in_c = 3;
+    for (int i = 0; i < 6; ++i) {
+        NnLayer l;
+        l.kind = NnLayer::Kind::Conv;
+        l.name = "conv" + std::to_string(i + 1);
+        l.in_c = in_c;
+        l.in_h = l.in_w = hw;
+        l.out_c = c;
+        l.kernel = 3;
+        l.stride = 1;
+        layers.push_back(l);
+        in_c = c;
+        c *= 2;
+        hw /= 2;  // maxpool between stages
+    }
+    // Head convolutions.
+    NnLayer h1;
+    h1.kind = NnLayer::Kind::Conv;
+    h1.name = "conv7";
+    h1.in_c = 512;
+    h1.in_h = h1.in_w = 13;
+    h1.out_c = 1024;
+    h1.kernel = 3;
+    layers.push_back(h1);
+    NnLayer h2 = h1;
+    h2.name = "conv8";
+    h2.in_c = 1024;
+    h2.out_c = 256;
+    h2.kernel = 1;
+    layers.push_back(h2);
+    NnLayer h3 = h2;
+    h3.name = "conv9";
+    h3.in_c = 256;
+    h3.out_c = 255;
+    layers.push_back(h3);
+    return layers;
+}
+
+std::vector<NnLayer>
+dlrmLayers()
+{
+    std::vector<NnLayer> layers;
+    for (int t = 0; t < 8; ++t) {
+        NnLayer e;
+        e.kind = NnLayer::Kind::Embedding;
+        e.name = "emb" + std::to_string(t);
+        e.rows = 100000;
+        e.dim = 64;
+        e.lookups = 32;
+        layers.push_back(e);
+    }
+    auto fc = [](const char *name, unsigned in, unsigned out) {
+        NnLayer l;
+        l.kind = NnLayer::Kind::Fc;
+        l.name = name;
+        l.in_dim = in;
+        l.out_dim = out;
+        return l;
+    };
+    layers.push_back(fc("bot1", 512, 256));
+    layers.push_back(fc("bot2", 256, 64));
+    layers.push_back(fc("top1", 576, 512));
+    layers.push_back(fc("top2", 512, 256));
+    layers.push_back(fc("top3", 256, 1));
+    return layers;
+}
+
+std::vector<NnLayer>
+ncfLayers()
+{
+    std::vector<NnLayer> layers;
+    for (const char *name : {"user_emb", "item_emb"}) {
+        NnLayer e;
+        e.kind = NnLayer::Kind::Embedding;
+        e.name = name;
+        e.rows = 200000;
+        e.dim = 64;
+        e.lookups = 64;
+        layers.push_back(e);
+    }
+    auto fc = [](const char *name, unsigned in, unsigned out) {
+        NnLayer l;
+        l.kind = NnLayer::Kind::Fc;
+        l.name = name;
+        l.in_dim = in;
+        l.out_dim = out;
+        return l;
+    };
+    layers.push_back(fc("mlp1", 128, 256));
+    layers.push_back(fc("mlp2", 256, 128));
+    layers.push_back(fc("mlp3", 128, 64));
+    layers.push_back(fc("out", 64, 1));
+    return layers;
+}
+
+std::vector<NnLayer>
+sfrnnLayers()
+{
+    NnLayer r;
+    r.kind = NnLayer::Kind::Recurrent;
+    r.name = "selfish-rnn";
+    r.hidden = 1536;
+    r.steps = 64;
+    r.sparsity = 0.5;
+    return {r};
+}
+
+} // namespace mgmee

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Layer-accurate NPU traffic model.
+ *
+ * The statistical workload specs (npu_workloads.cc) are calibrated to
+ * the paper's published stream-chunk mixes.  This module derives NPU
+ * traces *independently*, from actual network layer shapes and a
+ * tiled dataflow over the 2.2MB scratchpad (Table 3), the way
+ * mNPUsim's software-managed execution would: per layer, weights and
+ * input tiles are DMA'd in 32KB-aligned streams, the systolic array
+ * computes for macs/PE-array cycles, and output tiles are DMA'd out.
+ *
+ * Networks provided: AlexNet (alex), Yolo-Tiny (yt), DLRM-style
+ * recommendation (dlrm), NCF (ncf), and a sparse RNN (sfrnn).  The
+ * nn_trace_validation bench cross-checks these traces' stream-chunk
+ * mixes against the calibrated statistical generators.
+ */
+
+#ifndef MGMEE_WORKLOADS_NN_LAYERS_HH
+#define MGMEE_WORKLOADS_NN_LAYERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/trace_gen.hh"
+
+namespace mgmee {
+
+/** One network layer, in INT8 elements. */
+struct NnLayer
+{
+    enum class Kind
+    {
+        Conv,       //!< 2-D convolution
+        Fc,         //!< fully connected / MLP
+        Embedding,  //!< sparse table gather
+        Recurrent,  //!< RNN cell (weights re-streamed per step)
+    };
+
+    Kind kind = Kind::Conv;
+    std::string name;
+
+    // Conv parameters.
+    unsigned in_c = 0, in_h = 0, in_w = 0;
+    unsigned out_c = 0, kernel = 0, stride = 1;
+
+    // Fc parameters.
+    unsigned in_dim = 0, out_dim = 0;
+
+    // Embedding parameters.
+    unsigned rows = 0, dim = 0, lookups = 0;
+
+    // Recurrent parameters.
+    unsigned hidden = 0, steps = 0;
+    double sparsity = 0.0;   //!< fraction of weights pruned away
+};
+
+/** Byte/compute footprint of one layer under INT8. */
+struct LayerTraffic
+{
+    std::size_t weight_bytes = 0;
+    std::size_t input_bytes = 0;
+    std::size_t output_bytes = 0;
+    std::uint64_t macs = 0;
+};
+
+/** Analytical footprint of @p layer. */
+LayerTraffic analyzeLayer(const NnLayer &layer);
+
+/** NPU execution parameters (Table 3 defaults). */
+struct NpuConfig
+{
+    std::size_t scratchpad_bytes = std::size_t{2252} << 10;  // 2.2MB
+    unsigned pe_rows = 45;
+    unsigned pe_cols = 45;
+    std::uint32_t dma_beat_bytes = 1024;
+    Cycle dma_beat_gap = 1;
+};
+
+/**
+ * Generate the off-chip trace of running @p layers once on the NPU:
+ * per layer, stream weights and inputs in, pause for the systolic
+ * compute time, stream outputs out.  Embedding layers issue sparse
+ * row gathers instead of bulk streams.
+ *
+ * @param base address window base; tensors are laid out sequentially
+ * @param seed randomises embedding-lookup rows only
+ */
+Trace generateNnTrace(const std::vector<NnLayer> &layers,
+                      const NpuConfig &cfg, Addr base,
+                      std::uint64_t seed);
+
+/** AlexNet (Krizhevsky et al.): 5 conv + 3 fc, 227x227x3 input. */
+std::vector<NnLayer> alexNetLayers();
+
+/** Yolo-Tiny (Redmon et al.): 9 conv stages on 416x416x3. */
+std::vector<NnLayer> yoloTinyLayers();
+
+/** DLRM-style recommender: embedding gathers + bottom/top MLPs. */
+std::vector<NnLayer> dlrmLayers();
+
+/** Neural collaborative filtering: two embeddings + MLP tower. */
+std::vector<NnLayer> ncfLayers();
+
+/** Selfish sparse RNN: one recurrent cell unrolled over time. */
+std::vector<NnLayer> sfrnnLayers();
+
+} // namespace mgmee
+
+#endif // MGMEE_WORKLOADS_NN_LAYERS_HH

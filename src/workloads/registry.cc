@@ -1,0 +1,33 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+std::vector<WorkloadSpec>
+allWorkloads()
+{
+    std::vector<WorkloadSpec> all;
+    for (const auto &w : cpuWorkloads())
+        all.push_back(w);
+    for (const auto &w : gpuWorkloads())
+        all.push_back(w);
+    for (const auto &w : npuWorkloads())
+        all.push_back(w);
+    return all;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto *table :
+         {&cpuWorkloads(), &gpuWorkloads(), &npuWorkloads()}) {
+        for (const auto &w : *table) {
+            if (w.name == name)
+                return w;
+        }
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace mgmee

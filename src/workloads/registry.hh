@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Name-indexed registry of the paper's workloads (Table 4) plus the
+ * two real-world extras of Table 6 (yt, sc).
+ */
+
+#ifndef MGMEE_WORKLOADS_REGISTRY_HH
+#define MGMEE_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/trace_gen.hh"
+
+namespace mgmee {
+
+/** The five CPU workloads (SPEC2017 / PARSEC selections). */
+const std::vector<WorkloadSpec> &cpuWorkloads();
+/** The five GPU workloads (APP SDK / Pannotia / SHOC / Polybench). */
+const std::vector<WorkloadSpec> &gpuWorkloads();
+/** The four NPU workloads plus yt (Yolo-Tiny, real-world). */
+const std::vector<WorkloadSpec> &npuWorkloads();
+
+/** All workloads of every kind. */
+std::vector<WorkloadSpec> allWorkloads();
+
+/** Lookup by short name (fatal on unknown name). */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+} // namespace mgmee
+
+#endif // MGMEE_WORKLOADS_REGISTRY_HH

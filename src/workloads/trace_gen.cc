@@ -1,0 +1,236 @@
+#include "workloads/trace_gen.hh"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/access_tracker.hh"
+
+namespace mgmee {
+
+namespace {
+
+/** Lines touched by one episode of each class. */
+constexpr double kEpisodeLines[4] = {0, 8, 64, 512};
+
+} // namespace
+
+Trace
+generateTrace(const WorkloadSpec &spec, Addr base, std::uint64_t seed,
+              double scale)
+{
+    fatal_if(spec.footprint < kChunkBytes,
+             "%s: footprint smaller than one chunk",
+             spec.name.c_str());
+    Rng rng(seed);
+    Trace trace;
+    const std::size_t target =
+        static_cast<std::size_t>(spec.ops * scale);
+    trace.reserve(target + 600);
+
+    // Episode probabilities: class c must contribute r_c of the
+    // *lines*, so episodes are drawn with weight r_c / lines_c.
+    std::array<double, 4> weight = {
+        spec.r64 / std::max(1u, spec.fine_episode_lines),
+        spec.r512 / kEpisodeLines[1],
+        spec.r4k / kEpisodeLines[2],
+        spec.r32k / kEpisodeLines[3],
+    };
+    const double wsum = weight[0] + weight[1] + weight[2] + weight[3];
+    fatal_if(wsum <= 0, "%s: empty granularity mix",
+             spec.name.c_str());
+    for (auto &w : weight)
+        w /= wsum;
+
+    const std::uint64_t chunks = spec.footprint / kChunkBytes;
+    const unsigned epochs = std::max(1u, spec.epochs);
+    const unsigned fine_lines =
+        std::min(spec.fine_episode_lines, 7u);  // never a full stream
+
+    // Build one epoch's episode sequence; the trace repeats it so the
+    // working set is iterated like real kernels/epochs do.
+    struct Episode
+    {
+        unsigned cls;          //!< 0=fine, 1=512B, 2=4KB, 3=32KB
+        Addr unit;             //!< unit (or partition for fine) base
+        bool write;
+        std::uint32_t cover_bytes;  //!< stream: bytes actually read
+        std::uint8_t lines[7]; //!< fine: line offsets in partition
+    };
+    std::vector<Episode> episodes;
+    std::vector<std::pair<Addr, std::size_t>> coarse_units;
+    std::size_t epoch_ops = 0;
+    const std::size_t epoch_target =
+        std::max<std::size_t>(1, target / epochs);
+
+    while (epoch_ops < epoch_target) {
+        double pick = rng.uniform();
+        unsigned cls = 0;
+        for (; cls < 3; ++cls) {
+            if (pick < weight[cls])
+                break;
+            pick -= weight[cls];
+        }
+
+        Episode ep;
+        ep.cls = cls;
+        ep.write = rng.chance(spec.write_frac);
+        if (cls == 0) {
+            // Fine: a few distinct lines clustered in one partition.
+            // Episode size is bimodal around the configured mean --
+            // sparse pointer-chase touches mixed with denser bursts
+            // -- which is what defeats a uniformly coarse static
+            // granularity (Sec. 3.3).
+            const unsigned span_max =
+                std::min(7u, 2 * fine_lines - 1);
+            const unsigned n = 1 + static_cast<unsigned>(
+                rng.below(span_max));
+            if (!coarse_units.empty() &&
+                rng.chance(spec.revisit_fine_frac)) {
+                // Sparse touch inside a streamed unit: the accesses a
+                // static coarse granularity mispredicts.
+                const auto &[ubase, ubytes] = coarse_units[rng.below(
+                    coarse_units.size())];
+                ep.unit = ubase + rng.below(ubytes /
+                                            kPartitionBytes) *
+                                      kPartitionBytes;
+            } else {
+                ep.unit = base + rng.below(spec.footprint /
+                                           kPartitionBytes) *
+                                     kPartitionBytes;
+            }
+            // Distinct offsets out of 8 (never all 8).
+            std::uint8_t perm[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+            for (unsigned i = 7; i > 0; --i)
+                std::swap(perm[i], perm[rng.below(i + 1)]);
+            for (unsigned i = 0; i < n; ++i)
+                ep.lines[i] = perm[i];
+            ep.cover_bytes = n;  // reused as the line count
+            epoch_ops += n;
+        } else {
+            const std::size_t unit_bytes =
+                cls == 1 ? kPartitionBytes
+                         : (cls == 2 ? kSubchunkBytes : kChunkBytes);
+            const Addr chunk_base =
+                base + rng.below(chunks) * kChunkBytes;
+            ep.unit = chunk_base +
+                      rng.below(kChunkBytes / unit_bytes) * unit_bytes;
+            ep.cover_bytes = static_cast<std::uint32_t>(unit_bytes);
+            // Output tiles are written whole; partial coverage is a
+            // read-side phenomenon (halos, ragged rows, edge tiles).
+            if (!ep.write && rng.chance(spec.partial_frac)) {
+                // Cover a 50-95% prefix, rounded to whole partitions
+                // so the detector still sees clean stream partitions.
+                const std::uint64_t parts = unit_bytes /
+                                            kPartitionBytes;
+                if (parts > 1) {
+                    const std::uint64_t covered = std::max<
+                        std::uint64_t>(1,
+                                       parts / 2 +
+                                           rng.below(parts / 2));
+                    ep.cover_bytes = static_cast<std::uint32_t>(
+                        covered * kPartitionBytes);
+                }
+            }
+            const std::uint32_t step = std::min<std::uint32_t>(
+                spec.stream_req_bytes,
+                static_cast<std::uint32_t>(unit_bytes));
+            epoch_ops += ep.cover_bytes / step;
+            coarse_units.emplace_back(ep.unit, unit_bytes);
+        }
+        episodes.push_back(ep);
+    }
+
+    for (unsigned epoch = 0; epoch < epochs; ++epoch) {
+        for (const Episode &ep : episodes) {
+            if (ep.cls == 0) {
+                for (unsigned i = 0; i < ep.cover_bytes; ++i) {
+                    TraceOp op;
+                    op.addr = ep.unit + ep.lines[i] * kCachelineBytes;
+                    op.bytes = kCachelineBytes;
+                    op.is_write = ep.write && i == 0;
+                    op.gap = spec.gap_fine;
+                    trace.push_back(op);
+                }
+                continue;
+            }
+            const std::size_t unit_bytes =
+                ep.cls == 1
+                    ? kPartitionBytes
+                    : (ep.cls == 2 ? kSubchunkBytes : kChunkBytes);
+            const std::uint32_t step = std::min<std::uint32_t>(
+                spec.stream_req_bytes,
+                static_cast<std::uint32_t>(unit_bytes));
+            bool first = true;
+            for (std::size_t off = 0; off < ep.cover_bytes;
+                 off += step) {
+                TraceOp op;
+                op.addr = ep.unit + off;
+                op.bytes = step;
+                op.is_write = ep.write;
+                op.gap = first ? spec.gap_episode : spec.gap_line;
+                first = false;
+                trace.push_back(op);
+            }
+        }
+    }
+    return trace;
+}
+
+TraceProfile
+profileTrace(const Trace &trace)
+{
+    TraceProfile prof;
+
+    struct ChunkWindow
+    {
+        Cycle start = 0;
+        std::array<std::uint64_t, kLinesPerChunk / 64> bits{};
+    };
+    std::unordered_map<std::uint64_t, ChunkWindow> windows;
+    constexpr Cycle kWindow = 16 * 1024;   // Sec. 3.1 time period
+
+    auto classify = [&prof](const ChunkWindow &w) {
+        const StreamPart sp = detectGranularity(w.bits);
+        for (unsigned line = 0; line < kLinesPerChunk; ++line) {
+            if (!((w.bits[line / 64] >> (line % 64)) & 1))
+                continue;
+            switch (granularityOfPartition(sp, line / 8)) {
+              case Granularity::Line64B: ++prof.lines64; break;
+              case Granularity::Part512B: ++prof.lines512; break;
+              case Granularity::Sub4KB: ++prof.lines4k; break;
+              case Granularity::Chunk32KB: ++prof.lines32k; break;
+            }
+        }
+    };
+
+    Cycle now = 0;
+    for (const TraceOp &op : trace) {
+        now += op.gap;
+        ++prof.requests;
+        if (op.is_write)
+            ++prof.writes;
+        const Addr first = alignDown(op.addr, kCachelineBytes);
+        const Addr last = alignDown(
+            op.addr + (op.bytes ? op.bytes - 1 : 0), kCachelineBytes);
+        for (Addr la = first; la <= last; la += kCachelineBytes) {
+            ++prof.lines;
+            auto &win = windows[chunkIndex(la)];
+            if (now - win.start > kWindow) {
+                classify(win);
+                win = ChunkWindow{};
+                win.start = now;
+            }
+            const unsigned line = lineInChunk(la);
+            win.bits[line / 64] |= std::uint64_t{1} << (line % 64);
+        }
+    }
+    for (const auto &[chunk, win] : windows)
+        classify(win);
+    prof.span = now;
+    return prof;
+}
+
+} // namespace mgmee

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthetic off-chip trace generation.
+ *
+ * The protection schemes react to exactly three properties of a
+ * workload's LLC-miss stream: its *granularity mix* (which fraction of
+ * requests belongs to 64B/512B/4KB/32KB stream chunks, Fig. 4), its
+ * *traffic intensity* (requests per cycle, Table 4 s/m/l), and its
+ * read/write composition.  Generators here synthesise deterministic
+ * traces with prescribed values of those properties for each of the
+ * paper's 14 workloads (plus the two real-world extras), replacing
+ * the ChampSim/MGPUSim/mNPUsim trace capture we do not have.
+ */
+
+#ifndef MGMEE_WORKLOADS_TRACE_GEN_HH
+#define MGMEE_WORKLOADS_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** One trace operation as issued below the device LLC. */
+struct TraceOp
+{
+    Addr addr = 0;
+    std::uint32_t bytes = kCachelineBytes;
+    bool is_write = false;
+    /** Compute cycles separating this op's issue from the previous
+     *  op's issue (burst ops use 0). */
+    Cycle gap = 0;
+};
+
+using Trace = std::vector<TraceOp>;
+
+/** Parameters of one synthetic workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    DeviceKind kind = DeviceKind::CPU;
+
+    /** Target fraction of *lines* touched in each stream class. */
+    double r64 = 1.0;
+    double r512 = 0.0;
+    double r4k = 0.0;
+    double r32k = 0.0;
+
+    /** Cycles between scattered fine accesses (traffic intensity). */
+    Cycle gap_fine = 50;
+    /** Cycles between consecutive requests inside a stream episode. */
+    Cycle gap_line = 4;
+    /** Compute pause between episodes. */
+    Cycle gap_episode = 2000;
+
+    /** Outstanding-request window (memory-level parallelism). */
+    unsigned window = 8;
+    /** Fraction of episodes that are writes. */
+    double write_frac = 0.3;
+    /** Working-set size in bytes (must fit the device window). */
+    std::size_t footprint = 16ull << 20;
+    /** Approximate number of requests to emit at scale 1.0. */
+    std::size_t ops = 4000;
+    /** Request size used inside stream episodes. */
+    std::uint32_t stream_req_bytes = 256;
+    /**
+     * Lines touched per fine episode, clustered inside one 512B
+     * partition (models pointer-chase spatial locality without
+     * forming a stream partition).  Must be < 8.
+     */
+    unsigned fine_episode_lines = 4;
+    /**
+     * Times the episode sequence repeats (working-set iteration:
+     * epochs, inference steps, kernel re-launches).  Granularity
+     * detection trains on the first pass and pays off on the rest.
+     */
+    unsigned epochs = 5;
+    /**
+     * Fraction of stream episodes that cover only part of their unit
+     * (edge tiles, stencil halos, ragged tensor rows).  This is what
+     * breaks static per-device granularity (Sec. 3.3): a fixed coarse
+     * choice overfetches the uncovered tail on every pass, while
+     * dynamic per-partition detection adapts.
+     */
+    double partial_frac = 0.3;
+    /**
+     * Fraction of fine episodes that land inside a unit the workload
+     * also streams (a tensor later read element-wise, a tile updated
+     * sparsely).  These are the accesses a static coarse granularity
+     * mispredicts -- and the source of the dynamic scheme's
+     * granularity-switching traffic (Table 2).
+     */
+    double revisit_fine_frac = 0.12;
+};
+
+/**
+ * Generate a deterministic trace for @p spec.
+ *
+ * @param base  base address of the device's region (addresses are
+ *              drawn from [base, base + footprint))
+ * @param seed  RNG seed (same seed => identical trace)
+ * @param scale multiplies spec.ops (benchmark-size control)
+ */
+Trace generateTrace(const WorkloadSpec &spec, Addr base,
+                    std::uint64_t seed, double scale = 1.0);
+
+/** Measured composition of a generated trace (for validation). */
+struct TraceProfile
+{
+    std::uint64_t requests = 0;
+    std::uint64_t lines = 0;
+    std::uint64_t writes = 0;
+    /** Lines belonging to stream chunks of each class (Fig. 4). */
+    std::uint64_t lines64 = 0;
+    std::uint64_t lines512 = 0;
+    std::uint64_t lines4k = 0;
+    std::uint64_t lines32k = 0;
+    Cycle span = 0;   //!< sum of gaps (approximate issue span)
+};
+
+/**
+ * Classify a trace with an offline (unbounded) version of the
+ * access-pattern analysis of Sec. 3.1: lines are grouped per 32KB
+ * chunk within 16K-cycle windows, partitions fully covered in a
+ * window are stream partitions, and each line is attributed to the
+ * granularity class of its containing unit.
+ */
+TraceProfile profileTrace(const Trace &trace);
+
+} // namespace mgmee
+
+#endif // MGMEE_WORKLOADS_TRACE_GEN_HH

@@ -1,0 +1,71 @@
+#include "workloads/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+namespace {
+constexpr const char *kMagic = "mgmee-trace v1";
+} // namespace
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << kMagic << '\n';
+    os << "# ops: " << trace.size() << '\n';
+    for (const TraceOp &op : trace) {
+        os << (op.is_write ? 'W' : 'R') << ' ' << std::hex << op.addr
+           << std::dec << ' ' << op.bytes << ' ' << op.gap << '\n';
+    }
+}
+
+void
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open '%s' for writing", path.c_str());
+    writeTrace(os, trace);
+    fatal_if(!os, "I/O error while writing '%s'", path.c_str());
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    std::string line;
+    unsigned line_no = 1;
+    fatal_if(!std::getline(is, line) || line != kMagic,
+             "not an mgmee trace (missing '%s' header)", kMagic);
+
+    Trace trace;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char kind = 0;
+        TraceOp op;
+        ls >> kind >> std::hex >> op.addr >> std::dec >> op.bytes >>
+            op.gap;
+        fatal_if(ls.fail() || (kind != 'R' && kind != 'W'),
+                 "trace line %u malformed: '%s'", line_no,
+                 line.c_str());
+        fatal_if(op.bytes == 0, "trace line %u: zero-size op",
+                 line_no);
+        op.is_write = kind == 'W';
+        trace.push_back(op);
+    }
+    return trace;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    fatal_if(!is, "cannot open trace '%s'", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace mgmee

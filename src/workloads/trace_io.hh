@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace serialisation: save and load off-chip request traces.
+ *
+ * The evaluation normally uses the synthetic generators, but the
+ * simulator accepts any trace with the right shape.  This module
+ * defines a simple line-oriented text format so traces captured from
+ * real simulators (ChampSim, MGPUSim, mNPUsim, gem5) can be converted
+ * and replayed through the protection engines:
+ *
+ *     # comment
+ *     mgmee-trace v1
+ *     R <hex-addr> <bytes> <gap-cycles>
+ *     W <hex-addr> <bytes> <gap-cycles>
+ *
+ * Addresses are byte addresses (the loader aligns to cachelines);
+ * `gap` is the compute-cycle spacing from the previous op's issue.
+ */
+
+#ifndef MGMEE_WORKLOADS_TRACE_IO_HH
+#define MGMEE_WORKLOADS_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/trace_gen.hh"
+
+namespace mgmee {
+
+/** Serialise @p trace to @p os in the v1 text format. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/** Serialise to a file (fatal on I/O failure). */
+void saveTrace(const std::string &path, const Trace &trace);
+
+/**
+ * Parse a v1 text trace from @p is.
+ * @throws never -- malformed lines are fatal() with line numbers.
+ */
+Trace readTrace(std::istream &is);
+
+/** Load from a file (fatal on I/O failure). */
+Trace loadTrace(const std::string &path);
+
+} // namespace mgmee
+
+#endif // MGMEE_WORKLOADS_TRACE_IO_HH

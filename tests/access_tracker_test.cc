@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the access tracker and Algorithm 1 (Sec. 4.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/access_tracker.hh"
+
+namespace mgmee {
+namespace {
+
+using BitVector = AccessTracker::BitVector;
+
+TEST(DetectGranularityTest, EmptyVectorIsAllFine)
+{
+    BitVector bits{};
+    EXPECT_EQ(kAllFine, detectGranularity(bits));
+}
+
+TEST(DetectGranularityTest, FullVectorIsAllStream)
+{
+    BitVector bits;
+    bits.fill(~0ull);
+    EXPECT_EQ(kAllStream, detectGranularity(bits));
+}
+
+TEST(DetectGranularityTest, SingleFullPartition)
+{
+    // Partition 0 = access bits 0..7 of word 0.
+    BitVector bits{};
+    bits[0] = 0xff;
+    EXPECT_EQ(StreamPart{1}, detectGranularity(bits));
+
+    // Partition 9 = bits 8..15 of word 1.
+    BitVector bits2{};
+    bits2[1] = 0xffull << 8;
+    EXPECT_EQ(StreamPart{1} << 9, detectGranularity(bits2));
+}
+
+TEST(DetectGranularityTest, SevenBitsAreNotAStream)
+{
+    BitVector bits{};
+    bits[0] = 0x7f;  // 7 of 8 cachelines
+    EXPECT_EQ(kAllFine, detectGranularity(bits));
+}
+
+TEST(DetectGranularityTest, MixedPattern)
+{
+    BitVector bits{};
+    bits[0] = 0xff;                 // partition 0 complete
+    bits[0] |= 0xffull << 16;       // partition 2 complete
+    bits[0] |= 0x0full << 8;        // partition 1 half done
+    EXPECT_EQ(StreamPart{0b101}, detectGranularity(bits));
+}
+
+class AccessTrackerTest : public ::testing::Test
+{
+  protected:
+    AccessTrackerTest()
+    {
+        tracker_.setEvictCallback(
+            [this](const AccessTracker::Eviction &ev) {
+                evictions_.push_back(ev);
+            });
+    }
+
+    /** Touch all 512 lines of @p chunk at cycle @p now. */
+    void
+    touchWholeChunk(std::uint64_t chunk, Cycle now)
+    {
+        for (unsigned l = 0; l < kLinesPerChunk; ++l)
+            tracker_.recordAccess(chunk * kChunkBytes +
+                                      l * kCachelineBytes,
+                                  now);
+    }
+
+    AccessTracker tracker_;
+    std::vector<AccessTracker::Eviction> evictions_;
+};
+
+TEST_F(AccessTrackerTest, FullChunkEvictsByCountWithAllStream)
+{
+    touchWholeChunk(3, 100);
+    ASSERT_EQ(1u, evictions_.size());
+    EXPECT_EQ(3u, evictions_[0].chunk);
+    EXPECT_EQ(kAllStream, evictions_[0].stream_part);
+    EXPECT_EQ(kLinesPerChunk, evictions_[0].touched_lines);
+}
+
+TEST_F(AccessTrackerTest, LifetimeExpiryEvicts)
+{
+    tracker_.recordAccess(0, 0);
+    // Next access far in the future expires the first entry.
+    tracker_.recordAccess(kChunkBytes, 20000);
+    ASSERT_EQ(1u, evictions_.size());
+    EXPECT_EQ(0u, evictions_[0].chunk);
+    EXPECT_EQ(kAllFine, evictions_[0].stream_part);
+    EXPECT_EQ(1u, evictions_[0].touched_lines);
+}
+
+TEST_F(AccessTrackerTest, NoEvictionWithinLifetime)
+{
+    tracker_.recordAccess(0, 0);
+    tracker_.recordAccess(64, 1000);
+    tracker_.recordAccess(kChunkBytes, 15000);
+    EXPECT_TRUE(evictions_.empty());
+}
+
+TEST_F(AccessTrackerTest, CapacityEvictsLru)
+{
+    // Fill the 12 entries with chunks 0..11, then touch chunk 0 so
+    // chunk 1 is LRU, then allocate chunk 12.
+    for (std::uint64_t c = 0; c < 12; ++c)
+        tracker_.recordAccess(c * kChunkBytes, 10 + c);
+    tracker_.recordAccess(0, 30);
+    tracker_.recordAccess(12 * kChunkBytes, 31);
+    ASSERT_EQ(1u, evictions_.size());
+    EXPECT_EQ(1u, evictions_[0].chunk);
+}
+
+TEST_F(AccessTrackerTest, StreamPartitionDetectedOnEviction)
+{
+    // Stream partition 4 of chunk 7 (lines 32..39), plus a stray line.
+    for (unsigned l = 32; l < 40; ++l)
+        tracker_.recordAccess(7 * kChunkBytes + l * kCachelineBytes, 5);
+    tracker_.recordAccess(7 * kChunkBytes, 6);
+    tracker_.flush();
+    ASSERT_EQ(1u, evictions_.size());
+    EXPECT_EQ(StreamPart{1} << 4, evictions_[0].stream_part);
+    EXPECT_EQ(9u, evictions_[0].touched_lines);
+}
+
+TEST_F(AccessTrackerTest, FlushEvictsEverything)
+{
+    tracker_.recordAccess(0, 0);
+    tracker_.recordAccess(kChunkBytes, 1);
+    tracker_.flush();
+    EXPECT_EQ(2u, evictions_.size());
+    EXPECT_EQ(2u, tracker_.evictions());
+}
+
+TEST_F(AccessTrackerTest, HardwareBudgetMatchesPaper)
+{
+    // Sec. 4.5: one entry is 512 access bits + 49 tag bits = 561 bits;
+    // 12 entries = 842B of on-chip storage (rounded down in the paper).
+    EXPECT_EQ(561u, AccessTracker::entryBits());
+    EXPECT_EQ(841u, 12 * AccessTracker::entryBits() / 8);
+}
+
+TEST_F(AccessTrackerTest, RepeatedLineCountsTowardEvictionThreshold)
+{
+    // 512 accesses to the same line still trip the count threshold --
+    // the paper evicts on access count, not unique lines.
+    for (unsigned i = 0; i < kLinesPerChunk; ++i)
+        tracker_.recordAccess(64, 3);
+    ASSERT_EQ(1u, evictions_.size());
+    EXPECT_EQ(1u, evictions_[0].touched_lines);
+    EXPECT_EQ(kAllFine, evictions_[0].stream_part);
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model: hit/miss behaviour,
+ * LRU eviction, dirty write-back tracking, invalidation and flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache c("c", 1024, 2);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1030, false).hit);  // same line
+    EXPECT_EQ(1u, c.misses());
+    EXPECT_EQ(2u, c.hits());
+}
+
+TEST(CacheTest, LruEvictionOrder)
+{
+    // 2-way, line 64B, 2 sets -> set stride is 128B.
+    Cache c("c", 256, 2);
+    c.access(0x0000, false);   // set 0, way A
+    c.access(0x0080, false);   // set 0, way B
+    c.access(0x0000, false);   // touch A: B becomes LRU
+    c.access(0x0100, false);   // set 0: evicts B
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.contains(0x0080));
+    EXPECT_TRUE(c.contains(0x0100));
+}
+
+TEST(CacheTest, DirtyVictimReportsWriteback)
+{
+    Cache c("c", 128, 1);  // direct-mapped, 2 sets
+    c.access(0x0000, true);              // dirty fill
+    const auto res = c.access(0x0080, false);  // same set, evicts
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(0x0000u, res.victim_addr);
+    EXPECT_EQ(1u, c.writebacks());
+}
+
+TEST(CacheTest, CleanVictimNoWriteback)
+{
+    Cache c("c", 128, 1);
+    c.access(0x0000, false);
+    const auto res = c.access(0x0080, false);
+    EXPECT_FALSE(res.writeback);
+    EXPECT_EQ(0u, c.writebacks());
+}
+
+TEST(CacheTest, WriteHitMarksDirty)
+{
+    Cache c("c", 128, 1);
+    c.access(0x0000, false);
+    c.access(0x0000, true);   // dirty via hit
+    const auto res = c.access(0x0080, false);
+    EXPECT_TRUE(res.writeback);
+}
+
+TEST(CacheTest, InvalidateReturnsDirtiness)
+{
+    Cache c("c", 1024, 4);
+    c.access(0x40, true);
+    c.access(0x80, false);
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.invalidate(0x80));
+    EXPECT_FALSE(c.invalidate(0xc0));  // absent
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(CacheTest, FlushCountsDirtyWritebacks)
+{
+    Cache c("c", 1024, 4);
+    c.access(0x000, true);
+    c.access(0x100, true);
+    c.access(0x200, false);
+    c.flush();
+    EXPECT_EQ(2u, c.writebacks());
+    EXPECT_FALSE(c.contains(0x000));
+}
+
+TEST(CacheTest, PaperSizedMetadataCaches)
+{
+    // The paper's 8KB metadata cache and 4KB MAC cache must construct.
+    Cache meta("meta", 8 * 1024, 8);
+    Cache mac("mac", 4 * 1024, 8);
+    // Fill beyond capacity and confirm misses dominate for a stream.
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        meta.access(a, false);
+    EXPECT_EQ(meta.accesses(), meta.misses());
+}
+
+TEST(CacheTest, HighLocalityMostlyHits)
+{
+    Cache c("c", 8 * 1024, 8);
+    for (int round = 0; round < 10; ++round)
+        for (Addr a = 0; a < 4 * 1024; a += 64)
+            c.access(a, false);
+    // First round misses, the rest hit.
+    EXPECT_EQ(64u, c.misses());
+    EXPECT_EQ(9u * 64u, c.hits());
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for common helpers: geometry constants, bit ops, RNG
+ * determinism, and the stats registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(TypesTest, GeometryConstants)
+{
+    EXPECT_EQ(64u, kCachelineBytes);
+    EXPECT_EQ(512u, kPartitionBytes);
+    EXPECT_EQ(4096u, kSubchunkBytes);
+    EXPECT_EQ(32768u, kChunkBytes);
+    EXPECT_EQ(512u, kLinesPerChunk);
+    EXPECT_EQ(64u, kPartitionsPerChunk);
+    EXPECT_EQ(8u, kSubchunksPerChunk);
+}
+
+TEST(TypesTest, GranularityBytesEightTimesCoarser)
+{
+    EXPECT_EQ(64u, granularityBytes(Granularity::Line64B));
+    EXPECT_EQ(512u, granularityBytes(Granularity::Part512B));
+    EXPECT_EQ(4096u, granularityBytes(Granularity::Sub4KB));
+    EXPECT_EQ(32768u, granularityBytes(Granularity::Chunk32KB));
+}
+
+TEST(TypesTest, PromotionLevelsMatchEq2)
+{
+    // Eq. 2: Parents = log_8(granularity / 64B).
+    EXPECT_EQ(0u, promotionLevels(Granularity::Line64B));
+    EXPECT_EQ(1u, promotionLevels(Granularity::Part512B));
+    EXPECT_EQ(2u, promotionLevels(Granularity::Sub4KB));
+    EXPECT_EQ(3u, promotionLevels(Granularity::Chunk32KB));
+}
+
+TEST(TypesTest, AddressDecomposition)
+{
+    const Addr a = 3 * kChunkBytes + 5 * kPartitionBytes +
+                   2 * kCachelineBytes + 17;
+    EXPECT_EQ(3u, chunkIndex(a));
+    EXPECT_EQ(5u, partInChunk(a));
+    EXPECT_EQ(0u, subInChunk(a));
+    EXPECT_EQ(5 * 8 + 2, lineInChunk(a));
+    EXPECT_EQ(3 * kChunkBytes, chunkBase(a));
+}
+
+TEST(TypesTest, GranularityNames)
+{
+    EXPECT_STREQ("64B", granularityName(Granularity::Line64B));
+    EXPECT_STREQ("32KB", granularityName(Granularity::Chunk32KB));
+    EXPECT_STREQ("CPU", deviceKindName(DeviceKind::CPU));
+}
+
+TEST(BitopsTest, Log2AndPow)
+{
+    EXPECT_EQ(6u, log2Exact(64));
+    EXPECT_EQ(0u, log2Exact(1));
+    EXPECT_EQ(512u, ipow(8, 3));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_FALSE(isPowerOfTwo(0));
+}
+
+TEST(BitopsTest, BitsOf)
+{
+    EXPECT_EQ(0x5u, bitsOf(0x50, 4, 4));
+    EXPECT_EQ(0xffu, bitsOf(~0ull, 56, 8));
+    EXPECT_EQ(~0ull, bitsOf(~0ull, 0, 64));
+}
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, UniformCoversUnitInterval)
+{
+    Rng rng(11);
+    double min = 1.0, max = 0.0, sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        min = std::min(min, u);
+        max = std::max(max, u);
+        sum += u;
+    }
+    EXPECT_GE(min, 0.0);
+    EXPECT_LT(max, 1.0);
+    EXPECT_NEAR(0.5, sum / n, 0.02);
+}
+
+TEST(StatsTest, AddGetResetMergeDump)
+{
+    StatGroup g("engine");
+    g.add("hits");
+    g.add("hits", 4);
+    g.add("misses", 2);
+    EXPECT_EQ(5u, g.get("hits"));
+    EXPECT_EQ(2u, g.get("misses"));
+    EXPECT_EQ(0u, g.get("unknown"));
+
+    StatGroup other("engine");
+    other.add("hits", 10);
+    g.merge(other);
+    EXPECT_EQ(15u, g.get("hits"));
+
+    const std::string dump = g.dump();
+    EXPECT_NE(std::string::npos, dump.find("engine.hits 15"));
+    EXPECT_NE(std::string::npos, dump.find("engine.misses 2"));
+
+    g.reset();
+    EXPECT_EQ(0u, g.get("hits"));
+}
+
+} // namespace
+} // namespace mgmee

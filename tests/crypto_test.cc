@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the crypto substrate: AES-128 known-answer vectors,
+ * SipHash-2-4 reference vectors, OTP properties and MAC behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/aes128.hh"
+#include "crypto/mac.hh"
+#include "crypto/otp.hh"
+#include "crypto/siphash.hh"
+
+namespace mgmee {
+namespace {
+
+Aes128::Key
+sequentialKey()
+{
+    Aes128::Key key;
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(i);
+    return key;
+}
+
+TEST(Aes128Test, Fips197AppendixC1Vector)
+{
+    // FIPS-197 C.1: AES-128 with key 000102...0f over 00112233...ff.
+    const Aes128 aes(sequentialKey());
+    Aes128::Block block;
+    for (unsigned i = 0; i < 16; ++i)
+        block[i] = static_cast<std::uint8_t>(0x11 * i);
+    aes.encryptBlock(block);
+
+    const std::uint8_t expected[16] = {
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+        0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a,
+    };
+    EXPECT_EQ(0, std::memcmp(block.data(), expected, 16));
+}
+
+TEST(Aes128Test, AllZeroKeyAndPlaintextVector)
+{
+    // NIST AESAVS KAT: AES-128(key=0, pt=0) =
+    // 66e94bd4ef8a2c3b884cfa59ca342b2e.
+    const Aes128 aes(Aes128::Key{});
+    Aes128::Block block{};
+    aes.encryptBlock(block);
+    const std::uint8_t expected[16] = {
+        0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b,
+        0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34, 0x2b, 0x2e,
+    };
+    EXPECT_EQ(0, std::memcmp(block.data(), expected, 16));
+}
+
+TEST(Aes128Test, Sp80038aEcbVector)
+{
+    // NIST SP 800-38A F.1.1 ECB-AES128 block #1.
+    const Aes128::Key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                             0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                             0x09, 0xcf, 0x4f, 0x3c};
+    const Aes128 aes(key);
+    Aes128::Block block = {0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40,
+                           0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11,
+                           0x73, 0x93, 0x17, 0x2a};
+    aes.encryptBlock(block);
+    const std::uint8_t expected[16] = {
+        0x3a, 0xd7, 0x7b, 0xb4, 0x0d, 0x7a, 0x36, 0x60,
+        0xa8, 0x9e, 0xca, 0xf3, 0x24, 0x66, 0xef, 0x97,
+    };
+    EXPECT_EQ(0, std::memcmp(block.data(), expected, 16));
+}
+
+TEST(Aes128Test, DeterministicAndKeyDependent)
+{
+    const Aes128 a(sequentialKey());
+    Aes128::Key other = sequentialKey();
+    other[0] ^= 0xff;
+    const Aes128 b(other);
+
+    Aes128::Block in{};
+    in[3] = 42;
+    EXPECT_EQ(a.encrypt(in), a.encrypt(in));
+    EXPECT_NE(a.encrypt(in), b.encrypt(in));
+}
+
+TEST(Aes128Test, SingleBitInputAvalanche)
+{
+    const Aes128 aes(sequentialKey());
+    Aes128::Block zero{};
+    Aes128::Block one{};
+    one[0] = 1;
+    const auto c0 = aes.encrypt(zero);
+    const auto c1 = aes.encrypt(one);
+    unsigned diff_bits = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        diff_bits += __builtin_popcount(c0[i] ^ c1[i]);
+    // A real cipher flips roughly half of the 128 output bits.
+    EXPECT_GT(diff_bits, 32u);
+    EXPECT_LT(diff_bits, 96u);
+}
+
+SipKey
+referenceSipKey()
+{
+    return {0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+}
+
+TEST(SipHashTest, ReferenceVectorEmpty)
+{
+    EXPECT_EQ(0x726fdb47dd0e0e31ULL,
+              sipHash24(referenceSipKey(), nullptr, 0));
+}
+
+TEST(SipHashTest, ReferenceVectorEightBytes)
+{
+    std::uint8_t in[8];
+    for (unsigned i = 0; i < 8; ++i)
+        in[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(0x93f5f5799a932462ULL,
+              sipHash24(referenceSipKey(), in, sizeof(in)));
+}
+
+TEST(SipHashTest, ReferenceVectorOneByte)
+{
+    const std::uint8_t in[1] = {0};
+    EXPECT_EQ(0x74f839c593dc67fdULL,
+              sipHash24(referenceSipKey(), in, 1));
+}
+
+TEST(SipHashTest, KeySeparation)
+{
+    const std::uint8_t msg[] = "multi-granular";
+    const SipKey k1{1, 2};
+    const SipKey k2{1, 3};
+    EXPECT_NE(sipHash24(k1, msg, sizeof(msg)),
+              sipHash24(k2, msg, sizeof(msg)));
+}
+
+TEST(OtpTest, PadRoundTrip)
+{
+    const OtpGenerator gen(sequentialKey());
+    std::uint8_t data[kCachelineBytes];
+    for (unsigned i = 0; i < kCachelineBytes; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 3 + 1);
+    std::uint8_t orig[kCachelineBytes];
+    std::memcpy(orig, data, sizeof(data));
+
+    const Pad pad = gen.makePad(0x1000, 7);
+    OtpGenerator::applyPad(pad, data);
+    EXPECT_NE(0, std::memcmp(orig, data, sizeof(data)));
+    OtpGenerator::applyPad(pad, data);
+    EXPECT_EQ(0, std::memcmp(orig, data, sizeof(data)));
+}
+
+TEST(OtpTest, PadUniquePerAddressAndCounter)
+{
+    const OtpGenerator gen(sequentialKey());
+    const Pad a = gen.makePad(0x1000, 7);
+    const Pad b = gen.makePad(0x1040, 7);   // different line
+    const Pad c = gen.makePad(0x1000, 8);   // different version
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    EXPECT_EQ(a, gen.makePad(0x1000, 7));   // deterministic
+}
+
+TEST(OtpTest, SubBlocksDiffer)
+{
+    // The four 16B AES outputs inside one pad must not repeat.
+    const OtpGenerator gen(sequentialKey());
+    const Pad pad = gen.makePad(0, 0);
+    for (unsigned i = 0; i < 4; ++i) {
+        for (unsigned j = i + 1; j < 4; ++j) {
+            EXPECT_NE(0, std::memcmp(pad.data() + 16 * i,
+                                     pad.data() + 16 * j, 16))
+                << "sub-blocks " << i << " and " << j << " equal";
+        }
+    }
+}
+
+class MacEngineTest : public ::testing::Test
+{
+  protected:
+    MacEngine mac_{SipKey{11, 22}};
+};
+
+TEST_F(MacEngineTest, LineMacBindsAllInputs)
+{
+    std::uint8_t data[kCachelineBytes] = {};
+    data[0] = 5;
+    const Mac base = mac_.lineMac(0x2000, 3, data);
+    EXPECT_EQ(base, mac_.lineMac(0x2000, 3, data));
+    EXPECT_NE(base, mac_.lineMac(0x2040, 3, data));  // address
+    EXPECT_NE(base, mac_.lineMac(0x2000, 4, data));  // counter
+    data[63] ^= 1;
+    EXPECT_NE(base, mac_.lineMac(0x2000, 3, data));  // payload
+}
+
+TEST_F(MacEngineTest, NestedMacOrderSensitive)
+{
+    const Mac macs_a[] = {1, 2, 3};
+    const Mac macs_b[] = {3, 2, 1};
+    EXPECT_NE(mac_.nestedMac(macs_a), mac_.nestedMac(macs_b));
+    EXPECT_EQ(mac_.nestedMac(macs_a), mac_.nestedMac(macs_a));
+}
+
+TEST_F(MacEngineTest, NestedMacAnyElementMatters)
+{
+    std::vector<Mac> macs(8, 0x42);
+    const Mac base = mac_.nestedMac(macs);
+    for (unsigned i = 0; i < macs.size(); ++i) {
+        auto tampered = macs;
+        tampered[i] ^= 1;
+        EXPECT_NE(base, mac_.nestedMac(tampered)) << "element " << i;
+    }
+}
+
+TEST_F(MacEngineTest, NodeMacBindsParentCounter)
+{
+    std::uint64_t ctrs[kTreeArity] = {1, 2, 3, 4, 5, 6, 7, 8};
+    const Mac base = mac_.nodeMac(0x9000, 10, ctrs);
+    EXPECT_NE(base, mac_.nodeMac(0x9000, 11, ctrs));
+    ctrs[7] += 1;
+    EXPECT_NE(base, mac_.nodeMac(0x9000, 10, ctrs));
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for protection domains: routing, cross-domain isolation,
+ * splicing detection across keys, independent rekeying, and domain
+ * destruction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mee/domain.hh"
+
+namespace mgmee {
+namespace {
+
+SecureMemory::Keys
+domainKeys(std::uint8_t tag)
+{
+    SecureMemory::Keys k;
+    for (unsigned i = 0; i < 16; ++i)
+        k.aes[i] = static_cast<std::uint8_t>(tag * 97 + i);
+    k.mac = {std::uint64_t{tag} * 0x0101010101010101ULL,
+             ~(std::uint64_t{tag} * 0x1010101010101010ULL)};
+    return k;
+}
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 7);
+    return v;
+}
+
+class DomainTest : public ::testing::Test
+{
+  protected:
+    DomainTest()
+    {
+        cpu_ = mgr_.addDomain("cpu-tee", 0, 2 * kChunkBytes,
+                              domainKeys(1));
+        npu_ = mgr_.addDomain("npu-tee", 4 * kChunkBytes,
+                              2 * kChunkBytes, domainKeys(2));
+    }
+
+    SecureDomainManager mgr_;
+    std::size_t cpu_ = 0;
+    std::size_t npu_ = 0;
+};
+
+TEST_F(DomainTest, RoutingAndRoundTrips)
+{
+    const auto a = pattern(256, 1);
+    const auto b = pattern(256, 2);
+    ASSERT_EQ(SecureMemory::Status::Ok, mgr_.write(0x100, a));
+    ASSERT_EQ(SecureMemory::Status::Ok,
+              mgr_.write(4 * kChunkBytes + 0x100, b));
+
+    std::vector<std::uint8_t> out(256);
+    ASSERT_EQ(SecureMemory::Status::Ok, mgr_.read(0x100, out));
+    EXPECT_EQ(a, out);
+    ASSERT_EQ(SecureMemory::Status::Ok,
+              mgr_.read(4 * kChunkBytes + 0x100, out));
+    EXPECT_EQ(b, out);
+
+    EXPECT_EQ(&mgr_.memory(cpu_), mgr_.domainOf(0x100));
+    EXPECT_EQ(&mgr_.memory(npu_),
+              mgr_.domainOf(4 * kChunkBytes + 0x100));
+    EXPECT_EQ(nullptr, mgr_.domainOf(3 * kChunkBytes));
+}
+
+TEST_F(DomainTest, CrossDomainSplicingDetected)
+{
+    // Identical plaintext at identical domain-relative offsets:
+    // splicing the NPU domain's off-chip state into the CPU domain
+    // must fail, because the keys differ.
+    const auto secret = pattern(kCachelineBytes, 5);
+    ASSERT_EQ(SecureMemory::Status::Ok, mgr_.write(0x40, secret));
+    ASSERT_EQ(SecureMemory::Status::Ok,
+              mgr_.write(4 * kChunkBytes + 0x40, secret));
+
+    const auto foreign = mgr_.memory(npu_).captureForReplay(0x40);
+    mgr_.memory(cpu_).replay(foreign);
+
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    EXPECT_NE(SecureMemory::Status::Ok, mgr_.read(0x40, out));
+}
+
+TEST_F(DomainTest, SamePlaintextDifferentCiphertext)
+{
+    // The visible symptom of per-domain keys: the same plaintext at
+    // the same relative address decrypts fine in both domains yet the
+    // foreign snapshot never matches (previous test); additionally a
+    // domain-A snapshot replayed into domain A verifies.
+    const auto secret = pattern(kCachelineBytes, 9);
+    ASSERT_EQ(SecureMemory::Status::Ok, mgr_.write(0x80, secret));
+    const auto own = mgr_.memory(cpu_).captureForReplay(0x80);
+    mgr_.memory(cpu_).replay(own);
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    EXPECT_EQ(SecureMemory::Status::Ok, mgr_.read(0x80, out));
+    EXPECT_EQ(secret, out);
+}
+
+TEST_F(DomainTest, IndependentRekey)
+{
+    const auto a = pattern(128, 3);
+    const auto b = pattern(128, 4);
+    mgr_.write(0, a);
+    mgr_.write(4 * kChunkBytes, b);
+
+    mgr_.memory(npu_).rekey(domainKeys(7));
+
+    std::vector<std::uint8_t> out(128);
+    ASSERT_EQ(SecureMemory::Status::Ok, mgr_.read(0, out));
+    EXPECT_EQ(a, out);
+    ASSERT_EQ(SecureMemory::Status::Ok,
+              mgr_.read(4 * kChunkBytes, out));
+    EXPECT_EQ(b, out);
+}
+
+TEST_F(DomainTest, DestroyDomainFreesWindow)
+{
+    mgr_.write(0, pattern(64, 1));
+    mgr_.destroyDomain(cpu_);
+    EXPECT_EQ(nullptr, mgr_.domainOf(0));
+
+    // Re-register the window with fresh keys: pristine state.
+    mgr_.addDomain("cpu-tee-2", 0, 2 * kChunkBytes, domainKeys(9));
+    std::vector<std::uint8_t> out(64, 0xff);
+    ASSERT_EQ(SecureMemory::Status::Ok, mgr_.read(0, out));
+    for (auto byte : out)
+        EXPECT_EQ(0u, byte);  // old secrets are gone
+}
+
+TEST_F(DomainTest, OverlapAndCrossingAreFatal)
+{
+    EXPECT_EXIT(mgr_.addDomain("bad", kChunkBytes, kChunkBytes,
+                               domainKeys(3)),
+                ::testing::ExitedWithCode(1), "overlaps");
+    std::vector<std::uint8_t> buf(64);
+    EXPECT_EXIT(mgr_.read(3 * kChunkBytes, buf),
+                ::testing::ExitedWithCode(1), "crosses or misses");
+    EXPECT_EXIT(mgr_.addDomain("unaligned", 8 * kChunkBytes + 64,
+                               kChunkBytes, domainKeys(4)),
+                ::testing::ExitedWithCode(1), "aligned");
+}
+
+} // namespace
+} // namespace mgmee

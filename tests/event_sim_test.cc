@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the discrete-event core and the cross-validation of the
+ * fast closed-loop model against the event-driven twin.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "hetero/hetero_system.hh"
+#include "hetero/metrics.hh"
+#include "sim/event_system.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(EventQueueTest, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ((std::vector<int>{1, 2, 3}), order);
+    EXPECT_EQ(30u, q.now());
+    EXPECT_EQ(3u, q.dispatched());
+}
+
+TEST(EventQueueTest, SameCycleIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ((std::vector<int>{0, 1, 2, 3, 4}), order);
+}
+
+TEST(EventQueueTest, HandlersMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            q.schedule(q.now() + 5, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(10, fired);
+    EXPECT_EQ(45u, q.now());
+}
+
+TEST(EventQueueTest, PastEventsStillDispatch)
+{
+    // Scheduling "in the past" is allowed (zero-latency callbacks);
+    // order remains by (cycle, insertion).
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] {
+        order.push_back(1);
+        q.schedule(5, [&] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ((std::vector<int>{1, 2}), order);
+}
+
+/**
+ * Cross-validation: the event-driven twin must reproduce the fast
+ * closed-loop model's per-device finish times closely (they dispatch
+ * identical request sets; only same-cycle tie order differs).
+ */
+class ModelCrossValidation
+    : public ::testing::TestWithParam<std::pair<const char *, Scheme>>
+{
+};
+
+TEST_P(ModelCrossValidation, FinishTimesAgree)
+{
+    const auto [scenario_id, scheme] = GetParam();
+    Scenario scenario;
+    for (const Scenario &s : selectedScenarios())
+        if (s.id == scenario_id)
+            scenario = s;
+    ASSERT_FALSE(scenario.cpu.empty());
+
+    HeteroSystem fast(buildDevices(scenario, 1, 0.3),
+                      makeEngine(scheme, scenarioDataBytes()));
+    fast.run();
+
+    EventDrivenSystem twin(buildDevices(scenario, 1, 0.3),
+                           makeEngine(scheme, scenarioDataBytes()));
+    twin.run();
+
+    const auto a = fast.deviceFinishTimes();
+    const auto b = twin.deviceFinishTimes();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t d = 0; d < a.size(); ++d) {
+        const double rel =
+            std::abs(static_cast<double>(a[d]) -
+                     static_cast<double>(b[d])) /
+            static_cast<double>(a[d]);
+        EXPECT_LT(rel, 0.02)
+            << "device " << d << ": fast " << a[d] << " vs event "
+            << b[d];
+    }
+
+    // Traffic must agree closely too (same requests, same engine
+    // logic; only cache-state tie-order effects may differ).
+    const double traffic_rel =
+        std::abs(static_cast<double>(fast.mem().totalBytes()) -
+                 static_cast<double>(twin.mem().totalBytes())) /
+        static_cast<double>(fast.mem().totalBytes());
+    EXPECT_LT(traffic_rel, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ModelCrossValidation,
+    ::testing::Values(
+        std::make_pair("cc1", Scheme::Unsecure),
+        std::make_pair("cc1", Scheme::Conventional),
+        std::make_pair("cc1", Scheme::Ours),
+        std::make_pair("ff2", Scheme::Conventional),
+        std::make_pair("ff2", Scheme::Ours),
+        std::make_pair("c1", Scheme::BmfUnusedOurs)),
+    [](const auto &info) {
+        std::string name = std::string(info.param.first) + "_" +
+                           schemeName(info.param.second);
+        for (auto &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the stream-partition bitmap semantics (Sec. 4.4):
+ * hierarchical granularity derivation, unit geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/granularity.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(StreamPartTest, AllFineAllStream)
+{
+    for (unsigned p = 0; p < kPartitionsPerChunk; ++p) {
+        EXPECT_EQ(Granularity::Line64B,
+                  granularityOfPartition(kAllFine, p));
+        EXPECT_EQ(Granularity::Chunk32KB,
+                  granularityOfPartition(kAllStream, p));
+    }
+}
+
+TEST(StreamPartTest, SingleStreamPartitionIs512B)
+{
+    const StreamPart sp = StreamPart{1} << 5;
+    EXPECT_EQ(Granularity::Part512B, granularityOfPartition(sp, 5));
+    EXPECT_EQ(Granularity::Line64B, granularityOfPartition(sp, 4));
+    EXPECT_EQ(Granularity::Line64B, granularityOfPartition(sp, 6));
+}
+
+TEST(StreamPartTest, FullSubchunkGroupIs4KB)
+{
+    const StreamPart sp = subchunkMask(2);
+    for (unsigned p = 16; p < 24; ++p)
+        EXPECT_EQ(Granularity::Sub4KB, granularityOfPartition(sp, p));
+    EXPECT_EQ(Granularity::Line64B, granularityOfPartition(sp, 15));
+    EXPECT_EQ(Granularity::Line64B, granularityOfPartition(sp, 24));
+}
+
+TEST(StreamPartTest, SevenOfEightBitsIsOnly512B)
+{
+    // Group 0 with partition 3 missing: remaining set bits are 512B.
+    const StreamPart sp = subchunkMask(0) & ~(StreamPart{1} << 3);
+    EXPECT_EQ(Granularity::Part512B, granularityOfPartition(sp, 0));
+    EXPECT_EQ(Granularity::Line64B, granularityOfPartition(sp, 3));
+    EXPECT_EQ(Granularity::Part512B, granularityOfPartition(sp, 7));
+}
+
+TEST(StreamPartTest, PaperEncodingExample)
+{
+    // Sec. 4.4: "0b101000... means the first and the third 512B
+    // partitions of the chunk are 512B granularity" -- i.e. bits 0
+    // and 2 (LSB-first positions).
+    const StreamPart sp = 0b101;
+    EXPECT_EQ(Granularity::Part512B, granularityOfPartition(sp, 0));
+    EXPECT_EQ(Granularity::Line64B, granularityOfPartition(sp, 1));
+    EXPECT_EQ(Granularity::Part512B, granularityOfPartition(sp, 2));
+    // "0b111...1 represents the 32KB granularity."
+    EXPECT_EQ(Granularity::Chunk32KB,
+              granularityOfPartition(kAllStream, 17));
+}
+
+TEST(StreamPartTest, GranularityOfAddrMatchesPartition)
+{
+    const StreamPart sp = subchunkMask(1) | (StreamPart{1} << 40);
+    const Addr chunk2 = 2 * kChunkBytes;
+    EXPECT_EQ(Granularity::Sub4KB,
+              granularityOfAddr(sp, chunk2 + kSubchunkBytes + 100));
+    EXPECT_EQ(Granularity::Part512B,
+              granularityOfAddr(sp, chunk2 + 40 * kPartitionBytes));
+    EXPECT_EQ(Granularity::Line64B, granularityOfAddr(sp, chunk2));
+}
+
+TEST(UnitGeometryTest, UnitBaseAndLines)
+{
+    const Addr a = kChunkBytes + 3 * kSubchunkBytes + 777;
+    EXPECT_EQ(alignDown(a, kCachelineBytes),
+              unitBase(a, Granularity::Line64B));
+    EXPECT_EQ(alignDown(a, kPartitionBytes),
+              unitBase(a, Granularity::Part512B));
+    EXPECT_EQ(kChunkBytes + 3 * kSubchunkBytes,
+              unitBase(a, Granularity::Sub4KB));
+    EXPECT_EQ(kChunkBytes, unitBase(a, Granularity::Chunk32KB));
+
+    EXPECT_EQ(1u, unitLines(Granularity::Line64B));
+    EXPECT_EQ(8u, unitLines(Granularity::Part512B));
+    EXPECT_EQ(64u, unitLines(Granularity::Sub4KB));
+    EXPECT_EQ(512u, unitLines(Granularity::Chunk32KB));
+}
+
+/** Property sweep: every partition maps into exactly one class. */
+class StreamPartPropertyTest
+    : public ::testing::TestWithParam<StreamPart>
+{
+};
+
+TEST_P(StreamPartPropertyTest, HierarchyIsConsistent)
+{
+    const StreamPart sp = GetParam();
+    for (unsigned p = 0; p < kPartitionsPerChunk; ++p) {
+        const Granularity g = granularityOfPartition(sp, p);
+        if (g == Granularity::Line64B) {
+            EXPECT_FALSE(isStreamPartition(sp, p));
+        } else {
+            // Any coarse class requires the partition bit itself.
+            EXPECT_TRUE(isStreamPartition(sp, p));
+        }
+        if (g == Granularity::Sub4KB) {
+            // The whole aligned group must be stream.
+            const unsigned sub = p / 8;
+            EXPECT_EQ(subchunkMask(sub), sp & subchunkMask(sub));
+        }
+        if (g == Granularity::Chunk32KB) {
+            EXPECT_EQ(kAllStream, sp);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, StreamPartPropertyTest,
+    ::testing::Values(kAllFine, kAllStream, StreamPart{1},
+                      subchunkMask(0), subchunkMask(7),
+                      subchunkMask(3) | (StreamPart{1} << 60),
+                      0x00000000ffffffffull, 0xaaaaaaaaaaaaaaaaull,
+                      0x0123456789abcdefull));
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Integration tests: devices, workload generation, scenario
+ * catalogue, the hetero system run loop, and end-to-end scheme
+ * ordering on real scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hetero/hetero_system.hh"
+#include "hetero/metrics.hh"
+#include "workloads/registry.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(WorkloadRegistryTest, AllPaperWorkloadsPresent)
+{
+    for (const char *name :
+         {"bw", "gcc", "mcf", "xal", "ray", "floyd", "mm", "pr",
+          "sten", "syr2k", "ncf", "dlrm", "alex", "sfrnn", "yt",
+          "sc"}) {
+        EXPECT_EQ(name, findWorkload(name).name);
+    }
+    EXPECT_EQ(16u, allWorkloads().size());
+}
+
+TEST(TraceGenTest, DeterministicPerSeed)
+{
+    const WorkloadSpec &spec = findWorkload("alex");
+    const Trace a = generateTrace(spec, 0, 7);
+    const Trace b = generateTrace(spec, 0, 7);
+    const Trace c = generateTrace(spec, 0, 8);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].gap, b[i].gap);
+    }
+    EXPECT_NE(a.size() == c.size() && a[0].addr == c[0].addr &&
+                  a[1].addr == c[1].addr && a[2].addr == c[2].addr,
+              true);
+}
+
+TEST(TraceGenTest, AddressesStayInFootprint)
+{
+    const WorkloadSpec &spec = findWorkload("mm");
+    const Addr base = 3 * kDeviceStride;
+    for (const TraceOp &op : generateTrace(spec, base, 1)) {
+        EXPECT_GE(op.addr, base);
+        EXPECT_LT(op.addr + op.bytes, base + spec.footprint + 1);
+    }
+}
+
+TEST(TraceGenTest, ProfileMatchesWorkloadClass)
+{
+    // alex must be 32KB-dominant; bw must be 64B-dominant; xal must
+    // show a visible 512B share (Sec. 3.1 / Fig. 4).
+    const auto palex = profileTrace(
+        generateTrace(findWorkload("alex"), 0, 1));
+    const double alex_total = palex.lines64 + palex.lines512 +
+                              palex.lines4k + palex.lines32k;
+    EXPECT_GT(palex.lines32k / alex_total, 0.55);
+
+    const auto pbw =
+        profileTrace(generateTrace(findWorkload("bw"), 0, 1));
+    const double bw_total = pbw.lines64 + pbw.lines512 + pbw.lines4k +
+                            pbw.lines32k;
+    EXPECT_GT(pbw.lines64 / bw_total, 0.80);
+
+    const auto pxal =
+        profileTrace(generateTrace(findWorkload("xal"), 0, 1));
+    const double xal_total = pxal.lines64 + pxal.lines512 +
+                             pxal.lines4k + pxal.lines32k;
+    EXPECT_GT(pxal.lines512 / xal_total, 0.10);
+}
+
+TEST(DeviceTest, WindowLimitsOutstandingRequests)
+{
+    Trace trace;
+    for (int i = 0; i < 4; ++i)
+        trace.push_back({Addr(i * 64), 64, false, 0});
+    Device dev("d", DeviceKind::CPU, 0, trace, 2);
+
+    EXPECT_EQ(0u, dev.nextIssue());
+    dev.complete(1000);             // op0 done at 1000
+    EXPECT_EQ(0u, dev.nextIssue()); // window 2: op1 free
+    dev.complete(2000);             // op1 done at 2000
+    // op2 must wait for op0's completion (i-window = 0).
+    EXPECT_EQ(1000u, dev.nextIssue());
+    dev.complete(2500);
+    // op3 waits for op1 (done 2000).
+    EXPECT_EQ(2000u, dev.nextIssue());
+    dev.complete(2600);
+    EXPECT_TRUE(dev.done());
+    EXPECT_EQ(2600u, dev.finishTime());
+}
+
+TEST(DeviceTest, GapsPaceIssue)
+{
+    Trace trace;
+    trace.push_back({0, 64, false, 100});
+    trace.push_back({64, 64, false, 50});
+    Device dev("d", DeviceKind::CPU, 0, trace, 8);
+    EXPECT_EQ(100u, dev.nextIssue());
+    dev.complete(120);
+    EXPECT_EQ(150u, dev.nextIssue());
+}
+
+TEST(ScenarioTest, CatalogueSizes)
+{
+    EXPECT_EQ(250u, allScenarios().size());
+    EXPECT_EQ(11u, selectedScenarios().size());
+    // All scenario ids unique.
+    std::set<std::string> ids;
+    for (const auto &s : allScenarios())
+        ids.insert(s.id);
+    EXPECT_EQ(250u, ids.size());
+}
+
+TEST(ScenarioTest, SelectedScenariosMatchTable4)
+{
+    const auto sel = selectedScenarios();
+    EXPECT_EQ("ff1", sel[0].id);
+    EXPECT_EQ("bw", sel[0].cpu);
+    EXPECT_EQ("cc3", sel[10].id);
+    EXPECT_EQ("alex", sel[10].npu2);
+}
+
+TEST(ScenarioTest, DevicesGetDisjointWindows)
+{
+    const auto devices = buildDevices(selectedScenarios()[0], 1, 0.2);
+    ASSERT_EQ(4u, devices.size());
+    EXPECT_EQ(DeviceKind::CPU, devices[0].kind());
+    EXPECT_EQ(DeviceKind::GPU, devices[1].kind());
+    EXPECT_EQ(DeviceKind::NPU, devices[2].kind());
+    EXPECT_EQ(DeviceKind::NPU, devices[3].kind());
+}
+
+TEST(HeteroSystemTest, RunsToCompletionDeterministically)
+{
+    const Scenario sc = selectedScenarios()[0];
+    const RunResult a = runScenario(sc, Scheme::Conventional, 1, 0.2);
+    const RunResult b = runScenario(sc, Scheme::Conventional, 1, 0.2);
+    EXPECT_EQ(a.device_finish, b.device_finish);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_GT(a.requests, 0u);
+}
+
+TEST(HeteroSystemTest, SchemeOrderingOnCoarseScenario)
+{
+    const Scenario cc1{"cc1", "xal", "mm", "alex", "dlrm"};
+    const auto unsec = runScenario(cc1, Scheme::Unsecure, 1, 0.3);
+    const auto conv = runScenario(cc1, Scheme::Conventional, 1, 0.3);
+    const auto ours = runScenario(cc1, Scheme::Ours, 1, 0.3);
+    const auto combo = runScenario(cc1, Scheme::BmfUnusedOurs, 1, 0.3);
+
+    const double n_conv = normalizedExecTime(conv, unsec);
+    const double n_ours = normalizedExecTime(ours, unsec);
+    const double n_combo = normalizedExecTime(combo, unsec);
+
+    // The paper's headline ordering (Sec. 5.2/5.3).
+    EXPECT_GT(n_conv, 1.0);
+    EXPECT_LT(n_ours, n_conv);
+    EXPECT_LT(n_combo, n_ours * 1.02);  // combined at least as good
+    EXPECT_LT(ours.total_bytes, conv.total_bytes);
+    EXPECT_LT(ours.security_misses, conv.security_misses);
+}
+
+TEST(HeteroSystemTest, UnsecureIsTheFloor)
+{
+    const Scenario sc = selectedScenarios()[5];  // c1
+    const auto unsec = runScenario(sc, Scheme::Unsecure, 1, 0.2);
+    for (Scheme scheme :
+         {Scheme::Conventional, Scheme::Ours, Scheme::Adaptive,
+          Scheme::CommonCTR, Scheme::BmfUnusedOurs}) {
+        const auto r = runScenario(sc, scheme, 1, 0.2);
+        EXPECT_GE(normalizedExecTime(r, unsec), 0.999)
+            << schemeName(scheme);
+        EXPECT_GE(r.total_bytes, unsec.total_bytes)
+            << schemeName(scheme);
+    }
+}
+
+TEST(MetricsTest, StaticBestSearchPicksCoarseForCoarseDevices)
+{
+    const Scenario cc2{"cc2", "ray", "mm", "alex", "alex"};
+    const auto best = searchStaticBest(cc2, 1, 0.25);
+    // mm and alex are coarse: the chosen granularity for GPU/NPUs
+    // should not be the finest.
+    EXPECT_NE(Granularity::Line64B, best[2]);
+}
+
+TEST(MetricsTest, NormalizationIsPerDeviceMean)
+{
+    RunResult a, u;
+    a.device_finish = {200, 100, 400, 100};
+    u.device_finish = {100, 100, 200, 100};
+    EXPECT_DOUBLE_EQ((2.0 + 1.0 + 2.0 + 1.0) / 4,
+                     normalizedExecTime(a, u));
+    const auto per = normalizedPerDevice(a, u);
+    EXPECT_DOUBLE_EQ(2.0, per[0]);
+    EXPECT_DOUBLE_EQ(1.0, per[3]);
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Unit tests for the multi-granular timing engine: detection-driven
+ * promotion, metadata savings on streams, misprediction overfetch,
+ * switch-cost classification, and the scheme-flag ablations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/adaptive_mac_engine.hh"
+#include "baselines/common_counters_engine.hh"
+#include "baselines/static_best.hh"
+#include "core/multigran_engine.hh"
+#include "mee/conventional_engine.hh"
+
+namespace mgmee {
+namespace {
+
+constexpr std::size_t kRegion = 256 * kChunkBytes;
+
+MemRequest
+req(Addr addr, std::uint32_t bytes, Cycle issue, bool write = false,
+    unsigned device = 0)
+{
+    MemRequest r;
+    r.addr = addr;
+    r.bytes = bytes;
+    r.is_write = write;
+    r.issue = issue;
+    r.device = device;
+    return r;
+}
+
+/** Stream every line of @p chunk once, returning the last cycle. */
+Cycle
+streamChunk(TimingEngine &eng, MemCtrl &mem, std::uint64_t chunk,
+            Cycle start)
+{
+    Cycle now = start;
+    for (unsigned l = 0; l < kLinesPerChunk; ++l) {
+        eng.access(req(chunk * kChunkBytes + l * kCachelineBytes,
+                       kCachelineBytes, now),
+                   mem);
+        now += 2;
+    }
+    return now;
+}
+
+TEST(MultiGranEngineTest, StreamingPromotesChunk)
+{
+    MultiGranEngineConfig cfg;
+    MultiGranEngine eng("test", kRegion, cfg);
+    MemCtrl mem;
+
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    // Detection fired (count threshold) and set the pending map; the
+    // current map is untouched until partitions are re-accessed
+    // (lazy switching).
+    EXPECT_EQ(kAllStream, eng.table().next(0));
+    EXPECT_EQ(kAllFine, eng.table().current(0));
+    // A second pass resolves every partition: full 32KB promotion.
+    streamChunk(eng, mem, 0, now + 100);
+    EXPECT_EQ(kAllStream, eng.table().current(0));
+    EXPECT_EQ(Granularity::Chunk32KB,
+              granularityOfPartition(eng.table().current(0), 0));
+    EXPECT_GE(eng.stats().get("switches"), 1u);
+}
+
+TEST(MultiGranEngineTest, SecondEpochUsesLessMetadataTraffic)
+{
+    MultiGranEngineConfig cfg;
+    MultiGranEngine ours("ours", kRegion, cfg);
+    ConventionalEngine conv(kRegion, TimingConfig{});
+    MemCtrl mem_ours, mem_conv;
+
+    // Stream enough chunks that the metadata working set exceeds the
+    // 8KB metadata cache (one chunk alone fits entirely).
+    constexpr unsigned kChunks = 16;
+    auto epoch = [&](TimingEngine &eng, MemCtrl &mem, Cycle start) {
+        Cycle t = start;
+        for (unsigned c = 0; c < kChunks; ++c)
+            t = streamChunk(eng, mem, c, t) + 100;
+        return t;
+    };
+
+    // Epoch 1: train.  Epoch 2+3: measure.
+    Cycle t1 = epoch(ours, mem_ours, 0);
+    epoch(conv, mem_conv, 0);
+    const auto ours_epoch1 = mem_ours.totalBytes();
+    const auto conv_epoch1 = mem_conv.totalBytes();
+
+    t1 += 20000;  // let the unit buffer expire between epochs
+    Cycle t2 = epoch(ours, mem_ours, t1);
+    epoch(ours, mem_ours, t2 + 20000);
+    epoch(conv, mem_conv, t1);
+    epoch(conv, mem_conv, t2 + 20000);
+
+    const auto ours_later = mem_ours.totalBytes() - ours_epoch1;
+    const auto conv_later = mem_conv.totalBytes() - conv_epoch1;
+    // Promoted epochs move close to data-only traffic; conventional
+    // keeps paying per-partition metadata.
+    EXPECT_LT(ours_later, conv_later);
+}
+
+TEST(MultiGranEngineTest, MispredictionPaysOverfetchOnWrittenUnit)
+{
+    MultiGranEngineConfig cfg;
+    MultiGranEngine eng("test", kRegion, cfg);
+    MemCtrl mem;
+
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    now = streamChunk(eng, mem, 0, now + 30000);  // resolve all bits
+    ASSERT_EQ(kAllStream, eng.table().current(0));
+    // Dirty the unit so the read-only fine-MAC shortcut is off.
+    eng.access(req(0, 64, now + 100, true), mem);
+    const auto before = mem.totalBytes();
+
+    // A sparse read far from the last touch, outside the validation
+    // window: the merged MAC forces a whole-unit bulk fetch.
+    now += 60000;
+    eng.access(req(16 * kCachelineBytes, 64, now), mem);
+    EXPECT_GE(mem.totalBytes() - before, kChunkBytes);
+    EXPECT_GE(eng.stats().get("mispredict_bulks"), 1u);
+}
+
+TEST(MultiGranEngineTest, ReadOnlyUnitsVerifySparseReadsViaFineMacs)
+{
+    // Table 2: "Coarse->Fine R/O: Negligible (fetch fine MACs)" --
+    // a never-written coarse unit serves sparse reads without the
+    // whole-unit transfer.
+    MultiGranEngineConfig cfg;
+    MultiGranEngine eng("test", kRegion, cfg);
+    MemCtrl mem;
+
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    now = streamChunk(eng, mem, 0, now + 30000);
+    ASSERT_EQ(kAllStream, eng.table().current(0));
+    const auto before = mem.totalBytes();
+
+    now += 60000;
+    eng.access(req(16 * kCachelineBytes, 64, now), mem);
+    EXPECT_LT(mem.totalBytes() - before, 4 * kCachelineBytes);
+    EXPECT_GE(eng.stats().get("ro_fine_verifies"), 1u);
+}
+
+TEST(MultiGranEngineTest, SwitchStatsClassifyScaleUpReads)
+{
+    MultiGranEngineConfig cfg;
+    MultiGranEngine eng("test", kRegion, cfg);
+    MemCtrl mem;
+
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    now += 1000;
+    eng.access(req(0, 64, now), mem);  // read-after-read scale-up
+    EXPECT_GE(eng.switchModel().stats().get("ctr.fine_to_coarse_rar"),
+              1u);
+}
+
+TEST(MultiGranEngineTest, StaticModeUsesForcedGranularity)
+{
+    std::array<Granularity, 8> gran{};
+    gran.fill(Granularity::Line64B);
+    gran[2] = Granularity::Chunk32KB;
+    auto eng = makeStaticEngine(kRegion, TimingConfig{}, gran);
+    MemCtrl mem;
+
+    // Device 2 reads one line: coarse MAC forces a 32KB bulk fetch.
+    eng->access(req(0, 64, 0, false, 2), mem);
+    EXPECT_GE(mem.totalBytes(), kChunkBytes);
+
+    // Device 0 reads one line: fine path.
+    MemCtrl mem2;
+    eng->access(req(kChunkBytes, 64, 0, false, 0), mem2);
+    EXPECT_LT(mem2.totalBytes(), 16 * kCachelineBytes);
+}
+
+TEST(MultiGranEngineTest, CtrOnlyModeKeepsFineMacs)
+{
+    MultiGranEngineConfig cfg;
+    cfg.coarse_macs = false;
+    MultiGranEngine eng("ctr-only", kRegion, cfg);
+    MemCtrl mem;
+
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    now += 30000;
+    eng.access(req(0, 64, now), mem);  // switch applied
+    const auto before = mem.totalBytes();
+    now += 30000;
+    // Sparse read: with fine MACs there is NO bulk overfetch.
+    eng.access(req(16 * kCachelineBytes, 64, now), mem);
+    EXPECT_LT(mem.totalBytes() - before, 16 * kCachelineBytes);
+    EXPECT_EQ(0u, eng.stats().get("bulk_fetches"));
+}
+
+TEST(MultiGranEngineTest, DualOnlyCapsDetection)
+{
+    MultiGranEngineConfig cfg;
+    cfg.dual_only = Granularity::Sub4KB;
+    MultiGranEngine eng("dual4k", kRegion, cfg);
+    MemCtrl mem;
+
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    // Clamped to 4KB even though the whole chunk streamed.
+    EXPECT_NE(kAllStream, eng.table().next(0));
+    // Resolve the first 4KB group by touching its 8 partitions.
+    for (unsigned p = 0; p < 8; ++p)
+        eng.access(req(p * kPartitionBytes, 64, now + 1000 + p), mem);
+    EXPECT_EQ(Granularity::Sub4KB,
+              granularityOfPartition(eng.table().current(0), 0));
+}
+
+TEST(AdaptiveEngineTest, NoBulkOverfetchThanksToDualStorage)
+{
+    auto eng = makeAdaptiveEngine(kRegion, TimingConfig{});
+    MemCtrl mem;
+    Cycle now = streamChunk(*eng, mem, 0, 0);
+    now += 30000;
+    eng->access(req(0, 64, now), mem);
+    const auto before = mem.totalBytes();
+    now += 30000;
+    eng->access(req(16 * kCachelineBytes, 64, now), mem);
+    // Fine MACs exist alongside: a sparse read stays line-sized.
+    EXPECT_LT(mem.totalBytes() - before, 16 * kCachelineBytes);
+}
+
+TEST(AdaptiveEngineTest, WritesUpdateBothMacCopies)
+{
+    auto eng = makeAdaptiveEngine(kRegion, TimingConfig{});
+    MemCtrl mem;
+    Cycle now = streamChunk(*eng, mem, 0, 0);
+    now = streamChunk(*eng, mem, 0, now + 1000);  // resolve the map
+    eng->access(req(0, 64, now + 10, true), mem);
+    EXPECT_GE(eng->stats().get("double_mac_updates"), 1u);
+}
+
+TEST(CommonCountersTest, ScanPromotesUpToSixteenSegments)
+{
+    CommonCountersEngine eng(kRegion, TimingConfig{});
+    MemCtrl mem;
+    Cycle now = 0;
+    // Stream 20 chunks; all become candidates.
+    for (unsigned c = 0; c < 20; ++c)
+        now = streamChunk(eng, mem, c, now) + 100;
+    eng.kernelBoundary(now, mem);
+    EXPECT_EQ(16u, eng.commonSegments());
+    EXPECT_EQ(20u, eng.stats().get("scanned_segments"));
+    EXPECT_EQ(4u, eng.stats().get("table_full_rejections"));
+}
+
+TEST(CommonCountersTest, CommonSegmentsSkipTreeOnReads)
+{
+    CommonCountersEngine eng(kRegion, TimingConfig{});
+    MemCtrl mem;
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    eng.kernelBoundary(now, mem);
+    ASSERT_EQ(1u, eng.commonSegments());
+
+    const auto before_misses = eng.securityCacheMisses();
+    const auto before = mem.totalBytes();
+    // Re-read a line far later: only data + MAC should move.
+    eng.access(req(0, 64, now + 500000), mem);
+    EXPECT_GE(eng.stats().get("common_hits"), 1u);
+    EXPECT_LE(mem.totalBytes() - before, 2u * 64u);
+    EXPECT_LE(eng.securityCacheMisses() - before_misses, 1u);
+}
+
+TEST(CommonCountersTest, PartialWriteDemotesSegment)
+{
+    CommonCountersEngine eng(kRegion, TimingConfig{});
+    MemCtrl mem;
+    Cycle now = streamChunk(eng, mem, 0, 0);
+    eng.kernelBoundary(now, mem);
+    ASSERT_EQ(1u, eng.commonSegments());
+    eng.access(req(0, 64, now + 10, true), mem);
+    EXPECT_EQ(0u, eng.commonSegments());
+    EXPECT_EQ(1u, eng.stats().get("demotions"));
+}
+
+} // namespace
+} // namespace mgmee

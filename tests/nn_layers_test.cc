@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the layer-accurate NPU traffic model: analytical
+ * footprints against hand-computed layer shapes, trace structure,
+ * and network definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/nn_layers.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(LayerAnalysisTest, ConvFootprintMatchesHandComputation)
+{
+    // AlexNet conv1: 3x227x227 input, 96 kernels of 11x11, stride 4.
+    NnLayer conv;
+    conv.kind = NnLayer::Kind::Conv;
+    conv.in_c = 3;
+    conv.in_h = conv.in_w = 227;
+    conv.out_c = 96;
+    conv.kernel = 11;
+    conv.stride = 4;
+
+    const LayerTraffic t = analyzeLayer(conv);
+    EXPECT_EQ(96u * 3u * 11u * 11u, t.weight_bytes);  // 34,848
+    EXPECT_EQ(3u * 227u * 227u, t.input_bytes);
+    // Output is 55x55x96.
+    EXPECT_EQ(96u * 55u * 55u, t.output_bytes);
+    EXPECT_EQ(std::uint64_t{34848} * 55 * 55, t.macs);
+}
+
+TEST(LayerAnalysisTest, FcFootprint)
+{
+    NnLayer fc;
+    fc.kind = NnLayer::Kind::Fc;
+    fc.in_dim = 9216;
+    fc.out_dim = 4096;
+    const LayerTraffic t = analyzeLayer(fc);
+    EXPECT_EQ(9216u * 4096u, t.weight_bytes);
+    EXPECT_EQ(9216u, t.input_bytes);
+    EXPECT_EQ(4096u, t.output_bytes);
+    EXPECT_EQ(t.weight_bytes, t.macs);
+}
+
+TEST(LayerAnalysisTest, EmbeddingFootprint)
+{
+    NnLayer emb;
+    emb.kind = NnLayer::Kind::Embedding;
+    emb.rows = 100000;
+    emb.dim = 64;
+    emb.lookups = 32;
+    const LayerTraffic t = analyzeLayer(emb);
+    EXPECT_EQ(std::size_t{100000} * 64, t.weight_bytes);
+    EXPECT_EQ(32u * 64u, t.input_bytes);
+}
+
+TEST(LayerAnalysisTest, SparsityShrinksRecurrentWeights)
+{
+    NnLayer rnn;
+    rnn.kind = NnLayer::Kind::Recurrent;
+    rnn.hidden = 1024;
+    rnn.steps = 16;
+    rnn.sparsity = 0.75;
+    const LayerTraffic t = analyzeLayer(rnn);
+    EXPECT_EQ(std::size_t{1024} * 1024 * 2 / 4, t.weight_bytes);
+}
+
+TEST(NetworkDefinitionTest, AlexNetShape)
+{
+    const auto layers = alexNetLayers();
+    ASSERT_EQ(8u, layers.size());
+    EXPECT_EQ("conv1", layers[0].name);
+    EXPECT_EQ("fc8", layers[7].name);
+
+    // Total weights: ~61M parameters (INT8 => ~58MB), dominated by
+    // fc6 (37.7M).
+    std::size_t weights = 0;
+    for (const auto &l : layers)
+        weights += analyzeLayer(l).weight_bytes;
+    EXPECT_NEAR(61e6, static_cast<double>(weights), 4e6);
+}
+
+TEST(NetworkDefinitionTest, AllNetworksNonEmpty)
+{
+    EXPECT_FALSE(alexNetLayers().empty());
+    EXPECT_FALSE(yoloTinyLayers().empty());
+    EXPECT_FALSE(dlrmLayers().empty());
+    EXPECT_FALSE(ncfLayers().empty());
+    EXPECT_FALSE(sfrnnLayers().empty());
+}
+
+class NnTraceTest : public ::testing::Test
+{
+  protected:
+    NpuConfig cfg_;
+};
+
+TEST_F(NnTraceTest, DeterministicAndAligned)
+{
+    const auto a = generateNnTrace(alexNetLayers(), cfg_, 0, 9);
+    const auto b = generateNnTrace(alexNetLayers(), cfg_, 0, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 97) {
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(0u, a[i].addr % kCachelineBytes);
+    }
+}
+
+TEST_F(NnTraceTest, CnnTraceIsCoarseDominated)
+{
+    const auto p = profileTrace(
+        generateNnTrace(alexNetLayers(), cfg_, 0, 1));
+    const double total = static_cast<double>(
+        p.lines64 + p.lines512 + p.lines4k + p.lines32k);
+    EXPECT_GT(p.lines32k / total, 0.8);
+}
+
+TEST_F(NnTraceTest, EmbeddingTraceHasFineGathers)
+{
+    // DLRM's gathers are 64B-row reads into huge tables: its fine
+    // share must exceed a pure CNN's.
+    const auto dlrm =
+        profileTrace(generateNnTrace(dlrmLayers(), cfg_, 0, 1));
+    const auto alex =
+        profileTrace(generateNnTrace(alexNetLayers(), cfg_, 0, 1));
+    const double dlrm_fine =
+        static_cast<double>(dlrm.lines64) /
+        static_cast<double>(dlrm.lines64 + dlrm.lines512 +
+                            dlrm.lines4k + dlrm.lines32k);
+    const double alex_fine =
+        static_cast<double>(alex.lines64) /
+        static_cast<double>(alex.lines64 + alex.lines512 +
+                            alex.lines4k + alex.lines32k);
+    EXPECT_GT(dlrm_fine, alex_fine);
+}
+
+TEST_F(NnTraceTest, RecurrentRestreamsWeights)
+{
+    // sfrnn re-streams its (sparse) weights across time steps: trace
+    // read volume far exceeds one pass over the weights.
+    const auto layers = sfrnnLayers();
+    const LayerTraffic t = analyzeLayer(layers[0]);
+    std::size_t read_bytes = 0;
+    for (const TraceOp &op :
+         generateNnTrace(layers, cfg_, 0, 1)) {
+        if (!op.is_write)
+            read_bytes += op.bytes;
+    }
+    EXPECT_GT(read_bytes, 3 * t.weight_bytes);
+}
+
+TEST_F(NnTraceTest, WritesComeFromOutputTiles)
+{
+    const auto trace = generateNnTrace(yoloTinyLayers(), cfg_, 0, 1);
+    std::uint64_t writes = 0;
+    for (const TraceOp &op : trace)
+        writes += op.is_write;
+    EXPECT_GT(writes, 0u);
+    EXPECT_LT(writes, trace.size());
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parameterized end-to-end checks over every evaluated scheme:
+ * determinism, the unsecure floor, traffic accounting sanity, and the
+ * paper's headline orderings on representative scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hetero/metrics.hh"
+
+namespace mgmee {
+namespace {
+
+constexpr double kScale = 0.25;
+
+class SchemeSweepTest : public ::testing::TestWithParam<Scheme>
+{
+};
+
+TEST_P(SchemeSweepTest, DeterministicAcrossRuns)
+{
+    const Scenario sc{"cc1", "xal", "mm", "alex", "dlrm"};
+    const RunResult a = runScenario(sc, GetParam(), 3, kScale);
+    const RunResult b = runScenario(sc, GetParam(), 3, kScale);
+    EXPECT_EQ(a.device_finish, b.device_finish);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_EQ(a.security_misses, b.security_misses);
+}
+
+TEST_P(SchemeSweepTest, NeverBeatsUnsecureMeaningfully)
+{
+    const Scenario sc{"c3", "mcf", "sten", "sfrnn", "sfrnn"};
+    const RunResult unsec =
+        runScenario(sc, Scheme::Unsecure, 1, kScale);
+    const RunResult r = runScenario(sc, GetParam(), 1, kScale);
+    EXPECT_GE(normalizedExecTime(r, unsec), 0.995)
+        << schemeName(GetParam());
+    EXPECT_GE(r.total_bytes, unsec.total_bytes)
+        << schemeName(GetParam());
+}
+
+TEST_P(SchemeSweepTest, SeedChangesTraceButNotValidity)
+{
+    const Scenario sc{"f2", "xal", "pr", "ncf", "ncf"};
+    const RunResult unsec =
+        runScenario(sc, Scheme::Unsecure, 9, kScale);
+    const RunResult r = runScenario(sc, GetParam(), 9, kScale);
+    ASSERT_EQ(4u, r.device_finish.size());
+    for (Cycle f : r.device_finish)
+        EXPECT_GT(f, 0u);
+    EXPECT_GE(normalizedExecTime(r, unsec), 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeSweepTest,
+    ::testing::Values(Scheme::Unsecure, Scheme::Conventional,
+                      Scheme::Adaptive, Scheme::CommonCTR,
+                      Scheme::MultiCtrOnly, Scheme::Ours,
+                      Scheme::OursNoSwitchCost, Scheme::OursDual4K,
+                      Scheme::BmfUnused, Scheme::BmfUnusedOurs),
+    [](const ::testing::TestParamInfo<Scheme> &info) {
+        std::string name = schemeName(info.param);
+        for (auto &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(HeadlineOrderingTest, CoarseScenarioLadder)
+{
+    // Sec. 5.2/5.3 on a coarse scenario: conventional is the most
+    // expensive real scheme; multi-granular counters alone recover
+    // part of it; adding merged MACs recovers more; the subtree combo
+    // is at least as good as Ours.
+    const Scenario cc2{"cc2", "ray", "mm", "alex", "alex"};
+    const RunResult unsec =
+        runScenario(cc2, Scheme::Unsecure, 1, 0.5);
+    const double conv = normalizedExecTime(
+        runScenario(cc2, Scheme::Conventional, 1, 0.5), unsec);
+    const double ctr_only = normalizedExecTime(
+        runScenario(cc2, Scheme::MultiCtrOnly, 1, 0.5), unsec);
+    const double ours = normalizedExecTime(
+        runScenario(cc2, Scheme::Ours, 1, 0.5), unsec);
+    const double combo = normalizedExecTime(
+        runScenario(cc2, Scheme::BmfUnusedOurs, 1, 0.5), unsec);
+
+    EXPECT_LT(ctr_only, conv);
+    EXPECT_LT(ours, ctr_only);
+    EXPECT_LT(combo, ours * 1.01);
+}
+
+TEST(HeadlineOrderingTest, SecurityMissesShrinkWithGranularity)
+{
+    const Scenario c1{"c1", "gcc", "sten", "alex", "dlrm"};
+    const auto conv = runScenario(c1, Scheme::Conventional, 1, 0.5);
+    const auto ctr = runScenario(c1, Scheme::MultiCtrOnly, 1, 0.5);
+    const auto ours = runScenario(c1, Scheme::Ours, 1, 0.5);
+    EXPECT_LT(ctr.security_misses, conv.security_misses);
+    EXPECT_LT(ours.security_misses, ctr.security_misses);
+}
+
+TEST(HeadlineOrderingTest, SwitchCostRemovalNeverHurts)
+{
+    const Scenario c3{"c3", "mcf", "sten", "sfrnn", "sfrnn"};
+    const RunResult unsec =
+        runScenario(c3, Scheme::Unsecure, 1, 0.5);
+    const double ours = normalizedExecTime(
+        runScenario(c3, Scheme::Ours, 1, 0.5), unsec);
+    const double no_switch = normalizedExecTime(
+        runScenario(c3, Scheme::OursNoSwitchCost, 1, 0.5), unsec);
+    EXPECT_LE(no_switch, ours * 1.005);
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the Table 2 switch-cost classification model and the
+ * granularity table's lazy resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/switch_cost.hh"
+
+namespace mgmee {
+namespace {
+
+GranResolution
+res(Granularity from, Granularity to, bool prev_write, bool written)
+{
+    GranResolution r;
+    r.from = from;
+    r.to = to;
+    r.switched = from != to;
+    r.prev_was_write = prev_write;
+    r.partition_written = written;
+    return r;
+}
+
+TEST(SwitchCostTest, CorrectPredictionIsFree)
+{
+    SwitchCostModel model;
+    const auto cost = model.apply(
+        res(Granularity::Line64B, Granularity::Line64B, false, false),
+        false);
+    EXPECT_FALSE(cost.fetch_parent_to_root);
+    EXPECT_EQ(0u, cost.mac_lines);
+    EXPECT_EQ(0u, cost.data_lines);
+    EXPECT_EQ(1u, model.stats().get("ctr.correct"));
+    EXPECT_EQ(1u, model.stats().get("mac.correct"));
+}
+
+TEST(SwitchCostTest, ScaleDownCountersAreFree)
+{
+    // Table 2 row 1: Coarse->Fine, all types, zero (lazy switching).
+    SwitchCostModel model;
+    for (bool is_write : {false, true}) {
+        const auto cost = model.apply(
+            res(Granularity::Chunk32KB, Granularity::Line64B, false,
+                false),
+            is_write);
+        EXPECT_FALSE(cost.fetch_parent_to_root);
+    }
+    EXPECT_EQ(2u, model.stats().get("ctr.coarse_to_fine_all"));
+}
+
+TEST(SwitchCostTest, ScaleUpWritesAreFree)
+{
+    // Table 2: Fine->Coarse WAR/WAW zero (the write fetches to the
+    // root anyway).
+    SwitchCostModel model;
+    const auto war = model.apply(
+        res(Granularity::Line64B, Granularity::Part512B, false, false),
+        true);
+    const auto waw = model.apply(
+        res(Granularity::Line64B, Granularity::Part512B, true, true),
+        true);
+    EXPECT_FALSE(war.fetch_parent_to_root);
+    EXPECT_FALSE(waw.fetch_parent_to_root);
+    EXPECT_EQ(1u, model.stats().get("ctr.fine_to_coarse_war"));
+    EXPECT_EQ(1u, model.stats().get("ctr.fine_to_coarse_waw"));
+}
+
+TEST(SwitchCostTest, ScaleUpReadsFetchParentToRoot)
+{
+    SwitchCostModel model;
+    const auto rar = model.apply(
+        res(Granularity::Line64B, Granularity::Sub4KB, false, false),
+        false);
+    const auto raw = model.apply(
+        res(Granularity::Line64B, Granularity::Sub4KB, true, false),
+        false);
+    EXPECT_TRUE(rar.fetch_parent_to_root);
+    EXPECT_TRUE(raw.fetch_parent_to_root);
+    EXPECT_EQ(1u, model.stats().get("ctr.fine_to_coarse_rar"));
+    EXPECT_EQ(1u, model.stats().get("ctr.fine_to_coarse_raw"));
+}
+
+TEST(SwitchCostTest, MacScaleDownReadOnlyFetchesFineMacs)
+{
+    SwitchCostModel model;
+    const auto cost = model.apply(
+        res(Granularity::Sub4KB, Granularity::Line64B, false, false),
+        false);
+    // One MAC line per resolved 512B partition (lazy switching
+    // resolves the rest of the unit as it is used).
+    EXPECT_EQ(1u, cost.mac_lines);
+    EXPECT_EQ(0u, cost.data_lines);
+    EXPECT_EQ(1u, model.stats().get("mac.coarse_to_fine_ro"));
+}
+
+TEST(SwitchCostTest, MacScaleDownWrittenFetchesWholeUnit)
+{
+    SwitchCostModel model;
+    const auto cost = model.apply(
+        res(Granularity::Chunk32KB, Granularity::Line64B, false, true),
+        false);
+    EXPECT_EQ(0u, cost.mac_lines);
+    EXPECT_EQ(kLinesPerPartition, cost.data_lines);
+    EXPECT_EQ(1u, model.stats().get("mac.coarse_to_fine_rw"));
+}
+
+TEST(SwitchCostTest, MacScaleUpIsFree)
+{
+    SwitchCostModel model;
+    const auto cost = model.apply(
+        res(Granularity::Line64B, Granularity::Chunk32KB, false, true),
+        false);
+    EXPECT_EQ(0u, cost.mac_lines);
+    EXPECT_EQ(0u, cost.data_lines);
+    EXPECT_EQ(1u, model.stats().get("mac.fine_to_coarse"));
+}
+
+// ---- GranularityTable lazy resolution --------------------------------------
+
+TEST(GranularityTableTest, LazySwitchAppliesOnFirstAccess)
+{
+    MetadataLayout layout(16 * kChunkBytes);
+    GranularityTable table(layout);
+
+    table.setNext(0, StreamPart{0b11});
+    EXPECT_EQ(kAllFine, table.current(0));
+
+    // The pending map is adopted on the chunk's first access; the
+    // switch event is classified for the touched partition.
+    auto r0 = table.resolveOnAccess(0, false);
+    EXPECT_TRUE(r0.switched);
+    EXPECT_EQ(Granularity::Line64B, r0.from);
+    EXPECT_EQ(Granularity::Part512B, r0.to);
+    EXPECT_EQ(StreamPart{0b11}, table.current(0));
+
+    // A later access to partition 1 sees no further switch.
+    auto r1 = table.resolveOnAccess(kPartitionBytes, false);
+    EXPECT_FALSE(r1.switched);
+    EXPECT_EQ(Granularity::Part512B, r1.from);
+}
+
+TEST(GranularityTableTest, AccessHistoryDrivesClassification)
+{
+    MetadataLayout layout(16 * kChunkBytes);
+    GranularityTable table(layout);
+
+    auto first = table.resolveOnAccess(0, true);
+    EXPECT_TRUE(first.first_access);
+    EXPECT_FALSE(first.prev_was_write);
+
+    auto second = table.resolveOnAccess(0, false);
+    EXPECT_FALSE(second.first_access);
+    EXPECT_TRUE(second.prev_was_write);
+    EXPECT_TRUE(second.partition_written);
+
+    auto third = table.resolveOnAccess(0, false);
+    EXPECT_FALSE(third.prev_was_write);
+    EXPECT_TRUE(third.partition_written);  // sticky
+}
+
+TEST(GranularityTableTest, GroupPromotionFromDetectedMap)
+{
+    MetadataLayout layout(16 * kChunkBytes);
+    GranularityTable table(layout);
+    table.setNext(0, subchunkMask(0));
+
+    // Adopting the map promotes the whole aligned group to 4KB.
+    auto first = table.resolveOnAccess(0, false);
+    EXPECT_TRUE(first.switched);
+    EXPECT_EQ(Granularity::Sub4KB, first.to);
+    EXPECT_EQ(Granularity::Sub4KB,
+              granularityOfPartition(table.current(0), 7));
+    // Partitions outside the group stay fine.
+    EXPECT_EQ(Granularity::Line64B,
+              granularityOfPartition(table.current(0), 8));
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the timing substrate: memory-controller queueing,
+ * unit buffer, subtree-root cache, unused filter, and the Unsecure /
+ * Conventional engines' traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mee/conventional_engine.hh"
+#include "mee/unsecure_engine.hh"
+#include "subtree/subtree_cache.hh"
+#include "subtree/unused_filter.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(MemCtrlTest, SingleLineLatency)
+{
+    MemCtrlConfig cfg;
+    cfg.channels = 2;
+    cfg.service_cycles_per_line = 8;
+    cfg.access_latency = 90;
+    MemCtrl mem(cfg);
+    // One 64B read entering at cycle 100: occupancy then latency.
+    EXPECT_EQ(100 + 8 + 90, mem.serve(100, 0, 64, false));
+    EXPECT_EQ(64u, mem.bytesRead());
+}
+
+TEST(MemCtrlTest, PostedWritesReturnImmediately)
+{
+    MemCtrl mem;
+    EXPECT_EQ(50u, mem.serve(50, 0, 256, true));
+    EXPECT_EQ(256u, mem.bytesWritten());
+    EXPECT_GT(mem.drainCycle(), 50u);
+}
+
+TEST(MemCtrlTest, ChannelInterleavingParallelism)
+{
+    MemCtrlConfig cfg;
+    cfg.channels = 2;
+    cfg.service_cycles_per_line = 8;
+    cfg.access_latency = 0;
+    MemCtrl mem(cfg);
+    // Two consecutive lines go to different channels: both finish at
+    // issue+8, not serialised.
+    EXPECT_EQ(8u, mem.serve(0, 0, 128, false));
+    // Two lines on the SAME channel serialise.
+    MemCtrl mem2(cfg);
+    mem2.serve(0, 0, 64, false);
+    EXPECT_EQ(16u, mem2.serve(0, 128, 64, false));  // same channel 0
+}
+
+TEST(MemCtrlTest, QueueingDelaysLaterRequests)
+{
+    MemCtrlConfig cfg;
+    cfg.channels = 1;
+    cfg.service_cycles_per_line = 10;
+    cfg.access_latency = 0;
+    MemCtrl mem(cfg);
+    EXPECT_EQ(10u, mem.serve(0, 0, 64, false));
+    // Arrives at cycle 5 but channel busy until 10.
+    EXPECT_EQ(20u, mem.serve(5, 64, 64, false));
+    // Idle gap: starts fresh.
+    EXPECT_EQ(110u, mem.serve(100, 128, 64, false));
+}
+
+TEST(UnitBufferTest, WindowAndCapacity)
+{
+    UnitBuffer buf(2, 100);
+    buf.insert(0x0000, 10, 150);
+    ASSERT_TRUE(buf.contains(0x0000, 50));
+    EXPECT_EQ(150u, buf.transferDone(0x0000));
+    EXPECT_FALSE(buf.contains(0x0000, 300));  // expired
+
+    buf.insert(0x1000, 10, 20);
+    buf.insert(0x2000, 12, 22);
+    buf.insert(0x3000, 14, 24);              // evicts LRU
+    EXPECT_FALSE(buf.contains(0x1000, 20));
+    EXPECT_TRUE(buf.contains(0x2000, 20));
+    EXPECT_TRUE(buf.contains(0x3000, 20));
+
+    buf.invalidate(0x2000);
+    EXPECT_FALSE(buf.contains(0x2000, 20));
+}
+
+TEST(SubtreeRootCacheTest, LruPinning)
+{
+    SubtreeRootCache cache(2, 3);
+    EXPECT_TRUE(cache.enabled());
+    EXPECT_FALSE(cache.lookup(0x100));
+    cache.insert(0x100);
+    cache.insert(0x200);
+    EXPECT_TRUE(cache.lookup(0x100));  // refreshes MRU
+    cache.insert(0x300);               // evicts 0x200
+    EXPECT_TRUE(cache.lookup(0x100));
+    EXPECT_FALSE(cache.lookup(0x200));
+    EXPECT_TRUE(cache.lookup(0x300));
+}
+
+TEST(SubtreeRootCacheTest, DisabledCacheNeverHits)
+{
+    SubtreeRootCache cache(0, 3);
+    cache.insert(0x100);
+    EXPECT_FALSE(cache.lookup(0x100));
+}
+
+TEST(UnusedFilterTest, FirstTouchSkipsThenMounts)
+{
+    UnusedFilter filter(true);
+    EXPECT_TRUE(filter.canSkipWalk(0x1000));
+    filter.markTouched(0x1000);
+    EXPECT_FALSE(filter.canSkipWalk(0x1000));
+    EXPECT_FALSE(filter.canSkipWalk(0x1040));  // same chunk
+    EXPECT_TRUE(filter.canSkipWalk(kChunkBytes));
+    EXPECT_EQ(1u, filter.mountedChunks());
+}
+
+TEST(UnusedFilterTest, DisabledNeverSkips)
+{
+    UnusedFilter filter(false);
+    EXPECT_FALSE(filter.canSkipWalk(0));
+}
+
+// ---- engines ---------------------------------------------------------------
+
+MemRequest
+readReq(Addr addr, std::uint32_t bytes, Cycle issue)
+{
+    MemRequest r;
+    r.addr = addr;
+    r.bytes = bytes;
+    r.issue = issue;
+    return r;
+}
+
+TEST(UnsecureEngineTest, MovesOnlyItsOwnBytes)
+{
+    UnsecureEngine eng;
+    MemCtrl mem;
+    eng.access(readReq(0, 256, 0), mem);
+    EXPECT_EQ(256u, mem.totalBytes());
+    EXPECT_EQ(0u, eng.securityCacheMisses());
+}
+
+class ConventionalEngineTest : public ::testing::Test
+{
+  protected:
+    TimingConfig cfg_;
+    MemCtrl mem_;
+};
+
+TEST_F(ConventionalEngineTest, ReadAddsMacAndCounterTraffic)
+{
+    ConventionalEngine eng(64 * kChunkBytes, cfg_);
+    eng.access(readReq(0, 64, 0), mem_);
+    // 1 data line + 1 MAC line + leaf counter line + upper levels
+    // until the (empty) cache path ends at the on-chip root.
+    EXPECT_GT(mem_.totalBytes(), 3u * 64u);
+    EXPECT_GE(eng.securityCacheMisses(), 2u);
+}
+
+TEST_F(ConventionalEngineTest, SecondReadOfSamePartitionIsCheap)
+{
+    ConventionalEngine eng(64 * kChunkBytes, cfg_);
+    eng.access(readReq(0, 64, 0), mem_);
+    const auto bytes_after_first = mem_.totalBytes();
+    // Neighbour line shares counter line and MAC line: only data.
+    eng.access(readReq(64, 64, 1000), mem_);
+    EXPECT_EQ(bytes_after_first + 64, mem_.totalBytes());
+}
+
+TEST_F(ConventionalEngineTest, ReadLatencyCoversCryptoPipeline)
+{
+    ConventionalEngine eng(64 * kChunkBytes, cfg_);
+    const Cycle done = eng.access(readReq(0, 64, 0), mem_);
+    // Must at least cover DRAM + OTP + XOR + hash.
+    EXPECT_GE(done, MemCtrlConfig{}.access_latency +
+                        cfg_.otp_latency + cfg_.xor_latency +
+                        cfg_.hash_latency);
+}
+
+TEST_F(ConventionalEngineTest, WritesArePostedButDirtyMetadata)
+{
+    ConventionalEngine eng(64 * kChunkBytes, cfg_);
+    MemRequest w = readReq(0, 64, 5);
+    w.is_write = true;
+    EXPECT_EQ(5u, eng.access(w, mem_));
+    // Write walked the tree (fetch misses) and wrote the data.
+    EXPECT_GT(mem_.bytesRead(), 0u);
+    EXPECT_GE(mem_.bytesWritten(), 64u);
+}
+
+TEST_F(ConventionalEngineTest, MacOnlyMaskSkipsCounters)
+{
+    ConventionalEngine mac_only(
+        64 * kChunkBytes, cfg_,
+        ConventionalEngine::CostMask{true, false});
+    mac_only.access(readReq(0, 64, 0), mem_);
+    // Exactly data + MAC line.
+    EXPECT_EQ(2u * 64u, mem_.totalBytes());
+}
+
+TEST_F(ConventionalEngineTest, UnusedPruningSkipsColdWalks)
+{
+    TimingConfig pruned = cfg_;
+    pruned.unused_pruning = true;
+    ConventionalEngine eng(64 * kChunkBytes, pruned);
+    eng.access(readReq(0, 64, 0), mem_);
+    // Cold chunk: data + MAC only, no tree walk.
+    EXPECT_EQ(2u * 64u, mem_.totalBytes());
+    // Once touched, walks resume.
+    eng.access(readReq(4096, 64, 10), mem_);
+    EXPECT_GT(mem_.totalBytes(), 4u * 64u);
+}
+
+TEST_F(ConventionalEngineTest, BulkRequestChargesPerPartitionMetadata)
+{
+    ConventionalEngine eng(64 * kChunkBytes, cfg_);
+    eng.access(readReq(0, 4096, 0), mem_);
+    // 64 data lines + 8 counter lines + 8 MAC lines + walk extras.
+    EXPECT_GE(mem_.totalBytes(), (64u + 8u + 8u) * 64u);
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for trace serialisation: round trips, format details,
+ * comment/blank handling, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/registry.hh"
+#include "workloads/trace_io.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesEveryField)
+{
+    const Trace original =
+        generateTrace(findWorkload("alex"), 0x1000000, 5, 0.2);
+    ASSERT_FALSE(original.empty());
+
+    std::stringstream ss;
+    writeTrace(ss, original);
+    const Trace loaded = readTrace(ss);
+
+    ASSERT_EQ(original.size(), loaded.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(original[i].addr, loaded[i].addr) << i;
+        EXPECT_EQ(original[i].bytes, loaded[i].bytes) << i;
+        EXPECT_EQ(original[i].is_write, loaded[i].is_write) << i;
+        EXPECT_EQ(original[i].gap, loaded[i].gap) << i;
+    }
+}
+
+TEST(TraceIoTest, HandWrittenFormat)
+{
+    std::stringstream ss;
+    ss << "mgmee-trace v1\n"
+       << "# a comment\n"
+       << "\n"
+       << "R 1000 64 10\n"
+       << "W ffffc0 512 0\n";
+    const Trace t = readTrace(ss);
+    ASSERT_EQ(2u, t.size());
+    EXPECT_EQ(0x1000u, t[0].addr);
+    EXPECT_EQ(64u, t[0].bytes);
+    EXPECT_FALSE(t[0].is_write);
+    EXPECT_EQ(10u, t[0].gap);
+    EXPECT_EQ(0xffffc0u, t[1].addr);
+    EXPECT_EQ(512u, t[1].bytes);
+    EXPECT_TRUE(t[1].is_write);
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips)
+{
+    std::stringstream ss;
+    writeTrace(ss, {});
+    EXPECT_TRUE(readTrace(ss).empty());
+}
+
+TEST(TraceIoRejectTest, MissingHeaderIsFatal)
+{
+    std::stringstream ss;
+    ss << "R 1000 64 10\n";
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "not an mgmee trace");
+}
+
+TEST(TraceIoRejectTest, MalformedLineIsFatal)
+{
+    std::stringstream ss;
+    ss << "mgmee-trace v1\n"
+       << "X 1000 64 10\n";
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "malformed");
+}
+
+TEST(TraceIoRejectTest, ZeroSizeOpIsFatal)
+{
+    std::stringstream ss;
+    ss << "mgmee-trace v1\n"
+       << "R 1000 0 10\n";
+    EXPECT_EXIT(readTrace(ss), ::testing::ExitedWithCode(1),
+                "zero-size");
+}
+
+TEST(TraceIoFileTest, SaveAndLoadFile)
+{
+    const Trace original =
+        generateTrace(findWorkload("mm"), 0, 3, 0.1);
+    const std::string path =
+        ::testing::TempDir() + "/mgmee_trace_test.txt";
+    saveTrace(path, original);
+    const Trace loaded = loadTrace(path);
+    ASSERT_EQ(original.size(), loaded.size());
+    EXPECT_EQ(original.front().addr, loaded.front().addr);
+    EXPECT_EQ(original.back().addr, loaded.back().addr);
+}
+
+} // namespace
+} // namespace mgmee

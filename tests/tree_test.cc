@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for integrity-tree geometry and the metadata layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tree/layout.hh"
+#include "tree/tree_index.hh"
+
+namespace mgmee {
+namespace {
+
+TEST(TreeGeometryTest, SingleChunkLevels)
+{
+    // One 32KB chunk: 512 leaves, 64 L1 counters, then the 8-counter
+    // root node lives on-chip (not stored in memory).
+    TreeGeometry g(kChunkBytes);
+    EXPECT_EQ(2u, g.levels());
+    EXPECT_EQ(512u, g.countersAt(0));
+    EXPECT_EQ(64u, g.countersAt(1));
+    EXPECT_EQ(512u, g.leafCount());
+    // 64 leaf lines + 8 L1 lines.
+    EXPECT_EQ(72u, g.totalCounterLines());
+}
+
+TEST(TreeGeometryTest, RoundsUpToWholeChunks)
+{
+    TreeGeometry g(kChunkBytes + 1);
+    EXPECT_EQ(2 * kChunkBytes, g.dataBytes());
+    EXPECT_EQ(1024u, g.leafCount());
+}
+
+TEST(TreeGeometryTest, LargeRegionLevelCount)
+{
+    // 64MB: 1M leaves -> 1M, 128K, 16K, 2K, 256, 32 in memory, 4-ctr
+    // root on-chip.
+    TreeGeometry g(64ull << 20);
+    EXPECT_EQ(6u, g.levels());
+    EXPECT_EQ(1u << 20, g.countersAt(0));
+    EXPECT_EQ(32u, g.countersAt(5));
+}
+
+TEST(TreeGeometryTest, AncestorIndex)
+{
+    EXPECT_EQ(511u / 8, TreeGeometry::ancestorIndex(511, 1));
+    EXPECT_EQ(511u / 64, TreeGeometry::ancestorIndex(511, 2));
+    EXPECT_EQ(0u, TreeGeometry::ancestorIndex(511, 3));
+    EXPECT_EQ(12345u, TreeGeometry::ancestorIndex(12345, 0));
+}
+
+TEST(TreeGeometryTest, ParentChildInverse)
+{
+    for (std::uint64_t idx : {0ull, 7ull, 8ull, 63ull, 512ull}) {
+        const auto parent = TreeGeometry::parentIndex(idx);
+        bool found = false;
+        for (unsigned c = 0; c < kTreeArity; ++c)
+            found |= TreeGeometry::childIndex(parent, c) == idx;
+        EXPECT_TRUE(found) << idx;
+    }
+}
+
+TEST(TreeGeometryTest, LineOffsetsDisjointAcrossLevels)
+{
+    TreeGeometry g(4 * kChunkBytes);
+    // Last line of level 0 must come before first line of level 1.
+    const auto last_l0 = g.lineOffset(0, g.countersAt(0) - 1);
+    const auto first_l1 = g.lineOffset(1, 0);
+    EXPECT_LT(last_l0, first_l1);
+    // Eight consecutive counters share one line.
+    EXPECT_EQ(g.lineOffset(0, 0), g.lineOffset(0, 7));
+    EXPECT_NE(g.lineOffset(0, 7), g.lineOffset(0, 8));
+}
+
+TEST(MetadataLayoutTest, RegionClassification)
+{
+    MetadataLayout layout(kChunkBytes);
+    EXPECT_TRUE(MetadataLayout::isDataAddr(0x1000));
+    EXPECT_TRUE(MetadataLayout::isMacAddr(layout.macLineAddr(0)));
+    EXPECT_TRUE(MetadataLayout::isCounterAddr(
+        layout.counterLineAddr(0, 0)));
+    EXPECT_TRUE(MetadataLayout::isGranTableAddr(
+        layout.granTableLineAddr(0)));
+}
+
+TEST(MetadataLayoutTest, MacAddressesFollowEq1)
+{
+    MetadataLayout layout(kChunkBytes);
+    // Eq. 1: Addr = Base + Idx * 8 (rounded to the containing line).
+    EXPECT_EQ(MetadataLayout::kMacBase, layout.macLineAddr(0));
+    EXPECT_EQ(MetadataLayout::kMacBase, layout.macLineAddr(7));
+    EXPECT_EQ(MetadataLayout::kMacBase + 64, layout.macLineAddr(8));
+    // One MAC per line: fine index equals global line index.
+    EXPECT_EQ(5u, layout.fineMacIndex(5 * kCachelineBytes));
+}
+
+TEST(MetadataLayoutTest, GranTablePacksFourEntriesPerLine)
+{
+    MetadataLayout layout(kChunkBytes);
+    const Addr l0 = layout.granTableLineAddr(0);
+    EXPECT_EQ(l0, layout.granTableLineAddr(3));
+    EXPECT_EQ(l0 + 64, layout.granTableLineAddr(4));
+}
+
+TEST(MetadataLayoutTest, CounterLinesDistinctFromMacLines)
+{
+    MetadataLayout layout(64 * kChunkBytes);
+    const Addr ctr = layout.counterLineAddr(0, 100);
+    const Addr mac = layout.macLineAddr(100);
+    EXPECT_NE(ctr, mac);
+    EXPECT_TRUE(MetadataLayout::isCounterAddr(ctr));
+    EXPECT_TRUE(MetadataLayout::isMacAddr(mac));
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Parameterized validation of every workload model against its spec:
+ * determinism, footprint containment, write mix, traffic intensity
+ * ordering, and stream-chunk composition (the Fig. 4 ground truth the
+ * evaluation relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/registry.hh"
+
+namespace mgmee {
+namespace {
+
+class WorkloadProfileTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadSpec &spec() const { return findWorkload(GetParam()); }
+};
+
+TEST_P(WorkloadProfileTest, TraceIsDeterministic)
+{
+    const Trace a = generateTrace(spec(), 0, 42, 0.5);
+    const Trace b = generateTrace(spec(), 0, 42, 0.5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].addr, b[i].addr);
+        ASSERT_EQ(a[i].bytes, b[i].bytes);
+        ASSERT_EQ(a[i].is_write, b[i].is_write);
+        ASSERT_EQ(a[i].gap, b[i].gap);
+    }
+}
+
+TEST_P(WorkloadProfileTest, AddressesAlignedAndContained)
+{
+    const Addr base = 2 * (Addr{64} << 20);
+    for (const TraceOp &op : generateTrace(spec(), base, 7, 0.5)) {
+        EXPECT_EQ(0u, op.addr % kCachelineBytes);
+        EXPECT_GE(op.addr, base);
+        EXPECT_LE(op.addr + op.bytes, base + spec().footprint);
+        EXPECT_GT(op.bytes, 0u);
+    }
+}
+
+TEST_P(WorkloadProfileTest, WriteFractionRoughlyMatchesSpec)
+{
+    const auto p = profileTrace(generateTrace(spec(), 0, 3, 1.0));
+    const double wf =
+        static_cast<double>(p.writes) / static_cast<double>(
+                                            p.requests);
+    // Writes are drawn per episode; allow generous slack.
+    EXPECT_NEAR(spec().write_frac, wf, 0.25) << GetParam();
+}
+
+TEST_P(WorkloadProfileTest, DominantClassMatchesSpec)
+{
+    const WorkloadSpec &w = spec();
+    if (w.name == "floyd")
+        GTEST_SKIP() << "floyd is 'diverse' by design (Table 4)";
+    const auto p = profileTrace(generateTrace(w, 0, 1, 1.0));
+    const double total = static_cast<double>(
+        p.lines64 + p.lines512 + p.lines4k + p.lines32k);
+    ASSERT_GT(total, 0);
+
+    const double measured[4] = {
+        p.lines64 / total, p.lines512 / total, p.lines4k / total,
+        p.lines32k / total};
+    const double target[4] = {w.r64, w.r512, w.r4k, w.r32k};
+
+    // The spec's largest class must also be the measured largest or
+    // second largest (partial episodes shift some coarse lines one
+    // class down the hierarchy).
+    int spec_max = 0;
+    for (int i = 1; i < 4; ++i)
+        if (target[i] > target[spec_max])
+            spec_max = i;
+    double rank_above = 0;
+    for (int i = 0; i < 4; ++i)
+        if (measured[i] > measured[spec_max])
+            rank_above += 1;
+    EXPECT_LE(rank_above, 1) << GetParam() << ": dominant class "
+                             << spec_max << " not dominant";
+
+    // Fine share should be in the right ballpark.
+    EXPECT_NEAR(target[0], measured[0], 0.20) << GetParam();
+}
+
+TEST_P(WorkloadProfileTest, ScaleControlsLength)
+{
+    const std::size_t full = generateTrace(spec(), 0, 1, 1.0).size();
+    const std::size_t half = generateTrace(spec(), 0, 1, 0.5).size();
+    EXPECT_GT(full, half);
+    EXPECT_NEAR(static_cast<double>(half) / full, 0.5, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadProfileTest,
+    ::testing::Values("bw", "gcc", "mcf", "xal", "ray", "sc", "floyd",
+                      "mm", "pr", "sten", "syr2k", "ncf", "dlrm",
+                      "alex", "sfrnn", "yt"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadOrderingTest, TrafficIntensityClassesOrdered)
+{
+    // Table 4 traffic classes: sten/sfrnn are 'l', bw/gcc/ncf 's'.
+    auto intensity = [](const char *name) {
+        const auto p = profileTrace(
+            generateTrace(findWorkload(name), 0, 1, 1.0));
+        return static_cast<double>(p.lines) /
+               static_cast<double>(p.span + 1);
+    };
+    EXPECT_GT(intensity("sten"), intensity("bw"));
+    EXPECT_GT(intensity("sfrnn"), intensity("ncf"));
+    EXPECT_GT(intensity("mcf"), intensity("gcc"));
+}
+
+TEST(WorkloadOrderingTest, PaperAnchorRatios)
+{
+    // alex: 74.1% of lines in 32KB chunks (Sec. 3.1).
+    const auto alex =
+        profileTrace(generateTrace(findWorkload("alex"), 0, 1, 1.0));
+    const double alex_total = static_cast<double>(
+        alex.lines64 + alex.lines512 + alex.lines4k + alex.lines32k);
+    EXPECT_NEAR(0.741, alex.lines32k / alex_total, 0.12);
+
+    // xal: 19.5% of lines in 512B chunks.
+    const auto xal =
+        profileTrace(generateTrace(findWorkload("xal"), 0, 1, 1.0));
+    const double xal_total = static_cast<double>(
+        xal.lines64 + xal.lines512 + xal.lines4k + xal.lines32k);
+    EXPECT_NEAR(0.195, xal.lines512 / xal_total, 0.10);
+}
+
+} // namespace
+} // namespace mgmee

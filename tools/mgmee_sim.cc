@@ -1,0 +1,343 @@
+/**
+ * @file
+ * mgmee-sim: command-line driver for the heterogeneous secure-memory
+ * simulator.
+ *
+ *   mgmee-sim --list                          enumerate workloads,
+ *                                             scenarios, schemes
+ *   mgmee-sim --scenario cc1 --scheme ours    run one combination
+ *   mgmee-sim --scenario xal+mm+alex+dlrm \
+ *             --scheme all --scale 2 --csv    full comparison as CSV
+ *   mgmee-sim --scenario c1 --scheme ours --stats
+ *                                             include engine counters
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/multigran_engine.hh"
+#include "hetero/hetero_system.hh"
+#include "hetero/metrics.hh"
+#include "workloads/registry.hh"
+#include "workloads/trace_io.hh"
+
+using namespace mgmee;
+
+namespace {
+
+struct Options
+{
+    std::string scenario = "cc1";
+    std::string scheme = "ours";
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    bool list = false;
+    bool csv = false;
+    bool stats = false;
+    bool map = false;
+    /** Directory to dump the scenario's four traces into. */
+    std::string dump_traces;
+    /** External trace files replacing the synthetic devices. */
+    std::string trace_files[4];
+};
+
+const std::vector<std::pair<std::string, Scheme>> kSchemeNames = {
+    {"unsecure", Scheme::Unsecure},
+    {"conventional", Scheme::Conventional},
+    {"adaptive", Scheme::Adaptive},
+    {"commonctr", Scheme::CommonCTR},
+    {"static", Scheme::StaticDeviceBest},
+    {"multictr", Scheme::MultiCtrOnly},
+    {"ours", Scheme::Ours},
+    {"bmf", Scheme::BmfUnused},
+    {"bmf+ours", Scheme::BmfUnusedOurs},
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: mgmee-sim [options]\n"
+        "  --scenario <id>   ff1..cc3, finance, autodrive, or "
+        "cpu+gpu+npu+npu\n"
+        "  --scheme <name>   unsecure|conventional|adaptive|"
+        "commonctr|static|\n"
+        "                    multictr|ours|bmf|bmf+ours|all\n"
+        "  --scale <f>       trace-length multiplier (default 1.0)\n"
+        "  --seed <n>        trace RNG seed (default 1)\n"
+        "  --csv             machine-readable output\n"
+        "  --stats           dump engine statistic counters\n"
+        "  --map             print the final granularity map (multi-\n"
+        "                    granular schemes only)\n"
+        "  --list            list workloads, scenarios, schemes\n"
+        "  --dump-traces <dir>\n"
+        "                    write the scenario's per-device traces\n"
+        "                    as mgmee-trace v1 text files and exit\n"
+        "  --trace-cpu/--trace-gpu/--trace-npu1/--trace-npu2 <file>\n"
+        "                    replay external traces instead of the\n"
+        "                    synthetic device models\n");
+}
+
+Scenario
+parseScenario(const std::string &arg)
+{
+    for (const Scenario &s : selectedScenarios())
+        if (s.id == arg)
+            return s;
+    if (arg == "finance")
+        return financeScenario();
+    if (arg == "autodrive")
+        return autodriveScenario();
+    for (const Scenario &s : allScenarios())
+        if (s.id == arg)
+            return s;
+
+    std::vector<std::string> parts;
+    std::string rest = arg;
+    std::size_t pos;
+    while ((pos = rest.find('+')) != std::string::npos) {
+        parts.push_back(rest.substr(0, pos));
+        rest.erase(0, pos + 1);
+    }
+    parts.push_back(rest);
+    fatal_if(parts.size() != 4, "unknown scenario '%s'", arg.c_str());
+    return {arg, parts[0], parts[1], parts[2], parts[3]};
+}
+
+void
+listEverything()
+{
+    std::printf("workloads:\n");
+    for (const WorkloadSpec &w : allWorkloads()) {
+        std::printf("  %-6s %-4s  64B/512B/4KB/32KB mix "
+                    "%.2f/%.2f/%.2f/%.2f\n",
+                    w.name.c_str(), deviceKindName(w.kind), w.r64,
+                    w.r512, w.r4k, w.r32k);
+    }
+    std::printf("\nselected scenarios:\n");
+    for (const Scenario &s : selectedScenarios()) {
+        std::printf("  %-4s = %s + %s + %s + %s\n", s.id.c_str(),
+                    s.cpu.c_str(), s.gpu.c_str(), s.npu1.c_str(),
+                    s.npu2.c_str());
+    }
+    std::printf("  (plus %zu full cross-product scenarios, finance, "
+                "autodrive)\n",
+                allScenarios().size());
+    std::printf("\nschemes:\n");
+    for (const auto &[name, scheme] : kSchemeNames)
+        std::printf("  %-12s %s\n", name.c_str(), schemeName(scheme));
+}
+
+/** Scenario devices, with external trace files spliced in. */
+std::vector<Device>
+makeDevices(const Scenario &scenario, const Options &opt)
+{
+    std::vector<Device> devices =
+        buildDevices(scenario, opt.seed, opt.scale);
+    static const DeviceKind kKinds[4] = {
+        DeviceKind::CPU, DeviceKind::GPU, DeviceKind::NPU,
+        DeviceKind::NPU};
+    static const unsigned kWindows[4] = {2, 48, 16, 16};
+    for (unsigned d = 0; d < 4; ++d) {
+        if (opt.trace_files[d].empty())
+            continue;
+        devices[d] = Device("ext:" + opt.trace_files[d], kKinds[d],
+                            d, loadTrace(opt.trace_files[d]),
+                            kWindows[d]);
+    }
+    return devices;
+}
+
+void
+runOne(const Scenario &scenario, Scheme scheme, const Options &opt,
+       const RunResult &unsec,
+       const std::array<Granularity, 8> &static_gran)
+{
+    HeteroSystem sys(makeDevices(scenario, opt),
+                     makeEngine(scheme, scenarioDataBytes(),
+                                static_gran));
+    sys.run();
+
+    RunResult r;
+    r.device_finish = sys.deviceFinishTimes();
+    r.total_bytes = sys.mem().totalBytes();
+    r.security_misses = sys.engine().securityCacheMisses();
+
+    if (opt.csv) {
+        std::printf("%s,%s,%.6f,%.6f,%llu\n", scenario.id.c_str(),
+                    schemeName(scheme),
+                    normalizedExecTime(r, unsec),
+                    static_cast<double>(r.total_bytes) /
+                        unsec.total_bytes,
+                    static_cast<unsigned long long>(
+                        r.security_misses));
+    } else {
+        std::printf("%-20s exec %.3fx  traffic %.3fx  misses %llu\n",
+                    schemeName(scheme),
+                    normalizedExecTime(r, unsec),
+                    static_cast<double>(r.total_bytes) /
+                        unsec.total_bytes,
+                    static_cast<unsigned long long>(
+                        r.security_misses));
+    }
+    if (opt.stats)
+        std::printf("%s", sys.engine().stats().dump().c_str());
+    if (opt.map) {
+        const auto *mg = dynamic_cast<const MultiGranEngine *>(
+            &sys.engine());
+        if (!mg) {
+            std::printf("(no granularity map: %s is not a "
+                        "multi-granular engine)\n",
+                        sys.engine().name());
+            return;
+        }
+        // Summarise the detected configuration per device window.
+        std::printf("granularity map (chunks at each class, per "
+                    "device window):\n");
+        for (unsigned d = 0; d < 4; ++d) {
+            std::uint64_t counts[4] = {0, 0, 0, 0};
+            const std::uint64_t first =
+                d * kDeviceStride / kChunkBytes;
+            const std::uint64_t last =
+                (d + 1) * kDeviceStride / kChunkBytes;
+            for (std::uint64_t c = first; c < last; ++c) {
+                const StreamPart sp = mg->table().current(c);
+                if (sp == kAllFine) {
+                    ++counts[0];
+                    continue;
+                }
+                // Classify by the coarsest unit present.
+                Granularity coarsest = Granularity::Line64B;
+                for (unsigned p = 0; p < kPartitionsPerChunk; ++p) {
+                    coarsest = std::max(
+                        coarsest, granularityOfPartition(sp, p));
+                }
+                ++counts[static_cast<unsigned>(coarsest)];
+            }
+            std::printf("  device %u: 64B-only %llu, <=512B %llu, "
+                        "<=4KB %llu, 32KB %llu\n",
+                        d,
+                        static_cast<unsigned long long>(counts[0]),
+                        static_cast<unsigned long long>(counts[1]),
+                        static_cast<unsigned long long>(counts[2]),
+                        static_cast<unsigned long long>(counts[3]));
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--scenario") {
+            opt.scenario = next();
+        } else if (arg == "--scheme") {
+            opt.scheme = next();
+        } else if (arg == "--scale") {
+            opt.scale = std::atof(next());
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--map") {
+            opt.map = true;
+        } else if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--dump-traces") {
+            opt.dump_traces = next();
+        } else if (arg == "--trace-cpu") {
+            opt.trace_files[0] = next();
+        } else if (arg == "--trace-gpu") {
+            opt.trace_files[1] = next();
+        } else if (arg == "--trace-npu1") {
+            opt.trace_files[2] = next();
+        } else if (arg == "--trace-npu2") {
+            opt.trace_files[3] = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (opt.list) {
+        listEverything();
+        return 0;
+    }
+
+    const Scenario scenario = parseScenario(opt.scenario);
+
+    if (!opt.dump_traces.empty()) {
+        const auto devices =
+            buildDevices(scenario, opt.seed, opt.scale);
+        const char *slot[4] = {"cpu", "gpu", "npu1", "npu2"};
+        const std::string names[4] = {scenario.cpu, scenario.gpu,
+                                      scenario.npu1, scenario.npu2};
+        for (unsigned d = 0; d < 4; ++d) {
+            const std::string path = opt.dump_traces + "/" +
+                                     scenario.id + "." + slot[d] +
+                                     "." + names[d] + ".trace";
+            saveTrace(path, generateTrace(findWorkload(names[d]),
+                                          d * kDeviceStride,
+                                          opt.seed * 4 + d,
+                                          opt.scale));
+            std::printf("wrote %s\n", path.c_str());
+        }
+        return 0;
+    }
+
+    // For the unsecured baseline, honour external traces too.
+    RunResult unsec;
+    {
+        HeteroSystem sys(makeDevices(scenario, opt),
+                         makeEngine(Scheme::Unsecure,
+                                    scenarioDataBytes()));
+        sys.run();
+        unsec.device_finish = sys.deviceFinishTimes();
+        unsec.total_bytes = sys.mem().totalBytes();
+    }
+
+    std::array<Granularity, 8> static_gran{};
+    const bool wants_static = opt.scheme == "static" ||
+                              opt.scheme == "all";
+    if (wants_static)
+        static_gran = searchStaticBest(scenario, opt.seed, opt.scale);
+
+    if (opt.csv)
+        std::printf("scenario,scheme,norm_exec,norm_traffic,"
+                    "sec_misses\n");
+    else
+        std::printf("scenario %s (seed %llu, scale %.2f)\n",
+                    scenario.id.c_str(),
+                    static_cast<unsigned long long>(opt.seed),
+                    opt.scale);
+
+    if (opt.scheme == "all") {
+        for (const auto &[name, scheme] : kSchemeNames)
+            runOne(scenario, scheme, opt, unsec, static_gran);
+        return 0;
+    }
+    for (const auto &[name, scheme] : kSchemeNames) {
+        if (name == opt.scheme) {
+            runOne(scenario, scheme, opt, unsec, static_gran);
+            return 0;
+        }
+    }
+    fatal("unknown scheme '%s'", opt.scheme.c_str());
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * mgmee-trace-stats: analyse a trace file (mgmee-trace v1) with the
+ * paper's Sec. 3.1 stream-chunk classifier.
+ *
+ *   mgmee-trace-stats <trace-file>...
+ *
+ * Prints, per file: request/line/write counts, issue span, request
+ * size histogram, and the 64B/512B/4KB/32KB stream-chunk composition
+ * -- the properties that determine how every protection scheme will
+ * treat the workload.  Useful when converting traces from other
+ * simulators to check they landed in the intended regime.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "workloads/trace_io.hh"
+
+using namespace mgmee;
+
+namespace {
+
+void
+analyse(const char *path)
+{
+    const Trace trace = loadTrace(path);
+    const TraceProfile p = profileTrace(trace);
+
+    Histogram req_bytes;
+    Histogram gaps;
+    Addr lo = ~Addr{0}, hi = 0;
+    for (const TraceOp &op : trace) {
+        req_bytes.record(op.bytes);
+        gaps.record(op.gap);
+        lo = std::min(lo, op.addr);
+        hi = std::max(hi, op.addr + op.bytes);
+    }
+
+    const double total = static_cast<double>(
+        p.lines64 + p.lines512 + p.lines4k + p.lines32k);
+
+    std::printf("%s\n", path);
+    std::printf("  requests %llu  lines %llu  writes %.1f%%  span "
+                "%llu cycles\n",
+                static_cast<unsigned long long>(p.requests),
+                static_cast<unsigned long long>(p.lines),
+                p.requests ? 100.0 * static_cast<double>(p.writes) /
+                                 static_cast<double>(p.requests)
+                           : 0.0,
+                static_cast<unsigned long long>(p.span));
+    std::printf("  footprint [0x%llx, 0x%llx) = %.2f MB touched "
+                "window\n",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi),
+                static_cast<double>(hi - lo) / (1 << 20));
+    std::printf("  request bytes: %s\n", req_bytes.summary().c_str());
+    std::printf("  issue gaps:    %s\n", gaps.summary().c_str());
+    if (total > 0) {
+        std::printf("  stream-chunk mix: 64B %.1f%%  512B %.1f%%  "
+                    "4KB %.1f%%  32KB %.1f%%\n",
+                    100 * p.lines64 / total, 100 * p.lines512 / total,
+                    100 * p.lines4k / total,
+                    100 * p.lines32k / total);
+    }
+    const double intensity =
+        p.span ? static_cast<double>(p.lines) * kCachelineBytes /
+                     static_cast<double>(p.span)
+               : 0.0;
+    std::printf("  traffic intensity: %.2f bytes/cycle "
+                "(%s per Table 4)\n\n",
+                intensity,
+                intensity > 4.0   ? "large 'l'"
+                : intensity > 1.0 ? "medium 'm'"
+                                  : "small 's'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: mgmee-trace-stats <trace-file>...\n"
+                     "(produce files with: mgmee-sim --dump-traces)\n");
+        return 1;
+    }
+    for (int i = 1; i < argc; ++i)
+        analyse(argv[i]);
+    return 0;
+}
