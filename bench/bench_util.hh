@@ -11,6 +11,9 @@
  *                    sweep finishes in seconds; raise for smoother
  *                    statistics)
  *   MGMEE_SEED       base RNG seed (default 1)
+ *   MGMEE_THREADS    worker threads for scenario sweeps (default:
+ *                    all hardware threads; set 1 to force a serial
+ *                    run -- results are bit-identical either way)
  */
 
 #ifndef MGMEE_BENCH_BENCH_UTIL_HH
@@ -40,6 +43,17 @@ envSeed()
 {
     const char *s = std::getenv("MGMEE_SEED");
     return s ? std::strtoull(s, nullptr, 10) : 1;
+}
+
+inline unsigned
+envThreads()
+{
+    if (const char *s = std::getenv("MGMEE_THREADS")) {
+        const unsigned long n = std::strtoul(s, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
 }
 
 inline std::vector<Scenario>
@@ -78,17 +92,26 @@ mean(const std::vector<double> &v)
     return s / v.size();
 }
 
+/** Percentile of an ALREADY SORTED sample (linear interpolation). */
+inline double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const double idx = p * (sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - lo;
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+/** Percentile of an unsorted sample (sorts a copy; when extracting
+ *  several percentiles, sort once and use percentileSorted). */
 inline double
 percentile(std::vector<double> v, double p)
 {
-    if (v.empty())
-        return 0;
     std::sort(v.begin(), v.end());
-    const double idx = p * (v.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(idx);
-    const std::size_t hi = std::min(lo + 1, v.size() - 1);
-    const double frac = idx - lo;
-    return v[lo] * (1 - frac) + v[hi] * frac;
+    return percentileSorted(v, p);
 }
 
 /**
@@ -132,9 +155,8 @@ runSweep(const std::vector<Scenario> &scenarios,
         }
     };
 
-    const unsigned threads = std::max(
-        1u, std::min<unsigned>(std::thread::hardware_concurrency(),
-                               8u));
+    const unsigned threads = std::max<unsigned>(
+        1u, std::min<std::size_t>(envThreads(), scenarios.size()));
     std::vector<std::thread> pool;
     for (unsigned t = 1; t < threads; ++t)
         pool.emplace_back(worker);
@@ -155,8 +177,11 @@ printCdf(const char *title, const std::vector<Scheme> &schemes,
     std::printf("   mean\n");
     for (std::size_t i = 0; i < schemes.size(); ++i) {
         std::printf("%-28s", schemeName(schemes[i]));
+        // Sort once per scheme; each percentile is then an index.
+        std::vector<double> sorted = stats[i].exec_norm;
+        std::sort(sorted.begin(), sorted.end());
         for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
-            std::printf("  %6.3f", percentile(stats[i].exec_norm, p));
+            std::printf("  %6.3f", percentileSorted(sorted, p));
         std::printf("  %6.3f\n", mean(stats[i].exec_norm));
     }
 }

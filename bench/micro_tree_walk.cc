@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Micro-benchmark and wall-clock regression harness for the metadata
+ * hot path: the per-access verify/update walk of the integrity tree.
+ *
+ * Two implementations run the exact same operation stream:
+ *
+ *  - `MapTreeBaseline` reproduces the seed engine verbatim --
+ *    `std::unordered_map` counter/node-MAC stores, an eager node-MAC
+ *    recompute at every level of every update, and a full walk to
+ *    the root on every verify;
+ *  - the real SecureMemory walk -- dense per-level arrays
+ *    (tree/flat_store.hh), lazy node-MAC refresh, and the
+ *    verified-ancestor cache.
+ *
+ * Both must agree (every verify returns Ok), and the harness writes
+ * `results/bench_hotpath.json` so future PRs have a wall-clock
+ * trajectory for the hot path.  Phases:
+ *
+ *   write_burst   8 sequential counter updates per verify (lazy MAC
+ *                 refresh coalesces the shared ancestors)
+ *   read_hot      repeated verifies over a hot 4KB region (the
+ *                 verified-ancestor cache short-circuits the walk)
+ *   mixed_random  uniform random leaves, 50/50 update/verify (worst
+ *                 case for both caches)
+ *
+ * Knobs: MGMEE_WALK_OPS (ops per phase, default 200000).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "crypto/mac.hh"
+#include "mee/secure_memory.hh"
+#include "tree/layout.hh"
+
+namespace mgmee {
+namespace {
+
+/** 64MB protected region: a 6-level in-memory tree (1M leaves). */
+constexpr std::size_t kRegionBytes = std::size_t{64} << 20;
+
+SecureMemory::Keys
+benchKeys()
+{
+    SecureMemory::Keys keys;
+    for (unsigned i = 0; i < 16; ++i)
+        keys.aes[i] = static_cast<std::uint8_t>(i * 29 + 3);
+    keys.mac = {0x0123456789abcdefULL, 0x0fedcba987654321ULL};
+    return keys;
+}
+
+/**
+ * Faithful reimplementation of the seed's map-based walk (the
+ * pre-flat-store SecureMemory tree plumbing), kept here as the
+ * baseline this harness regresses against.
+ */
+class MapTreeBaseline
+{
+  public:
+    explicit MapTreeBaseline(std::size_t data_bytes, const SipKey &key)
+        : layout_(data_bytes), mac_(key) {}
+
+    bool
+    verifyPath(unsigned level, std::uint64_t index)
+    {
+        const unsigned levels = layout_.geometry().levels();
+        std::uint64_t i = index;
+        for (unsigned lvl = level; lvl < levels; ++lvl) {
+            const std::uint64_t node = i / kTreeArity;
+            std::array<std::uint64_t, kTreeArity> ctrs{};
+            for (unsigned c = 0; c < kTreeArity; ++c)
+                ctrs[c] = counterAt(lvl, node * kTreeArity + c);
+            const Addr node_addr = layout_.counterNodeAddr(lvl, node);
+            const std::uint64_t parent = counterAt(lvl + 1, node);
+            const Mac expected =
+                mac_.nodeMac(node_addr, parent, ctrs);
+            auto it = node_macs_.find(key(lvl, node));
+            if (it == node_macs_.end())
+                node_macs_[key(lvl, node)] = expected;
+            else if (it->second != expected)
+                return false;
+            i = node;
+        }
+        return true;
+    }
+
+    void
+    setCounterAndPropagate(unsigned level, std::uint64_t index,
+                           std::uint64_t value)
+    {
+        setCounterRaw(level, index, value);
+        const unsigned levels = layout_.geometry().levels();
+        unsigned lvl = level;
+        std::uint64_t i = index;
+        while (lvl < levels) {
+            const std::uint64_t node = i / kTreeArity;
+            setCounterRaw(lvl + 1, node,
+                          counterAt(lvl + 1, node) + 1);
+            refreshNodeMac(lvl, node);
+            ++lvl;
+            i = node;
+        }
+    }
+
+    std::uint64_t
+    counterAt(unsigned level, std::uint64_t index) const
+    {
+        const std::uint64_t k =
+            level >= layout_.geometry().levels()
+                ? key(level, index) | kTrustedBit
+                : key(level, index);
+        auto it = counters_.find(k);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+  private:
+    static std::uint64_t
+    key(unsigned level, std::uint64_t index)
+    {
+        return (static_cast<std::uint64_t>(level) << 56) | index;
+    }
+
+    static constexpr std::uint64_t kTrustedBit = std::uint64_t{1}
+                                                 << 63;
+
+    void
+    setCounterRaw(unsigned level, std::uint64_t index,
+                  std::uint64_t value)
+    {
+        const std::uint64_t k =
+            level >= layout_.geometry().levels()
+                ? key(level, index) | kTrustedBit
+                : key(level, index);
+        counters_[k] = value;
+    }
+
+    void
+    refreshNodeMac(unsigned level, std::uint64_t node)
+    {
+        std::array<std::uint64_t, kTreeArity> ctrs{};
+        for (unsigned c = 0; c < kTreeArity; ++c)
+            ctrs[c] = counterAt(level, node * kTreeArity + c);
+        const Addr node_addr = layout_.counterNodeAddr(level, node);
+        const std::uint64_t parent = counterAt(level + 1, node);
+        node_macs_[key(level, node)] =
+            mac_.nodeMac(node_addr, parent, ctrs);
+    }
+
+    MetadataLayout layout_;
+    MacEngine mac_;
+    std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+    std::unordered_map<std::uint64_t, Mac> node_macs_;
+};
+
+/** Exposes the protected walk entry points of the real engine. */
+class FlatWalkHarness : public SecureMemory
+{
+  public:
+    using SecureMemory::SecureMemory;
+    using SecureMemory::counterAt;
+    using SecureMemory::setCounterAndPropagate;
+    using SecureMemory::verifyPath;
+};
+
+/** One (leaf, is_update) operation of the pre-generated stream. */
+struct Op
+{
+    std::uint64_t leaf;
+    bool update;
+};
+
+std::vector<Op>
+makePhase(const char *phase, std::uint64_t leaves, std::size_t ops,
+          Rng &rng)
+{
+    std::vector<Op> v;
+    v.reserve(ops);
+    const std::string p = phase;
+    if (p == "write_burst") {
+        // Streams of 8 sequential updates then one verify, walking
+        // forward through memory (shared ancestors between bumps).
+        std::uint64_t leaf = 0;
+        while (v.size() < ops) {
+            for (unsigned k = 0; k < 8 && v.size() < ops; ++k)
+                v.push_back({(leaf + k) % leaves, true});
+            v.push_back({leaf % leaves, false});
+            leaf += 8;
+        }
+    } else if (p == "read_hot") {
+        // Verifies over a hot 64-leaf (4KB) region, occasional
+        // update to keep the tree moving.
+        const std::uint64_t base = rng.below(leaves - 64);
+        for (std::size_t i = 0; i < ops; ++i) {
+            const std::uint64_t leaf = base + rng.below(64);
+            v.push_back({leaf, i % 16 == 0});
+        }
+    } else {  // mixed_random
+        for (std::size_t i = 0; i < ops; ++i)
+            v.push_back({rng.below(leaves), rng.chance(0.5)});
+    }
+    return v;
+}
+
+template <typename Update, typename Verify>
+double
+runOps(const std::vector<Op> &ops, Update &&update, Verify &&verify)
+{
+    std::uint64_t bad = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Op &op : ops) {
+        if (op.update)
+            update(op.leaf);
+        else if (!verify(op.leaf))
+            ++bad;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (bad) {
+        std::fprintf(stderr,
+                     "micro_tree_walk: %llu verifies FAILED\n",
+                     static_cast<unsigned long long>(bad));
+        std::exit(1);
+    }
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+} // namespace
+} // namespace mgmee
+
+int
+main()
+{
+    using namespace mgmee;
+
+    const char *env_ops = std::getenv("MGMEE_WALK_OPS");
+    const std::size_t ops_per_phase =
+        env_ops ? std::strtoull(env_ops, nullptr, 10) : 200000;
+
+    const SecureMemory::Keys keys = benchKeys();
+    MapTreeBaseline base(kRegionBytes, keys.mac);
+    FlatWalkHarness flat(kRegionBytes, keys);
+    const std::uint64_t leaves =
+        flat.layout().geometry().leafCount();
+
+    const char *phases[] = {"write_burst", "read_hot", "mixed_random"};
+    double total_base = 0, total_flat = 0;
+    std::string phase_json;
+
+    for (const char *phase : phases) {
+        // Identical op streams for both sides.
+        Rng rng_stream(42);
+        const std::vector<Op> ops =
+            makePhase(phase, leaves, ops_per_phase, rng_stream);
+
+        const double ns_base = runOps(
+            ops,
+            [&](std::uint64_t leaf) {
+                base.setCounterAndPropagate(
+                    0, leaf, base.counterAt(0, leaf) + 1);
+            },
+            [&](std::uint64_t leaf) {
+                return base.verifyPath(0, leaf);
+            });
+        const double ns_flat = runOps(
+            ops,
+            [&](std::uint64_t leaf) {
+                flat.setCounterAndPropagate(
+                    0, leaf, flat.counterAt(0, leaf) + 1);
+            },
+            [&](std::uint64_t leaf) {
+                return flat.verifyPath(0, leaf) ==
+                       SecureMemory::Status::Ok;
+            });
+
+        total_base += ns_base;
+        total_flat += ns_flat;
+        const double speedup = ns_base / ns_flat;
+        std::printf("%-14s %10.1f ms -> %8.1f ms  (%.2fx)\n", phase,
+                    ns_base / 1e6, ns_flat / 1e6, speedup);
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"phase\": \"%s\", \"ops\": %zu, "
+                      "\"baseline_ns\": %.0f, \"flat_ns\": %.0f, "
+                      "\"speedup\": %.3f},\n",
+                      phase, ops.size(), ns_base, ns_flat, speedup);
+        phase_json += buf;
+    }
+
+    const double speedup = total_base / total_flat;
+    std::printf("%-14s %10.1f ms -> %8.1f ms  (%.2fx) %s\n", "TOTAL",
+                total_base / 1e6, total_flat / 1e6, speedup,
+                speedup >= 3.0 ? "[target >=3x met]"
+                               : "[below 3x target]");
+
+    // Drop the trailing ",\n" of the last phase entry.
+    if (phase_json.size() >= 2)
+        phase_json.erase(phase_json.size() - 2, 1);
+
+    std::filesystem::create_directories("results");
+    if (std::FILE *f = std::fopen("results/bench_hotpath.json", "w")) {
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"micro_tree_walk\",\n"
+                     "  \"region_bytes\": %zu,\n"
+                     "  \"ops_per_phase\": %zu,\n"
+                     "  \"phases\": [\n%s  ],\n"
+                     "  \"total_baseline_ns\": %.0f,\n"
+                     "  \"total_flat_ns\": %.0f,\n"
+                     "  \"total_speedup\": %.3f\n"
+                     "}\n",
+                     kRegionBytes, ops_per_phase, phase_json.c_str(),
+                     total_base, total_flat, speedup);
+        std::fclose(f);
+        std::printf("wrote results/bench_hotpath.json\n");
+    } else {
+        std::fprintf(stderr, "could not write results JSON\n");
+    }
+    return 0;
+}

@@ -106,8 +106,7 @@ SecureMemory::applyStreamPart(std::uint64_t chunk, StreamPart new_sp)
                  n < start / kTreeArity + cnt / kTreeArity; ++n) {
                 bool any = false;
                 for (unsigned c = 0; c < kTreeArity && !any; ++c)
-                    any = counters_.contains(key(lvl,
-                                                 n * kTreeArity + c));
+                    any = hasCounter(lvl, n * kTreeArity + c);
                 if (any)
                     refreshNodeMac(lvl, n);
                 else
@@ -136,6 +135,10 @@ SecureMemory::applyStreamPart(std::uint64_t chunk, StreamPart new_sp)
 
     stream_parts_[chunk] = new_sp;
     rebuildChunkMacs(chunk, new_sp);
+    // The subtree was re-shaped (counters pruned/recreated, node MACs
+    // moved): cached trust over it is stale, so the next access must
+    // re-verify the whole path.
+    invalidateSubtreeVerified(chunk);
 }
 
 // ---- DynamicSecureMemory -------------------------------------------------

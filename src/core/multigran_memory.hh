@@ -53,6 +53,12 @@ class DynamicSecureMemory
     /** Pending (detected but not yet applied) map of @p chunk. */
     StreamPart pending(std::uint64_t chunk) const;
 
+    /**
+     * Kernel/phase boundary: settle deferred node-MAC refreshes so
+     * the off-chip metadata image is fully written back.
+     */
+    void kernelBoundary() { mem_.flushMetadata(); }
+
     /** Number of lazy switches applied so far. */
     std::uint64_t switchesApplied() const { return switches_; }
 

@@ -18,16 +18,27 @@ MacEngine::lineMac(Addr line_addr, std::uint64_t counter,
 }
 
 Mac
+MacEngine::nestedMacSeed(Mac first) const
+{
+    return sipHash24(key_, &first, sizeof(Mac));
+}
+
+Mac
+MacEngine::nestedMacFold(Mac acc, Mac next) const
+{
+    std::uint64_t pair[2] = {acc, next};
+    return sipHash24(key_, pair, sizeof(pair));
+}
+
+Mac
 MacEngine::nestedMac(std::span<const Mac> fine_macs) const
 {
     panic_if(fine_macs.empty(), "nestedMac over empty MAC list");
     // MAC_coarse = H(...H(H(mac_0), mac_1)..., mac_n-1): fold-left of
     // the running digest with the next fine MAC.
-    std::uint64_t acc = sipHash24(key_, &fine_macs[0], sizeof(Mac));
-    for (std::size_t i = 1; i < fine_macs.size(); ++i) {
-        std::uint64_t pair[2] = {acc, fine_macs[i]};
-        acc = sipHash24(key_, pair, sizeof(pair));
-    }
+    Mac acc = nestedMacSeed(fine_macs[0]);
+    for (std::size_t i = 1; i < fine_macs.size(); ++i)
+        acc = nestedMacFold(acc, fine_macs[i]);
     return acc;
 }
 

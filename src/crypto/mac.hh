@@ -39,6 +39,20 @@ class MacEngine
     Mac nestedMac(std::span<const Mac> fine_macs) const;
 
     /**
+     * Incremental (batch-friendly) form of nestedMac: start a fold
+     * with the first fine MAC, then fold the rest in order.  Lets
+     * callers stream fine MACs through without materialising a
+     * vector:
+     *
+     *   Mac acc = mac.nestedMacSeed(fine_0);
+     *   for (i = 1..n-1) acc = mac.nestedMacFold(acc, fine_i);
+     *
+     * is bit-identical to nestedMac({fine_0..fine_n-1}).
+     */
+    Mac nestedMacSeed(Mac first) const;
+    Mac nestedMacFold(Mac acc, Mac next) const;
+
+    /**
      * MAC over an integrity-tree node: its 8 child counters bound to
      * the node address and the parent counter (provides freshness of
      * the node itself).

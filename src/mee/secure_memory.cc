@@ -9,7 +9,7 @@ namespace mgmee {
 
 SecureMemory::SecureMemory(std::size_t data_bytes, const Keys &keys)
     : layout_(data_bytes), addr_(layout_), otp_(keys.aes),
-      mac_(keys.mac)
+      mac_(keys.mac), tree_(layout_.geometry())
 {
 }
 
@@ -31,11 +31,18 @@ SecureMemory::counterAt(unsigned level, std::uint64_t index) const
 {
     if (level >= layout_.geometry().levels()) {
         // On-chip trusted storage: levels at/above the root node.
-        auto it = counters_.find(key(level, index) | kTrustedBit);
-        return it == counters_.end() ? 0 : it->second;
+        auto it = trusted_ctrs_.find(key(level, index));
+        return it == trusted_ctrs_.end() ? 0 : it->second;
     }
-    auto it = counters_.find(key(level, index));
-    return it == counters_.end() ? 0 : it->second;
+    return tree_.counter(level, index);
+}
+
+bool
+SecureMemory::hasCounter(unsigned level, std::uint64_t index) const
+{
+    if (level >= layout_.geometry().levels())
+        return trusted_ctrs_.contains(key(level, index));
+    return tree_.hasCounter(level, index);
 }
 
 void
@@ -43,10 +50,10 @@ SecureMemory::setCounterRaw(unsigned level, std::uint64_t index,
                             std::uint64_t value)
 {
     if (level >= layout_.geometry().levels()) {
-        counters_[key(level, index) | kTrustedBit] = value;
+        trusted_ctrs_[key(level, index)] = value;
         return;
     }
-    counters_[key(level, index)] = value;
+    tree_.setCounter(level, index, value);
 }
 
 void
@@ -54,26 +61,25 @@ SecureMemory::eraseCounter(unsigned level, std::uint64_t index)
 {
     if (level >= layout_.geometry().levels())
         return;  // trusted storage is never pruned
-    counters_.erase(key(level, index));
+    tree_.eraseCounter(level, index);
 }
 
 void
-SecureMemory::refreshNodeMac(unsigned level, std::uint64_t node)
+SecureMemory::refreshNodeMac(unsigned level, std::uint64_t node) const
 {
     std::array<std::uint64_t, kTreeArity> ctrs{};
     for (unsigned c = 0; c < kTreeArity; ++c)
         ctrs[c] = counterAt(level, node * kTreeArity + c);
-    const Addr node_addr =
-        layout_.counterLineAddr(level, node * kTreeArity);
+    const Addr node_addr = layout_.counterNodeAddr(level, node);
     const std::uint64_t parent = counterAt(level + 1, node);
-    node_macs_[key(level, node)] =
-        mac_.nodeMac(node_addr, parent, ctrs);
+    tree_.setNodeMac(level, node, mac_.nodeMac(node_addr, parent,
+                                               ctrs));
 }
 
 void
 SecureMemory::eraseNodeMac(unsigned level, std::uint64_t node)
 {
-    node_macs_.erase(key(level, node));
+    tree_.eraseNodeMac(level, node);
 }
 
 void
@@ -90,10 +96,11 @@ SecureMemory::setCounterAndPropagate(unsigned level, std::uint64_t index,
     while (lvl < levels) {
         const std::uint64_t node = i / kTreeArity;
         // The child node changed, so its version counter in the
-        // parent moves, and the node MAC is recomputed under the new
-        // version.
+        // parent moves.  The node MAC is only marked stale here; it
+        // is recomputed lazily by the next verify that touches the
+        // node, or by flushMetadata().
         setCounterRaw(lvl + 1, node, counterAt(lvl + 1, node) + 1);
-        refreshNodeMac(lvl, node);
+        tree_.markMacDirty(lvl, node);
         ++lvl;
         i = node;
     }
@@ -103,27 +110,76 @@ SecureMemory::Status
 SecureMemory::verifyPath(unsigned level, std::uint64_t index) const
 {
     const unsigned levels = layout_.geometry().levels();
+    // Nodes examined this walk; their verified tags are only set
+    // once the remaining path proved clean, so a failed walk leaves
+    // nothing cached (detection stays sticky across reads).
+    std::array<std::pair<unsigned, std::uint64_t>, 24> walked;
+    std::size_t n_walked = 0;
+    panic_if(levels > walked.size(), "tree deeper than walk buffer");
+
+    Status st = Status::Ok;
     std::uint64_t i = index;
     for (unsigned lvl = level; lvl < levels; ++lvl) {
         const std::uint64_t node = i / kTreeArity;
-        std::array<std::uint64_t, kTreeArity> ctrs{};
-        for (unsigned c = 0; c < kTreeArity; ++c)
-            ctrs[c] = counterAt(lvl, node * kTreeArity + c);
-        const Addr node_addr =
-            layout_.counterLineAddr(lvl, node * kTreeArity);
-        const std::uint64_t parent = counterAt(lvl + 1, node);
-        const Mac expected = mac_.nodeMac(node_addr, parent, ctrs);
-
-        auto it = node_macs_.find(key(lvl, node));
-        if (it == node_macs_.end()) {
+        if (tree_.macDirty(lvl, node)) {
+            // Deferred refresh of our own pending update: the stored
+            // counters are authoritative (attack hooks flush dirty
+            // state first), so recompute in place and keep climbing.
+            refreshNodeMac(lvl, node);
+            walked[n_walked++] = {lvl, node};
+        } else if (tree_.verified(lvl, node)) {
+            // Verified-ancestor cache hit: this node and everything
+            // above it was checked this epoch -- stop the walk here.
+            break;
+        } else if (!tree_.hasNodeMac(lvl, node)) {
             // First touch of a pristine node: install its MAC.
-            node_macs_[key(lvl, node)] = expected;
-        } else if (it->second != expected) {
-            return Status::TreeMismatch;
+            refreshNodeMac(lvl, node);
+            walked[n_walked++] = {lvl, node};
+        } else {
+            std::array<std::uint64_t, kTreeArity> ctrs{};
+            for (unsigned c = 0; c < kTreeArity; ++c)
+                ctrs[c] = counterAt(lvl, node * kTreeArity + c);
+            const Addr node_addr = layout_.counterNodeAddr(lvl, node);
+            const std::uint64_t parent = counterAt(lvl + 1, node);
+            const Mac expected = mac_.nodeMac(node_addr, parent, ctrs);
+            if (tree_.nodeMac(lvl, node) != expected) {
+                st = Status::TreeMismatch;
+                break;
+            }
+            walked[n_walked++] = {lvl, node};
         }
         i = node;
     }
-    return Status::Ok;
+
+    if (st == Status::Ok) {
+        for (std::size_t w = 0; w < n_walked; ++w)
+            tree_.markVerified(walked[w].first, walked[w].second);
+    }
+    return st;
+}
+
+void
+SecureMemory::flushMetadata()
+{
+    for (const auto &[lvl, node] : tree_.takeDirty()) {
+        if (tree_.macDirty(lvl, node))  // may have been refreshed/erased
+            refreshNodeMac(lvl, node);
+    }
+}
+
+void
+SecureMemory::invalidateSubtreeVerified(std::uint64_t chunk)
+{
+    const unsigned levels = layout_.geometry().levels();
+    const std::uint64_t first_leaf = chunk * kLinesPerChunk;
+    for (unsigned lvl = 0; lvl < levels; ++lvl) {
+        const std::uint64_t start = first_leaf >> (3 * lvl);
+        const std::uint64_t count =
+            std::max<std::uint64_t>(1, kLinesPerChunk >> (3 * lvl));
+        for (std::uint64_t n = start / kTreeArity;
+             n <= (start + count - 1) / kTreeArity; ++n)
+            tree_.clearVerified(lvl, n);
+    }
 }
 
 // ---- data & MAC storage --------------------------------------------------
@@ -221,11 +277,11 @@ SecureMemory::rebuildChunkMacs(std::uint64_t chunk, StreamPart sp)
         } else {
             const CounterLoc loc = addr_.counterLocAt(ubase, g);
             const std::uint64_t ctr = counterAt(loc.level, loc.index);
-            std::vector<Mac> fine(lines);
-            for (std::uint64_t l = 0; l < lines; ++l)
-                fine[l] = fineMacOf(ubase + l * kCachelineBytes, ctr);
-            slab[AddressComputer::intraChunkMacIndex(ubase, sp)] =
-                mac_.nestedMac(fine);
+            Mac acc = mac_.nestedMacSeed(fineMacOf(ubase, ctr));
+            for (std::uint64_t l = 1; l < lines; ++l)
+                acc = mac_.nestedMacFold(
+                    acc, fineMacOf(ubase + l * kCachelineBytes, ctr));
+            slab[AddressComputer::intraChunkMacIndex(ubase, sp)] = acc;
             part += static_cast<unsigned>(lines / kLinesPerPartition);
         }
     }
@@ -250,10 +306,11 @@ SecureMemory::verifyUnit(Addr unit_base, Granularity g) const
     if (g == Granularity::Line64B) {
         computed = fineMacOf(unit_base, ctr);
     } else {
-        std::vector<Mac> fine(lines);
-        for (std::uint64_t l = 0; l < lines; ++l)
-            fine[l] = fineMacOf(unit_base + l * kCachelineBytes, ctr);
-        computed = mac_.nestedMac(fine);
+        computed = mac_.nestedMacSeed(fineMacOf(unit_base, ctr));
+        for (std::uint64_t l = 1; l < lines; ++l)
+            computed = mac_.nestedMacFold(
+                computed,
+                fineMacOf(unit_base + l * kCachelineBytes, ctr));
     }
     if (computed != *stored)
         return Status::MacMismatch;
@@ -309,7 +366,7 @@ SecureMemory::writeUnit(Addr unit_base, Granularity g,
     setCounterAndPropagate(loc.level, loc.index, newv);
 
     const StreamPart sp = streamPart(chunk);
-    std::vector<Mac> fine(lines);
+    Mac unit_mac = 0;
     for (std::uint64_t l = 0; l < lines; ++l) {
         const Addr la = unit_base + l * kCachelineBytes;
         auto &line = cipherLine(la);
@@ -317,18 +374,16 @@ SecureMemory::writeUnit(Addr unit_base, Granularity g,
                     kCachelineBytes);
         const Pad pad = otp_.makePad(la, newv);
         OtpGenerator::applyPad(pad, line.data());
-        fine[l] = fineMacOf(la, newv);
+        const Mac fine = fineMacOf(la, newv);
+        if (g == Granularity::Line64B)
+            unit_mac = fine;
+        else
+            unit_mac = l == 0 ? mac_.nestedMacSeed(fine)
+                              : mac_.nestedMacFold(unit_mac, fine);
     }
-
-    if (g == Granularity::Line64B) {
-        setMacSlot(chunk,
-                   AddressComputer::intraChunkMacIndex(unit_base, sp),
-                   fine[0]);
-    } else {
-        setMacSlot(chunk,
-                   AddressComputer::intraChunkMacIndex(unit_base, sp),
-                   mac_.nestedMac(fine));
-    }
+    setMacSlot(chunk,
+               AddressComputer::intraChunkMacIndex(unit_base, sp),
+               unit_mac);
     return Status::Ok;
 }
 
@@ -363,15 +418,13 @@ SecureMemory::rekey(const Keys &new_keys)
         rebuildChunkMacs(chunk, streamPart(chunk));
     }
 
-    // Node MACs are keyed too: recompute every stored one.
-    std::vector<std::uint64_t> node_keys;
-    node_keys.reserve(node_macs_.size());
-    for (const auto &[k, mac] : node_macs_)
-        node_keys.push_back(k);
-    for (const std::uint64_t k : node_keys) {
-        refreshNodeMac(static_cast<unsigned>(k >> 56),
-                       k & ((std::uint64_t{1} << 56) - 1));
-    }
+    // Node MACs are keyed too: recompute every stored one (this also
+    // settles any pending lazy refreshes under the new key).
+    tree_.forEachNodeMac([this](unsigned lvl, std::uint64_t node) {
+        refreshNodeMac(lvl, node);
+    });
+    // Cached trust predates the new keys: force full re-verification.
+    invalidateVerifiedCache();
 }
 
 // ---- public read/write ----------------------------------------------------
@@ -435,11 +488,19 @@ SecureMemory::read(Addr addr, std::span<std::uint8_t> out)
 }
 
 // ---- attack surface ---------------------------------------------------------
+//
+// Every injection point first flushes deferred node-MAC refreshes --
+// the off-chip image an attacker tampers with is whatever the engine
+// would have written back -- and then invalidates the verified-
+// ancestor cache, since cached trust no longer covers the modified
+// state (hardware re-verifies whatever it re-reads from off-chip).
 
 void
 SecureMemory::corruptData(Addr addr, unsigned byte_index)
 {
     ensureChunkInitialized(chunkIndex(addr));
+    flushMetadata();
+    invalidateVerifiedCache();
     auto &line = cipherLine(alignDown(addr, kCachelineBytes));
     line[byte_index % kCachelineBytes] ^= 0x01;
 }
@@ -449,6 +510,8 @@ SecureMemory::corruptMac(Addr addr)
 {
     const std::uint64_t chunk = chunkIndex(addr);
     ensureChunkInitialized(chunk);
+    flushMetadata();
+    invalidateVerifiedCache();
     const StreamPart sp = streamPart(chunk);
     const std::uint64_t intra =
         AddressComputer::intraChunkMacIndex(
@@ -463,6 +526,8 @@ void
 SecureMemory::corruptCounter(Addr addr)
 {
     ensureChunkInitialized(chunkIndex(addr));
+    flushMetadata();
+    invalidateVerifiedCache();
     const Granularity g = granularityAt(addr);
     const CounterLoc loc = addr_.counterLocAt(addr, g);
     panic_if(loc.level >= layout_.geometry().levels(),
@@ -477,7 +542,10 @@ SecureMemory::captureForReplay(Addr addr)
     const Addr la = alignDown(addr, kCachelineBytes);
     const std::uint64_t chunk = chunkIndex(la);
     ensureChunkInitialized(chunk);
-    // Materialise node MACs along the path so the capture is complete.
+    // Bring the off-chip image fully up to date (deferred node-MAC
+    // refreshes included) and materialise the path's MACs, so the
+    // capture is exactly what an attacker could save.
+    flushMetadata();
     const Granularity g = granularityAt(la);
     (void)verifyUnit(unitBase(la, g), g);
 
@@ -490,11 +558,9 @@ SecureMemory::captureForReplay(Addr addr)
         AddressComputer::intraChunkMacIndex(unitBase(la, g), sp);
     r.mac = macSlot(chunk, intra).value_or(0);
     r.leaf_counter = counterAt(loc.level, loc.index);
-    if (loc.level < layout_.geometry().levels()) {
-        auto it = node_macs_.find(key(loc.level,
-                                      loc.index / kTreeArity));
-        r.leaf_node_mac = it == node_macs_.end() ? 0 : it->second;
-    }
+    if (loc.level < layout_.geometry().levels())
+        r.leaf_node_mac = tree_.nodeMac(loc.level,
+                                        loc.index / kTreeArity);
     return r;
 }
 
@@ -502,6 +568,10 @@ void
 SecureMemory::replay(const Replay &r)
 {
     const std::uint64_t chunk = chunkIndex(r.addr);
+    // The attacker overwrites off-chip state: settle deferred MAC
+    // refreshes first and drop all cached trust.
+    flushMetadata();
+    invalidateVerifiedCache();
     const Granularity g = granularityAt(r.addr);
     const CounterLoc loc = addr_.counterLocAt(r.addr, g);
     cipherLine(r.addr) = r.cipher;
@@ -512,8 +582,8 @@ SecureMemory::replay(const Replay &r)
                r.mac);
     if (loc.level < layout_.geometry().levels()) {
         setCounterRaw(loc.level, loc.index, r.leaf_counter);
-        node_macs_[key(loc.level, loc.index / kTreeArity)] =
-            r.leaf_node_mac;
+        tree_.setNodeMac(loc.level, loc.index / kTreeArity,
+                         r.leaf_node_mac);
     }
     // Note: on-chip trusted counters are deliberately NOT restored --
     // an attacker cannot reach them.  That is what makes the replay

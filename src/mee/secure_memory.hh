@@ -17,6 +17,15 @@
  * (Fig. 10); the unit MAC becomes the nested hash of its fine MACs
  * (Eq. 5); MAC slots are compacted per Fig. 9.  All of that is driven
  * by applyStreamPart() (implemented in core/multigran_memory.cc).
+ *
+ * Hot-path storage: counters and node MACs live in dense per-level
+ * arrays (tree/flat_store.hh) instead of hash maps; node MACs are
+ * refreshed lazily (writes mark them dirty, verifies or
+ * flushMetadata() recompute them); and a verified-ancestor cache
+ * lets path verification stop at the highest node already verified
+ * in the current epoch.  Attack injection, granularity switching and
+ * re-keying invalidate the cached trust (see DESIGN.md, "Metadata
+ * storage & lazy MAC refresh").
  */
 
 #ifndef MGMEE_MEE_SECURE_MEMORY_HH
@@ -35,6 +44,7 @@
 #include "core/granularity.hh"
 #include "crypto/mac.hh"
 #include "crypto/otp.hh"
+#include "tree/flat_store.hh"
 #include "tree/layout.hh"
 
 namespace mgmee {
@@ -81,9 +91,21 @@ class SecureMemory
      * Rotate the secret keys: every initialised chunk is decrypted
      * under the old keys and re-encrypted/re-MACed under @p new_keys
      * (counters and granularity state are preserved).  Used at boot,
-     * hibernate/resume, or on a key-compromise response.
+     * hibernate/resume, or on a key-compromise response.  Invalidates
+     * the verified-ancestor cache: every path re-verifies under the
+     * new keys.
      */
     void rekey(const Keys &new_keys);
+
+    /**
+     * Recompute every deferred (dirty) tree-node MAC now.  Node MACs
+     * are normally refreshed lazily -- a counter write only marks the
+     * node stale, and the MAC is recomputed when a verify next
+     * touches it -- so call this at a kernel/phase boundary (or
+     * before snapshotting off-chip state) to bring the stored image
+     * fully up to date.
+     */
+    void flushMetadata();
 
     /** Current stream-partition map of @p chunk. */
     StreamPart
@@ -133,40 +155,56 @@ class SecureMemory
 
   protected:
     // ---- tree plumbing ----------------------------------------------
-    /** Key packing (level, index) into one 64-bit map key. */
+    /** Key packing (level, index) for the trusted-storage side map. */
     static std::uint64_t
     key(unsigned level, std::uint64_t index)
     {
         return (static_cast<std::uint64_t>(level) << 56) | index;
     }
 
-    /**
-     * Key flag marking counters held in on-chip trusted storage
-     * (levels at/above the root node).  An attacker cannot touch
-     * these, which is what anchors replay detection.
-     */
-    static constexpr std::uint64_t kTrustedBit = std::uint64_t{1} << 63;
-
-    /** Counter value at (level, index); root array above levels(). */
+    /** Counter value at (level, index); trusted map above levels(). */
     std::uint64_t counterAt(unsigned level, std::uint64_t index) const;
+    /** True iff counter (level, index) exists (not pruned). */
+    bool hasCounter(unsigned level, std::uint64_t index) const;
     void setCounterRaw(unsigned level, std::uint64_t index,
                        std::uint64_t value);
     void eraseCounter(unsigned level, std::uint64_t index);
 
-    /** Recompute the stored MAC of tree node (level, node). */
-    void refreshNodeMac(unsigned level, std::uint64_t node);
+    /** Recompute the stored MAC of tree node (level, node) now. */
+    void refreshNodeMac(unsigned level, std::uint64_t node) const;
     void eraseNodeMac(unsigned level, std::uint64_t node);
 
     /**
      * Set counter (level, index) to @p value and propagate: bump each
-     * ancestor and refresh the node MACs along the path (the child
-     * node changed, so its version counter in the parent must move).
+     * ancestor's version counter and mark the node MACs along the
+     * path stale.  The MACs are recomputed lazily -- by the next
+     * verify that touches them or by flushMetadata() -- so a burst of
+     * writes under one ancestor pays for one MAC computation.
      */
     void setCounterAndPropagate(unsigned level, std::uint64_t index,
                                 std::uint64_t value);
 
-    /** Verify node MACs from (level, index)'s node up to the root. */
+    /**
+     * Verify node MACs from (level, index)'s node upward.  The walk
+     * stops at the highest node already verified in the current
+     * epoch (verified-ancestor cache) instead of climbing to the
+     * root every time; dirty nodes en route are refreshed in place.
+     */
     Status verifyPath(unsigned level, std::uint64_t index) const;
+
+    /**
+     * Drop every verified-ancestor tag (O(1) epoch bump).  Called
+     * whenever off-chip state may have changed behind the engine's
+     * back: attack injection, replay, re-keying.
+     */
+    void invalidateVerifiedCache() { tree_.invalidateAllVerified(); }
+
+    /**
+     * Drop the verified tags of every node covering @p chunk's
+     * subtree (all levels, including the path to the root).  Called
+     * on granularity promotion/demotion, which re-shapes the subtree.
+     */
+    void invalidateSubtreeVerified(std::uint64_t chunk);
 
     // ---- data & MAC storage ------------------------------------------
     std::array<std::uint8_t, kCachelineBytes> &
@@ -213,12 +251,18 @@ class SecureMemory
                        std::array<std::uint8_t, kCachelineBytes>>
         cipher_;
     /**
-     * Counters, keyed by key(level, index); entries with kTrustedBit
-     * set model on-chip trusted storage.
+     * Off-chip tree state: dense per-level counter and node-MAC
+     * arrays plus the lazy-refresh / verified-ancestor bookkeeping.
+     * Mutable because verification installs first-touch MACs,
+     * refreshes dirty ones, and records verified tags.
      */
-    std::unordered_map<std::uint64_t, std::uint64_t> counters_;
-    /** Off-chip per-node MACs, keyed by key(level, node). */
-    mutable std::unordered_map<std::uint64_t, Mac> node_macs_;
+    mutable FlatTreeStore tree_;
+    /**
+     * On-chip trusted storage: counters of levels at/above the root
+     * node, keyed by key(level, index).  An attacker cannot touch
+     * these, which is what anchors replay detection.
+     */
+    std::unordered_map<std::uint64_t, std::uint64_t> trusted_ctrs_;
     /** Per-chunk compacted MAC slabs (512 slots max). */
     std::unordered_map<std::uint64_t,
                        std::vector<std::optional<Mac>>>

@@ -1,0 +1,167 @@
+#include "tree/flat_store.hh"
+
+#include "common/logging.hh"
+
+namespace mgmee {
+
+FlatTreeStore::FlatTreeStore(const TreeGeometry &geom)
+    : levels_(geom.levels()), lvls_(geom.levels())
+{
+    for (unsigned lvl = 0; lvl < levels_; ++lvl) {
+        lvls_[lvl].n_counters = geom.countersAt(lvl);
+        lvls_[lvl].n_nodes = geom.nodesAt(lvl);
+    }
+}
+
+void
+FlatTreeStore::ensureLevel(unsigned level)
+{
+    Level &L = lvls_[level];
+    if (L.allocated)
+        return;
+    L.ctr.assign(L.n_counters, 0);
+    L.ctr_present.assign(L.n_counters, 0);
+    L.node_mac.assign(L.n_nodes, 0);
+    L.node_flags.assign(L.n_nodes, 0);
+    L.node_verified.assign(L.n_nodes, 0);
+    L.allocated = true;
+}
+
+std::uint64_t
+FlatTreeStore::counter(unsigned level, std::uint64_t index) const
+{
+    const Level &L = lvls_[level];
+    if (!L.allocated)
+        return 0;
+    panic_if(index >= L.n_counters,
+             "flat store: counter %llu out of range at level %u",
+             static_cast<unsigned long long>(index), level);
+    return L.ctr[index];
+}
+
+bool
+FlatTreeStore::hasCounter(unsigned level, std::uint64_t index) const
+{
+    const Level &L = lvls_[level];
+    return L.allocated && index < L.n_counters &&
+           L.ctr_present[index] != 0;
+}
+
+void
+FlatTreeStore::setCounter(unsigned level, std::uint64_t index,
+                          std::uint64_t value)
+{
+    ensureLevel(level);
+    Level &L = lvls_[level];
+    panic_if(index >= L.n_counters,
+             "flat store: counter %llu out of range at level %u",
+             static_cast<unsigned long long>(index), level);
+    L.ctr[index] = value;
+    L.ctr_present[index] = 1;
+}
+
+void
+FlatTreeStore::eraseCounter(unsigned level, std::uint64_t index)
+{
+    Level &L = lvls_[level];
+    if (!L.allocated || index >= L.n_counters)
+        return;
+    L.ctr[index] = 0;
+    L.ctr_present[index] = 0;
+}
+
+bool
+FlatTreeStore::hasNodeMac(unsigned level, std::uint64_t node) const
+{
+    const Level &L = lvls_[level];
+    return L.allocated && node < L.n_nodes &&
+           (L.node_flags[node] & kMacPresent);
+}
+
+std::uint64_t
+FlatTreeStore::nodeMac(unsigned level, std::uint64_t node) const
+{
+    const Level &L = lvls_[level];
+    if (!L.allocated || node >= L.n_nodes)
+        return 0;
+    return L.node_mac[node];
+}
+
+void
+FlatTreeStore::setNodeMac(unsigned level, std::uint64_t node,
+                          std::uint64_t mac)
+{
+    ensureLevel(level);
+    Level &L = lvls_[level];
+    panic_if(node >= L.n_nodes,
+             "flat store: node %llu out of range at level %u",
+             static_cast<unsigned long long>(node), level);
+    L.node_mac[node] = mac;
+    L.node_flags[node] =
+        static_cast<std::uint8_t>((L.node_flags[node] | kMacPresent) &
+                                  ~kMacDirty);
+}
+
+void
+FlatTreeStore::eraseNodeMac(unsigned level, std::uint64_t node)
+{
+    Level &L = lvls_[level];
+    if (!L.allocated || node >= L.n_nodes)
+        return;
+    L.node_mac[node] = 0;
+    L.node_flags[node] = 0;
+    L.node_verified[node] = 0;
+}
+
+bool
+FlatTreeStore::macDirty(unsigned level, std::uint64_t node) const
+{
+    const Level &L = lvls_[level];
+    return L.allocated && node < L.n_nodes &&
+           (L.node_flags[node] & kMacDirty);
+}
+
+void
+FlatTreeStore::markMacDirty(unsigned level, std::uint64_t node)
+{
+    ensureLevel(level);
+    Level &L = lvls_[level];
+    panic_if(node >= L.n_nodes,
+             "flat store: node %llu out of range at level %u",
+             static_cast<unsigned long long>(node), level);
+    if (L.node_flags[node] & kMacDirty)
+        return;  // already queued
+    L.node_flags[node] |= kMacDirty;
+    dirty_queue_.emplace_back(level, node);
+}
+
+std::vector<std::pair<unsigned, std::uint64_t>>
+FlatTreeStore::takeDirty()
+{
+    return std::exchange(dirty_queue_, {});
+}
+
+bool
+FlatTreeStore::verified(unsigned level, std::uint64_t node) const
+{
+    const Level &L = lvls_[level];
+    return L.allocated && node < L.n_nodes &&
+           L.node_verified[node] == epoch_;
+}
+
+void
+FlatTreeStore::markVerified(unsigned level, std::uint64_t node)
+{
+    ensureLevel(level);
+    lvls_[level].node_verified[node] = epoch_;
+}
+
+void
+FlatTreeStore::clearVerified(unsigned level, std::uint64_t node)
+{
+    Level &L = lvls_[level];
+    if (L.allocated && node < L.n_nodes)
+        L.node_verified[node] = 0;
+}
+
+} // namespace mgmee

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Dense per-level storage for integrity-tree metadata.
+ *
+ * The functional engine used to keep counters and node MACs in
+ * `std::unordered_map`s keyed by (level, index); every access hashed
+ * its way up the tree.  FlatTreeStore replaces that with one dense
+ * array per level, sized from the TreeGeometry, so the verify/update
+ * walk is O(1) indexing into cache-friendly memory.  Levels are
+ * allocated lazily on first write, which keeps construction cheap for
+ * large protected regions whose upper levels may never be touched.
+ *
+ * Beyond plain storage the store carries the two hot-path
+ * optimizations of the engine:
+ *
+ *  - a *dirty* bit per tree node, set when a counter write makes the
+ *    stored node MAC stale.  MAC recomputation is deferred until a
+ *    verify touches the node or the engine flushes, so N consecutive
+ *    writes under one ancestor cost one MAC computation;
+ *  - a *verified* tag per node (epoch-based), implementing the
+ *    verified-ancestor cache: a path walk can stop at the highest
+ *    node already verified in the current epoch.  Bumping the epoch
+ *    invalidates every tag in O(1).
+ *
+ * Counter *presence* is tracked separately from the value: a pruned
+ * subtree (granularity promotion) erases counters, and "absent" must
+ * stay distinguishable from "present with value 0".
+ */
+
+#ifndef MGMEE_TREE_FLAT_STORE_HH
+#define MGMEE_TREE_FLAT_STORE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "tree/tree_index.hh"
+
+namespace mgmee {
+
+/** Flat per-level backing store for counters, node MACs and the
+ *  lazy-refresh / verified-ancestor bookkeeping. */
+class FlatTreeStore
+{
+  public:
+    explicit FlatTreeStore(const TreeGeometry &geom);
+
+    unsigned levels() const { return levels_; }
+
+    // ---- counters (level < levels()) ---------------------------------
+    std::uint64_t counter(unsigned level, std::uint64_t index) const;
+    bool hasCounter(unsigned level, std::uint64_t index) const;
+    void setCounter(unsigned level, std::uint64_t index,
+                    std::uint64_t value);
+    void eraseCounter(unsigned level, std::uint64_t index);
+
+    // ---- node MACs ----------------------------------------------------
+    bool hasNodeMac(unsigned level, std::uint64_t node) const;
+    /** Stored MAC of (level, node); 0 when absent. */
+    std::uint64_t nodeMac(unsigned level, std::uint64_t node) const;
+    /** Store a recomputed MAC: marks present, clears dirty. */
+    void setNodeMac(unsigned level, std::uint64_t node,
+                    std::uint64_t mac);
+    /** Drop a node MAC entirely (pruned subtree). */
+    void eraseNodeMac(unsigned level, std::uint64_t node);
+
+    // ---- lazy node-MAC refresh ---------------------------------------
+    bool macDirty(unsigned level, std::uint64_t node) const;
+    /** Mark (level, node)'s stored MAC stale; queued for flush. */
+    void markMacDirty(unsigned level, std::uint64_t node);
+    /**
+     * Snapshot-and-clear the pending-refresh queue.  Entries whose
+     * dirty bit was already cleared (lazily refreshed or erased) may
+     * appear; callers must re-check macDirty().
+     */
+    std::vector<std::pair<unsigned, std::uint64_t>> takeDirty();
+
+    // ---- verified-ancestor cache -------------------------------------
+    bool verified(unsigned level, std::uint64_t node) const;
+    void markVerified(unsigned level, std::uint64_t node);
+    void clearVerified(unsigned level, std::uint64_t node);
+    /** Invalidate every verified tag (O(1) epoch bump). */
+    void invalidateAllVerified() { ++epoch_; }
+
+    /** Visit every stored node MAC as (level, node). */
+    template <typename Fn>
+    void
+    forEachNodeMac(Fn &&fn) const
+    {
+        for (unsigned lvl = 0; lvl < levels_; ++lvl) {
+            const Level &L = lvls_[lvl];
+            for (std::uint64_t n = 0; n < L.node_flags.size(); ++n)
+                if (L.node_flags[n] & kMacPresent)
+                    fn(lvl, n);
+        }
+    }
+
+  private:
+    static constexpr std::uint8_t kMacPresent = 1u << 0;
+    static constexpr std::uint8_t kMacDirty = 1u << 1;
+
+    /** Dense storage of one tree level (allocated on first write). */
+    struct Level
+    {
+        std::uint64_t n_counters = 0;        //!< geometry size
+        std::uint64_t n_nodes = 0;           //!< ceil(n_counters/8)
+        std::vector<std::uint64_t> ctr;      //!< counter values
+        std::vector<std::uint8_t> ctr_present;
+        std::vector<std::uint64_t> node_mac;
+        std::vector<std::uint8_t> node_flags;
+        std::vector<std::uint32_t> node_verified;  //!< epoch tags
+        bool allocated = false;
+    };
+
+    void ensureLevel(unsigned level);
+
+    unsigned levels_ = 0;
+    std::vector<Level> lvls_;
+    /** Current verification epoch (0 tags can never match). */
+    std::uint32_t epoch_ = 1;
+    /** Nodes awaiting a deferred MAC refresh. */
+    std::vector<std::pair<unsigned, std::uint64_t>> dirty_queue_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_TREE_FLAT_STORE_HH

@@ -69,6 +69,17 @@ class MetadataLayout
     }
 
     /**
+     * Address of the metadata line holding tree node @p node of
+     * @p level: the node's 8 sibling counters share one 64B line, so
+     * this is the address a node MAC is bound to.
+     */
+    Addr
+    counterNodeAddr(unsigned level, std::uint64_t node) const
+    {
+        return counterLineAddr(level, node * kTreeArity);
+    }
+
+    /**
      * Address of the granularity-table line for @p chunk.  Each entry
      * is 16B (8B current + 8B next bitmap), four entries per line.
      */

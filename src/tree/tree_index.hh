@@ -39,6 +39,15 @@ class TreeGeometry
         return counts_[level];
     }
 
+    /**
+     * Tree nodes at @p level: groups of 8 sibling counters sharing
+     * one 64B metadata line (and one node MAC).
+     */
+    std::uint64_t nodesAt(unsigned level) const
+    {
+        return (counts_[level] + kTreeArity - 1) / kTreeArity;
+    }
+
     /** Total 64B metadata lines across all in-memory levels. */
     std::uint64_t totalCounterLines() const { return total_lines_; }
 

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Regression tests for the flat-storage / lazy node-MAC hot path:
+ * deferred MAC refresh must never weaken detection, and the
+ * verified-ancestor cache must be invalidated by granularity
+ * promotion/demotion, re-keying, and attack injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/multigran_memory.hh"
+#include "mee/secure_memory.hh"
+
+namespace mgmee {
+namespace {
+
+SecureMemory::Keys
+lazyKeys()
+{
+    SecureMemory::Keys keys;
+    for (unsigned i = 0; i < 16; ++i)
+        keys.aes[i] = static_cast<std::uint8_t>(0x5a ^ (i * 13));
+    keys.mac = {0x1111222233334444ULL, 0x5555666677778888ULL};
+    return keys;
+}
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 31);
+    return v;
+}
+
+class LazyMacTest : public ::testing::Test
+{
+  protected:
+    LazyMacTest() : mem_(8 * kChunkBytes, lazyKeys()) {}
+
+    SecureMemory mem_;
+};
+
+TEST_F(LazyMacTest, FlushedMetadataStillVerifies)
+{
+    // Many writes leave deferred node-MAC refreshes; an explicit
+    // flush must settle them into a state that still verifies.
+    for (unsigned l = 0; l < 64; ++l)
+        ASSERT_EQ(SecureMemory::Status::Ok,
+                  mem_.write(l * kCachelineBytes,
+                             pattern(kCachelineBytes,
+                                     static_cast<std::uint8_t>(l))));
+    mem_.flushMetadata();
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    for (unsigned l = 0; l < 64; ++l) {
+        ASSERT_EQ(SecureMemory::Status::Ok,
+                  mem_.read(l * kCachelineBytes, out));
+        EXPECT_EQ(pattern(kCachelineBytes,
+                          static_cast<std::uint8_t>(l)),
+                  out);
+    }
+}
+
+TEST_F(LazyMacTest, WriteBurstThenTamperDetected)
+{
+    // A burst of writes (all node MACs still deferred) followed by a
+    // counter tamper: detection must fire on the next read.
+    for (unsigned l = 0; l < 16; ++l)
+        mem_.write(l * kCachelineBytes, pattern(kCachelineBytes, 7));
+    mem_.corruptCounter(0x0);
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x0, out));
+}
+
+TEST_F(LazyMacTest, DetectionIsStickyAcrossRepeatedReads)
+{
+    // The verified-ancestor cache must not launder a detected
+    // mismatch: every subsequent read keeps failing.
+    mem_.write(0x0, pattern(kCachelineBytes, 3));
+    mem_.write(0x40, pattern(kCachelineBytes, 4));
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0x40, out));
+    mem_.corruptCounter(0x0);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x0, out));
+}
+
+TEST_F(LazyMacTest, TamperAfterPromotionDetected)
+{
+    // Promotion re-shapes the subtree; the verified-ancestor cache
+    // must be invalidated so a tamper on the promoted counter is
+    // caught by the next access.
+    const auto data = pattern(kPartitionBytes, 9);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.write(0, data));
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+
+    mem_.applyStreamPart(0, StreamPart{0b1});  // promote to 512B
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+
+    mem_.corruptCounter(0);  // the promoted (level-1) counter
+    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0, out));
+}
+
+TEST_F(LazyMacTest, ReplayAfterPromotionRaisesTreeMismatch)
+{
+    // Verify a path (warming the verified-ancestor cache), promote,
+    // then replay the promoted unit's stale off-chip state: the tree
+    // must flag the rollback even though the path was cached clean
+    // before the switch.
+    const auto data = pattern(kPartitionBytes, 11);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.write(0, data));
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+
+    mem_.applyStreamPart(0, StreamPart{0b1});  // promote to 512B
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+
+    // Snapshot the whole promoted unit (all 8 lines + shared
+    // counter/MAC) so the rolled-back image is self-consistent and
+    // only the tree can catch the rollback.
+    std::vector<SecureMemory::Replay> snaps;
+    for (unsigned l = 0; l < kLinesPerPartition; ++l)
+        snaps.push_back(mem_.captureForReplay(l * kCachelineBytes));
+
+    // Move the unit forward, then roll its off-chip state back.
+    ASSERT_EQ(SecureMemory::Status::Ok,
+              mem_.write(0, pattern(kPartitionBytes, 12)));
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+    for (const auto &snap : snaps)
+        mem_.replay(snap);
+    EXPECT_EQ(SecureMemory::Status::TreeMismatch,
+              mem_.read(0, out));
+}
+
+TEST_F(LazyMacTest, TamperAfterDemotionDetected)
+{
+    // Demote a promoted region back to fine and tamper: the
+    // recreated fine counters must be freshly protected.
+    const auto data = pattern(kPartitionBytes, 13);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.write(0, data));
+    mem_.applyStreamPart(0, StreamPart{0b1});   // promote
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+    mem_.applyStreamPart(0, kAllFine);          // demote
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+
+    mem_.corruptCounter(0x40);
+    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x40, out));
+}
+
+TEST_F(LazyMacTest, TamperAfterRekeyDetected)
+{
+    // Re-keying invalidates cached trust: a post-rekey tamper must
+    // be detected even on a path verified before the rekey.
+    mem_.write(0x1000, pattern(kCachelineBytes, 21));
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0x1000, out));
+
+    auto keys2 = lazyKeys();
+    keys2.aes[5] ^= 0xff;
+    keys2.mac.k0 ^= 0x1;
+    mem_.rekey(keys2);
+    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0x1000, out));
+
+    mem_.corruptCounter(0x1000);
+    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x1000, out));
+}
+
+TEST_F(LazyMacTest, DynamicMemoryKernelBoundaryFlush)
+{
+    DynamicSecureMemory dyn(4 * kChunkBytes, lazyKeys());
+    const auto data = pattern(kCachelineBytes, 17);
+    ASSERT_EQ(SecureMemory::Status::Ok, dyn.write(0x80, data, 100));
+    dyn.kernelBoundary();
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_EQ(SecureMemory::Status::Ok, dyn.read(0x80, out, 200));
+    EXPECT_EQ(data, out);
+}
+
+} // namespace
+} // namespace mgmee

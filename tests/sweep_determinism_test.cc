@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The scenario sweeps in bench/bench_util.hh fan out over hardware
+ * threads; scenarios are independent, so a parallel sweep must be
+ * bit-identical to a forced single-thread run (MGMEE_THREADS=1).
+ * This pins that contract so future sweep changes cannot introduce
+ * iteration-order or shared-state dependence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+namespace mgmee {
+namespace {
+
+using bench::SweepStats;
+
+std::vector<Scenario>
+smallScenarioSet()
+{
+    std::vector<Scenario> all = allScenarios();
+    // A spread of 4 scenarios keeps the test fast while still
+    // exercising the thread fan-out (4 workers on most machines).
+    std::vector<Scenario> subset;
+    for (std::size_t i = 0; i < 4; ++i)
+        subset.push_back(all[i * all.size() / 4]);
+    return subset;
+}
+
+TEST(SweepDeterminismTest, ParallelMatchesSingleThreadBitExact)
+{
+    const std::vector<Scenario> scenarios = smallScenarioSet();
+    const std::vector<Scheme> schemes = {Scheme::Conventional,
+                                         Scheme::Ours};
+    constexpr double kScale = 0.05;
+    constexpr std::uint64_t kSeed = 1;
+
+    // Parallel run with the default thread count (explicitly unset
+    // the knob in case the environment pins it to 1).
+    unsetenv("MGMEE_THREADS");
+    const std::vector<SweepStats> par =
+        bench::runSweep(scenarios, schemes, kScale, kSeed);
+
+    setenv("MGMEE_THREADS", "1", 1);
+    const std::vector<SweepStats> ser =
+        bench::runSweep(scenarios, schemes, kScale, kSeed);
+    unsetenv("MGMEE_THREADS");
+
+    ASSERT_EQ(par.size(), ser.size());
+    for (std::size_t i = 0; i < par.size(); ++i) {
+        // Bit-identical, not approximately equal: the sweeps must
+        // run the exact same simulations in the exact same way.
+        EXPECT_EQ(par[i].exec_norm, ser[i].exec_norm);
+        EXPECT_EQ(par[i].traffic_norm, ser[i].traffic_norm);
+        EXPECT_EQ(par[i].misses, ser[i].misses);
+    }
+}
+
+TEST(SweepDeterminismTest, ThreadsKnobParsesAndClamps)
+{
+    setenv("MGMEE_THREADS", "3", 1);
+    EXPECT_EQ(3u, bench::envThreads());
+    setenv("MGMEE_THREADS", "0", 1);   // invalid -> hardware default
+    EXPECT_GE(bench::envThreads(), 1u);
+    unsetenv("MGMEE_THREADS");
+    EXPECT_GE(bench::envThreads(), 1u);
+}
+
+TEST(SweepDeterminismTest, PercentileSortedMatchesPercentile)
+{
+    std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(bench::percentile(v, p),
+                         bench::percentileSorted(sorted, p));
+    EXPECT_DOUBLE_EQ(3.0, bench::percentile(v, 0.5));
+    EXPECT_DOUBLE_EQ(1.0, bench::percentile(v, 0.0));
+    EXPECT_DOUBLE_EQ(5.0, bench::percentile(v, 1.0));
+}
+
+} // namespace
+} // namespace mgmee
