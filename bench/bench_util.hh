@@ -23,11 +23,14 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hetero/metrics.hh"
+#include "hetero/run_memo.hh"
 
 namespace mgmee::bench {
 
@@ -116,9 +119,17 @@ percentile(std::vector<double> v, double p)
 
 /**
  * Run @p schemes over @p scenarios; index [scheme][scenario].
- * Scenarios are independent simulations, so they fan out over
- * hardware threads (results are written by scenario index and are
- * bit-identical to a serial run).
+ *
+ * Work is dispatched as flat (scenario x scheme) items, so the
+ * schemes of one slow scenario fan out across workers instead of
+ * serialising on whichever worker drew the scenario.  The
+ * per-scenario shared pieces (the Unsecure baseline and the optional
+ * static-best search) are computed once per scenario behind a
+ * std::once_flag; the first worker to need them runs them, later
+ * items reuse the stored values.  Results are written by
+ * [scheme][scenario] index and every simulation is deterministic, so
+ * output is bit-identical for any thread count (and with the
+ * process-wide memo on or off -- tests/sweep_memo_test.cc).
  */
 inline std::vector<SweepStats>
 runSweep(const std::vector<Scenario> &scenarios,
@@ -131,32 +142,44 @@ runSweep(const std::vector<Scenario> &scenarios,
         stats.traffic_norm.resize(scenarios.size());
         stats.misses.resize(scenarios.size());
     }
+    if (scenarios.empty() || schemes.empty())
+        return out;
 
+    // Per-scenario shared state, filled lazily under a once_flag.
+    std::vector<RunResult> unsec(scenarios.size());
+    std::vector<std::array<Granularity, 8>> static_best(
+        scenarios.size());
+    std::unique_ptr<std::once_flag[]> prepared(
+        new std::once_flag[scenarios.size()]);
+
+    const std::size_t total = scenarios.size() * schemes.size();
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
-        for (std::size_t s = next.fetch_add(1);
-             s < scenarios.size(); s = next.fetch_add(1)) {
+        for (std::size_t w = next.fetch_add(1); w < total;
+             w = next.fetch_add(1)) {
+            const std::size_t s = w / schemes.size();
+            const std::size_t i = w % schemes.size();
             const Scenario &sc = scenarios[s];
-            const RunResult unsec =
-                runScenario(sc, Scheme::Unsecure, seed, scale);
-            std::array<Granularity, 8> static_best{};
-            if (use_static_best_search)
-                static_best = searchStaticBest(sc, seed, scale);
-            for (std::size_t i = 0; i < schemes.size(); ++i) {
-                const RunResult r = runScenario(
-                    sc, schemes[i], seed, scale, static_best);
-                out[i].exec_norm[s] = normalizedExecTime(r, unsec);
-                out[i].traffic_norm[s] =
-                    static_cast<double>(r.total_bytes) /
-                    static_cast<double>(unsec.total_bytes);
-                out[i].misses[s] =
-                    static_cast<double>(r.security_misses);
-            }
+            std::call_once(prepared[s], [&]() {
+                unsec[s] = runScenarioMemo(sc, Scheme::Unsecure,
+                                           seed, scale);
+                if (use_static_best_search)
+                    static_best[s] =
+                        searchStaticBest(sc, seed, scale);
+            });
+            const RunResult r = runScenarioMemo(
+                sc, schemes[i], seed, scale, static_best[s]);
+            out[i].exec_norm[s] = normalizedExecTime(r, unsec[s]);
+            out[i].traffic_norm[s] =
+                static_cast<double>(r.total_bytes) /
+                static_cast<double>(unsec[s].total_bytes);
+            out[i].misses[s] =
+                static_cast<double>(r.security_misses);
         }
     };
 
     const unsigned threads = std::max<unsigned>(
-        1u, std::min<std::size_t>(envThreads(), scenarios.size()));
+        1u, std::min<std::size_t>(envThreads(), total));
     std::vector<std::thread> pool;
     for (unsigned t = 1; t < threads; ++t)
         pool.emplace_back(worker);

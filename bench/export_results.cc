@@ -46,9 +46,9 @@ main()
     std::size_t done = 0;
     for (const Scenario &sc : scenarios) {
         const RunResult unsec =
-            runScenario(sc, Scheme::Unsecure, seed, scale);
+            runScenarioMemo(sc, Scheme::Unsecure, seed, scale);
         for (Scheme scheme : schemes) {
-            const RunResult r = runScenario(sc, scheme, seed, scale);
+            const RunResult r = runScenarioMemo(sc, scheme, seed, scale);
             csv << sc.id << ',' << sc.cpu << ',' << sc.gpu << ','
                 << sc.npu1 << ',' << sc.npu2 << ','
                 << schemeName(scheme) << ','

@@ -36,14 +36,14 @@ main()
 
     for (const Scenario &sc : scenarios) {
         const auto unsec =
-            runScenario(sc, Scheme::Unsecure, seed, scale);
+            runScenarioMemo(sc, Scheme::Unsecure, seed, scale);
         const auto conv =
-            runScenario(sc, Scheme::Conventional, seed, scale);
+            runScenarioMemo(sc, Scheme::Conventional, seed, scale);
         const auto ctr =
-            runScenario(sc, Scheme::MultiCtrOnly, seed, scale);
-        const auto ours = runScenario(sc, Scheme::Ours, seed, scale);
+            runScenarioMemo(sc, Scheme::MultiCtrOnly, seed, scale);
+        const auto ours = runScenarioMemo(sc, Scheme::Ours, seed, scale);
         const auto combo =
-            runScenario(sc, Scheme::BmfUnusedOurs, seed, scale);
+            runScenarioMemo(sc, Scheme::BmfUnusedOurs, seed, scale);
 
         const double n_conv = normalizedExecTime(conv, unsec);
         const double n_ours = normalizedExecTime(ours, unsec);

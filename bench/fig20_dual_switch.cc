@@ -41,7 +41,7 @@ main()
     int mid_n = 0;
     for (const Scenario &sc : scenarios) {
         const auto unsec =
-            runScenario(sc, Scheme::Unsecure, seed, scale);
+            runScenarioMemo(sc, Scheme::Unsecure, seed, scale);
         std::printf("%-5s", sc.id.c_str());
         const bool mid_group =
             sc.id[0] == 'f' && sc.id[1] != 'f' ? true
@@ -50,7 +50,7 @@ main()
             ++mid_n;
         for (std::size_t i = 0; i < schemes.size(); ++i) {
             const auto r =
-                runScenario(sc, schemes[i], seed, scale);
+                runScenarioMemo(sc, schemes[i], seed, scale);
             const double n = normalizedExecTime(r, unsec);
             std::printf(" %12.3fx", n);
             sums[i] += n;

@@ -35,13 +35,13 @@ main()
     for (const Scenario &sc :
          {financeScenario(), autodriveScenario()}) {
         const auto unsec =
-            runScenario(sc, Scheme::Unsecure, seed, scale);
+            runScenarioMemo(sc, Scheme::Unsecure, seed, scale);
         const auto best = searchStaticBest(sc, seed, scale);
         std::printf("%-10s", sc.id.c_str());
         for (Scheme s :
              {Scheme::Conventional, Scheme::StaticDeviceBest,
               Scheme::Ours, Scheme::BmfUnusedOurs}) {
-            const auto r = runScenario(sc, s, seed, scale, best);
+            const auto r = runScenarioMemo(sc, s, seed, scale, best);
             std::printf(" %12.3fx",
                         normalizedExecTime(r, unsec));
         }

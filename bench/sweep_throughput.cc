@@ -1,0 +1,186 @@
+/**
+ * @file
+ * End-to-end throughput harness for the sweep-layer memoization
+ * stack (trace repo + run-result memo + static-best memo).
+ *
+ * The workload models what a full figure-reproduction session does:
+ * it repeats two overlapping bench sections (a fig15-style sweep and
+ * a fig17-style sweep sharing scenarios, the Unsecure baselines, and
+ * two schemes) MGMEE_SWEEP_REPS times.  The whole workload runs once
+ * with `MGMEE_MEMO=0` (every trace regenerated, every run
+ * re-simulated) and once with `MGMEE_MEMO=1` from a cold cache, and
+ * the harness reports scenarios/sec for both.
+ *
+ * Contracts enforced (non-zero exit on violation):
+ *  - both modes produce bit-identical sweep statistics;
+ *  - the memoized run is not slower than the unmemoized one (CI
+ *    regression gate).
+ * The ≥3x target of ISSUE 2 is reported in the output and in
+ * `results/bench_sweep.json`.
+ *
+ * Knobs: MGMEE_SCENARIOS, MGMEE_SCALE, MGMEE_SEED, MGMEE_THREADS,
+ * MGMEE_SWEEP_REPS (workload repetitions, default 3).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "hetero/run_memo.hh"
+#include "workloads/trace_repo.hh"
+
+using namespace mgmee;
+
+namespace {
+
+struct WorkloadResult
+{
+    std::vector<bench::SweepStats> section_a;
+    std::vector<bench::SweepStats> section_b;
+    double seconds = 0;
+    std::size_t scenario_runs = 0;  //!< (scenario, scheme) results
+};
+
+const std::vector<Scheme> kSectionA = {
+    Scheme::Adaptive, Scheme::CommonCTR, Scheme::Ours,
+    Scheme::BmfUnusedOurs,
+};
+const std::vector<Scheme> kSectionB = {
+    Scheme::Conventional, Scheme::Ours, Scheme::BmfUnusedOurs,
+};
+
+WorkloadResult
+runWorkload(const std::vector<Scenario> &scenarios, double scale,
+            std::uint64_t seed, unsigned reps)
+{
+    WorkloadResult res;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        res.section_a = bench::runSweep(scenarios, kSectionA, scale,
+                                        seed);
+        res.section_b = bench::runSweep(scenarios, kSectionB, scale,
+                                        seed);
+        res.scenario_runs +=
+            scenarios.size() * (kSectionA.size() + kSectionB.size());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    res.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+bool
+statsEqual(const std::vector<bench::SweepStats> &a,
+           const std::vector<bench::SweepStats> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].exec_norm != b[i].exec_norm ||
+            a[i].traffic_norm != b[i].traffic_norm ||
+            a[i].misses != b[i].misses) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto scenarios = bench::sweepScenarios();
+    const double scale = bench::envScale();
+    const std::uint64_t seed = bench::envSeed();
+    const char *env_reps = std::getenv("MGMEE_SWEEP_REPS");
+    const unsigned reps =
+        env_reps ? std::max(1, std::atoi(env_reps)) : 3;
+
+    std::printf("=== sweep_throughput: %zu scenarios x %zu schemes "
+                "x %u reps (scale %.2f) ===\n",
+                scenarios.size(),
+                kSectionA.size() + kSectionB.size(), reps, scale);
+
+    // Unmemoized reference first: the pre-ISSUE-2 path, traces and
+    // runs regenerated per call.
+    setenv("MGMEE_MEMO", "0", 1);
+    TraceRepo::instance().clear();
+    runMemoClear();
+    const WorkloadResult off =
+        runWorkload(scenarios, scale, seed, reps);
+
+    // Memoized run from a cold cache.
+    setenv("MGMEE_MEMO", "1", 1);
+    TraceRepo::instance().clear();
+    runMemoClear();
+    const WorkloadResult on = runWorkload(scenarios, scale, seed, reps);
+    const RunMemoStats memo = runMemoStats();
+
+    if (!statsEqual(off.section_a, on.section_a) ||
+        !statsEqual(off.section_b, on.section_b)) {
+        std::fprintf(stderr,
+                     "sweep_throughput: memoized sweep output "
+                     "DIVERGED from the unmemoized sweep\n");
+        return 1;
+    }
+
+    const double rate_off = off.scenario_runs / off.seconds;
+    const double rate_on = on.scenario_runs / on.seconds;
+    const double speedup = off.seconds / on.seconds;
+
+    std::printf("memo off: %8.2f s  (%8.1f scenario-runs/sec)\n",
+                off.seconds, rate_off);
+    std::printf("memo on:  %8.2f s  (%8.1f scenario-runs/sec)\n",
+                on.seconds, rate_on);
+    std::printf("speedup:  %8.2fx %s\n", speedup,
+                speedup >= 3.0 ? "[target >=3x met]"
+                               : "[below 3x target]");
+    std::printf("memo: %llu run hits / %llu misses, "
+                "trace repo %zu traces\n",
+                static_cast<unsigned long long>(memo.run_hits),
+                static_cast<unsigned long long>(memo.run_misses),
+                TraceRepo::instance().size());
+
+    std::filesystem::create_directories("results");
+    if (std::FILE *f = std::fopen("results/bench_sweep.json", "w")) {
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"sweep_throughput\",\n"
+            "  \"scenarios\": %zu,\n"
+            "  \"schemes\": %zu,\n"
+            "  \"reps\": %u,\n"
+            "  \"scale\": %.3f,\n"
+            "  \"scenario_runs\": %zu,\n"
+            "  \"memo_off_seconds\": %.3f,\n"
+            "  \"memo_on_seconds\": %.3f,\n"
+            "  \"memo_off_runs_per_sec\": %.1f,\n"
+            "  \"memo_on_runs_per_sec\": %.1f,\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"bit_identical\": true,\n"
+            "  \"run_memo_hits\": %llu,\n"
+            "  \"run_memo_misses\": %llu\n"
+            "}\n",
+            scenarios.size(), kSectionA.size() + kSectionB.size(),
+            reps, scale, on.scenario_runs, off.seconds, on.seconds,
+            rate_off, rate_on, speedup,
+            static_cast<unsigned long long>(memo.run_hits),
+            static_cast<unsigned long long>(memo.run_misses));
+        std::fclose(f);
+        std::printf("wrote results/bench_sweep.json\n");
+    } else {
+        std::fprintf(stderr, "could not write results JSON\n");
+    }
+
+    if (speedup < 1.0) {
+        std::fprintf(stderr,
+                     "sweep_throughput: memoized run is SLOWER than "
+                     "the unmemoized baseline (%.2fx)\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "workloads/registry.hh"
+#include "workloads/trace_repo.hh"
 
 namespace mgmee {
 
@@ -13,7 +14,8 @@ makeCpuDevice(const std::string &workload_name, unsigned index,
     fatal_if(spec.kind != DeviceKind::CPU,
              "'%s' is not a CPU workload", workload_name.c_str());
     return Device("CPU:" + spec.name, DeviceKind::CPU, index,
-                  generateTrace(spec, base, seed, scale), spec.window);
+                  TraceRepo::instance().get(spec, base, seed, scale),
+                  spec.window);
 }
 
 } // namespace mgmee

@@ -7,9 +7,18 @@
 namespace mgmee {
 
 Device::Device(std::string name, DeviceKind kind, unsigned index,
-               Trace trace, unsigned window)
+               std::shared_ptr<const Trace> trace, unsigned window)
     : name_(std::move(name)), kind_(kind), index_(index),
       trace_(std::move(trace)), window_(std::max(1u, window))
+{
+    if (!trace_)
+        trace_ = std::make_shared<const Trace>();
+}
+
+Device::Device(std::string name, DeviceKind kind, unsigned index,
+               Trace trace, unsigned window)
+    : Device(std::move(name), kind, index,
+             std::make_shared<const Trace>(std::move(trace)), window)
 {
 }
 
@@ -17,7 +26,7 @@ Cycle
 Device::nextIssue() const
 {
     panic_if(done(), "%s: nextIssue past end of trace", name_.c_str());
-    Cycle t = last_issue_ + trace_[next_].gap;
+    Cycle t = last_issue_ + (*trace_)[next_].gap;
     if (inflight_.size() >= window_)
         t = std::max(t, inflight_.front());
     return t;
@@ -26,7 +35,7 @@ Device::nextIssue() const
 MemRequest
 Device::makeRequest() const
 {
-    const TraceOp &op = trace_[next_];
+    const TraceOp &op = (*trace_)[next_];
     MemRequest req;
     req.addr = op.addr;
     req.bytes = op.bytes;

@@ -14,6 +14,7 @@
 #define MGMEE_DEVICES_DEVICE_HH
 
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "common/types.hh"
@@ -30,13 +31,20 @@ class Device
      * @param name   display name ("CPU:mcf")
      * @param kind   CPU/GPU/NPU
      * @param index  position in the hetero system (request tag)
-     * @param trace  off-chip request trace (addresses pre-offset)
+     * @param trace  off-chip request trace (addresses pre-offset);
+     *               shared and immutable, so the 250-scenario sweep
+     *               replays one generated trace from many devices
+     *               without copying it (workloads/trace_repo.hh)
      * @param window outstanding-request limit
      */
     Device(std::string name, DeviceKind kind, unsigned index,
+           std::shared_ptr<const Trace> trace, unsigned window);
+
+    /** Convenience overload for ad-hoc traces (tools, tests). */
+    Device(std::string name, DeviceKind kind, unsigned index,
            Trace trace, unsigned window);
 
-    bool done() const { return next_ >= trace_.size(); }
+    bool done() const { return next_ >= trace_->size(); }
 
     /** Earliest cycle the next trace op may issue. */
     Cycle nextIssue() const;
@@ -54,13 +62,13 @@ class Device
     DeviceKind kind() const { return kind_; }
     unsigned index() const { return index_; }
     std::size_t requests() const { return next_; }
-    std::size_t traceLength() const { return trace_.size(); }
+    std::size_t traceLength() const { return trace_->size(); }
 
   private:
     std::string name_;
     DeviceKind kind_;
     unsigned index_;
-    Trace trace_;
+    std::shared_ptr<const Trace> trace_;
     unsigned window_;
 
     std::size_t next_ = 0;

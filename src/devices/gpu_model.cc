@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "workloads/registry.hh"
+#include "workloads/trace_repo.hh"
 
 namespace mgmee {
 
@@ -13,7 +14,8 @@ makeGpuDevice(const std::string &workload_name, unsigned index,
     fatal_if(spec.kind != DeviceKind::GPU,
              "'%s' is not a GPU workload", workload_name.c_str());
     return Device("GPU:" + spec.name, DeviceKind::GPU, index,
-                  generateTrace(spec, base, seed, scale), spec.window);
+                  TraceRepo::instance().get(spec, base, seed, scale),
+                  spec.window);
 }
 
 } // namespace mgmee

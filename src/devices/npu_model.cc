@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "workloads/registry.hh"
+#include "workloads/trace_repo.hh"
 
 namespace mgmee {
 
@@ -13,7 +14,8 @@ makeNpuDevice(const std::string &workload_name, unsigned index,
     fatal_if(spec.kind != DeviceKind::NPU,
              "'%s' is not an NPU workload", workload_name.c_str());
     return Device("NPU:" + spec.name, DeviceKind::NPU, index,
-                  generateTrace(spec, base, seed, scale), spec.window);
+                  TraceRepo::instance().get(spec, base, seed, scale),
+                  spec.window);
 }
 
 } // namespace mgmee

@@ -3,17 +3,24 @@
 #include "baselines/static_best.hh"
 #include "common/logging.hh"
 #include "hetero/hetero_system.hh"
+#include "hetero/run_memo.hh"
 
 namespace mgmee {
+namespace {
 
+/**
+ * Run @p scheme on an already-built device set.  Devices replay
+ * shared immutable traces, so callers that sweep several schemes over
+ * one scenario copy a prototype vector instead of regenerating the
+ * traces per run.
+ */
 RunResult
-runScenario(const Scenario &scenario, Scheme scheme,
-            std::uint64_t seed, double scale,
-            const std::array<Granularity, 8> &static_gran)
+runWithDevices(std::vector<Device> devices, Scheme scheme,
+               std::size_t data_bytes,
+               const std::array<Granularity, 8> &static_gran)
 {
-    HeteroSystem sys(buildDevices(scenario, seed, scale),
-                     makeEngine(scheme, scenarioDataBytes(),
-                                static_gran));
+    HeteroSystem sys(std::move(devices),
+                     makeEngine(scheme, data_bytes, static_gran));
     sys.run();
 
     RunResult res;
@@ -24,6 +31,17 @@ runScenario(const Scenario &scenario, Scheme scheme,
     for (const auto &dev : sys.devices())
         res.requests += dev.requests();
     return res;
+}
+
+} // namespace
+
+RunResult
+runScenario(const Scenario &scenario, Scheme scheme,
+            std::uint64_t seed, double scale,
+            const std::array<Granularity, 8> &static_gran)
+{
+    return runWithDevices(buildDevices(scenario, seed, scale), scheme,
+                          scenarioDataBytes(), static_gran);
 }
 
 std::vector<double>
@@ -58,37 +76,51 @@ std::array<Granularity, 8>
 searchStaticBest(const Scenario &scenario, std::uint64_t seed,
                  double scale)
 {
-    // The search profiles a *separate* trace instance (same workload
-    // statistics, different seed): the paper notes the per-device
-    // technique "requires an expensive warmup process for each
-    // execution", i.e. the choice is made before the measured run.
-    const std::uint64_t profile_seed = seed ^ 0x9e37;
-    const RunResult unsec =
-        runScenario(scenario, Scheme::Unsecure, profile_seed, scale);
+    // The 5-run profile below is deterministic in (scenario, seed,
+    // scale), so the result is memoized process-wide: figure benches
+    // that sweep overlapping scenario sets pay for each search once.
+    return searchStaticBestMemo(scenario, seed, scale, [&] {
+        // The search profiles a *separate* trace instance (same
+        // workload statistics, different seed): the paper notes the
+        // per-device technique "requires an expensive warmup process
+        // for each execution", i.e. the choice is made before the
+        // measured run.
+        const std::uint64_t profile_seed = seed ^ 0x9e37;
 
-    // Sweep one shared granularity across all devices, then pick per
-    // device the granularity that minimised *its own* normalized
-    // time.  (The cross terms are second-order; the paper's search is
-    // also per-device.)
-    std::array<Granularity, 8> best{};
-    std::array<double, 8> best_score{};
-    best_score.fill(1e30);
+        // Hoisted out of the granularity loop: the protected-region
+        // size and one prototype device set.  Each run copies the
+        // prototype (a shared_ptr per trace) instead of regenerating
+        // four traces per granularity.
+        const std::size_t data_bytes = scenarioDataBytes();
+        const std::vector<Device> proto =
+            buildDevices(scenario, profile_seed, scale);
 
-    for (Granularity g : kAllGranularities) {
-        std::array<Granularity, 8> all;
-        all.fill(g);
-        const RunResult r = runScenario(
-            scenario, Scheme::StaticDeviceBest, profile_seed, scale,
-            all);
-        const auto per_dev = normalizedPerDevice(r, unsec);
-        for (std::size_t d = 0; d < per_dev.size(); ++d) {
-            if (per_dev[d] < best_score[d]) {
-                best_score[d] = per_dev[d];
-                best[d] = g;
+        const RunResult unsec = runWithDevices(
+            proto, Scheme::Unsecure, data_bytes, {});
+
+        // Sweep one shared granularity across all devices, then pick
+        // per device the granularity that minimised *its own*
+        // normalized time.  (The cross terms are second-order; the
+        // paper's search is also per-device.)
+        std::array<Granularity, 8> best{};
+        std::array<double, 8> best_score{};
+        best_score.fill(1e30);
+
+        for (Granularity g : kAllGranularities) {
+            std::array<Granularity, 8> all;
+            all.fill(g);
+            const RunResult r = runWithDevices(
+                proto, Scheme::StaticDeviceBest, data_bytes, all);
+            const auto per_dev = normalizedPerDevice(r, unsec);
+            for (std::size_t d = 0; d < per_dev.size(); ++d) {
+                if (per_dev[d] < best_score[d]) {
+                    best_score[d] = per_dev[d];
+                    best[d] = g;
+                }
             }
         }
-    }
-    return best;
+        return best;
+    });
 }
 
 } // namespace mgmee

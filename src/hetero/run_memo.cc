@@ -1,0 +1,219 @@
+#include "hetero/run_memo.hh"
+
+#include <atomic>
+#include <bit>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "workloads/trace_repo.hh"
+
+namespace mgmee {
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Everything that influences a simulation run.  The workload names
+ * are the identity of a scenario (ids are display labels and not
+ * guaranteed unique across callers).
+ */
+struct RunKey
+{
+    std::string cpu, gpu, npu1, npu2;
+    std::uint8_t scheme;
+    std::uint64_t seed;
+    std::uint64_t scale_bits;
+    std::uint64_t gran;  //!< packed per-device static granularities
+
+    bool
+    operator==(const RunKey &o) const
+    {
+        return scheme == o.scheme && seed == o.seed &&
+               scale_bits == o.scale_bits && gran == o.gran &&
+               cpu == o.cpu && gpu == o.gpu && npu1 == o.npu1 &&
+               npu2 == o.npu2;
+    }
+};
+
+struct RunKeyHash
+{
+    std::size_t
+    operator()(const RunKey &k) const
+    {
+        std::uint64_t h = std::hash<std::string>{}(k.cpu);
+        h = mix64(h ^ std::hash<std::string>{}(k.gpu));
+        h = mix64(h ^ std::hash<std::string>{}(k.npu1));
+        h = mix64(h ^ std::hash<std::string>{}(k.npu2));
+        h = mix64(h ^ (std::uint64_t{k.scheme} << 56) ^ k.seed);
+        h = mix64(h ^ k.scale_bits);
+        h = mix64(h ^ k.gran);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+std::uint64_t
+packGran(const std::array<Granularity, 8> &g)
+{
+    std::uint64_t packed = 0;
+    for (unsigned i = 0; i < g.size(); ++i)
+        packed |= std::uint64_t{static_cast<std::uint8_t>(g[i])}
+                  << (8 * i);
+    return packed;
+}
+
+/**
+ * Sharded key -> shared_future map.  The first requester of a key
+ * installs a future and computes outside the shard lock; concurrent
+ * requesters of the same key wait on the future, and requesters of
+ * other keys in the same shard are not blocked by the computation.
+ */
+template <typename Value>
+class FutureMemo
+{
+  public:
+    template <typename Compute>
+    Value
+    getOrCompute(const RunKey &key, std::atomic<std::uint64_t> &hits,
+                 std::atomic<std::uint64_t> &misses,
+                 Compute &&compute)
+    {
+        Shard &shard = shards_[RunKeyHash{}(key) % kShards];
+        std::promise<Value> prom;
+        std::shared_future<Value> fut;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                fut = it->second;
+                hits.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                fut = prom.get_future().share();
+                shard.map.emplace(key, fut);
+                owner = true;
+                misses.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        if (owner)
+            prom.set_value(compute());
+        return fut.get();
+    }
+
+    void
+    clear()
+    {
+        for (Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.map.clear();
+        }
+    }
+
+  private:
+    static constexpr unsigned kShards = 16;
+
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_map<RunKey, std::shared_future<Value>,
+                           RunKeyHash>
+            map;
+    };
+
+    Shard shards_[kShards];
+};
+
+struct MemoState
+{
+    FutureMemo<RunResult> runs;
+    FutureMemo<std::array<Granularity, 8>> searches;
+    std::atomic<std::uint64_t> run_hits{0};
+    std::atomic<std::uint64_t> run_misses{0};
+    std::atomic<std::uint64_t> search_hits{0};
+    std::atomic<std::uint64_t> search_misses{0};
+};
+
+MemoState &
+state()
+{
+    static MemoState s;
+    return s;
+}
+
+RunKey
+makeKey(const Scenario &sc, Scheme scheme, std::uint64_t seed,
+        double scale, std::uint64_t gran)
+{
+    return RunKey{sc.cpu,
+                  sc.gpu,
+                  sc.npu1,
+                  sc.npu2,
+                  static_cast<std::uint8_t>(scheme),
+                  seed,
+                  std::bit_cast<std::uint64_t>(scale),
+                  gran};
+}
+
+} // namespace
+
+RunResult
+runScenarioMemo(const Scenario &scenario, Scheme scheme,
+                std::uint64_t seed, double scale,
+                const std::array<Granularity, 8> &static_gran)
+{
+    if (!memoEnabled())
+        return runScenario(scenario, scheme, seed, scale,
+                           static_gran);
+    // The granularity array only reaches the engine for
+    // StaticDeviceBest; keying it unconditionally is still correct,
+    // merely finer than needed for the other schemes.
+    MemoState &s = state();
+    return s.runs.getOrCompute(
+        makeKey(scenario, scheme, seed, scale, packGran(static_gran)),
+        s.run_hits, s.run_misses, [&] {
+            return runScenario(scenario, scheme, seed, scale,
+                               static_gran);
+        });
+}
+
+std::array<Granularity, 8>
+searchStaticBestMemo(const Scenario &scenario, std::uint64_t seed,
+                     double scale,
+                     const std::function<std::array<Granularity, 8>()>
+                         &compute)
+{
+    if (!memoEnabled())
+        return compute();
+    MemoState &s = state();
+    return s.searches.getOrCompute(
+        makeKey(scenario, Scheme::StaticDeviceBest, seed, scale, 0),
+        s.search_hits, s.search_misses, compute);
+}
+
+RunMemoStats
+runMemoStats()
+{
+    const MemoState &s = state();
+    return {s.run_hits.load(), s.run_misses.load(),
+            s.search_hits.load(), s.search_misses.load()};
+}
+
+void
+runMemoClear()
+{
+    MemoState &s = state();
+    s.runs.clear();
+    s.searches.clear();
+}
+
+} // namespace mgmee

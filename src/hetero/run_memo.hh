@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Process-wide memo for (scenario, scheme) simulation results.
+ *
+ * The figure benches sweep heavily overlapping (scenario, scheme)
+ * grids: every sweep re-runs the per-scenario Unsecure baseline, and
+ * the static-best search re-profiles the same five runs per scenario.
+ * Simulations are deterministic (pinned by tests/hetero_test.cc and
+ * tests/sweep_memo_test.cc), so a completed run can be replayed from
+ * a cache keyed by everything that influences it: the four workload
+ * names, the scheme, the seed, the trace scale, and the per-device
+ * static granularities.
+ *
+ * The memo is sharded (16 mutexes) and publishes results through
+ * `std::shared_future`, so concurrent sweep workers asking for the
+ * same run block on the first computation instead of duplicating it.
+ * `MGMEE_MEMO=0` (see workloads/trace_repo.hh) disables the layer;
+ * results are bit-identical either way.
+ */
+
+#ifndef MGMEE_HETERO_RUN_MEMO_HH
+#define MGMEE_HETERO_RUN_MEMO_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "hetero/metrics.hh"
+
+namespace mgmee {
+
+/**
+ * Memoized front-end to the scenario runner: returns the cached
+ * RunResult for the key, computing (and publishing) it on first use.
+ * Falls back to a direct uncached run when `MGMEE_MEMO=0`.
+ */
+RunResult runScenarioMemo(const Scenario &scenario, Scheme scheme,
+                          std::uint64_t seed, double scale,
+                          const std::array<Granularity, 8>
+                              &static_gran = {});
+
+/**
+ * Memoized static-best search keyed by (scenario workloads, seed,
+ * scale); @p compute runs once per key per process.  Called by
+ * searchStaticBest (hetero/metrics.cc), which owns the actual
+ * profiling sweep.
+ */
+std::array<Granularity, 8>
+searchStaticBestMemo(const Scenario &scenario, std::uint64_t seed,
+                     double scale,
+                     const std::function<std::array<Granularity, 8>()>
+                         &compute);
+
+/** Hit/miss counters of both memo tables. */
+struct RunMemoStats
+{
+    std::uint64_t run_hits = 0;
+    std::uint64_t run_misses = 0;
+    std::uint64_t search_hits = 0;
+    std::uint64_t search_misses = 0;
+};
+
+/** Snapshot of the memo counters (bench/test introspection). */
+RunMemoStats runMemoStats();
+
+/** Drop every cached result (bench cold-start control). */
+void runMemoClear();
+
+} // namespace mgmee
+
+#endif // MGMEE_HETERO_RUN_MEMO_HH

@@ -4,57 +4,151 @@
 
 namespace mgmee {
 
+// ---- FlatLruIndex -------------------------------------------------------
+
+namespace {
+
+/** splitmix64 finalizer keeps clustered unit addresses spread. */
+std::uint64_t
+hashAddr(Addr key)
+{
+    std::uint64_t x = key;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+FlatLruIndex::FlatLruIndex(unsigned entries)
+{
+    std::size_t slots = 16;
+    while (slots < 4 * static_cast<std::size_t>(std::max(1u, entries)))
+        slots *= 2;
+    cells_.resize(slots);
+    mask_ = slots - 1;
+}
+
+std::size_t
+FlatLruIndex::probeStart(Addr key) const
+{
+    return static_cast<std::size_t>(hashAddr(key)) & mask_;
+}
+
+std::uint32_t
+FlatLruIndex::find(Addr key) const
+{
+    for (std::size_t i = probeStart(key);; i = (i + 1) & mask_) {
+        const Cell &c = cells_[i];
+        if (c.state == kEmpty)
+            return kInvalid;
+        if (c.state == kUsed && c.key == key)
+            return c.slot;
+    }
+}
+
+void
+FlatLruIndex::insert(Addr key, std::uint32_t slot)
+{
+    for (std::size_t i = probeStart(key);; i = (i + 1) & mask_) {
+        Cell &c = cells_[i];
+        if (c.state == kUsed)
+            continue;
+        if (c.state == kTomb)
+            --tombs_;
+        c = {key, slot, kUsed};
+        ++used_;
+        return;
+    }
+}
+
+void
+FlatLruIndex::erase(Addr key)
+{
+    for (std::size_t i = probeStart(key);; i = (i + 1) & mask_) {
+        Cell &c = cells_[i];
+        if (c.state == kEmpty)
+            return;
+        if (c.state == kUsed && c.key == key) {
+            c.state = kTomb;
+            --used_;
+            ++tombs_;
+            break;
+        }
+    }
+    // Tombstones lengthen every future probe; once a quarter of the
+    // table is dead, rehash the live cells into a clean table.
+    if (tombs_ > cells_.size() / 4)
+        rebuild();
+}
+
+void
+FlatLruIndex::rebuild()
+{
+    std::vector<Cell> live;
+    live.reserve(used_);
+    for (const Cell &c : cells_)
+        if (c.state == kUsed)
+            live.push_back(c);
+    for (Cell &c : cells_)
+        c = Cell{};
+    used_ = 0;
+    tombs_ = 0;
+    for (const Cell &c : live)
+        insert(c.key, c.slot);
+}
+
 // ---- UnitBuffer ---------------------------------------------------------
 
 bool
 UnitBuffer::contains(Addr unit_base, Cycle now)
 {
-    auto it = map_.find(unit_base);
-    if (it == map_.end())
+    const std::uint32_t slot = pool_.find(unit_base);
+    if (slot == FlatLruPool<Entry>::kNil)
         return false;
-    if (now - it->second->stamp > window_) {
-        lru_.erase(it->second);
-        map_.erase(it);
+    Entry &e = pool_.at(slot);
+    if (now - e.stamp > window_) {
+        pool_.erase(slot);
         return false;
     }
-    it->second->stamp = now;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    e.stamp = now;
+    pool_.touch(slot);
     return true;
 }
 
 Cycle
 UnitBuffer::transferDone(Addr unit_base) const
 {
-    auto it = map_.find(unit_base);
-    return it == map_.end() ? 0 : it->second->done;
+    const std::uint32_t slot = pool_.find(unit_base);
+    return slot == FlatLruPool<Entry>::kNil ? 0
+                                            : pool_.at(slot).done;
 }
 
 void
 UnitBuffer::insert(Addr unit_base, Cycle now, Cycle done)
 {
-    auto it = map_.find(unit_base);
-    if (it != map_.end()) {
-        it->second->stamp = now;
-        it->second->done = done;
-        lru_.splice(lru_.begin(), lru_, it->second);
+    const std::uint32_t slot = pool_.find(unit_base);
+    if (slot != FlatLruPool<Entry>::kNil) {
+        Entry &e = pool_.at(slot);
+        e.stamp = now;
+        e.done = done;
+        pool_.touch(slot);
         return;
     }
-    if (map_.size() >= entries_) {
-        map_.erase(lru_.back().unit);
-        lru_.pop_back();
-    }
-    lru_.push_front({unit_base, now, done});
-    map_[unit_base] = lru_.begin();
+    if (pool_.full())
+        pool_.erase(pool_.lru());
+    pool_.insert({unit_base, now, done});
 }
 
 void
 UnitBuffer::invalidate(Addr unit_base)
 {
-    auto it = map_.find(unit_base);
-    if (it == map_.end())
-        return;
-    lru_.erase(it->second);
-    map_.erase(it);
+    const std::uint32_t slot = pool_.find(unit_base);
+    if (slot != FlatLruPool<Entry>::kNil)
+        pool_.erase(slot);
 }
 
 // ---- WriteGather --------------------------------------------------------
@@ -72,43 +166,37 @@ WriteGather::add(Addr unit_base, std::uint64_t unit_lines,
                  std::vector<Incomplete> &out)
 {
     // Lazily expire stale gathers from the LRU tail.
-    while (!lru_.empty() && now - lru_.back().start > window_) {
-        close(lru_.back(), out);
-        map_.erase(lru_.back().unit);
-        lru_.pop_back();
+    while (!pool_.empty() &&
+           now - pool_.at(pool_.lru()).start > window_) {
+        close(pool_.at(pool_.lru()), out);
+        pool_.erase(pool_.lru());
     }
 
-    auto it = map_.find(unit_base);
-    if (it == map_.end()) {
-        if (map_.size() >= entries_) {
-            close(lru_.back(), out);
-            map_.erase(lru_.back().unit);
-            lru_.pop_back();
+    std::uint32_t slot = pool_.find(unit_base);
+    if (slot == FlatLruPool<Entry>::kNil) {
+        if (pool_.full()) {
+            close(pool_.at(pool_.lru()), out);
+            pool_.erase(pool_.lru());
         }
-        lru_.push_front({unit_base, now, unit_lines, 0});
-        map_[unit_base] = lru_.begin();
-        it = map_.find(unit_base);
+        slot = pool_.insert({unit_base, now, unit_lines, 0});
     } else {
-        lru_.splice(lru_.begin(), lru_, it->second);
+        pool_.touch(slot);
     }
 
-    Entry &e = *it->second;
+    Entry &e = pool_.at(slot);
     e.written = std::min(e.total, e.written + lines);
     if (e.written >= e.total) {
         // Fully gathered: the unit is rewritten wholesale, no RMW.
-        lru_.erase(it->second);
-        map_.erase(it);
+        pool_.erase(slot);
     }
 }
 
 void
 WriteGather::discard(Addr unit_base)
 {
-    auto it = map_.find(unit_base);
-    if (it == map_.end())
-        return;
-    lru_.erase(it->second);
-    map_.erase(it);
+    const std::uint32_t slot = pool_.find(unit_base);
+    if (slot != FlatLruPool<Entry>::kNil)
+        pool_.erase(slot);
 }
 
 // ---- MeeTimingBase ------------------------------------------------------

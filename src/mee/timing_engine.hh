@@ -17,7 +17,6 @@
 #define MGMEE_MEE_TIMING_ENGINE_HH
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -76,6 +75,158 @@ struct TimingConfig
 };
 
 /**
+ * Open-addressed unit-address -> pool-slot index for the flat LRU
+ * structures below: linear probing, power-of-two capacity, tombstone
+ * deletion with a full rebuild once tombstones accumulate.  Together
+ * with FlatLruPool this replaces the std::list + std::unordered_map
+ * pairs whose per-node allocations and pointer chasing sat on the
+ * per-access hot path (same flat-array discipline as cache/cache.hh).
+ */
+class FlatLruIndex
+{
+  public:
+    static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+    /** Sized so @p entries keys stay under ~25% load. */
+    explicit FlatLruIndex(unsigned entries);
+
+    /** Slot bound to @p key, or kInvalid. */
+    std::uint32_t find(Addr key) const;
+
+    /** Bind @p key to @p slot (key must not be present). */
+    void insert(Addr key, std::uint32_t slot);
+
+    /** Unbind @p key (no-op if absent). */
+    void erase(Addr key);
+
+  private:
+    enum : std::uint8_t { kEmpty = 0, kUsed = 1, kTomb = 2 };
+
+    struct Cell
+    {
+        Addr key = 0;
+        std::uint32_t slot = 0;
+        std::uint8_t state = kEmpty;
+    };
+
+    std::size_t probeStart(Addr key) const;
+    void rebuild();
+
+    std::vector<Cell> cells_;  //!< power-of-two size
+    std::size_t mask_;
+    std::size_t used_ = 0;
+    std::size_t tombs_ = 0;
+};
+
+/**
+ * Fixed-capacity entry pool with an intrusive MRU->LRU chain and a
+ * FlatLruIndex for lookup.  All state lives in two flat arrays; every
+ * operation is O(1) and allocation-free after construction.  Entry
+ * types must expose an `Addr unit` member (the key).
+ */
+template <typename Entry>
+class FlatLruPool
+{
+  public:
+    static constexpr std::uint32_t kNil = FlatLruIndex::kInvalid;
+
+    explicit FlatLruPool(unsigned entries)
+        : entries_(std::max(1u, entries)), pool_(entries_),
+          links_(entries_), index_(entries_)
+    {
+        // Free-slot stack: slot 0 allocated first.
+        free_.reserve(entries_);
+        for (unsigned i = entries_; i-- > 0;)
+            free_.push_back(i);
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ >= entries_; }
+
+    std::uint32_t find(Addr unit) const { return index_.find(unit); }
+    std::uint32_t lru() const { return tail_; }
+
+    Entry &at(std::uint32_t slot) { return pool_[slot]; }
+    const Entry &at(std::uint32_t slot) const { return pool_[slot]; }
+
+    /** Move @p slot to the MRU end of the chain. */
+    void
+    touch(std::uint32_t slot)
+    {
+        if (head_ == slot)
+            return;
+        unlink(slot);
+        pushFront(slot);
+    }
+
+    /** Insert @p e (keyed by e.unit); caller ensures !full(). */
+    std::uint32_t
+    insert(const Entry &e)
+    {
+        const std::uint32_t slot = free_.back();
+        free_.pop_back();
+        pool_[slot] = e;
+        pushFront(slot);
+        index_.insert(e.unit, slot);
+        ++size_;
+        return slot;
+    }
+
+    /** Remove @p slot: unlink, unbind its key, recycle the slot. */
+    void
+    erase(std::uint32_t slot)
+    {
+        index_.erase(pool_[slot].unit);
+        unlink(slot);
+        free_.push_back(slot);
+        --size_;
+    }
+
+  private:
+    struct Links
+    {
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    void
+    unlink(std::uint32_t slot)
+    {
+        Links &l = links_[slot];
+        if (l.prev != kNil)
+            links_[l.prev].next = l.next;
+        else
+            head_ = l.next;
+        if (l.next != kNil)
+            links_[l.next].prev = l.prev;
+        else
+            tail_ = l.prev;
+    }
+
+    void
+    pushFront(std::uint32_t slot)
+    {
+        Links &l = links_[slot];
+        l.prev = kNil;
+        l.next = head_;
+        if (head_ != kNil)
+            links_[head_].prev = slot;
+        head_ = slot;
+        if (tail_ == kNil)
+            tail_ = slot;
+    }
+
+    unsigned entries_;
+    std::vector<Entry> pool_;
+    std::vector<Links> links_;
+    std::vector<std::uint32_t> free_;
+    std::uint32_t head_ = kNil;
+    std::uint32_t tail_ = kNil;
+    unsigned size_ = 0;
+    FlatLruIndex index_;
+};
+
+/**
  * Tracks coarse protection units whose bulk fetch+verification is
  * still fresh; further line accesses inside the window ride the
  * transfer already in flight instead of re-fetching -- but their
@@ -85,7 +236,7 @@ class UnitBuffer
 {
   public:
     UnitBuffer(unsigned entries, Cycle window)
-        : entries_(entries), window_(window) {}
+        : window_(window), pool_(entries) {}
 
     /** True if @p unit_base was validated within the window. */
     bool contains(Addr unit_base, Cycle now);
@@ -110,10 +261,8 @@ class UnitBuffer
         Cycle done = 0;    //!< bulk-transfer completion
     };
 
-    unsigned entries_;
     Cycle window_;
-    std::list<Entry> lru_;  //!< front = MRU
-    std::unordered_map<Addr, std::list<Entry>::iterator> map_;
+    FlatLruPool<Entry> pool_;
 };
 
 /**
@@ -129,7 +278,7 @@ class WriteGather
 {
   public:
     WriteGather(unsigned entries, Cycle window)
-        : entries_(entries), window_(window) {}
+        : window_(window), pool_(entries) {}
 
     /** A unit that closed with incomplete coverage (owes an RMW). */
     struct Incomplete
@@ -162,10 +311,8 @@ class WriteGather
 
     void close(const Entry &e, std::vector<Incomplete> &out);
 
-    unsigned entries_;
     Cycle window_;
-    std::list<Entry> lru_;  //!< front = MRU
-    std::unordered_map<Addr, std::list<Entry>::iterator> map_;
+    FlatLruPool<Entry> pool_;
 };
 
 /** Abstract protection engine as seen by the hetero system. */

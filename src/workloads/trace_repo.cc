@@ -1,0 +1,95 @@
+#include "workloads/trace_repo.hh"
+
+#include <bit>
+
+namespace mgmee {
+
+namespace {
+
+/** splitmix64 finalizer: cheap, well-mixed 64-bit hash step. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::size_t
+TraceRepo::KeyHash::operator()(const Key &k) const
+{
+    std::uint64_t h = std::hash<std::string>{}(k.workload);
+    h = mix64(h ^ k.base);
+    h = mix64(h ^ k.seed);
+    h = mix64(h ^ k.scale_bits);
+    return static_cast<std::size_t>(h);
+}
+
+TraceRepo &
+TraceRepo::instance()
+{
+    static TraceRepo repo;
+    return repo;
+}
+
+TraceRepo::Shard &
+TraceRepo::shardFor(const Key &k)
+{
+    return shards_[KeyHash{}(k) % kShards];
+}
+
+std::shared_ptr<const Trace>
+TraceRepo::get(const WorkloadSpec &spec, Addr base,
+               std::uint64_t seed, double scale)
+{
+    if (!memoEnabled()) {
+        // Pre-memoization path: a private trace per device.
+        return std::make_shared<const Trace>(
+            generateTrace(spec, base, seed, scale));
+    }
+
+    Key key{spec.name, base, seed,
+            std::bit_cast<std::uint64_t>(scale)};
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+    // Generate under the shard lock: concurrent requesters of the
+    // same trace wait instead of duplicating the work, and the cache
+    // holds exactly one instance per key for the process lifetime.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto trace = std::make_shared<const Trace>(
+        generateTrace(spec, base, seed, scale));
+    shard.map.emplace(std::move(key), trace);
+    return trace;
+}
+
+void
+TraceRepo::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.clear();
+    }
+}
+
+std::size_t
+TraceRepo::size() const
+{
+    std::size_t n = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+} // namespace mgmee

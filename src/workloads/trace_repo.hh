@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Process-wide shared trace repository.
+ *
+ * The 250-scenario sweeps draw from only 14 workloads, yet every
+ * `runScenario` call used to regenerate all four device traces from
+ * scratch -- per scheme, per scenario, per figure bench.  The repo
+ * memoizes `generateTrace` behind a sharded, thread-safe cache keyed
+ * by (workload, base, seed, scale); devices hold
+ * `std::shared_ptr<const Trace>`, so one generated trace backs every
+ * simultaneous replay.  This is the sweep-layer analogue of the
+ * paper's amortize-the-metadata idea: generate once, share widely.
+ *
+ * The `MGMEE_MEMO` knob (default on; set `MGMEE_MEMO=0` to disable)
+ * forces the pre-memoization path: every lookup regenerates a private
+ * trace.  Generation is deterministic, so both paths yield
+ * byte-identical traces -- tests/sweep_memo_test.cc pins this.
+ */
+
+#ifndef MGMEE_WORKLOADS_TRACE_REPO_HH
+#define MGMEE_WORKLOADS_TRACE_REPO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "workloads/trace_gen.hh"
+
+namespace mgmee {
+
+/**
+ * True unless the environment sets `MGMEE_MEMO=0`.  Gates the trace
+ * repo and the run-result memo (hetero/run_memo.hh) together so one
+ * knob flips the whole sweep-layer caching stack.
+ */
+inline bool
+memoEnabled()
+{
+    const char *s = std::getenv("MGMEE_MEMO");
+    return !s || std::atoi(s) != 0;
+}
+
+/** Sharded, thread-safe cache of generated traces. */
+class TraceRepo
+{
+  public:
+    /** The process-wide instance used by the device factories. */
+    static TraceRepo &instance();
+
+    /**
+     * Fetch (generating on first use) the trace for @p spec at
+     * (@p base, @p seed, @p scale).  With memoization disabled the
+     * call degenerates to a plain `generateTrace`.
+     */
+    std::shared_ptr<const Trace> get(const WorkloadSpec &spec,
+                                     Addr base, std::uint64_t seed,
+                                     double scale);
+
+    /** Drop every cached trace (bench cold-start control). */
+    void clear();
+
+    /** Number of distinct traces currently cached. */
+    std::size_t size() const;
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+  private:
+    struct Key
+    {
+        std::string workload;
+        Addr base;
+        std::uint64_t seed;
+        std::uint64_t scale_bits;  //!< bit pattern of the double
+
+        bool
+        operator==(const Key &o) const
+        {
+            return base == o.base && seed == o.seed &&
+                   scale_bits == o.scale_bits &&
+                   workload == o.workload;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &k) const;
+    };
+
+    /**
+     * 16 shards keep concurrent sweep workers off each other's locks;
+     * a shard's mutex is held across generation so every trace is
+     * computed exactly once per process.
+     */
+    static constexpr unsigned kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<Key, std::shared_ptr<const Trace>, KeyHash>
+            map;
+    };
+
+    Shard &shardFor(const Key &k);
+
+    Shard shards_[kShards];
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_WORKLOADS_TRACE_REPO_HH

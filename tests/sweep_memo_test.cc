@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Contracts of the sweep-layer memoization stack (ISSUE 2):
+ *
+ *  (a) TraceRepo hands out traces byte-identical to a direct
+ *      `generateTrace` call, and one shared instance per key;
+ *  (b) a repeated `runSweep` is bit-exact across `MGMEE_MEMO=1`
+ *      (cold and warm) and `MGMEE_MEMO=0`;
+ *  (c) concurrent repo access from many workers is race-free: every
+ *      thread observes the same shared trace object.
+ *
+ * Run the binary under `-fsanitize=thread` for a stronger version of
+ * (c); the plain asserts here are the portable ctest gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "hetero/hetero_system.hh"
+#include "hetero/run_memo.hh"
+#include "workloads/registry.hh"
+#include "workloads/trace_repo.hh"
+
+namespace mgmee {
+namespace {
+
+using bench::SweepStats;
+
+/** Scoped MGMEE_MEMO override; restores the prior value on exit. */
+class MemoEnv
+{
+  public:
+    explicit MemoEnv(const char *value)
+    {
+        const char *old = std::getenv("MGMEE_MEMO");
+        had_old_ = old != nullptr;
+        if (had_old_)
+            old_ = old;
+        if (value)
+            setenv("MGMEE_MEMO", value, 1);
+        else
+            unsetenv("MGMEE_MEMO");
+    }
+
+    ~MemoEnv()
+    {
+        if (had_old_)
+            setenv("MGMEE_MEMO", old_.c_str(), 1);
+        else
+            unsetenv("MGMEE_MEMO");
+    }
+
+  private:
+    bool had_old_;
+    std::string old_;
+};
+
+bool
+tracesEqual(const Trace &a, const Trace &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].addr != b[i].addr || a[i].bytes != b[i].bytes ||
+            a[i].is_write != b[i].is_write || a[i].gap != b[i].gap) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<Scenario>
+smallScenarioSet(std::size_t n)
+{
+    std::vector<Scenario> all = allScenarios();
+    std::vector<Scenario> subset;
+    for (std::size_t i = 0; i < n; ++i)
+        subset.push_back(all[i * all.size() / n]);
+    return subset;
+}
+
+bool
+sweepEqual(const std::vector<SweepStats> &a,
+           const std::vector<SweepStats> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].exec_norm != b[i].exec_norm ||
+            a[i].traffic_norm != b[i].traffic_norm ||
+            a[i].misses != b[i].misses) {
+            return false;
+        }
+    }
+    return true;
+}
+
+TEST(TraceRepoTest, MatchesDirectGeneration)
+{
+    MemoEnv memo("1");
+    TraceRepo::instance().clear();
+    for (const char *name : {"mcf", "sten", "ncf"}) {
+        const WorkloadSpec &spec = findWorkload(name);
+        const auto shared = TraceRepo::instance().get(
+            spec, 2 * kDeviceStride, 17, 0.3);
+        const Trace direct =
+            generateTrace(spec, 2 * kDeviceStride, 17, 0.3);
+        ASSERT_TRUE(shared != nullptr);
+        EXPECT_TRUE(tracesEqual(*shared, direct)) << name;
+    }
+}
+
+TEST(TraceRepoTest, SharesOneInstancePerKey)
+{
+    MemoEnv memo("1");
+    TraceRepo::instance().clear();
+    const WorkloadSpec &spec = findWorkload("dlrm");
+    const auto a = TraceRepo::instance().get(spec, 0, 5, 0.25);
+    const auto b = TraceRepo::instance().get(spec, 0, 5, 0.25);
+    EXPECT_EQ(a.get(), b.get());  // same object, not a copy
+
+    // Different key components must yield different traces.
+    const auto other_seed = TraceRepo::instance().get(spec, 0, 6,
+                                                      0.25);
+    const auto other_base =
+        TraceRepo::instance().get(spec, kDeviceStride, 5, 0.25);
+    EXPECT_NE(a.get(), other_seed.get());
+    EXPECT_NE(a.get(), other_base.get());
+}
+
+TEST(TraceRepoTest, DisabledMemoStillByteIdentical)
+{
+    MemoEnv memo("0");
+    const WorkloadSpec &spec = findWorkload("alex");
+    const auto a = TraceRepo::instance().get(spec, 0, 3, 0.2);
+    const auto b = TraceRepo::instance().get(spec, 0, 3, 0.2);
+    EXPECT_NE(a.get(), b.get());  // private instances
+    EXPECT_TRUE(tracesEqual(*a, *b));
+    EXPECT_TRUE(
+        tracesEqual(*a, generateTrace(spec, 0, 3, 0.2)));
+}
+
+TEST(SweepMemoTest, MemoOnOffBitExact)
+{
+    const std::vector<Scenario> scenarios = smallScenarioSet(4);
+    const std::vector<Scheme> schemes = {Scheme::Conventional,
+                                         Scheme::Ours};
+    constexpr double kScale = 0.05;
+    constexpr std::uint64_t kSeed = 1;
+
+    std::vector<SweepStats> memo_cold, memo_warm, plain;
+    {
+        MemoEnv memo("1");
+        TraceRepo::instance().clear();
+        runMemoClear();
+        memo_cold = bench::runSweep(scenarios, schemes, kScale, kSeed);
+        // Second sweep is served from the memo.
+        memo_warm = bench::runSweep(scenarios, schemes, kScale, kSeed);
+    }
+    {
+        MemoEnv memo("0");
+        plain = bench::runSweep(scenarios, schemes, kScale, kSeed);
+    }
+
+    EXPECT_TRUE(sweepEqual(memo_cold, memo_warm));
+    EXPECT_TRUE(sweepEqual(memo_cold, plain));
+}
+
+TEST(SweepMemoTest, StaticBestSearchMemoBitExact)
+{
+    const std::vector<Scenario> scenarios = smallScenarioSet(2);
+    const std::vector<Scheme> schemes = {Scheme::StaticDeviceBest};
+    constexpr double kScale = 0.05;
+
+    std::vector<SweepStats> with_memo, without;
+    {
+        MemoEnv memo("1");
+        TraceRepo::instance().clear();
+        runMemoClear();
+        with_memo = bench::runSweep(scenarios, schemes, kScale, 1,
+                                    /*use_static_best_search=*/true);
+    }
+    {
+        MemoEnv memo("0");
+        without = bench::runSweep(scenarios, schemes, kScale, 1,
+                                  /*use_static_best_search=*/true);
+    }
+    EXPECT_TRUE(sweepEqual(with_memo, without));
+}
+
+TEST(SweepMemoTest, RunMemoCountsHitsOnRepeat)
+{
+    MemoEnv memo("1");
+    runMemoClear();
+    const Scenario sc = selectedScenarios()[0];
+    const RunResult a = runScenarioMemo(sc, Scheme::Conventional, 7,
+                                        0.05);
+    const RunMemoStats before = runMemoStats();
+    const RunResult b = runScenarioMemo(sc, Scheme::Conventional, 7,
+                                        0.05);
+    const RunMemoStats after = runMemoStats();
+    EXPECT_EQ(a.device_finish, b.device_finish);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_EQ(a.security_misses, b.security_misses);
+    EXPECT_EQ(before.run_hits + 1, after.run_hits);
+    EXPECT_EQ(before.run_misses, after.run_misses);
+}
+
+TEST(TraceRepoTest, ConcurrentAccessIsRaceFree)
+{
+    MemoEnv memo("1");
+    TraceRepo::instance().clear();
+
+    // The worker count mirrors the sweep fan-out (MGMEE_THREADS).
+    const unsigned workers = std::max(4u, bench::envThreads());
+    constexpr unsigned kItersPerWorker = 32;
+    const WorkloadSpec &cpu = findWorkload("gcc");
+    const WorkloadSpec &gpu = findWorkload("pr");
+    const WorkloadSpec &npu = findWorkload("sfrnn");
+
+    std::vector<std::shared_ptr<const Trace>> first(workers);
+    std::vector<std::thread> pool;
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w]() {
+            for (unsigned i = 0; i < kItersPerWorker; ++i) {
+                const auto a = TraceRepo::instance().get(cpu, 0, 11,
+                                                         0.1);
+                const auto b = TraceRepo::instance().get(
+                    gpu, kDeviceStride, 11, 0.1);
+                const auto c = TraceRepo::instance().get(
+                    npu, 2 * kDeviceStride, 11, 0.1);
+                (void)b;
+                (void)c;
+                if (i == 0)
+                    first[w] = a;
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+
+    // Every worker got the same shared instance for the same key.
+    for (unsigned w = 1; w < workers; ++w)
+        EXPECT_EQ(first[0].get(), first[w].get());
+    EXPECT_TRUE(tracesEqual(*first[0],
+                            generateTrace(cpu, 0, 11, 0.1)));
+}
+
+TEST(SweepMemoTest, MemoKnobParses)
+{
+    {
+        MemoEnv memo(nullptr);
+        EXPECT_TRUE(memoEnabled());  // default: on
+    }
+    {
+        MemoEnv memo("0");
+        EXPECT_FALSE(memoEnabled());
+    }
+    {
+        MemoEnv memo("1");
+        EXPECT_TRUE(memoEnabled());
+    }
+}
+
+} // namespace
+} // namespace mgmee
