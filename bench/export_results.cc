@@ -5,7 +5,9 @@
  * scripts/plot_results.py (or your plotting tool of choice) to
  * regenerate the paper's figures as charts.
  *
- * Output: results/sweep.csv (override with MGMEE_RESULTS_DIR).
+ * Output: results/sweep.csv plus a run manifest
+ * (results/manifest_export_results.json); override the directory
+ * with MGMEE_RESULTS_DIR.
  */
 
 #include <cstdio>
@@ -14,6 +16,7 @@
 #include <sys/stat.h>
 
 #include "bench/bench_util.hh"
+#include "obs/manifest.hh"
 
 using namespace mgmee;
 
@@ -44,6 +47,7 @@ main()
     const std::uint64_t seed = bench::envSeed();
 
     std::size_t done = 0;
+    Histogram miss_hist;
     for (const Scenario &sc : scenarios) {
         const RunResult unsec =
             runScenarioMemo(sc, Scheme::Unsecure, seed, scale);
@@ -56,6 +60,7 @@ main()
                 << static_cast<double>(r.total_bytes) /
                        static_cast<double>(unsec.total_bytes)
                 << ',' << r.security_misses << '\n';
+            miss_hist.record(r.security_misses);
         }
         if (++done % 50 == 0) {
             std::printf("  %zu/%zu scenarios\n", done,
@@ -64,5 +69,21 @@ main()
     }
     std::printf("wrote %s (%zu scenarios x %zu schemes)\n",
                 path.c_str(), scenarios.size(), schemes.size());
+
+    obs::Manifest manifest("export_results");
+    manifest.set("csv", path);
+    manifest.set("scenarios",
+                 static_cast<std::uint64_t>(scenarios.size()));
+    manifest.set("schemes",
+                 static_cast<std::uint64_t>(schemes.size()));
+    manifest.set("scale", scale);
+    manifest.set("seed", seed);
+    manifest.addHistogram("security_misses", miss_hist);
+    manifest.captureRegistry();
+    manifest.captureProfiler();
+    manifest.captureTraceSummary();
+    const std::string mpath = manifest.write(dir);
+    if (!mpath.empty())
+        std::printf("wrote %s\n", mpath.c_str());
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "obs/manifest.hh"
 #include "workloads/registry.hh"
 
 using namespace mgmee;
@@ -24,6 +25,8 @@ main()
     std::printf("%-8s %-4s   %6s  %6s  %6s  %6s\n", "workload", "dev",
                 "64B", "512B", "4KB", "32KB");
 
+    obs::Manifest manifest("fig04_stream_chunks");
+    std::uint64_t all_lines[4] = {0, 0, 0, 0};
     double npu_lines[4] = {0, 0, 0, 0};
     for (const WorkloadSpec &spec : allWorkloads()) {
         const Trace trace = generateTrace(spec, 0, bench::envSeed(),
@@ -37,6 +40,14 @@ main()
                     100.0 * p.lines512 / total,
                     100.0 * p.lines4k / total,
                     100.0 * p.lines32k / total);
+        manifest.set(spec.name + "_lines64", p.lines64);
+        manifest.set(spec.name + "_lines512", p.lines512);
+        manifest.set(spec.name + "_lines4k", p.lines4k);
+        manifest.set(spec.name + "_lines32k", p.lines32k);
+        all_lines[0] += p.lines64;
+        all_lines[1] += p.lines512;
+        all_lines[2] += p.lines4k;
+        all_lines[3] += p.lines32k;
         if (spec.kind == DeviceKind::NPU && spec.name != "yt") {
             npu_lines[0] += static_cast<double>(p.lines64);
             npu_lines[1] += static_cast<double>(p.lines512);
@@ -50,5 +61,20 @@ main()
     std::printf("\nNPU aggregate 32KB share: %.1f%% "
                 "(paper: 64.5%%)\n",
                 100.0 * npu_lines[3] / npu_total);
+
+    // Class totals across all workloads: with MGMEE_TRACE set, the
+    // decoded StreamChunk events must sum to exactly these (the CI
+    // smoke step cross-checks via tools/mgmee-trace-stats).
+    manifest.set("total_lines64", all_lines[0]);
+    manifest.set("total_lines512", all_lines[1]);
+    manifest.set("total_lines4k", all_lines[2]);
+    manifest.set("total_lines32k", all_lines[3]);
+    manifest.set("npu_32k_share", 100.0 * npu_lines[3] / npu_total);
+    manifest.captureRegistry();
+    manifest.captureProfiler();
+    manifest.captureTraceSummary();
+    const std::string path = manifest.write();
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
     return 0;
 }

@@ -14,8 +14,8 @@
  *    verified-ancestor cache.
  *
  * Both must agree (every verify returns Ok), and the harness writes
- * `results/bench_hotpath.json` so future PRs have a wall-clock
- * trajectory for the hot path.  Phases:
+ * `results/manifest_micro_tree_walk.json` (obs::Manifest) so future
+ * PRs have a wall-clock trajectory for the hot path.  Phases:
  *
  *   write_burst   8 sequential counter updates per verify (lazy MAC
  *                 refresh coalesces the shared ancestors)
@@ -30,7 +30,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +37,7 @@
 #include "common/rng.hh"
 #include "crypto/mac.hh"
 #include "mee/secure_memory.hh"
+#include "obs/manifest.hh"
 #include "tree/layout.hh"
 
 namespace mgmee {
@@ -250,7 +250,11 @@ main()
 
     const char *phases[] = {"write_burst", "read_hot", "mixed_random"};
     double total_base = 0, total_flat = 0;
-    std::string phase_json;
+    obs::Manifest manifest("micro_tree_walk");
+    manifest.set("region_bytes",
+                 static_cast<std::uint64_t>(kRegionBytes));
+    manifest.set("ops_per_phase",
+                 static_cast<std::uint64_t>(ops_per_phase));
 
     for (const char *phase : phases) {
         // Identical op streams for both sides.
@@ -283,13 +287,10 @@ main()
         const double speedup = ns_base / ns_flat;
         std::printf("%-14s %10.1f ms -> %8.1f ms  (%.2fx)\n", phase,
                     ns_base / 1e6, ns_flat / 1e6, speedup);
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "    {\"phase\": \"%s\", \"ops\": %zu, "
-                      "\"baseline_ns\": %.0f, \"flat_ns\": %.0f, "
-                      "\"speedup\": %.3f},\n",
-                      phase, ops.size(), ns_base, ns_flat, speedup);
-        phase_json += buf;
+        const std::string p = phase;
+        manifest.set(p + "_baseline_ns", ns_base);
+        manifest.set(p + "_flat_ns", ns_flat);
+        manifest.set(p + "_speedup", speedup);
     }
 
     const double speedup = total_base / total_flat;
@@ -298,28 +299,16 @@ main()
                 speedup >= 3.0 ? "[target >=3x met]"
                                : "[below 3x target]");
 
-    // Drop the trailing ",\n" of the last phase entry.
-    if (phase_json.size() >= 2)
-        phase_json.erase(phase_json.size() - 2, 1);
-
-    std::filesystem::create_directories("results");
-    if (std::FILE *f = std::fopen("results/bench_hotpath.json", "w")) {
-        std::fprintf(f,
-                     "{\n"
-                     "  \"bench\": \"micro_tree_walk\",\n"
-                     "  \"region_bytes\": %zu,\n"
-                     "  \"ops_per_phase\": %zu,\n"
-                     "  \"phases\": [\n%s  ],\n"
-                     "  \"total_baseline_ns\": %.0f,\n"
-                     "  \"total_flat_ns\": %.0f,\n"
-                     "  \"total_speedup\": %.3f\n"
-                     "}\n",
-                     kRegionBytes, ops_per_phase, phase_json.c_str(),
-                     total_base, total_flat, speedup);
-        std::fclose(f);
-        std::printf("wrote results/bench_hotpath.json\n");
-    } else {
-        std::fprintf(stderr, "could not write results JSON\n");
-    }
+    manifest.set("total_baseline_ns", total_base);
+    manifest.set("total_flat_ns", total_flat);
+    manifest.set("total_speedup", speedup);
+    manifest.captureRegistry();
+    manifest.captureProfiler();
+    manifest.captureTraceSummary();
+    const std::string path = manifest.write();
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "could not write run manifest\n");
     return 0;
 }

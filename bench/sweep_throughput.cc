@@ -16,7 +16,7 @@
  *  - the memoized run is not slower than the unmemoized one (CI
  *    regression gate).
  * The ≥3x target of ISSUE 2 is reported in the output and in
- * `results/bench_sweep.json`.
+ * `results/manifest_sweep_throughput.json` (obs::Manifest).
  *
  * Knobs: MGMEE_SCENARIOS, MGMEE_SCALE, MGMEE_SEED, MGMEE_THREADS,
  * MGMEE_SWEEP_REPS (workload repetitions, default 3).
@@ -25,11 +25,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "hetero/run_memo.hh"
+#include "obs/manifest.hh"
 #include "workloads/trace_repo.hh"
 
 using namespace mgmee;
@@ -144,36 +144,31 @@ main()
                 static_cast<unsigned long long>(memo.run_misses),
                 TraceRepo::instance().size());
 
-    std::filesystem::create_directories("results");
-    if (std::FILE *f = std::fopen("results/bench_sweep.json", "w")) {
-        std::fprintf(
-            f,
-            "{\n"
-            "  \"bench\": \"sweep_throughput\",\n"
-            "  \"scenarios\": %zu,\n"
-            "  \"schemes\": %zu,\n"
-            "  \"reps\": %u,\n"
-            "  \"scale\": %.3f,\n"
-            "  \"scenario_runs\": %zu,\n"
-            "  \"memo_off_seconds\": %.3f,\n"
-            "  \"memo_on_seconds\": %.3f,\n"
-            "  \"memo_off_runs_per_sec\": %.1f,\n"
-            "  \"memo_on_runs_per_sec\": %.1f,\n"
-            "  \"speedup\": %.3f,\n"
-            "  \"bit_identical\": true,\n"
-            "  \"run_memo_hits\": %llu,\n"
-            "  \"run_memo_misses\": %llu\n"
-            "}\n",
-            scenarios.size(), kSectionA.size() + kSectionB.size(),
-            reps, scale, on.scenario_runs, off.seconds, on.seconds,
-            rate_off, rate_on, speedup,
-            static_cast<unsigned long long>(memo.run_hits),
-            static_cast<unsigned long long>(memo.run_misses));
-        std::fclose(f);
-        std::printf("wrote results/bench_sweep.json\n");
-    } else {
-        std::fprintf(stderr, "could not write results JSON\n");
-    }
+    obs::Manifest manifest("sweep_throughput");
+    manifest.set("scenarios",
+                 static_cast<std::uint64_t>(scenarios.size()));
+    manifest.set("schemes", static_cast<std::uint64_t>(
+                                kSectionA.size() + kSectionB.size()));
+    manifest.set("reps", reps);
+    manifest.set("scale", scale);
+    manifest.set("scenario_runs",
+                 static_cast<std::uint64_t>(on.scenario_runs));
+    manifest.set("memo_off_seconds", off.seconds);
+    manifest.set("memo_on_seconds", on.seconds);
+    manifest.set("memo_off_runs_per_sec", rate_off);
+    manifest.set("memo_on_runs_per_sec", rate_on);
+    manifest.set("speedup", speedup);
+    manifest.set("bit_identical", true);
+    manifest.set("run_memo_hits", memo.run_hits);
+    manifest.set("run_memo_misses", memo.run_misses);
+    manifest.captureRegistry();
+    manifest.captureProfiler();
+    manifest.captureTraceSummary();
+    const std::string path = manifest.write();
+    if (!path.empty())
+        std::printf("wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "could not write run manifest\n");
 
     if (speedup < 1.0) {
         std::fprintf(stderr,

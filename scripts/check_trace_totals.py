@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Cross-check a security-event trace against a run manifest.
+
+Usage: check_trace_totals.py <trace.obstrace> <manifest.json>
+
+Decodes the binary obs trace (magic MGOBSTR1, 24-byte records) with
+nothing but the stdlib and asserts that the per-class StreamChunk line
+totals equal the manifest's total_lines{64,512,4k,32k} results -- the
+CI contract that the event stream reproduces the stream-chunk
+classifier exactly.
+"""
+
+import json
+import struct
+import sys
+
+STREAM_CHUNK = 14  # obs::EventKind::StreamChunk
+RECORD = struct.Struct("<QQIBBH")  # cycle, addr, value, kind, arg0, thread
+
+
+def decode_totals(path):
+    totals = [0, 0, 0, 0]
+    with open(path, "rb") as f:
+        if f.read(8) != b"MGOBSTR1":
+            sys.exit(f"{path}: not an obs event trace")
+        version, rec_size = struct.unpack("<II", f.read(8))
+        if version != 1 or rec_size != RECORD.size:
+            sys.exit(f"{path}: unsupported format v{version}/{rec_size}B")
+        while rec := f.read(RECORD.size):
+            _cycle, _addr, value, kind, arg0, _thread = RECORD.unpack(rec)
+            if kind == STREAM_CHUNK:
+                totals[arg0] += value
+    return totals
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    trace_path, manifest_path = sys.argv[1], sys.argv[2]
+    totals = decode_totals(trace_path)
+    with open(manifest_path) as f:
+        results = json.load(f)["results"]
+    expected = [
+        results["total_lines64"],
+        results["total_lines512"],
+        results["total_lines4k"],
+        results["total_lines32k"],
+    ]
+    if totals != expected:
+        sys.exit(f"trace/manifest mismatch: decoded {totals}, "
+                 f"manifest {expected}")
+    print(f"decoded stream-chunk totals match the manifest: {totals}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,10 +5,16 @@ Usage:
     build/bench/export_results          # writes results/sweep.csv
     python3 scripts/plot_results.py     # writes results/*.png
 
+Also summarizes any results/manifest_*.json run manifests found
+(schema v1, written by the benches via obs::Manifest): bench, git
+describe, knobs, headline results, and histogram percentiles.
+
 Requires matplotlib; degrades to printing summary tables without it.
 """
 
 import csv
+import glob
+import json
 import os
 import sys
 from collections import defaultdict
@@ -111,7 +117,37 @@ def plot(by_scheme):
     print("wrote", out)
 
 
+def summarize_manifests():
+    paths = sorted(glob.glob(os.path.join(RESULTS, "manifest_*.json")))
+    if not paths:
+        return
+    print("\nrun manifests:")
+    for path in paths:
+        try:
+            with open(path) as f:
+                m = json.load(f)
+        except (OSError, ValueError) as err:
+            print(f"  {path}: unreadable ({err})")
+            continue
+        if m.get("schema_version") != 1:
+            print(f"  {path}: unknown schema "
+                  f"{m.get('schema_version')}, skipped")
+            continue
+        print(f"  {m['bench']} (git {m['git']})")
+        for knob, value in m.get("knobs", {}).items():
+            print(f"    {knob}={value}")
+        for key, value in list(m.get("results", {}).items())[:8]:
+            print(f"    {key}: {value}")
+        for name, hist in m.get("histograms", {}).items():
+            print(f"    {name}: n={hist['count']} p50<={hist['p50']}"
+                  f" p90<={hist['p90']} p99<={hist['p99']}")
+        if "trace" in m:
+            print(f"    trace: {m['trace']['events']} events"
+                  f" at {m['trace']['path']}")
+
+
 def main():
+    summarize_manifests()
     try:
         rows = load()
     except FileNotFoundError:

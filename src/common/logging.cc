@@ -2,11 +2,36 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
 
 namespace mgmee {
 
 namespace {
+
 bool g_verbose = true;
+
+/** Per-site (file:line) warn accounting behind one mutex; warn() is
+ *  off the hot path, so contention is irrelevant. */
+struct WarnState
+{
+    std::mutex mu;
+    std::map<std::string, std::uint64_t> site_counts;
+    std::uint64_t limit = 5;
+    std::uint64_t suppressed_total = 0;
+    bool exit_hook_installed = false;
+};
+
+/** Immortal: warn() must stay callable from atexit handlers and
+ *  static destructors. */
+WarnState &
+warnState()
+{
+    static WarnState &state = *new WarnState;
+    return state;
+}
+
 } // namespace
 
 void setVerbose(bool verbose) { g_verbose = verbose; }
@@ -37,14 +62,86 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
-warnImpl(const char *fmt, ...)
+warnImpl(const char *file, int line, const char *fmt, ...)
 {
+    WarnState &ws = warnState();
+    {
+        std::lock_guard<std::mutex> lock(ws.mu);
+        if (!ws.exit_hook_installed) {
+            ws.exit_hook_installed = true;
+            std::atexit([] { warnFlushSuppressed(); });
+        }
+        const std::string site =
+            std::string(file) + ":" + std::to_string(line);
+        const std::uint64_t n = ++ws.site_counts[site];
+        if (n > ws.limit) {
+            ++ws.suppressed_total;
+            return;
+        }
+        if (n == ws.limit) {
+            std::fprintf(stderr,
+                         "warn: %s: further warnings from this site "
+                         "suppressed (summary at exit)\n",
+                         site.c_str());
+        }
+    }
     std::fprintf(stderr, "warn: ");
     va_list ap;
     va_start(ap, fmt);
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "\n");
+}
+
+void
+setWarnLimit(std::uint64_t per_site)
+{
+    WarnState &ws = warnState();
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.limit = per_site ? per_site : 1;
+}
+
+std::uint64_t
+warnLimit()
+{
+    WarnState &ws = warnState();
+    std::lock_guard<std::mutex> lock(ws.mu);
+    return ws.limit;
+}
+
+std::uint64_t
+warnSuppressedCount()
+{
+    WarnState &ws = warnState();
+    std::lock_guard<std::mutex> lock(ws.mu);
+    return ws.suppressed_total;
+}
+
+void
+warnFlushSuppressed()
+{
+    WarnState &ws = warnState();
+    std::lock_guard<std::mutex> lock(ws.mu);
+    for (const auto &[site, count] : ws.site_counts) {
+        if (count > ws.limit) {
+            std::fprintf(stderr,
+                         "warn: %s: suppressed %llu repeats\n",
+                         site.c_str(),
+                         static_cast<unsigned long long>(count -
+                                                         ws.limit));
+        }
+    }
+    ws.site_counts.clear();
+    ws.suppressed_total = 0;
+}
+
+void
+warnResetRateLimiter()
+{
+    WarnState &ws = warnState();
+    std::lock_guard<std::mutex> lock(ws.mu);
+    ws.site_counts.clear();
+    ws.suppressed_total = 0;
 }
 
 void

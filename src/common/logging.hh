@@ -12,24 +12,44 @@
 #define MGMEE_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace mgmee {
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);
-void warnImpl(const char *fmt, ...);
+void warnImpl(const char *file, int line, const char *fmt, ...);
 void informImpl(const char *fmt, ...);
 
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);
 bool verbose();
 
+/**
+ * warn() is rate limited per call site (file:line): the first
+ * `warnLimit()` occurrences print, later ones are counted silently,
+ * and a "suppressed K repeats" summary is emitted at process exit
+ * (or on demand).  Sweeps over hundreds of scenarios thus cannot
+ * spam stderr with one repeated diagnostic.
+ */
+void setWarnLimit(std::uint64_t per_site);
+std::uint64_t warnLimit();
+
+/** Total warnings suppressed so far across all sites. */
+std::uint64_t warnSuppressedCount();
+
+/** Print the per-site suppression summary now and reset it. */
+void warnFlushSuppressed();
+
+/** Forget all per-site history (test isolation). */
+void warnResetRateLimiter();
+
 } // namespace mgmee
 
 #define panic(...) ::mgmee::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define fatal(...) ::mgmee::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
-#define warn(...) ::mgmee::warnImpl(__VA_ARGS__)
+#define warn(...) ::mgmee::warnImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define inform(...) ::mgmee::informImpl(__VA_ARGS__)
 
 #define panic_if(cond, ...)                                                  \

@@ -80,4 +80,98 @@ Histogram::summary() const
     return os.str();
 }
 
+std::string
+StatGroup::toJson() const
+{
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const auto &[k, v] : counters_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << '"' << k << "\": " << v;
+    }
+    os << '}';
+    return os.str();
+}
+
+std::string
+Histogram::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"count\": " << count_ << ", \"sum\": " << sum_
+       << ", \"mean\": " << mean() << ", \"min\": " << min()
+       << ", \"max\": " << max() << ", \"p50\": " << percentile(0.5)
+       << ", \"p90\": " << percentile(0.9)
+       << ", \"p99\": " << percentile(0.99) << '}';
+    return os.str();
+}
+
+// ---- StatRegistry -------------------------------------------------------
+
+StatRegistry &
+StatRegistry::instance()
+{
+    // Immortal: counter references are held by other singletons and
+    // must stay valid through process teardown.
+    static StatRegistry &registry = *new StatRegistry;
+    return registry;
+}
+
+std::atomic<std::uint64_t> &
+StatRegistry::counter(const std::string &group, const std::string &stat)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = groups_[group][stat];
+    if (!slot)
+        slot = std::make_unique<std::atomic<std::uint64_t>>(0);
+    return *slot;
+}
+
+StatGroup
+StatRegistry::snapshot(const std::string &group) const
+{
+    StatGroup out(group);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = groups_.find(group);
+    if (it == groups_.end())
+        return out;
+    for (const auto &[stat, value] : it->second)
+        out.add(stat, value->load(std::memory_order_relaxed));
+    return out;
+}
+
+std::map<std::string, StatGroup>
+StatRegistry::snapshotAll() const
+{
+    std::map<std::string, StatGroup> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[group, stats] : groups_) {
+        StatGroup g(group);
+        for (const auto &[stat, value] : stats)
+            g.add(stat, value->load(std::memory_order_relaxed));
+        out.emplace(group, std::move(g));
+    }
+    return out;
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::string out;
+    for (const auto &[group, g] : snapshotAll())
+        out += g.dump();
+    return out;
+}
+
+void
+StatRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[group, stats] : groups_)
+        for (auto &[stat, value] : stats)
+            value->store(0, std::memory_order_relaxed);
+}
+
 } // namespace mgmee

@@ -8,8 +8,11 @@
 #ifndef MGMEE_COMMON_STATS_HH
 #define MGMEE_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +49,9 @@ class StatGroup
     /** Render "name.stat value" lines, sorted by stat name. */
     std::string dump() const;
 
+    /** Counters as a JSON object: {"stat": value, ...}. */
+    std::string toJson() const;
+
   private:
     std::string name_;
     std::map<std::string, std::uint64_t> counters_;
@@ -78,6 +84,12 @@ class Histogram
     /** "count mean p50 p99 max" summary line. */
     std::string summary() const;
 
+    /**
+     * JSON object with count/mean/min/max plus p50/p90/p99 derived
+     * from the log2 buckets (upper bucket edges, like percentile()).
+     */
+    std::string toJson() const;
+
   private:
     static constexpr unsigned kBuckets = 64;
 
@@ -86,6 +98,50 @@ class Histogram
     std::uint64_t sum_ = 0;
     std::uint64_t min_ = ~std::uint64_t{0};
     std::uint64_t max_ = 0;
+};
+
+/**
+ * Process-wide registry of named atomic counters, grouped like
+ * StatGroups ("run_memo.hits").  Modules that used to keep
+ * module-local ints register here instead, so harnesses, manifests
+ * and tests can enumerate every counter from one place.  counter()
+ * interns the slot on first use and returns a stable reference;
+ * increments are plain relaxed atomics, safe from any thread.
+ */
+class StatRegistry
+{
+  public:
+    /** The process-wide instance. */
+    static StatRegistry &instance();
+
+    /**
+     * The counter @p group.@p stat (created zero on first use).  The
+     * returned reference stays valid for the process lifetime.
+     */
+    std::atomic<std::uint64_t> &counter(const std::string &group,
+                                        const std::string &stat);
+
+    /** Snapshot one group as a plain StatGroup (absent -> empty). */
+    StatGroup snapshot(const std::string &group) const;
+
+    /** Snapshot every group, keyed by group name. */
+    std::map<std::string, StatGroup> snapshotAll() const;
+
+    /** "group.stat value" lines over every group, sorted. */
+    std::string dump() const;
+
+    /** Zero every registered counter (test/bench isolation). */
+    void reset();
+
+  private:
+    StatRegistry() = default;
+
+    mutable std::mutex mu_;
+    /** unique_ptr keeps counter addresses stable across rehashing. */
+    std::map<std::string,
+             std::map<std::string,
+                      std::unique_ptr<std::atomic<std::uint64_t>>>>
+        groups_;
 };
 
 } // namespace mgmee

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace mgmee {
 
@@ -29,7 +30,7 @@ AccessTracker::AccessTracker(const AccessTrackerConfig &cfg) : cfg_(cfg)
 }
 
 void
-AccessTracker::evict(Entry &entry)
+AccessTracker::evict(Entry &entry, EvictCause cause, Cycle now)
 {
     if (!entry.valid)
         return;
@@ -43,6 +44,8 @@ AccessTracker::evict(Entry &entry)
         if (p != 0)
             touched_parts |= StreamPart{1} << part;
     }
+    OBS_EVENT(obs::EventKind::TrackerEvict, now, entry.chunk, touched,
+              static_cast<std::uint8_t>(cause));
     if (callback_) {
         callback_({entry.chunk, detectGranularity(entry.bits),
                    touched_parts, touched});
@@ -56,7 +59,7 @@ AccessTracker::expire(Cycle now)
 {
     for (auto &entry : entries_) {
         if (entry.valid && now - entry.allocated > cfg_.lifetime)
-            evict(entry);
+            evict(entry, EvictCause::Lifetime, now);
     }
 }
 
@@ -85,24 +88,25 @@ AccessTracker::recordAccess(Addr addr, Cycle now)
 
     if (!target) {
         // Allocate, evicting the LRU victim if necessary.
-        evict(*lru);
+        evict(*lru, EvictCause::Capacity, now);
         target = lru;
         target->valid = true;
         target->chunk = chunk;
         target->allocated = now;
+        OBS_EVENT(obs::EventKind::TrackerAlloc, now, chunk, 0, 0);
     }
 
     target->bits[line / 64] |= std::uint64_t{1} << (line % 64);
     target->last_use = now;
     if (++target->count >= cfg_.max_accesses)
-        evict(*target);
+        evict(*target, EvictCause::Accesses, now);
 }
 
 void
 AccessTracker::flush()
 {
     for (auto &entry : entries_)
-        evict(entry);
+        evict(entry, EvictCause::Flush, entry.last_use);
 }
 
 } // namespace mgmee

@@ -100,7 +100,16 @@ class AccessTracker
         Cycle last_use = 0;          //!< LRU stamp
     };
 
-    void evict(Entry &entry);
+    /** Why an entry leaves the tracker (mirrors obs::EvictReason). */
+    enum class EvictCause : std::uint8_t
+    {
+        Capacity = 0,
+        Lifetime = 1,
+        Accesses = 2,
+        Flush = 3,
+    };
+
+    void evict(Entry &entry, EvictCause cause, Cycle now);
     void expire(Cycle now);
 
     AccessTrackerConfig cfg_;

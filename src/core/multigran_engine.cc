@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace mgmee {
 
 MultiGranEngine::MultiGranEngine(std::string name,
@@ -127,6 +129,13 @@ MultiGranEngine::access(const MemRequest &req, MemCtrl &mem)
                 table_.resolveOnAccess(span, req.is_write);
             if (mcfg_.dynamic && res.switched) {
                 stats_.add("switches");
+                OBS_EVENT(res.to > res.from
+                              ? obs::EventKind::GranPromote
+                              : obs::EventKind::GranDemote,
+                          issue, span, 0,
+                          static_cast<std::uint8_t>(
+                              (static_cast<unsigned>(res.from) << 4) |
+                              static_cast<unsigned>(res.to)));
                 unit_buffer_.invalidate(unitBase(span, res.from));
                 write_units_.invalidate(unitBase(span, res.from));
                 write_gather_.discard(unitBase(span, res.from));

@@ -4,6 +4,7 @@
 #include "common/logging.hh"
 #include "hetero/hetero_system.hh"
 #include "hetero/run_memo.hh"
+#include "obs/profile.hh"
 
 namespace mgmee {
 namespace {
@@ -40,6 +41,7 @@ runScenario(const Scenario &scenario, Scheme scheme,
             std::uint64_t seed, double scale,
             const std::array<Granularity, 8> &static_gran)
 {
+    OBS_SCOPE("scenario_run");
     return runWithDevices(buildDevices(scenario, seed, scale), scheme,
                           scenarioDataBytes(), static_gran);
 }
@@ -80,6 +82,7 @@ searchStaticBest(const Scenario &scenario, std::uint64_t seed,
     // scale), so the result is memoized process-wide: figure benches
     // that sweep overlapping scenario sets pay for each search once.
     return searchStaticBestMemo(scenario, seed, scale, [&] {
+        OBS_SCOPE("static_best_search");
         // The search profiles a *separate* trace instance (same
         // workload statistics, different seed): the paper notes the
         // per-device technique "requires an expensive warmup process

@@ -7,6 +7,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/stats.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "workloads/trace_repo.hh"
 
 namespace mgmee {
@@ -86,8 +89,9 @@ class FutureMemo
     Value
     getOrCompute(const RunKey &key, std::atomic<std::uint64_t> &hits,
                  std::atomic<std::uint64_t> &misses,
-                 Compute &&compute)
+                 obs::MemoTable table, Compute &&compute)
     {
+        OBS_SCOPE("memo_lookup");
         Shard &shard = shards_[RunKeyHash{}(key) % kShards];
         std::promise<Value> prom;
         std::shared_future<Value> fut;
@@ -105,6 +109,10 @@ class FutureMemo
                 misses.fetch_add(1, std::memory_order_relaxed);
             }
         }
+        OBS_EVENT(owner ? obs::EventKind::MemoMiss
+                        : obs::EventKind::MemoHit,
+                  0, RunKeyHash{}(key), 0,
+                  static_cast<std::uint8_t>(table));
         if (owner)
             prom.set_value(compute());
         return fut.get();
@@ -137,10 +145,16 @@ struct MemoState
 {
     FutureMemo<RunResult> runs;
     FutureMemo<std::array<Granularity, 8>> searches;
-    std::atomic<std::uint64_t> run_hits{0};
-    std::atomic<std::uint64_t> run_misses{0};
-    std::atomic<std::uint64_t> search_hits{0};
-    std::atomic<std::uint64_t> search_misses{0};
+    // Counters live in the global StatRegistry so manifests and tests
+    // see them under "run_memo" without a side channel.
+    std::atomic<std::uint64_t> &run_hits =
+        StatRegistry::instance().counter("run_memo", "hits");
+    std::atomic<std::uint64_t> &run_misses =
+        StatRegistry::instance().counter("run_memo", "misses");
+    std::atomic<std::uint64_t> &search_hits =
+        StatRegistry::instance().counter("run_memo", "search_hits");
+    std::atomic<std::uint64_t> &search_misses =
+        StatRegistry::instance().counter("run_memo", "search_misses");
 };
 
 MemoState &
@@ -180,7 +194,7 @@ runScenarioMemo(const Scenario &scenario, Scheme scheme,
     MemoState &s = state();
     return s.runs.getOrCompute(
         makeKey(scenario, scheme, seed, scale, packGran(static_gran)),
-        s.run_hits, s.run_misses, [&] {
+        s.run_hits, s.run_misses, obs::MemoTable::Run, [&] {
             return runScenario(scenario, scheme, seed, scale,
                                static_gran);
         });
@@ -197,7 +211,8 @@ searchStaticBestMemo(const Scenario &scenario, std::uint64_t seed,
     MemoState &s = state();
     return s.searches.getOrCompute(
         makeKey(scenario, Scheme::StaticDeviceBest, seed, scale, 0),
-        s.search_hits, s.search_misses, compute);
+        s.search_hits, s.search_misses, obs::MemoTable::Search,
+        compute);
 }
 
 RunMemoStats

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace mgmee {
 
@@ -161,10 +162,15 @@ SecureMemory::verifyPath(unsigned level, std::uint64_t index) const
 void
 SecureMemory::flushMetadata()
 {
+    std::uint32_t refreshed = 0;
     for (const auto &[lvl, node] : tree_.takeDirty()) {
-        if (tree_.macDirty(lvl, node))  // may have been refreshed/erased
+        if (tree_.macDirty(lvl, node)) {  // may be refreshed/erased
             refreshNodeMac(lvl, node);
+            ++refreshed;
+        }
     }
+    if (refreshed)
+        OBS_EVENT(obs::EventKind::MacCompact, 0, 0, refreshed, 0);
 }
 
 void
@@ -425,6 +431,8 @@ SecureMemory::rekey(const Keys &new_keys)
     });
     // Cached trust predates the new keys: force full re-verification.
     invalidateVerifiedCache();
+    OBS_EVENT(obs::EventKind::Rekey, 0, 0,
+              static_cast<std::uint32_t>(initialized_.size()), 0);
 }
 
 // ---- public read/write ----------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace mgmee {
 
 // ---- FlatLruIndex -------------------------------------------------------
@@ -261,11 +263,16 @@ MeeTimingBase::readWalk(unsigned level, std::uint64_t index, Cycle now,
     const TreeGeometry &geom = layout_.geometry();
     Cycle done = now;
     std::uint64_t idx = index;
+    unsigned depth = 0;
     for (unsigned lvl = level; lvl < geom.levels(); ++lvl) {
         const Addr line = layout_.counterLineAddr(lvl, idx);
         // A pinned subtree root is trusted: stop before any fetch.
         if (lvl == root_cache_.level() && root_cache_.lookup(line)) {
             stats_.add("walk_root_cache_stops");
+            OBS_EVENT(obs::EventKind::WalkRead, now, line,
+                      static_cast<std::uint32_t>(
+                          obs::WalkStop::RootCache),
+                      static_cast<std::uint8_t>(depth));
             return std::max(done, now + cfg_.hit_latency);
         }
         const bool hit = meta_cache_.contains(line);
@@ -273,14 +280,27 @@ MeeTimingBase::readWalk(unsigned level, std::uint64_t index, Cycle now,
                    ? std::max(done, touchMeta(line, false, now, mem))
                    : touchMeta(line, false, done, mem);
         stats_.add("walk_levels");
-        if (hit)
-            return done;  // verified against the trusted cached copy
+        ++depth;
+        OBS_EVENT(obs::EventKind::WalkLevel, now, line, hit ? 1 : 0,
+                  static_cast<std::uint8_t>(lvl));
+        if (hit) {
+            // Verified against the trusted cached copy.
+            OBS_EVENT(obs::EventKind::WalkRead, now, line,
+                      static_cast<std::uint32_t>(
+                          obs::WalkStop::CacheHit),
+                      static_cast<std::uint8_t>(depth));
+            return done;
+        }
         if (lvl == root_cache_.level())
             root_cache_.insert(line);  // pin the hot subtree root
         idx /= kTreeArity;
     }
     // Reached the on-chip root node.
     stats_.add("walk_to_root");
+    OBS_EVENT(obs::EventKind::WalkRead, now,
+              layout_.counterLineAddr(level, index),
+              static_cast<std::uint32_t>(obs::WalkStop::Root),
+              static_cast<std::uint8_t>(depth));
     return done;
 }
 
@@ -318,16 +338,25 @@ MeeTimingBase::writeWalk(unsigned level, std::uint64_t index, Cycle now,
 {
     const TreeGeometry &geom = layout_.geometry();
     std::uint64_t idx = index;
+    unsigned depth = 0;
     for (unsigned lvl = level; lvl < geom.levels(); ++lvl) {
         const Addr line = layout_.counterLineAddr(lvl, idx);
         // Writes update every level up to the root (Fig. 14); each
         // level is fetched on miss and dirtied.
+        const bool hit = meta_cache_.contains(line);
         touchMeta(line, true, now, mem);
         stats_.add("write_walk_levels");
+        ++depth;
+        OBS_EVENT(obs::EventKind::WalkLevel, now, line,
+                  (hit ? 1u : 0u) | 2u,
+                  static_cast<std::uint8_t>(lvl));
         if (lvl == root_cache_.level())
             root_cache_.insert(line);
         idx /= kTreeArity;
     }
+    OBS_EVENT(obs::EventKind::WalkWrite, now,
+              layout_.counterLineAddr(level, index), 0,
+              static_cast<std::uint8_t>(depth));
 }
 
 } // namespace mgmee

@@ -1,0 +1,223 @@
+#include "obs/manifest.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+
+#ifndef MGMEE_GIT_DESCRIBE
+#define MGMEE_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mgmee::obs {
+
+namespace {
+
+/** The knobs worth recording with every run (see bench_util.hh). */
+constexpr const char *kKnobs[] = {
+    "MGMEE_SCENARIOS", "MGMEE_SCALE",      "MGMEE_SEED",
+    "MGMEE_THREADS",   "MGMEE_MEMO",       "MGMEE_SWEEP_REPS",
+    "MGMEE_WALK_OPS",  "MGMEE_TRACE",      "MGMEE_PROFILE",
+    "MGMEE_RESULTS_DIR",
+};
+
+std::string
+renderDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+renderSection(std::ostringstream &os, const char *name,
+              const std::vector<std::pair<std::string, std::string>>
+                  &entries)
+{
+    os << "  \"" << name << "\": {";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i)
+            os << ',';
+        os << "\n    \"" << jsonEscape(entries[i].first)
+           << "\": " << entries[i].second;
+    }
+    if (!entries.empty())
+        os << "\n  ";
+    os << '}';
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+buildGitDescribe()
+{
+    return MGMEE_GIT_DESCRIBE;
+}
+
+Manifest::Manifest(std::string bench) : bench_(std::move(bench)) {}
+
+void
+Manifest::set(const std::string &key, const std::string &value)
+{
+    results_.emplace_back(key, '"' + jsonEscape(value) + '"');
+}
+
+void
+Manifest::set(const std::string &key, const char *value)
+{
+    set(key, std::string(value));
+}
+
+void
+Manifest::set(const std::string &key, double value)
+{
+    results_.emplace_back(key, renderDouble(value));
+}
+
+void
+Manifest::set(const std::string &key, std::uint64_t value)
+{
+    results_.emplace_back(key, std::to_string(value));
+}
+
+void
+Manifest::set(const std::string &key, int value)
+{
+    results_.emplace_back(key, std::to_string(value));
+}
+
+void
+Manifest::set(const std::string &key, unsigned value)
+{
+    results_.emplace_back(key, std::to_string(value));
+}
+
+void
+Manifest::set(const std::string &key, bool value)
+{
+    results_.emplace_back(key, value ? "true" : "false");
+}
+
+void
+Manifest::addStats(const StatGroup &group)
+{
+    stats_.emplace_back(group.name(), group.toJson());
+}
+
+void
+Manifest::addHistogram(const std::string &name,
+                       const Histogram &histogram)
+{
+    histograms_.emplace_back(name, histogram.toJson());
+}
+
+void
+Manifest::captureRegistry()
+{
+    for (const auto &[name, group] :
+         StatRegistry::instance().snapshotAll()) {
+        stats_.emplace_back(name, group.toJson());
+    }
+}
+
+void
+Manifest::captureProfiler()
+{
+    if (profilerEnabled())
+        profile_json_ = profilerToJson();
+}
+
+void
+Manifest::captureTraceSummary()
+{
+    if (eventsEmitted() == 0)
+        return;
+    std::ostringstream os;
+    const char *path = std::getenv("MGMEE_TRACE");
+    os << "{\"events\": " << eventsEmitted() << ", \"path\": \""
+       << jsonEscape(path ? path : "") << "\"}";
+    trace_json_ = os.str();
+}
+
+std::string
+Manifest::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"schema_version\": " << kSchemaVersion << ",\n";
+    os << "  \"bench\": \"" << jsonEscape(bench_) << "\",\n";
+    os << "  \"git\": \"" << jsonEscape(buildGitDescribe()) << "\",\n";
+
+    os << "  \"knobs\": {";
+    bool first = true;
+    for (const char *knob : kKnobs) {
+        const char *value = std::getenv(knob);
+        if (!value)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n    \"" << knob << "\": \"" << jsonEscape(value)
+           << '"';
+    }
+    if (!first)
+        os << "\n  ";
+    os << "},\n";
+
+    renderSection(os, "results", results_);
+    os << ",\n";
+    renderSection(os, "stats", stats_);
+    os << ",\n";
+    renderSection(os, "histograms", histograms_);
+    if (!profile_json_.empty())
+        os << ",\n  \"profile\": " << profile_json_;
+    if (!trace_json_.empty())
+        os << ",\n  \"trace\": " << trace_json_;
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+Manifest::write(const std::string &dir) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/manifest_" + bench_ + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return "";
+    const std::string doc = toJson();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+} // namespace mgmee::obs

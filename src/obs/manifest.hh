@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine-readable run manifests: one schema-versioned JSON document
+ * per bench/tool run, replacing the per-bench hand-rolled JSON
+ * writers.  A manifest carries:
+ *
+ *  - identity: schema version, bench name, git describe (embedded at
+ *    configure time), the MGMEE_* environment knobs in effect;
+ *  - scalar results (`set`), engine StatGroups (`addStats`), global
+ *    StatRegistry groups (`captureRegistry`), histograms with
+ *    p50/p90/p99 (`addHistogram`);
+ *  - the profiler tree (`captureProfiler`) and a trace summary
+ *    (`captureTraceSummary`) when those subsystems are active.
+ *
+ * write() lands the document at `<dir>/manifest_<bench>.json`
+ * (default dir `results/`, created on demand), so every run of every
+ * harness leaves a uniform artifact for scripts/plot_results.py, CI
+ * uploads, and cross-run diffing.
+ */
+
+#ifndef MGMEE_OBS_MANIFEST_HH
+#define MGMEE_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace mgmee::obs {
+
+/** Builder for one run manifest. */
+class Manifest
+{
+  public:
+    /** Manifest JSON layout version (bump on breaking change). */
+    static constexpr unsigned kSchemaVersion = 1;
+
+    /** @p bench names the run and the output file. */
+    explicit Manifest(std::string bench);
+
+    /** Record a scalar result under "results". */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, int value);
+    void set(const std::string &key, unsigned value);
+    void set(const std::string &key, bool value);
+
+    /** Attach @p group under "stats" (keyed by its name). */
+    void addStats(const StatGroup &group);
+
+    /** Attach @p histogram under "histograms" as @p name. */
+    void addHistogram(const std::string &name,
+                      const Histogram &histogram);
+
+    /** Snapshot every StatRegistry group into "stats". */
+    void captureRegistry();
+
+    /** Embed the merged profiler tree (no-op when not enabled). */
+    void captureProfiler();
+
+    /** Embed trace-session info (no-op when tracing never ran). */
+    void captureTraceSummary();
+
+    /** The complete document. */
+    std::string toJson() const;
+
+    /**
+     * Write to `<dir>/manifest_<bench>.json` (directory created);
+     * returns the path, or "" on I/O failure.
+     */
+    std::string write(const std::string &dir = "results") const;
+
+  private:
+    std::string bench_;
+    /** Already-rendered "key": value JSON fragments, in add order. */
+    std::vector<std::pair<std::string, std::string>> results_;
+    std::vector<std::pair<std::string, std::string>> stats_;
+    std::vector<std::pair<std::string, std::string>> histograms_;
+    std::string profile_json_;  //!< empty = absent
+    std::string trace_json_;    //!< empty = absent
+};
+
+/** JSON-escape @p s (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+/** The `git describe` of the built tree ("unknown" outside git). */
+const char *buildGitDescribe();
+
+} // namespace mgmee::obs
+
+#endif // MGMEE_OBS_MANIFEST_HH

@@ -1,0 +1,281 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace mgmee::obs {
+
+namespace detail {
+bool g_profile_on = false;
+} // namespace detail
+
+namespace detail {
+
+/**
+ * One node of a per-thread tree.  Children are keyed by name string
+ * (literals from different translation units may have different
+ * addresses, and thread trees merge by name anyway).
+ */
+struct ProfileNodeImpl
+{
+    std::string name;
+    ProfileNodeImpl *parent = nullptr;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::map<std::string, std::unique_ptr<ProfileNodeImpl>> children;
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::ProfileNodeImpl;
+
+struct ThreadTree
+{
+    ProfileNodeImpl root;
+    ProfileNodeImpl *current = &root;
+};
+
+/** Registry of live thread trees plus trees of exited threads. */
+struct ProfileState
+{
+    std::mutex mu;
+    std::vector<ThreadTree *> live;
+    std::vector<std::unique_ptr<ProfileNodeImpl>> retired;
+};
+
+/**
+ * Immortal: the MGMEE_PROFILE atexit report and thread-exit hooks
+ * can run after function-local statics are destroyed, so the state
+ * is heap-allocated and intentionally never freed.
+ */
+ProfileState &
+profileState()
+{
+    static ProfileState &state = *new ProfileState;
+    return state;
+}
+
+/** Deep-merge @p src into @p dst (children matched by name). */
+void
+mergeInto(ProfileNode &dst, const ProfileNodeImpl &src)
+{
+    dst.calls += src.calls;
+    dst.total_ns += src.total_ns;
+    for (const auto &[name, child] : src.children) {
+        auto it = std::find_if(
+            dst.children.begin(), dst.children.end(),
+            [&](const ProfileNode &n) { return n.name == name; });
+        if (it == dst.children.end()) {
+            dst.children.push_back(ProfileNode{name, 0, 0, 0, {}});
+            it = dst.children.end() - 1;
+        }
+        mergeInto(*it, *child);
+    }
+}
+
+void
+finishSelfTimes(ProfileNode &node)
+{
+    std::sort(node.children.begin(), node.children.end(),
+              [](const ProfileNode &a, const ProfileNode &b) {
+                  return a.name < b.name;
+              });
+    std::uint64_t child_total = 0;
+    for (ProfileNode &child : node.children) {
+        finishSelfTimes(child);
+        child_total += child.total_ns;
+    }
+    node.self_ns =
+        node.total_ns > child_total ? node.total_ns - child_total : 0;
+}
+
+/** Root totals roll up from the top-level scopes. */
+void
+finishRoot(ProfileNode &root)
+{
+    root.total_ns = 0;
+    root.calls = 0;
+    for (const ProfileNode &child : root.children)
+        root.total_ns += child.total_ns;
+    finishSelfTimes(root);
+    root.self_ns = 0;
+}
+
+void
+reportNode(std::ostringstream &os, const ProfileNode &node,
+           unsigned depth)
+{
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    for (unsigned i = 0; i < depth; ++i)
+        os << "  ";
+    os << node.name << "  total " << node.total_ns / 1e6
+       << " ms  self " << node.self_ns / 1e6 << " ms  calls "
+       << node.calls << '\n';
+    for (const ProfileNode &child : node.children)
+        reportNode(os, child, depth + 1);
+}
+
+void
+jsonNode(std::ostringstream &os, const ProfileNode &node)
+{
+    os << "{\"name\": \"" << node.name
+       << "\", \"calls\": " << node.calls
+       << ", \"total_ns\": " << node.total_ns
+       << ", \"self_ns\": " << node.self_ns << ", \"children\": [";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i)
+            os << ", ";
+        jsonNode(os, node.children[i]);
+    }
+    os << "]}";
+}
+
+thread_local struct ThreadTreeSlot
+{
+    ThreadTree tree;
+    bool registered = false;
+
+    ~ThreadTreeSlot()
+    {
+        if (!registered)
+            return;
+        ProfileState &state = profileState();
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.live.erase(std::remove(state.live.begin(),
+                                     state.live.end(), &tree),
+                         state.live.end());
+        // Keep the exited thread's scopes for later snapshots.
+        auto keep = std::make_unique<ProfileNodeImpl>();
+        keep->children = std::move(tree.root.children);
+        state.retired.push_back(std::move(keep));
+    }
+} t_tree_slot;
+
+/** MGMEE_PROFILE=1 turns recording on and reports at exit. */
+struct EnvAutoStart
+{
+    EnvAutoStart()
+    {
+        const char *p = std::getenv("MGMEE_PROFILE");
+        if (p && std::atoi(p) != 0) {
+            setProfilerEnabled(true);
+            std::atexit([] {
+                std::fputs(profilerReport().c_str(), stderr);
+            });
+        }
+    }
+};
+
+EnvAutoStart g_env_auto_start;
+
+} // namespace
+
+namespace detail {
+
+ProfileNodeImpl *
+enterScope(const char *name)
+{
+    ThreadTreeSlot &slot = t_tree_slot;
+    if (!slot.registered) {
+        slot.registered = true;
+        ProfileState &state = profileState();
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.live.push_back(&slot.tree);
+    }
+
+    ProfileNodeImpl *parent = slot.tree.current;
+    auto &child = parent->children[name];
+    if (!child) {
+        child = std::make_unique<ProfileNodeImpl>();
+        child->name = name;
+        child->parent = parent;
+    }
+    slot.tree.current = child.get();
+    return child.get();
+}
+
+void
+exitScope(ProfileNodeImpl *node, std::uint64_t elapsed_ns)
+{
+    ++node->calls;
+    node->total_ns += elapsed_ns;
+    // Unwind to the scope's parent even if inner scopes leaked
+    // (mismatched lifetimes would otherwise corrupt the stack).
+    t_tree_slot.tree.current =
+        node->parent ? node->parent : &t_tree_slot.tree.root;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace detail
+
+void
+setProfilerEnabled(bool on)
+{
+    detail::g_profile_on = on;
+}
+
+ProfileNode
+profilerSnapshot()
+{
+    ProfileNode root;
+    root.name = "root";
+    ProfileState &state = profileState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const ThreadTree *tree : state.live)
+        mergeInto(root, tree->root);
+    for (const auto &retired : state.retired)
+        mergeInto(root, *retired);
+    finishRoot(root);
+    return root;
+}
+
+std::string
+profilerReport()
+{
+    std::ostringstream os;
+    os << "=== obs profile (wall clock) ===\n";
+    reportNode(os, profilerSnapshot(), 0);
+    return os.str();
+}
+
+std::string
+profilerToJson()
+{
+    std::ostringstream os;
+    jsonNode(os, profilerSnapshot());
+    return os.str();
+}
+
+void
+profilerReset()
+{
+    ProfileState &state = profileState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.retired.clear();
+    for (ThreadTree *tree : state.live) {
+        // Live threads sit at their root between phases; resetting
+        // mid-scope would dangle `current`, so only quiesced trees
+        // are cleared.
+        if (tree->current == &tree->root)
+            tree->root.children.clear();
+    }
+}
+
+} // namespace mgmee::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Phase profiler: RAII scoped wall-clock timers building a
+ * hierarchical call tree across the sweep pipeline (trace generation,
+ * scenario runs, static-best search, memo lookups, ...).
+ *
+ * Usage at a phase boundary:
+ *
+ *     void runScenarioMemo(...) {
+ *         OBS_SCOPE("memo_lookup");
+ *         ...
+ *     }
+ *
+ * Scopes nest: a timer opened inside another timer's dynamic extent
+ * becomes its child, and the report shows total time, self time
+ * (total minus children) and call counts per path.  Each thread keeps
+ * its own tree (no synchronisation on the timing path); snapshots
+ * merge the per-thread trees by scope name.
+ *
+ * Disabled (the default) the ScopedTimer constructor is one branch on
+ * a cached bool.  Enable with `MGMEE_PROFILE=1` (a report is printed
+ * to stderr at exit) or programmatically with setProfilerEnabled().
+ */
+
+#ifndef MGMEE_OBS_PROFILE_HH
+#define MGMEE_OBS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgmee::obs {
+
+namespace detail {
+
+extern bool g_profile_on;
+
+struct ProfileNodeImpl;
+
+/** Open a child scope of the current thread's position. */
+ProfileNodeImpl *enterScope(const char *name);
+
+/** Close @p node, charging @p elapsed_ns to it. */
+void exitScope(ProfileNodeImpl *node, std::uint64_t elapsed_ns);
+
+/** Monotonic nanoseconds. */
+std::uint64_t nowNs();
+
+} // namespace detail
+
+/** True when scoped timers record (one cached-bool load). */
+inline bool profilerEnabled() { return detail::g_profile_on; }
+
+/** Turn recording on/off (tests, harnesses). */
+void setProfilerEnabled(bool on);
+
+/** One node of a merged profiler snapshot. */
+struct ProfileNode
+{
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    /** total_ns minus the total of every child (own work). */
+    std::uint64_t self_ns = 0;
+    std::vector<ProfileNode> children;  //!< sorted by name
+};
+
+/**
+ * Merge every thread's tree (live and retired) into one tree rooted
+ * at "root"; the root's total is the sum of its children.
+ */
+ProfileNode profilerSnapshot();
+
+/** Indented human-readable report of profilerSnapshot(). */
+std::string profilerReport();
+
+/** profilerSnapshot() as a nested JSON object. */
+std::string profilerToJson();
+
+/** Drop all recorded scopes (test/bench isolation). */
+void profilerReset();
+
+/** RAII scope; use via OBS_SCOPE. @p name must outlive the scope. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const char *name)
+    {
+        if (profilerEnabled()) {
+            node_ = detail::enterScope(name);
+            start_ns_ = detail::nowNs();
+        }
+    }
+
+    ~ScopedTimer()
+    {
+        if (node_)
+            detail::exitScope(node_, detail::nowNs() - start_ns_);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    detail::ProfileNodeImpl *node_ = nullptr;
+    std::uint64_t start_ns_ = 0;
+};
+
+} // namespace mgmee::obs
+
+#define OBS_SCOPE_CAT2(a, b) a##b
+#define OBS_SCOPE_CAT(a, b) OBS_SCOPE_CAT2(a, b)
+/** Time the rest of the enclosing block as scope @p name. */
+#define OBS_SCOPE(name)                                                      \
+    ::mgmee::obs::ScopedTimer OBS_SCOPE_CAT(obs_scope_, __LINE__)(name)
+
+#endif // MGMEE_OBS_PROFILE_HH

@@ -1,0 +1,275 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mgmee::obs {
+
+namespace detail {
+bool g_trace_on = false;
+} // namespace detail
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'G', 'O', 'B', 'S', 'T', 'R', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** Records buffered per thread before an append to the file. */
+constexpr std::size_t kBufferRecords = 8192;
+
+struct ThreadBuffer
+{
+    std::vector<TraceRecord> records;
+    std::uint16_t thread_id = 0;
+};
+
+/**
+ * One trace session: the output file, the registry of per-thread
+ * buffers, and a generation stamp.  Thread-local buffer pointers are
+ * revalidated against the generation, so a buffer from a finished
+ * session is never written through.
+ */
+struct Session
+{
+    std::mutex mu;  //!< guards file + buffer registry
+    std::FILE *file = nullptr;
+    std::string path;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+    std::atomic<std::uint64_t> emitted{0};
+    std::uint64_t generation = 0;
+};
+
+/** Immortal (never destroyed): emitters and the MGMEE_TRACE atexit
+ *  flush may run during process teardown, after function-local
+ *  statics would already be gone. */
+Session &
+session()
+{
+    static Session &s = *new Session;
+    return s;
+}
+
+/** Appends (and clears) a full or final buffer; caller holds mu. */
+void
+flushBufferLocked(Session &s, ThreadBuffer &buf)
+{
+    if (!buf.records.empty() && s.file) {
+        std::fwrite(buf.records.data(), sizeof(TraceRecord),
+                    buf.records.size(), s.file);
+    }
+    buf.records.clear();
+}
+
+struct ThreadSlot
+{
+    ThreadBuffer *buf = nullptr;
+    std::uint64_t generation = 0;
+};
+
+thread_local ThreadSlot t_slot;
+
+/** Auto-start from MGMEE_TRACE, flushed via atexit. */
+struct EnvAutoStart
+{
+    EnvAutoStart()
+    {
+        const char *path = std::getenv("MGMEE_TRACE");
+        if (path && *path) {
+            if (startTrace(path))
+                std::atexit([] { stopTrace(); });
+        }
+    }
+};
+
+EnvAutoStart g_env_auto_start;
+
+} // namespace
+
+namespace detail {
+
+void
+emitSlow(EventKind kind, std::uint64_t cycle, std::uint64_t addr,
+         std::uint32_t value, std::uint8_t arg0)
+{
+    Session &s = session();
+    ThreadSlot &slot = t_slot;
+    if (slot.buf == nullptr || slot.generation != s.generation) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (!g_trace_on)
+            return;  // stopTrace() raced ahead of the flag read
+        auto buf = std::make_unique<ThreadBuffer>();
+        buf->thread_id =
+            static_cast<std::uint16_t>(s.buffers.size());
+        buf->records.reserve(kBufferRecords);
+        slot.buf = buf.get();
+        slot.generation = s.generation;
+        s.buffers.push_back(std::move(buf));
+    }
+
+    ThreadBuffer &buf = *slot.buf;
+    TraceRecord rec;
+    rec.cycle = cycle;
+    rec.addr = addr;
+    rec.value = value;
+    rec.kind = static_cast<std::uint8_t>(kind);
+    rec.arg0 = arg0;
+    rec.thread = buf.thread_id;
+    buf.records.push_back(rec);
+    s.emitted.fetch_add(1, std::memory_order_relaxed);
+
+    if (buf.records.size() >= kBufferRecords) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        flushBufferLocked(s, buf);
+    }
+}
+
+} // namespace detail
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::WalkRead: return "walk_read";
+      case EventKind::WalkLevel: return "walk_level";
+      case EventKind::WalkWrite: return "walk_write";
+      case EventKind::GranPromote: return "gran_promote";
+      case EventKind::GranDemote: return "gran_demote";
+      case EventKind::Rekey: return "rekey";
+      case EventKind::MacCompact: return "mac_compact";
+      case EventKind::TrackerAlloc: return "tracker_alloc";
+      case EventKind::TrackerEvict: return "tracker_evict";
+      case EventKind::MemoHit: return "memo_hit";
+      case EventKind::MemoMiss: return "memo_miss";
+      case EventKind::SubtreeHit: return "subtree_hit";
+      case EventKind::SubtreeMiss: return "subtree_miss";
+      case EventKind::StreamChunk: return "stream_chunk";
+    }
+    return "unknown";
+}
+
+bool
+startTrace(const std::string &path)
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.file) {
+        warn("trace session already active (%s); ignoring %s",
+             s.path.c_str(), path.c_str());
+        return false;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        warn("cannot open trace file %s", path.c_str());
+        return false;
+    }
+    std::fwrite(kMagic, 1, sizeof(kMagic), f);
+    std::fwrite(&kFormatVersion, sizeof(kFormatVersion), 1, f);
+    const std::uint32_t record_size = sizeof(TraceRecord);
+    std::fwrite(&record_size, sizeof(record_size), 1, f);
+
+    s.file = f;
+    s.path = path;
+    s.buffers.clear();
+    s.emitted.store(0, std::memory_order_relaxed);
+    ++s.generation;
+    detail::g_trace_on = true;
+    return true;
+}
+
+void
+stopTrace()
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mu);
+    // Clear the flag first: emitters that already passed the flag
+    // test re-check it under the lock before binding a buffer.
+    detail::g_trace_on = false;
+    if (!s.file)
+        return;
+    for (auto &buf : s.buffers)
+        flushBufferLocked(s, *buf);
+    std::fclose(s.file);
+    s.file = nullptr;
+}
+
+std::uint64_t
+eventsEmitted()
+{
+    return session().emitted.load(std::memory_order_relaxed);
+}
+
+std::size_t
+threadBuffersAllocated()
+{
+    Session &s = session();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.buffers.size();
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "cannot open trace file %s", path.c_str());
+
+    char magic[8];
+    std::uint32_t version = 0, record_size = 0;
+    const bool header_ok =
+        std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+        std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+        std::fread(&version, sizeof(version), 1, f) == 1 &&
+        std::fread(&record_size, sizeof(record_size), 1, f) == 1;
+    if (!header_ok || version != kFormatVersion ||
+        record_size != sizeof(TraceRecord)) {
+        std::fclose(f);
+        fatal("%s is not an mgmee obs-trace v%u file", path.c_str(),
+              kFormatVersion);
+    }
+
+    std::vector<TraceRecord> records;
+    TraceRecord rec;
+    while (std::fread(&rec, sizeof(rec), 1, f) == 1)
+        records.push_back(rec);
+    std::fclose(f);
+    return records;
+}
+
+std::string
+recordToJson(const TraceRecord &rec)
+{
+    std::ostringstream os;
+    os << "{\"event\": \""
+       << eventKindName(static_cast<EventKind>(rec.kind))
+       << "\", \"cycle\": " << rec.cycle << ", \"addr\": " << rec.addr
+       << ", \"value\": " << rec.value
+       << ", \"arg0\": " << unsigned{rec.arg0}
+       << ", \"thread\": " << rec.thread << '}';
+    return os.str();
+}
+
+long
+exportJsonl(const std::string &binary_path,
+            const std::string &jsonl_path)
+{
+    const std::vector<TraceRecord> records =
+        readTraceFile(binary_path);
+    std::FILE *out = std::fopen(jsonl_path.c_str(), "w");
+    if (!out)
+        return -1;
+    for (const TraceRecord &rec : records) {
+        const std::string line = recordToJson(rec);
+        std::fputs(line.c_str(), out);
+        std::fputc('\n', out);
+    }
+    std::fclose(out);
+    return static_cast<long>(records.size());
+}
+
+} // namespace mgmee::obs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Security-event tracing: a typed, binary event stream of the
+ * behavioral moments the paper's figures attribute overheads to --
+ * tree-walk depth and per-level cache hits, granularity
+ * promotions/demotions, rekeys, lazy MAC-compaction walks, tracker
+ * allocate/evict, subtree-root-cache probes, memo hits/misses, and
+ * stream-chunk classification.
+ *
+ * Design constraints (ISSUE 3):
+ *  - with tracing disabled (the default) every emission site costs
+ *    exactly one branch on a cached bool -- no allocation, no call;
+ *  - enabled, events land in per-thread buffers (no shared-state
+ *    writes on the emission path); a buffer that fills appends its
+ *    records to the trace file under one file mutex, amortised over
+ *    thousands of events;
+ *  - the on-disk format is a fixed 24-byte record stream behind a
+ *    self-describing header, decodable by obs::readTraceFile and by
+ *    tools/mgmee-trace-stats, with a JSONL exporter for ad-hoc
+ *    analysis.
+ *
+ * Enable by environment (`MGMEE_TRACE=<path>`, flushed at exit) or
+ * programmatically via startTrace()/stopTrace() (tests, harnesses).
+ * Start/stop are meant for quiesce points (no concurrent emitters);
+ * emission itself is thread-safe.
+ */
+
+#ifndef MGMEE_OBS_TRACE_HH
+#define MGMEE_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mgmee::obs {
+
+/** Event taxonomy; values are the on-disk encoding (stable). */
+enum class EventKind : std::uint8_t
+{
+    WalkRead = 1,      //!< read walk done; arg0=depth, value=stop reason
+    WalkLevel = 2,     //!< one level; arg0=level, value bit0=hit bit1=write
+    WalkWrite = 3,     //!< write walk done; arg0=depth (dirties to root)
+    GranPromote = 4,   //!< arg0=(from<<4)|to; addr=partition base
+    GranDemote = 5,    //!< arg0=(from<<4)|to; addr=partition base
+    Rekey = 6,         //!< value=chunks re-encrypted
+    MacCompact = 7,    //!< lazy node-MAC flush; value=nodes refreshed
+    TrackerAlloc = 8,  //!< addr=chunk index
+    TrackerEvict = 9,  //!< arg0=reason, value=touched lines; addr=chunk
+    MemoHit = 10,      //!< arg0=memo table id
+    MemoMiss = 11,     //!< arg0=memo table id
+    SubtreeHit = 12,   //!< root-cache probe hit; addr=node line
+    SubtreeMiss = 13,  //!< root-cache probe miss; addr=node line
+    StreamChunk = 14,  //!< arg0=class(0..3), value=lines; addr=chunk base
+};
+
+/** Reason a read walk stopped (WalkRead.value). */
+enum class WalkStop : std::uint32_t
+{
+    Root = 0,       //!< climbed all the way to the on-chip root
+    CacheHit = 1,   //!< metadata-cache hit ended the walk
+    RootCache = 2,  //!< pinned subtree root ended the walk
+};
+
+/** Why a tracker entry was evicted (TrackerEvict.arg0). */
+enum class EvictReason : std::uint8_t
+{
+    Capacity = 0,  //!< LRU victim on allocation pressure
+    Lifetime = 1,  //!< 16K-cycle lifetime expiry
+    Accesses = 2,  //!< access-count threshold reached
+    Flush = 3,     //!< end-of-simulation flush
+};
+
+/** Which memo table a MemoHit/MemoMiss refers to (arg0). */
+enum class MemoTable : std::uint8_t
+{
+    Run = 0,        //!< (scenario, scheme) run-result memo
+    Search = 1,     //!< static-best search memo
+    TraceRepo = 2,  //!< generated-trace repository
+};
+
+/** One fixed-size trace record (the on-disk layout, little-endian). */
+struct TraceRecord
+{
+    std::uint64_t cycle = 0;  //!< simulated cycle (0 if not timed)
+    std::uint64_t addr = 0;   //!< address / chunk / key hash
+    std::uint32_t value = 0;  //!< event-specific payload
+    std::uint8_t kind = 0;    //!< EventKind
+    std::uint8_t arg0 = 0;    //!< small event-specific payload
+    std::uint16_t thread = 0; //!< emitting thread (per-session index)
+};
+
+static_assert(sizeof(TraceRecord) == 24,
+              "TraceRecord is the on-disk format; keep it packed");
+
+/** Stable name of @p kind ("walk_read", ...); "unknown" if not. */
+const char *eventKindName(EventKind kind);
+
+namespace detail {
+
+/** Cached enable flag; read by every emission site. */
+extern bool g_trace_on;
+
+/** Slow path: buffer lookup + append (tracing known enabled). */
+void emitSlow(EventKind kind, std::uint64_t cycle, std::uint64_t addr,
+              std::uint32_t value, std::uint8_t arg0);
+
+} // namespace detail
+
+/** True when a trace session is active (one cached-bool load). */
+inline bool traceEnabled() { return detail::g_trace_on; }
+
+/**
+ * Emit one event if tracing is enabled.  The disabled path is the
+ * inlined flag test only.
+ */
+inline void
+emit(EventKind kind, std::uint64_t cycle, std::uint64_t addr,
+     std::uint32_t value = 0, std::uint8_t arg0 = 0)
+{
+    if (traceEnabled())
+        detail::emitSlow(kind, cycle, addr, value, arg0);
+}
+
+/**
+ * Open @p path and begin recording.  Returns false (and stays
+ * disabled) if the file cannot be opened or a session is already
+ * active.
+ */
+bool startTrace(const std::string &path);
+
+/** Flush every thread buffer, close the file, disable tracing. */
+void stopTrace();
+
+/** Events recorded in the current/last session (diagnostics). */
+std::uint64_t eventsEmitted();
+
+/** Thread buffers allocated in the current/last session. */
+std::size_t threadBuffersAllocated();
+
+/** Decode a binary trace file; throws nothing, fatal()s on damage. */
+std::vector<TraceRecord> readTraceFile(const std::string &path);
+
+/** Render one record as a single-line JSON object. */
+std::string recordToJson(const TraceRecord &rec);
+
+/**
+ * Convert a binary trace to JSON-lines (one object per record).
+ * Returns the number of records written, or -1 on I/O failure.
+ */
+long exportJsonl(const std::string &binary_path,
+                 const std::string &jsonl_path);
+
+} // namespace mgmee::obs
+
+/** Emission macro: no-op (one branch) unless tracing is active. */
+#define OBS_EVENT(kind, cycle, addr, value, arg0)                            \
+    ::mgmee::obs::emit((kind), (cycle), (addr), (value), (arg0))
+
+#endif // MGMEE_OBS_TRACE_HH

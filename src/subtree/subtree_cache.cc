@@ -1,5 +1,7 @@
 #include "subtree/subtree_cache.hh"
 
+#include "obs/trace.hh"
+
 namespace mgmee {
 
 bool
@@ -9,10 +11,13 @@ SubtreeRootCache::lookup(Addr node_line)
         return false;
     ++lookups_;
     auto it = map_.find(node_line);
-    if (it == map_.end())
+    if (it == map_.end()) {
+        OBS_EVENT(obs::EventKind::SubtreeMiss, 0, node_line, 0, 0);
         return false;
+    }
     lru_.splice(lru_.begin(), lru_, it->second);
     ++hits_;
+    OBS_EVENT(obs::EventKind::SubtreeHit, 0, node_line, 0, 0);
     return true;
 }
 

@@ -7,6 +7,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "core/access_tracker.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 
 namespace mgmee {
 
@@ -24,6 +26,7 @@ generateTrace(const WorkloadSpec &spec, Addr base, std::uint64_t seed,
     fatal_if(spec.footprint < kChunkBytes,
              "%s: footprint smaller than one chunk",
              spec.name.c_str());
+    OBS_SCOPE("trace_gen");
     Rng rng(seed);
     Trace trace;
     const std::size_t target =
@@ -182,6 +185,7 @@ generateTrace(const WorkloadSpec &spec, Addr base, std::uint64_t seed,
 TraceProfile
 profileTrace(const Trace &trace)
 {
+    OBS_SCOPE("profile_trace");
     TraceProfile prof;
 
     struct ChunkWindow
@@ -192,16 +196,32 @@ profileTrace(const Trace &trace)
     std::unordered_map<std::uint64_t, ChunkWindow> windows;
     constexpr Cycle kWindow = 16 * 1024;   // Sec. 3.1 time period
 
-    auto classify = [&prof](const ChunkWindow &w) {
+    auto classify = [&prof](std::uint64_t chunk,
+                            const ChunkWindow &w) {
         const StreamPart sp = detectGranularity(w.bits);
+        std::uint32_t per_class[4] = {0, 0, 0, 0};
         for (unsigned line = 0; line < kLinesPerChunk; ++line) {
             if (!((w.bits[line / 64] >> (line % 64)) & 1))
                 continue;
             switch (granularityOfPartition(sp, line / 8)) {
-              case Granularity::Line64B: ++prof.lines64; break;
-              case Granularity::Part512B: ++prof.lines512; break;
-              case Granularity::Sub4KB: ++prof.lines4k; break;
-              case Granularity::Chunk32KB: ++prof.lines32k; break;
+              case Granularity::Line64B: ++per_class[0]; break;
+              case Granularity::Part512B: ++per_class[1]; break;
+              case Granularity::Sub4KB: ++per_class[2]; break;
+              case Granularity::Chunk32KB: ++per_class[3]; break;
+            }
+        }
+        prof.lines64 += per_class[0];
+        prof.lines512 += per_class[1];
+        prof.lines4k += per_class[2];
+        prof.lines32k += per_class[3];
+        // One event per (window, class) with the exact line count, so
+        // a decoded trace reproduces the per-class totals bit-for-bit
+        // (pinned by tests/obs_test.cc).
+        for (unsigned cls = 0; cls < 4; ++cls) {
+            if (per_class[cls]) {
+                OBS_EVENT(obs::EventKind::StreamChunk, w.start,
+                          chunk * kChunkBytes, per_class[cls],
+                          static_cast<std::uint8_t>(cls));
             }
         }
     };
@@ -217,9 +237,10 @@ profileTrace(const Trace &trace)
             op.addr + (op.bytes ? op.bytes - 1 : 0), kCachelineBytes);
         for (Addr la = first; la <= last; la += kCachelineBytes) {
             ++prof.lines;
-            auto &win = windows[chunkIndex(la)];
+            const std::uint64_t chunk = chunkIndex(la);
+            auto &win = windows[chunk];
             if (now - win.start > kWindow) {
-                classify(win);
+                classify(chunk, win);
                 win = ChunkWindow{};
                 win.start = now;
             }
@@ -228,7 +249,7 @@ profileTrace(const Trace &trace)
         }
     }
     for (const auto &[chunk, win] : windows)
-        classify(win);
+        classify(chunk, win);
     prof.span = now;
     return prof;
 }

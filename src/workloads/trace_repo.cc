@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/trace.hh"
+
 namespace mgmee {
 
 namespace {
@@ -60,12 +62,16 @@ TraceRepo::get(const WorkloadSpec &spec, Addr base,
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        OBS_EVENT(obs::EventKind::MemoHit, 0, KeyHash{}(key), 0,
+                  static_cast<std::uint8_t>(obs::MemoTable::TraceRepo));
         return it->second;
     }
     // Generate under the shard lock: concurrent requesters of the
     // same trace wait instead of duplicating the work, and the cache
     // holds exactly one instance per key for the process lifetime.
     misses_.fetch_add(1, std::memory_order_relaxed);
+    OBS_EVENT(obs::EventKind::MemoMiss, 0, KeyHash{}(key), 0,
+              static_cast<std::uint8_t>(obs::MemoTable::TraceRepo));
     auto trace = std::make_shared<const Trace>(
         generateTrace(spec, base, seed, scale));
     shard.map.emplace(std::move(key), trace);

@@ -27,6 +27,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/stats.hh"
 #include "workloads/trace_gen.hh"
 
 namespace mgmee {
@@ -107,8 +108,12 @@ class TraceRepo
     Shard &shardFor(const Key &k);
 
     Shard shards_[kShards];
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
+    // Registered globally so manifests and tests read the hit rate
+    // from the StatRegistry under "trace_repo".
+    std::atomic<std::uint64_t> &hits_ =
+        StatRegistry::instance().counter("trace_repo", "hits");
+    std::atomic<std::uint64_t> &misses_ =
+        StatRegistry::instance().counter("trace_repo", "misses");
 };
 
 } // namespace mgmee

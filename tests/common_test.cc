@@ -1,12 +1,14 @@
 /**
  * @file
  * Unit tests for common helpers: geometry constants, bit ops, RNG
- * determinism, and the stats registry.
+ * determinism, the stats registry/JSON export, and the warn rate
+ * limiter.
  */
 
 #include <gtest/gtest.h>
 
 #include "common/bitops.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -133,6 +135,87 @@ TEST(StatsTest, AddGetResetMergeDump)
 
     g.reset();
     EXPECT_EQ(0u, g.get("hits"));
+}
+
+TEST(StatsTest, StatGroupToJsonRoundTrips)
+{
+    StatGroup g("engine");
+    g.add("hits", 15);
+    g.add("misses", 2);
+    // Sorted map order and one "key": value pair per stat.
+    EXPECT_EQ("{\"hits\": 15, \"misses\": 2}", g.toJson());
+    EXPECT_EQ("{}", StatGroup("empty").toJson());
+}
+
+TEST(StatsTest, HistogramToJsonCarriesPercentiles)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v);
+    const std::string j = h.toJson();
+    EXPECT_NE(std::string::npos, j.find("\"count\": 100"));
+    EXPECT_NE(std::string::npos, j.find("\"sum\": 5050"));
+    EXPECT_NE(std::string::npos, j.find("\"min\": 1"));
+    EXPECT_NE(std::string::npos, j.find("\"max\": 100"));
+    // The rendered percentiles are exactly the log2-bucket
+    // estimates percentile() computes.
+    EXPECT_NE(std::string::npos,
+              j.find("\"p50\": " + std::to_string(h.percentile(0.5))));
+    EXPECT_NE(std::string::npos,
+              j.find("\"p90\": " + std::to_string(h.percentile(0.9))));
+    EXPECT_NE(std::string::npos,
+              j.find("\"p99\": " +
+                     std::to_string(h.percentile(0.99))));
+    EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+    EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+}
+
+TEST(StatsTest, RegistryCountersAreSharedAndSnapshot)
+{
+    auto &c = StatRegistry::instance().counter("test_group", "events");
+    auto &same = StatRegistry::instance().counter("test_group",
+                                                  "events");
+    EXPECT_EQ(&c, &same);  // stable address per (group, stat)
+    c.store(0);
+    c.fetch_add(3);
+    EXPECT_EQ(3u, StatRegistry::instance()
+                      .snapshot("test_group")
+                      .get("events"));
+    const auto all = StatRegistry::instance().snapshotAll();
+    ASSERT_TRUE(all.count("test_group"));
+    EXPECT_EQ(3u, all.at("test_group").get("events"));
+    EXPECT_NE(std::string::npos, StatRegistry::instance().dump().find(
+                                     "test_group.events 3"));
+    c.store(0);
+}
+
+TEST(LoggingTest, WarnRateLimiterSuppressesPerSite)
+{
+    warnResetRateLimiter();
+    const std::uint64_t saved_limit = warnLimit();
+    setWarnLimit(2);
+
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 6; ++i)
+        warn("repeated diagnostic %d", i);
+    const std::string burst = testing::internal::GetCapturedStderr();
+
+    // First two print; the second also announces the suppression.
+    EXPECT_NE(std::string::npos, burst.find("repeated diagnostic 0"));
+    EXPECT_NE(std::string::npos, burst.find("repeated diagnostic 1"));
+    EXPECT_EQ(std::string::npos, burst.find("repeated diagnostic 2"));
+    EXPECT_NE(std::string::npos,
+              burst.find("further warnings from this site suppressed"));
+    EXPECT_EQ(4u, warnSuppressedCount());
+
+    testing::internal::CaptureStderr();
+    warnFlushSuppressed();
+    const std::string summary = testing::internal::GetCapturedStderr();
+    EXPECT_NE(std::string::npos, summary.find("suppressed 4 repeats"));
+    EXPECT_EQ(0u, warnSuppressedCount());
+
+    setWarnLimit(saved_limit);
+    warnResetRateLimiter();
 }
 
 } // namespace

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs/): security-event
+ * tracing round-trips, the disabled-mode zero-cost contract, the
+ * phase profiler's tree construction, the manifest schema, and the
+ * StreamChunk-event reproduction of the stream-chunk classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/manifest.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
+#include "workloads/registry.hh"
+
+namespace mgmee {
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(ObsTraceTest, DisabledEmissionIsFree)
+{
+    obs::stopTrace();  // make sure no session (e.g. MGMEE_TRACE) runs
+    ASSERT_FALSE(obs::traceEnabled());
+
+    const std::uint64_t emitted_before = obs::eventsEmitted();
+    const std::size_t buffers_before = obs::threadBuffersAllocated();
+    for (int i = 0; i < 10000; ++i) {
+        OBS_EVENT(obs::EventKind::WalkRead, i, 0x1000 + i, 0, 3);
+    }
+    // Nothing recorded, no thread buffer bound: the disabled path is
+    // the inlined flag test only.
+    EXPECT_EQ(emitted_before, obs::eventsEmitted());
+    EXPECT_EQ(buffers_before, obs::threadBuffersAllocated());
+}
+
+TEST(ObsTraceTest, BinaryRoundTripAndJsonl)
+{
+    obs::stopTrace();
+    const std::string bin = tmpPath("obs_roundtrip.obstrace");
+    ASSERT_TRUE(obs::startTrace(bin));
+
+    obs::emit(obs::EventKind::WalkRead, 123, 0xdead0000, 1, 4);
+    obs::emit(obs::EventKind::GranPromote, 456, 0x32000,
+              0, (0u << 4) | 3u);
+    obs::emit(obs::EventKind::TrackerEvict, 789, 42, 17,
+              static_cast<std::uint8_t>(obs::EvictReason::Lifetime));
+    EXPECT_EQ(3u, obs::eventsEmitted());
+    EXPECT_EQ(1u, obs::threadBuffersAllocated());
+    obs::stopTrace();
+
+    const std::vector<obs::TraceRecord> recs =
+        obs::readTraceFile(bin);
+    ASSERT_EQ(3u, recs.size());
+    EXPECT_EQ(static_cast<std::uint8_t>(obs::EventKind::WalkRead),
+              recs[0].kind);
+    EXPECT_EQ(123u, recs[0].cycle);
+    EXPECT_EQ(0xdead0000u, recs[0].addr);
+    EXPECT_EQ(1u, recs[0].value);
+    EXPECT_EQ(4u, recs[0].arg0);
+    EXPECT_EQ(static_cast<std::uint8_t>(obs::EventKind::GranPromote),
+              recs[1].kind);
+    EXPECT_EQ((0u << 4) | 3u, recs[1].arg0);
+    EXPECT_EQ(17u, recs[2].value);
+    EXPECT_EQ(static_cast<std::uint8_t>(obs::EvictReason::Lifetime),
+              recs[2].arg0);
+
+    const std::string jsonl = tmpPath("obs_roundtrip.jsonl");
+    EXPECT_EQ(3, obs::exportJsonl(bin, jsonl));
+    std::ifstream in(jsonl);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(std::string::npos, line.find("\"event\": \"walk_read\""));
+    EXPECT_NE(std::string::npos, line.find("\"cycle\": 123"));
+    int lines = 1;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(3, lines);
+}
+
+TEST(ObsTraceTest, EventKindNamesAreStable)
+{
+    EXPECT_STREQ("walk_read",
+                 obs::eventKindName(obs::EventKind::WalkRead));
+    EXPECT_STREQ("stream_chunk",
+                 obs::eventKindName(obs::EventKind::StreamChunk));
+    EXPECT_STREQ("unknown",
+                 obs::eventKindName(static_cast<obs::EventKind>(0)));
+}
+
+TEST(ObsTraceTest, StreamChunkEventsReproduceProfileCounts)
+{
+    obs::stopTrace();
+    const std::string bin = tmpPath("obs_chunks.obstrace");
+    ASSERT_TRUE(obs::startTrace(bin));
+
+    const WorkloadSpec &spec = findWorkload("alex");
+    const Trace trace = generateTrace(spec, 0, 11, 0.2);
+    const TraceProfile prof = profileTrace(trace);
+    obs::stopTrace();
+
+    std::uint64_t lines[4] = {0, 0, 0, 0};
+    for (const obs::TraceRecord &r : obs::readTraceFile(bin)) {
+        if (r.kind ==
+            static_cast<std::uint8_t>(obs::EventKind::StreamChunk)) {
+            ASSERT_LT(r.arg0, 4u);
+            lines[r.arg0] += r.value;
+        }
+    }
+    // The decoded event stream carries exactly the classifier's
+    // per-class line totals (the fig04 acceptance contract).
+    EXPECT_EQ(prof.lines64, lines[0]);
+    EXPECT_EQ(prof.lines512, lines[1]);
+    EXPECT_EQ(prof.lines4k, lines[2]);
+    EXPECT_EQ(prof.lines32k, lines[3]);
+    EXPECT_GT(lines[0] + lines[1] + lines[2] + lines[3], 0u);
+}
+
+TEST(ObsProfileTest, ScopesBuildNestedTree)
+{
+    obs::profilerReset();
+    obs::setProfilerEnabled(true);
+    {
+        OBS_SCOPE("outer");
+        for (int i = 0; i < 2; ++i) {
+            OBS_SCOPE("inner");
+        }
+    }
+    obs::setProfilerEnabled(false);
+
+    const obs::ProfileNode root = obs::profilerSnapshot();
+    ASSERT_EQ(1u, root.children.size());
+    const obs::ProfileNode &outer = root.children[0];
+    EXPECT_EQ("outer", outer.name);
+    EXPECT_EQ(1u, outer.calls);
+    ASSERT_EQ(1u, outer.children.size());
+    const obs::ProfileNode &inner = outer.children[0];
+    EXPECT_EQ("inner", inner.name);
+    EXPECT_EQ(2u, inner.calls);
+    EXPECT_TRUE(inner.children.empty());
+    // Self time is total minus the children's total.
+    EXPECT_GE(outer.total_ns, inner.total_ns);
+    EXPECT_EQ(outer.total_ns - inner.total_ns, outer.self_ns);
+
+    const std::string report = obs::profilerReport();
+    EXPECT_NE(std::string::npos, report.find("outer"));
+    EXPECT_NE(std::string::npos, report.find("inner"));
+    const std::string json = obs::profilerToJson();
+    EXPECT_NE(std::string::npos, json.find("\"name\": \"inner\""));
+    obs::profilerReset();
+}
+
+TEST(ObsProfileTest, DisabledScopesRecordNothing)
+{
+    obs::profilerReset();
+    ASSERT_FALSE(obs::profilerEnabled());
+    {
+        OBS_SCOPE("never_recorded");
+    }
+    const obs::ProfileNode root = obs::profilerSnapshot();
+    EXPECT_TRUE(root.children.empty());
+}
+
+TEST(ObsManifestTest, SchemaGolden)
+{
+    obs::Manifest m("unit");
+    m.set("answer", std::uint64_t{42});
+    m.set("ratio", 0.5);
+    m.set("label", "hello \"world\"");
+    m.set("ok", true);
+
+    StatGroup g("engine");
+    g.add("hits", 7);
+    m.addStats(g);
+
+    Histogram h;
+    h.record(16);
+    h.record(64);
+    m.addHistogram("latency", h);
+
+    const std::string j = m.toJson();
+    // Golden prefix: identity block first, exact layout pinned so a
+    // schema change forces a kSchemaVersion bump.
+    const std::string prefix = "{\n  \"schema_version\": 1,\n"
+                               "  \"bench\": \"unit\",\n  \"git\": \"";
+    EXPECT_EQ(prefix, j.substr(0, prefix.size()));
+    EXPECT_NE(std::string::npos, j.find("\"knobs\": {"));
+    EXPECT_NE(std::string::npos, j.find("\"answer\": 42"));
+    EXPECT_NE(std::string::npos, j.find("\"ratio\": 0.5"));
+    EXPECT_NE(std::string::npos,
+              j.find("\"label\": \"hello \\\"world\\\"\""));
+    EXPECT_NE(std::string::npos, j.find("\"ok\": true"));
+    EXPECT_NE(std::string::npos,
+              j.find("\"engine\": {\"hits\": 7}"));
+    EXPECT_NE(std::string::npos, j.find("\"latency\": {\"count\": 2"));
+    EXPECT_NE(std::string::npos, j.find("\"p99\":"));
+    EXPECT_EQ('{', j.front());
+    EXPECT_EQ('\n', j.back());
+
+    const std::string dir = tmpPath("obs_manifest_dir");
+    const std::string path = m.write(dir);
+    EXPECT_EQ(dir + "/manifest_unit.json", path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(j, content);
+}
+
+TEST(ObsManifestTest, RegistryCaptureShowsGlobalCounters)
+{
+    auto &c = StatRegistry::instance().counter("obs_manifest_test",
+                                               "pings");
+    c.store(5);
+    obs::Manifest m("registry_probe");
+    m.captureRegistry();
+    EXPECT_NE(std::string::npos,
+              m.toJson().find("\"obs_manifest_test\": {\"pings\": 5"));
+    c.store(0);
+}
+
+} // namespace
+} // namespace mgmee

@@ -210,6 +210,44 @@ TEST(SweepMemoTest, RunMemoCountsHitsOnRepeat)
     EXPECT_EQ(before.run_misses, after.run_misses);
 }
 
+TEST(SweepMemoTest, MemoCountersLandInStatRegistry)
+{
+    MemoEnv memo("1");
+    runMemoClear();
+    TraceRepo::instance().clear();
+
+    const StatGroup memo_before =
+        StatRegistry::instance().snapshot("run_memo");
+    const StatGroup repo_before =
+        StatRegistry::instance().snapshot("trace_repo");
+
+    // Cold run (misses), then a replay (hits).
+    const Scenario sc = selectedScenarios()[0];
+    runScenarioMemo(sc, Scheme::Conventional, 23, 0.05);
+    runScenarioMemo(sc, Scheme::Conventional, 23, 0.05);
+
+    const StatGroup memo_after =
+        StatRegistry::instance().snapshot("run_memo");
+    const StatGroup repo_after =
+        StatRegistry::instance().snapshot("trace_repo");
+
+    // One run-memo miss and one hit from the pair of calls; the cold
+    // run generated its traces through the repo (four misses, one
+    // per device), the replay never reached it.
+    EXPECT_EQ(memo_before.get("misses") + 1, memo_after.get("misses"));
+    EXPECT_EQ(memo_before.get("hits") + 1, memo_after.get("hits"));
+    EXPECT_EQ(repo_before.get("misses") + 4, repo_after.get("misses"));
+    EXPECT_EQ(repo_before.get("hits"), repo_after.get("hits"));
+
+    // The registry view is the memo's own view, not a copy.
+    const RunMemoStats direct = runMemoStats();
+    EXPECT_EQ(direct.run_hits, memo_after.get("hits"));
+    EXPECT_EQ(direct.run_misses, memo_after.get("misses"));
+    EXPECT_EQ(TraceRepo::instance().hits(), repo_after.get("hits"));
+    EXPECT_EQ(TraceRepo::instance().misses(),
+              repo_after.get("misses"));
+}
+
 TEST(TraceRepoTest, ConcurrentAccessIsRaceFree)
 {
     MemoEnv memo("1");

@@ -1,25 +1,146 @@
 /**
  * @file
- * mgmee-trace-stats: analyse a trace file (mgmee-trace v1) with the
- * paper's Sec. 3.1 stream-chunk classifier.
+ * mgmee-trace-stats: analyse a trace file with the paper's Sec. 3.1
+ * stream-chunk classifier (workload traces, mgmee-trace v1) or decode
+ * a binary security-event trace (obs format, magic "MGOBSTR1").
  *
- *   mgmee-trace-stats <trace-file>...
+ *   mgmee-trace-stats [--jsonl <out>] <trace-file>...
  *
- * Prints, per file: request/line/write counts, issue span, request
- * size histogram, and the 64B/512B/4KB/32KB stream-chunk composition
- * -- the properties that determine how every protection scheme will
- * treat the workload.  Useful when converting traces from other
- * simulators to check they landed in the intended regime.
+ * The format is auto-detected per file.  For workload traces it
+ * prints request/line/write counts, issue span, request size
+ * histogram, and the 64B/512B/4KB/32KB stream-chunk composition.
+ * For security-event traces it prints per-kind event counts,
+ * read-walk depth statistics, per-level metadata-cache hit rates,
+ * per-table memo hit rates, and the per-class stream-chunk line
+ * totals (which must match the emitting bench's manifest totals).
+ * `--jsonl <out>` additionally exports an event trace as JSON-lines.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/stats.hh"
+#include "obs/trace.hh"
 #include "workloads/trace_io.hh"
 
 using namespace mgmee;
 
 namespace {
+
+/** True when @p path starts with the obs event-trace magic. */
+bool
+isObsTrace(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f)
+        return false;
+    char magic[8] = {};
+    const std::size_t got = std::fread(magic, 1, sizeof(magic), f);
+    std::fclose(f);
+    return got == sizeof(magic) &&
+           std::memcmp(magic, "MGOBSTR1", sizeof(magic)) == 0;
+}
+
+void
+analyseObs(const char *path, const std::string &jsonl_out)
+{
+    const std::vector<obs::TraceRecord> recs =
+        obs::readTraceFile(path);
+
+    std::uint64_t by_kind[256] = {};
+    Histogram walk_depth;
+    std::uint64_t level_hits[32] = {}, level_total[32] = {};
+    std::uint64_t memo_hits[3] = {}, memo_misses[3] = {};
+    std::uint64_t chunk_lines[4] = {}, chunk_events[4] = {};
+    for (const obs::TraceRecord &r : recs) {
+        ++by_kind[r.kind];
+        switch (static_cast<obs::EventKind>(r.kind)) {
+          case obs::EventKind::WalkRead:
+            walk_depth.record(r.arg0);
+            break;
+          case obs::EventKind::WalkLevel:
+            if (r.arg0 < 32) {
+                ++level_total[r.arg0];
+                level_hits[r.arg0] += r.value & 1;
+            }
+            break;
+          case obs::EventKind::MemoHit:
+            if (r.arg0 < 3)
+                ++memo_hits[r.arg0];
+            break;
+          case obs::EventKind::MemoMiss:
+            if (r.arg0 < 3)
+                ++memo_misses[r.arg0];
+            break;
+          case obs::EventKind::StreamChunk:
+            if (r.arg0 < 4) {
+                chunk_lines[r.arg0] += r.value;
+                ++chunk_events[r.arg0];
+            }
+            break;
+          default:
+            break;
+        }
+    }
+
+    std::printf("%s (security-event trace, %zu records)\n", path,
+                recs.size());
+    for (unsigned k = 0; k < 256; ++k) {
+        if (by_kind[k]) {
+            std::printf("  %-14s %12llu\n",
+                        obs::eventKindName(
+                            static_cast<obs::EventKind>(k)),
+                        static_cast<unsigned long long>(by_kind[k]));
+        }
+    }
+    if (walk_depth.count())
+        std::printf("  read-walk depth: %s\n",
+                    walk_depth.summary().c_str());
+    for (unsigned lvl = 0; lvl < 32; ++lvl) {
+        if (level_total[lvl]) {
+            std::printf("  level %2u: %llu touches, %.1f%% cached\n",
+                        lvl,
+                        static_cast<unsigned long long>(
+                            level_total[lvl]),
+                        100.0 * static_cast<double>(level_hits[lvl]) /
+                            static_cast<double>(level_total[lvl]));
+        }
+    }
+    static const char *kTables[3] = {"run", "search", "trace_repo"};
+    for (unsigned t = 0; t < 3; ++t) {
+        if (memo_hits[t] + memo_misses[t]) {
+            std::printf("  memo[%s]: %llu hits / %llu misses\n",
+                        kTables[t],
+                        static_cast<unsigned long long>(memo_hits[t]),
+                        static_cast<unsigned long long>(
+                            memo_misses[t]));
+        }
+    }
+    static const char *kClasses[4] = {"64B", "512B", "4KB", "32KB"};
+    for (unsigned c = 0; c < 4; ++c) {
+        if (chunk_events[c]) {
+            std::printf("  stream-chunk %-4s: %llu lines in %llu "
+                        "windows\n",
+                        kClasses[c],
+                        static_cast<unsigned long long>(
+                            chunk_lines[c]),
+                        static_cast<unsigned long long>(
+                            chunk_events[c]));
+        }
+    }
+    std::printf("\n");
+
+    if (!jsonl_out.empty()) {
+        const long n = obs::exportJsonl(path, jsonl_out);
+        if (n < 0)
+            std::fprintf(stderr, "could not write %s\n",
+                         jsonl_out.c_str());
+        else
+            std::printf("exported %ld records to %s\n", n,
+                        jsonl_out.c_str());
+    }
+}
 
 void
 analyse(const char *path)
@@ -80,13 +201,25 @@ analyse(const char *path)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    std::string jsonl_out;
+    int first = 1;
+    if (argc >= 3 && std::strcmp(argv[1], "--jsonl") == 0) {
+        jsonl_out = argv[2];
+        first = 3;
+    }
+    if (first >= argc) {
         std::fprintf(stderr,
-                     "usage: mgmee-trace-stats <trace-file>...\n"
-                     "(produce files with: mgmee-sim --dump-traces)\n");
+                     "usage: mgmee-trace-stats [--jsonl <out>] "
+                     "<trace-file>...\n"
+                     "(workload traces via mgmee-sim --dump-traces; "
+                     "event traces via MGMEE_TRACE=<path>)\n");
         return 1;
     }
-    for (int i = 1; i < argc; ++i)
-        analyse(argv[i]);
+    for (int i = first; i < argc; ++i) {
+        if (isObsTrace(argv[i]))
+            analyseObs(argv[i], jsonl_out);
+        else
+            analyse(argv[i]);
+    }
     return 0;
 }
