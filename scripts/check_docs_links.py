@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Check markdown links and heading anchors across the repo docs.
+
+Usage: check_docs_links.py [file-or-dir ...]
+
+Defaults to README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md and
+docs/.  Stdlib only (CI-friendly).  For every markdown link:
+
+  - `http(s)://` and `mailto:` targets are skipped (no network in CI);
+  - relative file targets must exist (resolved against the linking
+    file's directory);
+  - `#anchor` fragments -- same-file or cross-file -- must match a
+    heading in the target file, using GitHub's slugging rules
+    (lowercase, punctuation stripped, spaces to hyphens).
+
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_TARGETS = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
+                   "ROADMAP.md", "docs"]
+
+# [text](target) -- ignores images' leading '!' (same target rules).
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug for a heading line."""
+    # Inline code/emphasis markers don't contribute to the slug.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    # Drop everything except word characters, spaces and hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_md_files(targets):
+    files = []
+    for target in targets:
+        if os.path.isdir(target):
+            for root, _dirs, names in os.walk(target):
+                files.extend(os.path.join(root, n) for n in names
+                             if n.endswith(".md"))
+        elif os.path.isfile(target):
+            files.append(target)
+        else:
+            print(f"warning: {target} not found, skipped",
+                  file=sys.stderr)
+    return sorted(set(files))
+
+
+def parse_file(path):
+    """Return (links as (lineno, target), anchors set) of one file."""
+    links, anchors = [], set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            heading = HEADING_RE.match(line)
+            if heading:
+                anchors.add(github_slug(heading.group(2)))
+            for match in LINK_RE.finditer(line):
+                links.append((lineno, match.group(1)))
+    return links, anchors
+
+
+def main(argv):
+    targets = argv if argv else DEFAULT_TARGETS
+    files = collect_md_files(targets)
+    if not files:
+        sys.exit("no markdown files found")
+
+    parsed = {path: parse_file(path) for path in files}
+    # Anchor sets for files that are linked to but not being checked.
+    anchor_cache = {path: anchors for path, (_, anchors)
+                    in parsed.items()}
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = parse_file(path)[1] \
+                if path.endswith(".md") else set()
+        return anchor_cache[path]
+
+    broken = []
+    for path, (links, _anchors) in parsed.items():
+        base = os.path.dirname(path)
+        for lineno, target in links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in anchors_of(path) \
+                        and target[1:] not in anchors_of(path):
+                    broken.append((path, lineno, target,
+                                   "anchor not found"))
+                continue
+            file_part, _, fragment = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                broken.append((path, lineno, target, "file not found"))
+                continue
+            if fragment and resolved.endswith(".md"):
+                if github_slug(fragment) not in anchors_of(resolved) \
+                        and fragment not in anchors_of(resolved):
+                    broken.append((path, lineno, target,
+                                   "anchor not found"))
+
+    for path, lineno, target, why in broken:
+        print(f"{path}:{lineno}: broken link '{target}' ({why})",
+              file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    total = sum(len(links) for links, _ in parsed.values())
+    print(f"checked {total} links across {len(files)} markdown files: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

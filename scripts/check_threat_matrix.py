@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Verify docs/THREAT_MODEL.md against the measured attack-campaign matrix.
+
+Usage:
+    check_threat_matrix.py [--update] [manifest] [threat_model.md]
+
+Defaults: results/manifest_attack_campaign.json, docs/THREAT_MODEL.md.
+
+Reads the `matrix.<engine>.<class>` verdicts out of the campaign
+manifest (written by `attack_campaign` / `mgmee-sim --attack-campaign`),
+renders them as the markdown table bounded by the BEGIN/END ATTACK
+MATRIX markers in the threat model, and fails if the committed table
+differs -- so the doc can never drift from measured behaviour.  With
+--update the block is rewritten in place instead.
+
+It also enforces the acceptance bar independently of the doc: the
+core engines (mgmee, conventional) must have no missed or false-alarm
+cells, and no engine may raise a false alarm on a clean run.
+"""
+
+import json
+import sys
+
+BEGIN = "<!-- BEGIN ATTACK MATRIX -->"
+END = "<!-- END ATTACK MATRIX -->"
+CORE_ENGINES = ("mgmee", "conventional")
+
+# Verdict -> table cell (misses are called out in bold).
+LABEL = {
+    "detected": "detected",
+    "missed": "**MISSED**",
+    "false_alarm": "**FALSE ALARM**",
+    "clean_pass": "pass",
+    "n/a": "n/a",
+}
+
+
+def load_matrix(manifest_path):
+    """Return (engines, classes, {(engine, class): verdict}, results)."""
+    with open(manifest_path) as f:
+        doc = json.load(f)
+    results = doc.get("results", {})
+    engines, classes, cells = [], [], {}
+    for key, value in results.items():
+        if not key.startswith("matrix."):
+            continue
+        _, engine, cls = key.split(".", 2)
+        if engine not in engines:
+            engines.append(engine)
+        if cls not in classes:
+            classes.append(cls)
+        cells[(engine, cls)] = value
+    if not cells:
+        sys.exit(f"{manifest_path}: no matrix.* results -- "
+                 "run the attack campaign first")
+    return engines, classes, cells, results
+
+
+def render_table(engines, classes, cells):
+    header = "| attack class | " + " | ".join(engines) + " |"
+    rule = "|---" * (len(engines) + 1) + "|"
+    lines = [header, rule]
+    for cls in classes:
+        row = [f"`{cls}`"]
+        for engine in engines:
+            verdict = cells.get((engine, cls), "n/a")
+            row.append(LABEL.get(verdict, verdict))
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def enforce_acceptance(engines, classes, cells, results):
+    failures = []
+    for engine in CORE_ENGINES:
+        if engine not in engines:
+            failures.append(f"core engine '{engine}' missing from matrix")
+            continue
+        for cls in classes:
+            verdict = cells.get((engine, cls))
+            if verdict in ("missed", "false_alarm"):
+                failures.append(
+                    f"core engine '{engine}' verdict for '{cls}' is "
+                    f"'{verdict}' (must detect every applicable class)")
+    for (engine, cls), verdict in cells.items():
+        if verdict == "false_alarm":
+            failures.append(
+                f"'{engine}' raised a false alarm on '{cls}'")
+    if results.get("cells_false_alarm", 0) != 0:
+        failures.append(
+            f"{results['cells_false_alarm']} false-alarm cells recorded")
+    if results.get("core_full_detection") is not True:
+        failures.append("manifest core_full_detection flag is not true")
+    return failures
+
+
+def splice_block(doc_lines, table_lines):
+    """Replace the marker-bounded block; returns (new_lines, old_block)."""
+    try:
+        begin = doc_lines.index(BEGIN)
+        end = doc_lines.index(END)
+    except ValueError:
+        sys.exit(f"threat model is missing the '{BEGIN}' / '{END}' "
+                 "markers")
+    if end < begin:
+        sys.exit("threat-model matrix markers are out of order")
+    old_block = doc_lines[begin + 1:end]
+    new_lines = doc_lines[:begin + 1] + table_lines + doc_lines[end:]
+    return new_lines, old_block
+
+
+def main(argv):
+    update = "--update" in argv
+    args = [a for a in argv if a != "--update"]
+    manifest_path = args[0] if len(args) > 0 else \
+        "results/manifest_attack_campaign.json"
+    doc_path = args[1] if len(args) > 1 else "docs/THREAT_MODEL.md"
+
+    engines, classes, cells, results = load_matrix(manifest_path)
+    table = render_table(engines, classes, cells)
+
+    failures = enforce_acceptance(engines, classes, cells, results)
+    for failure in failures:
+        print(f"ACCEPTANCE: {failure}", file=sys.stderr)
+
+    with open(doc_path) as f:
+        doc_lines = f.read().splitlines()
+    new_lines, old_block = splice_block(doc_lines, table)
+
+    measured = [line.strip() for line in table]
+    committed = [line.strip() for line in old_block if line.strip()]
+
+    if update:
+        with open(doc_path, "w") as f:
+            f.write("\n".join(new_lines) + "\n")
+        print(f"updated {doc_path} ({len(engines)} engines x "
+              f"{len(classes)} classes)")
+    elif committed != measured:
+        print(f"{doc_path}: attack matrix DIFFERS from {manifest_path}",
+              file=sys.stderr)
+        for line in old_block:
+            if line.strip() and line.strip() not in measured:
+                print(f"  doc only:      {line.strip()}", file=sys.stderr)
+        for line in measured:
+            if line not in committed:
+                print(f"  measured only: {line}", file=sys.stderr)
+        print("re-run: attack_campaign && "
+              "scripts/check_threat_matrix.py --update", file=sys.stderr)
+        return 1
+    else:
+        print(f"{doc_path}: matrix matches {manifest_path} "
+              f"({len(engines)} engines x {len(classes)} classes)")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

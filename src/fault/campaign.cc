@@ -1,0 +1,655 @@
+#include "fault/campaign.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/granularity.hh"
+#include "mee/secure_memory.hh"
+#include "obs/manifest.hh"
+
+namespace mgmee::fault {
+
+namespace {
+
+/** splitmix64 step: derives independent per-cell seed streams. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over @p s, so cell seeds are stable per engine *name*. */
+std::uint64_t
+hashName(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s)
+        h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+    return h;
+}
+
+SecureMemory::Keys
+keysFromSeed(std::uint64_t seed)
+{
+    Rng rng(mix(seed));
+    SecureMemory::Keys keys;
+    for (auto &b : keys.aes)
+        b = static_cast<std::uint8_t>(rng.next());
+    keys.mac = {rng.next(), rng.next()};
+    return keys;
+}
+
+/**
+ * SecureMemory-backed target with a per-engine granularity policy.
+ * All four tree-based engines share the same functional protection
+ * machinery (that is the point of the model); they differ in which
+ * granularities they may configure:
+ *
+ *  - Full:     any of the four (the mgmee engine);
+ *  - Pinned64: fixed 64B lines, no granularity table at all
+ *              (conventional and common-counters);
+ *  - Capped4K: multi-granular but never coarser than 4KB
+ *              (the adaptive-MAC prior).
+ */
+class SecureTarget final : public Target
+{
+  public:
+    enum class Policy
+    {
+        Full,
+        Pinned64,
+        Capped4K,
+    };
+
+    SecureTarget(const char *name, Policy policy,
+                 std::size_t data_bytes, std::uint64_t seed)
+        : name_(name), policy_(policy), rekey_rng_(mix(seed ^ 0x7e))
+        , mem_(data_bytes, keysFromSeed(seed))
+    {
+    }
+
+    const char *name() const override { return name_; }
+
+    // ---- data plane -------------------------------------------------
+    bool
+    write(Addr addr, std::span<const std::uint8_t> data) override
+    {
+        return mem_.write(addr, data) == SecureMemory::Status::Ok;
+    }
+
+    bool
+    read(Addr addr, std::span<std::uint8_t> out) override
+    {
+        return mem_.read(addr, out) == SecureMemory::Status::Ok;
+    }
+
+    bool
+    setGranularity(std::uint64_t chunk, Granularity g) override
+    {
+        if (policy_ == Policy::Pinned64)
+            return false;
+        if (policy_ == Policy::Capped4K && g > Granularity::Sub4KB)
+            g = Granularity::Sub4KB;
+        // The reconfigured unit sits at the chunk base; the rest of
+        // the chunk stays fine-grained (matching how the tracker
+        // promotes individual stream partitions/subchunks).
+        StreamPart sp = kAllFine;
+        switch (g) {
+          case Granularity::Line64B: sp = kAllFine; break;
+          case Granularity::Part512B: sp = StreamPart{1}; break;
+          case Granularity::Sub4KB: sp = subchunkMask(0); break;
+          case Granularity::Chunk32KB: sp = kAllStream; break;
+        }
+        mem_.applyStreamPart(chunk, sp);
+        return true;
+    }
+
+    Granularity
+    effectiveGranularity(Addr addr) const override
+    {
+        return mem_.granularityAt(addr);
+    }
+
+    void boundary() override { mem_.flushMetadata(); }
+
+    bool
+    rekey() override
+    {
+        mem_.rekey(keysFromSeed(rekey_rng_.next()));
+        return true;
+    }
+
+    // ---- attack plane -----------------------------------------------
+    bool
+    corruptData(Addr addr, unsigned byte_index) override
+    {
+        mem_.corruptData(addr, byte_index);
+        return true;
+    }
+
+    bool
+    corruptMac(Addr addr) override
+    {
+        mem_.corruptMac(addr);
+        return true;
+    }
+
+    bool
+    corruptCounter(Addr addr) override
+    {
+        // Counters at/above the root node live on-chip: untouchable.
+        const CounterLoc loc = mem_.addrComputer().counterLocAt(
+            addr, mem_.granularityAt(addr));
+        if (loc.level >= mem_.layout().geometry().levels())
+            return false;
+        mem_.corruptCounter(addr);
+        return true;
+    }
+
+    Snapshot
+    capture(Addr addr) override
+    {
+        const SecureMemory::Replay r = mem_.captureForReplay(addr);
+        Snapshot snap;
+        snap.addr = r.addr;
+        snap.cipher = r.cipher;
+        snap.mac = r.mac;
+        snap.counter = r.leaf_counter;
+        snap.node_mac = r.leaf_node_mac;
+        return snap;
+    }
+
+    void
+    restore(const Snapshot &snap, Addr at) override
+    {
+        SecureMemory::Replay r;
+        r.addr = alignDown(at, kCachelineBytes);
+        r.cipher = snap.cipher;
+        r.mac = snap.mac;
+        r.leaf_counter = snap.counter;
+        r.leaf_node_mac = snap.node_mac;
+        // SecureMemory::replay settles deferred node-MAC refreshes
+        // before overwriting (the Target::restore contract).
+        mem_.replay(r);
+    }
+
+    bool
+    tamperGranTable(std::uint64_t chunk, Addr addr) override
+    {
+        if (policy_ == Policy::Pinned64)
+            return false;  // fixed layout: nothing stored to tamper
+        const StreamPart sp = mem_.streamPart(chunk);
+        // Flip the layout at the victim: a fine address becomes a
+        // stream partition, a promoted one drops back to all-fine.
+        const StreamPart tampered =
+            granularityOfAddr(sp, addr) == Granularity::Line64B
+                ? sp | (StreamPart{1} << partInChunk(addr))
+                : kAllFine;
+        mem_.tamperStreamPart(chunk, tampered);
+        return true;
+    }
+
+  private:
+    const char *name_;
+    Policy policy_;
+    Rng rekey_rng_;
+    SecureMemory mem_;
+};
+
+/**
+ * Per-line MAC + version engine with NO integrity tree: the treeless
+ * accelerator designs of Sec. 2.3.  MAC = H(addr, version, cipher).
+ * `managed` keeps the versions in on-chip storage (the NPU variant,
+ * where firmware manages a bounded working set); unmanaged stores
+ * them off-chip next to the MACs (the CPU variant) -- which is
+ * exactly why a consistent rollback of {cipher, MAC, version} passes
+ * verification there.
+ */
+class TreelessTarget final : public Target
+{
+  public:
+    TreelessTarget(const char *name, bool managed, std::uint64_t seed)
+        : name_(name), managed_(managed)
+        , otp_(keysFromSeed(seed).aes), mac_(keysFromSeed(seed).mac)
+    {
+    }
+
+    const char *name() const override { return name_; }
+
+    // ---- data plane -------------------------------------------------
+    bool
+    write(Addr addr, std::span<const std::uint8_t> data) override
+    {
+        panic_if(addr % kCachelineBytes ||
+                     data.size() % kCachelineBytes,
+                 "treeless target: unaligned write");
+        for (std::size_t off = 0; off < data.size();
+             off += kCachelineBytes) {
+            const Addr la = addr + off;
+            LineState &ls = line(la);
+            const std::uint64_t ver = version(la) + 1;
+            setVersion(la, ver);
+            const Pad pad = otp_.makePad(la, ver);
+            for (unsigned b = 0; b < kCachelineBytes; ++b)
+                ls.cipher[b] = data[off + b] ^ pad[b];
+            ls.mac = mac_.lineMac(la, ver, ls.cipher.data());
+        }
+        return true;
+    }
+
+    bool
+    read(Addr addr, std::span<std::uint8_t> out) override
+    {
+        panic_if(addr % kCachelineBytes ||
+                     out.size() % kCachelineBytes,
+                 "treeless target: unaligned read");
+        for (std::size_t off = 0; off < out.size();
+             off += kCachelineBytes) {
+            const Addr la = addr + off;
+            LineState &ls = line(la);
+            const std::uint64_t ver = version(la);
+            if (mac_.lineMac(la, ver, ls.cipher.data()) != ls.mac)
+                return false;
+            const Pad pad = otp_.makePad(la, ver);
+            for (unsigned b = 0; b < kCachelineBytes; ++b)
+                out[off + b] = ls.cipher[b] ^ pad[b];
+        }
+        return true;
+    }
+
+    bool
+    setGranularity(std::uint64_t, Granularity) override
+    {
+        return false;  // per-line only
+    }
+
+    Granularity
+    effectiveGranularity(Addr) const override
+    {
+        return Granularity::Line64B;
+    }
+
+    // ---- attack plane -----------------------------------------------
+    bool
+    corruptData(Addr addr, unsigned byte_index) override
+    {
+        line(lineAddr(addr)).cipher[byte_index % kCachelineBytes] ^=
+            0x01;
+        return true;
+    }
+
+    bool
+    corruptMac(Addr addr) override
+    {
+        line(lineAddr(addr)).mac ^= 0x1;
+        return true;
+    }
+
+    bool
+    corruptCounter(Addr addr) override
+    {
+        if (managed_)
+            return false;  // versions are on-chip: unreachable
+        const Addr la = lineAddr(addr);
+        setVersion(la, version(la) ^ 0x1);
+        return true;
+    }
+
+    Snapshot
+    capture(Addr addr) override
+    {
+        const Addr la = lineAddr(addr);
+        const LineState &ls = line(la);
+        Snapshot snap;
+        snap.addr = la;
+        snap.cipher = ls.cipher;
+        snap.mac = ls.mac;
+        // The managed variant keeps versions on-chip, so an attacker
+        // has nothing to capture there (stays 0).
+        snap.counter = managed_ ? 0 : version(la);
+        return snap;
+    }
+
+    void
+    restore(const Snapshot &snap, Addr at) override
+    {
+        // No deferred metadata here (nothing is lazily refreshed);
+        // the restore is the plain off-chip overwrite.
+        const Addr la = lineAddr(at);
+        LineState &ls = line(la);
+        ls.cipher = snap.cipher;
+        ls.mac = snap.mac;
+        if (!managed_)
+            setVersion(la, snap.counter);
+    }
+
+    bool
+    tamperGranTable(std::uint64_t, Addr) override
+    {
+        return false;  // no granularity state exists
+    }
+
+  private:
+    /** Off-chip per-line state (version only when unmanaged). */
+    struct LineState
+    {
+        std::array<std::uint8_t, kCachelineBytes> cipher{};
+        Mac mac = 0;
+        std::uint64_t version = 0;
+    };
+
+    static Addr
+    lineAddr(Addr a)
+    {
+        return alignDown(a, kCachelineBytes);
+    }
+
+    LineState &
+    line(Addr la)
+    {
+        auto [it, fresh] = lines_.try_emplace(lineIndex(la));
+        if (fresh) {
+            // First touch: zero data at version 0, like a freshly
+            // initialised protected region.
+            it->second.mac = mac_.lineMac(la, 0,
+                                          it->second.cipher.data());
+        }
+        return it->second;
+    }
+
+    std::uint64_t
+    version(Addr la)
+    {
+        return managed_ ? onchip_versions_[lineIndex(la)]
+                        : line(la).version;
+    }
+
+    void
+    setVersion(Addr la, std::uint64_t v)
+    {
+        if (managed_)
+            onchip_versions_[lineIndex(la)] = v;
+        else
+            line(la).version = v;
+    }
+
+    const char *name_;
+    bool managed_;
+    OtpGenerator otp_;
+    MacEngine mac_;
+    std::unordered_map<std::uint64_t, LineState> lines_;
+    /** Trusted on-chip version store (managed variant only). */
+    std::unordered_map<std::uint64_t, std::uint64_t>
+        onchip_versions_;
+};
+
+constexpr const char *kEngines[] = {
+    "mgmee",        "conventional", "adaptive-mac",
+    "common-counters", "treeless-npu", "treeless-cpu",
+};
+
+constexpr const char *kCoreEngines[] = {"mgmee", "conventional"};
+
+/** Severity rank for aggregation (higher = worse). */
+unsigned
+severity(Verdict v)
+{
+    switch (v) {
+      case Verdict::FalseAlarm: return 4;
+      case Verdict::Missed: return 3;
+      case Verdict::Detected: return 2;
+      case Verdict::CleanPass: return 1;
+      case Verdict::NotApplicable: return 0;
+    }
+    return 0;
+}
+
+/** Matrix rendering of @p v (misses shout). */
+const char *
+matrixLabel(Verdict v)
+{
+    switch (v) {
+      case Verdict::Detected: return "detected";
+      case Verdict::Missed: return "MISSED";
+      case Verdict::FalseAlarm: return "FALSE-ALARM";
+      case Verdict::CleanPass: return "pass";
+      case Verdict::NotApplicable: return "n/a";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::span<const char *const>
+allEngines()
+{
+    return kEngines;
+}
+
+std::span<const char *const>
+coreEngines()
+{
+    return kCoreEngines;
+}
+
+std::unique_ptr<Target>
+makeTarget(const std::string &engine, std::size_t data_bytes,
+           std::uint64_t seed)
+{
+    if (engine == "mgmee")
+        return std::make_unique<SecureTarget>(
+            "mgmee", SecureTarget::Policy::Full, data_bytes, seed);
+    if (engine == "conventional")
+        return std::make_unique<SecureTarget>(
+            "conventional", SecureTarget::Policy::Pinned64, data_bytes,
+            seed);
+    if (engine == "adaptive-mac")
+        return std::make_unique<SecureTarget>(
+            "adaptive-mac", SecureTarget::Policy::Capped4K, data_bytes,
+            seed);
+    if (engine == "common-counters")
+        return std::make_unique<SecureTarget>(
+            "common-counters", SecureTarget::Policy::Pinned64,
+            data_bytes, seed);
+    if (engine == "treeless-npu")
+        return std::make_unique<TreelessTarget>("treeless-npu", true,
+                                                seed);
+    if (engine == "treeless-cpu")
+        return std::make_unique<TreelessTarget>("treeless-cpu", false,
+                                                seed);
+    return nullptr;
+}
+
+Verdict
+EngineReport::classVerdict(AttackClass cls) const
+{
+    Verdict worst = Verdict::NotApplicable;
+    for (const CellResult &cell :
+         cells[static_cast<unsigned>(cls)]) {
+        if (severity(cell.verdict) > severity(worst))
+            worst = cell.verdict;
+    }
+    return worst;
+}
+
+std::array<unsigned, 5>
+CampaignReport::verdictTotals() const
+{
+    std::array<unsigned, 5> totals{};
+    for (const EngineReport &er : engines)
+        for (const auto &row : er.cells)
+            for (const CellResult &cell : row)
+                if (cell.injections > 0 ||
+                    cell.verdict != Verdict::NotApplicable)
+                    ++totals[static_cast<unsigned>(cell.verdict)];
+    return totals;
+}
+
+bool
+CampaignReport::coreEnginesFullyDetect() const
+{
+    for (const EngineReport &er : engines) {
+        bool core = false;
+        for (const char *name : kCoreEngines)
+            core = core || er.engine == name;
+        for (const auto &row : er.cells) {
+            for (const CellResult &cell : row) {
+                // A false alarm is a modelling bug on ANY engine.
+                if (cell.verdict == Verdict::FalseAlarm)
+                    return false;
+                if (core && cell.verdict == Verdict::Missed)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::string
+CampaignReport::matrixText() const
+{
+    std::string out;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%-14s", "attack class");
+    out += buf;
+    for (const EngineReport &er : engines) {
+        std::snprintf(buf, sizeof(buf), "  %-15s",
+                      er.engine.c_str());
+        out += buf;
+    }
+    out += '\n';
+    for (unsigned c = 0; c < kAttackClasses; ++c) {
+        const auto cls = static_cast<AttackClass>(c);
+        bool ran = false;
+        for (const EngineReport &er : engines)
+            ran = ran ||
+                  er.classVerdict(cls) != Verdict::NotApplicable ||
+                  cls == AttackClass::None;
+        // A class no engine ran (filtered campaign) is omitted, not
+        // reported as n/a.
+        bool any_cell = false;
+        for (const EngineReport &er : engines)
+            for (const CellResult &cell : er.cells[c])
+                any_cell = any_cell || cell.injections > 0 ||
+                           cell.verdict != Verdict::NotApplicable;
+        if (!ran || !any_cell)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%-14s",
+                      attackClassName(cls));
+        out += buf;
+        for (const EngineReport &er : engines) {
+            std::snprintf(buf, sizeof(buf), "  %-15s",
+                          matrixLabel(er.classVerdict(cls)));
+            out += buf;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+CampaignReport::fillManifest(obs::Manifest &m) const
+{
+    m.set("seed", seed);
+    m.set("engines", static_cast<unsigned>(engines.size()));
+    const auto totals = verdictTotals();
+    m.set("cells_detected", totals[0]);
+    m.set("cells_missed", totals[1]);
+    m.set("cells_false_alarm", totals[2]);
+    m.set("cells_clean_pass", totals[3]);
+    m.set("core_full_detection", coreEnginesFullyDetect());
+
+    for (const EngineReport &er : engines) {
+        for (unsigned c = 0; c < kAttackClasses; ++c) {
+            const auto cls = static_cast<AttackClass>(c);
+            bool any = false;
+            for (const CellResult &cell : er.cells[c])
+                any = any || cell.injections > 0 ||
+                      cell.verdict != Verdict::NotApplicable;
+            if (!any)
+                continue;  // class not part of this campaign
+            m.set("matrix." + er.engine + "." + attackClassName(cls),
+                  verdictName(er.classVerdict(cls)));
+            for (const CellResult &cell : er.cells[c]) {
+                const std::string key =
+                    "cell." + er.engine + "." + attackClassName(cls) +
+                    "." + granularityName(cell.gran);
+                m.set(key, verdictName(cell.verdict));
+                m.set(key + ".injections", cell.injections);
+            }
+        }
+    }
+}
+
+CampaignReport
+runCampaign(const CampaignConfig &cfg)
+{
+    std::vector<std::string> engines(cfg.engines);
+    if (engines.empty())
+        engines.assign(kEngines, kEngines + std::size(kEngines));
+    std::vector<AttackClass> classes(cfg.classes);
+    if (classes.empty())
+        for (unsigned c = 0; c < kAttackClasses; ++c)
+            classes.push_back(static_cast<AttackClass>(c));
+
+    auto &reg = StatRegistry::instance();
+    CampaignReport report;
+    report.seed = cfg.seed;
+
+    for (const std::string &engine : engines) {
+        if (!makeTarget(engine, kChunkBytes, 1)) {
+            warn("attack campaign: unknown engine '%s' skipped",
+                 engine.c_str());
+            continue;
+        }
+        EngineReport er;
+        er.engine = engine;
+        for (unsigned c = 0; c < kAttackClasses; ++c)
+            for (unsigned g = 0; g < kGranularities; ++g) {
+                er.cells[c][g].cls = static_cast<AttackClass>(c);
+                er.cells[c][g].gran = static_cast<Granularity>(g);
+            }
+
+        for (const AttackClass cls : classes) {
+            for (unsigned g = 0; g < kGranularities; ++g) {
+                const std::uint64_t cell_seed =
+                    mix(cfg.seed ^ hashName(engine) ^
+                        (static_cast<std::uint64_t>(cls) << 32) ^
+                        (std::uint64_t{g} << 40));
+                auto target =
+                    makeTarget(engine, cfg.data_bytes, cell_seed);
+                const CellResult cell = runAttack(
+                    *target, cls, static_cast<Granularity>(g),
+                    cell_seed);
+                er.cells[static_cast<unsigned>(cls)][g] = cell;
+
+                reg.counter("fault", "cells")
+                    .fetch_add(1, std::memory_order_relaxed);
+                reg.counter("fault", "injections")
+                    .fetch_add(cell.injections,
+                               std::memory_order_relaxed);
+                reg.counter("fault", "detected")
+                    .fetch_add(cell.detected,
+                               std::memory_order_relaxed);
+                reg.counter("fault", "missed")
+                    .fetch_add(cell.missed,
+                               std::memory_order_relaxed);
+                reg.counter("fault", "false_alarms")
+                    .fetch_add(cell.false_alarms,
+                               std::memory_order_relaxed);
+            }
+        }
+        report.engines.push_back(std::move(er));
+    }
+    return report;
+}
+
+} // namespace mgmee::fault

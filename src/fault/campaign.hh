@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Attack-campaign sweep: attack class x target granularity x engine.
+ *
+ * The campaign instantiates a fresh functional protection engine per
+ * cell, runs one scripted attack (fault/injector.hh) against it, and
+ * aggregates the verdicts into the detection-coverage matrix that
+ * docs/THREAT_MODEL.md publishes (checked against the emitted
+ * manifest by scripts/check_threat_matrix.py).
+ *
+ * Engines swept (names are stable manifest keys):
+ *
+ *  - `mgmee`           full multi-granular engine (the paper's);
+ *  - `conventional`    SecureMemory pinned at 64B (per-line counters
+ *                      and MACs, full tree) -- the classic baseline;
+ *  - `adaptive-mac`    multi-granular MACs capped at 4KB, modelling
+ *                      the adaptive-MAC prior (no 32KB units);
+ *  - `common-counters` 64B MACs over shared-counter timing; its
+ *                      functional protection state is that of the
+ *                      conventional engine (the schemes differ only
+ *                      in counter *caching*), so its row documents
+ *                      that detection-equivalence;
+ *  - `treeless-npu`    per-line MAC + version, versions held on-chip
+ *                      (the managed-accelerator treeless design);
+ *  - `treeless-cpu`    the same with versions stored *off-chip* and
+ *                      no integrity tree: the configuration Sec. 2.3
+ *                      of the paper rules out.  Its missed rollback /
+ *                      stale-flush cells are expected output, not a
+ *                      bug -- they are the executable form of that
+ *                      argument.
+ */
+
+#ifndef MGMEE_FAULT_CAMPAIGN_HH
+#define MGMEE_FAULT_CAMPAIGN_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hh"
+
+namespace mgmee::obs {
+class Manifest;
+} // namespace mgmee::obs
+
+namespace mgmee::fault {
+
+/** Granularities a cell can request (the four paper candidates). */
+constexpr unsigned kGranularities = 4;
+
+/** Stable names of every engine the campaign knows. */
+std::span<const char *const> allEngines();
+
+/** The engines the acceptance bar demands 100% detection from. */
+std::span<const char *const> coreEngines();
+
+/**
+ * Fresh functional target for @p engine over @p data_bytes of
+ * protected memory, keyed deterministically from @p seed; nullptr
+ * when @p engine is unknown.
+ */
+std::unique_ptr<Target> makeTarget(const std::string &engine,
+                                   std::size_t data_bytes,
+                                   std::uint64_t seed);
+
+/** Campaign parameters. */
+struct CampaignConfig
+{
+    /** Master seed; every cell derives its own stream from it. */
+    std::uint64_t seed = 1;
+    /**
+     * Protected-region size per target.  The default (64 chunks,
+     * 2MB) makes the tree four off-chip levels deep, so even the
+     * 32KB-granularity counters are off-chip and attackable.
+     */
+    std::size_t data_bytes = 64 * kChunkBytes;
+    /** Engines to sweep; empty = allEngines(). */
+    std::vector<std::string> engines;
+    /** Attack classes to run; empty = every class incl. None. */
+    std::vector<AttackClass> classes;
+};
+
+/** All cells of one engine: [attack class][granularity]. */
+struct EngineReport
+{
+    std::string engine;
+    std::array<std::array<CellResult, kGranularities>, kAttackClasses>
+        cells{};
+
+    /**
+     * One verdict for (engine, class) across the granularities, by
+     * severity: FalseAlarm > Missed > Detected > CleanPass > N/A.
+     */
+    Verdict classVerdict(AttackClass cls) const;
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignReport
+{
+    std::uint64_t seed = 0;
+    std::vector<EngineReport> engines;
+
+    /** Total cells per verdict (Detected, Missed, ...). */
+    std::array<unsigned, 5> verdictTotals() const;
+
+    /**
+     * The acceptance bar: every core engine (mgmee, conventional)
+     * detects every applicable single-site tamper class, with zero
+     * false alarms and clean control passes anywhere.
+     */
+    bool coreEnginesFullyDetect() const;
+
+    /** Human-readable class x engine matrix (docs / stdout). */
+    std::string matrixText() const;
+
+    /**
+     * Record everything into @p m: per-cell verdicts and tallies
+     * (`cell.<engine>.<class>.<gran>`), the per-class aggregate
+     * matrix (`matrix.<engine>.<class>`), summary counts, and the
+     * acceptance flag (`core_full_detection`).
+     */
+    void fillManifest(obs::Manifest &m) const;
+};
+
+/**
+ * Run the sweep: for every selected engine, attack class and
+ * granularity, build a fresh target and execute the scripted attack.
+ * Bumps the `fault.*` StatRegistry counters as it goes.
+ */
+CampaignReport runCampaign(const CampaignConfig &cfg);
+
+} // namespace mgmee::fault
+
+#endif // MGMEE_FAULT_CAMPAIGN_HH

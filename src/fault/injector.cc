@@ -1,0 +1,423 @@
+#include "fault/injector.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/granularity.hh"
+#include "obs/trace.hh"
+
+namespace mgmee::fault {
+
+const char *
+attackClassName(AttackClass cls)
+{
+    switch (cls) {
+      case AttackClass::None: return "clean";
+      case AttackClass::DataFlip: return "data_flip";
+      case AttackClass::MacFlip: return "mac_flip";
+      case AttackClass::CounterFlip: return "counter_flip";
+      case AttackClass::Rollback: return "rollback";
+      case AttackClass::Splice: return "splice";
+      case AttackClass::GranTable: return "gran_table";
+      case AttackClass::StaleSwitch: return "stale_switch";
+      case AttackClass::StaleRekey: return "stale_rekey";
+      case AttackClass::StaleFlush: return "stale_flush";
+    }
+    return "?";
+}
+
+std::optional<AttackClass>
+parseAttackClass(const char *name)
+{
+    for (unsigned c = 0; c < kAttackClasses; ++c) {
+        const auto cls = static_cast<AttackClass>(c);
+        if (std::strcmp(name, attackClassName(cls)) == 0)
+            return cls;
+    }
+    return std::nullopt;
+}
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Detected: return "detected";
+      case Verdict::Missed: return "missed";
+      case Verdict::FalseAlarm: return "false_alarm";
+      case Verdict::CleanPass: return "clean_pass";
+      case Verdict::NotApplicable: return "n/a";
+    }
+    return "?";
+}
+
+namespace {
+
+/** One attack run: the target, its RNG stream, and the tally. */
+struct Script
+{
+    Target &target;
+    Rng rng;
+    CellResult cell;
+
+    Script(Target &t, AttackClass cls, Granularity gran,
+           std::uint64_t seed)
+        : target(t), rng(seed)
+    {
+        cell.cls = cls;
+        cell.gran = gran;
+    }
+
+    /** Pseudo-random data pattern for one protection unit. */
+    std::vector<std::uint8_t>
+    pattern(std::size_t bytes)
+    {
+        std::vector<std::uint8_t> v(bytes);
+        for (std::size_t i = 0; i < bytes; i += 8) {
+            const std::uint64_t word = rng.next();
+            std::memcpy(v.data() + i,
+                        &word,
+                        std::min<std::size_t>(8, bytes - i));
+        }
+        return v;
+    }
+
+    /** Clean read that must pass; any alarm here is a false alarm. */
+    bool
+    readClean(Addr addr, std::size_t bytes)
+    {
+        std::vector<std::uint8_t> out(bytes);
+        if (target.read(addr, out))
+            return true;
+        ++cell.false_alarms;
+        return false;
+    }
+
+    /**
+     * Read back through the engine after an injection and record the
+     * verdict for that site.
+     */
+    void
+    checkDetected(Addr addr, std::size_t bytes)
+    {
+        std::vector<std::uint8_t> out(bytes);
+        if (target.read(addr, out))
+            ++cell.missed;
+        else
+            ++cell.detected;
+    }
+
+    /** Record one injection (for the trace and the tally). */
+    void
+    injected(Addr addr)
+    {
+        ++cell.injections;
+        OBS_EVENT(obs::EventKind::FaultInject, 0, addr,
+                  cell.injections,
+                  static_cast<std::uint8_t>(cell.cls));
+    }
+
+    /**
+     * Initialise chunks [first, first+count) with random data and
+     * configure @p gran_chunks of them to the cell's granularity.
+     * Returns false (false alarm) if the engine flags its own data.
+     */
+    bool
+    setup(std::uint64_t first, unsigned count, unsigned gran_chunks)
+    {
+        for (unsigned c = 0; c < count; ++c) {
+            const Addr base = (first + c) * kChunkBytes;
+            if (!target.write(base, pattern(kChunkBytes))) {
+                ++cell.false_alarms;
+                return false;
+            }
+        }
+        for (unsigned c = 0; c < gran_chunks; ++c)
+            target.setGranularity(first + c, cell.gran);
+        target.boundary();
+        for (unsigned c = 0; c < count; ++c) {
+            if (!readClean((first + c) * kChunkBytes, kChunkBytes))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Attacker-chosen victim line inside the protection unit at the
+     * base of @p chunk (always inside the reconfigured unit even when
+     * the engine capped or refused the requested granularity).
+     */
+    Addr
+    victimLine(std::uint64_t chunk)
+    {
+        const Addr base = chunk * kChunkBytes;
+        const Granularity g = target.effectiveGranularity(base);
+        const std::uint64_t lines = unitLines(g);
+        return base + rng.below(lines) * kCachelineBytes;
+    }
+
+    /** Bytes of the protection unit containing @p addr. */
+    std::size_t
+    unitBytes(Addr addr) const
+    {
+        return granularityBytes(target.effectiveGranularity(addr));
+    }
+
+    /** Base of the protection unit containing @p addr. */
+    Addr
+    unitOf(Addr addr) const
+    {
+        return unitBase(addr, target.effectiveGranularity(addr));
+    }
+};
+
+void
+runClean(Script &s)
+{
+    if (!s.setup(0, 2, 2))
+        return;
+    // Exercise the paths an attack cell would: rewrite, boundary
+    // flush, granularity round-trip, rekey -- nothing may alarm.
+    const Addr victim = s.victimLine(0);
+    const Addr ubase = s.unitOf(victim);
+    if (!s.target.write(ubase, s.pattern(s.unitBytes(victim)))) {
+        ++s.cell.false_alarms;
+        return;
+    }
+    s.target.boundary();
+    if (!s.readClean(0, kChunkBytes))
+        return;
+    s.target.setGranularity(0, Granularity::Line64B);
+    s.target.setGranularity(0, s.cell.gran);
+    if (!s.readClean(0, kChunkBytes))
+        return;
+    if (s.target.rekey())
+        s.readClean(0, kChunkBytes);
+}
+
+void
+runDataFlip(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    const unsigned byte = static_cast<unsigned>(
+        s.rng.below(kCachelineBytes));
+    if (!s.target.corruptData(victim, byte))
+        return;
+    s.injected(victim);
+    s.checkDetected(s.unitOf(victim), s.unitBytes(victim));
+}
+
+void
+runMacFlip(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    if (!s.target.corruptMac(victim))
+        return;
+    s.injected(victim);
+    s.checkDetected(s.unitOf(victim), s.unitBytes(victim));
+}
+
+void
+runCounterFlip(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    if (!s.target.corruptCounter(victim))
+        return;  // counter is on-chip (trusted) -> not applicable
+    s.injected(victim);
+    s.checkDetected(s.unitOf(victim), s.unitBytes(victim));
+}
+
+void
+runRollback(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    const Addr ubase = s.unitOf(victim);
+    const std::size_t ubytes = s.unitBytes(victim);
+    const Target::Snapshot stale = s.target.capture(victim);
+    // Let the protected state move on several versions...
+    for (unsigned v = 0; v < 3; ++v) {
+        if (!s.target.write(ubase, s.pattern(ubytes))) {
+            ++s.cell.false_alarms;
+            return;
+        }
+    }
+    s.target.boundary();
+    // ...then roll every off-chip byte back to the consistent stale
+    // snapshot.
+    s.target.restore(stale, victim);
+    s.injected(victim);
+    s.checkDetected(ubase, ubytes);
+}
+
+void
+runSplice(Script &s)
+{
+    if (!s.setup(0, 2, 2))
+        return;
+    // Two individually-valid units in different chunks; relocate the
+    // second one's off-chip state onto the first's address.
+    const Addr victim = s.victimLine(0);
+    const Addr donor = victim + kChunkBytes;
+    const Target::Snapshot snap = s.target.capture(donor);
+    s.target.restore(snap, victim);
+    s.injected(victim);
+    s.checkDetected(s.unitOf(victim), s.unitBytes(victim));
+}
+
+void
+runGranTable(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    if (!s.target.tamperGranTable(0, victim))
+        return;  // engine has no granularity table
+    s.injected(victim);
+    // The engine now believes the attacker's layout; reading the
+    // victim through it must still fail (wrong counters/MAC slots).
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    if (s.target.read(victim, out))
+        ++s.cell.missed;
+    else
+        ++s.cell.detected;
+}
+
+void
+runStaleSwitch(Script &s)
+{
+    if (s.cell.gran == Granularity::Line64B) {
+        // A switch needs two distinct granularities; the 64B cell has
+        // nothing to promote from.
+        return;
+    }
+
+    // Promote boundary: capture the fine-grained image, promote the
+    // chunk (re-encrypts under a shared counter), replay the stale
+    // fine image.
+    if (!s.setup(0, 1, 0))  // chunk 0 stays fine-grained
+        return;
+    // The victim must sit inside the region the switch will cover:
+    // every target's promoted unit starts at the chunk base, so a
+    // line in partition 0 is covered at any requested granularity
+    // (even when the engine caps the request, e.g. Adaptive at 4KB).
+    const Addr fine_victim =
+        s.rng.below(kLinesPerPartition) * kCachelineBytes;
+    const Target::Snapshot stale_fine = s.target.capture(fine_victim);
+    if (!s.target.setGranularity(0, s.cell.gran))
+        return;  // engine cannot switch -> not applicable
+    s.target.boundary();
+    if (!s.readClean(0, kChunkBytes))
+        return;
+    s.target.restore(stale_fine, fine_victim);
+    s.injected(fine_victim);
+    s.checkDetected(s.unitOf(fine_victim), s.unitBytes(fine_victim));
+
+    // Demote boundary: capture the coarse image, demote back to
+    // fine, replay the stale coarse image.
+    if (!s.setup(1, 1, 0))
+        return;
+    if (!s.target.setGranularity(1, s.cell.gran))
+        return;
+    s.target.boundary();
+    const Addr coarse_victim = s.victimLine(1);
+    const Target::Snapshot stale_coarse =
+        s.target.capture(coarse_victim);
+    s.target.setGranularity(1, Granularity::Line64B);
+    s.target.boundary();
+    if (!s.readClean(kChunkBytes, kChunkBytes))
+        return;
+    s.target.restore(stale_coarse, coarse_victim);
+    s.injected(coarse_victim);
+    s.checkDetected(s.unitOf(coarse_victim),
+                    s.unitBytes(coarse_victim));
+}
+
+void
+runStaleRekey(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    const Target::Snapshot stale = s.target.capture(victim);
+    if (!s.target.rekey())
+        return;  // engine has no key-rotation mechanism
+    if (!s.readClean(0, kChunkBytes))
+        return;
+    s.target.restore(stale, victim);
+    s.injected(victim);
+    s.checkDetected(s.unitOf(victim), s.unitBytes(victim));
+}
+
+void
+runStaleFlush(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    const Addr ubase = s.unitOf(victim);
+    const std::size_t ubytes = s.unitBytes(victim);
+    const Target::Snapshot stale = s.target.capture(victim);
+    // Dirty the path -- lazy engines now hold deferred node-MAC
+    // refreshes -- then restore the stale image with the lazy window
+    // still open (no boundary in between).  The restore hook must
+    // settle the pending refreshes BEFORE overwriting; an engine
+    // that instead recomputed them from the rolled-back counters
+    // would launder the replay into a valid MAC chain and this cell
+    // flips to Missed.
+    if (!s.target.write(ubase, s.pattern(ubytes))) {
+        ++s.cell.false_alarms;
+        return;
+    }
+    s.target.restore(stale, victim);
+    s.injected(victim);
+    s.checkDetected(ubase, ubytes);
+}
+
+} // namespace
+
+CellResult
+runAttack(Target &target, AttackClass cls, Granularity gran,
+          std::uint64_t seed)
+{
+    Script s(target, cls, gran, seed);
+    switch (cls) {
+      case AttackClass::None: runClean(s); break;
+      case AttackClass::DataFlip: runDataFlip(s); break;
+      case AttackClass::MacFlip: runMacFlip(s); break;
+      case AttackClass::CounterFlip: runCounterFlip(s); break;
+      case AttackClass::Rollback: runRollback(s); break;
+      case AttackClass::Splice: runSplice(s); break;
+      case AttackClass::GranTable: runGranTable(s); break;
+      case AttackClass::StaleSwitch: runStaleSwitch(s); break;
+      case AttackClass::StaleRekey: runStaleRekey(s); break;
+      case AttackClass::StaleFlush: runStaleFlush(s); break;
+    }
+
+    CellResult &cell = s.cell;
+    if (cell.false_alarms > 0)
+        cell.verdict = Verdict::FalseAlarm;
+    else if (cell.missed > 0)
+        cell.verdict = Verdict::Missed;
+    else if (cell.injections > 0)
+        cell.verdict = Verdict::Detected;
+    else if (cls == AttackClass::None)
+        cell.verdict = Verdict::CleanPass;
+    else
+        cell.verdict = Verdict::NotApplicable;
+
+    OBS_EVENT(obs::EventKind::FaultVerdict, 0, 0,
+              static_cast<std::uint32_t>(cell.verdict),
+              static_cast<std::uint8_t>(cls));
+    return cell;
+}
+
+} // namespace mgmee::fault

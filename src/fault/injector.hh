@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Fault-injection engine: parameterized attacks against the off-chip
+ * state of a functional protection engine, with per-attack verdicts.
+ *
+ * The paper's security argument (Sec. 2.5) is that any tampering of
+ * data, counters, or MACs is detected at every granularity and across
+ * granularity switches.  This module makes that claim executable: a
+ * `Target` adapter exposes the off-chip attack surface of one engine
+ * (write/read on the data plane; corrupt/capture/restore on the
+ * attack plane), and `runAttack` drives one scripted attack class
+ * against it -- injecting at attacker-chosen sites, then reading back
+ * through the engine and recording whether verification flagged the
+ * tamper.
+ *
+ * The scripts model only physically realizable attacks: every
+ * injection point operates on the *written-back* off-chip image (the
+ * restore/corrupt hooks settle deferred node-MAC refreshes first,
+ * mirroring hardware where pending metadata lives on-chip until
+ * written back).  `AttackClass::StaleFlush` exists precisely to guard
+ * that discipline: it restores a stale image while lazy MAC refreshes
+ * are pending, which would be laundered into a valid MAC chain if an
+ * engine ever refreshed dirty node MACs from attacker-reachable
+ * counters.
+ *
+ * Campaign sweeping (attack x granularity x engine) lives in
+ * fault/campaign.hh; this header is the single-cell machinery.
+ */
+
+#ifndef MGMEE_FAULT_INJECTOR_HH
+#define MGMEE_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/types.hh"
+#include "crypto/mac.hh"
+
+namespace mgmee::fault {
+
+/** Attack classes; values are stable (trace arg0 / manifest keys). */
+enum class AttackClass : std::uint8_t
+{
+    None = 0,        //!< clean control run (false-alarm check)
+    DataFlip = 1,    //!< flip a ciphertext byte of a stored line
+    MacFlip = 2,     //!< flip a bit of the stored MAC of a unit
+    CounterFlip = 3, //!< flip a stored (off-chip) counter value
+    Rollback = 4,    //!< replay a consistent stale off-chip snapshot
+    Splice = 5,      //!< relocate a valid off-chip block to another addr
+    GranTable = 6,   //!< tamper the stored granularity-table state
+    StaleSwitch = 7, //!< replay stale images across promote AND demote
+    StaleRekey = 8,  //!< replay a pre-rekey snapshot after key rotation
+    StaleFlush = 9,  //!< restore while lazy node-MAC refreshes pend
+};
+
+constexpr unsigned kAttackClasses = 10;
+
+/** Stable manifest/trace name of @p cls ("data_flip", ...). */
+const char *attackClassName(AttackClass cls);
+
+/** Parse an attackClassName back; nullopt if unknown. */
+std::optional<AttackClass> parseAttackClass(const char *name);
+
+/** Outcome of one campaign cell. */
+enum class Verdict : std::uint8_t
+{
+    Detected = 0,      //!< every injected tamper was flagged
+    Missed = 1,        //!< at least one tamper read back as clean
+    FalseAlarm = 2,    //!< a clean access was flagged
+    CleanPass = 3,     //!< control run, no alarms (None class only)
+    NotApplicable = 4, //!< engine has no such state/mechanism
+};
+
+/** Stable name of @p v ("detected", ...). */
+const char *verdictName(Verdict v);
+
+/**
+ * Off-chip attack surface of one functional protection engine.
+ *
+ * Data-plane calls go through the engine (verification included) and
+ * return true when the engine reported integrity OK.  Attack-plane
+ * calls mutate the simulated off-chip state behind the engine's back
+ * and return false when the engine simply has no such attackable
+ * state (the campaign records those cells as NotApplicable).
+ */
+class Target
+{
+  public:
+    virtual ~Target() = default;
+
+    virtual const char *name() const = 0;
+
+    // ---- data plane -------------------------------------------------
+    /** Encrypt+authenticate @p data at @p addr; true on Status Ok. */
+    virtual bool write(Addr addr,
+                       std::span<const std::uint8_t> data) = 0;
+    /** Verify+decrypt into @p out; true when verification passed. */
+    virtual bool read(Addr addr, std::span<std::uint8_t> out) = 0;
+    /**
+     * Reconfigure @p chunk to protection granularity @p g.  False
+     * when the engine cannot (fixed-granularity engines); the engine
+     * then keeps its native layout and the caller must consult
+     * effectiveGranularity().
+     */
+    virtual bool setGranularity(std::uint64_t chunk, Granularity g) = 0;
+    /** Granularity actually protecting @p addr right now. */
+    virtual Granularity effectiveGranularity(Addr addr) const = 0;
+    /** Kernel/phase boundary: settle deferred metadata write-backs. */
+    virtual void boundary() {}
+    /** Rotate keys (data preserved); false if unsupported. */
+    virtual bool rekey() { return false; }
+
+    // ---- attack plane -----------------------------------------------
+    /** Complete off-chip state of one 64B line, as an attacker sees
+     *  it after write-back (ciphertext, unit MAC, counter, node MAC;
+     *  fields an engine does not store off-chip stay zero). */
+    struct Snapshot
+    {
+        Addr addr = 0;
+        std::array<std::uint8_t, kCachelineBytes> cipher{};
+        Mac mac = 0;
+        std::uint64_t counter = 0;
+        Mac node_mac = 0;
+    };
+
+    /** Flip one ciphertext byte of the line at @p addr. */
+    virtual bool corruptData(Addr addr, unsigned byte_index) = 0;
+    /** Flip a bit of the stored MAC protecting @p addr. */
+    virtual bool corruptMac(Addr addr) = 0;
+    /** Flip a stored counter bit; false when the counter protecting
+     *  @p addr is on-chip (trusted, unreachable). */
+    virtual bool corruptCounter(Addr addr) = 0;
+    /** Save everything an off-chip attacker could save about the
+     *  line at @p addr (flushes pending metadata first). */
+    virtual Snapshot capture(Addr addr) = 0;
+    /**
+     * Write @p snap's off-chip state back at address @p at (the
+     * replay attack; @p at != snap.addr is a splice/relocation).
+     * Implementations MUST settle deferred metadata refreshes before
+     * overwriting -- an attacker only ever tampers with the
+     * written-back image, and an engine that recomputed pending node
+     * MACs from attacker-modified counters would launder the tamper
+     * into a valid MAC chain.  AttackClass::StaleFlush exercises
+     * exactly this window.
+     */
+    virtual void restore(const Snapshot &snap, Addr at) = 0;
+    /** Rewrite the stored granularity-table state of @p chunk to a
+     *  layout differing at @p addr; false when no table exists. */
+    virtual bool tamperGranTable(std::uint64_t chunk, Addr addr) = 0;
+};
+
+/** Result of one (attack class, granularity) cell on one target. */
+struct CellResult
+{
+    AttackClass cls = AttackClass::None;
+    Granularity gran = Granularity::Line64B;
+    Verdict verdict = Verdict::NotApplicable;
+    unsigned injections = 0;   //!< tampers injected
+    unsigned detected = 0;     //!< tampers flagged by the engine
+    unsigned missed = 0;       //!< tampers that read back clean
+    unsigned false_alarms = 0; //!< clean accesses that were flagged
+};
+
+/**
+ * Run one scripted attack of class @p cls against @p target with the
+ * region configured (where supported) to granularity @p gran.
+ * Deterministic in @p seed: site selection and data patterns come
+ * from one xoshiro stream.  Emits an obs FaultInject event per
+ * injection and one FaultVerdict event for the cell.
+ *
+ * The target must be fresh (the scripts initialise the first four
+ * 32KB chunks of its region and assume no prior tampering).
+ */
+CellResult runAttack(Target &target, AttackClass cls, Granularity gran,
+                     std::uint64_t seed);
+
+} // namespace mgmee::fault
+
+#endif // MGMEE_FAULT_INJECTOR_HH

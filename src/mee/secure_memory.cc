@@ -544,6 +544,19 @@ SecureMemory::corruptCounter(Addr addr)
                   counterAt(loc.level, loc.index) ^ 0x1);
 }
 
+void
+SecureMemory::tamperStreamPart(std::uint64_t chunk, StreamPart sp)
+{
+    ensureChunkInitialized(chunk);
+    flushMetadata();
+    invalidateVerifiedCache();
+    // Raw overwrite of the stored table entry: none of the
+    // re-encryption / counter movement / MAC compaction that
+    // applyStreamPart() performs happens, so the chunk's real
+    // metadata no longer matches the layout the engine derives.
+    stream_parts_[chunk] = sp;
+}
+
 SecureMemory::Replay
 SecureMemory::captureForReplay(Addr addr)
 {

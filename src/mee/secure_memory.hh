@@ -132,6 +132,14 @@ class SecureMemory
     void corruptMac(Addr addr);
     /** Flip a stored counter value (off-chip tree node content). */
     void corruptCounter(Addr addr);
+    /**
+     * Overwrite @p chunk's stored stream-partition entry with @p sp
+     * without the legitimate applyStreamPart() reconfiguration (no
+     * re-encryption, counter moves or MAC-slab compaction): models an
+     * attacker rewriting the granularity-table state, after which the
+     * engine interprets the chunk with the wrong metadata layout.
+     */
+    void tamperStreamPart(std::uint64_t chunk, StreamPart sp);
 
     /** Off-chip state of one line, capturable for replay attacks. */
     struct Replay

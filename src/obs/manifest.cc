@@ -21,7 +21,7 @@ constexpr const char *kKnobs[] = {
     "MGMEE_SCENARIOS", "MGMEE_SCALE",      "MGMEE_SEED",
     "MGMEE_THREADS",   "MGMEE_MEMO",       "MGMEE_SWEEP_REPS",
     "MGMEE_WALK_OPS",  "MGMEE_TRACE",      "MGMEE_PROFILE",
-    "MGMEE_RESULTS_DIR",
+    "MGMEE_RESULTS_DIR", "MGMEE_FAULT_SEED", "MGMEE_FAULT_CLASSES",
 };
 
 std::string

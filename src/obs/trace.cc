@@ -150,6 +150,8 @@ eventKindName(EventKind kind)
       case EventKind::SubtreeHit: return "subtree_hit";
       case EventKind::SubtreeMiss: return "subtree_miss";
       case EventKind::StreamChunk: return "stream_chunk";
+      case EventKind::FaultInject: return "fault_inject";
+      case EventKind::FaultVerdict: return "fault_verdict";
     }
     return "unknown";
 }

@@ -51,6 +51,8 @@ enum class EventKind : std::uint8_t
     SubtreeHit = 12,   //!< root-cache probe hit; addr=node line
     SubtreeMiss = 13,  //!< root-cache probe miss; addr=node line
     StreamChunk = 14,  //!< arg0=class(0..3), value=lines; addr=chunk base
+    FaultInject = 15,  //!< arg0=AttackClass, value=injection #; addr=site
+    FaultVerdict = 16, //!< arg0=AttackClass, value=fault::Verdict
 };
 
 /** Reason a read walk stopped (WalkRead.value). */

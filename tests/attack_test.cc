@@ -1,29 +1,26 @@
 /**
  * @file
- * Threat-model tests beyond simple bit flips (Sec. 2.5): splicing
- * (relocating valid ciphertext between addresses), MAC relocation,
- * cross-granularity replay, and combinations an attacker with full
- * off-chip control could attempt.
+ * Threat-model tests beyond simple bit flips (Sec. 2.5), driven
+ * through the fault-injection Target API (fault/injector.hh) rather
+ * than hand-rolled corruption: splicing (relocating valid off-chip
+ * state between addresses), coarse-unit splicing, multi-version
+ * replay, cross-granularity replay, and recovery after detection.
+ * The systematic class x granularity x engine sweep lives in
+ * fault_campaign_test.cc; these are the targeted scenarios.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
-#include "mee/secure_memory.hh"
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
 
 namespace mgmee {
 namespace {
 
-SecureMemory::Keys
-attackKeys()
-{
-    SecureMemory::Keys keys;
-    for (unsigned i = 0; i < 16; ++i)
-        keys.aes[i] = static_cast<std::uint8_t>(0x3c ^ (i * 11));
-    keys.mac = {0x5353535353535353ULL, 0xacacacacacacacacULL};
-    return keys;
-}
+using fault::Target;
 
 std::vector<std::uint8_t>
 pattern(std::size_t n, std::uint8_t seed)
@@ -37,9 +34,25 @@ pattern(std::size_t n, std::uint8_t seed)
 class AttackTest : public ::testing::Test
 {
   protected:
-    AttackTest() : mem_(8 * kChunkBytes, attackKeys()) {}
+    AttackTest()
+        : target_(fault::makeTarget("mgmee", 8 * kChunkBytes, 0x7a11))
+    {
+    }
 
-    SecureMemory mem_;
+    bool
+    writeOk(Addr addr, const std::vector<std::uint8_t> &data)
+    {
+        return target_->write(addr, data);
+    }
+
+    bool
+    readOk(Addr addr, std::size_t bytes = kCachelineBytes)
+    {
+        std::vector<std::uint8_t> out(bytes);
+        return target_->read(addr, out);
+    }
+
+    std::unique_ptr<Target> target_;
 };
 
 TEST_F(AttackTest, SplicingValidLinesBetweenAddressesDetected)
@@ -48,64 +61,51 @@ TEST_F(AttackTest, SplicingValidLinesBetweenAddressesDetected)
     // state (ciphertext + MAC + counter + node MAC).  Each half is
     // individually consistent, but the MAC binds the ADDRESS, so
     // relocation must fail.
-    mem_.write(0x000, pattern(kCachelineBytes, 1));
-    mem_.write(0x040, pattern(kCachelineBytes, 2));
+    ASSERT_TRUE(writeOk(0x000, pattern(kCachelineBytes, 1)));
+    ASSERT_TRUE(writeOk(0x040, pattern(kCachelineBytes, 2)));
 
-    const auto snap_a = mem_.captureForReplay(0x000);
-    const auto snap_b = mem_.captureForReplay(0x040);
+    const Target::Snapshot snap_a = target_->capture(0x000);
+    const Target::Snapshot snap_b = target_->capture(0x040);
+    target_->restore(snap_b, 0x000);
+    target_->restore(snap_a, 0x040);
 
-    auto relocated_b = snap_b;
-    relocated_b.addr = 0x000;
-    auto relocated_a = snap_a;
-    relocated_a.addr = 0x040;
-    mem_.replay(relocated_b);
-    mem_.replay(relocated_a);
-
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x000, out));
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x040, out));
+    EXPECT_FALSE(readOk(0x000));
+    EXPECT_FALSE(readOk(0x040));
 }
 
 TEST_F(AttackTest, SplicingAcrossChunksDetected)
 {
-    mem_.write(0, pattern(kCachelineBytes, 3));
-    mem_.write(kChunkBytes, pattern(kCachelineBytes, 4));
-    auto moved = mem_.captureForReplay(kChunkBytes);
-    moved.addr = 0;
-    mem_.replay(moved);
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0, out));
+    ASSERT_TRUE(writeOk(0, pattern(kCachelineBytes, 3)));
+    ASSERT_TRUE(writeOk(kChunkBytes, pattern(kCachelineBytes, 4)));
+    target_->restore(target_->capture(kChunkBytes), 0);
+    EXPECT_FALSE(readOk(0));
 }
 
 TEST_F(AttackTest, SplicingCoarseUnitsDetected)
 {
-    // Two chunks promoted to 32KB; swap their first lines' off-chip
-    // data.  The nested MAC of each unit must flag the foreign line.
-    const auto a = pattern(kChunkBytes, 5);
-    const auto b = pattern(kChunkBytes, 6);
-    mem_.write(0, a);
-    mem_.write(kChunkBytes, b);
-    mem_.applyStreamPart(0, kAllStream);
-    mem_.applyStreamPart(1, kAllStream);
+    // Two chunks promoted to 32KB; relocate the second chunk's
+    // off-chip line state onto the first.  The nested MAC of the
+    // target unit must flag the foreign line.
+    ASSERT_TRUE(writeOk(0, pattern(kChunkBytes, 5)));
+    ASSERT_TRUE(writeOk(kChunkBytes, pattern(kChunkBytes, 6)));
+    ASSERT_TRUE(target_->setGranularity(0, Granularity::Chunk32KB));
+    ASSERT_TRUE(target_->setGranularity(1, Granularity::Chunk32KB));
+    ASSERT_EQ(Granularity::Chunk32KB,
+              target_->effectiveGranularity(0));
 
-    auto snap = mem_.captureForReplay(kChunkBytes);
-    snap.addr = 0;
-    mem_.replay(snap);
-
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0, out));
+    target_->restore(target_->capture(kChunkBytes), 0);
+    EXPECT_FALSE(readOk(0));
 }
 
 TEST_F(AttackTest, ReplayAfterManyVersionsDetected)
 {
     // Roll back across several versions, not just one.
-    mem_.write(0x200, pattern(kCachelineBytes, 1));
-    const auto old = mem_.captureForReplay(0x200);
+    ASSERT_TRUE(writeOk(0x200, pattern(kCachelineBytes, 1)));
+    const Target::Snapshot old = target_->capture(0x200);
     for (std::uint8_t v = 2; v < 10; ++v)
-        mem_.write(0x200, pattern(kCachelineBytes, v));
-    mem_.replay(old);
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x200, out));
+        ASSERT_TRUE(writeOk(0x200, pattern(kCachelineBytes, v)));
+    target_->restore(old, 0x200);
+    EXPECT_FALSE(readOk(0x200));
 }
 
 TEST_F(AttackTest, ReplayAcrossGranularitySwitchDetected)
@@ -113,53 +113,57 @@ TEST_F(AttackTest, ReplayAcrossGranularitySwitchDetected)
     // Capture fine-grained state, let the region get promoted (which
     // re-encrypts under a fresh shared counter), then replay the old
     // fine-grained image.
-    const auto data = pattern(kPartitionBytes, 7);
-    mem_.write(0, data);
-    const auto stale = mem_.captureForReplay(0);
+    ASSERT_TRUE(writeOk(0, pattern(kPartitionBytes, 7)));
+    const Target::Snapshot stale = target_->capture(0);
 
-    mem_.applyStreamPart(0, StreamPart{0b1});   // promote to 512B
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0, out));
+    ASSERT_TRUE(target_->setGranularity(0, Granularity::Part512B));
+    target_->boundary();
+    ASSERT_TRUE(readOk(0));
 
-    mem_.replay(stale);   // stale ciphertext + metadata at old layout
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0, out));
+    target_->restore(stale, 0);   // stale image at the old layout
+    EXPECT_FALSE(readOk(0));
 }
 
 TEST_F(AttackTest, ZeroingCiphertextDetected)
 {
-    // Blunt attack: zero a whole line of ciphertext.
-    mem_.write(0x400, pattern(kCachelineBytes, 9));
+    // Blunt attack: flip every ciphertext byte of a whole line.
+    ASSERT_TRUE(writeOk(0x400, pattern(kCachelineBytes, 9)));
     for (unsigned b = 0; b < kCachelineBytes; ++b)
-        mem_.corruptData(0x400, b);   // flips every byte's low bit
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    EXPECT_EQ(SecureMemory::Status::MacMismatch,
-              mem_.read(0x400, out));
+        ASSERT_TRUE(target_->corruptData(0x400, b));
+    EXPECT_FALSE(readOk(0x400));
 }
 
 TEST_F(AttackTest, TamperingUnwrittenMemoryDetected)
 {
     // Even never-written (zero-initialised) memory is protected once
     // the engine has initialised the chunk.
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0x600, out));
-    mem_.corruptData(0x600, 1);
-    EXPECT_EQ(SecureMemory::Status::MacMismatch,
-              mem_.read(0x600, out));
+    ASSERT_TRUE(readOk(0x600));
+    ASSERT_TRUE(target_->corruptData(0x600, 1));
+    EXPECT_FALSE(readOk(0x600));
+}
+
+TEST_F(AttackTest, GranularityTableTamperDetected)
+{
+    // Rewriting the stored granularity-table state behind the
+    // engine's back leaves its counters/MAC slots looked up at the
+    // wrong places -- reads must fail, not silently succeed.
+    ASSERT_TRUE(writeOk(0, pattern(kChunkBytes, 10)));
+    ASSERT_TRUE(target_->tamperGranTable(0, 0));
+    EXPECT_FALSE(readOk(0));
 }
 
 TEST_F(AttackTest, HonestOperationAfterDetectionsStillWorks)
 {
     // Detection must not corrupt the engine's own state: after a
     // caught attack and a rewrite, normal operation resumes.
-    const auto data = pattern(kCachelineBytes, 11);
-    mem_.write(0x800, data);
-    mem_.corruptMac(0x800);
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    EXPECT_NE(SecureMemory::Status::Ok, mem_.read(0x800, out));
+    ASSERT_TRUE(writeOk(0x800, pattern(kCachelineBytes, 11)));
+    ASSERT_TRUE(target_->corruptMac(0x800));
+    EXPECT_FALSE(readOk(0x800));
 
     const auto fresh = pattern(kCachelineBytes, 12);
-    ASSERT_EQ(SecureMemory::Status::Ok, mem_.write(0x800, fresh));
-    ASSERT_EQ(SecureMemory::Status::Ok, mem_.read(0x800, out));
+    ASSERT_TRUE(writeOk(0x800, fresh));
+    std::vector<std::uint8_t> out(kCachelineBytes);
+    ASSERT_TRUE(target_->read(0x800, out));
     EXPECT_EQ(fresh, out);
 }
 

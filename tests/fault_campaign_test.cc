@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fault-injection campaign tests: per-cell verdicts for the attack
+ * classes the paper's security argument leans on (replay, splice,
+ * promote/demote-boundary tampering), on both the mgmee and the
+ * conventional engine; clean-run false-alarm checks for every
+ * engine; the treeless rollback split (managed on-chip versions
+ * detect, off-chip versions miss); and the full-sweep acceptance
+ * bar (core engines detect everything, zero false alarms anywhere).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "fault/campaign.hh"
+#include "fault/injector.hh"
+
+namespace mgmee {
+namespace {
+
+using fault::AttackClass;
+using fault::CellResult;
+using fault::Verdict;
+
+constexpr std::size_t kRegionBytes = 64 * kChunkBytes;
+
+CellResult
+runCell(const std::string &engine, AttackClass cls, Granularity gran,
+        std::uint64_t seed = 0xc0ffee)
+{
+    auto target = fault::makeTarget(engine, kRegionBytes, seed);
+    EXPECT_NE(nullptr, target);
+    return fault::runAttack(*target, cls, gran, seed);
+}
+
+// ---- replay ---------------------------------------------------------
+
+TEST(FaultCampaign, RollbackDetectedOnCoreEngines)
+{
+    for (const char *engine : {"mgmee", "conventional"}) {
+        for (unsigned g = 0; g < fault::kGranularities; ++g) {
+            const CellResult cell =
+                runCell(engine, AttackClass::Rollback,
+                        static_cast<Granularity>(g));
+            EXPECT_EQ(Verdict::Detected, cell.verdict)
+                << engine << " @ "
+                << granularityName(static_cast<Granularity>(g));
+            EXPECT_GT(cell.injections, 0u);
+        }
+    }
+}
+
+TEST(FaultCampaign, RollbackSplitsTreelessVariants)
+{
+    // Managed (on-chip) versions anchor freshness: the attacker
+    // cannot roll the version back, so the stale MAC mismatches.
+    EXPECT_EQ(Verdict::Detected,
+              runCell("treeless-npu", AttackClass::Rollback,
+                      Granularity::Line64B)
+                  .verdict);
+    // Off-chip versions with no tree: a consistent rollback of
+    // {cipher, MAC, version} verifies -- Sec. 2.3's argument.
+    EXPECT_EQ(Verdict::Missed,
+              runCell("treeless-cpu", AttackClass::Rollback,
+                      Granularity::Line64B)
+                  .verdict);
+}
+
+// ---- splice ---------------------------------------------------------
+
+TEST(FaultCampaign, SpliceDetectedOnCoreEngines)
+{
+    for (const char *engine : {"mgmee", "conventional"}) {
+        for (unsigned g = 0; g < fault::kGranularities; ++g) {
+            const CellResult cell =
+                runCell(engine, AttackClass::Splice,
+                        static_cast<Granularity>(g));
+            EXPECT_EQ(Verdict::Detected, cell.verdict)
+                << engine << " @ "
+                << granularityName(static_cast<Granularity>(g));
+        }
+    }
+}
+
+TEST(FaultCampaign, SpliceDetectedEvenWithoutTree)
+{
+    // The per-line MAC binds the address, so relocation fails on
+    // both treeless variants despite the missing tree.
+    EXPECT_EQ(Verdict::Detected,
+              runCell("treeless-cpu", AttackClass::Splice,
+                      Granularity::Line64B)
+                  .verdict);
+    EXPECT_EQ(Verdict::Detected,
+              runCell("treeless-npu", AttackClass::Splice,
+                      Granularity::Line64B)
+                  .verdict);
+}
+
+// ---- promote/demote boundary tampering ------------------------------
+
+TEST(FaultCampaign, StaleSwitchDetectedOnMgmee)
+{
+    // Replaying a pre-promotion image after the switch (and a
+    // pre-demotion image after switching back) must fail at every
+    // coarse granularity: the switch re-encrypts under new counters.
+    for (const Granularity g :
+         {Granularity::Part512B, Granularity::Sub4KB,
+          Granularity::Chunk32KB}) {
+        const CellResult cell =
+            runCell("mgmee", AttackClass::StaleSwitch, g);
+        EXPECT_EQ(Verdict::Detected, cell.verdict)
+            << granularityName(g);
+        // Both directions injected: promote AND demote boundary.
+        EXPECT_EQ(2u, cell.injections) << granularityName(g);
+    }
+}
+
+TEST(FaultCampaign, StaleSwitchNotApplicableWithoutSwitching)
+{
+    // The conventional engine cannot switch granularity, so there is
+    // no boundary to attack -- the cell must be N/A, never Missed.
+    const CellResult cell = runCell(
+        "conventional", AttackClass::StaleSwitch,
+        Granularity::Chunk32KB);
+    EXPECT_EQ(Verdict::NotApplicable, cell.verdict);
+    EXPECT_EQ(0u, cell.injections);
+}
+
+TEST(FaultCampaign, StaleFlushWindowDetectedOnCoreEngines)
+{
+    // Restoring a stale image while lazy node-MAC refreshes are
+    // still pending must not launder the replay (the restore hook
+    // settles deferred state before overwriting).
+    for (const char *engine : {"mgmee", "conventional"}) {
+        EXPECT_EQ(Verdict::Detected,
+                  runCell(engine, AttackClass::StaleFlush,
+                          Granularity::Line64B)
+                      .verdict)
+            << engine;
+    }
+}
+
+// ---- clean control runs ---------------------------------------------
+
+TEST(FaultCampaign, CleanRunsRaiseNoFalseAlarms)
+{
+    for (const char *engine : fault::allEngines()) {
+        for (unsigned g = 0; g < fault::kGranularities; ++g) {
+            const CellResult cell =
+                runCell(engine, AttackClass::None,
+                        static_cast<Granularity>(g));
+            EXPECT_EQ(Verdict::CleanPass, cell.verdict)
+                << engine << " @ "
+                << granularityName(static_cast<Granularity>(g));
+            EXPECT_EQ(0u, cell.false_alarms);
+        }
+    }
+}
+
+// ---- full sweep -----------------------------------------------------
+
+TEST(FaultCampaign, FullSweepMeetsAcceptanceBar)
+{
+    fault::CampaignConfig cfg;
+    cfg.seed = 7;
+    const fault::CampaignReport report = fault::runCampaign(cfg);
+
+    ASSERT_EQ(fault::allEngines().size(), report.engines.size());
+    EXPECT_TRUE(report.coreEnginesFullyDetect());
+
+    const auto totals = report.verdictTotals();
+    EXPECT_EQ(0u, totals[static_cast<unsigned>(Verdict::FalseAlarm)]);
+    EXPECT_GT(totals[static_cast<unsigned>(Verdict::Detected)], 0u);
+
+    // The misses are exactly the documented treeless-cpu gaps.
+    for (const fault::EngineReport &er : report.engines) {
+        for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
+            const auto cls = static_cast<AttackClass>(c);
+            if (er.classVerdict(cls) == Verdict::Missed) {
+                EXPECT_EQ("treeless-cpu", er.engine);
+                EXPECT_TRUE(cls == AttackClass::Rollback ||
+                            cls == AttackClass::StaleFlush)
+                    << fault::attackClassName(cls);
+            }
+        }
+    }
+}
+
+TEST(FaultCampaign, SweepIsDeterministicInSeed)
+{
+    fault::CampaignConfig cfg;
+    cfg.seed = 42;
+    cfg.engines = {"mgmee"};
+    cfg.classes = {AttackClass::Rollback, AttackClass::Splice};
+
+    const auto a = fault::runCampaign(cfg);
+    const auto b = fault::runCampaign(cfg);
+    ASSERT_EQ(1u, a.engines.size());
+    for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
+        for (unsigned g = 0; g < fault::kGranularities; ++g) {
+            const CellResult &ca = a.engines[0].cells[c][g];
+            const CellResult &cb = b.engines[0].cells[c][g];
+            EXPECT_EQ(ca.verdict, cb.verdict);
+            EXPECT_EQ(ca.injections, cb.injections);
+            EXPECT_EQ(ca.detected, cb.detected);
+        }
+    }
+}
+
+} // namespace
+} // namespace mgmee

@@ -19,6 +19,8 @@
 
 #include "common/logging.hh"
 #include "core/multigran_engine.hh"
+#include "fault/campaign.hh"
+#include "obs/manifest.hh"
 #include "hetero/hetero_system.hh"
 #include "hetero/metrics.hh"
 #include "workloads/registry.hh"
@@ -35,6 +37,7 @@ struct Options
     double scale = 1.0;
     std::uint64_t seed = 1;
     bool list = false;
+    bool attack_campaign = false;
     bool csv = false;
     bool stats = false;
     bool map = false;
@@ -73,6 +76,9 @@ usage()
         "  --map             print the final granularity map (multi-\n"
         "                    granular schemes only)\n"
         "  --list            list workloads, scenarios, schemes\n"
+        "  --attack-campaign run the fault-injection campaign\n"
+        "                    (attack class x granularity x engine)\n"
+        "                    and write its coverage manifest\n"
         "  --dump-traces <dir>\n"
         "                    write the scenario's per-device traces\n"
         "                    as mgmee-trace v1 text files and exit\n"
@@ -257,6 +263,8 @@ main(int argc, char **argv)
             opt.map = true;
         } else if (arg == "--list") {
             opt.list = true;
+        } else if (arg == "--attack-campaign") {
+            opt.attack_campaign = true;
         } else if (arg == "--dump-traces") {
             opt.dump_traces = next();
         } else if (arg == "--trace-cpu") {
@@ -279,6 +287,21 @@ main(int argc, char **argv)
     if (opt.list) {
         listEverything();
         return 0;
+    }
+
+    if (opt.attack_campaign) {
+        fault::CampaignConfig cfg;
+        cfg.seed = opt.seed;
+        const fault::CampaignReport report =
+            fault::runCampaign(cfg);
+        std::printf("%s", report.matrixText().c_str());
+        obs::Manifest manifest("attack_campaign");
+        report.fillManifest(manifest);
+        manifest.captureRegistry();
+        const std::string path = manifest.write();
+        if (!path.empty())
+            std::printf("wrote %s\n", path.c_str());
+        return report.coreEnginesFullyDetect() ? 0 : 1;
     }
 
     const Scenario scenario = parseScenario(opt.scenario);

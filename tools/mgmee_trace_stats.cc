@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "fault/injector.hh"
 #include "obs/trace.hh"
 #include "workloads/trace_io.hh"
 
@@ -53,6 +54,8 @@ analyseObs(const char *path, const std::string &jsonl_out)
     std::uint64_t level_hits[32] = {}, level_total[32] = {};
     std::uint64_t memo_hits[3] = {}, memo_misses[3] = {};
     std::uint64_t chunk_lines[4] = {}, chunk_events[4] = {};
+    std::uint64_t fault_inject[fault::kAttackClasses] = {};
+    std::uint64_t fault_verdicts[fault::kAttackClasses][5] = {};
     for (const obs::TraceRecord &r : recs) {
         ++by_kind[r.kind];
         switch (static_cast<obs::EventKind>(r.kind)) {
@@ -78,6 +81,14 @@ analyseObs(const char *path, const std::string &jsonl_out)
                 chunk_lines[r.arg0] += r.value;
                 ++chunk_events[r.arg0];
             }
+            break;
+          case obs::EventKind::FaultInject:
+            if (r.arg0 < fault::kAttackClasses)
+                ++fault_inject[r.arg0];
+            break;
+          case obs::EventKind::FaultVerdict:
+            if (r.arg0 < fault::kAttackClasses && r.value < 5)
+                ++fault_verdicts[r.arg0][r.value];
             break;
           default:
             break;
@@ -128,6 +139,27 @@ analyseObs(const char *path, const std::string &jsonl_out)
                         static_cast<unsigned long long>(
                             chunk_events[c]));
         }
+    }
+    for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
+        std::uint64_t cells = 0;
+        for (unsigned v = 0; v < 5; ++v)
+            cells += fault_verdicts[c][v];
+        if (!fault_inject[c] && !cells)
+            continue;
+        const auto cls = static_cast<fault::AttackClass>(c);
+        std::printf("  fault[%-12s]: %llu injections;",
+                    fault::attackClassName(cls),
+                    static_cast<unsigned long long>(fault_inject[c]));
+        for (unsigned v = 0; v < 5; ++v) {
+            if (fault_verdicts[c][v]) {
+                std::printf(" %llu %s",
+                            static_cast<unsigned long long>(
+                                fault_verdicts[c][v]),
+                            fault::verdictName(
+                                static_cast<fault::Verdict>(v)));
+            }
+        }
+        std::printf("\n");
     }
     std::printf("\n");
 
