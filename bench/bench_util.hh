@@ -13,7 +13,13 @@
  *   MGMEE_SEED       base RNG seed (default 1)
  *   MGMEE_THREADS    worker threads for scenario sweeps (default:
  *                    all hardware threads; set 1 to force a serial
- *                    run -- results are bit-identical either way)
+ *                    run -- results are bit-identical either way;
+ *                    parsed by common/threads.hh)
+ *   MGMEE_SHARDS     > 0 routes runSweep through the sharded event
+ *                    scheduler (sim/sharded_sweep.hh) with that many
+ *                    memory-channel shards; 0/unset keeps the
+ *                    monolithic closed-loop path
+ *   MGMEE_QUANTUM    scheduler time window when sharding is on
  */
 
 #ifndef MGMEE_BENCH_BENCH_UTIL_HH
@@ -29,8 +35,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/threads.hh"
 #include "hetero/metrics.hh"
 #include "hetero/run_memo.hh"
+#include "sim/sharded_sweep.hh"
 
 namespace mgmee::bench {
 
@@ -48,15 +56,12 @@ envSeed()
     return s ? std::strtoull(s, nullptr, 10) : 1;
 }
 
+/** MGMEE_THREADS, shared with the scheduler and fault campaign
+ *  (common/threads.hh). */
 inline unsigned
 envThreads()
 {
-    if (const char *s = std::getenv("MGMEE_THREADS")) {
-        const unsigned long n = std::strtoul(s, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
-    }
-    return std::max(1u, std::thread::hardware_concurrency());
+    return mgmee::envThreads();
 }
 
 inline std::vector<Scenario>
@@ -144,6 +149,37 @@ runSweep(const std::vector<Scenario> &scenarios,
     }
     if (scenarios.empty() || schemes.empty())
         return out;
+
+    // MGMEE_SHARDS > 0 opts into the sharded event scheduler: the
+    // runs themselves decompose across per-channel shards instead of
+    // only fanning whole runs across workers.  A different (and
+    // separately memoized) timing model -- see sim/sharded_sweep.hh.
+    if (const unsigned shards = mgmee::envShards(); shards > 0) {
+        sim::ShardedSweepConfig cfg;
+        cfg.seed = seed;
+        cfg.scale = scale;
+        cfg.threads = mgmee::envThreads();
+        cfg.shards = shards;
+        cfg.quantum = mgmee::envQuantum();
+        cfg.use_static_best_search = use_static_best_search;
+        const sim::ShardedSweepResult res =
+            sim::runShardedSweep(scenarios, schemes, cfg);
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            for (std::size_t s = 0; s < scenarios.size(); ++s) {
+                const RunResult &r = res.results[i][s];
+                const RunResult &u = res.unsecure[s];
+                out[i].exec_norm[s] = normalizedExecTime(r, u);
+                out[i].traffic_norm[s] =
+                    u.total_bytes
+                        ? static_cast<double>(r.total_bytes) /
+                              static_cast<double>(u.total_bytes)
+                        : 1.0;
+                out[i].misses[s] =
+                    static_cast<double>(r.security_misses);
+            }
+        }
+        return out;
+    }
 
     // Per-scenario shared state, filled lazily under a once_flag.
     std::vector<RunResult> unsec(scenarios.size());

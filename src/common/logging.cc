@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -10,10 +11,14 @@ namespace mgmee {
 
 namespace {
 
-bool g_verbose = true;
+/** Atomic: benches toggle verbosity around sweeps whose scheduler
+ *  shards call inform()/warn() from worker threads. */
+std::atomic<bool> g_verbose{true};
 
-/** Per-site (file:line) warn accounting behind one mutex; warn() is
- *  off the hot path, so contention is irrelevant. */
+/** Per-site (file:line) warn accounting behind one mutex -- warn()
+ *  is explicitly thread-safe (shard workers hit shared sites
+ *  concurrently); it is off the hot path, so contention is
+ *  irrelevant. */
 struct WarnState
 {
     std::mutex mu;
@@ -34,8 +39,17 @@ warnState()
 
 } // namespace
 
-void setVerbose(bool verbose) { g_verbose = verbose; }
-bool verbose() { return g_verbose; }
+void
+setVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -147,7 +161,7 @@ warnResetRateLimiter()
 void
 informImpl(const char *fmt, ...)
 {
-    if (!g_verbose)
+    if (!g_verbose.load(std::memory_order_relaxed))
         return;
     std::fprintf(stdout, "info: ");
     va_list ap;

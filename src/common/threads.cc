@@ -1,0 +1,53 @@
+#include "common/threads.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace mgmee {
+
+namespace {
+
+unsigned long
+envUnsigned(const char *name)
+{
+    const char *s = std::getenv(name);
+    return s ? std::strtoul(s, nullptr, 10) : 0;
+}
+
+} // namespace
+
+unsigned
+threadCap()
+{
+    return std::max(8u, std::thread::hardware_concurrency());
+}
+
+unsigned
+envThreads()
+{
+    const unsigned long n = envUnsigned("MGMEE_THREADS");
+    if (n >= 1)
+        return static_cast<unsigned>(
+            std::min<unsigned long>(n, threadCap()));
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned
+envShards()
+{
+    const unsigned long n = envUnsigned("MGMEE_SHARDS");
+    return static_cast<unsigned>(
+        std::min<unsigned long>(n, threadCap()));
+}
+
+Cycle
+envQuantum()
+{
+    const unsigned long n = envUnsigned("MGMEE_QUANTUM");
+    if (n == 0)
+        return 256;
+    return std::clamp<Cycle>(n, 64, Cycle{1} << 20);
+}
+
+} // namespace mgmee

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared parsing of the parallelism environment knobs.
+ *
+ * Every layer that fans work out over threads -- the scenario sweeps
+ * in bench/bench_util.hh, the sharded discrete-event scheduler in
+ * src/sim/, and the fault-injection campaign -- reads the same knobs
+ * through these helpers, so one `MGMEE_THREADS=4` means the same
+ * thing everywhere and obs::Manifest records one consistent value.
+ *
+ * Knobs:
+ *   MGMEE_THREADS  worker threads (default: all hardware threads;
+ *                  clamped to threadCap(); 1 forces serial runs --
+ *                  results are bit-identical either way)
+ *   MGMEE_SHARDS   event-scheduler shards; 0 (default) keeps the
+ *                  monolithic closed-loop sweep path, >0 routes
+ *                  sweeps through the sharded scheduler
+ *   MGMEE_QUANTUM  conservative time-window size of the sharded
+ *                  scheduler, in cycles (default 256; larger quanta
+ *                  amortise barriers but stretch cross-shard
+ *                  latencies enough to distort scheme ordering)
+ */
+
+#ifndef MGMEE_COMMON_THREADS_HH
+#define MGMEE_COMMON_THREADS_HH
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/**
+ * Upper bound for every thread/shard knob: the hardware concurrency,
+ * with a floor of 8 so thread-scaling tests and TSan runs can still
+ * oversubscribe small machines (a 1-core CI box would otherwise never
+ * exercise a parallel code path).
+ */
+unsigned threadCap();
+
+/** MGMEE_THREADS clamped to [1, threadCap()]; unset/0 = all cores. */
+unsigned envThreads();
+
+/** MGMEE_SHARDS clamped to [0, threadCap()]; 0 = sharding off. */
+unsigned envShards();
+
+/** MGMEE_QUANTUM clamped to [64, 1<<20] cycles; unset = 256. */
+Cycle envQuantum();
+
+} // namespace mgmee
+
+#endif // MGMEE_COMMON_THREADS_HH

@@ -63,6 +63,16 @@ class Device
     unsigned index() const { return index_; }
     std::size_t requests() const { return next_; }
     std::size_t traceLength() const { return trace_->size(); }
+    unsigned window() const { return window_; }
+
+    /** The immutable trace this device replays (shared with the
+     *  trace repository and, in sharded runs, with the async device
+     *  model in sim/sharded_sweep, which replays it outside this
+     *  class's closed-loop bookkeeping). */
+    const std::shared_ptr<const Trace> &sharedTrace() const
+    {
+        return trace_;
+    }
 
   private:
     std::string name_;

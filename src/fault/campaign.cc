@@ -1,13 +1,16 @@
 #include "fault/campaign.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <iterator>
+#include <thread>
 #include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/threads.hh"
 #include "core/granularity.hh"
 #include "mee/secure_memory.hh"
 #include "obs/manifest.hh"
@@ -604,6 +607,8 @@ runCampaign(const CampaignConfig &cfg)
     CampaignReport report;
     report.seed = cfg.seed;
 
+    // Preallocate every engine's report so workers write disjoint
+    // cell slots; unknown engines are dropped up front.
     for (const std::string &engine : engines) {
         if (!makeTarget(engine, kChunkBytes, 1)) {
             warn("attack campaign: unknown engine '%s' skipped",
@@ -617,38 +622,69 @@ runCampaign(const CampaignConfig &cfg)
                 er.cells[c][g].cls = static_cast<AttackClass>(c);
                 er.cells[c][g].gran = static_cast<Granularity>(g);
             }
-
-        for (const AttackClass cls : classes) {
-            for (unsigned g = 0; g < kGranularities; ++g) {
-                const std::uint64_t cell_seed =
-                    mix(cfg.seed ^ hashName(engine) ^
-                        (static_cast<std::uint64_t>(cls) << 32) ^
-                        (std::uint64_t{g} << 40));
-                auto target =
-                    makeTarget(engine, cfg.data_bytes, cell_seed);
-                const CellResult cell = runAttack(
-                    *target, cls, static_cast<Granularity>(g),
-                    cell_seed);
-                er.cells[static_cast<unsigned>(cls)][g] = cell;
-
-                reg.counter("fault", "cells")
-                    .fetch_add(1, std::memory_order_relaxed);
-                reg.counter("fault", "injections")
-                    .fetch_add(cell.injections,
-                               std::memory_order_relaxed);
-                reg.counter("fault", "detected")
-                    .fetch_add(cell.detected,
-                               std::memory_order_relaxed);
-                reg.counter("fault", "missed")
-                    .fetch_add(cell.missed,
-                               std::memory_order_relaxed);
-                reg.counter("fault", "false_alarms")
-                    .fetch_add(cell.false_alarms,
-                               std::memory_order_relaxed);
-            }
-        }
         report.engines.push_back(std::move(er));
     }
+
+    /** One (engine, class, granularity) cell of the matrix. */
+    struct CellTask
+    {
+        std::size_t engine;
+        AttackClass cls;
+        unsigned gran;
+    };
+    std::vector<CellTask> cells;
+    for (std::size_t e = 0; e < report.engines.size(); ++e)
+        for (const AttackClass cls : classes)
+            for (unsigned g = 0; g < kGranularities; ++g)
+                cells.push_back(CellTask{e, cls, g});
+
+    // Every cell builds its own target from an independent seed
+    // stream, so cells parallelise embarrassingly; the report slots
+    // are disjoint and the registry counters are atomic.  Results
+    // are identical for any thread count.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+        for (std::size_t i = next.fetch_add(1); i < cells.size();
+             i = next.fetch_add(1)) {
+            const CellTask &task = cells[i];
+            const std::string &engine =
+                report.engines[task.engine].engine;
+            const std::uint64_t cell_seed =
+                mix(cfg.seed ^ hashName(engine) ^
+                    (static_cast<std::uint64_t>(task.cls) << 32) ^
+                    (std::uint64_t{task.gran} << 40));
+            auto target =
+                makeTarget(engine, cfg.data_bytes, cell_seed);
+            const CellResult cell = runAttack(
+                *target, task.cls,
+                static_cast<Granularity>(task.gran), cell_seed);
+            report.engines[task.engine]
+                .cells[static_cast<unsigned>(task.cls)][task.gran] =
+                cell;
+
+            reg.counter("fault", "cells")
+                .fetch_add(1, std::memory_order_relaxed);
+            reg.counter("fault", "injections")
+                .fetch_add(cell.injections,
+                           std::memory_order_relaxed);
+            reg.counter("fault", "detected")
+                .fetch_add(cell.detected, std::memory_order_relaxed);
+            reg.counter("fault", "missed")
+                .fetch_add(cell.missed, std::memory_order_relaxed);
+            reg.counter("fault", "false_alarms")
+                .fetch_add(cell.false_alarms,
+                           std::memory_order_relaxed);
+        }
+    };
+    const unsigned threads = std::max<unsigned>(
+        1,
+        std::min<std::size_t>(envThreads(), cells.size()));
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < threads; ++t)
+        pool.emplace_back(work);
+    work();
+    for (std::thread &t : pool)
+        t.join();
     return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <future>
 #include <mutex>
 #include <string>
@@ -38,14 +39,15 @@ struct RunKey
     std::uint64_t seed;
     std::uint64_t scale_bits;
     std::uint64_t gran;  //!< packed per-device static granularities
+    std::uint64_t topo;  //!< simulation topology (0 = monolithic)
 
     bool
     operator==(const RunKey &o) const
     {
         return scheme == o.scheme && seed == o.seed &&
                scale_bits == o.scale_bits && gran == o.gran &&
-               cpu == o.cpu && gpu == o.gpu && npu1 == o.npu1 &&
-               npu2 == o.npu2;
+               topo == o.topo && cpu == o.cpu && gpu == o.gpu &&
+               npu1 == o.npu1 && npu2 == o.npu2;
     }
 };
 
@@ -61,6 +63,7 @@ struct RunKeyHash
         h = mix64(h ^ (std::uint64_t{k.scheme} << 56) ^ k.seed);
         h = mix64(h ^ k.scale_bits);
         h = mix64(h ^ k.gran);
+        h = mix64(h ^ k.topo);
         return static_cast<std::size_t>(h);
     }
 };
@@ -118,6 +121,53 @@ class FutureMemo
         return fut.get();
     }
 
+    /**
+     * Non-blocking probe: true only when the key has a *ready*
+     * result.  A key whose computation is still in flight reads as
+     * absent -- callers that cannot block (the scheduler barrier)
+     * recompute instead of waiting.
+     */
+    bool
+    tryGet(const RunKey &key, std::atomic<std::uint64_t> &hits,
+           std::atomic<std::uint64_t> &misses, obs::MemoTable table,
+           Value &out)
+    {
+        Shard &shard = shards_[RunKeyHash{}(key) % kShards];
+        std::shared_future<Value> fut;
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end() &&
+                it->second.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready) {
+                fut = it->second;
+            }
+        }
+        if (!fut.valid()) {
+            misses.fetch_add(1, std::memory_order_relaxed);
+            OBS_EVENT(obs::EventKind::MemoMiss, 0,
+                      RunKeyHash{}(key), 0,
+                      static_cast<std::uint8_t>(table));
+            return false;
+        }
+        hits.fetch_add(1, std::memory_order_relaxed);
+        OBS_EVENT(obs::EventKind::MemoHit, 0, RunKeyHash{}(key), 0,
+                  static_cast<std::uint8_t>(table));
+        out = fut.get();
+        return true;
+    }
+
+    /** Publish a completed value (first install of a key wins). */
+    void
+    install(const RunKey &key, const Value &value)
+    {
+        Shard &shard = shards_[RunKeyHash{}(key) % kShards];
+        std::promise<Value> prom;
+        prom.set_value(value);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.map.emplace(key, prom.get_future().share());
+    }
+
     void
     clear()
     {
@@ -166,7 +216,7 @@ state()
 
 RunKey
 makeKey(const Scenario &sc, Scheme scheme, std::uint64_t seed,
-        double scale, std::uint64_t gran)
+        double scale, std::uint64_t gran, std::uint64_t topo = 0)
 {
     return RunKey{sc.cpu,
                   sc.gpu,
@@ -175,7 +225,8 @@ makeKey(const Scenario &sc, Scheme scheme, std::uint64_t seed,
                   static_cast<std::uint8_t>(scheme),
                   seed,
                   std::bit_cast<std::uint64_t>(scale),
-                  gran};
+                  gran,
+                  topo};
 }
 
 } // namespace
@@ -213,6 +264,35 @@ searchStaticBestMemo(const Scenario &scenario, std::uint64_t seed,
         makeKey(scenario, Scheme::StaticDeviceBest, seed, scale, 0),
         s.search_hits, s.search_misses, obs::MemoTable::Search,
         compute);
+}
+
+bool
+runMemoTryGet(const Scenario &scenario, Scheme scheme,
+              std::uint64_t seed, double scale,
+              const std::array<Granularity, 8> &static_gran,
+              std::uint64_t topo, RunResult &out)
+{
+    if (!memoEnabled())
+        return false;
+    MemoState &s = state();
+    return s.runs.tryGet(
+        makeKey(scenario, scheme, seed, scale, packGran(static_gran),
+                topo),
+        s.run_hits, s.run_misses, obs::MemoTable::Run, out);
+}
+
+void
+runMemoInstall(const Scenario &scenario, Scheme scheme,
+               std::uint64_t seed, double scale,
+               const std::array<Granularity, 8> &static_gran,
+               std::uint64_t topo, const RunResult &result)
+{
+    if (!memoEnabled())
+        return;
+    MemoState &s = state();
+    s.runs.install(makeKey(scenario, scheme, seed, scale,
+                           packGran(static_gran), topo),
+                   result);
 }
 
 RunMemoStats

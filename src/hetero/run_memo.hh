@@ -51,6 +51,31 @@ searchStaticBestMemo(const Scenario &scenario, std::uint64_t seed,
                      const std::function<std::array<Granularity, 8>()>
                          &compute);
 
+/**
+ * Non-blocking probe of the run memo for topology @p topo: fills
+ * @p out and returns true only if the result is already computed.
+ * @p topo distinguishes simulation topologies -- 0 is the monolithic
+ * closed-loop path (what runScenarioMemo uses); the sharded event
+ * scheduler packs its (channels, quantum, interleave) into a non-zero
+ * word via sim::shardedTopoWord(), because those knobs change the
+ * timing model and therefore the results.  Returns false when
+ * `MGMEE_MEMO=0`.
+ */
+bool runMemoTryGet(const Scenario &scenario, Scheme scheme,
+                   std::uint64_t seed, double scale,
+                   const std::array<Granularity, 8> &static_gran,
+                   std::uint64_t topo, RunResult &out);
+
+/**
+ * Publish a completed run for topology @p topo (counterpart of
+ * runMemoTryGet; first install of a key wins).  No-op when
+ * `MGMEE_MEMO=0`.
+ */
+void runMemoInstall(const Scenario &scenario, Scheme scheme,
+                    std::uint64_t seed, double scale,
+                    const std::array<Granularity, 8> &static_gran,
+                    std::uint64_t topo, const RunResult &result);
+
 /** Hit/miss counters of both memo tables. */
 struct RunMemoStats
 {

@@ -19,9 +19,10 @@ namespace {
 /** The knobs worth recording with every run (see bench_util.hh). */
 constexpr const char *kKnobs[] = {
     "MGMEE_SCENARIOS", "MGMEE_SCALE",      "MGMEE_SEED",
-    "MGMEE_THREADS",   "MGMEE_MEMO",       "MGMEE_SWEEP_REPS",
-    "MGMEE_WALK_OPS",  "MGMEE_TRACE",      "MGMEE_PROFILE",
-    "MGMEE_RESULTS_DIR", "MGMEE_FAULT_SEED", "MGMEE_FAULT_CLASSES",
+    "MGMEE_THREADS",   "MGMEE_SHARDS",     "MGMEE_QUANTUM",
+    "MGMEE_MEMO",      "MGMEE_SWEEP_REPS", "MGMEE_WALK_OPS",
+    "MGMEE_TRACE",     "MGMEE_PROFILE",    "MGMEE_RESULTS_DIR",
+    "MGMEE_FAULT_SEED", "MGMEE_FAULT_CLASSES",
 };
 
 std::string

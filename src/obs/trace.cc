@@ -75,6 +75,9 @@ struct ThreadSlot
 
 thread_local ThreadSlot t_slot;
 
+/** Shard tag for events emitted by this thread (-1 = untagged). */
+thread_local int t_shard = -1;
+
 /** Auto-start from MGMEE_TRACE, flushed via atexit. */
 struct EnvAutoStart
 {
@@ -120,7 +123,11 @@ emitSlow(EventKind kind, std::uint64_t cycle, std::uint64_t addr,
     rec.value = value;
     rec.kind = static_cast<std::uint8_t>(kind);
     rec.arg0 = arg0;
-    rec.thread = buf.thread_id;
+    rec.thread = t_shard >= 0
+        ? static_cast<std::uint16_t>(
+              kThreadShardBit |
+              (static_cast<std::uint16_t>(t_shard) & ~kThreadShardBit))
+        : buf.thread_id;
     buf.records.push_back(rec);
     s.emitted.fetch_add(1, std::memory_order_relaxed);
 
@@ -131,6 +138,18 @@ emitSlow(EventKind kind, std::uint64_t cycle, std::uint64_t addr,
 }
 
 } // namespace detail
+
+void
+setTraceShard(int shard)
+{
+    t_shard = shard;
+}
+
+int
+traceShard()
+{
+    return t_shard;
+}
 
 const char *
 eventKindName(EventKind kind)
@@ -251,8 +270,12 @@ recordToJson(const TraceRecord &rec)
        << eventKindName(static_cast<EventKind>(rec.kind))
        << "\", \"cycle\": " << rec.cycle << ", \"addr\": " << rec.addr
        << ", \"value\": " << rec.value
-       << ", \"arg0\": " << unsigned{rec.arg0}
-       << ", \"thread\": " << rec.thread << '}';
+       << ", \"arg0\": " << unsigned{rec.arg0};
+    if (rec.thread & kThreadShardBit)
+        os << ", \"shard\": " << (rec.thread & ~kThreadShardBit);
+    else
+        os << ", \"thread\": " << rec.thread;
+    os << '}';
     return os.str();
 }
 

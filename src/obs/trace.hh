@@ -94,6 +94,26 @@ struct TraceRecord
 static_assert(sizeof(TraceRecord) == 24,
               "TraceRecord is the on-disk format; keep it packed");
 
+/**
+ * When the high bit of TraceRecord::thread is set, the low 15 bits
+ * are a scheduler *shard* index rather than a per-session thread
+ * index: with the sharded event scheduler the executing OS thread is
+ * an accident of the worker pool, so the shard is the meaningful
+ * attribution.  Records without the bit keep the v1 thread meaning,
+ * so the format version does not change.
+ */
+constexpr std::uint16_t kThreadShardBit = 0x8000;
+
+/**
+ * Tag events emitted by the calling thread with @p shard (>= 0)
+ * instead of its thread index; -1 restores thread attribution.
+ * Thread-local; the scheduler sets it around shard execution.
+ */
+void setTraceShard(int shard);
+
+/** The calling thread's current shard tag (-1 = untagged). */
+int traceShard();
+
 /** Stable name of @p kind ("walk_read", ...); "unknown" if not. */
 const char *eventKindName(EventKind kind);
 

@@ -4,11 +4,30 @@
 
 namespace mgmee {
 
+namespace {
+
+/**
+ * One shard, one thread: the quantum only sets the barrier cadence
+ * (all scheduling is same-shard, so nothing is ever quantised) --
+ * make it large so the run is one long quantum.
+ */
+sim::SchedulerConfig
+twinConfig()
+{
+    sim::SchedulerConfig cfg;
+    cfg.shards = 1;
+    cfg.threads = 1;
+    cfg.quantum = Cycle{1} << 20;
+    return cfg;
+}
+
+} // namespace
+
 EventDrivenSystem::EventDrivenSystem(
     std::vector<Device> devices,
     std::unique_ptr<TimingEngine> engine, const MemCtrlConfig &mem_cfg)
     : devices_(std::move(devices)), engine_(std::move(engine)),
-      mem_(mem_cfg)
+      mem_(mem_cfg), sched_(twinConfig())
 {
     fatal_if(devices_.empty(), "event system needs >=1 device");
     fatal_if(!engine_, "event system needs an engine");
@@ -21,12 +40,16 @@ EventDrivenSystem::issueNext(std::size_t d)
     if (dev.done())
         return;
 
+    last_event_ = std::max(last_event_, sched_.now());
     const MemRequest req = dev.makeRequest();
     const Cycle done = engine_->access(req, mem_);
     dev.complete(done);
 
     if (!dev.done()) {
-        queue_.schedule(dev.nextIssue(),
+        // nextIssue() can trail the current tick (zero-latency
+        // follow-up); the legacy EventQueue dispatched those
+        // immediately, which clamping reproduces.
+        sched_.schedule(0, std::max(dev.nextIssue(), sched_.now()),
                         [this, d]() { issueNext(d); });
     }
 }
@@ -36,12 +59,12 @@ EventDrivenSystem::run()
 {
     for (std::size_t d = 0; d < devices_.size(); ++d) {
         if (!devices_[d].done()) {
-            queue_.schedule(devices_[d].nextIssue(),
+            sched_.schedule(0, devices_[d].nextIssue(),
                             [this, d]() { issueNext(d); });
         }
     }
-    queue_.run();
-    engine_->kernelBoundary(queue_.now(), mem_);
+    sched_.run();
+    engine_->kernelBoundary(last_event_, mem_);
 }
 
 std::vector<Cycle>

@@ -21,11 +21,16 @@
 #include "devices/device.hh"
 #include "mee/timing_engine.hh"
 #include "mem/mem_ctrl.hh"
-#include "sim/event_queue.hh"
+#include "sim/scheduler.hh"
 
 namespace mgmee {
 
-/** Event-driven SoC runner (validation twin of HeteroSystem). */
+/**
+ * Event-driven SoC runner (validation twin of HeteroSystem), hosted
+ * on a single shard of sim::Scheduler -- the same dispatch core the
+ * sharded sweeps use, so the cross-validation also pins the
+ * scheduler's (tick, seq) ordering against the closed-loop model.
+ */
 class EventDrivenSystem
 {
   public:
@@ -40,7 +45,7 @@ class EventDrivenSystem
 
     const MemCtrl &mem() const { return mem_; }
     const TimingEngine &engine() const { return *engine_; }
-    const EventQueue &queue() const { return queue_; }
+    const sim::Scheduler &scheduler() const { return sched_; }
 
   private:
     /** Issue the next op of device @p d, then schedule its follower. */
@@ -49,7 +54,8 @@ class EventDrivenSystem
     std::vector<Device> devices_;
     std::unique_ptr<TimingEngine> engine_;
     MemCtrl mem_;
-    EventQueue queue_;
+    sim::Scheduler sched_;
+    Cycle last_event_ = 0;  //!< tick of the last dispatched issue
 };
 
 } // namespace mgmee

@@ -1,0 +1,333 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.hh"
+#include "obs/trace.hh"
+
+namespace mgmee::sim {
+
+namespace {
+
+constexpr Cycle kNoEvent = ~Cycle{0};
+
+/**
+ * Handler-context state for the thread currently executing a shard.
+ * One scheduler drives a thread at a time, so plain thread-locals
+ * suffice; -1 shard means "not in handler context".
+ */
+thread_local int t_shard = -1;
+thread_local Cycle t_now = 0;
+
+} // namespace
+
+Scheduler::Scheduler(const SchedulerConfig &cfg)
+    : nshards_(std::max(1u, cfg.shards)),
+      quantum_(std::max<Cycle>(1, cfg.quantum))
+{
+    // More workers than shards would only idle at every barrier.
+    nthreads_ = std::clamp(cfg.threads, 1u, nshards_);
+    shards_.reserve(nshards_);
+    for (unsigned i = 0; i < nshards_; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+
+    // The calling thread executes shards too, so the pool only needs
+    // nthreads_ - 1 extra workers.
+    for (unsigned i = 1; i < nthreads_; ++i)
+        pool_.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        stopping_.store(true, std::memory_order_release);
+    }
+    pool_cv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+}
+
+void
+Scheduler::pushEvent(unsigned shard, Cycle when, Handler fn)
+{
+    Shard &sh = *shards_[shard];
+    sh.queue.push(Event{when, sh.seq++, std::move(fn)});
+}
+
+void
+Scheduler::schedule(unsigned shard, Cycle when, Handler fn)
+{
+    panic_if(shard >= nshards_, "schedule onto shard %u of %u", shard,
+             nshards_);
+    if (in_parallel_) {
+        // Handler context: only the owning shard may touch its queue.
+        panic_if(t_shard != static_cast<int>(shard),
+                 "direct cross-shard schedule from shard %d to %u "
+                 "(use scheduleCross)",
+                 t_shard, shard);
+        panic_if(when < t_now,
+                 "schedule into the past (%llu < %llu)",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(t_now));
+    }
+    pushEvent(shard, when, std::move(fn));
+}
+
+void
+Scheduler::scheduleCross(unsigned dst, Cycle when, Handler fn)
+{
+    panic_if(dst >= nshards_, "scheduleCross onto shard %u of %u", dst,
+             nshards_);
+    if (in_parallel_) {
+        panic_if(t_shard < 0, "scheduleCross outside handler context "
+                              "during a quantum");
+        // Same-shard destination: the queue is ours, deliver at the
+        // exact tick (clamped to now) with no quantisation.
+        if (t_shard == static_cast<int>(dst)) {
+            pushEvent(dst, std::max(when, t_now), std::move(fn));
+            return;
+        }
+        // Park in the source shard's outbox; the barrier delivers it
+        // in (tick, source shard, creation order) order.
+        shards_[t_shard]->outbox.push_back(
+            CrossEvent{dst, when, std::move(fn)});
+        return;
+    }
+    // Setup / barrier context is single threaded: deliver directly,
+    // but never before the current boundary.
+    pushEvent(dst, std::max(when, barrier_tick_), std::move(fn));
+}
+
+void
+Scheduler::setBarrierHook(std::function<void(Cycle)> hook)
+{
+    hook_ = std::move(hook);
+}
+
+Cycle
+Scheduler::now() const
+{
+    return t_now;
+}
+
+int
+Scheduler::currentShard() const
+{
+    return t_shard;
+}
+
+std::uint64_t
+Scheduler::dispatched() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sh : shards_)
+        total += sh->dispatched;
+    return total;
+}
+
+Cycle
+Scheduler::earliestPending() const
+{
+    Cycle earliest = kNoEvent;
+    for (const auto &sh : shards_)
+        if (!sh->queue.empty())
+            earliest = std::min(earliest, sh->queue.top().when);
+    return earliest;
+}
+
+void
+Scheduler::runShard(unsigned shard, Cycle quantum_end)
+{
+    Shard &sh = *shards_[shard];
+    t_shard = static_cast<int>(shard);
+    ScopedTraceShard tag(static_cast<int>(shard));
+    // Quantum window is [quantum start, quantum_end): an event landing
+    // exactly on the boundary belongs to the next quantum.
+    while (!sh.queue.empty() && sh.queue.top().when < quantum_end) {
+        // priority_queue::top() is const; the element is discarded by
+        // the pop() right after, so moving out of it is safe.
+        Event ev = std::move(const_cast<Event &>(sh.queue.top()));
+        sh.queue.pop();
+        t_now = ev.when;
+        ev.fn();
+        ++sh.dispatched;
+    }
+    t_now = quantum_end;
+    t_shard = -1;
+}
+
+namespace {
+
+/** Spin iterations before falling back to the condvar.  Quanta are
+ *  normally microseconds apart, so the spin almost always wins; the
+ *  sleep path only triggers across long barrier hooks. */
+constexpr unsigned kSpinLimit = 4096;
+
+void
+relax(unsigned spin)
+{
+    if (spin % 64 == 63)
+        std::this_thread::yield();
+}
+
+} // namespace
+
+void
+Scheduler::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        // Hybrid wait for the next quantum (or shutdown).
+        for (unsigned spin = 0;; ++spin) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            const std::uint64_t gen =
+                generation_.load(std::memory_order_acquire);
+            if (gen != seen_generation) {
+                seen_generation = gen;
+                break;
+            }
+            if (spin < kSpinLimit) {
+                relax(spin);
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(pool_mu_);
+            pool_cv_.wait(lk, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                       generation_.load(std::memory_order_acquire) !=
+                           seen_generation;
+            });
+            // Loop re-reads the flags on wakeup.
+            spin = 0;
+        }
+        // Safe: pool_quantum_end_ is written before the generation
+        // release-increment that got us here, and it is not written
+        // again until this worker's check-in below is observed.
+        const Cycle quantum_end = pool_quantum_end_;
+        for (;;) {
+            const unsigned s =
+                next_shard_.fetch_add(1, std::memory_order_relaxed);
+            if (s >= nshards_)
+                break;
+            runShard(s, quantum_end);
+        }
+        // Check in even with zero shards stolen: the quantum is over
+        // only once every worker has left the steal loop.
+        const unsigned done =
+            1 + workers_done_.fetch_add(1, std::memory_order_release);
+        if (done + 1 == nthreads_) {
+            // The main thread may already be asleep on done_cv_.
+            { std::lock_guard<std::mutex> lk(pool_mu_); }
+            done_cv_.notify_one();
+        }
+    }
+}
+
+void
+Scheduler::executeQuantum(Cycle quantum_end)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    in_parallel_ = true;
+    if (pool_.empty()) {
+        for (unsigned s = 0; s < nshards_; ++s)
+            runShard(s, quantum_end);
+    } else {
+        {
+            // The mutex makes the generation bump visible to any
+            // worker that gave up spinning and went to sleep.
+            std::lock_guard<std::mutex> lk(pool_mu_);
+            pool_quantum_end_ = quantum_end;
+            next_shard_.store(0, std::memory_order_relaxed);
+            workers_done_.store(0, std::memory_order_relaxed);
+            generation_.fetch_add(1, std::memory_order_release);
+        }
+        pool_cv_.notify_all();
+        // The calling thread pulls shards from the same work counter.
+        for (;;) {
+            const unsigned s =
+                next_shard_.fetch_add(1, std::memory_order_relaxed);
+            if (s >= nshards_)
+                break;
+            runShard(s, quantum_end);
+        }
+        // Wait for every worker's check-in, not just for the shards:
+        // only then is it safe to republish the pool state for the
+        // next quantum.
+        const unsigned nworkers = nthreads_ - 1;
+        for (unsigned spin = 0;
+             workers_done_.load(std::memory_order_acquire) < nworkers;
+             ++spin) {
+            if (spin < kSpinLimit) {
+                relax(spin);
+                continue;
+            }
+            std::unique_lock<std::mutex> lk(pool_mu_);
+            done_cv_.wait(lk, [&] {
+                return workers_done_.load(
+                           std::memory_order_acquire) >= nworkers;
+            });
+        }
+    }
+    in_parallel_ = false;
+    const auto t1 = std::chrono::steady_clock::now();
+    quantum_ns_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+}
+
+void
+Scheduler::deliverOutboxes(Cycle boundary)
+{
+    // Single threaded (between quanta).  Outboxes are walked in shard
+    // order and each in creation order, so destination seq numbers --
+    // the tie-break for same-tick events -- encode exactly the
+    // deterministic (source shard, creation order) merge.
+    for (unsigned src = 0; src < nshards_; ++src) {
+        Shard &sh = *shards_[src];
+        for (CrossEvent &ev : sh.outbox) {
+            pushEvent(ev.dst, std::max(ev.when, boundary),
+                      std::move(ev.fn));
+            ++cross_delivered_;
+        }
+        sh.outbox.clear();
+    }
+}
+
+void
+Scheduler::run()
+{
+    // Initial barrier: lets the hook seed/admit work before any event
+    // runs (and makes an empty scheduler with no hook a no-op).
+    if (hook_)
+        hook_(barrier_tick_);
+    for (;;) {
+        const Cycle earliest = earliestPending();
+        if (earliest == kNoEvent)
+            break;
+        // Skip empty stretches of time: jump straight to the quantum
+        // containing the earliest event.
+        const Cycle quantum_end = (earliest / quantum_ + 1) * quantum_;
+        executeQuantum(quantum_end);
+        deliverOutboxes(quantum_end);
+        barrier_tick_ = quantum_end;
+        ++quanta_;
+        if (hook_)
+            hook_(quantum_end);
+    }
+}
+
+ScopedTraceShard::ScopedTraceShard(int shard)
+    : prev_(obs::traceShard())
+{
+    obs::setTraceShard(shard);
+}
+
+ScopedTraceShard::~ScopedTraceShard()
+{
+    obs::setTraceShard(prev_);
+}
+
+} // namespace mgmee::sim

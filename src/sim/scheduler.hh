@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Sharded conservative-quantum discrete-event scheduler.
+ *
+ * The serial sim::EventQueue dispatches one global event stream; this
+ * scheduler partitions the event space into *shards*, each with its
+ * own (tick, seq)-ordered queue, and advances all shards in lockstep
+ * time windows (*quanta*) executed by a pool of worker threads.  The
+ * design goal is determinism-by-construction: the observable event
+ * order is a pure function of the workload and the scheduler topology
+ * (shard count, quantum), never of the thread count or OS scheduling.
+ *
+ * Rules that make that hold:
+ *
+ *  - within a shard, events run in (tick, seq) order; seq is a
+ *    per-shard counter assigned at insertion, and all insertions into
+ *    a shard happen either from that shard's own handlers (serial) or
+ *    at the single-threaded barrier -- never concurrently;
+ *  - a handler may only self-schedule onto its own shard.  Events for
+ *    another shard go through scheduleCross(), which parks them in
+ *    the *source* shard's outbox;
+ *  - at each quantum barrier the outboxes are merged in
+ *    (delivery tick, source shard, source seq) order -- the stable
+ *    tie-break -- and delivered no earlier than the boundary:
+ *    delivery tick = max(requested tick, quantum end).  Cross-shard
+ *    interaction latency is therefore quantized, which is the
+ *    conservative-lookahead price of running shards without locks;
+ *  - a single-threaded barrier hook runs between quanta (admission
+ *    control, retirement, kernel-boundary scans).
+ *
+ * With threads == 1 the quantum loop runs inline on the caller with
+ * the exact same ordering rules, so multi-thread runs are bit-
+ * identical to serial ones (pinned by tests/sim_scheduler_test.cc).
+ */
+
+#ifndef MGMEE_SIM_SCHEDULER_HH
+#define MGMEE_SIM_SCHEDULER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mgmee::sim {
+
+/** Scheduler topology; quantum and shards shape results, threads
+ *  only shape wall-clock. */
+struct SchedulerConfig
+{
+    unsigned shards = 1;
+    unsigned threads = 1;
+    Cycle quantum = 256;
+};
+
+/** Sharded discrete-event scheduler (see file comment). */
+class Scheduler
+{
+  public:
+    using Handler = std::function<void()>;
+
+    explicit Scheduler(const SchedulerConfig &cfg);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    unsigned shards() const { return nshards_; }
+    Cycle quantum() const { return quantum_; }
+
+    /**
+     * Schedule @p fn on @p shard at absolute tick @p when.  Legal
+     * from setup / barrier context (any shard) or from a handler
+     * running on that same shard; panics on a cross-shard direct
+     * schedule from inside a quantum (use scheduleCross).
+     */
+    void schedule(unsigned shard, Cycle when, Handler fn);
+
+    /**
+     * Schedule @p fn on @p dst, which may be another shard.  Inside a
+     * quantum a genuinely cross-shard event parks in the executing
+     * shard's outbox and is delivered at the next barrier at tick
+     * max(when, quantum end); an event whose destination is the
+     * executing shard itself is delivered directly at max(when, now)
+     * with no quantisation (same-shard ordering is already serial and
+     * deterministic).  From setup / barrier context delivery is
+     * immediate at max(when, current boundary).
+     */
+    void scheduleCross(unsigned dst, Cycle when, Handler fn);
+
+    /**
+     * Single-threaded hook invoked at every quantum boundary (after
+     * outbox delivery), with the boundary tick.  Admission control
+     * and cross-shard scans live here.
+     */
+    void setBarrierHook(std::function<void(Cycle)> hook);
+
+    /** Dispatch until every queue and outbox drains (and the barrier
+     *  hook stops producing work). */
+    void run();
+
+    /** Current tick of the executing shard (handler context only). */
+    Cycle now() const;
+
+    /** Executing shard index, or -1 outside handler context. */
+    int currentShard() const;
+
+    std::uint64_t dispatched() const;
+    std::uint64_t quanta() const { return quanta_; }
+    std::uint64_t crossDelivered() const { return cross_delivered_; }
+
+    /** Wall-clock nanoseconds per executed quantum (p50/p99 for the
+     *  shard-scaling bench). */
+    const Histogram &quantumWallNanos() const { return quantum_ns_; }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Handler fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    /** Cross-shard event parked in its source shard's outbox. */
+    struct CrossEvent
+    {
+        unsigned dst;
+        Cycle when;
+        Handler fn;
+    };
+
+    struct Shard
+    {
+        std::priority_queue<Event, std::vector<Event>,
+                            std::greater<Event>>
+            queue;
+        std::uint64_t seq = 0;
+        std::uint64_t dispatched = 0;
+        std::vector<CrossEvent> outbox;
+    };
+
+    void pushEvent(unsigned shard, Cycle when, Handler fn);
+    void runShard(unsigned shard, Cycle quantum_end);
+    void executeQuantum(Cycle quantum_end);
+    void deliverOutboxes(Cycle boundary);
+    Cycle earliestPending() const;
+
+    void workerLoop();
+
+    unsigned nshards_;
+    unsigned nthreads_;
+    Cycle quantum_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::function<void(Cycle)> hook_;
+
+    bool in_parallel_ = false;   //!< inside a quantum (worker ctx)
+    Cycle barrier_tick_ = 0;     //!< last completed quantum boundary
+    std::uint64_t quanta_ = 0;
+    std::uint64_t cross_delivered_ = 0;
+    Histogram quantum_ns_;
+
+    // ---- worker pool (threads > 1 only) ------------------------------
+    // Quanta are microseconds apart, so workers first spin on the
+    // generation counter (hybrid barrier) and only fall back to the
+    // condvar when a barrier hook runs long (job admission builds
+    // devices).  Every worker checks in via workers_done_ each
+    // quantum -- even with zero shards stolen -- so the main thread
+    // never republishes pool_quantum_end_ / next_shard_ while a
+    // straggler could still read them for the previous quantum.
+    // Shard-state visibility is carried by the release/acquire pairs
+    // on generation_ (main -> workers) and workers_done_ (workers ->
+    // main).
+    std::vector<std::thread> pool_;
+    std::mutex pool_mu_;
+    std::condition_variable pool_cv_;
+    std::condition_variable done_cv_;
+    std::atomic<std::uint64_t> generation_{0};
+    Cycle pool_quantum_end_ = 0;
+    std::atomic<unsigned> next_shard_{0};
+    std::atomic<unsigned> workers_done_{0};
+    std::atomic<bool> stopping_{false};
+};
+
+/**
+ * RAII tag marking the executing shard for obs tracing: trace events
+ * emitted while the tag is live carry the shard id instead of the
+ * thread id (obs::setTraceShard).
+ */
+class ScopedTraceShard
+{
+  public:
+    explicit ScopedTraceShard(int shard);
+    ~ScopedTraceShard();
+
+    ScopedTraceShard(const ScopedTraceShard &) = delete;
+    ScopedTraceShard &operator=(const ScopedTraceShard &) = delete;
+
+  private:
+    int prev_;
+};
+
+} // namespace mgmee::sim
+
+#endif // MGMEE_SIM_SCHEDULER_HH

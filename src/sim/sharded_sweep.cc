@@ -1,0 +1,529 @@
+#include "sim/sharded_sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hh"
+#include "hetero/run_memo.hh"
+#include "hetero/scenario.hh"
+#include "hetero/schemes.hh"
+#include "mee/timing_engine.hh"
+#include "mem/mem_ctrl.hh"
+#include "mem/request.hh"
+#include "sim/scheduler.hh"
+
+namespace mgmee::sim {
+
+namespace {
+
+/** One per-channel fragment of a device request. */
+struct Piece
+{
+    unsigned channel;
+    Addr laddr;
+    std::uint32_t bytes;
+};
+
+/**
+ * Window slot of one in-flight op.  Outstanding ops live in
+ * [committed, issued) and that range never exceeds the window, so a
+ * ring of `window` slots indexed op % window is collision-free.
+ */
+struct OpSlot
+{
+    std::uint32_t pieces_left = 0;
+    Cycle issue = 0;     //!< local issue time
+    Cycle done = 0;      //!< max piece completion (local)
+    bool complete = false;
+};
+
+/**
+ * Async replacement for the closed-loop Device bookkeeping: issue
+ * events self-chain on the device's home shard; completions arrive
+ * as cross-shard notifications; the outstanding window frees in FIFO
+ * order exactly like Device::complete's deque.
+ */
+struct DeviceState
+{
+    std::shared_ptr<const Trace> trace;
+    unsigned index = 0;
+    unsigned window = 1;
+    unsigned home = 0;          //!< shard running this device's logic
+    std::size_t issued = 0;     //!< ops issued
+    std::size_t committed = 0;  //!< leading ops notified complete
+    Cycle last_issue = 0;       //!< local
+    Cycle finish = 0;           //!< local, max op completion
+    bool blocked = false;       //!< issue chain paused on full window
+    std::vector<OpSlot> slots;
+};
+
+/** One memory channel of one job: its own engine + controller. */
+struct ChannelState
+{
+    std::unique_ptr<TimingEngine> engine;
+    MemCtrl mem;
+    Cycle next_kb;  //!< next kernelBoundary tick (local)
+
+    ChannelState(std::unique_ptr<TimingEngine> e,
+                 const MemCtrlConfig &mc, Cycle first_kb)
+        : engine(std::move(e)), mem(mc), next_kb(first_kb)
+    {
+    }
+};
+
+/**
+ * One in-flight (scenario, scheme) run.  All state is job-local and
+ * times are job-local (t_start, a quantum multiple, is subtracted
+ * everywhere), so a job's result does not depend on when it was
+ * admitted or on its co-runners.
+ */
+struct Job
+{
+    std::size_t scenario = 0;
+    Scheme scheme = Scheme::Unsecure;
+    std::array<Granularity, 8> gran{};
+    Cycle t_start = 0;
+    unsigned devices_left = 0;
+    std::vector<DeviceState> devs;
+    std::vector<ChannelState> chans;
+};
+
+class ShardedSweep
+{
+  public:
+    ShardedSweep(const std::vector<Scenario> &scenarios,
+                 const std::vector<Scheme> &schemes,
+                 const ShardedSweepConfig &cfg)
+        : scenarios_(scenarios), schemes_(schemes), cfg_(cfg),
+          topo_(shardedTopoWord(cfg)),
+          sched_(SchedulerConfig{cfg.shards, cfg.threads, cfg.quantum})
+    {
+        fatal_if(cfg_.shards == 0, "sharded sweep needs >=1 shard");
+        fatal_if(cfg_.interleave == 0,
+                 "sharded sweep needs a non-zero interleave");
+
+        const std::size_t total = scenarioDataBytes();
+        const std::size_t chunks =
+            (total + cfg_.interleave - 1) / cfg_.interleave;
+        channel_bytes_ = ((chunks + cfg_.shards - 1) / cfg_.shards) *
+                         cfg_.interleave;
+
+        const unsigned threads_eff =
+            std::clamp(cfg_.threads, 1u, cfg_.shards);
+        max_inflight_ = cfg_.max_inflight
+                            ? cfg_.max_inflight
+                            : std::max(16u, 4 * threads_eff);
+
+        // Scenario-major job list: the Unsecure baseline first (it
+        // normalises everything else), then each distinct scheme.
+        std::vector<Scheme> distinct;
+        for (Scheme s : schemes_)
+            if (s != Scheme::Unsecure &&
+                std::find(distinct.begin(), distinct.end(), s) ==
+                    distinct.end())
+                distinct.push_back(s);
+        for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+            joblist_.push_back({s, Scheme::Unsecure});
+            for (Scheme sch : distinct)
+                joblist_.push_back({s, sch});
+        }
+    }
+
+    ShardedSweepResult
+    run()
+    {
+        result_.results.assign(
+            schemes_.size(),
+            std::vector<RunResult>(scenarios_.size()));
+        result_.unsecure.assign(scenarios_.size(), RunResult{});
+        if (scenarios_.empty())
+            return std::move(result_);
+
+        if (cfg_.use_static_best_search)
+            precomputeStaticBest();
+
+        reports_.assign(cfg_.shards, {});
+        sched_.setBarrierHook([this](Cycle tick) { barrier(tick); });
+        sched_.run();
+        panic_if(!active_.empty() || next_job_ < joblist_.size(),
+                 "sharded sweep drained with %zu jobs in flight and "
+                 "%zu unadmitted",
+                 active_.size(), joblist_.size() - next_job_);
+
+        result_.telemetry.quanta = sched_.quanta();
+        result_.telemetry.events = sched_.dispatched();
+        result_.telemetry.cross_events = sched_.crossDelivered();
+        result_.telemetry.quantum_wall_ns = sched_.quantumWallNanos();
+        return std::move(result_);
+    }
+
+  private:
+    struct PendingJob
+    {
+        std::size_t scenario;
+        Scheme scheme;
+    };
+
+    /**
+     * The static-best search profiles on the monolithic closed-loop
+     * path (the choice of granularities, not the measured run); it is
+     * memoized and thread-safe, so fan it out before the scheduler
+     * starts rather than serialising it into barriers.
+     */
+    void
+    precomputeStaticBest()
+    {
+        static_best_.assign(scenarios_.size(), {});
+        std::atomic<std::size_t> next{0};
+        auto work = [&] {
+            for (std::size_t s = next.fetch_add(1);
+                 s < scenarios_.size(); s = next.fetch_add(1))
+                static_best_[s] = searchStaticBest(
+                    scenarios_[s], cfg_.seed, cfg_.scale);
+        };
+        const unsigned threads = std::max<unsigned>(
+            1, std::min<std::size_t>(cfg_.threads,
+                                     scenarios_.size()));
+        std::vector<std::thread> pool;
+        for (unsigned t = 1; t < threads; ++t)
+            pool.emplace_back(work);
+        work();
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    /**
+     * Base home shard of a job, derived purely from the scenario's
+     * workload names (FNV-1a).  Same-shard completions skip barrier
+     * quantisation, so home placement shapes a job's timing: it must
+     * not depend on admission order or co-runners (memoized results
+     * would differ between sweep compositions), and it must be the
+     * same for every scheme of a scenario (the Unsecure baseline has
+     * to see the identical placement it is normalising).
+     */
+    unsigned
+    homeBase(const PendingJob &pj) const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        auto mix = [&h](const std::string &s) {
+            for (const char c : s) {
+                h ^= static_cast<unsigned char>(c);
+                h *= 0x100000001b3ull;
+            }
+            h ^= 0xff;
+            h *= 0x100000001b3ull;
+        };
+        const Scenario &sc = scenarios_[pj.scenario];
+        mix(sc.cpu);
+        mix(sc.gpu);
+        mix(sc.npu1);
+        mix(sc.npu2);
+        return static_cast<unsigned>(h % cfg_.shards);
+    }
+
+    const std::array<Granularity, 8> &
+    granOf(std::size_t scenario) const
+    {
+        static const std::array<Granularity, 8> kNone{};
+        return cfg_.use_static_best_search ? static_best_[scenario]
+                                           : kNone;
+    }
+
+    /** Split [addr, addr+bytes) at interleave boundaries into
+     *  per-channel pieces with compacted local addresses. */
+    void
+    splitOp(Addr addr, std::uint32_t bytes,
+            std::vector<Piece> &out) const
+    {
+        out.clear();
+        std::uint64_t remaining = std::max<std::uint32_t>(1, bytes);
+        Addr gaddr = addr;
+        while (remaining > 0) {
+            const Addr chunk = gaddr / cfg_.interleave;
+            const Addr offset = gaddr % cfg_.interleave;
+            const std::uint64_t take = std::min<std::uint64_t>(
+                remaining, cfg_.interleave - offset);
+            Piece p;
+            p.channel =
+                static_cast<unsigned>(chunk % cfg_.shards);
+            p.laddr = (chunk / cfg_.shards) * cfg_.interleave +
+                      offset;
+            p.bytes = static_cast<std::uint32_t>(take);
+            out.push_back(p);
+            remaining -= take;
+            gaddr += take;
+        }
+    }
+
+    // ---- barrier context (single threaded) ---------------------------
+
+    void
+    barrier(Cycle tick)
+    {
+        // Device-done reports drain in (shard, report order): both
+        // are deterministic, so retirement order is too.
+        for (auto &shard_reports : reports_) {
+            for (Job *job : shard_reports)
+                if (--job->devices_left == 0)
+                    finishJob(job);
+            shard_reports.clear();
+        }
+        while (next_job_ < joblist_.size() &&
+               active_.size() < max_inflight_) {
+            const PendingJob &pj = joblist_[next_job_++];
+            RunResult memoized;
+            if (runMemoTryGet(scenarios_[pj.scenario], pj.scheme,
+                              cfg_.seed, cfg_.scale,
+                              granOf(pj.scenario), topo_,
+                              memoized)) {
+                route(pj.scenario, pj.scheme, memoized);
+                ++result_.telemetry.jobs_from_memo;
+                continue;
+            }
+            startJob(pj, tick);
+        }
+    }
+
+    void
+    startJob(const PendingJob &pj, Cycle tick)
+    {
+        auto owned = std::make_unique<Job>();
+        Job *job = owned.get();
+        job->scenario = pj.scenario;
+        job->scheme = pj.scheme;
+        job->gran = granOf(pj.scenario);
+        job->t_start = tick;
+
+        MemCtrlConfig mc;
+        mc.channels = 1;  // one DRAM channel per shard
+        job->chans.reserve(cfg_.shards);
+        for (unsigned c = 0; c < cfg_.shards; ++c)
+            job->chans.emplace_back(
+                makeEngine(pj.scheme, channel_bytes_, job->gran), mc,
+                cfg_.kernel_boundary_interval);
+
+        std::vector<Device> built = buildDevices(
+            scenarios_[pj.scenario], cfg_.seed, cfg_.scale);
+        const unsigned base = homeBase(pj);
+        job->devs.resize(built.size());
+        for (std::size_t d = 0; d < built.size(); ++d) {
+            DeviceState &dev = job->devs[d];
+            dev.trace = built[d].sharedTrace();
+            dev.index = static_cast<unsigned>(d);
+            dev.window = std::max(1u, built[d].window());
+            // Spread device logic across shards from a base derived
+            // only from the job identity (see homeBase).
+            dev.home = static_cast<unsigned>((base + d) % cfg_.shards);
+            dev.slots.assign(dev.window, OpSlot{});
+            if (!dev.trace->empty())
+                ++job->devices_left;
+        }
+        active_.push_back(std::move(owned));
+
+        for (DeviceState &dev : job->devs) {
+            if (dev.trace->empty())
+                continue;
+            DeviceState *dp = &dev;
+            sched_.schedule(dev.home,
+                            tick + (*dev.trace)[0].gap,
+                            [this, job, dp] { issueOp(job, dp); });
+        }
+        if (job->devices_left == 0)
+            finishJob(job);
+    }
+
+    void
+    finishJob(Job *job)
+    {
+        RunResult res;
+        res.scheme = job->scheme;
+        for (DeviceState &dev : job->devs) {
+            res.device_finish.push_back(dev.finish);
+            res.requests += dev.issued;
+        }
+        for (ChannelState &cs : job->chans) {
+            // Mirror the monolithic drain: one final boundary scan.
+            cs.engine->kernelBoundary(cs.next_kb, cs.mem);
+            res.total_bytes += cs.mem.totalBytes();
+            res.security_misses += cs.engine->securityCacheMisses();
+        }
+        route(job->scenario, job->scheme, res);
+        runMemoInstall(scenarios_[job->scenario], job->scheme,
+                       cfg_.seed, cfg_.scale, job->gran, topo_, res);
+        ++result_.telemetry.jobs_simulated;
+
+        for (auto it = active_.begin(); it != active_.end(); ++it) {
+            if (it->get() == job) {
+                active_.erase(it);
+                break;
+            }
+        }
+    }
+
+    void
+    route(std::size_t scenario, Scheme scheme, const RunResult &res)
+    {
+        if (scheme == Scheme::Unsecure)
+            result_.unsecure[scenario] = res;
+        for (std::size_t i = 0; i < schemes_.size(); ++i)
+            if (schemes_[i] == scheme)
+                result_.results[i][scenario] = res;
+    }
+
+    // ---- shard handler context ---------------------------------------
+
+    void
+    issueOp(Job *job, DeviceState *dev)
+    {
+        const Cycle g = sched_.now();
+        const Cycle local = g - job->t_start;
+        const std::size_t op_idx = dev->issued;
+        const TraceOp &op = (*dev->trace)[op_idx];
+        dev->last_issue = local;
+
+        OpSlot &slot = dev->slots[op_idx % dev->window];
+        slot.issue = local;
+        slot.done = 0;
+        slot.complete = false;
+
+        // Handler context runs concurrently across shards, so the
+        // split scratch must not be shared state.
+        std::vector<Piece> pieces;
+        splitOp(op.addr, op.bytes, pieces);
+        slot.pieces_left = static_cast<std::uint32_t>(pieces.size());
+        ++dev->issued;
+
+        for (const Piece &p : pieces) {
+            sched_.scheduleCross(
+                p.channel, g,
+                [this, job, ch = p.channel, di = dev->index, op_idx,
+                 laddr = p.laddr, bytes = p.bytes,
+                 wr = op.is_write] {
+                    channelAccess(job, ch, di, op_idx, laddr, bytes,
+                                  wr);
+                });
+        }
+
+        if (dev->issued < dev->trace->size()) {
+            if (dev->issued - dev->committed < dev->window) {
+                const Cycle gap = (*dev->trace)[dev->issued].gap;
+                sched_.schedule(dev->home, g + gap,
+                                [this, job, dev] {
+                                    issueOp(job, dev);
+                                });
+            } else {
+                dev->blocked = true;
+            }
+        }
+    }
+
+    void
+    channelAccess(Job *job, unsigned ch, unsigned dev_index,
+                  std::size_t op_idx, Addr laddr, std::uint32_t bytes,
+                  bool is_write)
+    {
+        const Cycle local = sched_.now() - job->t_start;
+        ChannelState &cs = job->chans[ch];
+        // Boundaries run before any request that passes them, as in
+        // HeteroSystem::run's closed loop.
+        while (local >= cs.next_kb) {
+            cs.engine->kernelBoundary(cs.next_kb, cs.mem);
+            cs.next_kb += cfg_.kernel_boundary_interval;
+        }
+
+        MemRequest req;
+        req.addr = laddr;
+        req.bytes = bytes;
+        req.is_write = is_write;
+        req.device = dev_index;
+        req.issue = local;
+        const Cycle done = cs.engine->access(req, cs.mem);
+
+        DeviceState *dev = &job->devs[dev_index];
+        sched_.scheduleCross(dev->home, job->t_start + done,
+                             [this, job, dev, op_idx, done] {
+                                 pieceDone(job, dev, op_idx, done);
+                             });
+    }
+
+    void
+    pieceDone(Job *job, DeviceState *dev, std::size_t op_idx,
+              Cycle done_local)
+    {
+        OpSlot &slot = dev->slots[op_idx % dev->window];
+        slot.done = std::max(slot.done, done_local);
+        if (--slot.pieces_left != 0)
+            return;
+        slot.complete = true;
+        dev->finish = std::max(dev->finish,
+                               std::max(slot.done, slot.issue));
+
+        while (dev->committed < dev->issued) {
+            OpSlot &front = dev->slots[dev->committed % dev->window];
+            if (!front.complete)
+                break;
+            front.complete = false;
+            ++dev->committed;
+        }
+
+        if (dev->blocked &&
+            dev->issued - dev->committed < dev->window) {
+            dev->blocked = false;
+            const Cycle gap = (*dev->trace)[dev->issued].gap;
+            const Cycle when = std::max(
+                sched_.now(),
+                job->t_start + dev->last_issue + gap);
+            sched_.schedule(dev->home, when, [this, job, dev] {
+                issueOp(job, dev);
+            });
+        }
+
+        if (dev->committed == dev->trace->size())
+            reports_[dev->home].push_back(job);
+    }
+
+    const std::vector<Scenario> &scenarios_;
+    const std::vector<Scheme> &schemes_;
+    ShardedSweepConfig cfg_;
+    std::uint64_t topo_;
+    Scheduler sched_;
+
+    std::size_t channel_bytes_ = 0;
+    unsigned max_inflight_ = 0;
+    std::vector<std::array<Granularity, 8>> static_best_;
+
+    std::vector<PendingJob> joblist_;
+    std::size_t next_job_ = 0;
+    std::vector<std::unique_ptr<Job>> active_;
+    /** Per-shard device-done reports; each home shard appends only
+     *  to its own vector during a quantum, the barrier drains. */
+    std::vector<std::vector<Job *>> reports_;
+
+    ShardedSweepResult result_;
+};
+
+} // namespace
+
+std::uint64_t
+shardedTopoWord(const ShardedSweepConfig &cfg)
+{
+    std::uint64_t w = 0x53484152;  // "SHAR": never collides with 0
+    w = w * 1000003 + cfg.shards;
+    w = w * 1000003 + cfg.quantum;
+    w = w * 1000003 + static_cast<std::uint64_t>(cfg.interleave);
+    w = w * 1000003 + cfg.kernel_boundary_interval;
+    return w | 1;
+}
+
+ShardedSweepResult
+runShardedSweep(const std::vector<Scenario> &scenarios,
+                const std::vector<Scheme> &schemes,
+                const ShardedSweepConfig &cfg)
+{
+    return ShardedSweep(scenarios, schemes, cfg).run();
+}
+
+} // namespace mgmee::sim

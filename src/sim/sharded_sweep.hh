@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Scenario sweeps on the sharded event scheduler.
+ *
+ * The monolithic sweep (bench/bench_util.hh) parallelises across
+ * whole (scenario, scheme) runs; each run itself advances all four
+ * devices and one protection engine on a single thread.  This module
+ * decomposes the runs themselves: the protected region is address-
+ * interleaved across per-memory-channel shards (SecDDR-style, one
+ * protection engine + one controller per channel), devices become
+ * asynchronous issue/complete state machines on home shards, and one
+ * sim::Scheduler advances every in-flight run together -- thousands
+ * of concurrent protected regions in one process, scaling with
+ * worker threads.
+ *
+ * Timing model differences vs. the monolithic path (intentional,
+ * keyed separately in the run memo via shardedTopoWord()):
+ *  - metadata state (integrity tree, unit buffers, write-gather,
+ *    per-domain counters) partitions by address interleave: channel
+ *    of a global address is (addr / interleave) % channels, and the
+ *    per-channel engine sees the compacted local address space;
+ *  - every device <-> channel message crosses a quantum barrier, so
+ *    request arrival and completion notification are quantised to
+ *    the scheduler quantum (the conservative-lookahead latency);
+ *  - requests larger than the interleave split into per-channel
+ *    pieces; an op completes when its slowest piece does.
+ *
+ * Determinism: each run uses job-local time (admission happens at a
+ * quantum boundary T0, every handler works in local = global - T0,
+ * and T0 is a multiple of the quantum, so the per-event cross-shard
+ * quantisation max(t, (floor(t/Q)+1)*Q) is identical whether the run
+ * is alone or co-scheduled).  Run state is disjoint per job, so
+ * results are bit-identical for any thread count and any in-flight
+ * limit -- pinned by tests/sweep_determinism_test.cc and enforced by
+ * bench/shard_scaling.
+ */
+
+#ifndef MGMEE_SIM_SHARDED_SWEEP_HH
+#define MGMEE_SIM_SHARDED_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "hetero/metrics.hh"
+
+namespace mgmee::sim {
+
+/** Topology + workload knobs of a sharded sweep. */
+struct ShardedSweepConfig
+{
+    std::uint64_t seed = 1;
+    double scale = 0.5;
+    /** Worker threads (clamped to shards by the scheduler). */
+    unsigned threads = 1;
+    /** Memory-channel shards; each gets its own engine + MemCtrl. */
+    unsigned shards = 4;
+    /** Conservative time window of the scheduler (cycles).  Keep it
+     *  small relative to memory latency: large quanta stretch every
+     *  device <-> channel hop enough to distort scheme ordering. */
+    Cycle quantum = 256;
+    /** Channel-interleave stride; the default keeps every 32KB
+     *  protection chunk (and thus every granularity unit) on one
+     *  channel. */
+    Addr interleave = kChunkBytes;
+    /** In-flight (scenario, scheme) runs; 0 = auto
+     *  (max(16, 4 x threads)).  Bounds engine memory; does not
+     *  affect results. */
+    unsigned max_inflight = 0;
+    /** Run the static-best granularity search per scenario. */
+    bool use_static_best_search = false;
+    /** Period of per-channel kernelBoundary() hooks (local time). */
+    Cycle kernel_boundary_interval = 100 * 1000;
+};
+
+/** Wall-clock / scheduler telemetry of one sweep. */
+struct ShardedSweepTelemetry
+{
+    std::uint64_t quanta = 0;
+    std::uint64_t events = 0;
+    std::uint64_t cross_events = 0;
+    std::uint64_t jobs_simulated = 0;
+    std::uint64_t jobs_from_memo = 0;
+    /** Wall nanoseconds per executed quantum (p50/p99 reporting). */
+    Histogram quantum_wall_ns;
+};
+
+/** Results indexed like bench_util's runSweep. */
+struct ShardedSweepResult
+{
+    /** results[scheme][scenario], schemes in caller order. */
+    std::vector<std::vector<RunResult>> results;
+    /** Per-scenario Unsecure baseline (same topology). */
+    std::vector<RunResult> unsecure;
+    ShardedSweepTelemetry telemetry;
+};
+
+/**
+ * Run @p schemes over @p scenarios on the sharded scheduler.  Every
+ * scenario also runs the Unsecure baseline (for normalisation);
+ * completed runs are published to the run memo under the sweep's
+ * topology word unless `MGMEE_MEMO=0`.
+ */
+ShardedSweepResult
+runShardedSweep(const std::vector<Scenario> &scenarios,
+                const std::vector<Scheme> &schemes,
+                const ShardedSweepConfig &cfg);
+
+/**
+ * The run-memo topology key of @p cfg: a non-zero word over the
+ * knobs that change sharded timing (shards, quantum, interleave,
+ * kernel-boundary period).  Monolithic runs key as topo 0.
+ */
+std::uint64_t shardedTopoWord(const ShardedSweepConfig &cfg);
+
+} // namespace mgmee::sim
+
+#endif // MGMEE_SIM_SHARDED_SWEEP_HH

@@ -12,6 +12,7 @@
 
 #include "hetero/hetero_system.hh"
 #include "hetero/metrics.hh"
+#include "sim/event_queue.hh"
 #include "sim/event_system.hh"
 
 namespace mgmee {

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -186,6 +187,41 @@ TEST(FaultCampaign, FullSweepMeetsAcceptanceBar)
             }
         }
     }
+}
+
+TEST(FaultCampaign, DetectionMatrixIdenticalAcrossThreadCounts)
+{
+    // The campaign fans cells out over MGMEE_THREADS workers; every
+    // cell derives its own seed stream, so the full detection matrix
+    // must be identical for any thread count.
+    fault::CampaignConfig cfg;
+    cfg.seed = 7;
+
+    setenv("MGMEE_THREADS", "1", 1);
+    const fault::CampaignReport serial = fault::runCampaign(cfg);
+    setenv("MGMEE_THREADS", "4", 1);
+    const fault::CampaignReport parallel = fault::runCampaign(cfg);
+    unsetenv("MGMEE_THREADS");
+
+    ASSERT_EQ(serial.engines.size(), parallel.engines.size());
+    for (std::size_t e = 0; e < serial.engines.size(); ++e) {
+        const fault::EngineReport &es = serial.engines[e];
+        const fault::EngineReport &ep = parallel.engines[e];
+        EXPECT_EQ(es.engine, ep.engine);
+        for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
+            for (unsigned g = 0; g < fault::kGranularities; ++g) {
+                const CellResult &cs = es.cells[c][g];
+                const CellResult &cp = ep.cells[c][g];
+                EXPECT_EQ(cs.verdict, cp.verdict)
+                    << es.engine << " class " << c << " gran " << g;
+                EXPECT_EQ(cs.injections, cp.injections);
+                EXPECT_EQ(cs.detected, cp.detected);
+                EXPECT_EQ(cs.missed, cp.missed);
+                EXPECT_EQ(cs.false_alarms, cp.false_alarms);
+            }
+        }
+    }
+    EXPECT_EQ(serial.verdictTotals(), parallel.verdictTotals());
 }
 
 TEST(FaultCampaign, SweepIsDeterministicInSeed)

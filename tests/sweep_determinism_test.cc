@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "hetero/run_memo.hh"
 
 namespace mgmee {
 namespace {
@@ -58,6 +59,58 @@ TEST(SweepDeterminismTest, ParallelMatchesSingleThreadBitExact)
         EXPECT_EQ(par[i].traffic_norm, ser[i].traffic_norm);
         EXPECT_EQ(par[i].misses, ser[i].misses);
     }
+}
+
+TEST(SweepDeterminismTest, ShardedSweepMatchesSingleThreadBitExact)
+{
+    const std::vector<Scenario> scenarios = smallScenarioSet();
+    const std::vector<Scheme> schemes = {Scheme::Conventional,
+                                         Scheme::Ours};
+    constexpr double kScale = 0.05;
+    constexpr std::uint64_t kSeed = 1;
+
+    // Route runSweep through the sharded scheduler; clear the run
+    // memo around each sweep so the second one actually re-simulates
+    // instead of answering from the first one's cache.
+    setenv("MGMEE_SHARDS", "4", 1);
+    setenv("MGMEE_THREADS", "4", 1);
+    runMemoClear();
+    const std::vector<SweepStats> par =
+        bench::runSweep(scenarios, schemes, kScale, kSeed);
+
+    setenv("MGMEE_THREADS", "1", 1);
+    runMemoClear();
+    const std::vector<SweepStats> ser =
+        bench::runSweep(scenarios, schemes, kScale, kSeed);
+    unsetenv("MGMEE_THREADS");
+    unsetenv("MGMEE_SHARDS");
+    runMemoClear();
+
+    ASSERT_EQ(par.size(), ser.size());
+    for (std::size_t i = 0; i < par.size(); ++i) {
+        EXPECT_EQ(par[i].exec_norm, ser[i].exec_norm);
+        EXPECT_EQ(par[i].traffic_norm, ser[i].traffic_norm);
+        EXPECT_EQ(par[i].misses, ser[i].misses);
+    }
+}
+
+TEST(SweepDeterminismTest, ShardsAndQuantumKnobsParse)
+{
+    unsetenv("MGMEE_SHARDS");
+    EXPECT_EQ(0u, envShards());  // default: sharding off
+    setenv("MGMEE_SHARDS", "4", 1);
+    EXPECT_EQ(4u, envShards());
+    setenv("MGMEE_SHARDS", "100000", 1);
+    EXPECT_EQ(threadCap(), envShards());  // clamped
+    unsetenv("MGMEE_SHARDS");
+
+    unsetenv("MGMEE_QUANTUM");
+    EXPECT_EQ(256u, envQuantum());
+    setenv("MGMEE_QUANTUM", "512", 1);
+    EXPECT_EQ(512u, envQuantum());
+    setenv("MGMEE_QUANTUM", "1", 1);
+    EXPECT_EQ(64u, envQuantum());  // clamped to the floor
+    unsetenv("MGMEE_QUANTUM");
 }
 
 TEST(SweepDeterminismTest, ThreadsKnobParsesAndClamps)
