@@ -1,19 +1,32 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the engine primitives: AES OTP
- * generation, SipHash MACs, nested (coarse) MACs, Algorithm-1
- * detection, address computation, and functional read/write paths.
+ * generation (scalar and batched), SipHash MACs (scalar and staged
+ * through MacBatch), nested (coarse) MACs, Algorithm-1 detection,
+ * address computation, and functional read/write paths.
+ *
+ * Every run emits results/manifest_micro_primitives.json: per
+ * benchmark the ns/iteration and -- for the data-plane benches, which
+ * all SetBytesProcessed() -- the bytes/s figure, so CI can diff
+ * primitive throughput across commits like any other manifest.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/stats.hh"
 #include "core/access_tracker.hh"
 #include "core/address_computer.hh"
+#include "crypto/batch.hh"
 #include "crypto/mac.hh"
 #include "crypto/otp.hh"
 #include "hetero/metrics.hh"
 #include "mee/secure_memory.hh"
+#include "obs/manifest.hh"
 #include "tree/split_counter.hh"
 
 namespace {
@@ -43,6 +56,24 @@ BM_OtpGeneration(benchmark::State &state)
 BENCHMARK(BM_OtpGeneration);
 
 void
+BM_OtpGenerationBatched(benchmark::State &state)
+{
+    // Batched counterpart: one makePadsSeq() call per 64 pads keeps
+    // the dispatched AES kernel's pipeline full.
+    OtpGenerator gen(benchAesKey());
+    std::array<Pad, 64> pads;
+    Addr addr = 0;
+    for (auto _ : state) {
+        gen.makePadsSeq(addr, pads.size(), 1, pads.data());
+        benchmark::DoNotOptimize(pads[0][0]);
+        addr += pads.size() * kCachelineBytes;
+    }
+    state.SetBytesProcessed(state.iterations() * pads.size() *
+                            kCachelineBytes);
+}
+BENCHMARK(BM_OtpGenerationBatched);
+
+void
 BM_LineMac(benchmark::State &state)
 {
     MacEngine mac({1, 2});
@@ -55,12 +86,34 @@ BM_LineMac(benchmark::State &state)
 BENCHMARK(BM_LineMac);
 
 void
+BM_LineMacBatched(benchmark::State &state)
+{
+    // A full MacBatch staging buffer drained per iteration (the
+    // multi-lane SipHash path).
+    MacEngine mac({1, 2});
+    std::array<std::uint8_t, kCachelineBytes> data{};
+    std::array<Mac, crypto::MacBatch::kCapacity> out;
+    for (auto _ : state) {
+        crypto::MacBatch batch = mac.batch();
+        for (std::size_t i = 0; i < out.size(); ++i)
+            batch.line(i * kCachelineBytes, 1, data.data(), &out[i]);
+        batch.flush();
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetBytesProcessed(state.iterations() * out.size() *
+                            kCachelineBytes);
+}
+BENCHMARK(BM_LineMacBatched);
+
+void
 BM_NestedMac(benchmark::State &state)
 {
     MacEngine mac({1, 2});
     std::vector<Mac> fine(state.range(0), 0x42);
     for (auto _ : state)
         benchmark::DoNotOptimize(mac.nestedMac(fine));
+    state.SetBytesProcessed(state.iterations() * state.range(0) *
+                            static_cast<std::int64_t>(sizeof(Mac)));
 }
 BENCHMARK(BM_NestedMac)->Arg(8)->Arg(64)->Arg(512);
 
@@ -203,6 +256,68 @@ BM_ScenarioRun(benchmark::State &state)
 }
 BENCHMARK(BM_ScenarioRun)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console output plus a captured (name, ns/iter, bytes/s) row per
+ * run, dumped into the obs manifest after the suite finishes.
+ */
+class ManifestReporter final : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        std::string name;
+        double ns_per_iter = 0;
+        double bytes_per_second = 0;  //!< 0 = bench reports no bytes
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.error_occurred || r.iterations == 0)
+                continue;
+            Row row;
+            row.name = r.benchmark_name();
+            row.ns_per_iter = r.real_accumulated_time /
+                              static_cast<double>(r.iterations) * 1e9;
+            const auto it = r.counters.find("bytes_per_second");
+            if (it != r.counters.end())
+                row.bytes_per_second = it->second.value;
+            rows_.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+  private:
+    std::vector<Row> rows_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ManifestReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    obs::Manifest m("micro_primitives");
+    m.set("benchmarks",
+          static_cast<std::uint64_t>(reporter.rows().size()));
+    for (const ManifestReporter::Row &row : reporter.rows()) {
+        m.set(row.name + ".ns_per_iter", row.ns_per_iter);
+        if (row.bytes_per_second > 0)
+            m.set(row.name + ".bytes_per_second",
+                  row.bytes_per_second);
+    }
+    m.captureRegistry();
+    const std::string path = m.write();
+    if (!path.empty())
+        std::printf("manifest: %s\n", path.c_str());
+    return 0;
+}

@@ -1,8 +1,10 @@
 #include "core/multigran_memory.hh"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -63,15 +65,26 @@ SecureMemory::applyStreamPart(std::uint64_t chunk, StreamPart new_sp)
         const std::uint64_t newv = maxv + 1;
         setCounterAndPropagate(p_new, idx, newv);
 
-        // Re-encrypt the whole unit under the shared counter.
-        for (std::uint64_t l = 0; l < lines; ++l) {
-            const Addr la = ubase + l * kCachelineBytes;
-            auto &line = cipherLine(la);
-            std::memcpy(line.data(),
-                        plain.data() + l * kCachelineBytes,
-                        kCachelineBytes);
-            const Pad pad = otp_.makePad(la, newv);
-            OtpGenerator::applyPad(pad, line.data());
+        // Re-encrypt the whole unit under the shared counter: the
+        // lines are consecutive and share newv, so each tile of pads
+        // is one batched sequential AES call.
+        constexpr std::size_t kTile = 64;
+        std::array<Pad, kTile> pads;
+        for (std::uint64_t done = 0; done < lines;) {
+            const std::uint64_t n =
+                std::min<std::uint64_t>(kTile, lines - done);
+            otp_.makePadsSeq(ubase + done * kCachelineBytes, n, newv,
+                             pads.data());
+            for (std::uint64_t l = 0; l < n; ++l) {
+                const Addr la = ubase + (done + l) * kCachelineBytes;
+                auto &line = cipherLine(la);
+                std::memcpy(line.data(),
+                            plain.data() +
+                                (done + l) * kCachelineBytes,
+                            kCachelineBytes);
+                OtpGenerator::applyPad(pads[l], line.data());
+            }
+            done += n;
         }
     };
 
@@ -98,7 +111,10 @@ SecureMemory::applyStreamPart(std::uint64_t chunk, StreamPart new_sp)
                     eraseCounter(lvl, i);
             }
         }
-        // Refresh node MACs bottom-up once all values are final.
+        // Refresh node MACs bottom-up once all values are final --
+        // live nodes collected level by level, recomputed in one
+        // batched pass.
+        std::vector<std::pair<unsigned, std::uint64_t>> live;
         for (unsigned lvl = 0; lvl < p_old && lvl < levels; ++lvl) {
             const std::uint64_t cnt = lines >> (3 * lvl);
             const std::uint64_t start = first_leaf >> (3 * lvl);
@@ -108,11 +124,12 @@ SecureMemory::applyStreamPart(std::uint64_t chunk, StreamPart new_sp)
                 for (unsigned c = 0; c < kTreeArity && !any; ++c)
                     any = hasCounter(lvl, n * kTreeArity + c);
                 if (any)
-                    refreshNodeMac(lvl, n);
+                    live.emplace_back(lvl, n);
                 else
                     eraseNodeMac(lvl, n);
             }
         }
+        refreshNodeMacsBatched(live);
     };
 
     std::unordered_set<Addr> processed;

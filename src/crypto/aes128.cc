@@ -1,5 +1,11 @@
 #include "crypto/aes128.hh"
 
+#include <atomic>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "crypto/dispatch.hh"
+
 namespace mgmee {
 
 namespace {
@@ -65,16 +71,20 @@ Aes128::expandKey(const Key &key)
     }
 }
 
+namespace {
+
+/** Reference FIPS-197 round function over one state in place. */
 void
-Aes128::encryptBlock(Block &block) const
+encryptBlockPortable(const std::uint8_t *round_keys,
+                     std::uint8_t *block)
 {
     auto add_round_key = [&](int round) {
         for (int i = 0; i < 16; ++i)
-            block[i] ^= roundKeys_[round * 16 + i];
+            block[i] ^= round_keys[round * 16 + i];
     };
     auto sub_bytes = [&] {
-        for (auto &b : block)
-            b = kSbox[b];
+        for (int i = 0; i < 16; ++i)
+            block[i] = kSbox[block[i]];
     };
     auto shift_rows = [&] {
         // State is column-major: block[4*col + row].
@@ -115,5 +125,50 @@ Aes128::encryptBlock(Block &block) const
     shift_rows();
     add_round_key(10);
 }
+
+/** crypto.blocks_encrypted, interned once. */
+std::atomic<std::uint64_t> &
+blocksEncryptedStat()
+{
+    static std::atomic<std::uint64_t> &c =
+        StatRegistry::instance().counter("crypto", "blocks_encrypted");
+    return c;
+}
+
+} // namespace
+
+void
+Aes128::encryptBlock(Block &block) const
+{
+    crypto::kernels().aesEncryptBlocks(roundKeys_.data(), block.data(),
+                                       1);
+    blocksEncryptedStat().fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Aes128::encryptBlocks(std::span<std::uint8_t> blocks) const
+{
+    panic_if(blocks.size() % 16 != 0,
+             "encryptBlocks: %zu bytes is not a whole number of 16B "
+             "blocks", blocks.size());
+    const std::size_t n = blocks.size() / 16;
+    if (!n)
+        return;
+    crypto::kernels().aesEncryptBlocks(roundKeys_.data(),
+                                       blocks.data(), n);
+    blocksEncryptedStat().fetch_add(n, std::memory_order_relaxed);
+}
+
+namespace crypto::detail {
+
+void
+aesEncryptBlocksPortable(const std::uint8_t *round_keys,
+                         std::uint8_t *blocks, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        encryptBlockPortable(round_keys, blocks + 16 * i);
+}
+
+} // namespace crypto::detail
 
 } // namespace mgmee

@@ -1,13 +1,18 @@
 /**
  * @file
- * Minimal software AES-128 block cipher.
+ * AES-128 block cipher with runtime-dispatched batched kernels.
  *
  * The memory-protection engine generates one-time pads by encrypting
  * (address, counter) tuples under a per-boot secret key, exactly as in
- * counter-mode memory encryption (Fig. 2 of the paper).  This is a
- * straightforward byte-oriented FIPS-197 implementation: correctness
- * and determinism matter here, not throughput (the timing layer charges
- * a fixed 10-cycle OTP latency instead of modelling the pipeline).
+ * counter-mode memory encryption (Fig. 2 of the paper).  The key
+ * schedule and the reference single-block path are a byte-oriented
+ * FIPS-197 implementation; encryptBlock/encryptBlocks route through
+ * crypto/dispatch.hh, so on AES-NI/VAES hardware the same expanded
+ * key drives 4- or 8-blocks-in-flight SIMD kernels that are
+ * bit-identical to the portable code (`MGMEE_CRYPTO` selects the
+ * tier).  Multi-block callers (OTP pad batches) should prefer
+ * encryptBlocks: one call per staging buffer instead of one per 16B
+ * block is where the memory-bandwidth-class throughput comes from.
  */
 
 #ifndef MGMEE_CRYPTO_AES128_HH
@@ -15,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 namespace mgmee {
 
@@ -27,8 +33,16 @@ class Aes128
 
     explicit Aes128(const Key &key) { expandKey(key); }
 
-    /** Encrypt one 16B block in place. */
+    /** Encrypt one 16B block in place (dispatched kernel). */
     void encryptBlock(Block &block) const;
+
+    /**
+     * Encrypt a contiguous run of 16B blocks in place --
+     * @p blocks.size() must be a multiple of 16.  One dispatched
+     * kernel call for the whole run; the hot path for OTP pad
+     * staging buffers.
+     */
+    void encryptBlocks(std::span<std::uint8_t> blocks) const;
 
     /** Convenience: encrypt and return a copy. */
     Block
@@ -38,6 +52,9 @@ class Aes128
         encryptBlock(out);
         return out;
     }
+
+    /** The 176-byte FIPS-197 expanded key (11 round keys). */
+    const std::uint8_t *roundKeys() const { return roundKeys_.data(); }
 
   private:
     void expandKey(const Key &key);

@@ -1,0 +1,74 @@
+#include "crypto/batch.hh"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/stats.hh"
+#include "crypto/dispatch.hh"
+#include "obs/trace.hh"
+
+namespace mgmee::crypto {
+
+namespace {
+
+struct BatchStats {
+    std::atomic<std::uint64_t> &flushes;
+    std::atomic<std::uint64_t> &macs;
+    std::atomic<std::uint64_t> &computed;
+};
+
+BatchStats &
+batchStats()
+{
+    static BatchStats s{
+        StatRegistry::instance().counter("crypto", "batch_flushes"),
+        StatRegistry::instance().counter("crypto", "batch_macs"),
+        StatRegistry::instance().counter("crypto", "macs_computed"),
+    };
+    return s;
+}
+
+} // namespace
+
+void
+MacBatch::stage(std::uint64_t a, std::uint64_t b,
+                const std::uint8_t *payload, std::uint64_t *out)
+{
+    if (n_ == kCapacity)
+        flush();
+    std::uint8_t *msg = msgs_[n_];
+    std::memcpy(msg, &a, 8);
+    std::memcpy(msg + 8, &b, 8);
+    std::memcpy(msg + 16, payload, kCachelineBytes);
+    outs_[n_] = out;
+    ++n_;
+}
+
+void
+MacBatch::flush()
+{
+    if (!n_)
+        return;
+    const Kernels &k = kernels();
+    std::size_t i = 0;
+    std::uint64_t lanes[4];
+    for (; i + 4 <= n_; i += 4) {
+        const std::uint8_t *ptrs[4] = {msgs_[i], msgs_[i + 1],
+                                       msgs_[i + 2], msgs_[i + 3]};
+        k.sipHash24x4(key_, ptrs, kMsgBytes, lanes);
+        for (unsigned lane = 0; lane < 4; ++lane)
+            *outs_[i + lane] = lanes[lane];
+    }
+    for (; i < n_; ++i)
+        *outs_[i] = sipHash24(key_, msgs_[i], kMsgBytes);
+
+    BatchStats &s = batchStats();
+    s.flushes.fetch_add(1, std::memory_order_relaxed);
+    s.macs.fetch_add(n_, std::memory_order_relaxed);
+    s.computed.fetch_add(n_, std::memory_order_relaxed);
+    OBS_EVENT(obs::EventKind::MacBatchFlush, 0, 0,
+              static_cast<std::uint32_t>(n_), 0);
+    n_ = 0;
+}
+
+} // namespace mgmee::crypto

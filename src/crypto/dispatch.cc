@@ -1,0 +1,145 @@
+#include "crypto/dispatch.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mgmee::crypto {
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Portable: return "portable";
+      case Isa::AesNi: return "aesni";
+      case Isa::Vaes: return "vaes";
+    }
+    return "?";
+}
+
+namespace {
+
+Kernels
+makeTable(Isa isa)
+{
+    Kernels k{};
+    k.isa = isa;
+    k.aesEncryptBlocks = detail::aesEncryptBlocksPortable;
+    k.sipHash24x4 = detail::sipHash24x4Portable;
+    if (isa >= Isa::AesNi) {
+        k.aesEncryptBlocks = isa >= Isa::Vaes
+                                 ? detail::kAesBlocksVaes
+                                 : detail::kAesBlocksAesni;
+        // The SipHash lanes only need AVX2, which is independent of
+        // the AES tier: keep the portable lanes on AVX2-less parts.
+        if (detail::cpuHasAvx2())
+            k.sipHash24x4 = detail::kSipHash24x4Avx2;
+    }
+    return k;
+}
+
+/** Tier tables, built lazily; index by Isa. */
+const Kernels &
+table(Isa isa)
+{
+    static const Kernels tables[3] = {
+        makeTable(Isa::Portable),
+        makeTable(Isa::AesNi),
+        makeTable(Isa::Vaes),
+    };
+    return tables[static_cast<unsigned>(isa)];
+}
+
+/** Test/bench override; null = MGMEE_CRYPTO selection. */
+std::atomic<const Kernels *> g_override{nullptr};
+
+} // namespace
+
+Isa
+bestSupportedIsa()
+{
+    static const Isa best = [] {
+        if (detail::cpuHasVaes())
+            return Isa::Vaes;
+        if (detail::cpuHasAesNi())
+            return Isa::AesNi;
+        return Isa::Portable;
+    }();
+    return best;
+}
+
+Isa
+requestedIsa()
+{
+    static const Isa requested = [] {
+        const char *env = std::getenv("MGMEE_CRYPTO");
+        if (!env || !*env || std::strcmp(env, "auto") == 0)
+            return bestSupportedIsa();
+        Isa want;
+        if (std::strcmp(env, "portable") == 0) {
+            want = Isa::Portable;
+        } else if (std::strcmp(env, "aesni") == 0) {
+            want = Isa::AesNi;
+        } else if (std::strcmp(env, "vaes") == 0) {
+            want = Isa::Vaes;
+        } else {
+            warn("MGMEE_CRYPTO=%s not recognised; using auto", env);
+            return bestSupportedIsa();
+        }
+        if (want > bestSupportedIsa()) {
+            warn("MGMEE_CRYPTO=%s unsupported on this CPU; using %s",
+                 env, isaName(bestSupportedIsa()));
+            return bestSupportedIsa();
+        }
+        return want;
+    }();
+    return requested;
+}
+
+const Kernels &
+kernels()
+{
+    if (const Kernels *forced =
+            g_override.load(std::memory_order_acquire))
+        return *forced;
+    static const Kernels &selected = table(requestedIsa());
+    return selected;
+}
+
+const Kernels &
+kernelsFor(Isa isa)
+{
+    panic_if(isa > bestSupportedIsa(),
+             "crypto tier %s unsupported on this CPU (best: %s)",
+             isaName(isa), isaName(bestSupportedIsa()));
+    return table(isa);
+}
+
+void
+setDispatchOverride(Isa isa)
+{
+    g_override.store(&kernelsFor(isa), std::memory_order_release);
+}
+
+void
+clearDispatchOverride()
+{
+    g_override.store(nullptr, std::memory_order_release);
+}
+
+namespace detail {
+
+void
+sipHash24x4Portable(const SipKey &key,
+                    const std::uint8_t *const msgs[4], std::size_t len,
+                    std::uint64_t out[4])
+{
+    for (unsigned lane = 0; lane < 4; ++lane)
+        out[lane] = sipHash24(key, msgs[lane], len);
+}
+
+} // namespace detail
+
+} // namespace mgmee::crypto

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Runtime CPU-feature dispatch for the crypto data plane.
+ *
+ * The MEE model spends most of a sweep inside AES-128 (OTP
+ * generation) and SipHash-2-4 (line/node/nested MACs).  This module
+ * probes the CPU once (raw CPUID, including the XGETBV check that
+ * the OS actually saves YMM state) and installs the widest kernel
+ * tier available:
+ *
+ *   Portable  byte-oriented reference code (crypto/aes128.cc,
+ *             crypto/siphash.cc) -- runs anywhere, and is the
+ *             bit-identity oracle for everything faster;
+ *   AesNi     AES-NI 4-blocks-in-flight AES, plus an AVX2 4-lane
+ *             SipHash when AVX2 is present;
+ *   Vaes      VAES/AVX2 8-blocks-in-flight AES (two blocks per YMM
+ *             register), same SipHash lanes.
+ *
+ * Every kernel is bit-identical to the portable path by construction
+ * (AES-NI/VAES implement the FIPS-197 round function exactly; the
+ * SipHash lanes run the same ARX schedule on four independent
+ * states), so sweep determinism and the fault-campaign detection
+ * matrix are invariant under `MGMEE_CRYPTO`:
+ *
+ *   MGMEE_CRYPTO=auto      widest supported tier (default)
+ *   MGMEE_CRYPTO=portable  force the reference code
+ *   MGMEE_CRYPTO=aesni     force the AES-NI tier (warns + falls back
+ *                          to portable if the CPU lacks it)
+ *   MGMEE_CRYPTO=vaes      force the VAES tier (same fallback)
+ *
+ * Callers do not use this header directly for crypto: they go through
+ * Aes128::encryptBlocks, sipHash24x4 and crypto::MacBatch, which all
+ * route through kernels().  kernelsFor()/setDispatchOverride() exist
+ * for the cross-implementation tests and the throughput bench.
+ */
+
+#ifndef MGMEE_CRYPTO_DISPATCH_HH
+#define MGMEE_CRYPTO_DISPATCH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/siphash.hh"
+
+namespace mgmee::crypto {
+
+/** Kernel tiers, widest last.  Vaes implies AesNi implies Portable. */
+enum class Isa : std::uint8_t {
+    Portable = 0,
+    AesNi = 1,
+    Vaes = 2,
+};
+
+/** Stable name ("portable", "aesni", "vaes"). */
+const char *isaName(Isa isa);
+
+/** One table of batched-primitive entry points. */
+struct Kernels {
+    /**
+     * Encrypt @p n contiguous 16B AES blocks in place under the
+     * 176-byte FIPS-197 expanded key @p round_keys.  No alignment
+     * requirement on @p blocks.
+     */
+    void (*aesEncryptBlocks)(const std::uint8_t *round_keys,
+                             std::uint8_t *blocks, std::size_t n);
+
+    /**
+     * Four independent SipHash-2-4 digests over four equal-length
+     * messages; out[i] == sipHash24(key, msgs[i], len) exactly.
+     */
+    void (*sipHash24x4)(const SipKey &key,
+                        const std::uint8_t *const msgs[4],
+                        std::size_t len, std::uint64_t out[4]);
+
+    Isa isa;
+};
+
+/** Widest tier the running CPU (and OS) supports, probed once. */
+Isa bestSupportedIsa();
+
+/**
+ * The tier MGMEE_CRYPTO requests, resolved against the hardware:
+ * unset/`auto` picks bestSupportedIsa(); an explicit tier the CPU
+ * lacks warns once and degrades to the widest supported one.
+ */
+Isa requestedIsa();
+
+/** The process-wide kernel table (selected on first use, cached). */
+const Kernels &kernels();
+
+/**
+ * The kernel table of a specific tier.  panic()s if the CPU cannot
+ * run it -- tests and benches must gate on bestSupportedIsa().
+ */
+const Kernels &kernelsFor(Isa isa);
+
+/**
+ * Force kernels() to the @p isa tier regardless of MGMEE_CRYPTO.
+ * Test/bench hook: flip only at quiesce points (no concurrent crypto
+ * callers), e.g. between the mode rounds of a bit-identity check.
+ */
+void setDispatchOverride(Isa isa);
+
+/** Undo setDispatchOverride(); kernels() honours MGMEE_CRYPTO again. */
+void clearDispatchOverride();
+
+namespace detail {
+
+/** Reference kernels (aes128.cc / siphash.cc); the Portable table. */
+void aesEncryptBlocksPortable(const std::uint8_t *round_keys,
+                              std::uint8_t *blocks, std::size_t n);
+void sipHash24x4Portable(const SipKey &key,
+                         const std::uint8_t *const msgs[4],
+                         std::size_t len, std::uint64_t out[4]);
+
+/** x86 kernels (crypto/kernels_x86.cc); null on other architectures. */
+extern void (*const kAesBlocksAesni)(const std::uint8_t *,
+                                     std::uint8_t *, std::size_t);
+extern void (*const kAesBlocksVaes)(const std::uint8_t *,
+                                    std::uint8_t *, std::size_t);
+extern void (*const kSipHash24x4Avx2)(const SipKey &,
+                                      const std::uint8_t *const[4],
+                                      std::size_t, std::uint64_t[4]);
+
+/** Raw CPUID/XGETBV probe results (kernels_x86.cc). */
+bool cpuHasAesNi();
+bool cpuHasAvx2();
+bool cpuHasVaes();
+
+} // namespace detail
+
+} // namespace mgmee::crypto
+
+#endif // MGMEE_CRYPTO_DISPATCH_HH

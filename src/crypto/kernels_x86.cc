@@ -1,0 +1,304 @@
+/**
+ * @file
+ * x86 SIMD crypto kernels, selected at runtime by crypto/dispatch.cc.
+ *
+ * Everything here is compiled with function-level `target` attributes
+ * rather than per-file -m flags, so the translation unit builds on
+ * any x86-64 baseline and the widest code only ever executes after
+ * the CPUID probe below says the CPU (and, for YMM state, the OS)
+ * can run it.  On non-x86 builds the kernel pointers are null and
+ * the probes report false, so dispatch never leaves the portable
+ * tier.
+ *
+ * Bit-identity: the AES kernels evaluate the exact FIPS-197 round
+ * function (AESENC = ShiftRows+SubBytes+MixColumns+AddRoundKey, which
+ * commutes with the portable SubBytes-then-ShiftRows ordering), and
+ * the SipHash kernel runs the reference ARX schedule on four
+ * independent 64-bit lanes of YMM registers.  tests/crypto_test.cc
+ * enforces this against the portable code over random keys, lengths
+ * and alignments.
+ */
+
+#include "crypto/dispatch.hh"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define MGMEE_X86_KERNELS 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
+#include <cstring>
+
+namespace mgmee::crypto::detail {
+
+#ifdef MGMEE_X86_KERNELS
+
+namespace {
+
+// CPUID leaf-1 ECX bits.
+constexpr unsigned kBitAesNi = 1u << 25;
+constexpr unsigned kBitSsse3 = 1u << 9;
+constexpr unsigned kBitOsxsave = 1u << 27;
+// CPUID leaf-7 bits.
+constexpr unsigned kBitAvx2 = 1u << 5;   // EBX
+constexpr unsigned kBitVaes = 1u << 9;   // ECX
+
+struct CpuFeatures {
+    bool aesni = false;
+    bool avx2 = false;
+    bool vaes = false;
+};
+
+/** One raw probe: CPUID leaves 1 and 7 plus the XGETBV YMM check. */
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+    unsigned a = 0, b = 0, c = 0, d = 0;
+    if (!__get_cpuid(1, &a, &b, &c, &d))
+        return f;
+    f.aesni = (c & kBitAesNi) && (c & kBitSsse3);
+
+    // YMM kernels additionally need the OS to context-switch the
+    // upper register halves: OSXSAVE set and XCR0 SSE|YMM enabled.
+    bool ymm_ok = false;
+    if (c & kBitOsxsave) {
+        unsigned eax, edx;
+        __asm__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+        ymm_ok = (eax & 0x6) == 0x6;
+    }
+
+    unsigned a7 = 0, b7 = 0, c7 = 0, d7 = 0;
+    if (ymm_ok && __get_cpuid_count(7, 0, &a7, &b7, &c7, &d7)) {
+        f.avx2 = b7 & kBitAvx2;
+        f.vaes = f.aesni && f.avx2 && (c7 & kBitVaes);
+    }
+    return f;
+}
+
+const CpuFeatures &
+features()
+{
+    static const CpuFeatures f = probe();
+    return f;
+}
+
+// ---- AES-128 ----------------------------------------------------------
+
+__attribute__((target("aes,ssse3"))) inline __m128i
+encryptOne(__m128i block, const __m128i k[11])
+{
+    block = _mm_xor_si128(block, k[0]);
+    for (int r = 1; r <= 9; ++r)
+        block = _mm_aesenc_si128(block, k[r]);
+    return _mm_aesenclast_si128(block, k[10]);
+}
+
+__attribute__((target("aes,ssse3"))) void
+aesBlocksAesni(const std::uint8_t *round_keys, std::uint8_t *blocks,
+               std::size_t n)
+{
+    __m128i k[11];
+    for (int r = 0; r < 11; ++r)
+        k[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(round_keys + 16 * r));
+
+    std::size_t i = 0;
+    // Four blocks in flight hide the AESENC latency (~4 cycles on a
+    // 1/cycle-throughput unit).
+    for (; i + 4 <= n; i += 4) {
+        auto *p = reinterpret_cast<__m128i *>(blocks + 16 * i);
+        __m128i b0 = _mm_loadu_si128(p + 0);
+        __m128i b1 = _mm_loadu_si128(p + 1);
+        __m128i b2 = _mm_loadu_si128(p + 2);
+        __m128i b3 = _mm_loadu_si128(p + 3);
+        b0 = _mm_xor_si128(b0, k[0]);
+        b1 = _mm_xor_si128(b1, k[0]);
+        b2 = _mm_xor_si128(b2, k[0]);
+        b3 = _mm_xor_si128(b3, k[0]);
+        for (int r = 1; r <= 9; ++r) {
+            b0 = _mm_aesenc_si128(b0, k[r]);
+            b1 = _mm_aesenc_si128(b1, k[r]);
+            b2 = _mm_aesenc_si128(b2, k[r]);
+            b3 = _mm_aesenc_si128(b3, k[r]);
+        }
+        b0 = _mm_aesenclast_si128(b0, k[10]);
+        b1 = _mm_aesenclast_si128(b1, k[10]);
+        b2 = _mm_aesenclast_si128(b2, k[10]);
+        b3 = _mm_aesenclast_si128(b3, k[10]);
+        _mm_storeu_si128(p + 0, b0);
+        _mm_storeu_si128(p + 1, b1);
+        _mm_storeu_si128(p + 2, b2);
+        _mm_storeu_si128(p + 3, b3);
+    }
+    for (; i < n; ++i) {
+        auto *p = reinterpret_cast<__m128i *>(blocks + 16 * i);
+        _mm_storeu_si128(p, encryptOne(_mm_loadu_si128(p), k));
+    }
+}
+
+__attribute__((target("aes,vaes,avx2"))) void
+aesBlocksVaes(const std::uint8_t *round_keys, std::uint8_t *blocks,
+              std::size_t n)
+{
+    __m128i k[11];
+    __m256i kk[11];
+    for (int r = 0; r < 11; ++r) {
+        k[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(round_keys + 16 * r));
+        kk[r] = _mm256_broadcastsi128_si256(k[r]);
+    }
+
+    std::size_t i = 0;
+    // Eight blocks per iteration: two per YMM register, four in
+    // flight.
+    for (; i + 8 <= n; i += 8) {
+        auto *p = reinterpret_cast<__m256i *>(blocks + 16 * i);
+        __m256i b0 = _mm256_loadu_si256(p + 0);
+        __m256i b1 = _mm256_loadu_si256(p + 1);
+        __m256i b2 = _mm256_loadu_si256(p + 2);
+        __m256i b3 = _mm256_loadu_si256(p + 3);
+        b0 = _mm256_xor_si256(b0, kk[0]);
+        b1 = _mm256_xor_si256(b1, kk[0]);
+        b2 = _mm256_xor_si256(b2, kk[0]);
+        b3 = _mm256_xor_si256(b3, kk[0]);
+        for (int r = 1; r <= 9; ++r) {
+            b0 = _mm256_aesenc_epi128(b0, kk[r]);
+            b1 = _mm256_aesenc_epi128(b1, kk[r]);
+            b2 = _mm256_aesenc_epi128(b2, kk[r]);
+            b3 = _mm256_aesenc_epi128(b3, kk[r]);
+        }
+        b0 = _mm256_aesenclast_epi128(b0, kk[10]);
+        b1 = _mm256_aesenclast_epi128(b1, kk[10]);
+        b2 = _mm256_aesenclast_epi128(b2, kk[10]);
+        b3 = _mm256_aesenclast_epi128(b3, kk[10]);
+        _mm256_storeu_si256(p + 0, b0);
+        _mm256_storeu_si256(p + 1, b1);
+        _mm256_storeu_si256(p + 2, b2);
+        _mm256_storeu_si256(p + 3, b3);
+    }
+    for (; i < n; ++i) {
+        auto *p = reinterpret_cast<__m128i *>(blocks + 16 * i);
+        __m128i b = _mm_xor_si128(_mm_loadu_si128(p), k[0]);
+        for (int r = 1; r <= 9; ++r)
+            b = _mm_aesenc_si128(b, k[r]);
+        _mm_storeu_si128(p, _mm_aesenclast_si128(b, k[10]));
+    }
+}
+
+// ---- SipHash-2-4, four lanes -----------------------------------------
+
+// One SipRound over four independent states held lane-wise in YMM
+// registers.  rotl(x, 32) is a cheap 32-bit lane shuffle.
+#define MGMEE_SIP_ROTL(x, b)                                                  \
+    _mm256_or_si256(_mm256_slli_epi64((x), (b)),                              \
+                    _mm256_srli_epi64((x), 64 - (b)))
+#define MGMEE_SIP_ROUND(v0, v1, v2, v3)                                       \
+    do {                                                                      \
+        v0 = _mm256_add_epi64(v0, v1);                                        \
+        v1 = MGMEE_SIP_ROTL(v1, 13);                                          \
+        v1 = _mm256_xor_si256(v1, v0);                                        \
+        v0 = _mm256_shuffle_epi32(v0, _MM_SHUFFLE(2, 3, 0, 1));               \
+        v2 = _mm256_add_epi64(v2, v3);                                        \
+        v3 = MGMEE_SIP_ROTL(v3, 16);                                          \
+        v3 = _mm256_xor_si256(v3, v2);                                        \
+        v0 = _mm256_add_epi64(v0, v3);                                        \
+        v3 = MGMEE_SIP_ROTL(v3, 21);                                          \
+        v3 = _mm256_xor_si256(v3, v0);                                        \
+        v2 = _mm256_add_epi64(v2, v1);                                        \
+        v1 = MGMEE_SIP_ROTL(v1, 17);                                          \
+        v1 = _mm256_xor_si256(v1, v2);                                        \
+        v2 = _mm256_shuffle_epi32(v2, _MM_SHUFFLE(2, 3, 0, 1));               \
+    } while (0)
+
+__attribute__((target("avx2"))) void
+sipHash24x4Avx2(const SipKey &key, const std::uint8_t *const msgs[4],
+                std::size_t len, std::uint64_t out[4])
+{
+    const __m256i k0 =
+        _mm256_set1_epi64x(static_cast<long long>(key.k0));
+    const __m256i k1 =
+        _mm256_set1_epi64x(static_cast<long long>(key.k1));
+    __m256i v0 = _mm256_xor_si256(
+        _mm256_set1_epi64x(0x736f6d6570736575LL), k0);
+    __m256i v1 = _mm256_xor_si256(
+        _mm256_set1_epi64x(0x646f72616e646f6dLL), k1);
+    __m256i v2 = _mm256_xor_si256(
+        _mm256_set1_epi64x(0x6c7967656e657261LL), k0);
+    __m256i v3 = _mm256_xor_si256(
+        _mm256_set1_epi64x(0x7465646279746573LL), k1);
+
+    alignas(32) std::uint64_t w[4];
+    const std::size_t end = len - (len % 8);
+    for (std::size_t i = 0; i < end; i += 8) {
+        for (unsigned lane = 0; lane < 4; ++lane)
+            std::memcpy(&w[lane], msgs[lane] + i, 8);
+        const __m256i m =
+            _mm256_load_si256(reinterpret_cast<const __m256i *>(w));
+        v3 = _mm256_xor_si256(v3, m);
+        MGMEE_SIP_ROUND(v0, v1, v2, v3);
+        MGMEE_SIP_ROUND(v0, v1, v2, v3);
+        v0 = _mm256_xor_si256(v0, m);
+    }
+
+    for (unsigned lane = 0; lane < 4; ++lane) {
+        std::uint64_t b = static_cast<std::uint64_t>(len) << 56;
+        for (std::size_t i = 0; i < len % 8; ++i)
+            b |= static_cast<std::uint64_t>(msgs[lane][end + i])
+                 << (8 * i);
+        w[lane] = b;
+    }
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i *>(w));
+    v3 = _mm256_xor_si256(v3, b);
+    MGMEE_SIP_ROUND(v0, v1, v2, v3);
+    MGMEE_SIP_ROUND(v0, v1, v2, v3);
+    v0 = _mm256_xor_si256(v0, b);
+
+    v2 = _mm256_xor_si256(v2, _mm256_set1_epi64x(0xff));
+    MGMEE_SIP_ROUND(v0, v1, v2, v3);
+    MGMEE_SIP_ROUND(v0, v1, v2, v3);
+    MGMEE_SIP_ROUND(v0, v1, v2, v3);
+    MGMEE_SIP_ROUND(v0, v1, v2, v3);
+
+    const __m256i h = _mm256_xor_si256(_mm256_xor_si256(v0, v1),
+                                       _mm256_xor_si256(v2, v3));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), h);
+}
+
+#undef MGMEE_SIP_ROUND
+#undef MGMEE_SIP_ROTL
+
+} // namespace
+
+bool cpuHasAesNi() { return features().aesni; }
+bool cpuHasAvx2() { return features().avx2; }
+bool cpuHasVaes() { return features().vaes; }
+
+void (*const kAesBlocksAesni)(const std::uint8_t *, std::uint8_t *,
+                              std::size_t) = aesBlocksAesni;
+void (*const kAesBlocksVaes)(const std::uint8_t *, std::uint8_t *,
+                             std::size_t) = aesBlocksVaes;
+void (*const kSipHash24x4Avx2)(const SipKey &,
+                               const std::uint8_t *const[4],
+                               std::size_t,
+                               std::uint64_t[4]) = sipHash24x4Avx2;
+
+#else // !MGMEE_X86_KERNELS
+
+bool cpuHasAesNi() { return false; }
+bool cpuHasAvx2() { return false; }
+bool cpuHasVaes() { return false; }
+
+void (*const kAesBlocksAesni)(const std::uint8_t *, std::uint8_t *,
+                              std::size_t) = nullptr;
+void (*const kAesBlocksVaes)(const std::uint8_t *, std::uint8_t *,
+                             std::size_t) = nullptr;
+void (*const kSipHash24x4Avx2)(const SipKey &,
+                               const std::uint8_t *const[4],
+                               std::size_t,
+                               std::uint64_t[4]) = nullptr;
+
+#endif // MGMEE_X86_KERNELS
+
+} // namespace mgmee::crypto::detail

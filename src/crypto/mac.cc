@@ -1,10 +1,25 @@
 #include "crypto/mac.hh"
 
+#include <atomic>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace mgmee {
+
+namespace {
+
+/** crypto.macs_computed, shared with MacBatch::flush. */
+std::atomic<std::uint64_t> &
+macsComputedStat()
+{
+    static std::atomic<std::uint64_t> &c =
+        StatRegistry::instance().counter("crypto", "macs_computed");
+    return c;
+}
+
+} // namespace
 
 Mac
 MacEngine::lineMac(Addr line_addr, std::uint64_t counter,
@@ -14,6 +29,7 @@ MacEngine::lineMac(Addr line_addr, std::uint64_t counter,
     std::memcpy(buf, &line_addr, 8);
     std::memcpy(buf + 8, &counter, 8);
     std::memcpy(buf + 16, data, kCachelineBytes);
+    macsComputedStat().fetch_add(1, std::memory_order_relaxed);
     return sipHash24(key_, buf, sizeof(buf));
 }
 
@@ -53,6 +69,7 @@ MacEngine::nodeMac(Addr node_addr, std::uint64_t parent_counter,
     std::memcpy(buf, &node_addr, 8);
     std::memcpy(buf + 8, &parent_counter, 8);
     std::memcpy(buf + 16, counters.data(), kTreeArity * 8);
+    macsComputedStat().fetch_add(1, std::memory_order_relaxed);
     return sipHash24(key_, buf, sizeof(buf));
 }
 

@@ -1,24 +1,65 @@
 #include "crypto/otp.hh"
 
 #include <cstring>
+#include <span>
 
 namespace mgmee {
+
+namespace {
+
+/** Write the four 16B AES inputs of one pad into @p dst. */
+inline void
+stagePadInputs(Addr line_addr, std::uint64_t counter,
+               std::uint8_t *dst)
+{
+    for (unsigned i = 0; i < kCachelineBytes / 16; ++i) {
+        std::uint8_t *block = dst + 16 * i;
+        std::memcpy(block, &line_addr, 8);
+        std::memcpy(block + 8, &counter, 8);
+        // Mix the sub-block index into the last byte so the four AES
+        // inputs per cacheline differ.
+        block[15] ^= static_cast<std::uint8_t>(i + 1);
+    }
+}
+
+} // namespace
 
 Pad
 OtpGenerator::makePad(Addr line_addr, std::uint64_t counter) const
 {
     Pad pad;
-    for (unsigned i = 0; i < kCachelineBytes / 16; ++i) {
-        Aes128::Block block{};
-        std::memcpy(block.data(), &line_addr, 8);
-        std::memcpy(block.data() + 8, &counter, 8);
-        // Mix the sub-block index into the last byte so the four AES
-        // inputs per cacheline differ.
-        block[15] ^= static_cast<std::uint8_t>(i + 1);
-        aes_.encryptBlock(block);
-        std::memcpy(pad.data() + 16 * i, block.data(), 16);
-    }
+    stagePadInputs(line_addr, counter, pad.data());
+    aes_.encryptBlocks(pad);
     return pad;
+}
+
+void
+OtpGenerator::makePads(const Addr *line_addrs,
+                       const std::uint64_t *counters,
+                       std::size_t count, Pad *out) const
+{
+    if (!count)
+        return;
+    // Pads are contiguous arrays of four AES blocks: stage the inputs
+    // directly in the destination and encrypt the whole run in place
+    // with one kernel call.
+    for (std::size_t l = 0; l < count; ++l)
+        stagePadInputs(line_addrs[l], counters[l], out[l].data());
+    aes_.encryptBlocks(std::span<std::uint8_t>(
+        out[0].data(), count * kCachelineBytes));
+}
+
+void
+OtpGenerator::makePadsSeq(Addr start_line, std::size_t count,
+                          std::uint64_t counter, Pad *out) const
+{
+    if (!count)
+        return;
+    for (std::size_t l = 0; l < count; ++l)
+        stagePadInputs(start_line + l * kCachelineBytes, counter,
+                       out[l].data());
+    aes_.encryptBlocks(std::span<std::uint8_t>(
+        out[0].data(), count * kCachelineBytes));
 }
 
 void

@@ -7,6 +7,13 @@
  * pad is XORed with plaintext to encrypt and with ciphertext to
  * decrypt.  Counter uniqueness per (address, version) guarantees pad
  * uniqueness.
+ *
+ * Pads are generated in place: the (address, counter, sub-block)
+ * tuples are written straight into the destination Pad storage and
+ * encrypted there with one Aes128::encryptBlocks call, so a batched
+ * makePads() over a whole unit or chunk keeps the AES-NI/VAES
+ * pipeline full (4 blocks per pad, thousands of blocks per kernel
+ * call) instead of paying one dispatch per 16B block.
  */
 
 #ifndef MGMEE_CRYPTO_OTP_HH
@@ -34,6 +41,23 @@ class OtpGenerator
      * @p counter.
      */
     Pad makePad(Addr line_addr, std::uint64_t counter) const;
+
+    /**
+     * Derive @p count pads, one per (line_addrs[i], counters[i]),
+     * into @p out -- a single batched AES call over 4*count blocks.
+     * Bit-identical to count makePad() calls.
+     */
+    void makePads(const Addr *line_addrs,
+                  const std::uint64_t *counters, std::size_t count,
+                  Pad *out) const;
+
+    /**
+     * Common unit-wide case: pads for @p count consecutive lines
+     * starting at @p start_line, all under the shared @p counter
+     * (coarse-granularity re-encryption, streaming writes).
+     */
+    void makePadsSeq(Addr start_line, std::size_t count,
+                     std::uint64_t counter, Pad *out) const;
 
     /** XOR @p pad into @p data (encrypt or decrypt in place). */
     static void applyPad(const Pad &pad, std::uint8_t *data);

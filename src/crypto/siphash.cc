@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/dispatch.hh"
+
 namespace mgmee {
 
 namespace {
@@ -57,6 +59,13 @@ sipHash24(const SipKey &key, const void *data, std::size_t len)
     sipRound(v0, v1, v2, v3);
     sipRound(v0, v1, v2, v3);
     return v0 ^ v1 ^ v2 ^ v3;
+}
+
+void
+sipHash24x4(const SipKey &key, const std::uint8_t *const msgs[4],
+            std::size_t len, std::uint64_t out[4])
+{
+    crypto::kernels().sipHash24x4(key, msgs, len, out);
 }
 
 } // namespace mgmee

@@ -27,6 +27,18 @@ struct SipKey
 std::uint64_t sipHash24(const SipKey &key, const void *data,
                         std::size_t len);
 
+/**
+ * Four independent SipHash-2-4 digests over four equal-length
+ * messages in one call: out[i] == sipHash24(key, msgs[i], len),
+ * bit-identically.  Routed through the crypto dispatch table
+ * (crypto/dispatch.hh): an AVX2 lane kernel when the CPU has it, a
+ * scalar loop otherwise.  This is the MAC-engine hot primitive --
+ * crypto::MacBatch drains its staging buffer four messages at a
+ * time through here.
+ */
+void sipHash24x4(const SipKey &key, const std::uint8_t *const msgs[4],
+                 std::size_t len, std::uint64_t out[4]);
+
 } // namespace mgmee
 
 #endif // MGMEE_CRYPTO_SIPHASH_HH

@@ -1,5 +1,7 @@
 #include "fault/campaign.hh"
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -234,16 +236,36 @@ class TreelessTarget final : public Target
         panic_if(addr % kCachelineBytes ||
                      data.size() % kCachelineBytes,
                  "treeless target: unaligned write");
-        for (std::size_t off = 0; off < data.size();
-             off += kCachelineBytes) {
-            const Addr la = addr + off;
-            LineState &ls = line(la);
-            const std::uint64_t ver = version(la) + 1;
-            setVersion(la, ver);
-            const Pad pad = otp_.makePad(la, ver);
-            for (unsigned b = 0; b < kCachelineBytes; ++b)
-                ls.cipher[b] = data[off + b] ^ pad[b];
-            ls.mac = mac_.lineMac(la, ver, ls.cipher.data());
+        // Batched data plane: one makePads() call per tile of lines
+        // and one MacBatch for the fresh MACs.  LineState pointers
+        // stay valid across try_emplace (unordered_map references
+        // are never invalidated by rehash).
+        const std::size_t count = data.size() / kCachelineBytes;
+        constexpr std::size_t kTile = 64;
+        std::array<Addr, kTile> addrs;
+        std::array<std::uint64_t, kTile> vers;
+        std::array<Pad, kTile> pads;
+        std::array<LineState *, kTile> ls;
+        for (std::size_t done = 0; done < count;) {
+            const std::size_t n = std::min(kTile, count - done);
+            for (std::size_t l = 0; l < n; ++l) {
+                addrs[l] = addr + (done + l) * kCachelineBytes;
+                ls[l] = &line(addrs[l]);
+                vers[l] = version(addrs[l]) + 1;
+                setVersion(addrs[l], vers[l]);
+            }
+            otp_.makePads(addrs.data(), vers.data(), n, pads.data());
+            crypto::MacBatch batch = mac_.batch();
+            for (std::size_t l = 0; l < n; ++l) {
+                const std::uint8_t *src =
+                    data.data() + (done + l) * kCachelineBytes;
+                for (unsigned b = 0; b < kCachelineBytes; ++b)
+                    ls[l]->cipher[b] = src[b] ^ pads[l][b];
+                batch.line(addrs[l], vers[l], ls[l]->cipher.data(),
+                           &ls[l]->mac);
+            }
+            batch.flush();
+            done += n;
         }
         return true;
     }
@@ -254,16 +276,41 @@ class TreelessTarget final : public Target
         panic_if(addr % kCachelineBytes ||
                      out.size() % kCachelineBytes,
                  "treeless target: unaligned read");
-        for (std::size_t off = 0; off < out.size();
-             off += kCachelineBytes) {
-            const Addr la = addr + off;
-            LineState &ls = line(la);
-            const std::uint64_t ver = version(la);
-            if (mac_.lineMac(la, ver, ls.cipher.data()) != ls.mac)
-                return false;
-            const Pad pad = otp_.makePad(la, ver);
-            for (unsigned b = 0; b < kCachelineBytes; ++b)
-                out[off + b] = ls.cipher[b] ^ pad[b];
+        // Batched verify-then-decrypt per tile: the expected MACs
+        // drain through one MacBatch, checked in line order (first
+        // tampered line still decides the outcome), then one
+        // makePads() call decrypts the clean tile.
+        const std::size_t count = out.size() / kCachelineBytes;
+        constexpr std::size_t kTile = 64;
+        std::array<Addr, kTile> addrs;
+        std::array<std::uint64_t, kTile> vers;
+        std::array<Pad, kTile> pads;
+        std::array<Mac, kTile> expect;
+        std::array<LineState *, kTile> ls;
+        for (std::size_t done = 0; done < count;) {
+            const std::size_t n = std::min(kTile, count - done);
+            {
+                crypto::MacBatch batch = mac_.batch();
+                for (std::size_t l = 0; l < n; ++l) {
+                    addrs[l] = addr + (done + l) * kCachelineBytes;
+                    ls[l] = &line(addrs[l]);
+                    vers[l] = version(addrs[l]);
+                    batch.line(addrs[l], vers[l],
+                               ls[l]->cipher.data(), &expect[l]);
+                }
+                batch.flush();
+            }
+            for (std::size_t l = 0; l < n; ++l)
+                if (expect[l] != ls[l]->mac)
+                    return false;
+            otp_.makePads(addrs.data(), vers.data(), n, pads.data());
+            for (std::size_t l = 0; l < n; ++l) {
+                std::uint8_t *dst =
+                    out.data() + (done + l) * kCachelineBytes;
+                for (unsigned b = 0; b < kCachelineBytes; ++b)
+                    dst[b] = ls[l]->cipher[b] ^ pads[l][b];
+            }
+            done += n;
         }
         return true;
     }

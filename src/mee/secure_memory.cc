@@ -78,6 +78,35 @@ SecureMemory::refreshNodeMac(unsigned level, std::uint64_t node) const
 }
 
 void
+SecureMemory::refreshNodeMacsBatched(
+    std::span<const std::pair<unsigned, std::uint64_t>> nodes) const
+{
+    if (nodes.empty())
+        return;
+    // The batch holds pointers into this scratch until each flush, so
+    // it is sized up front -- no reallocation while staged.
+    struct Scratch
+    {
+        std::array<std::uint64_t, kTreeArity> ctrs;
+        Mac mac;
+    };
+    std::vector<Scratch> scratch(nodes.size());
+    crypto::MacBatch batch = mac_.batch();
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const auto [lvl, node] = nodes[n];
+        Scratch &s = scratch[n];
+        for (unsigned c = 0; c < kTreeArity; ++c)
+            s.ctrs[c] = counterAt(lvl, node * kTreeArity + c);
+        batch.node(layout_.counterNodeAddr(lvl, node),
+                   counterAt(lvl + 1, node), s.ctrs.data(), &s.mac);
+    }
+    batch.flush();
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+        tree_.setNodeMac(nodes[n].first, nodes[n].second,
+                         scratch[n].mac);
+}
+
+void
 SecureMemory::eraseNodeMac(unsigned level, std::uint64_t node)
 {
     tree_.eraseNodeMac(level, node);
@@ -111,14 +140,22 @@ SecureMemory::Status
 SecureMemory::verifyPath(unsigned level, std::uint64_t index) const
 {
     const unsigned levels = layout_.geometry().levels();
-    // Nodes examined this walk; their verified tags are only set
-    // once the remaining path proved clean, so a failed walk leaves
-    // nothing cached (detection stays sticky across reads).
-    std::array<std::pair<unsigned, std::uint64_t>, 24> walked;
-    std::size_t n_walked = 0;
-    panic_if(levels > walked.size(), "tree deeper than walk buffer");
+    // The walk shape depends only on the dirty/verified/presence
+    // flags, never on a computed digest, so the path is classified
+    // first and every node MAC it needs -- refreshes and expected
+    // values alike -- is computed with one staged batch.
+    struct Step
+    {
+        unsigned lvl;
+        std::uint64_t node;
+        bool refresh;  //!< install/refresh vs. compare
+        std::array<std::uint64_t, kTreeArity> ctrs;
+        Mac mac;
+    };
+    std::array<Step, 24> steps;
+    std::size_t n_steps = 0;
+    panic_if(levels > steps.size(), "tree deeper than walk buffer");
 
-    Status st = Status::Ok;
     std::uint64_t i = index;
     for (unsigned lvl = level; lvl < levels; ++lvl) {
         const std::uint64_t node = i / kTreeArity;
@@ -126,51 +163,60 @@ SecureMemory::verifyPath(unsigned level, std::uint64_t index) const
             // Deferred refresh of our own pending update: the stored
             // counters are authoritative (attack hooks flush dirty
             // state first), so recompute in place and keep climbing.
-            refreshNodeMac(lvl, node);
-            walked[n_walked++] = {lvl, node};
+            steps[n_steps++] = {lvl, node, true, {}, 0};
         } else if (tree_.verified(lvl, node)) {
             // Verified-ancestor cache hit: this node and everything
             // above it was checked this epoch -- stop the walk here.
             break;
         } else if (!tree_.hasNodeMac(lvl, node)) {
             // First touch of a pristine node: install its MAC.
-            refreshNodeMac(lvl, node);
-            walked[n_walked++] = {lvl, node};
+            steps[n_steps++] = {lvl, node, true, {}, 0};
         } else {
-            std::array<std::uint64_t, kTreeArity> ctrs{};
-            for (unsigned c = 0; c < kTreeArity; ++c)
-                ctrs[c] = counterAt(lvl, node * kTreeArity + c);
-            const Addr node_addr = layout_.counterNodeAddr(lvl, node);
-            const std::uint64_t parent = counterAt(lvl + 1, node);
-            const Mac expected = mac_.nodeMac(node_addr, parent, ctrs);
-            if (tree_.nodeMac(lvl, node) != expected) {
-                st = Status::TreeMismatch;
-                break;
-            }
-            walked[n_walked++] = {lvl, node};
+            steps[n_steps++] = {lvl, node, false, {}, 0};
         }
         i = node;
     }
 
-    if (st == Status::Ok) {
-        for (std::size_t w = 0; w < n_walked; ++w)
-            tree_.markVerified(walked[w].first, walked[w].second);
+    crypto::MacBatch batch = mac_.batch();
+    for (std::size_t s = 0; s < n_steps; ++s) {
+        Step &st = steps[s];
+        for (unsigned c = 0; c < kTreeArity; ++c)
+            st.ctrs[c] = counterAt(st.lvl, st.node * kTreeArity + c);
+        batch.node(layout_.counterNodeAddr(st.lvl, st.node),
+                   counterAt(st.lvl + 1, st.node), st.ctrs.data(),
+                   &st.mac);
     }
-    return st;
+    batch.flush();
+
+    // Apply in climb order: refreshes install their recomputed MAC,
+    // checks compare against the stored value.  A mismatch returns
+    // before anything above it is touched and before any verified
+    // tag is set, so a failed walk leaves nothing cached and
+    // detection stays sticky across reads.
+    for (std::size_t s = 0; s < n_steps; ++s) {
+        const Step &st = steps[s];
+        if (st.refresh)
+            tree_.setNodeMac(st.lvl, st.node, st.mac);
+        else if (tree_.nodeMac(st.lvl, st.node) != st.mac)
+            return Status::TreeMismatch;
+    }
+    for (std::size_t s = 0; s < n_steps; ++s)
+        tree_.markVerified(steps[s].lvl, steps[s].node);
+    return Status::Ok;
 }
 
 void
 SecureMemory::flushMetadata()
 {
-    std::uint32_t refreshed = 0;
+    std::vector<std::pair<unsigned, std::uint64_t>> stale;
     for (const auto &[lvl, node] : tree_.takeDirty()) {
-        if (tree_.macDirty(lvl, node)) {  // may be refreshed/erased
-            refreshNodeMac(lvl, node);
-            ++refreshed;
-        }
+        if (tree_.macDirty(lvl, node))  // may be refreshed/erased
+            stale.emplace_back(lvl, node);
     }
-    if (refreshed)
-        OBS_EVENT(obs::EventKind::MacCompact, 0, 0, refreshed, 0);
+    refreshNodeMacsBatched(stale);
+    if (!stale.empty())
+        OBS_EVENT(obs::EventKind::MacCompact, 0, 0,
+                  static_cast<std::uint32_t>(stale.size()), 0);
 }
 
 void
@@ -247,13 +293,24 @@ SecureMemory::ensureChunkInitialized(std::uint64_t chunk)
         return;
     initialized_.insert(chunk);
 
+    // Zero plaintext means the stored ciphertext IS the pad: generate
+    // each tile of pads with one batched AES call and store them
+    // directly as the line contents.
     const Addr base = chunk * kChunkBytes;
-    for (unsigned l = 0; l < kLinesPerChunk; ++l) {
-        const Addr la = base + l * kCachelineBytes;
-        auto &line = cipherLine(la);
-        line.fill(0);
-        const Pad pad = otp_.makePad(la, effectiveCounter(la));
-        OtpGenerator::applyPad(pad, line.data());
+    constexpr std::size_t kTile = 64;
+    std::array<Addr, kTile> addrs;
+    std::array<std::uint64_t, kTile> ctrs;
+    std::array<Pad, kTile> pads;
+    static_assert(kLinesPerChunk % kTile == 0);
+    for (unsigned done = 0; done < kLinesPerChunk; done += kTile) {
+        for (std::size_t l = 0; l < kTile; ++l) {
+            addrs[l] = base + (done + l) * kCachelineBytes;
+            ctrs[l] = effectiveCounter(addrs[l]);
+        }
+        otp_.makePads(addrs.data(), ctrs.data(), kTile, pads.data());
+        for (std::size_t l = 0; l < kTile; ++l)
+            std::memcpy(cipherLine(addrs[l]).data(), pads[l].data(),
+                        kCachelineBytes);
     }
     rebuildChunkMacs(chunk, streamPart(chunk));
 }
@@ -265,6 +322,46 @@ SecureMemory::rebuildChunkMacs(std::uint64_t chunk, StreamPart sp)
     slab.assign(kLinesPerChunk, std::nullopt);
 
     const Addr base = chunk * kChunkBytes;
+
+    // Pass 1: every line's fine MAC under its unit's counter, staged
+    // through one MacBatch for the whole chunk (512 lines drain as
+    // multi-lane SipHash flushes instead of 512 scalar hashes).
+    std::array<Mac, kLinesPerChunk> fine;
+    {
+        crypto::MacBatch batch = mac_.batch();
+        unsigned part = 0;
+        while (part < kPartitionsPerChunk) {
+            const Addr pbase = base + part * kPartitionBytes;
+            const Granularity g = granularityOfPartition(sp, part);
+            const Addr ubase = unitBase(pbase, g);
+            const std::uint64_t lines = unitLines(g);
+            if (g == Granularity::Line64B) {
+                // Fine partition: each line owns its leaf counter.
+                for (unsigned l = 0; l < kLinesPerPartition; ++l) {
+                    const Addr la = ubase + l * kCachelineBytes;
+                    batch.line(la, counterAt(0, lineIndex(la)),
+                               cipherLineConst(la).data(),
+                               &fine[lineInChunk(la)]);
+                }
+                part += 1;
+            } else {
+                const CounterLoc loc = addr_.counterLocAt(ubase, g);
+                const std::uint64_t ctr =
+                    counterAt(loc.level, loc.index);
+                for (std::uint64_t l = 0; l < lines; ++l) {
+                    const Addr la = ubase + l * kCachelineBytes;
+                    batch.line(la, ctr, cipherLineConst(la).data(),
+                               &fine[lineInChunk(la)]);
+                }
+                part += static_cast<unsigned>(lines /
+                                              kLinesPerPartition);
+            }
+        }
+        batch.flush();
+    }
+
+    // Pass 2: place fine MACs (fine partitions) or their nested fold
+    // (coarse units, Eq. 5) into the compacted slab slots.
     unsigned part = 0;
     while (part < kPartitionsPerChunk) {
         const Addr pbase = base + part * kPartitionBytes;
@@ -273,20 +370,18 @@ SecureMemory::rebuildChunkMacs(std::uint64_t chunk, StreamPart sp)
         const std::uint64_t lines = unitLines(g);
 
         if (g == Granularity::Line64B) {
-            // Fine partition: each line owns its leaf counter.
             for (unsigned l = 0; l < kLinesPerPartition; ++l) {
                 const Addr la = ubase + l * kCachelineBytes;
                 slab[AddressComputer::intraChunkMacIndex(la, sp)] =
-                    fineMacOf(la, counterAt(0, lineIndex(la)));
+                    fine[lineInChunk(la)];
             }
             part += 1;
         } else {
-            const CounterLoc loc = addr_.counterLocAt(ubase, g);
-            const std::uint64_t ctr = counterAt(loc.level, loc.index);
-            Mac acc = mac_.nestedMacSeed(fineMacOf(ubase, ctr));
+            Mac acc = mac_.nestedMacSeed(fine[lineInChunk(ubase)]);
             for (std::uint64_t l = 1; l < lines; ++l)
                 acc = mac_.nestedMacFold(
-                    acc, fineMacOf(ubase + l * kCachelineBytes, ctr));
+                    acc,
+                    fine[lineInChunk(ubase + l * kCachelineBytes)]);
             slab[AddressComputer::intraChunkMacIndex(ubase, sp)] = acc;
             part += static_cast<unsigned>(lines / kLinesPerPartition);
         }
@@ -312,11 +407,17 @@ SecureMemory::verifyUnit(Addr unit_base, Granularity g) const
     if (g == Granularity::Line64B) {
         computed = fineMacOf(unit_base, ctr);
     } else {
-        computed = mac_.nestedMacSeed(fineMacOf(unit_base, ctr));
-        for (std::uint64_t l = 1; l < lines; ++l)
-            computed = mac_.nestedMacFold(
-                computed,
-                fineMacOf(unit_base + l * kCachelineBytes, ctr));
+        // Coarse unit: batch all per-line fine MACs, then fold
+        // (Eq. 5).  Bit-identical to the scalar seed/fold loop.
+        std::array<Mac, kLinesPerChunk> fine;
+        crypto::MacBatch batch = mac_.batch();
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            const Addr la = unit_base + l * kCachelineBytes;
+            batch.line(la, ctr, cipherLineConst(la).data(), &fine[l]);
+        }
+        batch.flush();
+        computed =
+            mac_.nestedMac(std::span<const Mac>(fine.data(), lines));
     }
     if (computed != *stored)
         return Status::MacMismatch;
@@ -330,12 +431,27 @@ void
 SecureMemory::decryptLines(Addr start_line, std::size_t count,
                            std::uint8_t *out) const
 {
-    for (std::size_t l = 0; l < count; ++l) {
-        const Addr la = start_line + l * kCachelineBytes;
-        const auto &cipher = cipherLineConst(la);
-        const Pad pad = otp_.makePad(la, effectiveCounter(la));
-        for (unsigned b = 0; b < kCachelineBytes; ++b)
-            out[l * kCachelineBytes + b] = cipher[b] ^ pad[b];
+    // Tiled so the scratch stays small: each tile is one batched
+    // makePads() call (4 AES blocks per line on one kernel
+    // invocation) instead of per-line makePad() round trips.
+    constexpr std::size_t kTile = 64;
+    std::array<Addr, kTile> addrs;
+    std::array<std::uint64_t, kTile> ctrs;
+    std::array<Pad, kTile> pads;
+    for (std::size_t done = 0; done < count;) {
+        const std::size_t n = std::min(kTile, count - done);
+        for (std::size_t l = 0; l < n; ++l) {
+            addrs[l] = start_line + (done + l) * kCachelineBytes;
+            ctrs[l] = effectiveCounter(addrs[l]);
+        }
+        otp_.makePads(addrs.data(), ctrs.data(), n, pads.data());
+        for (std::size_t l = 0; l < n; ++l) {
+            const auto &cipher = cipherLineConst(addrs[l]);
+            std::uint8_t *dst = out + (done + l) * kCachelineBytes;
+            for (unsigned b = 0; b < kCachelineBytes; ++b)
+                dst[b] = cipher[b] ^ pads[l][b];
+        }
+        done += n;
     }
 }
 
@@ -372,20 +488,42 @@ SecureMemory::writeUnit(Addr unit_base, Granularity g,
     setCounterAndPropagate(loc.level, loc.index, newv);
 
     const StreamPart sp = streamPart(chunk);
-    Mac unit_mac = 0;
-    for (std::uint64_t l = 0; l < lines; ++l) {
-        const Addr la = unit_base + l * kCachelineBytes;
-        auto &line = cipherLine(la);
-        std::memcpy(line.data(), plain.data() + l * kCachelineBytes,
-                    kCachelineBytes);
-        const Pad pad = otp_.makePad(la, newv);
-        OtpGenerator::applyPad(pad, line.data());
-        const Mac fine = fineMacOf(la, newv);
-        if (g == Granularity::Line64B)
-            unit_mac = fine;
-        else
-            unit_mac = l == 0 ? mac_.nestedMacSeed(fine)
-                              : mac_.nestedMacFold(unit_mac, fine);
+    // Re-encrypt: every line of the unit shares the bumped counter,
+    // so each tile of pads is one sequential batched AES call.
+    constexpr std::size_t kTile = 64;
+    std::array<Pad, kTile> pads;
+    for (std::size_t done = 0; done < lines;) {
+        const std::size_t n =
+            std::min<std::size_t>(kTile, lines - done);
+        otp_.makePadsSeq(unit_base + done * kCachelineBytes, n, newv,
+                         pads.data());
+        for (std::size_t l = 0; l < n; ++l) {
+            const Addr la = unit_base + (done + l) * kCachelineBytes;
+            auto &line = cipherLine(la);
+            std::memcpy(line.data(),
+                        plain.data() + (done + l) * kCachelineBytes,
+                        kCachelineBytes);
+            OtpGenerator::applyPad(pads[l], line.data());
+        }
+        done += n;
+    }
+
+    // Re-MAC: batch the fine MACs of the fresh ciphertext, then fold
+    // for coarse units (Eq. 5).
+    Mac unit_mac;
+    if (g == Granularity::Line64B) {
+        unit_mac = fineMacOf(unit_base, newv);
+    } else {
+        std::array<Mac, kLinesPerChunk> fine;
+        crypto::MacBatch batch = mac_.batch();
+        for (std::uint64_t l = 0; l < lines; ++l) {
+            const Addr la = unit_base + l * kCachelineBytes;
+            batch.line(la, newv, cipherLineConst(la).data(),
+                       &fine[l]);
+        }
+        batch.flush();
+        unit_mac =
+            mac_.nestedMac(std::span<const Mac>(fine.data(), lines));
     }
     setMacSlot(chunk,
                AddressComputer::intraChunkMacIndex(unit_base, sp),
@@ -409,26 +547,44 @@ SecureMemory::rekey(const Keys &new_keys)
     otp_ = OtpGenerator(new_keys.aes);
     mac_ = MacEngine(new_keys.mac);
 
-    // Re-encrypt under the unchanged counters and rebuild all MACs.
+    // Re-encrypt under the unchanged counters and rebuild all MACs,
+    // one batched pad tile at a time.
+    constexpr std::size_t kTile = 64;
+    std::array<Addr, kTile> addrs;
+    std::array<std::uint64_t, kTile> ctrs;
+    std::array<Pad, kTile> pads;
+    static_assert(kLinesPerChunk % kTile == 0);
     for (auto &[chunk, plain] : plains) {
         const Addr base = chunk * kChunkBytes;
-        for (unsigned l = 0; l < kLinesPerChunk; ++l) {
-            const Addr la = base + l * kCachelineBytes;
-            auto &line = cipherLine(la);
-            std::memcpy(line.data(), plain.data() +
-                                         l * kCachelineBytes,
-                        kCachelineBytes);
-            const Pad pad = otp_.makePad(la, effectiveCounter(la));
-            OtpGenerator::applyPad(pad, line.data());
+        for (unsigned done = 0; done < kLinesPerChunk;
+             done += kTile) {
+            for (std::size_t l = 0; l < kTile; ++l) {
+                addrs[l] = base + (done + l) * kCachelineBytes;
+                ctrs[l] = effectiveCounter(addrs[l]);
+            }
+            otp_.makePads(addrs.data(), ctrs.data(), kTile,
+                          pads.data());
+            for (std::size_t l = 0; l < kTile; ++l) {
+                auto &line = cipherLine(addrs[l]);
+                std::memcpy(line.data(),
+                            plain.data() +
+                                (done + l) * kCachelineBytes,
+                            kCachelineBytes);
+                OtpGenerator::applyPad(pads[l], line.data());
+            }
         }
         rebuildChunkMacs(chunk, streamPart(chunk));
     }
 
-    // Node MACs are keyed too: recompute every stored one (this also
-    // settles any pending lazy refreshes under the new key).
-    tree_.forEachNodeMac([this](unsigned lvl, std::uint64_t node) {
-        refreshNodeMac(lvl, node);
-    });
+    // Node MACs are keyed too: recompute every stored one in a single
+    // batched pass (this also settles any pending lazy refreshes
+    // under the new key).
+    std::vector<std::pair<unsigned, std::uint64_t>> all_nodes;
+    tree_.forEachNodeMac(
+        [&all_nodes](unsigned lvl, std::uint64_t node) {
+            all_nodes.emplace_back(lvl, node);
+        });
+    refreshNodeMacsBatched(all_nodes);
     // Cached trust predates the new keys: force full re-verification.
     invalidateVerifiedCache();
     OBS_EVENT(obs::EventKind::Rekey, 0, 0,

@@ -37,6 +37,7 @@
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -180,6 +181,16 @@ class SecureMemory
 
     /** Recompute the stored MAC of tree node (level, node) now. */
     void refreshNodeMac(unsigned level, std::uint64_t node) const;
+    /**
+     * Batched form of refreshNodeMac(): recompute the stored MACs of
+     * every (level, node) in @p nodes through one MacBatch (one
+     * multi-lane SipHash flush per staging-buffer fill) instead of a
+     * scalar hash per node.  Bit-identical to calling
+     * refreshNodeMac() on each entry in order.
+     */
+    void refreshNodeMacsBatched(
+        std::span<const std::pair<unsigned, std::uint64_t>> nodes)
+        const;
     void eraseNodeMac(unsigned level, std::uint64_t node);
 
     /**

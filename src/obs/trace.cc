@@ -171,6 +171,7 @@ eventKindName(EventKind kind)
       case EventKind::StreamChunk: return "stream_chunk";
       case EventKind::FaultInject: return "fault_inject";
       case EventKind::FaultVerdict: return "fault_verdict";
+      case EventKind::MacBatchFlush: return "mac_batch_flush";
     }
     return "unknown";
 }

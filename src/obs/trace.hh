@@ -53,6 +53,7 @@ enum class EventKind : std::uint8_t
     StreamChunk = 14,  //!< arg0=class(0..3), value=lines; addr=chunk base
     FaultInject = 15,  //!< arg0=AttackClass, value=injection #; addr=site
     FaultVerdict = 16, //!< arg0=AttackClass, value=fault::Verdict
+    MacBatchFlush = 17, //!< MAC staging-buffer drain; value=occupancy
 };
 
 /** Reason a read walk stopped (WalkRead.value). */

@@ -11,6 +11,7 @@
  * histogram, and the 64B/512B/4KB/32KB stream-chunk composition.
  * For security-event traces it prints per-kind event counts,
  * read-walk depth statistics, per-level metadata-cache hit rates,
+ * MAC staging-buffer flush counts and mean occupancy,
  * per-table memo hit rates, and the per-class stream-chunk line
  * totals (which must match the emitting bench's manifest totals).
  * `--jsonl <out>` additionally exports an event trace as JSON-lines.
@@ -21,6 +22,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "crypto/batch.hh"
 #include "fault/injector.hh"
 #include "obs/trace.hh"
 #include "workloads/trace_io.hh"
@@ -56,6 +58,7 @@ analyseObs(const char *path, const std::string &jsonl_out)
     std::uint64_t chunk_lines[4] = {}, chunk_events[4] = {};
     std::uint64_t fault_inject[fault::kAttackClasses] = {};
     std::uint64_t fault_verdicts[fault::kAttackClasses][5] = {};
+    std::uint64_t batch_flushes = 0, batch_macs = 0;
     for (const obs::TraceRecord &r : recs) {
         ++by_kind[r.kind];
         switch (static_cast<obs::EventKind>(r.kind)) {
@@ -81,6 +84,10 @@ analyseObs(const char *path, const std::string &jsonl_out)
                 chunk_lines[r.arg0] += r.value;
                 ++chunk_events[r.arg0];
             }
+            break;
+          case obs::EventKind::MacBatchFlush:
+            ++batch_flushes;
+            batch_macs += r.value;
             break;
           case obs::EventKind::FaultInject:
             if (r.arg0 < fault::kAttackClasses)
@@ -139,6 +146,15 @@ analyseObs(const char *path, const std::string &jsonl_out)
                         static_cast<unsigned long long>(
                             chunk_events[c]));
         }
+    }
+    if (batch_flushes) {
+        std::printf("  MAC staging buffer: %llu MACs in %llu flushes "
+                    "(mean occupancy %.1f of %zu)\n",
+                    static_cast<unsigned long long>(batch_macs),
+                    static_cast<unsigned long long>(batch_flushes),
+                    static_cast<double>(batch_macs) /
+                        static_cast<double>(batch_flushes),
+                    crypto::MacBatch::kCapacity);
     }
     for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
         std::uint64_t cells = 0;
