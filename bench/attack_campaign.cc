@@ -105,6 +105,7 @@ main()
 
     obs::Manifest manifest("attack_campaign");
     report.fillManifest(manifest);
+    manifest.captureTelemetry();
     manifest.captureRegistry();
     manifest.captureProfiler();
     manifest.captureTraceSummary();

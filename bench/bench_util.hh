@@ -38,6 +38,7 @@
 #include "common/threads.hh"
 #include "hetero/metrics.hh"
 #include "hetero/run_memo.hh"
+#include "obs/telemetry.hh"
 #include "sim/sharded_sweep.hh"
 
 namespace mgmee::bench {
@@ -196,6 +197,15 @@ runSweep(const std::vector<Scenario> &scenarios,
             const std::size_t s = w / schemes.size();
             const std::size_t i = w % schemes.size();
             const Scenario &sc = scenarios[s];
+            if (obs::telemetryEnabled()) {
+                // Current-cell marker for the HUD / interval notes;
+                // one branch when telemetry is off.
+                obs::telemetryNote(std::string(schemeName(schemes[i]))
+                                   + '/' + sc.id);
+                StatRegistry::instance()
+                    .sharded("sweep", "cells")
+                    .add(1);
+            }
             std::call_once(prepared[s], [&]() {
                 unsec[s] = runScenarioMemo(sc, Scheme::Unsecure,
                                            seed, scale);

@@ -260,6 +260,7 @@ main()
     m.set("speedup.otp_pads", otp_speedup);
     m.set("speedup.sip_x4_vs_scalar", sip_speedup);
     m.set("speedup.mac_batch_vs_scalar", mac_speedup);
+    m.captureTelemetry();
     m.captureRegistry();
     const std::string path = m.write();
     if (!path.empty())

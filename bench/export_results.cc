@@ -79,6 +79,7 @@ main()
     manifest.set("scale", scale);
     manifest.set("seed", seed);
     manifest.addHistogram("security_misses", miss_hist);
+    manifest.captureTelemetry();
     manifest.captureRegistry();
     manifest.captureProfiler();
     manifest.captureTraceSummary();

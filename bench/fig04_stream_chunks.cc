@@ -70,6 +70,7 @@ main()
     manifest.set("total_lines4k", all_lines[2]);
     manifest.set("total_lines32k", all_lines[3]);
     manifest.set("npu_32k_share", 100.0 * npu_lines[3] / npu_total);
+    manifest.captureTelemetry();
     manifest.captureRegistry();
     manifest.captureProfiler();
     manifest.captureTraceSummary();

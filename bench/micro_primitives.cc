@@ -315,6 +315,7 @@ main(int argc, char **argv)
             m.set(row.name + ".bytes_per_second",
                   row.bytes_per_second);
     }
+    m.captureTelemetry();
     m.captureRegistry();
     const std::string path = m.write();
     if (!path.empty())

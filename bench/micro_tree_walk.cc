@@ -302,6 +302,7 @@ main()
     manifest.set("total_baseline_ns", total_base);
     manifest.set("total_flat_ns", total_flat);
     manifest.set("total_speedup", speedup);
+    manifest.captureTelemetry();
     manifest.captureRegistry();
     manifest.captureProfiler();
     manifest.captureTraceSummary();

@@ -182,6 +182,7 @@ main()
     }
     manifest.set("bit_identical", identical);
     manifest.set("speedup_8t", speedup8);
+    manifest.captureTelemetry();
     manifest.captureRegistry();
     manifest.captureProfiler();
     manifest.captureTraceSummary();

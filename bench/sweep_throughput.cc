@@ -161,6 +161,7 @@ main()
     manifest.set("bit_identical", true);
     manifest.set("run_memo_hits", memo.run_hits);
     manifest.set("run_memo_misses", memo.run_misses);
+    manifest.captureTelemetry();
     manifest.captureRegistry();
     manifest.captureProfiler();
     manifest.captureTraceSummary();

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Cross-check a security-event trace against a run manifest.
+"""Cross-check observability streams against a run manifest.
 
-Usage: check_trace_totals.py <trace.obstrace> <manifest.json>
+Usage:
+  check_trace_totals.py <trace.obstrace> <manifest.json>
+  check_trace_totals.py --telemetry <telemetry.jsonl> <manifest.json>
 
-Decodes the binary obs trace (magic MGOBSTR1, 24-byte records) with
-nothing but the stdlib and asserts that the per-class StreamChunk line
-totals equal the manifest's total_lines{64,512,4k,32k} results -- the
-CI contract that the event stream reproduces the stream-chunk
-classifier exactly.
+Default mode decodes the binary obs trace (magic MGOBSTR1, 24-byte
+records) with nothing but the stdlib and asserts that the per-class
+StreamChunk line totals equal the manifest's total_lines{64,512,4k,32k}
+results -- the CI contract that the event stream reproduces the
+stream-chunk classifier exactly.
+
+--telemetry mode replays the JSONL timeline written by the telemetry
+plane (MGMEE_TELEMETRY): starting from the baseline record, it
+accumulates every interval's signed stat deltas up to the last
+manifest-boundary record ("manifest": true) and asserts the result
+equals the manifest's final stats section exactly -- the conservation
+law that interval snapshots neither lose nor invent events.
 """
 
 import json
@@ -15,11 +24,13 @@ import struct
 import sys
 
 STREAM_CHUNK = 14  # obs::EventKind::StreamChunk
+TRACE_DROPPED = 18  # obs::EventKind::TraceDropped
 RECORD = struct.Struct("<QQIBBH")  # cycle, addr, value, kind, arg0, thread
 
 
 def decode_totals(path):
     totals = [0, 0, 0, 0]
+    dropped = 0
     with open(path, "rb") as f:
         if f.read(8) != b"MGOBSTR1":
             sys.exit(f"{path}: not an obs event trace")
@@ -27,17 +38,19 @@ def decode_totals(path):
         if version != 1 or rec_size != RECORD.size:
             sys.exit(f"{path}: unsupported format v{version}/{rec_size}B")
         while rec := f.read(RECORD.size):
-            _cycle, _addr, value, kind, arg0, _thread = RECORD.unpack(rec)
+            _cycle, addr, value, kind, arg0, _thread = RECORD.unpack(rec)
             if kind == STREAM_CHUNK:
                 totals[arg0] += value
-    return totals
+            elif kind == TRACE_DROPPED:
+                dropped += addr
+    return totals, dropped
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    trace_path, manifest_path = sys.argv[1], sys.argv[2]
-    totals = decode_totals(trace_path)
+def check_trace(trace_path, manifest_path):
+    totals, dropped = decode_totals(trace_path)
+    if dropped:
+        sys.exit(f"{trace_path}: {dropped} record(s) dropped -- totals "
+                 f"are not trustworthy")
     with open(manifest_path) as f:
         results = json.load(f)["results"]
     expected = [
@@ -50,6 +63,68 @@ def main():
         sys.exit(f"trace/manifest mismatch: decoded {totals}, "
                  f"manifest {expected}")
     print(f"decoded stream-chunk totals match the manifest: {totals}")
+
+
+def check_telemetry(jsonl_path, manifest_path):
+    baseline = None
+    running = {}
+    at_boundary = None
+    intervals = 0
+    with open(jsonl_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.get("type")
+            if kind == "start":
+                baseline = dict(rec["baseline"])
+                running = dict(baseline)
+            elif kind == "interval":
+                if baseline is None:
+                    sys.exit(f"{jsonl_path}: interval before start record")
+                intervals += 1
+                for key, delta in rec.get("deltas", {}).items():
+                    running[key] = running.get(key, 0) + delta
+                if rec.get("manifest"):
+                    at_boundary = dict(running)
+    if baseline is None:
+        sys.exit(f"{jsonl_path}: no start record")
+    if at_boundary is None:
+        sys.exit(f"{jsonl_path}: no manifest-boundary interval "
+                 f"(captureTelemetry never ran)")
+
+    with open(manifest_path) as f:
+        stats = json.load(f).get("stats", {})
+    manifest_totals = {
+        f"{group}.{stat}": value
+        for group, counters in stats.items()
+        for stat, value in counters.items()
+    }
+
+    # Every stat the manifest reports must be exactly reproducible as
+    # baseline + sum(deltas) at the boundary.  (The timeline may know
+    # stats the manifest snapshot does not; those are fine.)
+    bad = []
+    for key, expected in sorted(manifest_totals.items()):
+        got = at_boundary.get(key, 0)
+        if got != expected:
+            bad.append(f"  {key}: timeline {got} != manifest {expected}")
+    if bad:
+        sys.exit(f"telemetry/manifest conservation failure "
+                 f"({len(bad)} stat(s)):\n" + "\n".join(bad))
+    print(f"telemetry timeline conserves all {len(manifest_totals)} "
+          f"manifest stats across {intervals} interval(s)")
+
+
+def main():
+    args = sys.argv[1:]
+    if len(args) == 3 and args[0] == "--telemetry":
+        check_telemetry(args[1], args[2])
+    elif len(args) == 2:
+        check_trace(args[0], args[1])
+    else:
+        sys.exit(__doc__)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Curate a perf-diff baseline from one or more manifests of a bench.
+
+Usage: make_perf_baseline.py [--drop <substr>]... <out.json> \
+           <manifest.json>...
+
+Baselines are the *contract* side of tools/mgmee-perf-diff: every
+metric a baseline names must exist (and behave) in future runs.  This
+script builds that contract from real manifests, ideally several runs
+under different MGMEE_THREADS so nondeterministic metrics reveal
+themselves:
+
+ - counter/ratio/string/bool metrics are kept only when every input
+   manifest agrees on the value (they are supposed to be
+   deterministic; disagreement means the metric cannot be pinned);
+ - wall-clock metrics (matching the same key substrings as
+   obs::isWallMetric) are kept from the FIRST manifest -- perf-diff
+   compares them directionally with a tolerance, so run the first
+   manifest on a quiet machine;
+ - identity/volatile sections (git, knobs, host, trace, telemetry)
+   never enter the baseline;
+ - --drop <substr> (repeatable) excludes metrics whose "section/key"
+   contains the substring -- for values that are deterministic on one
+   host but vary across hosts (scheduler topology counters clamp to
+   the core count, crypto tier tables depend on the ISA).
+
+Only the results / stats / histograms sections participate, mirroring
+the flattening in src/obs/perf_diff.cc.
+"""
+
+import json
+import sys
+
+WALL_MARKS = ("_ns", "_us", "_ms", "seconds", "secs", "per_sec",
+              "runs_per", "gb_s", "gbps", "speedup", "wall")
+
+
+def is_wall(key):
+    return any(mark in key for mark in WALL_MARKS)
+
+
+def flatten(manifest):
+    """{(section, key): value} over the comparable leaves."""
+    out = {}
+    for key, value in manifest.get("results", {}).items():
+        if not isinstance(value, (dict, list)):
+            out[("results", key)] = value
+    for section in ("stats", "histograms"):
+        for outer, group in manifest.get(section, {}).items():
+            if not isinstance(group, dict):
+                continue
+            for inner, value in group.items():
+                if not isinstance(value, (dict, list)):
+                    out[(section, f"{outer}.{inner}")] = value
+    return out
+
+
+def main():
+    args = sys.argv[1:]
+    drops = []
+    while len(args) >= 2 and args[0] == "--drop":
+        drops.append(args[1])
+        args = args[2:]
+    if len(args) < 2:
+        sys.exit(__doc__)
+    out_path, manifest_paths = args[0], args[1:]
+
+    manifests = []
+    for path in manifest_paths:
+        with open(path) as f:
+            manifests.append(json.load(f))
+
+    bench = manifests[0].get("bench", "unknown")
+    for m in manifests[1:]:
+        if m.get("bench") != bench:
+            sys.exit(f"bench mismatch: {bench} vs {m.get('bench')}")
+
+    first = flatten(manifests[0])
+    rest = [flatten(m) for m in manifests[1:]]
+
+    kept, dropped = {}, []
+    for (section, key), value in first.items():
+        if any(d in f"{section}/{key}" for d in drops):
+            continue  # host-dependent by curation
+        if is_wall(key):
+            kept[(section, key)] = value  # directional, tolerated
+            continue
+        if all(key_map.get((section, key)) == value
+               for key_map in rest):
+            kept[(section, key)] = value
+        else:
+            dropped.append(f"{section}/{key}")
+
+    baseline = {"bench": bench}
+    for section in ("results", "stats", "histograms"):
+        entries = {k: v for (s, k), v in kept.items() if s == section}
+        if not entries:
+            continue
+        if section == "results":
+            baseline[section] = dict(sorted(entries.items()))
+        else:
+            nested = {}
+            for key, value in sorted(entries.items()):
+                outer, inner = key.split(".", 1)
+                nested.setdefault(outer, {})[inner] = value
+            baseline[section] = nested
+
+    with open(out_path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+
+    print(f"{out_path}: kept {len(kept)} metric(s) from "
+          f"{len(manifests)} manifest(s)")
+    for key in dropped:
+        print(f"  dropped (nondeterministic across runs): {key}")
+
+
+if __name__ == "__main__":
+    main()

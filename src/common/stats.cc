@@ -96,6 +96,45 @@ StatGroup::toJson() const
     return os.str();
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram
+Histogram::fromBuckets(const std::uint64_t (&buckets)[kBuckets],
+                       std::uint64_t sum)
+{
+    Histogram h;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        h.buckets_[b] = buckets[b];
+        h.count_ += buckets[b];
+        if (!buckets[b])
+            continue;
+        // Bucket b holds values with bit_width b: lower edge
+        // 1<<(b-1), upper edge (1<<b)-1 (bucket 0 holds only zero;
+        // the clamped top bucket has no finite upper edge).
+        const std::uint64_t lo =
+            b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+        const std::uint64_t hi =
+            b == 0               ? 0
+            : b >= kBuckets - 1  ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << b) - 1;
+        h.min_ = std::min(h.min_, lo);
+        h.max_ = std::max(h.max_, hi);
+    }
+    h.sum_ = sum;
+    return h;
+}
+
 std::string
 Histogram::toJson() const
 {
@@ -106,6 +145,33 @@ Histogram::toJson() const
        << ", \"p90\": " << percentile(0.9)
        << ", \"p99\": " << percentile(0.99) << '}';
     return os.str();
+}
+
+// ---- ShardedCounter -----------------------------------------------------
+
+std::uint64_t
+ShardedCounter::load() const
+{
+    std::uint64_t total = 0;
+    for (const Slot &s : slots_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+ShardedCounter::reset()
+{
+    for (Slot &s : slots_)
+        s.v.store(0, std::memory_order_relaxed);
+}
+
+unsigned
+ShardedCounter::stripeIndex()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned idx =
+        next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+    return idx;
 }
 
 // ---- StatRegistry -------------------------------------------------------
@@ -129,16 +195,31 @@ StatRegistry::counter(const std::string &group, const std::string &stat)
     return *slot;
 }
 
+ShardedCounter &
+StatRegistry::sharded(const std::string &group, const std::string &stat)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = sharded_[group][stat];
+    if (!slot)
+        slot = std::make_unique<ShardedCounter>();
+    return *slot;
+}
+
 StatGroup
 StatRegistry::snapshot(const std::string &group) const
 {
     StatGroup out(group);
     std::lock_guard<std::mutex> lock(mu_);
     auto it = groups_.find(group);
-    if (it == groups_.end())
-        return out;
-    for (const auto &[stat, value] : it->second)
-        out.add(stat, value->load(std::memory_order_relaxed));
+    if (it != groups_.end()) {
+        for (const auto &[stat, value] : it->second)
+            out.add(stat, value->load(std::memory_order_relaxed));
+    }
+    auto sit = sharded_.find(group);
+    if (sit != sharded_.end()) {
+        for (const auto &[stat, value] : sit->second)
+            out.add(stat, value->load());
+    }
     return out;
 }
 
@@ -152,6 +233,12 @@ StatRegistry::snapshotAll() const
         for (const auto &[stat, value] : stats)
             g.add(stat, value->load(std::memory_order_relaxed));
         out.emplace(group, std::move(g));
+    }
+    for (const auto &[group, stats] : sharded_) {
+        StatGroup &g =
+            out.emplace(group, StatGroup(group)).first->second;
+        for (const auto &[stat, value] : stats)
+            g.add(stat, value->load());
     }
     return out;
 }
@@ -172,6 +259,9 @@ StatRegistry::reset()
     for (auto &[group, stats] : groups_)
         for (auto &[stat, value] : stats)
             value->store(0, std::memory_order_relaxed);
+    for (auto &[group, stats] : sharded_)
+        for (auto &[stat, value] : stats)
+            value->reset();
 }
 
 } // namespace mgmee

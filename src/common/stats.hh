@@ -65,6 +65,8 @@ class StatGroup
 class Histogram
 {
   public:
+    static constexpr unsigned kBuckets = 64;
+
     void record(std::uint64_t value);
 
     std::uint64_t count() const { return count_; }
@@ -90,14 +92,69 @@ class Histogram
      */
     std::string toJson() const;
 
-  private:
-    static constexpr unsigned kBuckets = 64;
+    /**
+     * Pool @p other into this histogram.  Because the buckets are
+     * fixed log2 bins, merging shard-local histograms is exact: the
+     * result is bit-identical to recording every sample into one
+     * pooled histogram (tests/obs_test.cc pins this).
+     */
+    void merge(const Histogram &other);
 
+    /**
+     * Reconstitute a histogram from raw log2 bucket counts (the
+     * streaming-histogram snapshot/delta path).  @p sum is the exact
+     * sample sum when known, else an approximation; min/max are
+     * derived from the lowest/highest populated bucket edges.
+     */
+    static Histogram fromBuckets(
+        const std::uint64_t (&buckets)[kBuckets], std::uint64_t sum);
+
+  private:
     std::uint64_t buckets_[kBuckets] = {};
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
     std::uint64_t min_ = ~std::uint64_t{0};
     std::uint64_t max_ = 0;
+};
+
+/**
+ * A counter striped across cache-line-aligned slots so concurrent
+ * writers never share a line.  Each thread picks a stripe once (a
+ * thread_local index handed out round-robin) and does a relaxed
+ * fetch_add on its own slot; readers sum every stripe.  This is the
+ * merge-on-snapshot half of the telemetry plane: the hot path pays
+ * one uncontended relaxed add, and only the (rare) sampler pays the
+ * 64-slot walk.
+ */
+class ShardedCounter
+{
+  public:
+    static constexpr unsigned kStripes = 64;
+
+    /** Add @p delta on the calling thread's stripe (relaxed). */
+    void
+    add(std::uint64_t delta = 1)
+    {
+        slots_[stripeIndex()].v.fetch_add(delta,
+                                          std::memory_order_relaxed);
+    }
+
+    /** Sum of every stripe (merge-on-snapshot; relaxed loads). */
+    std::uint64_t load() const;
+
+    /** Zero every stripe (test/bench isolation). */
+    void reset();
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    /** Round-robin thread_local stripe assignment. */
+    static unsigned stripeIndex();
+
+    Slot slots_[kStripes];
 };
 
 /**
@@ -107,6 +164,8 @@ class Histogram
  * and tests can enumerate every counter from one place.  counter()
  * interns the slot on first use and returns a stable reference;
  * increments are plain relaxed atomics, safe from any thread.
+ * sharded() interns a ShardedCounter instead for stats bumped from
+ * many threads at once; snapshots merge both kinds into one view.
  */
 class StatRegistry
 {
@@ -120,6 +179,14 @@ class StatRegistry
      */
     std::atomic<std::uint64_t> &counter(const std::string &group,
                                         const std::string &stat);
+
+    /**
+     * The sharded counter @p group.@p stat (created zero on first
+     * use, stable reference).  A name is either plain or sharded,
+     * never both; snapshots fold sharded totals in with counter()s.
+     */
+    ShardedCounter &sharded(const std::string &group,
+                            const std::string &stat);
 
     /** Snapshot one group as a plain StatGroup (absent -> empty). */
     StatGroup snapshot(const std::string &group) const;
@@ -142,6 +209,9 @@ class StatRegistry
              std::map<std::string,
                       std::unique_ptr<std::atomic<std::uint64_t>>>>
         groups_;
+    std::map<std::string,
+             std::map<std::string, std::unique_ptr<ShardedCounter>>>
+        sharded_;
 };
 
 } // namespace mgmee

@@ -16,6 +16,7 @@
 #include "core/granularity.hh"
 #include "mee/secure_memory.hh"
 #include "obs/manifest.hh"
+#include "obs/telemetry.hh"
 
 namespace mgmee::fault {
 
@@ -530,6 +531,15 @@ EngineReport::classVerdict(AttackClass cls) const
     return worst;
 }
 
+Histogram
+EngineReport::classLatency(AttackClass cls) const
+{
+    Histogram merged;
+    for (const CellResult &cell : cells[static_cast<unsigned>(cls)])
+        merged.merge(cell.latency);
+    return merged;
+}
+
 std::array<unsigned, 5>
 CampaignReport::verdictTotals() const
 {
@@ -635,6 +645,16 @@ CampaignReport::fillManifest(obs::Manifest &m) const
                 m.set(key, verdictName(cell.verdict));
                 m.set(key + ".injections", cell.injections);
             }
+            // Detection latency per (engine, class), merged across
+            // granularities.  Tick units: deterministic for any
+            // MGMEE_THREADS, unlike the wall figures.
+            const Histogram latency = er.classLatency(cls);
+            if (latency.count()) {
+                m.addHistogram(
+                    "latency." + er.engine + "." +
+                        attackClassName(cls),
+                    latency);
+            }
         }
     }
 }
@@ -687,8 +707,14 @@ runCampaign(const CampaignConfig &cfg)
 
     // Every cell builds its own target from an independent seed
     // stream, so cells parallelise embarrassingly; the report slots
-    // are disjoint and the registry counters are atomic.  Results
-    // are identical for any thread count.
+    // are disjoint and the registry counters are sharded per thread.
+    // Results are identical for any thread count.
+    ShardedCounter &ctr_cells = reg.sharded("fault", "cells");
+    ShardedCounter &ctr_inj = reg.sharded("fault", "injections");
+    ShardedCounter &ctr_det = reg.sharded("fault", "detected");
+    ShardedCounter &ctr_miss = reg.sharded("fault", "missed");
+    ShardedCounter &ctr_fa = reg.sharded("fault", "false_alarms");
+    ShardedCounter &ctr_ticks = reg.sharded("fault", "ticks");
     std::atomic<std::size_t> next{0};
     auto work = [&] {
         for (std::size_t i = next.fetch_add(1); i < cells.size();
@@ -696,6 +722,12 @@ runCampaign(const CampaignConfig &cfg)
             const CellTask &task = cells[i];
             const std::string &engine =
                 report.engines[task.engine].engine;
+            if (obs::telemetryEnabled()) {
+                obs::telemetryNote(
+                    engine + "/" + attackClassName(task.cls) + "/" +
+                    granularityName(
+                        static_cast<Granularity>(task.gran)));
+            }
             const std::uint64_t cell_seed =
                 mix(cfg.seed ^ hashName(engine) ^
                     (static_cast<std::uint64_t>(task.cls) << 32) ^
@@ -709,23 +741,19 @@ runCampaign(const CampaignConfig &cfg)
                 .cells[static_cast<unsigned>(task.cls)][task.gran] =
                 cell;
 
-            reg.counter("fault", "cells")
-                .fetch_add(1, std::memory_order_relaxed);
-            reg.counter("fault", "injections")
-                .fetch_add(cell.injections,
-                           std::memory_order_relaxed);
-            reg.counter("fault", "detected")
-                .fetch_add(cell.detected, std::memory_order_relaxed);
-            reg.counter("fault", "missed")
-                .fetch_add(cell.missed, std::memory_order_relaxed);
-            reg.counter("fault", "false_alarms")
-                .fetch_add(cell.false_alarms,
-                           std::memory_order_relaxed);
+            ctr_cells.add(1);
+            ctr_inj.add(cell.injections);
+            ctr_det.add(cell.detected);
+            ctr_miss.add(cell.missed);
+            ctr_fa.add(cell.false_alarms);
+            ctr_ticks.add(cell.ticks);
         }
     };
     const unsigned threads = std::max<unsigned>(
         1,
-        std::min<std::size_t>(envThreads(), cells.size()));
+        std::min<std::size_t>(
+            cfg.threads ? cfg.threads : envThreads(),
+            cells.size()));
     std::vector<std::thread> pool;
     for (unsigned t = 1; t < threads; ++t)
         pool.emplace_back(work);

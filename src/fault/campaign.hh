@@ -81,6 +81,9 @@ struct CampaignConfig
     std::vector<std::string> engines;
     /** Attack classes to run; empty = every class incl. None. */
     std::vector<AttackClass> classes;
+    /** Worker threads; 0 = MGMEE_THREADS/hardware default.  Results
+     *  are identical for any value (tests pin both ends). */
+    unsigned threads = 0;
 };
 
 /** All cells of one engine: [attack class][granularity]. */
@@ -95,6 +98,13 @@ struct EngineReport
      * severity: FalseAlarm > Missed > Detected > CleanPass > N/A.
      */
     Verdict classVerdict(AttackClass cls) const;
+
+    /**
+     * The inject->verdict detection-latency histogram for @p cls,
+     * merged across granularities (tick units; bit-identical across
+     * thread counts).  Empty when the class never injected.
+     */
+    Histogram classLatency(AttackClass cls) const;
 };
 
 /** Aggregated campaign outcome. */

@@ -1,5 +1,6 @@
 #include "fault/injector.hh"
 
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -54,12 +55,22 @@ verdictName(Verdict v)
 
 namespace {
 
-/** One attack run: the target, its RNG stream, and the tally. */
+/** One attack run: the target, its RNG stream, and the tally.
+ *
+ *  Data-plane operations go through the wrappers below, which
+ *  advance a deterministic tick clock (one tick per 64B line moved;
+ *  fixed costs for boundary/switch/rekey).  The clock stamps the
+ *  FaultInject/FaultVerdict obs events and feeds the
+ *  inject->verdict detection-latency histogram, and depends only on
+ *  the script and seed -- never on scheduling -- so campaign
+ *  latency percentiles are bit-identical across MGMEE_THREADS. */
 struct Script
 {
     Target &target;
     Rng rng;
     CellResult cell;
+    std::uint64_t inject_tick = 0;
+    bool inject_pending = false;
 
     Script(Target &t, AttackClass cls, Granularity gran,
            std::uint64_t seed)
@@ -67,6 +78,45 @@ struct Script
     {
         cell.cls = cls;
         cell.gran = gran;
+    }
+
+    /** Advance the deterministic script clock. */
+    void tick(std::uint64_t n) { cell.ticks += n; }
+
+    // ---- tick-metered data-plane wrappers ---------------------------
+    bool
+    write(Addr addr, std::span<const std::uint8_t> data)
+    {
+        tick(data.size() / kCachelineBytes);
+        return target.write(addr, data);
+    }
+
+    bool
+    read(Addr addr, std::span<std::uint8_t> out)
+    {
+        tick(out.size() / kCachelineBytes);
+        return target.read(addr, out);
+    }
+
+    bool
+    setGranularity(std::uint64_t chunk, Granularity g)
+    {
+        tick(4);
+        return target.setGranularity(chunk, g);
+    }
+
+    void
+    boundary()
+    {
+        tick(8);
+        target.boundary();
+    }
+
+    bool
+    rekey()
+    {
+        tick(32);
+        return target.rekey();
     }
 
     /** Pseudo-random data pattern for one protection unit. */
@@ -88,21 +138,27 @@ struct Script
     readClean(Addr addr, std::size_t bytes)
     {
         std::vector<std::uint8_t> out(bytes);
-        if (target.read(addr, out))
+        if (read(addr, out))
             return true;
         ++cell.false_alarms;
         return false;
     }
 
     /**
-     * Read back through the engine after an injection and record the
-     * verdict for that site.
+     * Read back through the engine after an injection, record the
+     * verdict for that site, and close out the inject->verdict
+     * detection-latency sample in script ticks.
      */
     void
     checkDetected(Addr addr, std::size_t bytes)
     {
         std::vector<std::uint8_t> out(bytes);
-        if (target.read(addr, out))
+        const bool clean = read(addr, out);
+        if (inject_pending) {
+            cell.latency.record(cell.ticks - inject_tick);
+            inject_pending = false;
+        }
+        if (clean)
             ++cell.missed;
         else
             ++cell.detected;
@@ -113,7 +169,9 @@ struct Script
     injected(Addr addr)
     {
         ++cell.injections;
-        OBS_EVENT(obs::EventKind::FaultInject, 0, addr,
+        inject_tick = cell.ticks;
+        inject_pending = true;
+        OBS_EVENT(obs::EventKind::FaultInject, cell.ticks, addr,
                   cell.injections,
                   static_cast<std::uint8_t>(cell.cls));
     }
@@ -128,14 +186,14 @@ struct Script
     {
         for (unsigned c = 0; c < count; ++c) {
             const Addr base = (first + c) * kChunkBytes;
-            if (!target.write(base, pattern(kChunkBytes))) {
+            if (!write(base, pattern(kChunkBytes))) {
                 ++cell.false_alarms;
                 return false;
             }
         }
         for (unsigned c = 0; c < gran_chunks; ++c)
-            target.setGranularity(first + c, cell.gran);
-        target.boundary();
+            setGranularity(first + c, cell.gran);
+        boundary();
         for (unsigned c = 0; c < count; ++c) {
             if (!readClean((first + c) * kChunkBytes, kChunkBytes))
                 return false;
@@ -181,18 +239,18 @@ runClean(Script &s)
     // flush, granularity round-trip, rekey -- nothing may alarm.
     const Addr victim = s.victimLine(0);
     const Addr ubase = s.unitOf(victim);
-    if (!s.target.write(ubase, s.pattern(s.unitBytes(victim)))) {
+    if (!s.write(ubase, s.pattern(s.unitBytes(victim)))) {
         ++s.cell.false_alarms;
         return;
     }
-    s.target.boundary();
+    s.boundary();
     if (!s.readClean(0, kChunkBytes))
         return;
-    s.target.setGranularity(0, Granularity::Line64B);
-    s.target.setGranularity(0, s.cell.gran);
+    s.setGranularity(0, Granularity::Line64B);
+    s.setGranularity(0, s.cell.gran);
     if (!s.readClean(0, kChunkBytes))
         return;
-    if (s.target.rekey())
+    if (s.rekey())
         s.readClean(0, kChunkBytes);
 }
 
@@ -245,12 +303,12 @@ runRollback(Script &s)
     const Target::Snapshot stale = s.target.capture(victim);
     // Let the protected state move on several versions...
     for (unsigned v = 0; v < 3; ++v) {
-        if (!s.target.write(ubase, s.pattern(ubytes))) {
+        if (!s.write(ubase, s.pattern(ubytes))) {
             ++s.cell.false_alarms;
             return;
         }
     }
-    s.target.boundary();
+    s.boundary();
     // ...then roll every off-chip byte back to the consistent stale
     // snapshot.
     s.target.restore(stale, victim);
@@ -284,11 +342,7 @@ runGranTable(Script &s)
     s.injected(victim);
     // The engine now believes the attacker's layout; reading the
     // victim through it must still fail (wrong counters/MAC slots).
-    std::vector<std::uint8_t> out(kCachelineBytes);
-    if (s.target.read(victim, out))
-        ++s.cell.missed;
-    else
-        ++s.cell.detected;
+    s.checkDetected(victim, kCachelineBytes);
 }
 
 void
@@ -312,9 +366,9 @@ runStaleSwitch(Script &s)
     const Addr fine_victim =
         s.rng.below(kLinesPerPartition) * kCachelineBytes;
     const Target::Snapshot stale_fine = s.target.capture(fine_victim);
-    if (!s.target.setGranularity(0, s.cell.gran))
+    if (!s.setGranularity(0, s.cell.gran))
         return;  // engine cannot switch -> not applicable
-    s.target.boundary();
+    s.boundary();
     if (!s.readClean(0, kChunkBytes))
         return;
     s.target.restore(stale_fine, fine_victim);
@@ -325,14 +379,14 @@ runStaleSwitch(Script &s)
     // fine, replay the stale coarse image.
     if (!s.setup(1, 1, 0))
         return;
-    if (!s.target.setGranularity(1, s.cell.gran))
+    if (!s.setGranularity(1, s.cell.gran))
         return;
-    s.target.boundary();
+    s.boundary();
     const Addr coarse_victim = s.victimLine(1);
     const Target::Snapshot stale_coarse =
         s.target.capture(coarse_victim);
-    s.target.setGranularity(1, Granularity::Line64B);
-    s.target.boundary();
+    s.setGranularity(1, Granularity::Line64B);
+    s.boundary();
     if (!s.readClean(kChunkBytes, kChunkBytes))
         return;
     s.target.restore(stale_coarse, coarse_victim);
@@ -348,7 +402,7 @@ runStaleRekey(Script &s)
         return;
     const Addr victim = s.victimLine(0);
     const Target::Snapshot stale = s.target.capture(victim);
-    if (!s.target.rekey())
+    if (!s.rekey())
         return;  // engine has no key-rotation mechanism
     if (!s.readClean(0, kChunkBytes))
         return;
@@ -373,7 +427,7 @@ runStaleFlush(Script &s)
     // that instead recomputed them from the rolled-back counters
     // would launder the replay into a valid MAC chain and this cell
     // flips to Missed.
-    if (!s.target.write(ubase, s.pattern(ubytes))) {
+    if (!s.write(ubase, s.pattern(ubytes))) {
         ++s.cell.false_alarms;
         return;
     }
@@ -388,6 +442,7 @@ CellResult
 runAttack(Target &target, AttackClass cls, Granularity gran,
           std::uint64_t seed)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     Script s(target, cls, gran, seed);
     switch (cls) {
       case AttackClass::None: runClean(s); break;
@@ -414,7 +469,14 @@ runAttack(Target &target, AttackClass cls, Granularity gran,
     else
         cell.verdict = Verdict::NotApplicable;
 
-    OBS_EVENT(obs::EventKind::FaultVerdict, 0, 0,
+    cell.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+    // cycle = final script tick, addr = cell wall nanos: ticks keep
+    // the stream deterministic, the addr field carries the only
+    // wall-clock figure the trace needs.
+    OBS_EVENT(obs::EventKind::FaultVerdict, cell.ticks, cell.wall_ns,
               static_cast<std::uint32_t>(cell.verdict),
               static_cast<std::uint8_t>(cls));
     return cell;

@@ -35,6 +35,7 @@
 #include <optional>
 #include <span>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "crypto/mac.hh"
 
@@ -161,6 +162,17 @@ struct CellResult
     unsigned detected = 0;     //!< tampers flagged by the engine
     unsigned missed = 0;       //!< tampers that read back clean
     unsigned false_alarms = 0; //!< clean accesses that were flagged
+
+    /**
+     * inject->verdict latency per injection, in *script ticks*: a
+     * deterministic clock every data-plane operation advances (one
+     * tick per 64B line moved; fixed costs for boundary, granularity
+     * switches and rekeys), so the histogram is bit-identical across
+     * MGMEE_THREADS settings.  Wall time is tracked separately.
+     */
+    Histogram latency;
+    std::uint64_t ticks = 0;   //!< script clock at the final verdict
+    std::uint64_t wall_ns = 0; //!< wall time of the whole cell
 };
 
 /**

@@ -1,0 +1,343 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/manifest.hh"
+
+namespace mgmee::obs {
+
+namespace {
+
+/** Recursive-descent parser state over one input string. */
+struct Parser
+{
+    const char *p;
+    const char *end;
+    const char *begin;
+    std::string error;
+
+    explicit Parser(const std::string &text)
+        : p(text.data()), end(text.data() + text.size())
+        , begin(text.data())
+    {
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (!error.empty())
+            return false;  // keep the first (deepest) diagnostic
+        unsigned line = 1, col = 1;
+        for (const char *q = begin; q < p; ++q) {
+            if (*q == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        error = std::to_string(line) + ':' + std::to_string(col) +
+                ' ' + msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (static_cast<std::size_t>(end - p) < n ||
+            std::memcmp(p, word, n) != 0)
+            return fail(std::string("expected '") + word + "'");
+        p += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected '\"'");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                return fail("dangling escape");
+            const char esc = *p++;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (end - p < 4)
+                      return fail("short \\u escape");
+                  char hex[5] = {p[0], p[1], p[2], p[3], 0};
+                  char *hend = nullptr;
+                  const unsigned long cp =
+                      std::strtoul(hex, &hend, 16);
+                  if (hend != hex + 4)
+                      return fail("bad \\u escape");
+                  // Manifest escapes are control chars / Latin-1
+                  // only; encode as UTF-8 without surrogate pairs.
+                  if (cp < 0x80) {
+                      out += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      out += static_cast<char>(0xc0 | (cp >> 6));
+                      out +=
+                          static_cast<char>(0x80 | (cp & 0x3f));
+                  } else {
+                      out += static_cast<char>(0xe0 | (cp >> 12));
+                      out += static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3f));
+                      out +=
+                          static_cast<char>(0x80 | (cp & 0x3f));
+                  }
+                  p += 4;
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;  // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        char *num_end = nullptr;
+        const double v = std::strtod(p, &num_end);
+        if (num_end == p || num_end > end)
+            return fail("expected a value");
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        p = num_end;
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++p;  // '{'
+        skipWs();
+        if (p < end && *p == '}') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (p >= end || *p != ':')
+                return fail("expected ':'");
+            ++p;
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.members.emplace(std::move(key), std::move(member));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++p;  // '['
+        skipWs();
+        if (p < end && *p == ']') {
+            ++p;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (p < end && *p == ',') {
+                ++p;
+                continue;
+            }
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = members.find(key);
+    return it == members.end() ? nullptr : &it->second;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    Parser parser(text);
+    out = JsonValue{};
+    if (!parser.parseValue(out)) {
+        error = parser.error;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        parser.fail("trailing content after document");
+        error = parser.error;
+        return false;
+    }
+    return true;
+}
+
+bool
+parseJsonFile(const std::string &path, JsonValue &out,
+              std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::string text;
+    char buf[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    if (!parseJson(text, out, error)) {
+        error = path + ':' + error;
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+void
+dumpTo(std::ostringstream &os, const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null:
+        os << "null";
+        break;
+      case JsonValue::Kind::Bool:
+        os << (v.boolean ? "true" : "false");
+        break;
+      case JsonValue::Kind::Number: {
+          char buf[32];
+          // %.12g keeps counters exact up to 2^39 and round-trips
+          // every figure the manifests emit (%.6g writers).
+          std::snprintf(buf, sizeof(buf), "%.12g", v.number);
+          os << buf;
+          break;
+      }
+      case JsonValue::Kind::String:
+        os << '"' << jsonEscape(v.str) << '"';
+        break;
+      case JsonValue::Kind::Array:
+        os << '[';
+        for (std::size_t i = 0; i < v.items.size(); ++i) {
+            if (i)
+                os << ", ";
+            dumpTo(os, v.items[i]);
+        }
+        os << ']';
+        break;
+      case JsonValue::Kind::Object: {
+          os << '{';
+          bool first = true;
+          for (const auto &[key, member] : v.members) {
+              if (!first)
+                  os << ", ";
+              first = false;
+              os << '"' << jsonEscape(key) << "\": ";
+              dumpTo(os, member);
+          }
+          os << '}';
+          break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+dumpJson(const JsonValue &v)
+{
+    std::ostringstream os;
+    dumpTo(os, v);
+    return os.str();
+}
+
+} // namespace mgmee::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON reader for the obs tooling (perf diff, baselines):
+ * a recursive-descent parser into a small DOM.  It reads what this
+ * repo writes -- objects, arrays, strings, numbers, booleans, null --
+ * and nothing exotic (no \uXXXX surrogate pairs beyond Latin-1, no
+ * comments).  Writing stays with the hand-rolled emitters in
+ * manifest.cc; this is the read side only.
+ */
+
+#ifndef MGMEE_OBS_JSON_HH
+#define MGMEE_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mgmee::obs {
+
+/** One parsed JSON value (a tagged tree). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;              //!< Array
+    std::map<std::string, JsonValue> members;  //!< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup; nullptr when absent or not an object.  No
+     *  dotted-path variant on purpose: manifest metric keys contain
+     *  dots themselves ("t4.speedup"), so callers always address one
+     *  explicit section at a time. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text.  Returns true and fills @p out on success; false
+ * with a "line:col message" in @p error otherwise.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** Parse the file at @p path; same contract as parseJson. */
+bool parseJsonFile(const std::string &path, JsonValue &out,
+                   std::string &error);
+
+/** Serialize @p v compactly (keys in map order, no trailing \n). */
+std::string dumpJson(const JsonValue &v);
+
+} // namespace mgmee::obs
+
+#endif // MGMEE_OBS_JSON_HH

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/profile.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
 #ifndef MGMEE_GIT_DESCRIBE
@@ -23,6 +24,7 @@ constexpr const char *kKnobs[] = {
     "MGMEE_MEMO",      "MGMEE_SWEEP_REPS", "MGMEE_WALK_OPS",
     "MGMEE_TRACE",     "MGMEE_PROFILE",    "MGMEE_RESULTS_DIR",
     "MGMEE_FAULT_SEED", "MGMEE_FAULT_CLASSES",
+    "MGMEE_TELEMETRY", "MGMEE_TELEMETRY_PATH", "MGMEE_HUD",
 };
 
 std::string
@@ -168,6 +170,20 @@ Manifest::captureTraceSummary()
     trace_json_ = os.str();
 }
 
+void
+Manifest::captureTelemetry()
+{
+    if (!telemetryActive())
+        return;
+    telemetryFlush(true);
+    std::ostringstream os;
+    os << "{\"interval_ms\": " << telemetryIntervalMs()
+       << ", \"intervals\": " << telemetryIntervals()
+       << ", \"path\": \"" << jsonEscape(telemetryPath())
+       << "\", \"timeline\": " << telemetryTimelineJson() << '}';
+    telemetry_json_ = os.str();
+}
+
 std::string
 Manifest::toJson() const
 {
@@ -202,6 +218,8 @@ Manifest::toJson() const
         os << ",\n  \"profile\": " << profile_json_;
     if (!trace_json_.empty())
         os << ",\n  \"trace\": " << trace_json_;
+    if (!telemetry_json_.empty())
+        os << ",\n  \"telemetry\": " << telemetry_json_;
     os << "\n}\n";
     return os.str();
 }

@@ -64,6 +64,15 @@ class Manifest
     /** Embed trace-session info (no-op when tracing never ran). */
     void captureTraceSummary();
 
+    /**
+     * Embed the live-telemetry timeline (no-op when telemetry is
+     * inactive).  Forces a manifest-boundary interval flush first,
+     * so the JSONL conservation check can reconcile the timeline
+     * against this manifest's stat totals; call it before
+     * captureRegistry().
+     */
+    void captureTelemetry();
+
     /** The complete document. */
     std::string toJson() const;
 
@@ -79,8 +88,9 @@ class Manifest
     std::vector<std::pair<std::string, std::string>> results_;
     std::vector<std::pair<std::string, std::string>> stats_;
     std::vector<std::pair<std::string, std::string>> histograms_;
-    std::string profile_json_;  //!< empty = absent
-    std::string trace_json_;    //!< empty = absent
+    std::string profile_json_;   //!< empty = absent
+    std::string trace_json_;     //!< empty = absent
+    std::string telemetry_json_; //!< empty = absent
 };
 
 /** JSON-escape @p s (quotes, backslashes, control characters). */

@@ -1,0 +1,298 @@
+#include "obs/perf_diff.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+namespace mgmee::obs {
+
+namespace {
+
+/** One comparable leaf of a manifest. */
+struct Leaf
+{
+    std::string section;
+    std::string key;
+    const JsonValue *value;
+};
+
+/**
+ * The comparable leaves of @p manifest: every member of "results",
+ * the flattened "stats" groups ("group.stat") and the flattened
+ * "histograms" fields ("name.p99").  Arrays/objects inside results
+ * (none today) are skipped.
+ */
+std::vector<Leaf>
+flatten(const JsonValue &manifest)
+{
+    std::vector<Leaf> leaves;
+    if (const JsonValue *results = manifest.find("results")) {
+        for (const auto &[key, v] : results->members)
+            if (!v.isArray() && !v.isObject())
+                leaves.push_back({"results", key, &v});
+    }
+    for (const char *section : {"stats", "histograms"}) {
+        const JsonValue *obj = manifest.find(section);
+        if (!obj)
+            continue;
+        for (const auto &[outer, group] : obj->members) {
+            if (!group.isObject())
+                continue;
+            for (const auto &[inner, v] : group.members)
+                if (!v.isArray() && !v.isObject())
+                    leaves.push_back(
+                        {section, outer + '.' + inner, &v});
+        }
+    }
+    return leaves;
+}
+
+const JsonValue *
+findLeaf(const JsonValue &manifest, const std::string &section,
+         const std::string &key)
+{
+    if (section == "results") {
+        const JsonValue *results = manifest.find("results");
+        return results ? results->find(key) : nullptr;
+    }
+    // stats/histograms: key is "outer.inner", outer may itself
+    // contain no dots (group and histogram names are dot-free).
+    const JsonValue *obj = manifest.find(section);
+    if (!obj)
+        return nullptr;
+    const auto dot = key.find('.');
+    if (dot == std::string::npos)
+        return nullptr;
+    const JsonValue *group = obj->find(key.substr(0, dot));
+    return group ? group->find(key.substr(dot + 1)) : nullptr;
+}
+
+bool
+contains(const std::string &haystack, const char *needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+std::string
+formatValue(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+isWallMetric(const std::string &key)
+{
+    static constexpr const char *kWallMarks[] = {
+        "_ns",     "_us",     "_ms",     "seconds", "secs",
+        "per_sec", "runs_per", "gb_s",   "gbps",    "speedup",
+        "wall",
+    };
+    for (const char *mark : kWallMarks)
+        if (contains(key, mark))
+            return true;
+    return false;
+}
+
+int
+metricDirection(const std::string &key)
+{
+    static constexpr const char *kHigherBetter[] = {
+        "speedup", "per_sec", "runs_per", "gb_s", "gbps",
+    };
+    static constexpr const char *kLowerBetter[] = {
+        "_ns", "_us", "_ms", "seconds", "secs", "wall",
+    };
+    for (const char *mark : kHigherBetter)
+        if (contains(key, mark))
+            return 1;
+    for (const char *mark : kLowerBetter)
+        if (contains(key, mark))
+            return -1;
+    return 0;
+}
+
+PerfDiffReport
+diffManifests(const JsonValue &baseline, const JsonValue &current,
+              const PerfDiffConfig &cfg)
+{
+    PerfDiffReport report;
+    if (const JsonValue *b = current.find("bench"); b && b->isString())
+        report.bench = b->str;
+    else if (const JsonValue *bb = baseline.find("bench");
+             bb && bb->isString())
+        report.bench = bb->str;
+
+    for (const Leaf &leaf : flatten(baseline)) {
+        bool skip = false;
+        for (const std::string &ign : cfg.ignore)
+            skip = skip || leaf.key == ign;
+        if (skip)
+            continue;
+
+        MetricDelta d;
+        d.key = leaf.key;
+        d.section = leaf.section;
+        d.wall = isWallMetric(leaf.key);
+
+        const JsonValue *cur =
+            findLeaf(current, leaf.section, leaf.key);
+        if (!cur || cur->kind != leaf.value->kind) {
+            // A metric the baseline demands is gone (or changed
+            // type): always a hard failure, wall or not.
+            d.missing = true;
+            d.regression = true;
+            ++report.regressions;
+            report.deltas.push_back(std::move(d));
+            continue;
+        }
+
+        if (leaf.value->isString()) {
+            if (cur->str != leaf.value->str) {
+                d.string_mismatch = true;
+                d.regression = true;
+                ++report.regressions;
+            }
+            report.deltas.push_back(std::move(d));
+            continue;
+        }
+
+        const double base = leaf.value->isBool()
+            ? (leaf.value->boolean ? 1.0 : 0.0)
+            : leaf.value->number;
+        const double now = cur->isBool() ? (cur->boolean ? 1.0 : 0.0)
+                                         : cur->number;
+        d.baseline = base;
+        d.current = now;
+        if (base != 0.0)
+            d.rel = (now - base) / std::fabs(base);
+        else
+            d.rel = now == 0.0 ? 0.0 : (now > 0 ? 1e9 : -1e9);
+
+        const double tol =
+            d.wall ? cfg.wall_tolerance : cfg.counter_tolerance;
+        const int dir = d.wall ? metricDirection(leaf.key) : 0;
+        const bool worse = dir > 0   ? d.rel < -tol
+                           : dir < 0 ? d.rel > tol
+                                     : std::fabs(d.rel) > tol;
+        if (worse) {
+            if (d.wall && cfg.wall_warn_only) {
+                d.warning = true;
+                ++report.warnings;
+            } else {
+                d.regression = true;
+                ++report.regressions;
+            }
+        }
+        report.deltas.push_back(std::move(d));
+    }
+    return report;
+}
+
+std::string
+PerfDiffReport::text() const
+{
+    std::ostringstream os;
+    os << "perf-diff " << (bench.empty() ? "?" : bench) << ": "
+       << deltas.size() << " metrics, " << regressions
+       << " regression(s), " << warnings << " warning(s)\n";
+    unsigned clean = 0;
+    for (const MetricDelta &d : deltas) {
+        if (!d.regression && !d.warning) {
+            ++clean;
+            continue;
+        }
+        os << (d.regression ? "  FAIL " : "  warn ") << d.section
+           << '/' << d.key << ": ";
+        if (d.missing) {
+            os << "missing from current manifest\n";
+            continue;
+        }
+        if (d.string_mismatch) {
+            os << "value changed (baseline pinned another string)\n";
+            continue;
+        }
+        char pct[32];
+        std::snprintf(pct, sizeof(pct), "%+.1f%%", d.rel * 100.0);
+        os << formatValue(d.baseline) << " -> "
+           << formatValue(d.current) << " (" << pct << ", "
+           << (d.wall ? "wall" : "counter") << ")\n";
+    }
+    os << "  " << clean << " metric(s) within thresholds\n";
+    return os.str();
+}
+
+std::string
+appendTrajectory(const std::string &dir, const JsonValue &current,
+                 const PerfDiffReport &report)
+{
+    const std::string bench =
+        report.bench.empty() ? "unknown" : report.bench;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/BENCH_" + bench + ".json";
+
+    JsonValue doc;
+    std::string error;
+    if (!parseJsonFile(path, doc, error) || !doc.isObject() ||
+        !doc.find("entries")) {
+        doc = JsonValue{};
+        doc.kind = JsonValue::Kind::Object;
+        JsonValue name;
+        name.kind = JsonValue::Kind::String;
+        name.str = bench;
+        doc.members.emplace("bench", std::move(name));
+        JsonValue entries;
+        entries.kind = JsonValue::Kind::Array;
+        doc.members.emplace("entries", std::move(entries));
+    }
+
+    JsonValue entry;
+    entry.kind = JsonValue::Kind::Object;
+    if (const JsonValue *git = current.find("git"))
+        entry.members.emplace("git", *git);
+    JsonValue when;
+    when.kind = JsonValue::Kind::Number;
+    when.number = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    entry.members.emplace("unix_s", std::move(when));
+    JsonValue regs;
+    regs.kind = JsonValue::Kind::Number;
+    regs.number = report.regressions;
+    entry.members.emplace("regressions", std::move(regs));
+    JsonValue warns;
+    warns.kind = JsonValue::Kind::Number;
+    warns.number = report.warnings;
+    entry.members.emplace("warnings", std::move(warns));
+    JsonValue metrics;
+    metrics.kind = JsonValue::Kind::Object;
+    for (const MetricDelta &d : report.deltas) {
+        if (d.missing || d.string_mismatch)
+            continue;
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d.current;
+        metrics.members.emplace(d.section + '/' + d.key,
+                                std::move(v));
+    }
+    entry.members.emplace("metrics", std::move(metrics));
+
+    doc.members["entries"].items.push_back(std::move(entry));
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return "";
+    const std::string text = dumpJson(doc) + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+} // namespace mgmee::obs

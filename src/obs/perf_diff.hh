@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Manifest-diff perf-regression tracker (ISSUE 8): compare a fresh
+ * run manifest against a checked-in baseline and classify every
+ * metric delta.
+ *
+ * The baseline is the contract: every metric it names must exist in
+ * the current manifest (a missing metric is always a hard
+ * regression), and extra metrics in the current manifest are
+ * ignored -- baselines are *curated*, typically by
+ * scripts/make_perf_baseline.py, which keeps deterministic counters
+ * and the wall figures worth watching.
+ *
+ * Metrics come in two classes, told apart by key substrings
+ * (isWallMetric):
+ *
+ *  - counter/ratio metrics (event counts, verdict strings, booleans,
+ *    bit_identical flags): deterministic, compared exactly by
+ *    default -- any drift is a hard failure;
+ *  - wall-clock metrics (_ns/seconds/GB_s/speedup/...): noisy on
+ *    shared runners, compared directionally against a relative
+ *    tolerance, optionally downgraded to warnings (CI passes
+ *    --wall-warn-only).
+ *
+ * diffManifests() never mutates anything; appendTrajectory() records
+ * the run into results/BENCH_<bench>.json so metric history survives
+ * across PRs.
+ */
+
+#ifndef MGMEE_OBS_PERF_DIFF_HH
+#define MGMEE_OBS_PERF_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace mgmee::obs {
+
+/** Thresholds and policy for one diff run. */
+struct PerfDiffConfig
+{
+    /** Relative tolerance for counter/ratio metrics (0 = exact). */
+    double counter_tolerance = 0.0;
+    /** Relative tolerance for wall-clock metrics. */
+    double wall_tolerance = 0.25;
+    /** Downgrade wall-clock regressions to warnings (shared CI
+     *  runners); counters stay hard.  Missing metrics stay hard. */
+    bool wall_warn_only = false;
+    /** Metric keys to skip entirely. */
+    std::vector<std::string> ignore;
+};
+
+/** Verdict for one baseline metric. */
+struct MetricDelta
+{
+    std::string key;
+    std::string section;       //!< results | stats | histograms
+    double baseline = 0.0;
+    double current = 0.0;
+    /** Signed relative change ((cur-base)/|base|); 0 for strings. */
+    double rel = 0.0;
+    bool wall = false;         //!< wall-clock class
+    bool missing = false;      //!< metric absent from the current run
+    bool string_mismatch = false;
+    bool regression = false;   //!< counts toward the exit status
+    bool warning = false;      //!< tolerated (wall_warn_only) drift
+};
+
+/** Outcome of one baseline/current comparison. */
+struct PerfDiffReport
+{
+    std::string bench;
+    std::vector<MetricDelta> deltas;  //!< every compared metric
+    unsigned regressions = 0;
+    unsigned warnings = 0;
+
+    /** Human-readable table: regressions, warnings, then a count of
+     *  clean metrics. */
+    std::string text() const;
+};
+
+/** True when @p key names a wall-clock/throughput-style metric. */
+bool isWallMetric(const std::string &key);
+
+/**
+ * Better-direction of @p key: +1 when larger is better (speedup,
+ * rates), -1 when smaller is better (latencies, seconds), 0 when any
+ * drift is suspect (counters).
+ */
+int metricDirection(const std::string &key);
+
+/**
+ * Compare @p current against @p baseline (both parsed manifests).
+ * Walks the baseline's results/stats/histograms sections; numeric,
+ * boolean and string leaves participate.
+ */
+PerfDiffReport diffManifests(const JsonValue &baseline,
+                             const JsonValue &current,
+                             const PerfDiffConfig &cfg);
+
+/**
+ * Append one trajectory entry for @p current (with @p report's
+ * regression/warning counts) to `<dir>/BENCH_<bench>.json`, creating
+ * the file on first use.  Returns the path, or "" on I/O failure.
+ */
+std::string appendTrajectory(const std::string &dir,
+                             const JsonValue &current,
+                             const PerfDiffReport &report);
+
+} // namespace mgmee::obs
+
+#endif // MGMEE_OBS_PERF_DIFF_HH

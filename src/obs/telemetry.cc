@@ -1,0 +1,533 @@
+#include "obs/telemetry.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/manifest.hh"
+
+namespace mgmee::obs {
+
+namespace detail {
+bool g_telemetry_on = false;
+} // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Timeline entries kept in memory for manifest embedding. */
+constexpr std::size_t kTimelineCap = 4096;
+
+/** An interned streaming histogram plus the sampler's last view. */
+struct HistSlot
+{
+    StreamingHistogram hist;
+    std::uint64_t prev_buckets[Histogram::kBuckets] = {};
+    std::uint64_t prev_sum = 0;
+};
+
+/**
+ * One telemetry session plus the immortal histogram registry.  The
+ * mutex guards everything except StreamingHistogram::record (lock
+ * free by design) and the cached enable flag.
+ */
+struct Plane
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::thread sampler;
+    bool active = false;
+    bool stopping = false;
+    bool hud = false;
+    unsigned interval_ms = 0;
+    std::FILE *file = nullptr;
+    std::string path;
+    std::string note;
+    bool note_dirty = false;
+    Clock::time_point t0;
+    std::uint64_t intervals = 0;
+    std::map<std::string, std::uint64_t> prev;
+    std::map<std::string, std::unique_ptr<HistSlot>> hists;
+    std::vector<std::string> timeline;
+    bool timeline_truncated = false;
+};
+
+/** Immortal, like the trace session: instrumentation sites cache
+ *  histogram references that must outlive static teardown. */
+Plane &
+plane()
+{
+    static Plane &p = *new Plane;
+    return p;
+}
+
+/** Flatten every registry group into "group.stat" -> value. */
+std::map<std::string, std::uint64_t>
+flattenRegistry()
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[group, g] :
+         StatRegistry::instance().snapshotAll()) {
+        for (const auto &[stat, value] : g.counters())
+            out[group + '.' + stat] = value;
+    }
+    return out;
+}
+
+std::string
+formatRate(double per_sec)
+{
+    char buf[32];
+    if (per_sec >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", per_sec / 1e6);
+    else if (per_sec >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fK", per_sec / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", per_sec);
+    return buf;
+}
+
+std::string
+formatNanos(std::uint64_t ns)
+{
+    char buf[32];
+    if (ns >= 1000000)
+        std::snprintf(buf, sizeof(buf), "%.1fms",
+                      static_cast<double>(ns) / 1e6);
+    else if (ns >= 1000)
+        std::snprintf(buf, sizeof(buf), "%.1fus",
+                      static_cast<double>(ns) / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%lluns",
+                      static_cast<unsigned long long>(ns));
+    return buf;
+}
+
+/** Repaint the one-line HUD on stderr.  Caller holds mu. */
+void
+hudLocked(Plane &p, const std::map<std::string, std::int64_t> &deltas,
+          const std::vector<std::pair<std::string, Histogram>> &hists,
+          double dt_s)
+{
+    auto delta = [&](const char *key) -> std::int64_t {
+        auto it = deltas.find(key);
+        return it == deltas.end() ? 0 : it->second;
+    };
+
+    std::int64_t events = delta("sched.dispatched");
+    const char *events_label = "ev/s";
+    if (events == 0) {
+        events = delta("crypto.blocks_encrypted");
+        events_label = "blk/s";
+    }
+
+    Histogram quantum;
+    for (const auto &[name, h] : hists) {
+        if (name.rfind("sched.quantum_wall_ns", 0) == 0)
+            quantum.merge(h);
+    }
+
+    const std::int64_t blocks = delta("crypto.blocks_encrypted");
+
+    std::ostringstream os;
+    os << "[telemetry]";
+    if (!p.note.empty())
+        os << ' ' << p.note;
+    if (dt_s > 0 && events > 0) {
+        os << " | " << events_label << ' '
+           << formatRate(static_cast<double>(events) / dt_s);
+    }
+    if (quantum.count()) {
+        os << " | quantum p50/p99 "
+           << formatNanos(quantum.percentile(0.5)) << '/'
+           << formatNanos(quantum.percentile(0.99));
+    }
+    if (dt_s > 0 && blocks > 0) {
+        // AES blocks are 16 bytes (crypto.blocks_encrypted).
+        os << " | crypto "
+           << formatRate(static_cast<double>(blocks) * 16.0 / dt_s)
+           << "B/s";
+    }
+    std::fprintf(stderr, "\r\x1b[K%s", os.str().c_str());
+    std::fflush(stderr);
+}
+
+/**
+ * Emit one interval record: registry deltas since the last record,
+ * per-histogram bucket deltas, the current note.  Caller holds mu.
+ */
+void
+flushLocked(Plane &p, bool manifest_boundary)
+{
+    const auto now = Clock::now();
+    const double t_ms =
+        std::chrono::duration<double, std::milli>(now - p.t0).count();
+
+    std::map<std::string, std::uint64_t> cur = flattenRegistry();
+    std::map<std::string, std::int64_t> deltas;
+    for (const auto &[key, value] : cur) {
+        const auto it = p.prev.find(key);
+        const std::int64_t d = static_cast<std::int64_t>(
+            value - (it == p.prev.end() ? 0 : it->second));
+        if (d != 0)
+            deltas[key] = d;
+    }
+
+    std::vector<std::pair<std::string, Histogram>> hist_deltas;
+    for (auto &[name, slot] : p.hists) {
+        std::uint64_t buckets[Histogram::kBuckets];
+        std::uint64_t sum = 0;
+        slot->hist.snapshotRaw(buckets, sum);
+        std::uint64_t delta_buckets[Histogram::kBuckets];
+        std::uint64_t delta_count = 0;
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+            delta_buckets[b] = buckets[b] - slot->prev_buckets[b];
+            delta_count += delta_buckets[b];
+        }
+        if (delta_count == 0)
+            continue;
+        hist_deltas.emplace_back(
+            name,
+            Histogram::fromBuckets(delta_buckets,
+                                   sum - slot->prev_sum));
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+            slot->prev_buckets[b] = buckets[b];
+        slot->prev_sum = sum;
+    }
+
+    const double dt_s = p.intervals == 0
+        ? t_ms / 1e3
+        : static_cast<double>(p.interval_ms) / 1e3;
+
+    std::ostringstream os;
+    os << "{\"type\": \"interval\", \"i\": " << p.intervals
+       << ", \"t_ms\": ";
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", t_ms);
+        os << buf;
+    }
+    if (manifest_boundary)
+        os << ", \"manifest\": true";
+    if (p.note_dirty) {
+        os << ", \"note\": \"" << jsonEscape(p.note) << '"';
+        p.note_dirty = false;
+    }
+    os << ", \"deltas\": {";
+    bool first = true;
+    for (const auto &[key, d] : deltas) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << '"' << jsonEscape(key) << "\": " << d;
+    }
+    os << '}';
+    if (!hist_deltas.empty()) {
+        os << ", \"hist\": {";
+        first = true;
+        for (const auto &[name, h] : hist_deltas) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << '"' << jsonEscape(name) << "\": " << h.toJson();
+        }
+        os << '}';
+    }
+    os << '}';
+
+    const std::string line = os.str();
+    if (p.file) {
+        std::fputs(line.c_str(), p.file);
+        std::fputc('\n', p.file);
+        std::fflush(p.file);
+    }
+    if (p.timeline.size() < kTimelineCap)
+        p.timeline.push_back(line);
+    else
+        p.timeline_truncated = true;
+    ++p.intervals;
+    p.prev = std::move(cur);
+
+    if (p.hud)
+        hudLocked(p, deltas, hist_deltas, dt_s);
+}
+
+void
+samplerMain()
+{
+    Plane &p = plane();
+    std::unique_lock<std::mutex> lock(p.mu);
+    while (!p.stopping) {
+        p.cv.wait_for(lock,
+                      std::chrono::milliseconds(p.interval_ms));
+        if (p.stopping)
+            break;
+        flushLocked(p, false);
+    }
+}
+
+/** Auto-start from MGMEE_TELEMETRY / MGMEE_HUD, stopped via atexit. */
+struct EnvAutoStart
+{
+    EnvAutoStart()
+    {
+        const char *ms_env = std::getenv("MGMEE_TELEMETRY");
+        const char *hud_env = std::getenv("MGMEE_HUD");
+        const bool hud = hud_env && *hud_env && *hud_env != '0';
+        unsigned interval_ms = 0;
+        if (ms_env && *ms_env)
+            interval_ms = static_cast<unsigned>(
+                std::strtoul(ms_env, nullptr, 10));
+        if (interval_ms == 0 && !hud)
+            return;
+        std::string path;
+        if (interval_ms == 0) {
+            interval_ms = 500;  // HUD alone: sample, but no file
+        } else {
+            const char *p_env = std::getenv("MGMEE_TELEMETRY_PATH");
+            path = p_env && *p_env ? p_env
+                                   : "results/telemetry.jsonl";
+        }
+        if (startTelemetry(interval_ms, path, hud))
+            std::atexit([] { stopTelemetry(); });
+    }
+};
+
+EnvAutoStart g_env_auto_start;
+
+} // namespace
+
+// ---- StreamingHistogram -------------------------------------------------
+
+std::uint64_t
+StreamingHistogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &b : buckets_)
+        total += b.load(std::memory_order_relaxed);
+    return total;
+}
+
+Histogram
+StreamingHistogram::snapshot() const
+{
+    std::uint64_t buckets[Histogram::kBuckets];
+    std::uint64_t sum = 0;
+    snapshotRaw(buckets, sum);
+    return Histogram::fromBuckets(buckets, sum);
+}
+
+void
+StreamingHistogram::snapshotRaw(
+    std::uint64_t (&buckets)[Histogram::kBuckets],
+    std::uint64_t &sum) const
+{
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b)
+        buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    sum = sum_.load(std::memory_order_relaxed);
+}
+
+// ---- Session control ----------------------------------------------------
+
+bool
+startTelemetry(unsigned interval_ms, const std::string &jsonl_path,
+               bool hud)
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (p.active) {
+        warn("telemetry session already active; ignoring restart");
+        return false;
+    }
+    if (interval_ms == 0)
+        interval_ms = 500;
+
+    std::FILE *f = nullptr;
+    if (!jsonl_path.empty()) {
+        const auto dir =
+            std::filesystem::path(jsonl_path).parent_path();
+        if (!dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(dir, ec);
+        }
+        f = std::fopen(jsonl_path.c_str(), "w");
+        if (!f) {
+            warn("cannot open telemetry file %s",
+                 jsonl_path.c_str());
+            return false;
+        }
+    }
+
+    p.active = true;
+    p.stopping = false;
+    p.hud = hud;
+    p.interval_ms = interval_ms;
+    p.file = f;
+    p.path = jsonl_path;
+    p.note.clear();
+    p.note_dirty = false;
+    p.t0 = Clock::now();
+    p.intervals = 0;
+    p.prev = flattenRegistry();
+    p.timeline.clear();
+    p.timeline_truncated = false;
+    for (auto &[name, slot] : p.hists) {
+        std::uint64_t sum = 0;
+        slot->hist.snapshotRaw(slot->prev_buckets, sum);
+        slot->prev_sum = sum;
+    }
+
+    if (p.file) {
+        const std::uint64_t unix_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        std::ostringstream os;
+        os << "{\"type\": \"start\", \"interval_ms\": " << interval_ms
+           << ", \"unix_ms\": " << unix_ms << ", \"baseline\": {";
+        bool first = true;
+        for (const auto &[key, value] : p.prev) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << '"' << jsonEscape(key) << "\": " << value;
+        }
+        os << "}}";
+        std::fputs(os.str().c_str(), p.file);
+        std::fputc('\n', p.file);
+        std::fflush(p.file);
+    }
+
+    detail::g_telemetry_on = true;
+    p.sampler = std::thread(samplerMain);
+    return true;
+}
+
+void
+stopTelemetry()
+{
+    Plane &p = plane();
+    std::thread sampler;
+    {
+        std::lock_guard<std::mutex> lock(p.mu);
+        if (!p.active)
+            return;
+        detail::g_telemetry_on = false;
+        p.stopping = true;
+        sampler = std::move(p.sampler);
+    }
+    p.cv.notify_all();
+    if (sampler.joinable())
+        sampler.join();
+
+    std::lock_guard<std::mutex> lock(p.mu);
+    flushLocked(p, false);  // capture whatever the timer missed
+    if (p.hud)
+        std::fprintf(stderr, "\n");
+    if (p.file) {
+        std::ostringstream os;
+        os << "{\"type\": \"stop\", \"intervals\": " << p.intervals
+           << "}";
+        std::fputs(os.str().c_str(), p.file);
+        std::fputc('\n', p.file);
+        std::fclose(p.file);
+        p.file = nullptr;
+    }
+    p.active = false;
+    p.stopping = false;
+    p.hud = false;
+    p.interval_ms = 0;
+}
+
+bool
+telemetryActive()
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.active;
+}
+
+StreamingHistogram &
+telemetryHistogram(const std::string &name)
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    auto &slot = p.hists[name];
+    if (!slot)
+        slot = std::make_unique<HistSlot>();
+    return slot->hist;
+}
+
+void
+telemetryNote(const std::string &note)
+{
+    if (!telemetryEnabled())
+        return;
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.note = note;
+    p.note_dirty = true;
+}
+
+void
+telemetryFlush(bool manifest_boundary)
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    if (!p.active)
+        return;
+    flushLocked(p, manifest_boundary);
+}
+
+std::uint64_t
+telemetryIntervals()
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.intervals;
+}
+
+unsigned
+telemetryIntervalMs()
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.active ? p.interval_ms : 0;
+}
+
+std::string
+telemetryPath()
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    return p.active ? p.path : std::string();
+}
+
+std::string
+telemetryTimelineJson()
+{
+    Plane &p = plane();
+    std::lock_guard<std::mutex> lock(p.mu);
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < p.timeline.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << p.timeline[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace mgmee::obs

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Live telemetry plane (ISSUE 8): periodic snapshots of the global
+ * stat registry and of lock-free streaming histograms, emitted as a
+ * timestamped JSONL timeline while a run is in flight, with an
+ * optional single-line terminal HUD.
+ *
+ * Design constraints mirror the trace plane (obs/trace.hh):
+ *
+ *  - with telemetry disabled (the default) every instrumentation
+ *    site costs exactly one branch on a cached bool;
+ *  - enabled, the hot path stays uncontended: counters go through
+ *    StatRegistry sharded counters (one relaxed add on a private
+ *    cache line) and latencies through StreamingHistogram (two
+ *    relaxed adds); only the sampler thread walks the stripes;
+ *  - each interval record carries *deltas* since the previous
+ *    record, so the JSONL timeline doubles as a conservation check:
+ *    baseline + sum(deltas) must equal the manifest's final totals
+ *    (scripts/check_trace_totals.py --telemetry enforces this).
+ *
+ * Enable by environment (`MGMEE_TELEMETRY=<ms>`, JSONL path from
+ * `MGMEE_TELEMETRY_PATH`, default results/telemetry.jsonl; HUD via
+ * `MGMEE_HUD=1`) or programmatically via startTelemetry().
+ */
+
+#ifndef MGMEE_OBS_TELEMETRY_HH
+#define MGMEE_OBS_TELEMETRY_HH
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace mgmee::obs {
+
+/**
+ * A histogram that any thread can record into without locks while
+ * the telemetry sampler snapshots it: atomic log2 buckets plus an
+ * atomic sum, all relaxed.  There is no exact min/max (snapshots
+ * derive them from bucket edges) so record() stays at two relaxed
+ * adds.  Instances interned via telemetryHistogram() are immortal,
+ * so cached references never dangle.
+ */
+class StreamingHistogram
+{
+  public:
+    /** Record @p value (lock-free, relaxed; safe from any thread). */
+    void
+    record(std::uint64_t value)
+    {
+        const unsigned bucket = std::min<unsigned>(
+            Histogram::kBuckets - 1,
+            static_cast<unsigned>(std::bit_width(value)));
+        buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    /** Samples recorded so far (sum of buckets, relaxed). */
+    std::uint64_t count() const;
+
+    /** Everything recorded since construction, as a Histogram. */
+    Histogram snapshot() const;
+
+    /** Raw bucket counts + sum (the sampler's delta source). */
+    void snapshotRaw(std::uint64_t (&buckets)[Histogram::kBuckets],
+                     std::uint64_t &sum) const;
+
+  private:
+    std::atomic<std::uint64_t> buckets_[Histogram::kBuckets] = {};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+namespace detail {
+
+/** Cached enable flag; read by every instrumentation site. */
+extern bool g_telemetry_on;
+
+} // namespace detail
+
+/** True when a telemetry session is active (one cached-bool load). */
+inline bool telemetryEnabled() { return detail::g_telemetry_on; }
+
+/**
+ * Begin sampling every @p interval_ms milliseconds.  @p jsonl_path
+ * receives one JSON object per line (baseline record, then interval
+ * deltas); empty means keep the timeline in memory only.  @p hud
+ * additionally repaints a one-line status on stderr per interval.
+ * Returns false (and stays disabled) if a session is already active
+ * or the file cannot be opened.
+ */
+bool startTelemetry(unsigned interval_ms,
+                    const std::string &jsonl_path = "",
+                    bool hud = false);
+
+/** Emit a final interval record, join the sampler, close the file. */
+void stopTelemetry();
+
+/** True between startTelemetry() and stopTelemetry(). */
+bool telemetryActive();
+
+/**
+ * The streaming histogram named @p name (interned on first use; the
+ * reference stays valid for the process lifetime).  Interval records
+ * include per-histogram bucket deltas; Manifest::captureTelemetry
+ * embeds the merged view.
+ */
+StreamingHistogram &telemetryHistogram(const std::string &name);
+
+/**
+ * Label the current phase ("sweep cell 12/64", ...).  Shown in the
+ * HUD and attached to the next interval record.  One branch when
+ * telemetry is off — callers need not guard.
+ */
+void telemetryNote(const std::string &note);
+
+/**
+ * Force an interval record now (instead of waiting for the timer).
+ * @p manifest_boundary marks the record as the point a manifest
+ * snapshot was taken, which is where the JSONL conservation check
+ * reconciles against the manifest totals.
+ */
+void telemetryFlush(bool manifest_boundary = false);
+
+/** Interval records emitted in the current/last session. */
+std::uint64_t telemetryIntervals();
+
+/** The active session's sampling interval (0 when inactive). */
+unsigned telemetryIntervalMs();
+
+/** The active session's JSONL path ("" when none). */
+std::string telemetryPath();
+
+/**
+ * The in-memory timeline as a JSON array of interval objects (capped
+ * at a few thousand entries; "[]" when telemetry never ran).
+ */
+std::string telemetryTimelineJson();
+
+} // namespace mgmee::obs
+
+#endif // MGMEE_OBS_TELEMETRY_HH

@@ -1,5 +1,6 @@
 #include "obs/trace.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace mgmee::obs {
 
@@ -28,6 +30,7 @@ struct ThreadBuffer
 {
     std::vector<TraceRecord> records;
     std::uint16_t thread_id = 0;
+    std::uint64_t dropped = 0;  //!< records this thread lost
 };
 
 /**
@@ -43,6 +46,8 @@ struct Session
     std::string path;
     std::vector<std::unique_ptr<ThreadBuffer>> buffers;
     std::atomic<std::uint64_t> emitted{0};
+    std::atomic<std::uint64_t> dropped{0};
+    bool warned_drop = false;
     std::uint64_t generation = 0;
 };
 
@@ -56,13 +61,35 @@ session()
     return s;
 }
 
-/** Appends (and clears) a full or final buffer; caller holds mu. */
+/** Appends (and clears) a full or final buffer; caller holds mu.
+ *  Records that cannot land in the file -- the file already closed
+ *  (stop raced an emitter) or a short fwrite (disk full) -- are
+ *  counted, never silently discarded. */
 void
 flushBufferLocked(Session &s, ThreadBuffer &buf)
 {
-    if (!buf.records.empty() && s.file) {
-        std::fwrite(buf.records.data(), sizeof(TraceRecord),
-                    buf.records.size(), s.file);
+    if (!buf.records.empty()) {
+        std::size_t written = 0;
+        if (s.file) {
+            written = std::fwrite(buf.records.data(),
+                                  sizeof(TraceRecord),
+                                  buf.records.size(), s.file);
+        }
+        const std::uint64_t lost = buf.records.size() - written;
+        if (lost) {
+            buf.dropped += lost;
+            s.dropped.fetch_add(lost, std::memory_order_relaxed);
+            StatRegistry::instance()
+                .counter("obs", "trace.dropped")
+                .fetch_add(lost, std::memory_order_relaxed);
+            if (!s.warned_drop) {
+                s.warned_drop = true;
+                warn("trace dropped %llu record(s) (%s); totals in "
+                     "obs.trace.dropped",
+                     static_cast<unsigned long long>(lost),
+                     s.file ? "short write" : "file closed");
+            }
+        }
     }
     buf.records.clear();
 }
@@ -172,6 +199,7 @@ eventKindName(EventKind kind)
       case EventKind::FaultInject: return "fault_inject";
       case EventKind::FaultVerdict: return "fault_verdict";
       case EventKind::MacBatchFlush: return "mac_batch_flush";
+      case EventKind::TraceDropped: return "trace_dropped";
     }
     return "unknown";
 }
@@ -200,6 +228,8 @@ startTrace(const std::string &path)
     s.path = path;
     s.buffers.clear();
     s.emitted.store(0, std::memory_order_relaxed);
+    s.dropped.store(0, std::memory_order_relaxed);
+    s.warned_drop = false;
     ++s.generation;
     detail::g_trace_on = true;
     return true;
@@ -217,6 +247,19 @@ stopTrace()
         return;
     for (auto &buf : s.buffers)
         flushBufferLocked(s, *buf);
+    // Per-thread drop trailers, so decoders can report exactly how
+    // incomplete the stream is without any side channel.
+    for (const auto &buf : s.buffers) {
+        if (!buf->dropped)
+            continue;
+        TraceRecord rec;
+        rec.kind = static_cast<std::uint8_t>(EventKind::TraceDropped);
+        rec.addr = buf->dropped;
+        rec.value = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(buf->dropped, ~std::uint32_t{0}));
+        rec.thread = buf->thread_id;
+        std::fwrite(&rec, sizeof(rec), 1, s.file);
+    }
     std::fclose(s.file);
     s.file = nullptr;
 }
@@ -225,6 +268,12 @@ std::uint64_t
 eventsEmitted()
 {
     return session().emitted.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+eventsDropped()
+{
+    return session().dropped.load(std::memory_order_relaxed);
 }
 
 std::size_t

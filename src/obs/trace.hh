@@ -54,6 +54,7 @@ enum class EventKind : std::uint8_t
     FaultInject = 15,  //!< arg0=AttackClass, value=injection #; addr=site
     FaultVerdict = 16, //!< arg0=AttackClass, value=fault::Verdict
     MacBatchFlush = 17, //!< MAC staging-buffer drain; value=occupancy
+    TraceDropped = 18, //!< per-thread drop trailer; addr=records lost
 };
 
 /** Reason a read walk stopped (WalkRead.value). */
@@ -156,6 +157,14 @@ void stopTrace();
 
 /** Events recorded in the current/last session (diagnostics). */
 std::uint64_t eventsEmitted();
+
+/**
+ * Records lost in the current/last session: a buffer flushed after
+ * the file closed (stop raced an emitter) or a short fwrite (disk
+ * full).  Also counted in the `obs.trace.dropped` registry stat and
+ * surfaced as per-thread TraceDropped trailer records in the file.
+ */
+std::uint64_t eventsDropped();
 
 /** Thread buffers allocated in the current/last session. */
 std::size_t threadBuffersAllocated();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
 namespace mgmee::sim {
@@ -142,6 +143,15 @@ void
 Scheduler::runShard(unsigned shard, Cycle quantum_end)
 {
     Shard &sh = *shards_[shard];
+    const bool telemetry = obs::telemetryEnabled();
+    std::chrono::steady_clock::time_point shard_t0;
+    if (telemetry) {
+        shard_t0 = std::chrono::steady_clock::now();
+        if (!sh.telemetry_hist)
+            sh.telemetry_hist = &obs::telemetryHistogram(
+                "sched.quantum_wall_ns.shard" +
+                std::to_string(shard));
+    }
     t_shard = static_cast<int>(shard);
     ScopedTraceShard tag(static_cast<int>(shard));
     // Quantum window is [quantum start, quantum_end): an event landing
@@ -157,6 +167,11 @@ Scheduler::runShard(unsigned shard, Cycle quantum_end)
     }
     t_now = quantum_end;
     t_shard = -1;
+    if (telemetry)
+        sh.telemetry_hist->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - shard_t0)
+                .count()));
 }
 
 namespace {
@@ -314,6 +329,16 @@ Scheduler::run()
         deliverOutboxes(quantum_end);
         barrier_tick_ = quantum_end;
         ++quanta_;
+        if (obs::telemetryEnabled()) {
+            // Single-threaded barrier: publish per-quantum deltas so
+            // interval snapshots see live progress, not end totals.
+            auto &reg = StatRegistry::instance();
+            reg.sharded("sched", "quanta").add(1);
+            const std::uint64_t total = dispatched();
+            reg.sharded("sched", "dispatched")
+                .add(total - telemetry_dispatched_);
+            telemetry_dispatched_ = total;
+        }
         if (hook_)
             hook_(quantum_end);
     }

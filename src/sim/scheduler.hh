@@ -49,6 +49,10 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 
+namespace mgmee::obs {
+class StreamingHistogram;
+} // namespace mgmee::obs
+
 namespace mgmee::sim {
 
 /** Scheduler topology; quantum and shards shape results, threads
@@ -150,6 +154,13 @@ class Scheduler
         std::uint64_t seq = 0;
         std::uint64_t dispatched = 0;
         std::vector<CrossEvent> outbox;
+        /** Lazily-interned per-shard telemetry histogram
+         *  (sched.quantum_wall_ns.shard<N>); only touched while
+         *  telemetry is live.  Cached here so the hot path pays one
+         *  pointer test, not a map lookup.  Safe without atomics:
+         *  one thread runs a shard per quantum and the barrier's
+         *  release/acquire pair publishes the write. */
+        obs::StreamingHistogram *telemetry_hist = nullptr;
     };
 
     void pushEvent(unsigned shard, Cycle when, Handler fn);
@@ -171,6 +182,9 @@ class Scheduler
     std::uint64_t quanta_ = 0;
     std::uint64_t cross_delivered_ = 0;
     Histogram quantum_ns_;
+    /** Dispatch total already published to the telemetry registry;
+     *  lets the barrier publish per-quantum deltas. */
+    std::uint64_t telemetry_dispatched_ = 0;
 
     // ---- worker pool (threads > 1 only) ------------------------------
     // Quanta are microseconds apart, so workers first spin on the

@@ -17,6 +17,7 @@
 
 #include "fault/campaign.hh"
 #include "fault/injector.hh"
+#include "obs/manifest.hh"
 
 namespace mgmee {
 namespace {
@@ -222,6 +223,77 @@ TEST(FaultCampaign, DetectionMatrixIdenticalAcrossThreadCounts)
         }
     }
     EXPECT_EQ(serial.verdictTotals(), parallel.verdictTotals());
+}
+
+// ---- detection latency ----------------------------------------------
+
+TEST(FaultCampaign, DetectedCellsRecordInjectToVerdictLatency)
+{
+    const CellResult cell = runCell("mgmee", AttackClass::Rollback,
+                                    Granularity::Line64B);
+    ASSERT_EQ(Verdict::Detected, cell.verdict);
+    // One latency sample per injection, in the injector's
+    // deterministic tick units, and wall time for the whole cell.
+    EXPECT_EQ(cell.injections, cell.latency.count());
+    EXPECT_GT(cell.latency.max(), 0u);
+    EXPECT_GT(cell.ticks, 0u);
+    EXPECT_GT(cell.wall_ns, 0u);
+
+    // Clean cells inject nothing, so there is nothing to time.
+    const CellResult clean = runCell("mgmee", AttackClass::None,
+                                     Granularity::Line64B);
+    EXPECT_EQ(0u, clean.latency.count());
+}
+
+TEST(FaultCampaign, DetectionLatencyIdenticalAcrossThreadCounts)
+{
+    // Latencies are measured on the injector's tick clock (bytes
+    // moved, not wall time), so the per-(engine, class) histograms
+    // must be bit-identical however the cells fan out.
+    fault::CampaignConfig cfg;
+    cfg.seed = 7;
+    cfg.engines = {"mgmee", "conventional"};
+
+    cfg.threads = 1;
+    const fault::CampaignReport serial = fault::runCampaign(cfg);
+    cfg.threads = 4;
+    const fault::CampaignReport parallel = fault::runCampaign(cfg);
+
+    ASSERT_EQ(serial.engines.size(), parallel.engines.size());
+    bool any = false;
+    for (std::size_t e = 0; e < serial.engines.size(); ++e) {
+        for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
+            const auto cls = static_cast<AttackClass>(c);
+            const Histogram hs =
+                serial.engines[e].classLatency(cls);
+            const Histogram hp =
+                parallel.engines[e].classLatency(cls);
+            EXPECT_EQ(hs.toJson(), hp.toJson())
+                << serial.engines[e].engine << " class " << c;
+            any = any || hs.count() > 0;
+        }
+    }
+    EXPECT_TRUE(any);
+}
+
+TEST(FaultCampaign, ManifestCarriesDetectionLatencyHistograms)
+{
+    fault::CampaignConfig cfg;
+    cfg.seed = 7;
+    cfg.engines = {"mgmee"};
+    const fault::CampaignReport report = fault::runCampaign(cfg);
+
+    obs::Manifest m("campaign_latency_probe");
+    report.fillManifest(m);
+    const std::string j = m.toJson();
+    // Per-(engine, attack class) inject->verdict histograms with the
+    // usual percentile fields.
+    const auto pos = j.find("\"latency.mgmee.rollback\"");
+    ASSERT_NE(std::string::npos, pos) << j;
+    EXPECT_NE(std::string::npos, j.find("\"p99\":", pos));
+    EXPECT_NE(std::string::npos, j.find("\"latency.mgmee.splice\""));
+    // Clean cells never time anything.
+    EXPECT_EQ(std::string::npos, j.find("\"latency.mgmee.clean\""));
 }
 
 TEST(FaultCampaign, SweepIsDeterministicInSeed)

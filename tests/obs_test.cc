@@ -11,10 +11,13 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/json.hh"
 #include "obs/manifest.hh"
 #include "obs/profile.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "workloads/registry.hh"
 
@@ -225,6 +228,265 @@ TEST(ObsManifestTest, RegistryCaptureShowsGlobalCounters)
     EXPECT_NE(std::string::npos,
               m.toJson().find("\"obs_manifest_test\": {\"pings\": 5"));
     c.store(0);
+}
+
+// ---- trace ring-buffer drop accounting ------------------------------
+
+TEST(ObsTraceTest, DropsAreCountedNotSilent)
+{
+    // /dev/full accepts the open but fails every flush with ENOSPC,
+    // which is exactly the short-fwrite drop path.
+    obs::stopTrace();
+    if (!obs::startTrace("/dev/full"))
+        GTEST_SKIP() << "no writable /dev/full on this platform";
+
+    auto &stat = StatRegistry::instance().counter("obs",
+                                                  "trace.dropped");
+    const std::uint64_t stat_before =
+        stat.load(std::memory_order_relaxed);
+    // More than one 8192-record thread buffer, so at least one flush
+    // hits the full device before stopTrace().
+    for (int i = 0; i < 20000; ++i) {
+        OBS_EVENT(obs::EventKind::WalkRead, i, 0x1000 + i, 0, 1);
+    }
+    obs::stopTrace();
+
+    EXPECT_GT(obs::eventsDropped(), 0u);
+    EXPECT_GT(stat.load(std::memory_order_relaxed), stat_before);
+    stat.store(stat_before, std::memory_order_relaxed);
+}
+
+// ---- histogram edge cases (telemetry merge contract) ----------------
+
+TEST(HistogramEdgeTest, EmptyHistogramReportsZeros)
+{
+    Histogram h;
+    EXPECT_EQ(0u, h.count());
+    EXPECT_EQ(0u, h.min());
+    EXPECT_EQ(0u, h.max());
+    EXPECT_EQ(0.0, h.mean());
+    for (double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(0u, h.percentile(p)) << p;
+}
+
+TEST(HistogramEdgeTest, SingleSampleClampsToObservedMax)
+{
+    Histogram h;
+    h.record(100);
+    EXPECT_EQ(1u, h.count());
+    EXPECT_EQ(100u, h.min());
+    EXPECT_EQ(100u, h.max());
+    EXPECT_EQ(100.0, h.mean());
+    // Every percentile lands in the single occupied bucket, whose
+    // upper edge (127) clamps to the observed max.
+    for (double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_EQ(100u, h.percentile(p)) << p;
+}
+
+TEST(HistogramEdgeTest, MergeOfShardLocalsEqualsPooled)
+{
+    // Log2 buckets make pooling exact: merging two shard-local
+    // histograms must be bit-identical to recording every sample
+    // into one histogram (the per-shard telemetry merge contract).
+    std::vector<std::uint64_t> shard_a = {0, 1, 3, 17, 900, 900};
+    std::vector<std::uint64_t> shard_b = {2, 64, 65, 4096, 1u << 30};
+
+    Histogram a, b, pooled;
+    for (std::uint64_t v : shard_a) {
+        a.record(v);
+        pooled.record(v);
+    }
+    for (std::uint64_t v : shard_b) {
+        b.record(v);
+        pooled.record(v);
+    }
+    Histogram merged = a;
+    merged.merge(b);
+    EXPECT_EQ(pooled.toJson(), merged.toJson());
+
+    // Merging an empty histogram is the identity.
+    Histogram empty;
+    merged.merge(empty);
+    EXPECT_EQ(pooled.toJson(), merged.toJson());
+    Histogram onto_empty;
+    onto_empty.merge(pooled);
+    EXPECT_EQ(pooled.toJson(), onto_empty.toJson());
+}
+
+TEST(HistogramEdgeTest, TopBucketSaturates)
+{
+    Histogram h;
+    const std::uint64_t huge = ~std::uint64_t{0};
+    h.record(huge);
+    h.record(huge - 1);
+    h.record(std::uint64_t{1} << 63);
+    EXPECT_EQ(3u, h.count());
+    EXPECT_EQ(huge, h.max());
+    // All samples clamp into the last bucket; percentiles return the
+    // observed max rather than a bogus finite edge.
+    EXPECT_EQ(huge, h.percentile(0.99));
+}
+
+TEST(HistogramEdgeTest, FromBucketsMatchesStreamingSnapshot)
+{
+    obs::StreamingHistogram sh;
+    Histogram direct;
+    for (std::uint64_t v : {0ull, 5ull, 5ull, 300ull, 70000ull}) {
+        sh.record(v);
+        direct.record(v);
+    }
+    EXPECT_EQ(direct.count(), sh.count());
+    const Histogram snap = sh.snapshot();
+    EXPECT_EQ(direct.count(), snap.count());
+    EXPECT_EQ(direct.mean(), snap.mean());
+    // Streaming snapshots derive min/max from bucket edges, so the
+    // percentile ladder (bucket ranks) matches exactly even though
+    // min/max may widen to the edges.
+    for (double p : {0.5, 0.9})
+        EXPECT_EQ(direct.percentile(p), snap.percentile(p)) << p;
+}
+
+// ---- sharded counters -----------------------------------------------
+
+TEST(ShardedCounterTest, ConcurrentAddsSumExactly)
+{
+    ShardedCounter c;
+    constexpr unsigned kThreads = 8;
+    constexpr std::uint64_t kPerThread = 20000;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&c]() {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                c.add(1);
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(kThreads * kPerThread, c.load());
+    c.reset();
+    EXPECT_EQ(0u, c.load());
+}
+
+TEST(ShardedCounterTest, RegistrySnapshotFoldsShardedCounters)
+{
+    auto &reg = StatRegistry::instance();
+    reg.sharded("obs_sharded_probe", "ticks").add(3);
+    reg.counter("obs_sharded_probe", "plain").store(2);
+    const StatGroup g = reg.snapshot("obs_sharded_probe");
+    EXPECT_EQ(3u, g.get("ticks"));
+    EXPECT_EQ(2u, g.get("plain"));
+    const auto all = reg.snapshotAll();
+    ASSERT_TRUE(all.count("obs_sharded_probe"));
+    EXPECT_EQ(3u, all.at("obs_sharded_probe").get("ticks"));
+    reg.sharded("obs_sharded_probe", "ticks").reset();
+    reg.counter("obs_sharded_probe", "plain").store(0);
+}
+
+// ---- telemetry plane ------------------------------------------------
+
+TEST(TelemetryTest, DisabledByDefaultAndFreeToProbe)
+{
+    ASSERT_FALSE(obs::telemetryEnabled());
+    EXPECT_FALSE(obs::telemetryActive());
+    EXPECT_EQ(0u, obs::telemetryIntervalMs());
+    EXPECT_EQ("", obs::telemetryPath());
+    // Notes and flushes are no-ops when disabled.
+    obs::telemetryNote("ignored");
+    obs::telemetryFlush(true);
+}
+
+TEST(TelemetryTest, SessionStreamsDeltasAsJsonl)
+{
+    ASSERT_FALSE(obs::telemetryActive());
+    const std::string path = tmpPath("telemetry_session.jsonl");
+    auto &ctr = StatRegistry::instance().sharded("telemetry_probe",
+                                                 "events");
+
+    // A long interval so only explicit flushes produce records.
+    ASSERT_TRUE(obs::startTelemetry(60000, path));
+    ASSERT_TRUE(obs::telemetryEnabled());
+    EXPECT_EQ(60000u, obs::telemetryIntervalMs());
+    EXPECT_EQ(path, obs::telemetryPath());
+    EXPECT_FALSE(obs::startTelemetry(100));  // no nested sessions
+
+    ctr.add(7);
+    obs::telemetryHistogram("telemetry_probe.lat_ns").record(250);
+    obs::telemetryNote("cell mgmee/rollback");
+    obs::telemetryFlush(true);
+    ctr.add(2);
+    obs::stopTelemetry();
+    EXPECT_FALSE(obs::telemetryEnabled());
+
+    std::ifstream in(path);
+    std::vector<obs::JsonValue> lines;
+    std::string line, error;
+    while (std::getline(in, line)) {
+        obs::JsonValue v;
+        ASSERT_TRUE(obs::parseJson(line, v, error)) << error;
+        lines.push_back(std::move(v));
+    }
+    // start, explicit manifest-boundary interval, final interval
+    // from stopTelemetry, stop.
+    ASSERT_EQ(4u, lines.size());
+    EXPECT_EQ("start", lines[0].find("type")->str);
+    ASSERT_NE(nullptr, lines[0].find("baseline"));
+
+    const obs::JsonValue &boundary = lines[1];
+    EXPECT_EQ("interval", boundary.find("type")->str);
+    ASSERT_NE(nullptr, boundary.find("manifest"));
+    EXPECT_TRUE(boundary.find("manifest")->boolean);
+    EXPECT_EQ("cell mgmee/rollback", boundary.find("note")->str);
+    const obs::JsonValue *deltas = boundary.find("deltas");
+    ASSERT_NE(nullptr, deltas);
+    ASSERT_NE(nullptr, deltas->find("telemetry_probe.events"));
+    EXPECT_EQ(7.0, deltas->find("telemetry_probe.events")->number);
+    const obs::JsonValue *hist = boundary.find("hist");
+    ASSERT_NE(nullptr, hist);
+    const obs::JsonValue *lat =
+        hist->find("telemetry_probe.lat_ns");
+    ASSERT_NE(nullptr, lat);
+    EXPECT_EQ(1.0, lat->find("count")->number);
+    EXPECT_EQ(250.0, lat->find("sum")->number);
+
+    const obs::JsonValue &final_iv = lines[2];
+    EXPECT_EQ("interval", final_iv.find("type")->str);
+    EXPECT_EQ(2.0,
+              final_iv.find("deltas")
+                  ->find("telemetry_probe.events")
+                  ->number);
+    EXPECT_EQ("stop", lines[3].find("type")->str);
+    EXPECT_EQ(2.0, lines[3].find("intervals")->number);
+
+    ctr.reset();
+}
+
+TEST(TelemetryTest, ManifestEmbedsTimeline)
+{
+    ASSERT_FALSE(obs::telemetryActive());
+    ASSERT_TRUE(obs::startTelemetry(60000));  // in-memory only
+    StatRegistry::instance()
+        .sharded("telemetry_probe2", "ops")
+        .add(4);
+    obs::Manifest m("telemetry_embed");
+    m.captureTelemetry();
+    obs::stopTelemetry();
+
+    const std::string j = m.toJson();
+    const auto pos = j.find("\"telemetry\": {");
+    ASSERT_NE(std::string::npos, pos);
+    EXPECT_NE(std::string::npos,
+              j.find("\"interval_ms\": 60000", pos));
+    EXPECT_NE(std::string::npos,
+              j.find("\"telemetry_probe2.ops\": 4", pos));
+    EXPECT_NE(std::string::npos, j.find("\"manifest\": true", pos));
+
+    // Without an active session the section is absent entirely.
+    obs::Manifest off("telemetry_off");
+    off.captureTelemetry();
+    EXPECT_EQ(std::string::npos, off.toJson().find("\"telemetry\""));
+
+    StatRegistry::instance().sharded("telemetry_probe2", "ops")
+        .reset();
 }
 
 } // namespace

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the manifest-diff perf-regression tracker (obs/json.hh +
+ * obs/perf_diff.hh): JSON parsing round-trips, metric classification,
+ * the baseline-as-contract diff semantics (a synthetic regressed
+ * manifest must fail), the wall-warn-only CI mode, and the
+ * BENCH_<name>.json trajectory file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/perf_diff.hh"
+
+namespace mgmee {
+namespace {
+
+using obs::JsonValue;
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + name;
+}
+
+JsonValue
+parse(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(obs::parseJson(text, v, error)) << error;
+    return v;
+}
+
+// ---- JSON parser ----------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsObjectsAndArrays)
+{
+    const JsonValue v = parse(
+        "{\"n\": -12.5e2, \"b\": true, \"z\": null,"
+        " \"s\": \"a\\\"b\\n\\u00e9\","
+        " \"arr\": [1, 2, 3], \"obj\": {\"k\": false}}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(-1250.0, v.find("n")->number);
+    EXPECT_TRUE(v.find("b")->boolean);
+    EXPECT_TRUE(v.find("z")->isNull());
+    EXPECT_EQ("a\"b\n\xc3\xa9", v.find("s")->str);
+    ASSERT_EQ(3u, v.find("arr")->items.size());
+    EXPECT_EQ(2.0, v.find("arr")->items[1].number);
+    EXPECT_FALSE(v.find("obj")->find("k")->boolean);
+    EXPECT_EQ(nullptr, v.find("missing"));
+}
+
+TEST(JsonTest, ReportsErrorsWithLineAndColumn)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("{\"a\": 1,\n  oops}", v, error));
+    EXPECT_NE(std::string::npos, error.find("2:"));
+    EXPECT_FALSE(obs::parseJson("{\"a\": 1} trailing", v, error));
+    EXPECT_NE(std::string::npos, error.find("trailing content"));
+    EXPECT_FALSE(obs::parseJson("", v, error));
+}
+
+TEST(JsonTest, DumpRoundTripsManifestStyleDocuments)
+{
+    const std::string text =
+        "{\"bench\": \"demo\", \"results\": {\"hit_rate\": 0.53125, "
+        "\"total\": 123456789}}";
+    const JsonValue v = parse(text);
+    const JsonValue again = parse(obs::dumpJson(v));
+    EXPECT_EQ(0.53125,
+              again.find("results")->find("hit_rate")->number);
+    EXPECT_EQ(123456789.0,
+              again.find("results")->find("total")->number);
+}
+
+// ---- metric classification ------------------------------------------
+
+TEST(PerfDiffTest, ClassifiesWallVsCounterMetrics)
+{
+    EXPECT_TRUE(obs::isWallMetric("total_walk_ns"));
+    EXPECT_TRUE(obs::isWallMetric("elapsed_seconds"));
+    EXPECT_TRUE(obs::isWallMetric("crypto.aes_gb_s"));
+    EXPECT_TRUE(obs::isWallMetric("t4.speedup"));
+    EXPECT_FALSE(obs::isWallMetric("hit_rate"));
+    EXPECT_FALSE(obs::isWallMetric("engine.hits"));
+    EXPECT_FALSE(obs::isWallMetric("bit_identical"));
+
+    EXPECT_EQ(1, obs::metricDirection("t4.speedup"));
+    EXPECT_EQ(1, obs::metricDirection("runs_per_sec"));
+    EXPECT_EQ(-1, obs::metricDirection("total_walk_ns"));
+    EXPECT_EQ(-1, obs::metricDirection("elapsed_seconds"));
+    EXPECT_EQ(0, obs::metricDirection("engine.hits"));
+}
+
+// ---- diff semantics -------------------------------------------------
+
+const char *kBaseline =
+    "{\"bench\": \"demo\","
+    " \"results\": {\"total_walk_ns\": 1000, \"t4.speedup\": 4.0,"
+    "               \"hit_rate\": 0.5, \"bit_identical\": true,"
+    "               \"mode\": \"portable\"},"
+    " \"stats\": {\"engine\": {\"hits\": 10}},"
+    " \"histograms\": {\"latency\": {\"p99\": 400}}}";
+
+std::string
+currentWith(const std::string &walk_ns, const std::string &speedup,
+            const std::string &hit_rate, const std::string &hits)
+{
+    return "{\"bench\": \"demo\","
+           " \"git\": \"abc123\","
+           " \"results\": {\"total_walk_ns\": " + walk_ns +
+           ", \"t4.speedup\": " + speedup +
+           ", \"hit_rate\": " + hit_rate +
+           ", \"bit_identical\": true,"
+           " \"mode\": \"portable\","
+           " \"extra_metric\": 99},"
+           " \"stats\": {\"engine\": {\"hits\": " + hits + "}},"
+           " \"histograms\": {\"latency\": {\"p99\": 400}}}";
+}
+
+TEST(PerfDiffTest, CleanRunPassesAndIgnoresExtraMetrics)
+{
+    const JsonValue base = parse(kBaseline);
+    const JsonValue cur =
+        parse(currentWith("1100", "3.9", "0.5", "10"));
+    const obs::PerfDiffReport r =
+        obs::diffManifests(base, cur, obs::PerfDiffConfig{});
+    EXPECT_EQ("demo", r.bench);
+    EXPECT_EQ(0u, r.regressions) << r.text();
+    EXPECT_EQ(0u, r.warnings);
+    // Extra metrics in the current manifest never participate.
+    for (const auto &d : r.deltas)
+        EXPECT_NE("extra_metric", d.key);
+}
+
+TEST(PerfDiffTest, SyntheticRegressionFailsHard)
+{
+    const JsonValue base = parse(kBaseline);
+    // 2x slower walk, collapsed speedup, drifted hit rate, lost hits.
+    const JsonValue bad =
+        parse(currentWith("2000", "1.5", "0.4", "9"));
+    const obs::PerfDiffReport r =
+        obs::diffManifests(base, bad, obs::PerfDiffConfig{});
+    EXPECT_EQ(4u, r.regressions) << r.text();
+    const std::string text = r.text();
+    EXPECT_NE(std::string::npos, text.find("FAIL"));
+    EXPECT_NE(std::string::npos, text.find("total_walk_ns"));
+    EXPECT_NE(std::string::npos, text.find("hit_rate"));
+}
+
+TEST(PerfDiffTest, WallWarnOnlyKeepsCountersHard)
+{
+    const JsonValue base = parse(kBaseline);
+    const JsonValue bad =
+        parse(currentWith("2000", "1.5", "0.4", "10"));
+    obs::PerfDiffConfig cfg;
+    cfg.wall_warn_only = true;
+    const obs::PerfDiffReport r = obs::diffManifests(base, bad, cfg);
+    // Wall drift (walk_ns, speedup) downgrades; hit_rate stays hard.
+    EXPECT_EQ(1u, r.regressions) << r.text();
+    EXPECT_EQ(2u, r.warnings);
+}
+
+TEST(PerfDiffTest, ImprovementsInTheGoodDirectionPass)
+{
+    const JsonValue base = parse(kBaseline);
+    // Much faster and a higher speedup: directional comparison must
+    // not flag improvements.
+    const JsonValue good =
+        parse(currentWith("400", "9.0", "0.5", "10"));
+    const obs::PerfDiffReport r =
+        obs::diffManifests(base, good, obs::PerfDiffConfig{});
+    EXPECT_EQ(0u, r.regressions) << r.text();
+}
+
+TEST(PerfDiffTest, MissingAndRetypedMetricsAlwaysFail)
+{
+    const JsonValue base = parse(kBaseline);
+    const JsonValue cur = parse(
+        "{\"bench\": \"demo\","
+        " \"results\": {\"total_walk_ns\": \"fast\","
+        "               \"t4.speedup\": 4.0, \"hit_rate\": 0.5,"
+        "               \"bit_identical\": true,"
+        "               \"mode\": \"release\"}}");
+    obs::PerfDiffConfig cfg;
+    cfg.wall_warn_only = true;  // missing metrics must stay hard
+    const obs::PerfDiffReport r = obs::diffManifests(base, cur, cfg);
+    // total_walk_ns retyped, stats/histograms sections gone (2
+    // metrics), mode string changed: 4 hard failures.
+    EXPECT_EQ(4u, r.regressions) << r.text();
+    unsigned missing = 0, mismatched = 0;
+    for (const auto &d : r.deltas) {
+        missing += d.missing;
+        mismatched += d.string_mismatch;
+    }
+    EXPECT_EQ(3u, missing);
+    EXPECT_EQ(1u, mismatched);
+}
+
+TEST(PerfDiffTest, IgnoreListAndTolerancesApply)
+{
+    const JsonValue base = parse(kBaseline);
+    const JsonValue cur =
+        parse(currentWith("1000", "4.0", "0.51", "11"));
+    obs::PerfDiffConfig cfg;
+    cfg.ignore.push_back("engine.hits");
+    cfg.counter_tolerance = 0.05;  // 2% hit_rate drift passes
+    const obs::PerfDiffReport r = obs::diffManifests(base, cur, cfg);
+    EXPECT_EQ(0u, r.regressions) << r.text();
+    for (const auto &d : r.deltas)
+        EXPECT_NE("engine.hits", d.key);
+}
+
+// ---- trajectory file ------------------------------------------------
+
+TEST(PerfDiffTest, TrajectoryAccumulatesEntries)
+{
+    const std::string dir = tmpPath("perf_traj");
+    // TempDir persists across test invocations; start from scratch.
+    std::remove((dir + "/BENCH_demo.json").c_str());
+    const JsonValue base = parse(kBaseline);
+    const JsonValue cur =
+        parse(currentWith("1100", "4.0", "0.5", "10"));
+    const obs::PerfDiffReport r =
+        obs::diffManifests(base, cur, obs::PerfDiffConfig{});
+
+    const std::string path1 = obs::appendTrajectory(dir, cur, r);
+    ASSERT_EQ(dir + "/BENCH_demo.json", path1);
+    const std::string path2 = obs::appendTrajectory(dir, cur, r);
+    ASSERT_EQ(path1, path2);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(obs::parseJsonFile(path1, doc, error)) << error;
+    EXPECT_EQ("demo", doc.find("bench")->str);
+    const JsonValue *entries = doc.find("entries");
+    ASSERT_NE(nullptr, entries);
+    ASSERT_EQ(2u, entries->items.size());
+    const JsonValue &entry = entries->items[1];
+    EXPECT_EQ("abc123", entry.find("git")->str);
+    EXPECT_EQ(0.0, entry.find("regressions")->number);
+    const JsonValue *metrics = entry.find("metrics");
+    ASSERT_NE(nullptr, metrics);
+    EXPECT_EQ(1100.0,
+              metrics->find("results/total_walk_ns")->number);
+    EXPECT_EQ(10.0, metrics->find("stats/engine.hits")->number);
+}
+
+} // namespace
+} // namespace mgmee

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * mgmee-perf-diff: the standing perf gate.  Compares a fresh run
+ * manifest against a checked-in baseline (results/baselines/),
+ * prints per-metric deltas, appends a BENCH_<bench>.json trajectory
+ * entry, and exits nonzero when any hard regression is found.
+ *
+ *   mgmee-perf-diff --baseline <file> --current <file>
+ *                   [--wall-tolerance <frac>]   (default 0.25)
+ *                   [--counter-tolerance <frac>] (default 0, exact)
+ *                   [--wall-warn-only]
+ *                   [--ignore <metric-key>]...
+ *                   [--bench-out <dir>]         (default results)
+ *                   [--no-trajectory]
+ *
+ * Counter/ratio metrics (event counts, verdict strings, booleans)
+ * are deterministic and fail hard on any drift beyond
+ * --counter-tolerance.  Wall-clock metrics (_ns/seconds/speedup/...)
+ * are compared directionally against --wall-tolerance and can be
+ * downgraded to warnings with --wall-warn-only for shared CI
+ * runners.  A metric the baseline names that is missing from the
+ * current manifest always fails: baselines are the curated contract.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/perf_diff.hh"
+
+using namespace mgmee;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mgmee-perf-diff --baseline <file> --current <file>\n"
+        "                       [--wall-tolerance <frac>]\n"
+        "                       [--counter-tolerance <frac>]\n"
+        "                       [--wall-warn-only]\n"
+        "                       [--ignore <metric-key>]...\n"
+        "                       [--bench-out <dir>] "
+        "[--no-trajectory]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path, bench_out = "results";
+    bool trajectory = true;
+    obs::PerfDiffConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (std::strcmp(arg, "--baseline") == 0) {
+            const char *v = next();
+            if (!v)
+                return usage();
+            baseline_path = v;
+        } else if (std::strcmp(arg, "--current") == 0) {
+            const char *v = next();
+            if (!v)
+                return usage();
+            current_path = v;
+        } else if (std::strcmp(arg, "--wall-tolerance") == 0) {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.wall_tolerance = std::atof(v);
+        } else if (std::strcmp(arg, "--counter-tolerance") == 0) {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.counter_tolerance = std::atof(v);
+        } else if (std::strcmp(arg, "--wall-warn-only") == 0) {
+            cfg.wall_warn_only = true;
+        } else if (std::strcmp(arg, "--ignore") == 0) {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.ignore.push_back(v);
+        } else if (std::strcmp(arg, "--bench-out") == 0) {
+            const char *v = next();
+            if (!v)
+                return usage();
+            bench_out = v;
+        } else if (std::strcmp(arg, "--no-trajectory") == 0) {
+            trajectory = false;
+        } else {
+            return usage();
+        }
+    }
+    if (baseline_path.empty() || current_path.empty())
+        return usage();
+
+    obs::JsonValue baseline, current;
+    std::string error;
+    if (!obs::parseJsonFile(baseline_path, baseline, error)) {
+        std::fprintf(stderr, "mgmee-perf-diff: %s\n", error.c_str());
+        return 2;
+    }
+    if (!obs::parseJsonFile(current_path, current, error)) {
+        std::fprintf(stderr, "mgmee-perf-diff: %s\n", error.c_str());
+        return 2;
+    }
+
+    const obs::PerfDiffReport report =
+        obs::diffManifests(baseline, current, cfg);
+    std::fputs(report.text().c_str(), stdout);
+
+    if (trajectory) {
+        const std::string path =
+            obs::appendTrajectory(bench_out, current, report);
+        if (path.empty())
+            std::fprintf(stderr,
+                         "mgmee-perf-diff: could not write "
+                         "trajectory under %s\n",
+                         bench_out.c_str());
+        else
+            std::printf("trajectory: %s\n", path.c_str());
+    }
+
+    return report.regressions > 0 ? 1 : 0;
+}

@@ -84,7 +84,15 @@ usage()
         "                    as mgmee-trace v1 text files and exit\n"
         "  --trace-cpu/--trace-gpu/--trace-npu1/--trace-npu2 <file>\n"
         "                    replay external traces instead of the\n"
-        "                    synthetic device models\n");
+        "                    synthetic device models\n"
+        "environment:\n"
+        "  MGMEE_TELEMETRY=<ms>   stream interval stat snapshots to\n"
+        "                         a JSONL timeline (obs/telemetry)\n"
+        "  MGMEE_TELEMETRY_PATH   timeline path (default\n"
+        "                         results/telemetry.jsonl)\n"
+        "  MGMEE_HUD=1            live terminal HUD on stderr\n"
+        "                         (current cell, events/sec, quantum\n"
+        "                         wall p50/p99, crypto GB/s)\n");
 }
 
 Scenario
@@ -297,6 +305,7 @@ main(int argc, char **argv)
         std::printf("%s", report.matrixText().c_str());
         obs::Manifest manifest("attack_campaign");
         report.fillManifest(manifest);
+        manifest.captureTelemetry();
         manifest.captureRegistry();
         const std::string path = manifest.write();
         if (!path.empty())

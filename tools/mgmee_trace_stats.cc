@@ -58,7 +58,11 @@ analyseObs(const char *path, const std::string &jsonl_out)
     std::uint64_t chunk_lines[4] = {}, chunk_events[4] = {};
     std::uint64_t fault_inject[fault::kAttackClasses] = {};
     std::uint64_t fault_verdicts[fault::kAttackClasses][5] = {};
+    std::uint64_t inject_tick[fault::kAttackClasses] = {};
+    bool inject_seen[fault::kAttackClasses] = {};
+    Histogram fault_latency[fault::kAttackClasses];
     std::uint64_t batch_flushes = 0, batch_macs = 0;
+    std::uint64_t dropped = 0, dropped_threads = 0;
     for (const obs::TraceRecord &r : recs) {
         ++by_kind[r.kind];
         switch (static_cast<obs::EventKind>(r.kind)) {
@@ -90,12 +94,29 @@ analyseObs(const char *path, const std::string &jsonl_out)
             batch_macs += r.value;
             break;
           case obs::EventKind::FaultInject:
-            if (r.arg0 < fault::kAttackClasses)
+            if (r.arg0 < fault::kAttackClasses) {
                 ++fault_inject[r.arg0];
+                // cycle carries the injector's deterministic tick
+                // clock; remembered for the verdict's latency.
+                inject_tick[r.arg0] = r.cycle;
+                inject_seen[r.arg0] = true;
+            }
             break;
           case obs::EventKind::FaultVerdict:
-            if (r.arg0 < fault::kAttackClasses && r.value < 5)
+            if (r.arg0 < fault::kAttackClasses && r.value < 5) {
                 ++fault_verdicts[r.arg0][r.value];
+                if (inject_seen[r.arg0] &&
+                    r.cycle >= inject_tick[r.arg0]) {
+                    fault_latency[r.arg0].record(
+                        r.cycle - inject_tick[r.arg0]);
+                    inject_seen[r.arg0] = false;
+                }
+            }
+            break;
+          case obs::EventKind::TraceDropped:
+            // Per-thread drop trailer: addr = records lost.
+            dropped += r.addr;
+            ++dropped_threads;
             break;
           default:
             break;
@@ -175,7 +196,18 @@ analyseObs(const char *path, const std::string &jsonl_out)
                                 static_cast<fault::Verdict>(v)));
             }
         }
+        if (fault_latency[c].count())
+            std::printf("; detect latency %s ticks",
+                        fault_latency[c].summary().c_str());
         std::printf("\n");
+    }
+    if (dropped) {
+        std::printf("  DROPPED: %llu record(s) lost across %llu "
+                    "thread buffer(s) -- counts above undercount\n",
+                    static_cast<unsigned long long>(dropped),
+                    static_cast<unsigned long long>(dropped_threads));
+    } else {
+        std::printf("  dropped records: none\n");
     }
     std::printf("\n");
 
