@@ -45,8 +45,8 @@ namespace {
 std::uint64_t
 envFaultSeed()
 {
-    if (const char *s = std::getenv("MGMEE_FAULT_SEED"))
-        return std::strtoull(s, nullptr, 10);
+    if (config().fault_seed != 0)
+        return config().fault_seed;
     return bench::envSeed();
 }
 
@@ -54,10 +54,9 @@ std::vector<fault::AttackClass>
 envFaultClasses()
 {
     std::vector<fault::AttackClass> classes;
-    const char *s = std::getenv("MGMEE_FAULT_CLASSES");
-    if (!s || !*s)
+    const std::string &spec = config().fault_classes;
+    if (spec.empty())
         return classes;  // empty = all
-    std::string spec(s);
     std::size_t pos = 0;
     while (pos <= spec.size()) {
         std::size_t comma = spec.find(',', pos);
@@ -105,15 +104,7 @@ main()
 
     obs::Manifest manifest("attack_campaign");
     report.fillManifest(manifest);
-    manifest.captureTelemetry();
-    manifest.captureRegistry();
-    manifest.captureProfiler();
-    manifest.captureTraceSummary();
-    const std::string path = manifest.write();
-    if (!path.empty())
-        std::printf("wrote %s\n", path.c_str());
-    else
-        std::fprintf(stderr, "could not write run manifest\n");
+    obs::ManifestReporter::finalize(manifest);
 
     if (!report.coreEnginesFullyDetect()) {
         std::fprintf(stderr,

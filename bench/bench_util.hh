@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/threads.hh"
 #include "hetero/metrics.hh"
 #include "hetero/run_memo.hh"
@@ -46,15 +47,13 @@ namespace mgmee::bench {
 inline double
 envScale()
 {
-    const char *s = std::getenv("MGMEE_SCALE");
-    return s ? std::atof(s) : 0.5;
+    return config().scale;
 }
 
 inline std::uint64_t
 envSeed()
 {
-    const char *s = std::getenv("MGMEE_SEED");
-    return s ? std::strtoull(s, nullptr, 10) : 1;
+    return config().seed;
 }
 
 /** MGMEE_THREADS, shared with the scheduler and fault campaign
@@ -69,15 +68,13 @@ inline std::vector<Scenario>
 sweepScenarios()
 {
     std::vector<Scenario> all = allScenarios();
-    if (const char *s = std::getenv("MGMEE_SCENARIOS")) {
-        const std::size_t n = std::strtoull(s, nullptr, 10);
-        if (n > 0 && n < all.size()) {
-            // Take an evenly spaced subsample to stay representative.
-            std::vector<Scenario> subset;
-            for (std::size_t i = 0; i < n; ++i)
-                subset.push_back(all[i * all.size() / n]);
-            return subset;
-        }
+    const std::size_t n = config().scenarios;
+    if (n > 0 && n < all.size()) {
+        // Take an evenly spaced subsample to stay representative.
+        std::vector<Scenario> subset;
+        for (std::size_t i = 0; i < n; ++i)
+            subset.push_back(all[i * all.size() / n]);
+        return subset;
     }
     return all;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "common/types.hh"
 #include "crypto/batch.hh"
 #include "crypto/dispatch.hh"
@@ -260,17 +261,12 @@ main()
     m.set("speedup.otp_pads", otp_speedup);
     m.set("speedup.sip_x4_vs_scalar", sip_speedup);
     m.set("speedup.mac_batch_vs_scalar", mac_speedup);
-    m.captureTelemetry();
-    m.captureRegistry();
-    const std::string path = m.write();
-    if (!path.empty())
-        std::printf("manifest: %s\n", path.c_str());
+    obs::ManifestReporter::finalize(m);
 
     // CI gate: on hardware with a SIMD tier the batched AES data
     // plane must beat portable-scalar by 3x, and the batched/lane
     // SipHash paths must not regress below their scalar baselines.
-    if (const char *e = std::getenv("MGMEE_ENFORCE_CRYPTO");
-        e && *e == '1' && best != crypto::Isa::Portable) {
+    if (config().enforce_crypto && best != crypto::Isa::Portable) {
         bool ok = true;
         if (aes_speedup < 3.0) {
             std::fprintf(stderr,

@@ -16,6 +16,7 @@
 #include <sys/stat.h>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "obs/manifest.hh"
 
 using namespace mgmee;
@@ -23,8 +24,7 @@ using namespace mgmee;
 int
 main()
 {
-    const char *env_dir = std::getenv("MGMEE_RESULTS_DIR");
-    const std::string dir = env_dir ? env_dir : "results";
+    const std::string dir = config().results_dir;
     ::mkdir(dir.c_str(), 0755);
     const std::string path = dir + "/sweep.csv";
 
@@ -79,12 +79,6 @@ main()
     manifest.set("scale", scale);
     manifest.set("seed", seed);
     manifest.addHistogram("security_misses", miss_hist);
-    manifest.captureTelemetry();
-    manifest.captureRegistry();
-    manifest.captureProfiler();
-    manifest.captureTraceSummary();
-    const std::string mpath = manifest.write(dir);
-    if (!mpath.empty())
-        std::printf("wrote %s\n", mpath.c_str());
+    obs::ManifestReporter::finalize(manifest, dir);
     return 0;
 }

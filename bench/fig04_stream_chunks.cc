@@ -70,12 +70,6 @@ main()
     manifest.set("total_lines4k", all_lines[2]);
     manifest.set("total_lines32k", all_lines[3]);
     manifest.set("npu_32k_share", 100.0 * npu_lines[3] / npu_total);
-    manifest.captureTelemetry();
-    manifest.captureRegistry();
-    manifest.captureProfiler();
-    manifest.captureTraceSummary();
-    const std::string path = manifest.write();
-    if (!path.empty())
-        std::printf("wrote %s\n", path.c_str());
+    obs::ManifestReporter::finalize(manifest);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 
 using namespace mgmee;
 
@@ -25,7 +26,7 @@ main()
     auto scenarios = bench::sweepScenarios();
     // Static-device-best needs a 4-granularity search per scenario;
     // cap the sweep so the default run stays fast.
-    if (scenarios.size() > 60 && !std::getenv("MGMEE_SCENARIOS")) {
+    if (scenarios.size() > 60 && config().scenarios == 0) {
         std::vector<Scenario> s;
         for (std::size_t i = 0; i < 60; ++i)
             s.push_back(scenarios[i * scenarios.size() / 60]);

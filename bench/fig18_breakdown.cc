@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 
 using namespace mgmee;
 
@@ -26,7 +27,7 @@ main()
         Scheme::MultiCtrOnly, Scheme::Ours, Scheme::BmfUnusedOurs,
     };
     auto scenarios = bench::sweepScenarios();
-    if (scenarios.size() > 60 && !std::getenv("MGMEE_SCENARIOS")) {
+    if (scenarios.size() > 60 && config().scenarios == 0) {
         std::vector<Scenario> s;
         for (std::size_t i = 0; i < 60; ++i)
             s.push_back(scenarios[i * scenarios.size() / 60]);

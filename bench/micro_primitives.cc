@@ -315,10 +315,6 @@ main(int argc, char **argv)
             m.set(row.name + ".bytes_per_second",
                   row.bytes_per_second);
     }
-    m.captureTelemetry();
-    m.captureRegistry();
-    const std::string path = m.write();
-    if (!path.empty())
-        std::printf("manifest: %s\n", path.c_str());
+    obs::ManifestReporter::finalize(m);
     return 0;
 }

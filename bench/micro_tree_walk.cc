@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/rng.hh"
 #include "crypto/mac.hh"
 #include "mee/secure_memory.hh"
@@ -238,9 +239,8 @@ main()
 {
     using namespace mgmee;
 
-    const char *env_ops = std::getenv("MGMEE_WALK_OPS");
     const std::size_t ops_per_phase =
-        env_ops ? std::strtoull(env_ops, nullptr, 10) : 200000;
+        config().walk_ops ? config().walk_ops : 200000;
 
     const SecureMemory::Keys keys = benchKeys();
     MapTreeBaseline base(kRegionBytes, keys.mac);
@@ -302,14 +302,6 @@ main()
     manifest.set("total_baseline_ns", total_base);
     manifest.set("total_flat_ns", total_flat);
     manifest.set("total_speedup", speedup);
-    manifest.captureTelemetry();
-    manifest.captureRegistry();
-    manifest.captureProfiler();
-    manifest.captureTraceSummary();
-    const std::string path = manifest.write();
-    if (!path.empty())
-        std::printf("wrote %s\n", path.c_str());
-    else
-        std::fprintf(stderr, "could not write run manifest\n");
+    obs::ManifestReporter::finalize(manifest);
     return 0;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "common/threads.hh"
 #include "hetero/run_memo.hh"
 #include "obs/manifest.hh"
@@ -41,7 +42,7 @@ namespace {
 std::vector<Scenario>
 scalingScenarios()
 {
-    if (std::getenv("MGMEE_SCENARIOS"))
+    if (config().scenarios != 0)
         return bench::sweepScenarios();
     const std::vector<Scenario> all = allScenarios();
     std::vector<Scenario> subset;
@@ -182,15 +183,7 @@ main()
     }
     manifest.set("bit_identical", identical);
     manifest.set("speedup_8t", speedup8);
-    manifest.captureTelemetry();
-    manifest.captureRegistry();
-    manifest.captureProfiler();
-    manifest.captureTraceSummary();
-    const std::string path = manifest.write();
-    if (!path.empty())
-        std::printf("wrote %s\n", path.c_str());
-    else
-        std::fprintf(stderr, "could not write run manifest\n");
+    obs::ManifestReporter::finalize(manifest);
 
     if (!identical) {
         std::fprintf(stderr,
@@ -198,8 +191,7 @@ main()
                      "from the single-thread run\n");
         return 1;
     }
-    const char *enforce = std::getenv("MGMEE_ENFORCE_SCALING");
-    if (enforce && std::atoi(enforce) != 0 && speedup8 < 3.0) {
+    if (config().enforce_scaling && speedup8 < 3.0) {
         std::fprintf(stderr,
                      "shard_scaling: 8-thread speedup %.2fx below "
                      "the 3x target\n",

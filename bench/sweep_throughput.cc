@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "hetero/run_memo.hh"
 #include "obs/manifest.hh"
 #include "workloads/trace_repo.hh"
@@ -95,9 +96,9 @@ main()
     const auto scenarios = bench::sweepScenarios();
     const double scale = bench::envScale();
     const std::uint64_t seed = bench::envSeed();
-    const char *env_reps = std::getenv("MGMEE_SWEEP_REPS");
-    const unsigned reps =
-        env_reps ? std::max(1, std::atoi(env_reps)) : 3;
+    const unsigned reps = config().sweep_reps
+                              ? static_cast<unsigned>(config().sweep_reps)
+                              : 3;
 
     std::printf("=== sweep_throughput: %zu scenarios x %zu schemes "
                 "x %u reps (scale %.2f) ===\n",
@@ -106,14 +107,17 @@ main()
 
     // Unmemoized reference first: the pre-ISSUE-2 path, traces and
     // runs regenerated per call.
-    setenv("MGMEE_MEMO", "0", 1);
+    Config cfg = config();
+    cfg.memo = false;
+    setConfig(cfg);
     TraceRepo::instance().clear();
     runMemoClear();
     const WorkloadResult off =
         runWorkload(scenarios, scale, seed, reps);
 
     // Memoized run from a cold cache.
-    setenv("MGMEE_MEMO", "1", 1);
+    cfg.memo = true;
+    setConfig(cfg);
     TraceRepo::instance().clear();
     runMemoClear();
     const WorkloadResult on = runWorkload(scenarios, scale, seed, reps);
@@ -161,15 +165,7 @@ main()
     manifest.set("bit_identical", true);
     manifest.set("run_memo_hits", memo.run_hits);
     manifest.set("run_memo_misses", memo.run_misses);
-    manifest.captureTelemetry();
-    manifest.captureRegistry();
-    manifest.captureProfiler();
-    manifest.captureTraceSummary();
-    const std::string path = manifest.write();
-    if (!path.empty())
-        std::printf("wrote %s\n", path.c_str());
-    else
-        std::fprintf(stderr, "could not write run manifest\n");
+    obs::ManifestReporter::finalize(manifest);
 
     if (speedup < 1.0) {
         std::fprintf(stderr,

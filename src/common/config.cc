@@ -1,0 +1,259 @@
+#include "common/config.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <set>
+
+#include "common/logging.hh"
+
+extern char **environ;
+
+namespace mgmee {
+
+namespace {
+
+/**
+ * Knob table: name, plus a parse hook writing into a Config.  This is
+ * the single place a knob exists; fromEnv(), the unknown-knob scan
+ * and Config::items() all derive from it, so adding a knob is one
+ * entry here plus a field in the struct.
+ */
+struct KnobDef
+{
+    const char *name;
+    void (*parse)(Config &, const char *);
+    std::string (*render)(const Config &);
+};
+
+std::uint64_t
+parseU64(const char *name, const char *s, std::uint64_t fallback)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || (end && *end)) {
+        warn("%s=\"%s\" is not a number; using %llu", name, s,
+             static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+double
+parseDouble(const char *name, const char *s, double fallback)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || (end && *end)) {
+        warn("%s=\"%s\" is not a number; using %g", name, s, fallback);
+        return fallback;
+    }
+    return v;
+}
+
+/** "0" and "" are false, anything else true (matches the historical
+ *  atoi-based readers for numeric flags, plus bare "1"). */
+bool
+parseBool(const char *s)
+{
+    return *s && std::strcmp(s, "0") != 0;
+}
+
+std::string
+renderBool(bool b)
+{
+    return b ? "1" : "0";
+}
+
+std::string
+renderDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+#define NUM_KNOB(env_name, field)                                            \
+    {                                                                        \
+        env_name,                                                            \
+        [](Config &c, const char *s) {                                       \
+            c.field = static_cast<decltype(c.field)>(                        \
+                parseU64(env_name, s,                                        \
+                         static_cast<std::uint64_t>(Config{}.field)));       \
+        },                                                                   \
+        [](const Config &c) {                                                \
+            return std::to_string(                                           \
+                static_cast<std::uint64_t>(c.field));                        \
+        },                                                                   \
+    }
+
+#define BOOL_KNOB(env_name, field)                                           \
+    {                                                                        \
+        env_name,                                                            \
+        [](Config &c, const char *s) { c.field = parseBool(s); },            \
+        [](const Config &c) { return renderBool(c.field); },                 \
+    }
+
+#define STR_KNOB(env_name, field)                                            \
+    {                                                                        \
+        env_name,                                                            \
+        [](Config &c, const char *s) { c.field = s; },                       \
+        [](const Config &c) { return c.field; },                             \
+    }
+
+const KnobDef kKnobs[] = {
+    NUM_KNOB("MGMEE_SCENARIOS", scenarios),
+    {
+        "MGMEE_SCALE",
+        [](Config &c, const char *s) {
+            c.scale = parseDouble("MGMEE_SCALE", s, Config{}.scale);
+        },
+        [](const Config &c) { return renderDouble(c.scale); },
+    },
+    NUM_KNOB("MGMEE_SEED", seed),
+    NUM_KNOB("MGMEE_THREADS", threads),
+    NUM_KNOB("MGMEE_SHARDS", shards),
+    NUM_KNOB("MGMEE_QUANTUM", quantum),
+    BOOL_KNOB("MGMEE_MEMO", memo),
+    NUM_KNOB("MGMEE_SWEEP_REPS", sweep_reps),
+    NUM_KNOB("MGMEE_WALK_OPS", walk_ops),
+    STR_KNOB("MGMEE_TRACE", trace_path),
+    BOOL_KNOB("MGMEE_PROFILE", profile),
+    STR_KNOB("MGMEE_RESULTS_DIR", results_dir),
+    NUM_KNOB("MGMEE_TELEMETRY", telemetry_ms),
+    STR_KNOB("MGMEE_TELEMETRY_PATH", telemetry_path),
+    BOOL_KNOB("MGMEE_HUD", hud),
+    STR_KNOB("MGMEE_CRYPTO", crypto),
+    NUM_KNOB("MGMEE_FAULT_SEED", fault_seed),
+    STR_KNOB("MGMEE_FAULT_CLASSES", fault_classes),
+    BOOL_KNOB("MGMEE_ENFORCE_SCALING", enforce_scaling),
+    BOOL_KNOB("MGMEE_ENFORCE_CRYPTO", enforce_crypto),
+    BOOL_KNOB("MGMEE_ENFORCE_SERVE", enforce_serve),
+    STR_KNOB("MGMEE_SERVE_SOCKET", serve_socket),
+    NUM_KNOB("MGMEE_SERVE_TENANTS", serve_tenants),
+    NUM_KNOB("MGMEE_SERVE_QUEUE_DEPTH", serve_queue_depth),
+    NUM_KNOB("MGMEE_SERVE_BATCH", serve_batch),
+    NUM_KNOB("MGMEE_SERVE_MEM", serve_mem_bytes),
+    NUM_KNOB("MGMEE_SERVE_REQUESTS", serve_requests),
+};
+
+#undef NUM_KNOB
+#undef BOOL_KNOB
+#undef STR_KNOB
+
+/**
+ * Warn once per unknown MGMEE_* environment name.  The set persists
+ * across reloadConfigFromEnv() so tests flipping knobs do not re-warn
+ * on the same typo every reload.
+ */
+void
+warnUnknownKnobs()
+{
+    static std::set<std::string> &warned = *new std::set<std::string>;
+    for (char **e = environ; e && *e; ++e) {
+        const char *entry = *e;
+        if (std::strncmp(entry, "MGMEE_", 6) != 0)
+            continue;
+        const char *eq = std::strchr(entry, '=');
+        const std::string name(entry,
+                               eq ? static_cast<std::size_t>(
+                                        eq - entry)
+                                  : std::strlen(entry));
+        bool known = false;
+        for (const KnobDef &k : kKnobs) {
+            if (name == k.name) {
+                known = true;
+                break;
+            }
+        }
+        if (!known && warned.insert(name).second)
+            warn("unknown knob %s ignored (known knobs are listed "
+                 "in docs/API.md)",
+                 name.c_str());
+    }
+}
+
+/** Immortal: config() must stay usable from static init and exit
+ *  handlers (obs auto-start objects, atexit flushes). */
+Config &
+processConfig()
+{
+    static Config &c = *new Config(Config::fromEnv());
+    return c;
+}
+
+} // namespace
+
+Config
+Config::fromEnv()
+{
+    Config c;
+    warnUnknownKnobs();
+    for (const KnobDef &k : kKnobs) {
+        const char *value = std::getenv(k.name);
+        if (!value)
+            continue;
+        c.raw_env_.emplace_back(k.name, value);
+        k.parse(c, value);
+    }
+    const std::string err = c.validate();
+    if (!err.empty())
+        fatal("invalid MGMEE_* environment: %s", err.c_str());
+    return c;
+}
+
+std::string
+Config::validate() const
+{
+    if (!(scale > 0.0))
+        return "MGMEE_SCALE must be > 0";
+    if (crypto != "auto" && crypto != "portable" &&
+        crypto != "aesni" && crypto != "vaes")
+        return "MGMEE_CRYPTO must be auto|portable|aesni|vaes";
+    if (results_dir.empty())
+        return "MGMEE_RESULTS_DIR must not be empty";
+    if (serve_tenants == 0)
+        return "MGMEE_SERVE_TENANTS must be >= 1";
+    if (serve_batch == 0)
+        return "MGMEE_SERVE_BATCH must be >= 1";
+    if (serve_queue_depth < serve_batch)
+        return "MGMEE_SERVE_QUEUE_DEPTH must fit at least one batch "
+               "(>= MGMEE_SERVE_BATCH)";
+    if (serve_mem_bytes < kChunkBytes)
+        return "MGMEE_SERVE_MEM must cover at least one 32KB chunk";
+    return "";
+}
+
+std::vector<std::pair<std::string, std::string>>
+Config::items() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(std::size(kKnobs));
+    for (const KnobDef &k : kKnobs)
+        out.emplace_back(k.name, k.render(*this));
+    return out;
+}
+
+const Config &
+config()
+{
+    return processConfig();
+}
+
+void
+setConfig(const Config &c)
+{
+    const std::string err = c.validate();
+    if (!err.empty())
+        fatal("setConfig: %s", err.c_str());
+    processConfig() = c;
+}
+
+void
+reloadConfigFromEnv()
+{
+    processConfig() = Config::fromEnv();
+}
+
+} // namespace mgmee

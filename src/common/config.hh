@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Typed process configuration: the single owner of every `MGMEE_*`
+ * environment knob.
+ *
+ * Before this layer, each subsystem parsed its own knobs with ad-hoc
+ * `getenv` calls scattered over a dozen files, which meant typos were
+ * silently ignored, the set of knobs in effect was unknowable at run
+ * time, and programmatic embedders (the serve layer, tests) had no
+ * way to configure an engine except by mutating the environment.
+ *
+ * The redesigned contract:
+ *
+ *  - `Config` is a plain validated struct.  Servers, benches and
+ *    tests construct engines from a Config value; nothing below this
+ *    file reads the environment.
+ *  - `Config::fromEnv()` is the one loader that parses the
+ *    environment.  It scans for unknown `MGMEE_*` names and warns on
+ *    each (a misspelled knob is a user error worth surfacing), and it
+ *    records which knobs were explicitly set so manifests can
+ *    distinguish "defaulted" from "requested".
+ *  - `config()` returns the process-wide instance (lazily loaded
+ *    from the environment).  `setConfig()` replaces it -- setup /
+ *    test context only, before worker threads consult it.
+ *  - `obs::Manifest` dumps the full effective configuration into
+ *    every run manifest, so an artifact always records the exact
+ *    knob state that produced it.
+ *
+ * A CI grep gate enforces that no raw getenv of an `MGMEE_*` name
+ * exists outside common/config.cc.
+ */
+
+#ifndef MGMEE_COMMON_CONFIG_HH
+#define MGMEE_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mgmee {
+
+/** Every MGMEE_* knob, parsed once and carried as typed fields. */
+struct Config
+{
+    // ---- sweep shaping (bench/bench_util.hh) -------------------------
+    /** MGMEE_SCENARIOS: cap on scenarios swept; 0 = all. */
+    std::size_t scenarios = 0;
+    /** MGMEE_SCALE: trace-length multiplier. */
+    double scale = 0.5;
+    /** MGMEE_SEED: base RNG seed. */
+    std::uint64_t seed = 1;
+
+    // ---- parallelism (common/threads.hh applies the clamps) ----------
+    /** MGMEE_THREADS: worker threads; 0 = all hardware threads. */
+    unsigned threads = 0;
+    /** MGMEE_SHARDS: event-scheduler shards; 0 = sharding off. */
+    unsigned shards = 0;
+    /** MGMEE_QUANTUM: scheduler window (cycles); 0 = default 256. */
+    Cycle quantum = 0;
+
+    // ---- sweep-layer caching -----------------------------------------
+    /** MGMEE_MEMO: trace repo + run-result memo ("0" disables). */
+    bool memo = true;
+    /** MGMEE_SWEEP_REPS: sweep_throughput repetitions; 0 = default. */
+    unsigned sweep_reps = 0;
+    /** MGMEE_WALK_OPS: micro_tree_walk ops/phase; 0 = default. */
+    std::uint64_t walk_ops = 0;
+
+    // ---- observability -----------------------------------------------
+    /** MGMEE_TRACE: binary event-trace path; empty = tracing off. */
+    std::string trace_path;
+    /** MGMEE_PROFILE: phase profiler on/off. */
+    bool profile = false;
+    /** MGMEE_RESULTS_DIR: manifest/CSV output directory. */
+    std::string results_dir = "results";
+    /** MGMEE_TELEMETRY: sampling interval in ms; 0 = off. */
+    unsigned telemetry_ms = 0;
+    /** MGMEE_TELEMETRY_PATH: JSONL timeline path; empty = default. */
+    std::string telemetry_path;
+    /** MGMEE_HUD: one-line live stderr HUD. */
+    bool hud = false;
+
+    // ---- crypto data plane -------------------------------------------
+    /** MGMEE_CRYPTO: auto|portable|aesni|vaes. */
+    std::string crypto = "auto";
+
+    // ---- fault campaign ----------------------------------------------
+    /** MGMEE_FAULT_SEED: campaign seed; 0 = fall back to seed. */
+    std::uint64_t fault_seed = 0;
+    /** MGMEE_FAULT_CLASSES: comma list of attack classes; "" = all. */
+    std::string fault_classes;
+
+    // ---- CI enforcement gates ----------------------------------------
+    /** MGMEE_ENFORCE_SCALING: fail shard_scaling below 3x @ 8t. */
+    bool enforce_scaling = false;
+    /** MGMEE_ENFORCE_CRYPTO: fail crypto_throughput below 3x AES. */
+    bool enforce_crypto = false;
+    /** MGMEE_ENFORCE_SERVE: fail serve_throughput below 1M req/s. */
+    bool enforce_serve = false;
+
+    // ---- service mode (src/serve/) -----------------------------------
+    /** MGMEE_SERVE_SOCKET: unix-domain socket path. */
+    std::string serve_socket = "/tmp/mgmee-serve.sock";
+    /** MGMEE_SERVE_TENANTS: tenants a default session hosts. */
+    unsigned serve_tenants = 4;
+    /** MGMEE_SERVE_QUEUE_DEPTH: per-tenant admission bound
+     *  (outstanding requests); overflow is shed. */
+    unsigned serve_queue_depth = 8192;
+    /** MGMEE_SERVE_BATCH: requests per generated batch. */
+    unsigned serve_batch = 256;
+    /** MGMEE_SERVE_MEM: protected bytes per tenant. */
+    std::uint64_t serve_mem_bytes = 32 * kChunkBytes;
+    /** MGMEE_SERVE_REQUESTS: request budget for tools; 0 = default. */
+    std::uint64_t serve_requests = 0;
+
+    /**
+     * Parse the environment: one getenv sweep over the known knobs,
+     * plus a scan of the whole environment for unknown `MGMEE_*`
+     * names (each warns once).  Malformed numeric values keep the
+     * field default and warn.
+     */
+    static Config fromEnv();
+
+    /**
+     * Check cross-field invariants.  Returns "" when valid, else a
+     * human-readable description of the first problem.  config()
+     * treats an invalid environment as fatal.
+     */
+    std::string validate() const;
+
+    /**
+     * Every knob with its *effective* value, rendered as strings in
+     * declaration order ("MGMEE_SCALE" -> "0.5", ...).  This is what
+     * manifests embed as the "config" section.
+     */
+    std::vector<std::pair<std::string, std::string>> items() const;
+
+    /**
+     * The knobs that were explicitly present in the environment at
+     * fromEnv() time, with their raw string values (manifests keep
+     * these as the "knobs" section).  Empty for a Config that was
+     * never loaded from the environment.
+     */
+    const std::vector<std::pair<std::string, std::string>> &
+    rawEnv() const
+    {
+        return raw_env_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> raw_env_;
+};
+
+/**
+ * The process-wide configuration.  First call loads from the
+ * environment (fatal on validate() failure); later calls return the
+ * same instance until setConfig() replaces it.
+ */
+const Config &config();
+
+/**
+ * Replace the process configuration (fatal on invalid @p c).  Setup
+ * and test context only: callers must not race readers -- swap before
+ * starting worker threads, exactly like setenv before this layer.
+ */
+void setConfig(const Config &c);
+
+/** Re-parse the environment into the process config (test helper for
+ *  code that mutates knobs with setenv mid-process). */
+void reloadConfigFromEnv();
+
+} // namespace mgmee
+
+#endif // MGMEE_COMMON_CONFIG_HH

@@ -252,6 +252,24 @@ StatRegistry::dump() const
     return out;
 }
 
+std::size_t
+StatRegistry::erasePrefix(const std::string &prefix)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t dropped = 0;
+    auto eraseIn = [&](auto &table) {
+        for (auto it = table.lower_bound(prefix);
+             it != table.end() &&
+             it->first.compare(0, prefix.size(), prefix) == 0;) {
+            it = table.erase(it);
+            ++dropped;
+        }
+    };
+    eraseIn(groups_);
+    eraseIn(sharded_);
+    return dropped;
+}
+
 void
 StatRegistry::reset()
 {

@@ -200,6 +200,16 @@ class StatRegistry
     /** Zero every registered counter (test/bench isolation). */
     void reset();
 
+    /**
+     * Drop every group whose name starts with @p prefix.  Unlike
+     * reset(), the slots are removed outright, so a later snapshot
+     * no longer lists them.  For per-tenant teardown ("serve.t3."):
+     * callers must guarantee no live references to the erased
+     * counters remain -- counter()/sharded() references into an
+     * erased group dangle.  Returns the number of groups dropped.
+     */
+    std::size_t erasePrefix(const std::string &prefix);
+
   private:
     StatRegistry() = default;
 

@@ -1,21 +1,11 @@
 #include "common/threads.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <thread>
 
+#include "common/config.hh"
+
 namespace mgmee {
-
-namespace {
-
-unsigned long
-envUnsigned(const char *name)
-{
-    const char *s = std::getenv(name);
-    return s ? std::strtoul(s, nullptr, 10) : 0;
-}
-
-} // namespace
 
 unsigned
 threadCap()
@@ -26,25 +16,22 @@ threadCap()
 unsigned
 envThreads()
 {
-    const unsigned long n = envUnsigned("MGMEE_THREADS");
+    const unsigned n = config().threads;
     if (n >= 1)
-        return static_cast<unsigned>(
-            std::min<unsigned long>(n, threadCap()));
+        return std::min(n, threadCap());
     return std::max(1u, std::thread::hardware_concurrency());
 }
 
 unsigned
 envShards()
 {
-    const unsigned long n = envUnsigned("MGMEE_SHARDS");
-    return static_cast<unsigned>(
-        std::min<unsigned long>(n, threadCap()));
+    return std::min(config().shards, threadCap());
 }
 
 Cycle
 envQuantum()
 {
-    const unsigned long n = envUnsigned("MGMEE_QUANTUM");
+    const Cycle n = config().quantum;
     if (n == 0)
         return 256;
     return std::clamp<Cycle>(n, 64, Cycle{1} << 20);

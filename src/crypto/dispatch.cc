@@ -1,9 +1,9 @@
 #include "crypto/dispatch.hh"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 
 namespace mgmee::crypto {
@@ -74,23 +74,21 @@ Isa
 requestedIsa()
 {
     static const Isa requested = [] {
-        const char *env = std::getenv("MGMEE_CRYPTO");
-        if (!env || !*env || std::strcmp(env, "auto") == 0)
+        // Config::validate() already rejected anything outside
+        // auto|portable|aesni|vaes, so only the tier check remains.
+        const std::string &want_name = config().crypto;
+        if (want_name == "auto")
             return bestSupportedIsa();
         Isa want;
-        if (std::strcmp(env, "portable") == 0) {
+        if (want_name == "portable")
             want = Isa::Portable;
-        } else if (std::strcmp(env, "aesni") == 0) {
+        else if (want_name == "aesni")
             want = Isa::AesNi;
-        } else if (std::strcmp(env, "vaes") == 0) {
+        else
             want = Isa::Vaes;
-        } else {
-            warn("MGMEE_CRYPTO=%s not recognised; using auto", env);
-            return bestSupportedIsa();
-        }
         if (want > bestSupportedIsa()) {
             warn("MGMEE_CRYPTO=%s unsupported on this CPU; using %s",
-                 env, isaName(bestSupportedIsa()));
+                 want_name.c_str(), isaName(bestSupportedIsa()));
             return bestSupportedIsa();
         }
         return want;

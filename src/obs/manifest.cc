@@ -1,10 +1,11 @@
 #include "obs/manifest.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
+#include "common/config.hh"
+#include "common/logging.hh"
 #include "obs/profile.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
@@ -16,16 +17,6 @@
 namespace mgmee::obs {
 
 namespace {
-
-/** The knobs worth recording with every run (see bench_util.hh). */
-constexpr const char *kKnobs[] = {
-    "MGMEE_SCENARIOS", "MGMEE_SCALE",      "MGMEE_SEED",
-    "MGMEE_THREADS",   "MGMEE_SHARDS",     "MGMEE_QUANTUM",
-    "MGMEE_MEMO",      "MGMEE_SWEEP_REPS", "MGMEE_WALK_OPS",
-    "MGMEE_TRACE",     "MGMEE_PROFILE",    "MGMEE_RESULTS_DIR",
-    "MGMEE_FAULT_SEED", "MGMEE_FAULT_CLASSES",
-    "MGMEE_TELEMETRY", "MGMEE_TELEMETRY_PATH", "MGMEE_HUD",
-};
 
 std::string
 renderDouble(double v)
@@ -164,9 +155,8 @@ Manifest::captureTraceSummary()
     if (eventsEmitted() == 0)
         return;
     std::ostringstream os;
-    const char *path = std::getenv("MGMEE_TRACE");
     os << "{\"events\": " << eventsEmitted() << ", \"path\": \""
-       << jsonEscape(path ? path : "") << "\"}";
+       << jsonEscape(config().trace_path) << "\"}";
     trace_json_ = os.str();
 }
 
@@ -193,17 +183,30 @@ Manifest::toJson() const
     os << "  \"bench\": \"" << jsonEscape(bench_) << "\",\n";
     os << "  \"git\": \"" << jsonEscape(buildGitDescribe()) << "\",\n";
 
+    // Raw knobs that were explicitly set in the environment...
     os << "  \"knobs\": {";
     bool first = true;
-    for (const char *knob : kKnobs) {
-        const char *value = std::getenv(knob);
-        if (!value)
-            continue;
+    for (const auto &[knob, value] : config().rawEnv()) {
         if (!first)
             os << ',';
         first = false;
-        os << "\n    \"" << knob << "\": \"" << jsonEscape(value)
-           << '"';
+        os << "\n    \"" << jsonEscape(knob) << "\": \""
+           << jsonEscape(value) << '"';
+    }
+    if (!first)
+        os << "\n  ";
+    os << "},\n";
+
+    // ...and the full effective configuration, defaults included, so
+    // a manifest always records the exact state that produced it.
+    os << "  \"config\": {";
+    first = true;
+    for (const auto &[knob, value] : config().items()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n    \"" << jsonEscape(knob) << "\": \""
+           << jsonEscape(value) << '"';
     }
     if (!first)
         os << "\n  ";
@@ -236,6 +239,25 @@ Manifest::write(const std::string &dir) const
     const std::string doc = toJson();
     std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
+    return path;
+}
+
+std::string
+ManifestReporter::finalize(Manifest &m, const std::string &dir)
+{
+    // Order matters: the telemetry capture flushes a manifest-boundary
+    // interval whose deltas the conservation check reconciles against
+    // the registry totals captured right after it.
+    m.captureTelemetry();
+    m.captureRegistry();
+    m.captureProfiler();
+    m.captureTraceSummary();
+    const std::string path =
+        m.write(dir.empty() ? config().results_dir : dir);
+    if (path.empty())
+        warn("could not write run manifest");
+    else
+        std::printf("wrote %s\n", path.c_str());
     return path;
 }
 

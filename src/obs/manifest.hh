@@ -5,7 +5,9 @@
  * writers.  A manifest carries:
  *
  *  - identity: schema version, bench name, git describe (embedded at
- *    configure time), the MGMEE_* environment knobs in effect;
+ *    configure time), the raw MGMEE_* environment knobs that were
+ *    set, and the full *effective* common::Config (every knob with
+ *    the value actually in force, defaults included);
  *  - scalar results (`set`), engine StatGroups (`addStats`), global
  *    StatRegistry groups (`captureRegistry`), histograms with
  *    p50/p90/p99 (`addHistogram`);
@@ -91,6 +93,27 @@ class Manifest
     std::string profile_json_;   //!< empty = absent
     std::string trace_json_;     //!< empty = absent
     std::string telemetry_json_; //!< empty = absent
+};
+
+/**
+ * The one way a harness finishes its run manifest.  Replaces the
+ * copy-pasted capture/write/report tail every bench used to carry,
+ * and guarantees the capture order the telemetry conservation check
+ * depends on: captureTelemetry() (which flushes a manifest-boundary
+ * interval) strictly before captureRegistry(), then profiler and
+ * trace summaries, then write.
+ */
+class ManifestReporter
+{
+  public:
+    /**
+     * Capture everything into @p m in the contract order and write
+     * it under @p dir (default: Config::results_dir).  Prints the
+     * manifest path on success, warns on I/O failure.  Returns the
+     * written path ("" on failure).
+     */
+    static std::string finalize(Manifest &m,
+                                const std::string &dir = "");
 };
 
 /** JSON-escape @p s (quotes, backslashes, control characters). */

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/config.hh"
+
 namespace mgmee::obs {
 
 namespace detail {
@@ -160,13 +162,13 @@ thread_local struct ThreadTreeSlot
     }
 } t_tree_slot;
 
-/** MGMEE_PROFILE=1 turns recording on and reports at exit. */
+/** Config::profile (MGMEE_PROFILE=1) turns recording on and reports
+ *  at exit. */
 struct EnvAutoStart
 {
     EnvAutoStart()
     {
-        const char *p = std::getenv("MGMEE_PROFILE");
-        if (p && std::atoi(p) != 0) {
+        if (config().profile) {
             setProfilerEnabled(true);
             std::atexit([] {
                 std::fputs(profilerReport().c_str(), stderr);

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "obs/manifest.hh"
 
@@ -277,27 +278,24 @@ samplerMain()
     }
 }
 
-/** Auto-start from MGMEE_TELEMETRY / MGMEE_HUD, stopped via atexit. */
+/** Auto-start from Config (MGMEE_TELEMETRY / MGMEE_HUD), stopped via
+ *  atexit. */
 struct EnvAutoStart
 {
     EnvAutoStart()
     {
-        const char *ms_env = std::getenv("MGMEE_TELEMETRY");
-        const char *hud_env = std::getenv("MGMEE_HUD");
-        const bool hud = hud_env && *hud_env && *hud_env != '0';
-        unsigned interval_ms = 0;
-        if (ms_env && *ms_env)
-            interval_ms = static_cast<unsigned>(
-                std::strtoul(ms_env, nullptr, 10));
+        const Config &cfg = config();
+        const bool hud = cfg.hud;
+        unsigned interval_ms = cfg.telemetry_ms;
         if (interval_ms == 0 && !hud)
             return;
         std::string path;
         if (interval_ms == 0) {
             interval_ms = 500;  // HUD alone: sample, but no file
         } else {
-            const char *p_env = std::getenv("MGMEE_TELEMETRY_PATH");
-            path = p_env && *p_env ? p_env
-                                   : "results/telemetry.jsonl";
+            path = !cfg.telemetry_path.empty()
+                       ? cfg.telemetry_path
+                       : cfg.results_dir + "/telemetry.jsonl";
         }
         if (startTelemetry(interval_ms, path, hud))
             std::atexit([] { stopTelemetry(); });

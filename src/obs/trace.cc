@@ -9,6 +9,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -105,13 +106,14 @@ thread_local ThreadSlot t_slot;
 /** Shard tag for events emitted by this thread (-1 = untagged). */
 thread_local int t_shard = -1;
 
-/** Auto-start from MGMEE_TRACE, flushed via atexit. */
+/** Auto-start from Config::trace_path (MGMEE_TRACE), flushed via
+ *  atexit. */
 struct EnvAutoStart
 {
     EnvAutoStart()
     {
-        const char *path = std::getenv("MGMEE_TRACE");
-        if (path && *path) {
+        const std::string &path = config().trace_path;
+        if (!path.empty()) {
             if (startTrace(path))
                 std::atexit([] { stopTrace(); });
         }

@@ -1,0 +1,89 @@
+#include "serve/loadgen.hh"
+
+namespace mgmee::serve {
+
+namespace {
+
+/** Post-tamper working set: cycle this many lines so the corrupted
+ *  one is re-read within a bounded, deterministic distance. */
+constexpr std::uint64_t kTamperWorkingLines = 8;
+
+} // namespace
+
+Loadgen::Loadgen(const LoadgenConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed * 0x9e3779b97f4a7c15ULL + cfg.tenant)
+{
+}
+
+void
+Loadgen::next(wire::RequestBatch &out)
+{
+    out.tenant = cfg_.tenant;
+    out.id = next_id_++;
+    out.requests.clear();
+    out.requests.reserve(cfg_.batch);
+
+    const std::uint64_t lines = cfg_.mem_bytes / kCachelineBytes;
+    for (unsigned i = 0; i < cfg_.batch; ++i, ++generated_) {
+        wire::Request r;
+        if (generated_ == cfg_.tamper_at) {
+            // The injection: corrupt one line of a small working set
+            // the stream is about to keep revisiting.
+            r.op = wire::Op::Tamper;
+            r.arg = static_cast<std::uint8_t>(rng_.below(
+                kCachelineBytes));
+            r.addr = 0;
+            r.len = kCachelineBytes;
+            tampered_ = true;
+            out.requests.push_back(r);
+            continue;
+        }
+        if (tampered_) {
+            // Post-injection: read the working set until the engine
+            // flags the corrupted line, keeping tick latency bounded.
+            r.op = wire::Op::Read;
+            r.addr = (generated_ % kTamperWorkingLines) *
+                     kCachelineBytes;
+            r.len = kCachelineBytes;
+            out.requests.push_back(r);
+            continue;
+        }
+        r.op = rng_.chance(cfg_.write_fraction) ? wire::Op::Write
+                                                : wire::Op::Read;
+        // 64B..4KB power-of-two lengths, biased small like real
+        // access streams.
+        const unsigned shift = static_cast<unsigned>(rng_.below(7));
+        r.len = kCachelineBytes << (shift >= 4 ? shift - 4 : 0);
+        const std::uint64_t span_lines = r.len / kCachelineBytes;
+        r.addr = rng_.below(lines - span_lines + 1) * kCachelineBytes;
+        r.seed = rng_.next();
+        out.requests.push_back(r);
+    }
+}
+
+void
+Loadgen::absorb(const wire::BatchReply &reply)
+{
+    if (reply.shed) {
+        ++shed_batches_;
+        return;
+    }
+    for (const wire::Result &res : reply.results) {
+        digest_ = wire::fnv1aStep(
+            digest_, static_cast<std::uint64_t>(res.status));
+        digest_ = wire::fnv1aStep(digest_, res.digest);
+        switch (res.status) {
+          case wire::ReqStatus::MacMismatch:
+          case wire::ReqStatus::TreeMismatch:
+            ++faults_seen_;
+            break;
+          case wire::ReqStatus::BadRequest:
+            ++bad_seen_;
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace mgmee::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic request-load generator for the serving plane.
+ *
+ * One Loadgen drives one tenant: next() fills a RequestBatch with a
+ * seeded, reproducible mix of line-aligned reads and writes over the
+ * tenant's arena (plus one optional Tamper at a configured request
+ * index, for fault-campaigns-under-load), and absorb() folds every
+ * reply's digests into a running FNV-1a chain.  Because the server
+ * executes a tenant's batches in submission order and the generator
+ * is a pure function of its seed, the final digest is bit-identical
+ * across MGMEE_THREADS values -- the property serve_throughput and
+ * tests/serve_test.cc pin.
+ *
+ * Used by tools/mgmee_loadgen.cc (over the socket) and by
+ * bench/serve_throughput.cc (in-process); both see the same stream.
+ */
+
+#ifndef MGMEE_SERVE_LOADGEN_HH
+#define MGMEE_SERVE_LOADGEN_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "serve/wire.hh"
+
+namespace mgmee::serve {
+
+/** Shape of one tenant's generated load. */
+struct LoadgenConfig
+{
+    std::uint32_t tenant = 0;
+    std::uint64_t seed = 1;              //!< request-stream seed
+    std::size_t mem_bytes = 32 * kChunkBytes;  //!< addressable arena
+    unsigned batch = 256;                //!< requests per batch
+    /** Request lengths cycle over 64B..4KB powers of two. */
+    double write_fraction = 0.5;
+    /**
+     * Inject one Tamper as the Nth generated request (~size_t{0} =
+     * never).  Addresses cycle a small working set after the
+     * injection point so the fault is revisited -- and detected --
+     * within a bounded, deterministic number of ticks.
+     */
+    std::size_t tamper_at = ~std::size_t{0};
+};
+
+/** Deterministic request stream + reply digest folder (one tenant). */
+class Loadgen
+{
+  public:
+    explicit Loadgen(const LoadgenConfig &cfg);
+
+    /** Fill @p out with the next cfg.batch requests. */
+    void next(wire::RequestBatch &out);
+
+    /** Fold @p reply into the running digest chain (submission
+     *  order), and count sheds/faults seen. */
+    void absorb(const wire::BatchReply &reply);
+
+    /** Digest over every absorbed result so far. */
+    std::uint64_t digest() const { return digest_; }
+    std::uint64_t generated() const { return generated_; }
+    std::uint64_t shedBatches() const { return shed_batches_; }
+    std::uint64_t faultsSeen() const { return faults_seen_; }
+    std::uint64_t badSeen() const { return bad_seen_; }
+
+  private:
+    LoadgenConfig cfg_;
+    Rng rng_;
+    std::uint64_t next_id_ = 0;
+    std::uint64_t generated_ = 0;
+    std::uint64_t digest_ = wire::kFnvBasis;
+    std::uint64_t shed_batches_ = 0;
+    std::uint64_t faults_seen_ = 0;
+    std::uint64_t bad_seen_ = 0;
+    bool tampered_ = false;
+};
+
+} // namespace mgmee::serve
+
+#endif // MGMEE_SERVE_LOADGEN_HH

@@ -1,0 +1,300 @@
+#include "serve/net.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "serve/server.hh"
+
+namespace mgmee::serve {
+
+namespace {
+
+/** Fill @p addr for @p path; fatal if the path does not fit. */
+sockaddr_un
+unixAddr(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    fatal_if(path.size() >= sizeof(addr.sun_path),
+             "socket path too long: %s", path.c_str());
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+bool
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read frames off @p fd one recv() at a time, re-assembling across
+ * short reads.  Returns false on EOF/error/protocol violation.
+ */
+bool
+recvFrame(int fd, std::vector<std::uint8_t> &buf, wire::Frame &out,
+          std::string &err)
+{
+    for (;;) {
+        std::size_t consumed = 0;
+        switch (wire::decodeFrame(buf, out, consumed, err)) {
+          case wire::Decode::Ok:
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(consumed));
+            return true;
+          case wire::Decode::Bad:
+            return false;
+          case wire::Decode::NeedMore:
+            break;
+        }
+        std::uint8_t chunk[4096];
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0) {
+            err = "connection closed";
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_RCVTIMEO tick (server side): let the caller
+                // check its stop flag; @p buf keeps any partial
+                // frame for the next attempt.
+                err = "timeout";
+                return false;
+            }
+            err = std::string("recv: ") + std::strerror(errno);
+            return false;
+        }
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+}
+
+bool
+sendFrame(int fd, wire::FrameType type,
+          std::span<const std::uint8_t> payload)
+{
+    const std::vector<std::uint8_t> bytes =
+        wire::encodeFrame(type, payload);
+    return sendAll(fd, bytes.data(), bytes.size());
+}
+
+bool
+sendError(int fd, const std::string &msg)
+{
+    return sendFrame(fd, wire::FrameType::Error,
+                     {reinterpret_cast<const std::uint8_t *>(msg.data()),
+                      msg.size()});
+}
+
+} // namespace
+
+// ---- Listener -----------------------------------------------------------
+
+Listener::Listener(Server &server, const std::string &path)
+    : server_(server), path_(path)
+{
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(listen_fd_ < 0, "socket: %s", std::strerror(errno));
+    ::unlink(path_.c_str());
+    const sockaddr_un addr = unixAddr(path_);
+    fatal_if(::bind(listen_fd_,
+                    reinterpret_cast<const sockaddr *>(&addr),
+                    sizeof(addr)) != 0,
+             "bind %s: %s", path_.c_str(), std::strerror(errno));
+    fatal_if(::listen(listen_fd_, 64) != 0, "listen %s: %s",
+             path_.c_str(), std::strerror(errno));
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+Listener::~Listener() { stop(); }
+
+void
+Listener::stop()
+{
+    if (stopping_.exchange(true)) {
+        // Another stop() already ran (or a Shutdown frame set the
+        // flag); still join below in case that caller was the
+        // connection thread itself.
+    }
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(path_.c_str());
+    }
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conns.swap(conn_threads_);
+    }
+    for (std::thread &t : conns)
+        if (t.joinable())
+            t.join();
+}
+
+void
+Listener::waitForShutdown()
+{
+    // Shutdown is rare and CI-driven; a poll loop keeps the
+    // acceptor's stop flag authoritative without another condvar.
+    while (!stopping_.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+}
+
+void
+Listener::acceptLoop()
+{
+    while (!stopping_.load()) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conn_threads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+Listener::serveConnection(int fd)
+{
+    // Bounded receive wait so stop() can always join this thread
+    // even against a client that holds its connection open idle.
+    timeval tv{0, 100 * 1000};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::vector<std::uint8_t> buf;
+    wire::Frame frame;
+    std::string err;
+    while (!stopping_.load()) {
+        if (!recvFrame(fd, buf, frame, err)) {
+            if (err == "timeout")
+                continue;
+            if (err != "connection closed")
+                sendError(fd, err);
+            break;
+        }
+        switch (frame.type) {
+          case wire::FrameType::OpenSession: {
+            std::vector<std::uint8_t> p;
+            p.push_back(static_cast<std::uint8_t>(
+                server_.tenantCount()));
+            p.push_back(static_cast<std::uint8_t>(server_.shards()));
+            if (!sendFrame(fd, wire::FrameType::OpenReply, p))
+                goto done;
+            break;
+          }
+          case wire::FrameType::Batch: {
+            wire::RequestBatch batch;
+            if (!wire::parseBatch(frame.payload, batch, err)) {
+                sendError(fd, err);
+                goto done;
+            }
+            const wire::BatchReply reply =
+                server_.submitSync(std::move(batch));
+            const std::vector<std::uint8_t> bytes =
+                wire::encodeBatchReply(reply);
+            if (!sendAll(fd, bytes.data(), bytes.size()))
+                goto done;
+            break;
+          }
+          case wire::FrameType::Stats: {
+            const std::string json = server_.statsJson();
+            if (!sendFrame(
+                    fd, wire::FrameType::StatsReply,
+                    {reinterpret_cast<const std::uint8_t *>(
+                         json.data()),
+                     json.size()}))
+                goto done;
+            break;
+          }
+          case wire::FrameType::Shutdown:
+            sendFrame(fd, wire::FrameType::ShutdownReply, {});
+            stopping_.store(true);
+            goto done;
+          default:
+            sendError(fd, "unexpected frame type");
+            goto done;
+        }
+    }
+done:
+    ::close(fd);
+}
+
+// ---- Client -------------------------------------------------------------
+
+Client::Client(const std::string &path)
+{
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatal_if(fd_ < 0, "socket: %s", std::strerror(errno));
+    const sockaddr_un addr = unixAddr(path);
+    fatal_if(::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                       sizeof(addr)) != 0,
+             "connect %s: %s", path.c_str(), std::strerror(errno));
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Client::call(wire::FrameType type,
+             std::span<const std::uint8_t> payload, wire::Frame &reply,
+             std::string &err)
+{
+    if (!sendFrame(fd_, type, payload)) {
+        err = std::string("send: ") + std::strerror(errno);
+        return false;
+    }
+    return recvFrame(fd_, buf_, reply, err);
+}
+
+bool
+Client::callBatch(const wire::RequestBatch &batch,
+                  wire::BatchReply &reply, std::string &err)
+{
+    const std::vector<std::uint8_t> bytes = wire::encodeBatch(batch);
+    if (!sendAll(fd_, bytes.data(), bytes.size())) {
+        err = std::string("send: ") + std::strerror(errno);
+        return false;
+    }
+    wire::Frame frame;
+    if (!recvFrame(fd_, buf_, frame, err))
+        return false;
+    if (frame.type == wire::FrameType::Error) {
+        err.assign(frame.payload.begin(), frame.payload.end());
+        return false;
+    }
+    if (frame.type != wire::FrameType::BatchReply) {
+        err = "unexpected reply frame";
+        return false;
+    }
+    return wire::parseBatchReply(frame.payload, reply, err);
+}
+
+} // namespace mgmee::serve

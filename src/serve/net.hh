@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unix-domain socket front end of the serving plane.
+ *
+ * A Listener owns a SOCK_STREAM unix socket and accepts any number of
+ * concurrent client connections, each served by its own thread.  Every
+ * connection speaks the framed protocol of serve/wire.hh; Batch frames
+ * are forwarded to Server::submitSync() (so socket traffic and
+ * in-process traffic share one execution path, including admission
+ * control and determinism guarantees), Stats frames reply with the
+ * server's live JSON statistics, and a Shutdown frame acknowledges and
+ * then asks the listener to stop -- tools/mgmee_serve.cc uses that to
+ * terminate cleanly under CI.  A malformed frame gets an Error reply
+ * and the connection is closed.
+ *
+ * Client is the matching blocking connector used by mgmee-loadgen:
+ * one call() sends a frame and reads exactly one reply frame,
+ * re-assembling it across short reads.
+ */
+
+#ifndef MGMEE_SERVE_NET_HH
+#define MGMEE_SERVE_NET_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.hh"
+
+namespace mgmee::serve {
+
+class Server;
+
+/** Socket acceptor bridging framed connections onto a Server. */
+class Listener
+{
+  public:
+    /**
+     * Bind and listen on unix socket @p path (an existing socket
+     * file is replaced) and start accepting.  Fatal if the socket
+     * cannot be bound.
+     */
+    Listener(Server &server, const std::string &path);
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /** Stop accepting, close every connection, join all threads;
+     *  idempotent. */
+    void stop();
+
+    /** Block until a client's Shutdown frame (or stop()). */
+    void waitForShutdown();
+
+    /** True once a Shutdown frame has been honoured or stop() ran. */
+    bool stopped() const { return stopping_.load(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    Server &server_;
+    std::string path_;
+    int listen_fd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+    std::mutex conn_mu_;
+    std::vector<std::thread> conn_threads_;
+};
+
+/** Blocking unix-socket client speaking one frame per call(). */
+class Client
+{
+  public:
+    /** Connect to the serve socket at @p path; fatal on failure. */
+    explicit Client(const std::string &path);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Send one frame and block for the single reply frame.  Returns
+     * false on a connection or protocol error (@p err describes it).
+     */
+    bool call(wire::FrameType type,
+              std::span<const std::uint8_t> payload, wire::Frame &reply,
+              std::string &err);
+
+    /** Convenience: round-trip one batch.  False on transport error,
+     *  protocol error, or an Error/unexpected reply frame. */
+    bool callBatch(const wire::RequestBatch &batch,
+                   wire::BatchReply &reply, std::string &err);
+
+  private:
+    int fd_ = -1;
+    /** Stream re-assembly buffer (partial frames span calls). */
+    std::vector<std::uint8_t> buf_;
+};
+
+} // namespace mgmee::serve
+
+#endif // MGMEE_SERVE_NET_HH

@@ -1,0 +1,534 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/threads.hh"
+#include "obs/manifest.hh"
+
+namespace mgmee::serve {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+wire::ReqStatus
+mapStatus(SecureMemory::Status s)
+{
+    switch (s) {
+      case SecureMemory::Status::Ok:
+        return wire::ReqStatus::Ok;
+      case SecureMemory::Status::MacMismatch:
+        return wire::ReqStatus::MacMismatch;
+      case SecureMemory::Status::TreeMismatch:
+        return wire::ReqStatus::TreeMismatch;
+    }
+    return wire::ReqStatus::BadRequest;
+}
+
+/** Line-aligned, nonzero, chunk-bounded, inside the tenant arena. */
+bool
+validRange(Addr addr, std::uint32_t len, std::size_t mem_bytes)
+{
+    return len > 0 && len <= kChunkBytes &&
+           addr % kCachelineBytes == 0 &&
+           len % kCachelineBytes == 0 &&
+           addr + len <= mem_bytes && addr + len >= addr;
+}
+
+std::string
+tenantGroup(std::uint32_t id)
+{
+    // The trailing ".core" keeps every per-tenant group under the
+    // "serve.t<id>." prefix, so erasePrefix at teardown cannot also
+    // match another tenant whose id shares a decimal prefix.
+    return "serve.t" + std::to_string(id) + ".core";
+}
+
+} // namespace
+
+SecureMemory::Keys
+deriveKeys(std::uint64_t key_seed)
+{
+    SecureMemory::Keys keys;
+    std::uint64_t state = key_seed;
+    for (unsigned i = 0; i < 16; i += 8) {
+        const std::uint64_t word = splitmix64(state);
+        for (unsigned b = 0; b < 8; ++b)
+            keys.aes[i + b] =
+                static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    keys.mac = {splitmix64(state), splitmix64(state)};
+    return keys;
+}
+
+// ---- SessionConfig ------------------------------------------------------
+
+std::string
+SessionConfig::validate() const
+{
+    if (tenants.empty())
+        return "a session needs at least one tenant";
+    std::vector<std::uint32_t> ids;
+    for (const TenantConfig &t : tenants) {
+        if (t.mem_bytes < kChunkBytes ||
+            t.mem_bytes % kChunkBytes != 0) {
+            return "tenant " + std::to_string(t.id) +
+                   ": mem_bytes must be a positive multiple of 32KB";
+        }
+        if (t.queue_depth == 0)
+            return "tenant " + std::to_string(t.id) +
+                   ": queue_depth must be at least 1";
+        ids.push_back(t.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end())
+        return "duplicate tenant id";
+    return "";
+}
+
+SessionConfig
+SessionConfig::fromConfig(const Config &cfg)
+{
+    SessionConfig sc;
+    for (unsigned i = 0; i < cfg.serve_tenants; ++i) {
+        TenantConfig t;
+        t.id = i;
+        t.mem_bytes = cfg.serve_mem_bytes;
+        t.key_seed = cfg.seed + 0x5e12e * (i + 1);
+        t.queue_depth = cfg.serve_queue_depth;
+        sc.tenants.push_back(t);
+    }
+    sc.shards = cfg.shards;
+    sc.threads = cfg.threads;
+    sc.quantum = cfg.quantum;
+    return sc;
+}
+
+// ---- Server -------------------------------------------------------------
+
+Server::Server(const SessionConfig &cfg) : cfg_(cfg)
+{
+    const std::string problem = cfg_.validate();
+    fatal_if(!problem.empty(), "invalid serve session: %s",
+             problem.c_str());
+
+    sim::SchedulerConfig sched;
+    sched.shards =
+        cfg_.shards
+            ? std::min(cfg_.shards, threadCap())
+            : std::min<unsigned>(
+                  static_cast<unsigned>(cfg_.tenants.size()), 8u);
+    sched.threads = cfg_.threads ? std::min(cfg_.threads, threadCap())
+                                 : envThreads();
+    sched.quantum = cfg_.quantum ? cfg_.quantum : envQuantum();
+    sched_ = std::make_unique<sim::Scheduler>(sched);
+
+    StatRegistry &reg = StatRegistry::instance();
+    for (const TenantConfig &tc : cfg_.tenants) {
+        auto t = std::make_unique<Tenant>();
+        t->cfg = tc;
+        t->shard = tc.id % sched_->shards();
+        t->engine = std::make_unique<SecureMemory>(
+            tc.mem_bytes, deriveKeys(tc.key_seed));
+        t->scratch.resize(kChunkBytes);
+        t->telemetry_hist = &obs::telemetryHistogram(
+            "serve.t" + std::to_string(tc.id) + ".batch_wall_ns");
+        const std::string g = tenantGroup(tc.id);
+        t->counters.batches = &reg.counter(g, "batches");
+        t->counters.requests = &reg.counter(g, "requests");
+        t->counters.shed_batches = &reg.counter(g, "shed_batches");
+        t->counters.shed_requests = &reg.counter(g, "shed_requests");
+        t->counters.mac_mismatch = &reg.counter(g, "mac_mismatch");
+        t->counters.tree_mismatch = &reg.counter(g, "tree_mismatch");
+        t->counters.bad_request = &reg.counter(g, "bad_request");
+        t->counters.tampers = &reg.counter(g, "tampers");
+        t->counters.detected = &reg.counter(g, "detected");
+        by_id_.emplace(tc.id, tenants_.size());
+        tenants_.push_back(std::move(t));
+    }
+
+    pump_ = std::thread([this] { pumpLoop(); });
+}
+
+Server::~Server() { stop(); }
+
+Server::Tenant *
+Server::tenantById(std::uint32_t id)
+{
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : tenants_[it->second].get();
+}
+
+const Server::Tenant *
+Server::tenantById(std::uint32_t id) const
+{
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : tenants_[it->second].get();
+}
+
+bool
+Server::anyInboxLocked() const
+{
+    for (const auto &t : tenants_)
+        if (!t->inbox.empty())
+            return true;
+    return false;
+}
+
+std::future<wire::BatchReply>
+Server::submit(wire::RequestBatch batch)
+{
+    std::promise<wire::BatchReply> reject;
+    std::future<wire::BatchReply> reject_future = reject.get_future();
+
+    auto rejectAll = [&](wire::ReqStatus status) {
+        wire::BatchReply reply;
+        reply.tenant = batch.tenant;
+        reply.id = batch.id;
+        reply.shed = status == wire::ReqStatus::Shed;
+        reply.results.assign(batch.requests.size(), {status, 0});
+        reject.set_value(std::move(reply));
+        return std::move(reject_future);
+    };
+
+    if (batch.requests.empty() ||
+        batch.requests.size() > wire::kMaxBatchRequests)
+        return rejectAll(wire::ReqStatus::BadRequest);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_)
+        return rejectAll(wire::ReqStatus::Shed);
+    Tenant *t = tenantById(batch.tenant);
+    if (t == nullptr || !t->open)
+        return rejectAll(wire::ReqStatus::BadRequest);
+    const std::uint64_t n = batch.requests.size();
+    if (t->outstanding + n > t->cfg.queue_depth) {
+        // Admission control: shed the whole batch rather than grow
+        // the queue without bound.
+        t->counters.shed_batches->fetch_add(
+            1, std::memory_order_relaxed);
+        t->counters.shed_requests->fetch_add(
+            n, std::memory_order_relaxed);
+        StatRegistry::instance()
+            .counter("serve", "shed")
+            .fetch_add(1, std::memory_order_relaxed);
+        return rejectAll(wire::ReqStatus::Shed);
+    }
+
+    auto p = std::make_unique<Pending>();
+    p->batch = std::move(batch);
+    p->enqueued = std::chrono::steady_clock::now();
+    p->tenant = t;
+    std::future<wire::BatchReply> fut = p->promise.get_future();
+    t->outstanding += n;
+    t->inbox.push_back(std::move(p));
+    cv_.notify_one();
+    return fut;
+}
+
+wire::BatchReply
+Server::submitSync(wire::RequestBatch batch)
+{
+    return submit(std::move(batch)).get();
+}
+
+wire::BatchReply
+Server::injectTamper(std::uint32_t tenant, Addr addr,
+                     unsigned byte_index)
+{
+    wire::RequestBatch b;
+    b.tenant = tenant;
+    b.id = ~std::uint64_t{0};
+    wire::Request r;
+    r.op = wire::Op::Tamper;
+    r.arg = static_cast<std::uint8_t>(byte_index % kCachelineBytes);
+    r.len = kCachelineBytes;
+    r.addr = addr;
+    b.requests.push_back(r);
+    return submitSync(std::move(b));
+}
+
+bool
+Server::removeTenant(std::uint32_t tenant)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Tenant *t = tenantById(tenant);
+        if (t == nullptr || !t->open || t->outstanding != 0)
+            return false;
+        t->open = false;
+        t->engine.reset();
+    }
+    // Per-tenant stat groups vanish from future snapshots; the warn()
+    // rate-limiter history is likewise per-process state a teardown
+    // must not leak into the next tenant's diagnostics.
+    StatRegistry::instance().erasePrefix(
+        "serve.t" + std::to_string(tenant) + ".");
+    warnResetRateLimiter();
+    return true;
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!running_ && !pump_.joinable())
+            return;
+        running_ = false;
+    }
+    cv_.notify_all();
+    if (pump_.joinable())
+        pump_.join();
+}
+
+void
+Server::pumpLoop()
+{
+    std::vector<std::unique_ptr<Pending>> work;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] {
+                return !running_ || anyInboxLocked();
+            });
+            if (!anyInboxLocked() && !running_)
+                return;
+            // Tenant-id order: combined with per-inbox FIFO order
+            // this makes the schedule -- and therefore every reply --
+            // a pure function of the submission sequence.
+            for (const auto &[id, idx] : by_id_) {
+                Tenant &t = *tenants_[idx];
+                while (!t.inbox.empty()) {
+                    work.push_back(std::move(t.inbox.front()));
+                    t.inbox.pop_front();
+                }
+            }
+        }
+
+        // Setup-context scheduling: the pump is the only thread that
+        // talks to the scheduler, so plain schedule() is legal and
+        // insertion order is deterministic.
+        for (const auto &p : work) {
+            Pending *pp = p.get();
+            sched_->schedule(pp->tenant->shard, 0, [this, pp] {
+                executeBatch(*pp->tenant, *pp);
+            });
+        }
+        sched_->run();
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto &p : work)
+                p->tenant->outstanding -= p->batch.requests.size();
+        }
+        for (auto &p : work)
+            p->promise.set_value(std::move(p->reply));
+        work.clear();
+    }
+}
+
+void
+Server::executeBatch(Tenant &t, Pending &p)
+{
+    p.reply.tenant = p.batch.tenant;
+    p.reply.id = p.batch.id;
+    p.reply.results.reserve(p.batch.requests.size());
+    for (const wire::Request &r : p.batch.requests)
+        p.reply.results.push_back(executeRequest(t, r));
+
+    t.counters.batches->fetch_add(1, std::memory_order_relaxed);
+    t.counters.requests->fetch_add(p.batch.requests.size(),
+                                   std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - p.enqueued)
+            .count();
+    t.batch_wall_ns.record(wall_ns);
+    if (obs::telemetryEnabled())
+        t.telemetry_hist->record(wall_ns);
+}
+
+wire::Result
+Server::executeRequest(Tenant &t, const wire::Request &r)
+{
+    using wire::Op;
+    using wire::ReqStatus;
+
+    wire::Result res;
+    const std::size_t mem = t.cfg.mem_bytes;
+    auto bad = [&] {
+        t.counters.bad_request->fetch_add(1,
+                                          std::memory_order_relaxed);
+        return wire::Result{ReqStatus::BadRequest, 0};
+    };
+
+    switch (r.op) {
+      case Op::Read: {
+        if (!validRange(r.addr, r.len, mem))
+            return bad();
+        std::span<std::uint8_t> buf(t.scratch.data(), r.len);
+        res.status = mapStatus(t.engine->read(r.addr, buf));
+        res.digest = wire::fnv1a(buf);
+        t.ticks += r.len / kCachelineBytes;
+        break;
+      }
+      case Op::Write: {
+        if (!validRange(r.addr, r.len, mem))
+            return bad();
+        std::span<std::uint8_t> buf(t.scratch.data(), r.len);
+        wire::fillPattern(r.seed, r.addr, buf);
+        res.status = mapStatus(t.engine->write(r.addr, buf));
+        res.digest = wire::fnv1a(buf);
+        t.ticks += r.len / kCachelineBytes;
+        break;
+      }
+      case Op::SetGran: {
+        if (r.addr >= mem)
+            return bad();
+        t.engine->applyStreamPart(chunkIndex(r.addr),
+                                  StreamPart{r.seed});
+        res.digest = r.seed;
+        t.ticks += 1;
+        break;
+      }
+      case Op::Rekey: {
+        t.engine->rekey(deriveKeys(r.seed));
+        t.ticks += 1;
+        break;
+      }
+      case Op::Tamper: {
+        if (r.addr >= mem)
+            return bad();
+        t.engine->corruptData(r.addr, r.arg % kCachelineBytes);
+        t.tampered = true;
+        t.tamper_tick = t.ticks;
+        t.tamper_wall = std::chrono::steady_clock::now();
+        t.counters.tampers->fetch_add(1, std::memory_order_relaxed);
+        t.ticks += 1;
+        break;
+      }
+    }
+
+    if (res.status == ReqStatus::MacMismatch)
+        t.counters.mac_mismatch->fetch_add(1,
+                                           std::memory_order_relaxed);
+    else if (res.status == ReqStatus::TreeMismatch)
+        t.counters.tree_mismatch->fetch_add(
+            1, std::memory_order_relaxed);
+
+    if (t.tampered && (res.status == ReqStatus::MacMismatch ||
+                       res.status == ReqStatus::TreeMismatch)) {
+        // First verification failure after an injection: the
+        // detection-latency sample, in deterministic ticks and in
+        // wall time.
+        t.detect_ticks.record(t.ticks - t.tamper_tick);
+        t.detect_wall_ns.record(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t.tamper_wall)
+                .count());
+        t.counters.detected->fetch_add(1, std::memory_order_relaxed);
+        t.tampered = false;
+    }
+    return res;
+}
+
+unsigned
+Server::tenantCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    unsigned n = 0;
+    for (const auto &t : tenants_)
+        n += t->open ? 1 : 0;
+    return n;
+}
+
+std::uint64_t
+Server::shedBatches() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tenants_)
+        total += t->counters.shed_batches->load(
+            std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Server::completedRequests() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tenants_)
+        total +=
+            t->counters.requests->load(std::memory_order_relaxed);
+    return total;
+}
+
+std::string
+Server::statsJson() const
+{
+    std::ostringstream os;
+    os << "{\"tenants\": " << tenantCount()
+       << ", \"shards\": " << sched_->shards()
+       << ", \"completed_requests\": " << completedRequests()
+       << ", \"shed_batches\": " << shedBatches() << ", \"per_tenant\": {";
+    bool first = true;
+    for (const auto &t : tenants_) {
+        if (!first)
+            os << ", ";
+        first = false;
+        const Histogram lat = t->batch_wall_ns.snapshot();
+        os << "\"t" << t->cfg.id << "\": {\"open\": "
+           << (t->open ? "true" : "false") << ", \"requests\": "
+           << t->counters.requests->load(std::memory_order_relaxed)
+           << ", \"shed_batches\": "
+           << t->counters.shed_batches->load(
+                  std::memory_order_relaxed)
+           << ", \"batch_wall_p50_ns\": " << lat.percentile(0.5)
+           << ", \"batch_wall_p99_ns\": " << lat.percentile(0.99)
+           << ", \"ticks\": " << t->ticks << "}";
+    }
+    os << "}}";
+    return os.str();
+}
+
+void
+Server::fillManifest(obs::Manifest &m, const std::string &prefix) const
+{
+    m.set(prefix + "serve.tenants", tenantCount());
+    m.set(prefix + "serve.shards", sched_->shards());
+    m.set(prefix + "serve.completed_requests", completedRequests());
+    m.set(prefix + "serve.shed_batches", shedBatches());
+    for (const auto &t : tenants_) {
+        const std::string tag =
+            prefix + "t" + std::to_string(t->cfg.id);
+        m.addHistogram(tag + ".batch_wall_ns",
+                       t->batch_wall_ns.snapshot());
+        if (t->detect_ticks.count()) {
+            m.addHistogram(tag + ".detect_ticks",
+                           t->detect_ticks.snapshot());
+            m.addHistogram(tag + ".detect_wall_ns",
+                           t->detect_wall_ns.snapshot());
+            // Scalar mirror of the (deterministic) tick latency so
+            // perf-diff baselines can pin it exactly -- histogram
+            // names contain dots, which the baseline flattener does
+            // not address.
+            m.set(tag + ".detect_tick_p50",
+                  t->detect_ticks.snapshot().percentile(0.5));
+        }
+    }
+}
+
+} // namespace mgmee::serve

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Long-running multi-tenant request-serving mode (the mgmee-serve
+ * tentpole).
+ *
+ * A Server hosts one SecureMemory engine (own keys, own granularity
+ * state, own integrity tree) per tenant of its SessionConfig and
+ * executes batches of access requests against them.  Batches arrive
+ * through the in-process API below (submit()/submitSync(), used by
+ * the bundled loadgen and by serve_throughput) or through the framed
+ * unix-socket front end in serve/net.hh; both feed the same path.
+ *
+ * Execution model:
+ *
+ *  - every tenant has a *home shard* (tenant id modulo shard count)
+ *    of one shared sim::Scheduler, and its engine is only ever
+ *    touched by handlers on that shard;
+ *  - submitters enqueue batches into per-tenant inboxes under one
+ *    mutex, with admission control at the door: a batch that would
+ *    push the tenant's outstanding-request count past its
+ *    queue_depth is shed whole -- every request replies
+ *    ReqStatus::Shed and the `serve.shed` stat is bumped -- so an
+ *    overloaded tenant degrades by load shedding, never by unbounded
+ *    queue growth;
+ *  - a single pump thread drains the inboxes in tenant-id order,
+ *    schedules each batch as a job on its tenant's home shard, and
+ *    runs the scheduler.  Because per-tenant work is serialised on
+ *    one shard in submission order, every reply digest is
+ *    bit-identical for any MGMEE_THREADS value (pinned by
+ *    tests/serve_test.cc and bench/serve_throughput.cc).
+ *
+ * Each tenant also keeps a deterministic *tick* clock (one tick per
+ * 64 data bytes moved) so fault-injection campaigns under load can
+ * measure detection latency in simulated time as well as wall time:
+ * a Tamper request stamps the injection tick, and the first
+ * subsequent verification failure records the delta into the
+ * tenant's detection-latency histograms.  Per-tenant batch wall
+ * latency feeds StreamingHistograms that the live telemetry plane
+ * (MGMEE_TELEMETRY) samples for on-line p50/p99.
+ */
+
+#ifndef MGMEE_SERVE_SERVER_HH
+#define MGMEE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "mee/secure_memory.hh"
+#include "obs/telemetry.hh"
+#include "serve/session.hh"
+#include "serve/wire.hh"
+#include "sim/scheduler.hh"
+
+namespace mgmee::obs {
+class Manifest;
+} // namespace mgmee::obs
+
+namespace mgmee::serve {
+
+/** Multi-tenant serving engine (see file comment). */
+class Server
+{
+  public:
+    /** Bring up every tenant engine and start the pump thread;
+     *  fatal on an invalid @p cfg. */
+    explicit Server(const SessionConfig &cfg);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Submit @p batch for execution.  Thread-safe.  The future
+     * resolves when the batch has executed -- or immediately with a
+     * shed/bad-request reply if admission control rejected it.
+     * Per-tenant submission order is execution order.
+     */
+    std::future<wire::BatchReply> submit(wire::RequestBatch batch);
+
+    /** submit() and wait. */
+    wire::BatchReply submitSync(wire::RequestBatch batch);
+
+    /**
+     * Inject a data-corruption fault into @p tenant's engine, in
+     * stream order (enqueued like a one-request batch, subject to
+     * the same admission control).  Detection latency is recorded
+     * when a later request's verification first fails.
+     */
+    wire::BatchReply injectTamper(std::uint32_t tenant, Addr addr,
+                                  unsigned byte_index);
+
+    /**
+     * Tear a tenant down: drop its engine and erase its per-tenant
+     * stat groups from the global registry.  Fails (false) while the
+     * tenant still has outstanding requests.
+     */
+    bool removeTenant(std::uint32_t tenant);
+
+    /** Drain every inbox and join the pump; idempotent.  Called by
+     *  the destructor.  submit() after stop() replies Shed. */
+    void stop();
+
+    unsigned tenantCount() const;
+    unsigned shards() const { return sched_->shards(); }
+
+    /** Batches shed across all tenants so far. */
+    std::uint64_t shedBatches() const;
+    /** Requests completed (executed, not shed) across all tenants. */
+    std::uint64_t completedRequests() const;
+
+    /** Live statistics as a JSON object (the Stats frame payload). */
+    std::string statsJson() const;
+
+    /**
+     * Dump per-tenant stats and latency/detection histograms into
+     * @p m ("t<N>.batch_wall_ns", "t<N>.detect_ticks", ...), all
+     * keys prefixed with @p prefix (for embedders reporting several
+     * servers, or several phases, into one manifest).
+     */
+    void fillManifest(obs::Manifest &m,
+                      const std::string &prefix = "") const;
+
+  private:
+    struct Tenant;
+
+    /** One queued batch and everything needed to answer it. */
+    struct Pending
+    {
+        wire::RequestBatch batch;
+        std::promise<wire::BatchReply> promise;
+        wire::BatchReply reply;
+        std::chrono::steady_clock::time_point enqueued;
+        Tenant *tenant = nullptr;
+    };
+
+    /** Cached per-tenant StatRegistry counter references. */
+    struct Counters
+    {
+        std::atomic<std::uint64_t> *batches = nullptr;
+        std::atomic<std::uint64_t> *requests = nullptr;
+        std::atomic<std::uint64_t> *shed_batches = nullptr;
+        std::atomic<std::uint64_t> *shed_requests = nullptr;
+        std::atomic<std::uint64_t> *mac_mismatch = nullptr;
+        std::atomic<std::uint64_t> *tree_mismatch = nullptr;
+        std::atomic<std::uint64_t> *bad_request = nullptr;
+        std::atomic<std::uint64_t> *tampers = nullptr;
+        std::atomic<std::uint64_t> *detected = nullptr;
+    };
+
+    struct Tenant
+    {
+        TenantConfig cfg;
+        unsigned shard = 0;
+        std::unique_ptr<SecureMemory> engine;
+
+        // ---- home-shard-only state (never touched concurrently) --
+        Cycle ticks = 0;            //!< 1 tick per 64 data bytes
+        bool tampered = false;      //!< fault injected, undetected
+        Cycle tamper_tick = 0;
+        std::chrono::steady_clock::time_point tamper_wall{};
+        std::vector<std::uint8_t> scratch;  //!< request data buffer
+
+        // ---- lock-free stats (shard records, anyone snapshots) ---
+        obs::StreamingHistogram batch_wall_ns;
+        obs::StreamingHistogram detect_ticks;
+        obs::StreamingHistogram detect_wall_ns;
+        /** Telemetry-plane mirror of batch_wall_ns (immortal,
+         *  interned; only written while telemetry is enabled). */
+        obs::StreamingHistogram *telemetry_hist = nullptr;
+        Counters counters;
+
+        // ---- guarded by Server::mu_ ------------------------------
+        std::deque<std::unique_ptr<Pending>> inbox;
+        std::uint64_t outstanding = 0;  //!< queued, not yet answered
+        bool open = true;
+    };
+
+    Tenant *tenantById(std::uint32_t id);
+    const Tenant *tenantById(std::uint32_t id) const;
+    bool anyInboxLocked() const;
+    void pumpLoop();
+    void executeBatch(Tenant &t, Pending &p);
+    wire::Result executeRequest(Tenant &t, const wire::Request &r);
+
+    SessionConfig cfg_;
+    std::unique_ptr<sim::Scheduler> sched_;
+    std::vector<std::unique_ptr<Tenant>> tenants_;
+    std::map<std::uint32_t, std::size_t> by_id_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool running_ = true;
+    std::thread pump_;
+};
+
+/** Derive a tenant's engine keys from its key seed (splitmix64
+ *  keystream; shared with the Rekey request op). */
+SecureMemory::Keys deriveKeys(std::uint64_t key_seed);
+
+} // namespace mgmee::serve
+
+#endif // MGMEE_SERVE_SERVER_HH

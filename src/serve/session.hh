@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Typed session configuration of the serving plane: the programmatic
+ * front door that replaces ad-hoc environment reads.
+ *
+ * A serve::Server is constructed from a SessionConfig value -- a
+ * validated plain struct naming every tenant with its protected-
+ * memory size, key seed and admission bound, plus the scheduler
+ * topology the session runs on.  Embedders (tests, benches, the
+ * loadgen) build one directly; the bundled tools derive one from the
+ * process-wide common::Config with SessionConfig::fromConfig(), so
+ * the environment is parsed exactly once, in one place.
+ */
+
+#ifndef MGMEE_SERVE_SESSION_HH
+#define MGMEE_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace mgmee::serve {
+
+/** One tenant's slice of the session. */
+struct TenantConfig
+{
+    /** Tenant identifier; unique within the session. */
+    std::uint32_t id = 0;
+    /** Protected bytes behind this tenant's engine. */
+    std::size_t mem_bytes = 32 * kChunkBytes;
+    /** Seed the tenant's AES/SipHash keys are derived from. */
+    std::uint64_t key_seed = 1;
+    /**
+     * Admission bound: requests queued-but-incomplete for this
+     * tenant.  A batch that would push the count past the bound is
+     * shed whole (every request replies ReqStatus::Shed).
+     */
+    std::uint64_t queue_depth = 8192;
+};
+
+/** Everything a Server needs to come up. */
+struct SessionConfig
+{
+    std::vector<TenantConfig> tenants;
+    /** Scheduler shards; 0 = min(tenant count, 8). */
+    unsigned shards = 0;
+    /** Worker threads; 0 = the process default (MGMEE_THREADS). */
+    unsigned threads = 0;
+    /** Scheduler quantum; 0 = the process default (MGMEE_QUANTUM). */
+    Cycle quantum = 0;
+
+    /** "" when valid, else the first problem, human-readable. */
+    std::string validate() const;
+
+    /**
+     * A session shaped by the process config: serve_tenants tenants
+     * of serve_mem_bytes each, queue_depth from serve_queue_depth,
+     * key seeds derived from the base seed.
+     */
+    static SessionConfig fromConfig(const Config &cfg);
+};
+
+} // namespace mgmee::serve
+
+#endif // MGMEE_SERVE_SESSION_HH

@@ -1,0 +1,294 @@
+#include "serve/wire.hh"
+
+#include <cstring>
+
+namespace mgmee::serve::wire {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'M', 'G', 'S', 'V'};
+
+// Per-request wire layout: op(1) arg(1) pad(2) len(4) addr(8) seed(8).
+constexpr std::size_t kRequestBytes = 24;
+// Batch payload prologue: tenant(4) count(4) id(8).
+constexpr std::size_t kBatchPrologue = 16;
+// Reply payload prologue: tenant(4) flags(4) id(8) count(4) pad(4).
+constexpr std::size_t kReplyPrologue = 24;
+// Per-result wire layout: status(8) digest(8).
+constexpr std::size_t kResultBytes = 16;
+
+void
+put16(std::vector<std::uint8_t> &v, std::uint16_t x)
+{
+    v.push_back(static_cast<std::uint8_t>(x));
+    v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void
+put32(std::vector<std::uint8_t> &v, std::uint32_t x)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &v, std::uint64_t x)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+std::uint16_t
+get16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t
+get64(const std::uint8_t *p)
+{
+    std::uint64_t x = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        x |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return x;
+}
+
+bool
+validType(std::uint16_t t)
+{
+    return t >= static_cast<std::uint16_t>(FrameType::OpenSession) &&
+           t <= static_cast<std::uint16_t>(FrameType::Error);
+}
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+const char *
+statusName(ReqStatus s)
+{
+    switch (s) {
+      case ReqStatus::Ok: return "ok";
+      case ReqStatus::MacMismatch: return "mac_mismatch";
+      case ReqStatus::TreeMismatch: return "tree_mismatch";
+      case ReqStatus::Shed: return "shed";
+      case ReqStatus::BadRequest: return "bad_request";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+encodeFrame(FrameType type, std::span<const std::uint8_t> payload)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes + payload.size());
+    out.insert(out.end(), kMagic, kMagic + 4);
+    put16(out, kWireVersion);
+    put16(out, static_cast<std::uint16_t>(type));
+    put32(out, static_cast<std::uint32_t>(payload.size()));
+    put32(out, 0);  // reserved
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+Decode
+decodeFrame(std::span<const std::uint8_t> bytes, Frame &out,
+            std::size_t &consumed, std::string &err)
+{
+    consumed = 0;
+    if (bytes.size() < kHeaderBytes)
+        return Decode::NeedMore;
+    if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+        err = "bad frame magic";
+        return Decode::Bad;
+    }
+    const std::uint16_t version = get16(bytes.data() + 4);
+    if (version != kWireVersion) {
+        err = "unsupported wire version " + std::to_string(version);
+        return Decode::Bad;
+    }
+    const std::uint16_t type = get16(bytes.data() + 6);
+    if (!validType(type)) {
+        err = "unknown frame type " + std::to_string(type);
+        return Decode::Bad;
+    }
+    const std::uint32_t len = get32(bytes.data() + 8);
+    if (len > kMaxPayloadBytes) {
+        err = "oversized payload (" + std::to_string(len) + " bytes)";
+        return Decode::Bad;
+    }
+    if (get32(bytes.data() + 12) != 0) {
+        err = "nonzero reserved header word";
+        return Decode::Bad;
+    }
+    if (bytes.size() < kHeaderBytes + len)
+        return Decode::NeedMore;
+    out.type = static_cast<FrameType>(type);
+    out.payload.assign(bytes.begin() + kHeaderBytes,
+                       bytes.begin() + kHeaderBytes + len);
+    consumed = kHeaderBytes + len;
+    return Decode::Ok;
+}
+
+std::vector<std::uint8_t>
+encodeBatch(const RequestBatch &batch)
+{
+    std::vector<std::uint8_t> p;
+    p.reserve(kBatchPrologue + batch.requests.size() * kRequestBytes);
+    put32(p, batch.tenant);
+    put32(p, static_cast<std::uint32_t>(batch.requests.size()));
+    put64(p, batch.id);
+    for (const Request &r : batch.requests) {
+        p.push_back(static_cast<std::uint8_t>(r.op));
+        p.push_back(r.arg);
+        put16(p, 0);
+        put32(p, r.len);
+        put64(p, r.addr);
+        put64(p, r.seed);
+    }
+    return encodeFrame(FrameType::Batch, p);
+}
+
+std::vector<std::uint8_t>
+encodeBatchReply(const BatchReply &reply)
+{
+    std::vector<std::uint8_t> p;
+    p.reserve(kReplyPrologue + reply.results.size() * kResultBytes);
+    put32(p, reply.tenant);
+    put32(p, reply.shed ? 1u : 0u);
+    put64(p, reply.id);
+    put32(p, static_cast<std::uint32_t>(reply.results.size()));
+    put32(p, 0);
+    for (const Result &r : reply.results) {
+        put64(p, static_cast<std::uint64_t>(r.status));
+        put64(p, r.digest);
+    }
+    return encodeFrame(FrameType::BatchReply, p);
+}
+
+bool
+parseBatch(std::span<const std::uint8_t> payload, RequestBatch &out,
+           std::string &err)
+{
+    if (payload.size() < kBatchPrologue) {
+        err = "batch payload shorter than its prologue";
+        return false;
+    }
+    out.tenant = get32(payload.data());
+    const std::uint32_t count = get32(payload.data() + 4);
+    out.id = get64(payload.data() + 8);
+    if (count > kMaxBatchRequests) {
+        err = "batch of " + std::to_string(count) +
+              " requests exceeds the cap";
+        return false;
+    }
+    if (payload.size() != kBatchPrologue + count * kRequestBytes) {
+        err = "batch payload length disagrees with request count";
+        return false;
+    }
+    out.requests.clear();
+    out.requests.reserve(count);
+    const std::uint8_t *p = payload.data() + kBatchPrologue;
+    for (std::uint32_t i = 0; i < count; ++i, p += kRequestBytes) {
+        if (p[0] > static_cast<std::uint8_t>(Op::Tamper)) {
+            err = "unknown op " + std::to_string(p[0]);
+            return false;
+        }
+        Request r;
+        r.op = static_cast<Op>(p[0]);
+        r.arg = p[1];
+        r.len = get32(p + 4);
+        r.addr = get64(p + 8);
+        r.seed = get64(p + 16);
+        out.requests.push_back(r);
+    }
+    return true;
+}
+
+bool
+parseBatchReply(std::span<const std::uint8_t> payload, BatchReply &out,
+                std::string &err)
+{
+    if (payload.size() < kReplyPrologue) {
+        err = "reply payload shorter than its prologue";
+        return false;
+    }
+    out.tenant = get32(payload.data());
+    out.shed = (get32(payload.data() + 4) & 1) != 0;
+    out.id = get64(payload.data() + 8);
+    const std::uint32_t count = get32(payload.data() + 16);
+    if (count > kMaxBatchRequests) {
+        err = "reply of " + std::to_string(count) +
+              " results exceeds the cap";
+        return false;
+    }
+    if (payload.size() != kReplyPrologue + count * kResultBytes) {
+        err = "reply payload length disagrees with result count";
+        return false;
+    }
+    out.results.clear();
+    out.results.reserve(count);
+    const std::uint8_t *p = payload.data() + kReplyPrologue;
+    for (std::uint32_t i = 0; i < count; ++i, p += kResultBytes) {
+        const std::uint64_t status = get64(p);
+        if (status > static_cast<std::uint64_t>(ReqStatus::BadRequest)) {
+            err = "unknown result status " + std::to_string(status);
+            return false;
+        }
+        out.results.push_back(
+            {static_cast<ReqStatus>(status), get64(p + 8)});
+    }
+    return true;
+}
+
+std::uint64_t
+fnv1a(std::span<const std::uint8_t> bytes)
+{
+    std::uint64_t h = kFnvBasis;
+    for (const std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1aStep(std::uint64_t h, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= static_cast<std::uint8_t>(value >> (8 * i));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+fillPattern(std::uint64_t seed, Addr addr, std::span<std::uint8_t> out)
+{
+    std::uint64_t state = seed ^ (addr * 0x9e3779b97f4a7c15ULL);
+    std::size_t i = 0;
+    while (i < out.size()) {
+        const std::uint64_t word = splitmix64(state);
+        for (unsigned b = 0; b < 8 && i < out.size(); ++b, ++i)
+            out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+}
+
+} // namespace mgmee::serve::wire

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Framed wire protocol of the mgmee serving plane.
+ *
+ * Every message on a connection is one *frame*: a fixed 16-byte
+ * header followed by a type-specific little-endian payload.
+ *
+ *     offset  size  field
+ *     0       4     magic "MGSV"
+ *     4       2     version (kWireVersion)
+ *     6       2     frame type (FrameType)
+ *     8       4     payload length in bytes
+ *     12      4     reserved, must be zero
+ *
+ * Decoding is defensive by contract: a frame with a bad magic, an
+ * unknown version, a payload above kMaxPayloadBytes, a nonzero
+ * reserved word, or a batch above kMaxBatchRequests is rejected with
+ * a diagnostic and the connection is considered poisoned; a frame
+ * whose bytes have not fully arrived yet is reported as NeedMore so
+ * stream readers can keep accumulating (tests/serve_test.cc pins the
+ * truncated/oversized/bad-magic behaviour).
+ *
+ * Requests never carry bulk data.  A Write's payload is synthesised
+ * deterministically from (seed, addr) via fillPattern() on the server
+ * side, and every reply carries a 64-bit FNV-1a digest of the
+ * plaintext the engine observed, so clients can verify results -- and
+ * harnesses can compare runs bit-for-bit -- without hauling data
+ * across the socket.
+ */
+
+#ifndef MGMEE_SERVE_WIRE_HH
+#define MGMEE_SERVE_WIRE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mgmee::serve::wire {
+
+/** Protocol revision; bumped on any layout change. */
+constexpr std::uint16_t kWireVersion = 1;
+/** Frame header bytes ("MGSV" + version/type/length/reserved). */
+constexpr std::size_t kHeaderBytes = 16;
+/** Upper bound on one frame's payload. */
+constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 20;
+/** Upper bound on requests per batch. */
+constexpr std::size_t kMaxBatchRequests = 4096;
+
+/** Frame types (header field). */
+enum class FrameType : std::uint16_t
+{
+    OpenSession = 1,   //!< client hello; server replies OpenReply
+    OpenReply = 2,     //!< topology: tenant count + shard count
+    Batch = 3,         //!< a RequestBatch for one tenant
+    BatchReply = 4,    //!< per-request results (or a shed batch)
+    Stats = 5,         //!< poll live server statistics
+    StatsReply = 6,    //!< JSON stats payload
+    Shutdown = 7,      //!< drain and stop the server
+    ShutdownReply = 8, //!< acknowledged; connection closes after
+    Error = 9,         //!< human-readable protocol error
+};
+
+/** Operations a request can ask of its tenant's engine. */
+enum class Op : std::uint8_t
+{
+    Read = 0,     //!< verify+decrypt [addr, addr+len)
+    Write = 1,    //!< encrypt+MAC a fillPattern(seed) payload
+    SetGran = 2,  //!< applyStreamPart(chunk of addr, seed as map)
+    Rekey = 3,    //!< rotate tenant keys (derived from seed)
+    Tamper = 4,   //!< admin/attack: corrupt ciphertext byte arg
+};
+
+/** Per-request outcome carried in a BatchReply. */
+enum class ReqStatus : std::uint8_t
+{
+    Ok = 0,
+    MacMismatch = 1,   //!< engine detected a data/MAC failure
+    TreeMismatch = 2,  //!< engine detected a freshness failure
+    Shed = 3,          //!< dropped by admission control, never ran
+    BadRequest = 4,    //!< malformed (range/alignment), never ran
+};
+
+const char *statusName(ReqStatus s);
+
+/** One access request (24 bytes on the wire). */
+struct Request
+{
+    Op op = Op::Read;
+    std::uint8_t arg = 0;      //!< Tamper: byte index within the line
+    std::uint32_t len = kCachelineBytes;  //!< Read/Write byte count
+    Addr addr = 0;             //!< tenant-local byte address
+    std::uint64_t seed = 0;    //!< Write/Rekey/SetGran parameter
+};
+
+/** A batch of requests for one tenant. */
+struct RequestBatch
+{
+    std::uint32_t tenant = 0;
+    std::uint64_t id = 0;      //!< echoed in the reply
+    std::vector<Request> requests;
+};
+
+/** One request's result. */
+struct Result
+{
+    ReqStatus status = ReqStatus::Ok;
+    std::uint64_t digest = 0;  //!< FNV-1a of the observed plaintext
+};
+
+/** Reply to one RequestBatch. */
+struct BatchReply
+{
+    std::uint32_t tenant = 0;
+    std::uint64_t id = 0;
+    bool shed = false;         //!< whole batch dropped at admission
+    std::vector<Result> results;
+};
+
+/** A decoded frame: type plus raw payload bytes. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Outcome of decodeFrame() on a byte stream prefix. */
+enum class Decode
+{
+    Ok,        //!< one frame decoded; @p consumed bytes used
+    NeedMore,  //!< the stream ends mid-frame; feed more bytes
+    Bad,       //!< malformed (magic/version/size); poison the stream
+};
+
+// ---- frame encode/decode ------------------------------------------------
+
+/** Wrap @p payload in a frame of @p type. */
+std::vector<std::uint8_t> encodeFrame(
+    FrameType type, std::span<const std::uint8_t> payload);
+
+/**
+ * Decode one frame from the front of @p bytes.  On Ok, @p out holds
+ * the frame and @p consumed the bytes used; on Bad, @p err describes
+ * the violation; on NeedMore nothing is consumed.
+ */
+Decode decodeFrame(std::span<const std::uint8_t> bytes, Frame &out,
+                   std::size_t &consumed, std::string &err);
+
+// ---- payload encode/parse -----------------------------------------------
+
+/** Full frame (header included) carrying @p batch. */
+std::vector<std::uint8_t> encodeBatch(const RequestBatch &batch);
+/** Full frame carrying @p reply. */
+std::vector<std::uint8_t> encodeBatchReply(const BatchReply &reply);
+
+/** Parse a Batch frame payload; false + @p err on malformed input. */
+bool parseBatch(std::span<const std::uint8_t> payload,
+                RequestBatch &out, std::string &err);
+/** Parse a BatchReply frame payload. */
+bool parseBatchReply(std::span<const std::uint8_t> payload,
+                     BatchReply &out, std::string &err);
+
+// ---- deterministic data helpers -----------------------------------------
+
+/** FNV-1a 64-bit over @p bytes (the reply digest function). */
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes);
+
+/** Chain @p value into a running FNV-1a state @p h. */
+std::uint64_t fnv1aStep(std::uint64_t h, std::uint64_t value);
+
+/** FNV-1a offset basis (initial chain value). */
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+/**
+ * Deterministic write payload: a splitmix64 keystream of
+ * (seed ^ addr), the same on client and server, so a Write request
+ * needs no data bytes on the wire.
+ */
+void fillPattern(std::uint64_t seed, Addr addr,
+                 std::span<std::uint8_t> out);
+
+} // namespace mgmee::serve::wire
+
+#endif // MGMEE_SERVE_WIRE_HH

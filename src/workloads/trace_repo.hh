@@ -27,21 +27,22 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/config.hh"
 #include "common/stats.hh"
 #include "workloads/trace_gen.hh"
 
 namespace mgmee {
 
 /**
- * True unless the environment sets `MGMEE_MEMO=0`.  Gates the trace
- * repo and the run-result memo (hetero/run_memo.hh) together so one
- * knob flips the whole sweep-layer caching stack.
+ * True unless the configuration disables memoization (MGMEE_MEMO=0
+ * through the env loader, or Config::memo programmatically).  Gates
+ * the trace repo and the run-result memo (hetero/run_memo.hh)
+ * together so one knob flips the whole sweep-layer caching stack.
  */
 inline bool
 memoEnabled()
 {
-    const char *s = std::getenv("MGMEE_MEMO");
-    return !s || std::atoi(s) != 0;
+    return config().memo;
 }
 
 /** Sharded, thread-safe cache of generated traces. */

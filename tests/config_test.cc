@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the typed process configuration (src/common/config.cc):
+ * environment parsing of every knob kind, malformed-value fallback,
+ * cross-field validation, the setConfig/reloadConfigFromEnv
+ * lifecycle, effective-value rendering, and the StatRegistry
+ * prefix-erase teardown hook the serve layer relies on.
+ *
+ * Knob mutation here goes through setenv + reloadConfigFromEnv();
+ * every test restores the prior Config before returning so the rest
+ * of the suite sees an unchanged process state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+
+namespace mgmee {
+namespace {
+
+/** Save/restore the process Config and the touched environment. */
+class ConfigSandbox
+{
+  public:
+    ConfigSandbox() : saved_(config()) {}
+
+    ~ConfigSandbox()
+    {
+        for (const std::string &name : touched_)
+            unsetenv(name.c_str());
+        setConfig(saved_);
+    }
+
+    void
+    set(const char *name, const char *value)
+    {
+        touched_.push_back(name);
+        setenv(name, value, 1);
+    }
+
+  private:
+    Config saved_;
+    std::vector<std::string> touched_;
+};
+
+TEST(ConfigTest, DefaultsAreSane)
+{
+    const Config def;
+    EXPECT_EQ(def.scenarios, 0u);
+    EXPECT_DOUBLE_EQ(def.scale, 0.5);
+    EXPECT_EQ(def.seed, 1u);
+    EXPECT_TRUE(def.memo);
+    EXPECT_EQ(def.crypto, "auto");
+    EXPECT_EQ(def.results_dir, "results");
+    EXPECT_EQ(def.serve_tenants, 4u);
+    EXPECT_EQ(def.serve_queue_depth, 8192u);
+    EXPECT_EQ(def.serve_mem_bytes, 32 * kChunkBytes);
+    EXPECT_TRUE(def.validate().empty());
+}
+
+TEST(ConfigTest, FromEnvParsesEveryKnobKind)
+{
+    ConfigSandbox sandbox;
+    sandbox.set("MGMEE_SCENARIOS", "12");       // size_t
+    sandbox.set("MGMEE_SCALE", "2.5");          // double
+    sandbox.set("MGMEE_SEED", "987654321");     // u64
+    sandbox.set("MGMEE_MEMO", "0");             // bool
+    sandbox.set("MGMEE_CRYPTO", "portable");    // enum-ish string
+    sandbox.set("MGMEE_TRACE", "/tmp/t.bin");   // path
+    sandbox.set("MGMEE_SERVE_TENANTS", "9");
+    sandbox.set("MGMEE_SERVE_MEM", "1048576");
+    reloadConfigFromEnv();
+
+    const Config &c = config();
+    EXPECT_EQ(c.scenarios, 12u);
+    EXPECT_DOUBLE_EQ(c.scale, 2.5);
+    EXPECT_EQ(c.seed, 987654321u);
+    EXPECT_FALSE(c.memo);
+    EXPECT_EQ(c.crypto, "portable");
+    EXPECT_EQ(c.trace_path, "/tmp/t.bin");
+    EXPECT_EQ(c.serve_tenants, 9u);
+    EXPECT_EQ(c.serve_mem_bytes, 1048576u);
+
+    // The raw-env section records exactly what was set.
+    bool saw_seed = false;
+    for (const auto &[name, value] : c.rawEnv())
+        if (name == "MGMEE_SEED") {
+            saw_seed = true;
+            EXPECT_EQ(value, "987654321");
+        }
+    EXPECT_TRUE(saw_seed);
+}
+
+TEST(ConfigTest, MalformedNumbersKeepDefaults)
+{
+    ConfigSandbox sandbox;
+    sandbox.set("MGMEE_SCENARIOS", "banana");
+    sandbox.set("MGMEE_SEED", "");
+    reloadConfigFromEnv();
+    EXPECT_EQ(config().scenarios, 0u);
+    EXPECT_EQ(config().seed, 1u);
+}
+
+TEST(ConfigTest, ValidateCatchesCrossFieldProblems)
+{
+    Config c;
+    c.scale = 0;
+    EXPECT_FALSE(c.validate().empty());
+
+    c = Config{};
+    c.crypto = "quantum";
+    EXPECT_FALSE(c.validate().empty());
+
+    c = Config{};
+    c.serve_tenants = 0;
+    EXPECT_FALSE(c.validate().empty());
+
+    c = Config{};
+    c.serve_queue_depth = 10;
+    c.serve_batch = 100;
+    EXPECT_FALSE(c.validate().empty());
+
+    c = Config{};
+    c.serve_mem_bytes = 100;
+    EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(ConfigTest, SetConfigReplacesAndRestores)
+{
+    const Config saved = config();
+    Config next = saved;
+    next.seed = 0xfeedface;
+    setConfig(next);
+    EXPECT_EQ(config().seed, 0xfeedfaceu);
+    setConfig(saved);
+    EXPECT_EQ(config().seed, saved.seed);
+}
+
+TEST(ConfigTest, ItemsRendersEveryKnob)
+{
+    const auto items = config().items();
+    // Every knob appears exactly once, MGMEE_-prefixed.
+    EXPECT_GE(items.size(), 20u);
+    bool saw_scale = false, saw_serve_socket = false;
+    for (const auto &[name, value] : items) {
+        EXPECT_EQ(name.rfind("MGMEE_", 0), 0u) << name;
+        saw_scale = saw_scale || name == "MGMEE_SCALE";
+        saw_serve_socket =
+            saw_serve_socket || name == "MGMEE_SERVE_SOCKET";
+    }
+    EXPECT_TRUE(saw_scale);
+    EXPECT_TRUE(saw_serve_socket);
+}
+
+TEST(ConfigTest, UnknownKnobIsIgnoredNotFatal)
+{
+    ConfigSandbox sandbox;
+    sandbox.set("MGMEE_TYPO_KNOB", "1");
+    reloadConfigFromEnv();  // warns, must not throw or alter fields
+    EXPECT_TRUE(config().validate().empty());
+}
+
+// ---- StatRegistry teardown hook -----------------------------------------
+
+TEST(StatRegistryEraseTest, ErasePrefixDropsOnlyMatchingGroups)
+{
+    StatRegistry &reg = StatRegistry::instance();
+    reg.counter("erase.t1.core", "a").fetch_add(1);
+    reg.counter("erase.t10.core", "b").fetch_add(2);
+    reg.counter("erase_other", "c").fetch_add(3);
+    reg.sharded("erase.t1.aux", "d").add(4);
+
+    // "erase.t1." must not catch tenant 10's groups.
+    EXPECT_EQ(reg.erasePrefix("erase.t1."), 2u);
+    EXPECT_TRUE(reg.snapshot("erase.t1.core").counters().empty());
+    EXPECT_TRUE(reg.snapshot("erase.t1.aux").counters().empty());
+    EXPECT_EQ(reg.snapshot("erase.t10.core").counters().at("b"), 2u);
+    EXPECT_EQ(reg.snapshot("erase_other").counters().at("c"), 3u);
+
+    EXPECT_EQ(reg.erasePrefix("erase."), 1u);
+    EXPECT_EQ(reg.erasePrefix("erase."), 0u);
+    reg.erasePrefix("erase_other");
+}
+
+} // namespace
+} // namespace mgmee

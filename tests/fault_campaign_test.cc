@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/config.hh"
 #include "fault/campaign.hh"
 #include "fault/injector.hh"
 #include "obs/manifest.hh"
@@ -198,11 +199,15 @@ TEST(FaultCampaign, DetectionMatrixIdenticalAcrossThreadCounts)
     fault::CampaignConfig cfg;
     cfg.seed = 7;
 
-    setenv("MGMEE_THREADS", "1", 1);
+    const Config saved = config();
+    Config proc = saved;
+    proc.threads = 1;
+    setConfig(proc);
     const fault::CampaignReport serial = fault::runCampaign(cfg);
-    setenv("MGMEE_THREADS", "4", 1);
+    proc.threads = 4;
+    setConfig(proc);
     const fault::CampaignReport parallel = fault::runCampaign(cfg);
-    unsetenv("MGMEE_THREADS");
+    setConfig(saved);
 
     ASSERT_EQ(serial.engines.size(), parallel.engines.size());
     for (std::size_t e = 0; e < serial.engines.size(); ++e) {

@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Tests for the multi-tenant serving plane (src/serve/): wire-frame
+ * encode/decode round-trips and defensive rejection, admission
+ * control and shedding, per-tenant isolation under fault injection,
+ * thread-count determinism of the reply-digest chain, detection
+ * latency recording, tenant teardown (including StatRegistry group
+ * erasure), and the socket front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "serve/loadgen.hh"
+#include "serve/net.hh"
+#include "serve/server.hh"
+#include "serve/wire.hh"
+
+namespace mgmee::serve {
+namespace {
+
+// ---- wire protocol ------------------------------------------------------
+
+wire::RequestBatch
+sampleBatch()
+{
+    wire::RequestBatch b;
+    b.tenant = 3;
+    b.id = 0x1122334455667788ULL;
+    for (unsigned i = 0; i < 5; ++i) {
+        wire::Request r;
+        r.op = static_cast<wire::Op>(i);
+        r.arg = static_cast<std::uint8_t>(i * 7);
+        r.len = kCachelineBytes << i;
+        r.addr = i * 4096;
+        r.seed = 0xdeadbeef00ULL + i;
+        b.requests.push_back(r);
+    }
+    return b;
+}
+
+TEST(ServeWireTest, BatchRoundTrips)
+{
+    const wire::RequestBatch in = sampleBatch();
+    const std::vector<std::uint8_t> bytes = wire::encodeBatch(in);
+
+    wire::Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+    ASSERT_EQ(wire::decodeFrame(bytes, frame, consumed, err),
+              wire::Decode::Ok)
+        << err;
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(frame.type, wire::FrameType::Batch);
+
+    wire::RequestBatch out;
+    ASSERT_TRUE(wire::parseBatch(frame.payload, out, err)) << err;
+    EXPECT_EQ(out.tenant, in.tenant);
+    EXPECT_EQ(out.id, in.id);
+    ASSERT_EQ(out.requests.size(), in.requests.size());
+    for (std::size_t i = 0; i < in.requests.size(); ++i) {
+        EXPECT_EQ(out.requests[i].op, in.requests[i].op);
+        EXPECT_EQ(out.requests[i].arg, in.requests[i].arg);
+        EXPECT_EQ(out.requests[i].len, in.requests[i].len);
+        EXPECT_EQ(out.requests[i].addr, in.requests[i].addr);
+        EXPECT_EQ(out.requests[i].seed, in.requests[i].seed);
+    }
+}
+
+TEST(ServeWireTest, ReplyRoundTrips)
+{
+    wire::BatchReply in;
+    in.tenant = 9;
+    in.id = 42;
+    in.shed = true;
+    in.results.push_back({wire::ReqStatus::Ok, 0x1111});
+    in.results.push_back({wire::ReqStatus::MacMismatch, 0x2222});
+
+    const std::vector<std::uint8_t> bytes = wire::encodeBatchReply(in);
+    wire::Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+    ASSERT_EQ(wire::decodeFrame(bytes, frame, consumed, err),
+              wire::Decode::Ok);
+    ASSERT_EQ(frame.type, wire::FrameType::BatchReply);
+
+    wire::BatchReply out;
+    ASSERT_TRUE(wire::parseBatchReply(frame.payload, out, err)) << err;
+    EXPECT_EQ(out.tenant, in.tenant);
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_TRUE(out.shed);
+    ASSERT_EQ(out.results.size(), 2u);
+    EXPECT_EQ(out.results[1].status, wire::ReqStatus::MacMismatch);
+    EXPECT_EQ(out.results[1].digest, 0x2222u);
+}
+
+TEST(ServeWireTest, TruncatedFrameNeedsMore)
+{
+    const std::vector<std::uint8_t> bytes =
+        wire::encodeBatch(sampleBatch());
+    wire::Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+    // Every strict prefix is NeedMore, never Ok and never Bad.
+    for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+        const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+        EXPECT_EQ(wire::decodeFrame(prefix, frame, consumed, err),
+                  wire::Decode::NeedMore)
+            << "at prefix length " << cut;
+    }
+}
+
+TEST(ServeWireTest, MalformedFramesRejected)
+{
+    std::vector<std::uint8_t> bytes =
+        wire::encodeBatch(sampleBatch());
+    wire::Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+
+    auto expectBad = [&](std::vector<std::uint8_t> mutated) {
+        EXPECT_EQ(wire::decodeFrame(mutated, frame, consumed, err),
+                  wire::Decode::Bad);
+        EXPECT_FALSE(err.empty());
+        err.clear();
+    };
+
+    std::vector<std::uint8_t> bad_magic = bytes;
+    bad_magic[0] = 'X';
+    expectBad(bad_magic);
+
+    std::vector<std::uint8_t> bad_version = bytes;
+    bad_version[4] = 0xff;
+    expectBad(bad_version);
+
+    std::vector<std::uint8_t> bad_type = bytes;
+    bad_type[6] = 0x7f;
+    expectBad(bad_type);
+
+    // Payload length above the cap: oversized, rejected before any
+    // attempt to buffer it.
+    std::vector<std::uint8_t> oversized = bytes;
+    oversized[8] = 0xff;
+    oversized[9] = 0xff;
+    oversized[10] = 0xff;
+    oversized[11] = 0x7f;
+    expectBad(oversized);
+
+    std::vector<std::uint8_t> bad_reserved = bytes;
+    bad_reserved[12] = 1;
+    expectBad(bad_reserved);
+}
+
+TEST(ServeWireTest, BatchParserRejectsCorruptPayloads)
+{
+    const wire::RequestBatch in = sampleBatch();
+    const std::vector<std::uint8_t> bytes = wire::encodeBatch(in);
+    wire::Frame frame;
+    std::size_t consumed = 0;
+    std::string err;
+    ASSERT_EQ(wire::decodeFrame(bytes, frame, consumed, err),
+              wire::Decode::Ok);
+
+    wire::RequestBatch out;
+    // Length/count disagreement.
+    std::vector<std::uint8_t> short_payload = frame.payload;
+    short_payload.pop_back();
+    EXPECT_FALSE(wire::parseBatch(short_payload, out, err));
+
+    // Unknown op.
+    std::vector<std::uint8_t> bad_op = frame.payload;
+    bad_op[16] = 0x66;
+    EXPECT_FALSE(wire::parseBatch(bad_op, out, err));
+
+    // Count above the batch cap.
+    std::vector<std::uint8_t> big_count = frame.payload;
+    big_count[4] = 0xff;
+    big_count[5] = 0xff;
+    EXPECT_FALSE(wire::parseBatch(big_count, out, err));
+}
+
+TEST(ServeWireTest, FillPatternIsDeterministic)
+{
+    std::uint8_t a[256], b[256];
+    wire::fillPattern(7, 4096, a);
+    wire::fillPattern(7, 4096, b);
+    EXPECT_EQ(wire::fnv1a(a), wire::fnv1a(b));
+    wire::fillPattern(8, 4096, b);
+    EXPECT_NE(wire::fnv1a(a), wire::fnv1a(b));
+}
+
+// ---- server -------------------------------------------------------------
+
+SessionConfig
+smallSession(unsigned tenants, std::uint64_t queue_depth = 8192)
+{
+    SessionConfig cfg;
+    for (unsigned t = 0; t < tenants; ++t) {
+        TenantConfig tc;
+        tc.id = t;
+        tc.mem_bytes = 8 * kChunkBytes;
+        tc.key_seed = 100 + t;
+        tc.queue_depth = queue_depth;
+        cfg.tenants.push_back(tc);
+    }
+    cfg.threads = 2;
+    return cfg;
+}
+
+wire::RequestBatch
+writeReadBatch(std::uint32_t tenant, Addr addr)
+{
+    wire::RequestBatch b;
+    b.tenant = tenant;
+    wire::Request w;
+    w.op = wire::Op::Write;
+    w.addr = addr;
+    w.len = kCachelineBytes;
+    w.seed = 0xabcd;
+    b.requests.push_back(w);
+    wire::Request r;
+    r.op = wire::Op::Read;
+    r.addr = addr;
+    r.len = kCachelineBytes;
+    b.requests.push_back(r);
+    return b;
+}
+
+TEST(ServeSessionTest, ValidationCatchesBadConfigs)
+{
+    SessionConfig empty;
+    EXPECT_FALSE(empty.validate().empty());
+
+    SessionConfig dup = smallSession(2);
+    dup.tenants[1].id = dup.tenants[0].id;
+    EXPECT_FALSE(dup.validate().empty());
+
+    SessionConfig tiny = smallSession(1);
+    tiny.tenants[0].mem_bytes = kChunkBytes / 2;
+    EXPECT_FALSE(tiny.validate().empty());
+
+    SessionConfig no_queue = smallSession(1);
+    no_queue.tenants[0].queue_depth = 0;
+    EXPECT_FALSE(no_queue.validate().empty());
+
+    EXPECT_TRUE(smallSession(3).validate().empty());
+}
+
+TEST(ServeServerTest, WriteReadRoundTripsWithMatchingDigest)
+{
+    Server server(smallSession(1));
+    const wire::BatchReply reply =
+        server.submitSync(writeReadBatch(0, 256));
+    ASSERT_EQ(reply.results.size(), 2u);
+    EXPECT_EQ(reply.results[0].status, wire::ReqStatus::Ok);
+    EXPECT_EQ(reply.results[1].status, wire::ReqStatus::Ok);
+    // The read must observe exactly the written pattern.
+    EXPECT_EQ(reply.results[0].digest, reply.results[1].digest);
+
+    std::uint8_t expect[kCachelineBytes];
+    wire::fillPattern(0xabcd, 256, expect);
+    EXPECT_EQ(reply.results[1].digest, wire::fnv1a(expect));
+}
+
+TEST(ServeServerTest, MalformedRequestsReplyBadRequest)
+{
+    Server server(smallSession(1));
+    wire::RequestBatch b;
+    b.tenant = 0;
+    wire::Request r;
+    r.op = wire::Op::Read;
+    r.addr = 13;  // misaligned
+    r.len = kCachelineBytes;
+    b.requests.push_back(r);
+    r.addr = 0;
+    r.len = 48;  // not line-multiple
+    b.requests.push_back(r);
+    r.len = kCachelineBytes;
+    r.addr = 8 * kChunkBytes;  // out of the arena
+    b.requests.push_back(r);
+
+    const wire::BatchReply reply = server.submitSync(std::move(b));
+    ASSERT_EQ(reply.results.size(), 3u);
+    for (const wire::Result &res : reply.results)
+        EXPECT_EQ(res.status, wire::ReqStatus::BadRequest);
+
+    // An unknown tenant is rejected whole.
+    const wire::BatchReply unknown =
+        server.submitSync(writeReadBatch(77, 0));
+    ASSERT_EQ(unknown.results.size(), 2u);
+    EXPECT_EQ(unknown.results[0].status, wire::ReqStatus::BadRequest);
+}
+
+TEST(ServeServerTest, AdmissionControlShedsWholeBatches)
+{
+    // Queue depth below one batch: every submit sheds, deterministically.
+    Server server(smallSession(1, 1));
+    wire::RequestBatch b = writeReadBatch(0, 0);
+    const wire::BatchReply reply = server.submitSync(b);
+    EXPECT_TRUE(reply.shed);
+    ASSERT_EQ(reply.results.size(), 2u);
+    for (const wire::Result &res : reply.results)
+        EXPECT_EQ(res.status, wire::ReqStatus::Shed);
+    EXPECT_EQ(server.shedBatches(), 1u);
+    EXPECT_EQ(server.completedRequests(), 0u);
+}
+
+TEST(ServeServerTest, TenantsAreIsolated)
+{
+    Server server(smallSession(2));
+    // Warm both tenants on the same addresses.
+    ASSERT_EQ(server.submitSync(writeReadBatch(0, 0)).results[1].status,
+              wire::ReqStatus::Ok);
+    ASSERT_EQ(server.submitSync(writeReadBatch(1, 0)).results[1].status,
+              wire::ReqStatus::Ok);
+
+    // Corrupt tenant 0's ciphertext.
+    server.injectTamper(0, 0, 3);
+
+    // Tenant 0 detects; tenant 1 is untouched.
+    wire::RequestBatch read0;
+    read0.tenant = 0;
+    wire::Request r;
+    r.op = wire::Op::Read;
+    r.addr = 0;
+    r.len = kCachelineBytes;
+    read0.requests.push_back(r);
+    wire::RequestBatch read1 = read0;
+    read1.tenant = 1;
+
+    EXPECT_NE(server.submitSync(read0).results[0].status,
+              wire::ReqStatus::Ok);
+    EXPECT_EQ(server.submitSync(read1).results[0].status,
+              wire::ReqStatus::Ok);
+
+    // Same-key derivation would be a cross-tenant disaster; the
+    // digests agree (same plaintext) but the engines are separate.
+    EXPECT_EQ(server.tenantCount(), 2u);
+}
+
+TEST(ServeServerTest, DetectionLatencyIsRecorded)
+{
+    StatRegistry::instance().reset();
+    Server server(smallSession(1));
+    ASSERT_EQ(server.submitSync(writeReadBatch(0, 0)).results[1].status,
+              wire::ReqStatus::Ok);
+    server.injectTamper(0, 0, 1);
+
+    wire::RequestBatch read;
+    read.tenant = 0;
+    wire::Request r;
+    r.op = wire::Op::Read;
+    r.addr = 0;
+    r.len = kCachelineBytes;
+    read.requests.push_back(r);
+    EXPECT_NE(server.submitSync(read).results[0].status,
+              wire::ReqStatus::Ok);
+
+    const StatGroup g =
+        StatRegistry::instance().snapshot("serve.t0.core");
+    EXPECT_EQ(g.counters().at("tampers"), 1u);
+    EXPECT_EQ(g.counters().at("detected"), 1u);
+}
+
+TEST(ServeServerTest, DigestsAreIdenticalAcrossThreadCounts)
+{
+    auto runAt = [](unsigned threads) {
+        SessionConfig cfg = smallSession(3);
+        cfg.threads = threads;
+        Server server(cfg);
+        std::vector<std::uint64_t> digests(3);
+        std::vector<std::thread> drivers;
+        for (unsigned t = 0; t < 3; ++t) {
+            drivers.emplace_back([&, t] {
+                LoadgenConfig lg;
+                lg.tenant = t;
+                lg.seed = 5;
+                lg.mem_bytes = 8 * kChunkBytes;
+                lg.batch = 64;
+                lg.tamper_at = 500;
+                Loadgen gen(lg);
+                wire::RequestBatch b;
+                while (gen.generated() < 2048) {
+                    gen.next(b);
+                    gen.absorb(server.submitSync(b));
+                }
+                digests[t] = gen.digest();
+            });
+        }
+        for (std::thread &th : drivers)
+            th.join();
+        server.stop();
+        return digests;
+    };
+    EXPECT_EQ(runAt(1), runAt(4));
+}
+
+TEST(ServeServerTest, RemoveTenantErasesItsStats)
+{
+    StatRegistry::instance().reset();
+    Server server(smallSession(2));
+    server.submitSync(writeReadBatch(0, 0));
+    server.submitSync(writeReadBatch(1, 0));
+    ASSERT_FALSE(StatRegistry::instance()
+                     .snapshot("serve.t1.core")
+                     .counters()
+                     .empty());
+
+    EXPECT_TRUE(server.removeTenant(1));
+    EXPECT_EQ(server.tenantCount(), 1u);
+    EXPECT_TRUE(StatRegistry::instance()
+                    .snapshot("serve.t1.core")
+                    .counters()
+                    .empty());
+    // Tenant 0 is untouched...
+    EXPECT_FALSE(StatRegistry::instance()
+                     .snapshot("serve.t0.core")
+                     .counters()
+                     .empty());
+    // ...and traffic for the removed tenant is refused.
+    EXPECT_EQ(server.submitSync(writeReadBatch(1, 0))
+                  .results[0]
+                  .status,
+              wire::ReqStatus::BadRequest);
+    // Removing twice (or an unknown id) fails.
+    EXPECT_FALSE(server.removeTenant(1));
+    EXPECT_FALSE(server.removeTenant(42));
+}
+
+TEST(ServeServerTest, SubmitAfterStopSheds)
+{
+    Server server(smallSession(1));
+    server.stop();
+    const wire::BatchReply reply =
+        server.submitSync(writeReadBatch(0, 0));
+    EXPECT_TRUE(reply.shed);
+    ASSERT_EQ(reply.results.size(), 2u);
+    EXPECT_EQ(reply.results[0].status, wire::ReqStatus::Shed);
+}
+
+TEST(ServeServerTest, StatsJsonMentionsEveryTenant)
+{
+    Server server(smallSession(2));
+    server.submitSync(writeReadBatch(0, 0));
+    const std::string json = server.statsJson();
+    EXPECT_NE(json.find("\"t0\""), std::string::npos);
+    EXPECT_NE(json.find("\"t1\""), std::string::npos);
+    EXPECT_NE(json.find("batch_wall_p99_ns"), std::string::npos);
+}
+
+// ---- loadgen ------------------------------------------------------------
+
+TEST(ServeLoadgenTest, StreamsAreReproducible)
+{
+    LoadgenConfig cfg;
+    cfg.tenant = 1;
+    cfg.seed = 99;
+    cfg.batch = 32;
+    Loadgen a(cfg), b(cfg);
+    wire::RequestBatch ba, bb;
+    for (int i = 0; i < 10; ++i) {
+        a.next(ba);
+        b.next(bb);
+        ASSERT_EQ(ba.requests.size(), bb.requests.size());
+        for (std::size_t j = 0; j < ba.requests.size(); ++j) {
+            EXPECT_EQ(ba.requests[j].op, bb.requests[j].op);
+            EXPECT_EQ(ba.requests[j].addr, bb.requests[j].addr);
+            EXPECT_EQ(ba.requests[j].seed, bb.requests[j].seed);
+        }
+    }
+}
+
+// ---- socket front end ---------------------------------------------------
+
+TEST(ServeNetTest, SocketRoundTripMatchesInProcess)
+{
+    const std::string path =
+        testing::TempDir() + "serve_net_test.sock";
+    Server server(smallSession(1));
+    Listener listener(server, path);
+
+    Client client(path);
+    wire::BatchReply over_socket;
+    std::string err;
+    ASSERT_TRUE(
+        client.callBatch(writeReadBatch(0, 512), over_socket, err))
+        << err;
+    ASSERT_EQ(over_socket.results.size(), 2u);
+    EXPECT_EQ(over_socket.results[0].status, wire::ReqStatus::Ok);
+
+    // The same batch in-process observes the same digests (same
+    // engine state: the write is idempotent for a fixed seed).
+    const wire::BatchReply inproc =
+        server.submitSync(writeReadBatch(0, 512));
+    EXPECT_EQ(inproc.results[1].digest,
+              over_socket.results[1].digest);
+
+    // Stats frame answers with JSON.
+    wire::Frame stats;
+    ASSERT_TRUE(
+        client.call(wire::FrameType::Stats, {}, stats, err));
+    EXPECT_EQ(stats.type, wire::FrameType::StatsReply);
+    const std::string json(stats.payload.begin(),
+                           stats.payload.end());
+    EXPECT_NE(json.find("completed_requests"), std::string::npos);
+
+    // Shutdown is acknowledged and stops the listener.
+    wire::Frame ack;
+    ASSERT_TRUE(
+        client.call(wire::FrameType::Shutdown, {}, ack, err));
+    EXPECT_EQ(ack.type, wire::FrameType::ShutdownReply);
+    listener.waitForShutdown();
+    EXPECT_TRUE(listener.stopped());
+    listener.stop();
+    server.stop();
+}
+
+} // namespace
+} // namespace mgmee::serve

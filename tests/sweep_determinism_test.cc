@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "hetero/run_memo.hh"
 
 namespace mgmee {
@@ -40,16 +41,20 @@ TEST(SweepDeterminismTest, ParallelMatchesSingleThreadBitExact)
     constexpr double kScale = 0.05;
     constexpr std::uint64_t kSeed = 1;
 
-    // Parallel run with the default thread count (explicitly unset
+    // Parallel run with the default thread count (explicitly clear
     // the knob in case the environment pins it to 1).
-    unsetenv("MGMEE_THREADS");
+    const Config saved = config();
+    Config cfg = saved;
+    cfg.threads = 0;
+    setConfig(cfg);
     const std::vector<SweepStats> par =
         bench::runSweep(scenarios, schemes, kScale, kSeed);
 
-    setenv("MGMEE_THREADS", "1", 1);
+    cfg.threads = 1;
+    setConfig(cfg);
     const std::vector<SweepStats> ser =
         bench::runSweep(scenarios, schemes, kScale, kSeed);
-    unsetenv("MGMEE_THREADS");
+    setConfig(saved);
 
     ASSERT_EQ(par.size(), ser.size());
     for (std::size_t i = 0; i < par.size(); ++i) {
@@ -72,18 +77,21 @@ TEST(SweepDeterminismTest, ShardedSweepMatchesSingleThreadBitExact)
     // Route runSweep through the sharded scheduler; clear the run
     // memo around each sweep so the second one actually re-simulates
     // instead of answering from the first one's cache.
-    setenv("MGMEE_SHARDS", "4", 1);
-    setenv("MGMEE_THREADS", "4", 1);
+    const Config saved = config();
+    Config cfg = saved;
+    cfg.shards = 4;
+    cfg.threads = 4;
+    setConfig(cfg);
     runMemoClear();
     const std::vector<SweepStats> par =
         bench::runSweep(scenarios, schemes, kScale, kSeed);
 
-    setenv("MGMEE_THREADS", "1", 1);
+    cfg.threads = 1;
+    setConfig(cfg);
     runMemoClear();
     const std::vector<SweepStats> ser =
         bench::runSweep(scenarios, schemes, kScale, kSeed);
-    unsetenv("MGMEE_THREADS");
-    unsetenv("MGMEE_SHARDS");
+    setConfig(saved);
     runMemoClear();
 
     ASSERT_EQ(par.size(), ser.size());
@@ -96,30 +104,42 @@ TEST(SweepDeterminismTest, ShardedSweepMatchesSingleThreadBitExact)
 
 TEST(SweepDeterminismTest, ShardsAndQuantumKnobsParse)
 {
+    // Knob-level check: each value must survive Config::fromEnv(),
+    // so mutate the environment and reload instead of setConfig().
     unsetenv("MGMEE_SHARDS");
+    reloadConfigFromEnv();
     EXPECT_EQ(0u, envShards());  // default: sharding off
     setenv("MGMEE_SHARDS", "4", 1);
+    reloadConfigFromEnv();
     EXPECT_EQ(4u, envShards());
     setenv("MGMEE_SHARDS", "100000", 1);
+    reloadConfigFromEnv();
     EXPECT_EQ(threadCap(), envShards());  // clamped
     unsetenv("MGMEE_SHARDS");
 
     unsetenv("MGMEE_QUANTUM");
+    reloadConfigFromEnv();
     EXPECT_EQ(256u, envQuantum());
     setenv("MGMEE_QUANTUM", "512", 1);
+    reloadConfigFromEnv();
     EXPECT_EQ(512u, envQuantum());
     setenv("MGMEE_QUANTUM", "1", 1);
+    reloadConfigFromEnv();
     EXPECT_EQ(64u, envQuantum());  // clamped to the floor
     unsetenv("MGMEE_QUANTUM");
+    reloadConfigFromEnv();
 }
 
 TEST(SweepDeterminismTest, ThreadsKnobParsesAndClamps)
 {
     setenv("MGMEE_THREADS", "3", 1);
+    reloadConfigFromEnv();
     EXPECT_EQ(3u, bench::envThreads());
     setenv("MGMEE_THREADS", "0", 1);   // invalid -> hardware default
+    reloadConfigFromEnv();
     EXPECT_GE(bench::envThreads(), 1u);
     unsetenv("MGMEE_THREADS");
+    reloadConfigFromEnv();
     EXPECT_GE(bench::envThreads(), 1u);
 }
 

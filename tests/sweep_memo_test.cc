@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/config.hh"
 #include "hetero/hetero_system.hh"
 #include "hetero/run_memo.hh"
 #include "workloads/registry.hh"
@@ -30,33 +31,22 @@ namespace {
 
 using bench::SweepStats;
 
-/** Scoped MGMEE_MEMO override; restores the prior value on exit. */
+/** Scoped memo override through the Config layer; restores the prior
+ *  process configuration on exit.  nullptr = knob default (on). */
 class MemoEnv
 {
   public:
-    explicit MemoEnv(const char *value)
+    explicit MemoEnv(const char *value) : old_(config())
     {
-        const char *old = std::getenv("MGMEE_MEMO");
-        had_old_ = old != nullptr;
-        if (had_old_)
-            old_ = old;
-        if (value)
-            setenv("MGMEE_MEMO", value, 1);
-        else
-            unsetenv("MGMEE_MEMO");
+        Config next = old_;
+        next.memo = value == nullptr || std::string(value) != "0";
+        setConfig(next);
     }
 
-    ~MemoEnv()
-    {
-        if (had_old_)
-            setenv("MGMEE_MEMO", old_.c_str(), 1);
-        else
-            unsetenv("MGMEE_MEMO");
-    }
+    ~MemoEnv() { setConfig(old_); }
 
   private:
-    bool had_old_;
-    std::string old_;
+    Config old_;
 };
 
 bool
@@ -290,18 +280,24 @@ TEST(TraceRepoTest, ConcurrentAccessIsRaceFree)
 
 TEST(SweepMemoTest, MemoKnobParses)
 {
-    {
-        MemoEnv memo(nullptr);
-        EXPECT_TRUE(memoEnabled());  // default: on
-    }
-    {
-        MemoEnv memo("0");
-        EXPECT_FALSE(memoEnabled());
-    }
-    {
-        MemoEnv memo("1");
-        EXPECT_TRUE(memoEnabled());
-    }
+    // Knob-level check: the MGMEE_MEMO string must survive the trip
+    // through Config::fromEnv(), not just through setConfig().  The
+    // knob ends the test unset; in-suite memo control goes through
+    // MemoEnv (setConfig), so nothing downstream depends on it.
+    unsetenv("MGMEE_MEMO");
+    reloadConfigFromEnv();
+    EXPECT_TRUE(memoEnabled());  // default: on
+
+    setenv("MGMEE_MEMO", "0", 1);
+    reloadConfigFromEnv();
+    EXPECT_FALSE(memoEnabled());
+
+    setenv("MGMEE_MEMO", "1", 1);
+    reloadConfigFromEnv();
+    EXPECT_TRUE(memoEnabled());
+
+    unsetenv("MGMEE_MEMO");
+    reloadConfigFromEnv();
 }
 
 } // namespace

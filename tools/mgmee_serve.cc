@@ -1,0 +1,67 @@
+/**
+ * @file
+ * mgmee-serve: the long-running multi-tenant serving daemon.
+ *
+ * Brings up a serve::Server shaped by the process config (tenant
+ * count, arena size, queue depth all from MGMEE_SERVE_* knobs; see
+ * docs/API.md) and a framed unix-socket listener on
+ * MGMEE_SERVE_SOCKET, then runs until a client sends a Shutdown
+ * frame or the process receives SIGINT/SIGTERM.  On the way out it
+ * writes a run manifest with per-tenant request counts, shed totals,
+ * and batch-latency/detection-latency histograms -- the same report
+ * an in-process embedding would get.
+ *
+ *   MGMEE_SERVE_TENANTS=8 MGMEE_SERVE_SOCKET=/tmp/s.sock mgmee-serve
+ *   mgmee-loadgen --socket /tmp/s.sock --requests 100000 --shutdown
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "obs/manifest.hh"
+#include "serve/net.hh"
+#include "serve/server.hh"
+
+using namespace mgmee;
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Config &cfg = config();
+    const serve::SessionConfig session =
+        serve::SessionConfig::fromConfig(cfg);
+
+    serve::Server server(session);
+    serve::Listener listener(server, cfg.serve_socket);
+    std::fprintf(stderr,
+                 "mgmee-serve: %u tenants on %u shards, socket %s\n",
+                 server.tenantCount(), server.shards(),
+                 listener.path().c_str());
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!listener.stopped() && !g_signalled)
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    listener.stop();
+    server.stop();
+
+    obs::Manifest manifest("serve");
+    server.fillManifest(manifest);
+    obs::ManifestReporter::finalize(manifest);
+    return 0;
+}

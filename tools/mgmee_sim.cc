@@ -305,11 +305,7 @@ main(int argc, char **argv)
         std::printf("%s", report.matrixText().c_str());
         obs::Manifest manifest("attack_campaign");
         report.fillManifest(manifest);
-        manifest.captureTelemetry();
-        manifest.captureRegistry();
-        const std::string path = manifest.write();
-        if (!path.empty())
-            std::printf("wrote %s\n", path.c_str());
+        obs::ManifestReporter::finalize(manifest);
         return report.coreEnginesFullyDetect() ? 0 : 1;
     }
 
