@@ -130,11 +130,12 @@ Listener::~Listener() { stop(); }
 void
 Listener::stop()
 {
-    if (stopping_.exchange(true)) {
-        // Another stop() already ran (or a Shutdown frame set the
-        // flag); still join below in case that caller was the
-        // connection thread itself.
-    }
+    stopping_.store(true);
+    // stop_mu_ is held across the joins so that concurrent stop()
+    // calls (destructor vs. an explicit caller) cannot both join the
+    // same thread: the loser blocks until the winner has joined and
+    // then finds nothing left to do.
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
     if (accept_thread_.joinable())
         accept_thread_.join();
     if (listen_fd_ >= 0) {
@@ -142,14 +143,14 @@ Listener::stop()
         listen_fd_ = -1;
         ::unlink(path_.c_str());
     }
-    std::vector<std::thread> conns;
+    std::vector<std::unique_ptr<Conn>> conns;
     {
         std::lock_guard<std::mutex> lock(conn_mu_);
-        conns.swap(conn_threads_);
+        conns.swap(conns_);
     }
-    for (std::thread &t : conns)
-        if (t.joinable())
-            t.join();
+    for (const auto &c : conns)
+        if (c->thread.joinable())
+            c->thread.join();
 }
 
 void
@@ -165,6 +166,10 @@ void
 Listener::acceptLoop()
 {
     while (!stopping_.load()) {
+        // A long-lived server sees many short-lived connections;
+        // join finished threads as we go instead of accumulating
+        // dead handles until stop().
+        reapConnections();
         pollfd pfd{listen_fd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 100);
         if (ready <= 0)
@@ -173,9 +178,35 @@ Listener::acceptLoop()
         if (fd < 0)
             continue;
         std::lock_guard<std::mutex> lock(conn_mu_);
-        conn_threads_.emplace_back(
-            [this, fd] { serveConnection(fd); });
+        auto conn = std::make_unique<Conn>();
+        Conn *c = conn.get();
+        c->thread = std::thread([this, c, fd] {
+            serveConnection(fd);
+            c->done.store(true);
+        });
+        conns_.push_back(std::move(conn));
     }
+}
+
+void
+Listener::reapConnections()
+{
+    std::vector<std::unique_ptr<Conn>> dead;
+    {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if ((*it)->done.load()) {
+                dead.push_back(std::move(*it));
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    // done was the serving thread's last store, so these joins
+    // return (almost) immediately.
+    for (const auto &c : dead)
+        c->thread.join();
 }
 
 void
@@ -199,10 +230,17 @@ Listener::serveConnection(int fd)
         }
         switch (frame.type) {
           case wire::FrameType::OpenSession: {
+            // Two LE u32 fields: tenant count, then shard count.
+            // Tenant ids are u32 and sessions impose no tenant cap,
+            // so a single byte would truncate large sessions.
             std::vector<std::uint8_t> p;
-            p.push_back(static_cast<std::uint8_t>(
-                server_.tenantCount()));
-            p.push_back(static_cast<std::uint8_t>(server_.shards()));
+            auto put32 = [&p](std::uint32_t v) {
+                for (unsigned shift = 0; shift < 32; shift += 8)
+                    p.push_back(
+                        static_cast<std::uint8_t>(v >> shift));
+            };
+            put32(server_.tenantCount());
+            put32(server_.shards());
             if (!sendFrame(fd, wire::FrameType::OpenReply, p))
                 goto done;
             break;

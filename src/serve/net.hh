@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -62,16 +63,26 @@ class Listener
     const std::string &path() const { return path_; }
 
   private:
+    /** One accepted connection: its serving thread plus the flag the
+     *  acceptor polls to reap finished threads as it goes. */
+    struct Conn
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
     void acceptLoop();
     void serveConnection(int fd);
+    void reapConnections();
 
     Server &server_;
     std::string path_;
     int listen_fd_ = -1;
     std::atomic<bool> stopping_{false};
     std::thread accept_thread_;
+    std::mutex stop_mu_;  //!< serialises the joins in stop()
     std::mutex conn_mu_;
-    std::vector<std::thread> conn_threads_;
+    std::vector<std::unique_ptr<Conn>> conns_;
 };
 
 /** Blocking unix-socket client speaking one frame per call(). */

@@ -270,6 +270,15 @@ Server::removeTenant(std::uint32_t tenant)
             return false;
         t->open = false;
         t->engine.reset();
+        // erasePrefix() below destroys the registry slots behind
+        // Counters.  Capture the totals the aggregate accessors keep
+        // reporting and null every cached pointer while mu_ is held,
+        // so no reader (they all take mu_) can reach a freed atomic.
+        t->final_requests =
+            t->counters.requests->load(std::memory_order_relaxed);
+        t->final_shed_batches = t->counters.shed_batches->load(
+            std::memory_order_relaxed);
+        t->counters = Counters{};
     }
     // Per-tenant stat groups vanish from future snapshots; the warn()
     // rate-limiter history is likewise per-process state a teardown
@@ -283,10 +292,13 @@ Server::removeTenant(std::uint32_t tenant)
 void
 Server::stop()
 {
+    // stop_mu_ is held across the join so that concurrent stop()
+    // calls (destructor vs. an explicit caller) cannot both reach
+    // pump_.join(): the loser blocks until the winner has joined,
+    // then sees an unjoinable thread.
+    std::lock_guard<std::mutex> stop_lock(stop_mu_);
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (!running_ && !pump_.joinable())
-            return;
         running_ = false;
     }
     cv_.notify_all();
@@ -383,7 +395,8 @@ Server::executeRequest(Tenant &t, const wire::Request &r)
         std::span<std::uint8_t> buf(t.scratch.data(), r.len);
         res.status = mapStatus(t.engine->read(r.addr, buf));
         res.digest = wire::fnv1a(buf);
-        t.ticks += r.len / kCachelineBytes;
+        t.ticks.fetch_add(r.len / kCachelineBytes,
+                          std::memory_order_relaxed);
         break;
       }
       case Op::Write: {
@@ -393,7 +406,8 @@ Server::executeRequest(Tenant &t, const wire::Request &r)
         wire::fillPattern(r.seed, r.addr, buf);
         res.status = mapStatus(t.engine->write(r.addr, buf));
         res.digest = wire::fnv1a(buf);
-        t.ticks += r.len / kCachelineBytes;
+        t.ticks.fetch_add(r.len / kCachelineBytes,
+                          std::memory_order_relaxed);
         break;
       }
       case Op::SetGran: {
@@ -402,12 +416,12 @@ Server::executeRequest(Tenant &t, const wire::Request &r)
         t.engine->applyStreamPart(chunkIndex(r.addr),
                                   StreamPart{r.seed});
         res.digest = r.seed;
-        t.ticks += 1;
+        t.ticks.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case Op::Rekey: {
         t.engine->rekey(deriveKeys(r.seed));
-        t.ticks += 1;
+        t.ticks.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       case Op::Tamper: {
@@ -415,10 +429,10 @@ Server::executeRequest(Tenant &t, const wire::Request &r)
             return bad();
         t.engine->corruptData(r.addr, r.arg % kCachelineBytes);
         t.tampered = true;
-        t.tamper_tick = t.ticks;
+        t.tamper_tick = t.ticks.load(std::memory_order_relaxed);
         t.tamper_wall = std::chrono::steady_clock::now();
         t.counters.tampers->fetch_add(1, std::memory_order_relaxed);
-        t.ticks += 1;
+        t.ticks.fetch_add(1, std::memory_order_relaxed);
         break;
       }
     }
@@ -435,7 +449,8 @@ Server::executeRequest(Tenant &t, const wire::Request &r)
         // First verification failure after an injection: the
         // detection-latency sample, in deterministic ticks and in
         // wall time.
-        t.detect_ticks.record(t.ticks - t.tamper_tick);
+        t.detect_ticks.record(
+            t.ticks.load(std::memory_order_relaxed) - t.tamper_tick);
         t.detect_wall_ns.record(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t.tamper_wall)
@@ -446,10 +461,26 @@ Server::executeRequest(Tenant &t, const wire::Request &r)
     return res;
 }
 
-unsigned
-Server::tenantCount() const
+std::uint64_t
+Server::tenantRequests(const Tenant &t)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    return t.counters.requests
+               ? t.counters.requests->load(std::memory_order_relaxed)
+               : t.final_requests;
+}
+
+std::uint64_t
+Server::tenantShedBatches(const Tenant &t)
+{
+    return t.counters.shed_batches
+               ? t.counters.shed_batches->load(
+                     std::memory_order_relaxed)
+               : t.final_shed_batches;
+}
+
+unsigned
+Server::tenantCountLocked() const
+{
     unsigned n = 0;
     for (const auto &t : tenants_)
         n += t->open ? 1 : 0;
@@ -457,33 +488,54 @@ Server::tenantCount() const
 }
 
 std::uint64_t
-Server::shedBatches() const
+Server::shedBatchesLocked() const
 {
     std::uint64_t total = 0;
     for (const auto &t : tenants_)
-        total += t->counters.shed_batches->load(
-            std::memory_order_relaxed);
+        total += tenantShedBatches(*t);
     return total;
+}
+
+std::uint64_t
+Server::completedRequestsLocked() const
+{
+    std::uint64_t total = 0;
+    for (const auto &t : tenants_)
+        total += tenantRequests(*t);
+    return total;
+}
+
+unsigned
+Server::tenantCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tenantCountLocked();
+}
+
+std::uint64_t
+Server::shedBatches() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shedBatchesLocked();
 }
 
 std::uint64_t
 Server::completedRequests() const
 {
-    std::uint64_t total = 0;
-    for (const auto &t : tenants_)
-        total +=
-            t->counters.requests->load(std::memory_order_relaxed);
-    return total;
+    std::lock_guard<std::mutex> lock(mu_);
+    return completedRequestsLocked();
 }
 
 std::string
 Server::statsJson() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
-    os << "{\"tenants\": " << tenantCount()
+    os << "{\"tenants\": " << tenantCountLocked()
        << ", \"shards\": " << sched_->shards()
-       << ", \"completed_requests\": " << completedRequests()
-       << ", \"shed_batches\": " << shedBatches() << ", \"per_tenant\": {";
+       << ", \"completed_requests\": " << completedRequestsLocked()
+       << ", \"shed_batches\": " << shedBatchesLocked()
+       << ", \"per_tenant\": {";
     bool first = true;
     for (const auto &t : tenants_) {
         if (!first)
@@ -491,14 +543,13 @@ Server::statsJson() const
         first = false;
         const Histogram lat = t->batch_wall_ns.snapshot();
         os << "\"t" << t->cfg.id << "\": {\"open\": "
-           << (t->open ? "true" : "false") << ", \"requests\": "
-           << t->counters.requests->load(std::memory_order_relaxed)
-           << ", \"shed_batches\": "
-           << t->counters.shed_batches->load(
-                  std::memory_order_relaxed)
+           << (t->open ? "true" : "false")
+           << ", \"requests\": " << tenantRequests(*t)
+           << ", \"shed_batches\": " << tenantShedBatches(*t)
            << ", \"batch_wall_p50_ns\": " << lat.percentile(0.5)
            << ", \"batch_wall_p99_ns\": " << lat.percentile(0.99)
-           << ", \"ticks\": " << t->ticks << "}";
+           << ", \"ticks\": "
+           << t->ticks.load(std::memory_order_relaxed) << "}";
     }
     os << "}}";
     return os.str();
@@ -507,10 +558,12 @@ Server::statsJson() const
 void
 Server::fillManifest(obs::Manifest &m, const std::string &prefix) const
 {
-    m.set(prefix + "serve.tenants", tenantCount());
+    std::lock_guard<std::mutex> lock(mu_);
+    m.set(prefix + "serve.tenants", tenantCountLocked());
     m.set(prefix + "serve.shards", sched_->shards());
-    m.set(prefix + "serve.completed_requests", completedRequests());
-    m.set(prefix + "serve.shed_batches", shedBatches());
+    m.set(prefix + "serve.completed_requests",
+          completedRequestsLocked());
+    m.set(prefix + "serve.shed_batches", shedBatchesLocked());
     for (const auto &t : tenants_) {
         const std::string tag =
             prefix + "t" + std::to_string(t->cfg.id);

@@ -165,25 +165,35 @@ class Server
         std::unique_ptr<SecureMemory> engine;
 
         // ---- home-shard-only state (never touched concurrently) --
-        Cycle ticks = 0;            //!< 1 tick per 64 data bytes
         bool tampered = false;      //!< fault injected, undetected
         Cycle tamper_tick = 0;
         std::chrono::steady_clock::time_point tamper_wall{};
         std::vector<std::uint8_t> scratch;  //!< request data buffer
 
         // ---- lock-free stats (shard records, anyone snapshots) ---
+        /** 1 tick per 64 data bytes.  Written (relaxed) by the home
+         *  shard only; read concurrently by statsJson(). */
+        std::atomic<Cycle> ticks{0};
         obs::StreamingHistogram batch_wall_ns;
         obs::StreamingHistogram detect_ticks;
         obs::StreamingHistogram detect_wall_ns;
         /** Telemetry-plane mirror of batch_wall_ns (immortal,
          *  interned; only written while telemetry is enabled). */
         obs::StreamingHistogram *telemetry_hist = nullptr;
+        /** All pointers null once the tenant is closed (the registry
+         *  slots are erased at teardown); readers must hold
+         *  Server::mu_ and fall back to final_* below. */
         Counters counters;
 
         // ---- guarded by Server::mu_ ------------------------------
         std::deque<std::unique_ptr<Pending>> inbox;
         std::uint64_t outstanding = 0;  //!< queued, not yet answered
         bool open = true;
+        /** Totals captured by removeTenant() just before the
+         *  registry counters are erased, so aggregate stats survive
+         *  tenant teardown. */
+        std::uint64_t final_requests = 0;
+        std::uint64_t final_shed_batches = 0;
     };
 
     Tenant *tenantById(std::uint32_t id);
@@ -192,6 +202,15 @@ class Server
     void pumpLoop();
     void executeBatch(Tenant &t, Pending &p);
     wire::Result executeRequest(Tenant &t, const wire::Request &r);
+
+    // Locked variants of the public aggregates (caller holds mu_).
+    unsigned tenantCountLocked() const;
+    std::uint64_t shedBatchesLocked() const;
+    std::uint64_t completedRequestsLocked() const;
+    /** Live counter if the tenant is open, teardown snapshot
+     *  otherwise (caller holds mu_). */
+    static std::uint64_t tenantRequests(const Tenant &t);
+    static std::uint64_t tenantShedBatches(const Tenant &t);
 
     SessionConfig cfg_;
     std::unique_ptr<sim::Scheduler> sched_;
@@ -202,6 +221,7 @@ class Server
     std::condition_variable cv_;
     bool running_ = true;
     std::thread pump_;
+    std::mutex stop_mu_;  //!< serialises stop()'s join of pump_
 };
 
 /** Derive a tenant's engine keys from its key seed (splitmix64

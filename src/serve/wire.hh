@@ -53,7 +53,7 @@ constexpr std::size_t kMaxBatchRequests = 4096;
 enum class FrameType : std::uint16_t
 {
     OpenSession = 1,   //!< client hello; server replies OpenReply
-    OpenReply = 2,     //!< topology: tenant count + shard count
+    OpenReply = 2,     //!< topology: tenant + shard count (2x LE u32)
     Batch = 3,         //!< a RequestBatch for one tenant
     BatchReply = 4,    //!< per-request results (or a shed batch)
     Stats = 5,         //!< poll live server statistics

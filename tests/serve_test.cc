@@ -10,12 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/manifest.hh"
 #include "serve/loadgen.hh"
 #include "serve/net.hh"
 #include "serve/server.hh"
@@ -430,6 +432,38 @@ TEST(ServeServerTest, RemoveTenantErasesItsStats)
     // Removing twice (or an unknown id) fails.
     EXPECT_FALSE(server.removeTenant(1));
     EXPECT_FALSE(server.removeTenant(42));
+
+    // Aggregates and stats frames stay safe after teardown: the
+    // removed tenant's totals come from the teardown snapshot, not
+    // from the (erased) registry counters.
+    EXPECT_EQ(server.completedRequests(), 4u);
+    EXPECT_EQ(server.shedBatches(), 0u);
+    const std::string json = server.statsJson();
+    EXPECT_NE(json.find("\"t1\": {\"open\": false"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"requests\": 2"), std::string::npos);
+    obs::Manifest manifest("serve_test_teardown");
+    server.fillManifest(manifest);
+}
+
+TEST(ServeServerTest, StatsAreSafeUnderConcurrentLoad)
+{
+    // Stats frames arrive on connection threads while shards are
+    // executing batches; under TSan this pins that statsJson() is
+    // race-free against the per-tenant tick clocks and counters.
+    Server server(smallSession(2));
+    std::atomic<bool> stop{false};
+    std::thread poller([&] {
+        while (!stop.load())
+            server.statsJson();
+    });
+    for (unsigned i = 0; i < 64; ++i) {
+        server.submitSync(writeReadBatch(0, (i % 8) * kChunkBytes));
+        server.submitSync(writeReadBatch(1, (i % 8) * kChunkBytes));
+    }
+    stop.store(true);
+    poller.join();
+    EXPECT_EQ(server.completedRequests(), 256u);
 }
 
 TEST(ServeServerTest, SubmitAfterStopSheds)
@@ -516,6 +550,37 @@ TEST(ServeNetTest, SocketRoundTripMatchesInProcess)
     EXPECT_EQ(ack.type, wire::FrameType::ShutdownReply);
     listener.waitForShutdown();
     EXPECT_TRUE(listener.stopped());
+    listener.stop();
+    server.stop();
+}
+
+TEST(ServeNetTest, OpenSessionReportsTopologyAsU32)
+{
+    const std::string path =
+        testing::TempDir() + "serve_open_test.sock";
+    Server server(smallSession(3));
+    Listener listener(server, path);
+
+    Client client(path);
+    wire::Frame reply;
+    std::string err;
+    ASSERT_TRUE(
+        client.call(wire::FrameType::OpenSession, {}, reply, err))
+        << err;
+    ASSERT_EQ(reply.type, wire::FrameType::OpenReply);
+    // Two LE u32 fields: tenant count, shard count (a single byte
+    // each would truncate sessions with >255 tenants).
+    ASSERT_EQ(reply.payload.size(), 8u);
+    auto get32 = [&reply](std::size_t off) {
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(reply.payload[off + i])
+                 << (8 * i);
+        return v;
+    };
+    EXPECT_EQ(get32(0), 3u);
+    EXPECT_EQ(get32(4), server.shards());
+
     listener.stop();
     server.stop();
 }
