@@ -7,16 +7,18 @@
  * Every cell builds a fresh functional engine, runs one scripted
  * attack (src/fault/injector.cc), and records
  * detected/missed/false-alarm.  The exit status enforces the
- * acceptance bar: the mgmee and conventional engines must detect
- * every applicable single-site tamper class with zero false alarms
- * anywhere (the treeless/adaptive baselines may legitimately miss
- * classes -- the matrix says which).
+ * acceptance bar: the core engines (mgmee, conventional, nvm-mgmee)
+ * must detect every applicable single-site tamper class with zero
+ * false alarms anywhere (the treeless / secddr-interface baselines
+ * may legitimately miss classes -- the matrix says which).
  *
  * Knobs:
  *   MGMEE_FAULT_SEED     master campaign seed (default: MGMEE_SEED,
  *                        then 1); every cell derives its own stream
  *   MGMEE_FAULT_CLASSES  comma-separated attack-class filter, e.g.
  *                        "rollback,splice" (default: all classes)
+ *   MGMEE_NVM_PERSIST    persist ordering of the nvm-mgmee engine:
+ *                        "wal" (default) or "unordered"
  *   MGMEE_RESULTS_DIR    manifest output directory (default results/)
  *   MGMEE_TRACE          obstrace path: emits one fault_inject event
  *                        per injection and one fault_verdict per cell
@@ -109,8 +111,8 @@ main()
     if (!report.coreEnginesFullyDetect()) {
         std::fprintf(stderr,
                      "attack_campaign: FAILED -- a core engine "
-                     "(mgmee/conventional) missed a tamper or a "
-                     "false alarm occurred\n");
+                     "(mgmee/conventional/nvm-mgmee) missed a tamper "
+                     "or a false alarm occurred\n");
         return 1;
     }
     std::printf("core engines: full detection, zero false alarms\n");

@@ -64,6 +64,23 @@ envThreads()
     return mgmee::envThreads();
 }
 
+/**
+ * The extended engine matrix: the Table-5 schemes plus the
+ * related-work engines (MGX, SecDDR).  For the comparison benches
+ * only -- the perf-diff CI gates pin the manifests of the
+ * kMainSchemes benches, so those must keep sweeping kMainSchemes
+ * verbatim.
+ */
+inline std::vector<Scheme>
+engineMatrixSchemes()
+{
+    std::vector<Scheme> schemes(kMainSchemes.begin(),
+                                kMainSchemes.end());
+    schemes.insert(schemes.end(), kRelatedWorkSchemes.begin(),
+                   kRelatedWorkSchemes.end());
+    return schemes;
+}
+
 inline std::vector<Scenario>
 sweepScenarios()
 {

@@ -19,10 +19,13 @@ using namespace mgmee;
 int
 main()
 {
+    // The figure's five schemes plus the related-work engines of the
+    // extended matrix (MGX derives NPU versions, SecDDR protects the
+    // link only) -- extra comparison rows, same normalization.
     const std::vector<Scheme> schemes = {
         Scheme::Adaptive,  Scheme::CommonCTR,
         Scheme::Ours,      Scheme::BmfUnused,
-        Scheme::BmfUnusedOurs,
+        Scheme::BmfUnusedOurs, Scheme::Mgx, Scheme::SecDdr,
     };
     const auto scenarios = bench::sweepScenarios();
     const auto stats = bench::runSweep(scenarios, schemes,

@@ -2,7 +2,7 @@
 """Verify docs/THREAT_MODEL.md against the measured attack-campaign matrix.
 
 Usage:
-    check_threat_matrix.py [--update] [manifest] [threat_model.md]
+    check_threat_matrix.py [--check | --update] [manifest] [threat_model.md]
 
 Defaults: results/manifest_attack_campaign.json, docs/THREAT_MODEL.md.
 
@@ -11,11 +11,13 @@ manifest (written by `attack_campaign` / `mgmee-sim --attack-campaign`),
 renders them as the markdown table bounded by the BEGIN/END ATTACK
 MATRIX markers in the threat model, and fails if the committed table
 differs -- so the doc can never drift from measured behaviour.  With
---update the block is rewritten in place instead.
+--update the block is rewritten in place instead; --check names the
+default compare-only mode explicitly (for CI invocations).
 
 It also enforces the acceptance bar independently of the doc: the
-core engines (mgmee, conventional) must have no missed or false-alarm
-cells, and no engine may raise a false alarm on a clean run.
+core engines (mgmee, conventional, nvm-mgmee) must have no missed or
+false-alarm cells, and no engine may raise a false alarm on a clean
+run.
 """
 
 import json
@@ -23,7 +25,7 @@ import sys
 
 BEGIN = "<!-- BEGIN ATTACK MATRIX -->"
 END = "<!-- END ATTACK MATRIX -->"
-CORE_ENGINES = ("mgmee", "conventional")
+CORE_ENGINES = ("mgmee", "conventional", "nvm-mgmee")
 
 # Verdict -> table cell (misses are called out in bold).
 LABEL = {
@@ -110,7 +112,7 @@ def splice_block(doc_lines, table_lines):
 
 def main(argv):
     update = "--update" in argv
-    args = [a for a in argv if a != "--update"]
+    args = [a for a in argv if a not in ("--update", "--check")]
     manifest_path = args[0] if len(args) > 0 else \
         "results/manifest_attack_campaign.json"
     doc_path = args[1] if len(args) > 1 else "docs/THREAT_MODEL.md"

@@ -1,0 +1,78 @@
+#include "baselines/mgx_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+MgxSchedule
+mgxScheduleFor(const WorkloadSpec &wl)
+{
+    MgxSchedule sched;
+    // Only software-managed tensor programs expose the write schedule
+    // MGX derives versions from; CPU and GPU profiles stay unmanaged.
+    sched.software_managed = wl.kind == DeviceKind::NPU;
+    return sched;
+}
+
+MgxEngine::MgxEngine(std::size_t data_bytes, const TimingConfig &cfg,
+                     std::array<MgxSchedule, 8> schedules)
+    : MeeTimingBase("MGX", data_bytes, cfg), schedules_(schedules)
+{
+}
+
+Cycle
+MgxEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    const Cycle issue = req.issue;
+    stats_.add(req.is_write ? "writes" : "reads");
+
+    const Cycle data_done =
+        mem.serve(issue, req.addr, req.bytes, req.is_write);
+
+    Cycle ctr_done = issue;
+    Cycle mac_done = issue;
+    const Addr first = alignDown(req.addr, kCachelineBytes);
+    const Addr last = alignDown(req.addr + (req.bytes ? req.bytes - 1
+                                                      : 0),
+                                kCachelineBytes);
+
+    const MgxSchedule &sched =
+        schedules_[req.device % schedules_.size()];
+    for (Addr span = alignDown(first, kPartitionBytes); span <= last;
+         span += kPartitionBytes) {
+        if (sched.software_managed) {
+            // version = f(progress): recomputed on chip from the
+            // program schedule.  No fetch, no table, no eviction --
+            // only the derivation compute.
+            ctr_done = std::max(ctr_done,
+                                issue + sched.derive_latency);
+            stats_.add("derived_versions");
+        } else {
+            // No schedule to derive from: the conventional per-block
+            // counter tree protects general traffic.
+            const std::uint64_t leaf = lineIndex(span);
+            if (req.is_write)
+                writeWalk(0, leaf, issue, mem);
+            else
+                ctr_done = std::max(ctr_done,
+                                    readWalk(0, leaf, issue, mem));
+            stats_.add("fallback_spans");
+        }
+
+        // MACs stay 64B-granular on both sides of the boundary.
+        const Addr mac_line =
+            layout_.macLineAddr(layout_.fineMacIndex(span));
+        mac_done = std::max(
+            mac_done, touchMac(mac_line, req.is_write, issue, mem));
+    }
+
+    if (req.is_write)
+        return issue;
+
+    Cycle done = std::max(data_done, ctr_done + cfg_.otp_latency) +
+                 cfg_.xor_latency;
+    done = std::max(done, mac_done) + cfg_.hash_latency;
+    return done;
+}
+
+} // namespace mgmee

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * MGX-style application-aware versioning engine (Hua et al., "MGX:
+ * Near-Zero Overhead Memory Protection for Data-Intensive
+ * Accelerators", Table 1's "application-managed version" row).
+ *
+ * MGX's observation: for an accelerator whose execution is fully
+ * scheduled in software, the version number of every protected block
+ * is a *function of application progress* (layer index, tile
+ * coordinate, iteration count).  The MEE can therefore re-derive any
+ * version on the fly from the same schedule the accelerator runs --
+ * versions are never stored, on-chip or off.  That eliminates counter
+ * fetches, the bounded on-chip version table of TNPU-class designs,
+ * and the table's eviction cliff (src/baselines/treeless_engine.hh):
+ * inside the managed domain only per-block MAC traffic remains.
+ *
+ * The boundary of the trick is the schedule itself.  General CPU/GPU
+ * traffic has no compiler-known write schedule to derive versions
+ * from, so unmanaged devices fall back to a conventional per-block
+ * counter tree -- the paper's Sec. 2.3 "cannot be applied to general
+ * applications" critique, with the table cliff removed but the
+ * general-traffic share of overhead untouched.
+ *
+ * mgxScheduleFor() maps a workload profile to its schedule: NPU-kind
+ * workloads (software-managed tensor programs) derive versions;
+ * every other kind is unmanaged.  The functional-security counterpart
+ * of this engine is the fault campaign's "mgx" row (derived versions
+ * give an attacker no off-chip counter state to touch).
+ */
+
+#ifndef MGMEE_BASELINES_MGX_ENGINE_HH
+#define MGMEE_BASELINES_MGX_ENGINE_HH
+
+#include <array>
+
+#include "mee/timing_engine.hh"
+#include "workloads/trace_gen.hh"
+
+namespace mgmee {
+
+/** Per-device version-derivation schedule (what MGX's firmware
+ *  extracts from the compiled program). */
+struct MgxSchedule
+{
+    /** True when the device's program declares its write schedule,
+     *  making every block version re-derivable on chip. */
+    bool software_managed = false;
+    /** Cycles to evaluate version = f(progress) for one block. */
+    Cycle derive_latency = 2;
+};
+
+/** Schedule for one workload profile: software-managed kinds (NPU)
+ *  derive versions, general kinds fall back to the tree. */
+MgxSchedule mgxScheduleFor(const WorkloadSpec &wl);
+
+/** Derived-version engine for scheduled accelerators, with a
+ *  conventional-tree fallback for general devices. */
+class MgxEngine : public MeeTimingBase
+{
+  public:
+    MgxEngine(std::size_t data_bytes, const TimingConfig &cfg,
+              std::array<MgxSchedule, 8> schedules);
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+    /** Version derivations served without any memory traffic. */
+    std::uint64_t derivedVersions() const
+    {
+        return stats_.get("derived_versions");
+    }
+
+  private:
+    std::array<MgxSchedule, 8> schedules_;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_BASELINES_MGX_ENGINE_HH

@@ -1,0 +1,59 @@
+#include "baselines/secddr_engine.hh"
+
+#include <algorithm>
+
+namespace mgmee {
+
+namespace {
+
+/** In-band MAC bytes per 64B burst (64-bit tag riding the link). */
+constexpr std::uint32_t kLinkMacBytes = 8;
+
+} // namespace
+
+SecDdrEngine::SecDdrEngine(std::size_t data_bytes,
+                           const TimingConfig &cfg)
+    : MeeTimingBase("SecDDR", data_bytes, cfg)
+{
+}
+
+Cycle
+SecDdrEngine::access(const MemRequest &req, MemCtrl &mem)
+{
+    const Cycle issue = req.issue;
+    stats_.add(req.is_write ? "writes" : "reads");
+
+    const Cycle data_done =
+        mem.serve(issue, req.addr, req.bytes, req.is_write);
+
+    // The MAC travels in-band with each 64B burst: extra link
+    // occupancy proportional to the transfer, no separate MAC-line
+    // fetch, no cache, and -- the defining property -- no counter or
+    // tree traffic at all.
+    const std::uint64_t lines =
+        (alignDown(req.addr + (req.bytes ? req.bytes - 1 : 0),
+                   kCachelineBytes) -
+         alignDown(req.addr, kCachelineBytes)) /
+            kCachelineBytes +
+        1;
+    const std::uint32_t mac_bytes =
+        static_cast<std::uint32_t>(lines * kLinkMacBytes);
+    const Addr mac_line = layout_.macLineAddr(
+        layout_.fineMacIndex(alignDown(req.addr, kCachelineBytes)));
+    const Cycle mac_done = mem.serve(issue, mac_line, mac_bytes,
+                                     req.is_write, Traffic::Mac);
+    stats_.add("mac_link_bytes", mac_bytes);
+
+    if (req.is_write)
+        return issue;
+
+    // Decrypt is still counter-mode over a link-local nonce, so the
+    // OTP can be precomputed; the verify chain is data + in-band MAC
+    // + one hash.
+    Cycle done = std::max(data_done, issue + cfg_.otp_latency) +
+                 cfg_.xor_latency;
+    done = std::max(done, mac_done) + cfg_.hash_latency;
+    return done;
+}
+
+} // namespace mgmee

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SecDDR-style interface-only protection engine (Fakhrzadehgan et
+ * al., "SecDDR: Enabling Low-Cost Secure Memories by Protecting the
+ * DDR Interface").
+ *
+ * SecDDR authenticates the memory *link*, not memory *state*: every
+ * transfer carries a MAC over (address, ciphertext) that travels with
+ * the burst, verified at the interface.  There are no counters, no
+ * integrity tree, no tree walks and no metadata cache -- the per-
+ * access cost is one MAC transfer plus one hash, independent of the
+ * protected-region size.  That is the entire appeal: near-zero
+ * metadata footprint and flat latency.
+ *
+ * The trade-off is freshness.  With no version input to the MAC, a
+ * consistent {ciphertext, MAC} pair captured earlier verifies again
+ * when replayed at rest, so rollback of quiescent data is invisible
+ * to the interface.  The fault campaign's "secddr-interface" row
+ * measures exactly that: data/MAC tampering and relocation detected,
+ * replay-at-rest missed -- the same gap as the treeless-cpu row,
+ * reached from the opposite end of the design space.
+ */
+
+#ifndef MGMEE_BASELINES_SECDDR_ENGINE_HH
+#define MGMEE_BASELINES_SECDDR_ENGINE_HH
+
+#include "mee/timing_engine.hh"
+
+namespace mgmee {
+
+/** Link-level per-transfer MAC engine: no counters, no tree. */
+class SecDdrEngine : public MeeTimingBase
+{
+  public:
+    SecDdrEngine(std::size_t data_bytes, const TimingConfig &cfg);
+
+    Cycle access(const MemRequest &req, MemCtrl &mem) override;
+
+    /** Extra link bytes moved for in-band MACs. */
+    std::uint64_t macLinkBytes() const
+    {
+        return stats_.get("mac_link_bytes");
+    }
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_BASELINES_SECDDR_ENGINE_HH

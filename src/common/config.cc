@@ -127,6 +127,7 @@ const KnobDef kKnobs[] = {
     STR_KNOB("MGMEE_CRYPTO", crypto),
     NUM_KNOB("MGMEE_FAULT_SEED", fault_seed),
     STR_KNOB("MGMEE_FAULT_CLASSES", fault_classes),
+    STR_KNOB("MGMEE_NVM_PERSIST", nvm_persist),
     BOOL_KNOB("MGMEE_ENFORCE_SCALING", enforce_scaling),
     BOOL_KNOB("MGMEE_ENFORCE_CRYPTO", enforce_crypto),
     BOOL_KNOB("MGMEE_ENFORCE_SERVE", enforce_serve),
@@ -213,6 +214,8 @@ Config::validate() const
         return "MGMEE_CRYPTO must be auto|portable|aesni|vaes";
     if (results_dir.empty())
         return "MGMEE_RESULTS_DIR must not be empty";
+    if (nvm_persist != "wal" && nvm_persist != "unordered")
+        return "MGMEE_NVM_PERSIST must be wal|unordered";
     if (serve_tenants == 0)
         return "MGMEE_SERVE_TENANTS must be >= 1";
     if (serve_batch == 0)

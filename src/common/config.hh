@@ -92,6 +92,10 @@ struct Config
     std::uint64_t fault_seed = 0;
     /** MGMEE_FAULT_CLASSES: comma list of attack classes; "" = all. */
     std::string fault_classes;
+    /** MGMEE_NVM_PERSIST: persist ordering of the nvm-mgmee engine
+     *  (mee/nvm_memory.hh): "wal" = write-ahead log (crash safe),
+     *  "unordered" = in-place (torn persists recover fail-closed). */
+    std::string nvm_persist = "wal";
 
     // ---- CI enforcement gates ----------------------------------------
     /** MGMEE_ENFORCE_SCALING: fail shard_scaling below 3x @ 8t. */

@@ -9,11 +9,13 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/threads.hh"
 #include "core/granularity.hh"
+#include "mee/nvm_memory.hh"
 #include "mee/secure_memory.hh"
 #include "obs/manifest.hh"
 #include "obs/telemetry.hh"
@@ -65,7 +67,7 @@ keysFromSeed(std::uint64_t seed)
  *  - Capped4K: multi-granular but never coarser than 4KB
  *              (the adaptive-MAC prior).
  */
-class SecureTarget final : public Target
+class SecureTarget : public Target
 {
   public:
     enum class Policy
@@ -77,8 +79,10 @@ class SecureTarget final : public Target
 
     SecureTarget(const char *name, Policy policy,
                  std::size_t data_bytes, std::uint64_t seed)
-        : name_(name), policy_(policy), rekey_rng_(mix(seed ^ 0x7e))
-        , mem_(data_bytes, keysFromSeed(seed))
+        : SecureTarget(name, policy,
+                       std::make_unique<SecureMemory>(
+                           data_bytes, keysFromSeed(seed)),
+                       seed)
     {
     }
 
@@ -203,27 +207,66 @@ class SecureTarget final : public Target
         return true;
     }
 
+  protected:
+    /** Subclass hook: the engine is injected (NvmTarget passes an
+     *  NvmSecureMemory; the stock targets a plain SecureMemory). */
+    SecureTarget(const char *name, Policy policy,
+                 std::unique_ptr<SecureMemory> mem, std::uint64_t seed)
+        : name_(name), policy_(policy), rekey_rng_(mix(seed ^ 0x7e))
+        , mem_ptr_(std::move(mem)), mem_(*mem_ptr_)
+    {
+    }
+
   private:
     const char *name_;
     Policy policy_;
     Rng rekey_rng_;
-    SecureMemory mem_;
+    std::unique_ptr<SecureMemory> mem_ptr_;
+
+  protected:
+    SecureMemory &mem_;
 };
 
 /**
- * Per-line MAC + version engine with NO integrity tree: the treeless
- * accelerator designs of Sec. 2.3.  MAC = H(addr, version, cipher).
- * `managed` keeps the versions in on-chip storage (the NPU variant,
- * where firmware manages a bounded working set); unmanaged stores
- * them off-chip next to the MACs (the CPU variant) -- which is
- * exactly why a consistent rollback of {cipher, MAC, version} passes
- * verification there.
+ * Per-line MAC engine with NO integrity tree: the family of related
+ * designs that trade the tree walk away.  MAC = H(addr, version,
+ * cipher); the Flavor decides where (or whether) versions live:
+ *
+ *  - treeless-npu:     versioned, versions on-chip (the managed-
+ *                      accelerator design of Sec. 2.3);
+ *  - treeless-cpu:     versioned, versions stored *off-chip* next to
+ *                      the MACs -- which is exactly why a consistent
+ *                      rollback of {cipher, MAC, version} passes
+ *                      verification there;
+ *  - mgx:              versioned + rekeyable; versions are *derived*
+ *                      from the application's write schedule (MGX),
+ *                      re-derivable on-chip and never stored
+ *                      off-chip, so they share the managed variant's
+ *                      attack surface.  Key rotation at application
+ *                      boundaries is part of the design, so
+ *                      stale_rekey applies (and is detected);
+ *  - secddr-interface: *unversioned* + rekeyable; the MAC
+ *                      authenticates only (addr, cipher) -- the
+ *                      link-level integrity of SecDDR.  With no
+ *                      freshness input, a consistent {cipher, MAC}
+ *                      replay at rest verifies: rollback and
+ *                      stale_flush are MISSED by design.
  */
 class TreelessTarget final : public Target
 {
   public:
-    TreelessTarget(const char *name, bool managed, std::uint64_t seed)
-        : name_(name), managed_(managed)
+    /** Which no-tree design this instance models. */
+    struct Flavor
+    {
+        bool versioned = true; //!< MAC covers a per-line version
+        bool managed = false;  //!< versions live on-chip (trusted)
+        bool rekeyable = false; //!< supports key rotation
+    };
+
+    TreelessTarget(const char *name, Flavor flavor,
+                   std::uint64_t seed)
+        : name_(name), flavor_(flavor)
+        , rekey_rng_(mix(seed ^ 0x7e))
         , otp_(keysFromSeed(seed).aes), mac_(keysFromSeed(seed).mac)
     {
     }
@@ -252,7 +295,10 @@ class TreelessTarget final : public Target
             for (std::size_t l = 0; l < n; ++l) {
                 addrs[l] = addr + (done + l) * kCachelineBytes;
                 ls[l] = &line(addrs[l]);
-                vers[l] = version(addrs[l]) + 1;
+                // Unversioned (secddr-interface): the pad and MAC
+                // take no freshness input at all.
+                vers[l] = flavor_.versioned ? version(addrs[l]) + 1
+                                            : 0;
                 setVersion(addrs[l], vers[l]);
             }
             otp_.makePads(addrs.data(), vers.data(), n, pads.data());
@@ -328,6 +374,34 @@ class TreelessTarget final : public Target
         return Granularity::Line64B;
     }
 
+    bool
+    rekey() override
+    {
+        if (!flavor_.rekeyable)
+            return false;
+        // Rotate both keys and re-encrypt/re-MAC every stored line
+        // under its unchanged version: a snapshot captured before the
+        // rotation carries a MAC under the retired key and can no
+        // longer verify.
+        const SecureMemory::Keys keys =
+            keysFromSeed(rekey_rng_.next());
+        OtpGenerator new_otp(keys.aes);
+        MacEngine new_mac(keys.mac);
+        for (auto &[idx, ls] : lines_) {
+            Addr a = static_cast<Addr>(idx) * kCachelineBytes;
+            std::uint64_t v = flavor_.versioned ? version(a) : 0;
+            Pad pad;
+            otp_.makePads(&a, &v, 1, &pad);
+            OtpGenerator::applyPad(pad, ls.cipher.data());
+            new_otp.makePads(&a, &v, 1, &pad);
+            OtpGenerator::applyPad(pad, ls.cipher.data());
+            ls.mac = new_mac.lineMac(a, v, ls.cipher.data());
+        }
+        otp_ = OtpGenerator(keys.aes);
+        mac_ = MacEngine(keys.mac);
+        return true;
+    }
+
     // ---- attack plane -----------------------------------------------
     bool
     corruptData(Addr addr, unsigned byte_index) override
@@ -347,8 +421,10 @@ class TreelessTarget final : public Target
     bool
     corruptCounter(Addr addr) override
     {
-        if (managed_)
-            return false;  // versions are on-chip: unreachable
+        // On-chip/derived versions are unreachable; the unversioned
+        // flavor has no counter state at all.
+        if (!flavor_.versioned || flavor_.managed)
+            return false;
         const Addr la = lineAddr(addr);
         setVersion(la, version(la) ^ 0x1);
         return true;
@@ -363,9 +439,11 @@ class TreelessTarget final : public Target
         snap.addr = la;
         snap.cipher = ls.cipher;
         snap.mac = ls.mac;
-        // The managed variant keeps versions on-chip, so an attacker
-        // has nothing to capture there (stays 0).
-        snap.counter = managed_ ? 0 : version(la);
+        // Only off-chip stored versions are capturable; on-chip /
+        // derived / nonexistent ones stay 0.
+        snap.counter = flavor_.versioned && !flavor_.managed
+                           ? version(la)
+                           : 0;
         return snap;
     }
 
@@ -378,7 +456,7 @@ class TreelessTarget final : public Target
         LineState &ls = line(la);
         ls.cipher = snap.cipher;
         ls.mac = snap.mac;
-        if (!managed_)
+        if (flavor_.versioned && !flavor_.managed)
             setVersion(la, snap.counter);
     }
 
@@ -419,35 +497,88 @@ class TreelessTarget final : public Target
     std::uint64_t
     version(Addr la)
     {
-        return managed_ ? onchip_versions_[lineIndex(la)]
-                        : line(la).version;
+        if (!flavor_.versioned)
+            return 0;
+        return flavor_.managed ? onchip_versions_[lineIndex(la)]
+                               : line(la).version;
     }
 
     void
     setVersion(Addr la, std::uint64_t v)
     {
-        if (managed_)
+        if (!flavor_.versioned)
+            return;
+        if (flavor_.managed)
             onchip_versions_[lineIndex(la)] = v;
         else
             line(la).version = v;
     }
 
     const char *name_;
-    bool managed_;
+    Flavor flavor_;
+    Rng rekey_rng_;
     OtpGenerator otp_;
     MacEngine mac_;
     std::unordered_map<std::uint64_t, LineState> lines_;
-    /** Trusted on-chip version store (managed variant only). */
+    /** Trusted on-chip version store (managed variants only). */
     std::unordered_map<std::uint64_t, std::uint64_t>
         onchip_versions_;
+};
+
+/**
+ * The full multi-granular engine with its protected region on
+ * persistent memory (mee/nvm_memory.hh): same Policy::Full data and
+ * attack planes as SecureTarget, plus the persistence attack surface
+ * -- kernel boundaries become ordered persist boundaries, a benign
+ * power cycle must recover cleanly, and the torn-persist /
+ * stale-image crashes must be rejected by recovery.
+ */
+class NvmTarget final : public SecureTarget
+{
+  public:
+    NvmTarget(std::size_t data_bytes, std::uint64_t seed,
+              NvmSecureMemory::PersistMode mode)
+        : SecureTarget("nvm-mgmee", Policy::Full,
+                       std::make_unique<NvmSecureMemory>(
+                           data_bytes, keysFromSeed(seed), mode),
+                       seed)
+    {
+    }
+
+    bool
+    powerCycle() override
+    {
+        nvm().flushMetadata();  // persist boundary before the cut
+        nvm().crashAndRecover();
+        return true;
+    }
+
+    bool
+    crashWith(CrashKind kind) override
+    {
+        if (kind == CrashKind::TornPersist) {
+            nvm().tornCrash();
+            return true;
+        }
+        return nvm().staleReplayCrash();
+    }
+
+  private:
+    NvmSecureMemory &
+    nvm()
+    {
+        return static_cast<NvmSecureMemory &>(mem_);
+    }
 };
 
 constexpr const char *kEngines[] = {
     "mgmee",        "conventional", "adaptive-mac",
     "common-counters", "treeless-npu", "treeless-cpu",
+    "mgx",          "secddr-interface", "nvm-mgmee",
 };
 
-constexpr const char *kCoreEngines[] = {"mgmee", "conventional"};
+constexpr const char *kCoreEngines[] = {"mgmee", "conventional",
+                                        "nvm-mgmee"};
 
 /** Severity rank for aggregation (higher = worse). */
 unsigned
@@ -511,11 +642,26 @@ makeTarget(const std::string &engine, std::size_t data_bytes,
             "common-counters", SecureTarget::Policy::Pinned64,
             data_bytes, seed);
     if (engine == "treeless-npu")
-        return std::make_unique<TreelessTarget>("treeless-npu", true,
-                                                seed);
+        return std::make_unique<TreelessTarget>(
+            "treeless-npu",
+            TreelessTarget::Flavor{true, true, false}, seed);
     if (engine == "treeless-cpu")
-        return std::make_unique<TreelessTarget>("treeless-cpu", false,
-                                                seed);
+        return std::make_unique<TreelessTarget>(
+            "treeless-cpu",
+            TreelessTarget::Flavor{true, false, false}, seed);
+    if (engine == "mgx")
+        return std::make_unique<TreelessTarget>(
+            "mgx", TreelessTarget::Flavor{true, true, true}, seed);
+    if (engine == "secddr-interface")
+        return std::make_unique<TreelessTarget>(
+            "secddr-interface",
+            TreelessTarget::Flavor{false, false, true}, seed);
+    if (engine == "nvm-mgmee")
+        return std::make_unique<NvmTarget>(
+            data_bytes, seed,
+            config().nvm_persist == "unordered"
+                ? NvmSecureMemory::PersistMode::Unordered
+                : NvmSecureMemory::PersistMode::WriteAhead);
     return nullptr;
 }
 

@@ -27,7 +27,27 @@
  *                      of the paper rules out.  Its missed rollback /
  *                      stale-flush cells are expected output, not a
  *                      bug -- they are the executable form of that
- *                      argument.
+ *                      argument;
+ *  - `mgx`             application-aware versioning (MGX, Hua et
+ *                      al.): per-line MACs whose versions are derived
+ *                      from the application's write schedule and
+ *                      re-derivable on-chip -- never stored off-chip
+ *                      -- with key rotation at application
+ *                      boundaries.  Detects every covered class;
+ *                      granularity/persistence classes are n/a;
+ *  - `secddr-interface` link-level integrity only (SecDDR,
+ *                      Fakhrzadehgan et al.): a per-transfer MAC
+ *                      authenticates the memory interface but stores
+ *                      no freshness state, so a consistent
+ *                      {cipher, MAC} replay at rest passes.  Its
+ *                      missed rollback / stale-flush cells are the
+ *                      measured form of that trade-off;
+ *  - `nvm-mgmee`       the full multi-granular engine over
+ *                      persistent memory (mee/nvm_memory.hh):
+ *                      write-ahead persist ordering, a tamper-proof
+ *                      epoch anchor, and power-loss recovery.  The
+ *                      only engine the `power_cut` / `stale_persist`
+ *                      classes apply to; detects both.
  */
 
 #ifndef MGMEE_FAULT_CAMPAIGN_HH
@@ -117,9 +137,9 @@ struct CampaignReport
     std::array<unsigned, 5> verdictTotals() const;
 
     /**
-     * The acceptance bar: every core engine (mgmee, conventional)
-     * detects every applicable single-site tamper class, with zero
-     * false alarms and clean control passes anywhere.
+     * The acceptance bar: every core engine (mgmee, conventional,
+     * nvm-mgmee) detects every applicable single-site tamper class,
+     * with zero false alarms and clean control passes anywhere.
      */
     bool coreEnginesFullyDetect() const;
 

@@ -25,6 +25,8 @@ attackClassName(AttackClass cls)
       case AttackClass::StaleSwitch: return "stale_switch";
       case AttackClass::StaleRekey: return "stale_rekey";
       case AttackClass::StaleFlush: return "stale_flush";
+      case AttackClass::PowerCut: return "power_cut";
+      case AttackClass::StalePersist: return "stale_persist";
     }
     return "?";
 }
@@ -252,6 +254,12 @@ runClean(Script &s)
         return;
     if (s.rekey())
         s.readClean(0, kChunkBytes);
+    // Persistent engines additionally survive a benign power cycle:
+    // persist, drop volatile state, recover -- still no alarms.
+    if (s.target.powerCycle()) {
+        s.tick(64);
+        s.readClean(0, kChunkBytes);
+    }
 }
 
 void
@@ -436,6 +444,58 @@ runStaleFlush(Script &s)
     s.checkDetected(ubase, ubytes);
 }
 
+void
+runPowerCut(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    const Addr ubase = s.unitOf(victim);
+    const std::size_t ubytes = s.unitBytes(victim);
+    // Move the unit forward so the next persist epoch has in-flight
+    // updates to tear...
+    if (!s.write(ubase, s.pattern(ubytes))) {
+        ++s.cell.false_alarms;
+        return;
+    }
+    // ...then cut power mid-persist: the new ciphertext lands
+    // in-place but the write-ahead commit record is destroyed, so
+    // recovery comes back with data and metadata from different
+    // epochs.  Reads through the recovered engine must fail closed.
+    if (!s.target.crashWith(Target::CrashKind::TornPersist))
+        return;  // engine has no persistence domain
+    s.tick(64);  // recovery replay
+    s.injected(victim);
+    s.checkDetected(ubase, ubytes);
+}
+
+void
+runStalePersist(Script &s)
+{
+    if (!s.setup(0, 1, 1))
+        return;
+    const Addr victim = s.victimLine(0);
+    const Addr ubase = s.unitOf(victim);
+    const std::size_t ubytes = s.unitBytes(victim);
+    // Commit a newer persist epoch past the one setup() left behind...
+    if (!s.write(ubase, s.pattern(ubytes))) {
+        ++s.cell.false_alarms;
+        return;
+    }
+    s.boundary();
+    if (!s.readClean(ubase, ubytes))
+        return;
+    // ...then power-cut and replay the older committed epoch
+    // wholesale (image + log).  The tamper-proof persistent anchor
+    // still names the newer epoch, so recovery must reject the stale
+    // image: reads of the rolled-back unit fail verification.
+    if (!s.target.crashWith(Target::CrashKind::StaleImage))
+        return;  // engine has no persistence domain
+    s.tick(64);  // recovery replay
+    s.injected(victim);
+    s.checkDetected(ubase, ubytes);
+}
+
 } // namespace
 
 CellResult
@@ -455,6 +515,8 @@ runAttack(Target &target, AttackClass cls, Granularity gran,
       case AttackClass::StaleSwitch: runStaleSwitch(s); break;
       case AttackClass::StaleRekey: runStaleRekey(s); break;
       case AttackClass::StaleFlush: runStaleFlush(s); break;
+      case AttackClass::PowerCut: runPowerCut(s); break;
+      case AttackClass::StalePersist: runStalePersist(s); break;
     }
 
     CellResult &cell = s.cell;

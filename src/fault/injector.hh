@@ -54,9 +54,11 @@ enum class AttackClass : std::uint8_t
     StaleSwitch = 7, //!< replay stale images across promote AND demote
     StaleRekey = 8,  //!< replay a pre-rekey snapshot after key rotation
     StaleFlush = 9,  //!< restore while lazy node-MAC refreshes pend
+    PowerCut = 10,   //!< tear the persist ordering at a power cut
+    StalePersist = 11, //!< replay an older committed persist epoch
 };
 
-constexpr unsigned kAttackClasses = 10;
+constexpr unsigned kAttackClasses = 12;
 
 /** Stable manifest/trace name of @p cls ("data_flip", ...). */
 const char *attackClassName(AttackClass cls);
@@ -112,6 +114,39 @@ class Target
     virtual void boundary() {}
     /** Rotate keys (data preserved); false if unsupported. */
     virtual bool rekey() { return false; }
+    /**
+     * Benign power cycle: persist, lose all volatile state, recover
+     * from the persisted image.  False when the engine has no
+     * persistence domain (DRAM-resident engines); a persistent engine
+     * must come back verifying cleanly -- any alarm after a benign
+     * cycle is a false alarm.
+     */
+    virtual bool powerCycle() { return false; }
+
+    // ---- persistence attack plane -----------------------------------
+    /** How an adversarial crash presents the persisted image. */
+    enum class CrashKind : std::uint8_t
+    {
+        /** Power cut mid-persist with the ordering torn: in-place
+         *  data updated, the write-ahead commit record destroyed. */
+        TornPersist = 0,
+        /** An older *committed* persist epoch replayed wholesale
+         *  (image + log) after the cut. */
+        StaleImage = 1,
+    };
+
+    /**
+     * Crash the engine with the persisted state tampered as @p kind
+     * and run recovery.  False when the engine has no persistence
+     * domain (the campaign records those cells as NotApplicable).
+     * After a true return, reads of state covered by the torn/stale
+     * window must fail verification.
+     */
+    virtual bool crashWith(CrashKind kind)
+    {
+        (void)kind;
+        return false;
+    }
 
     // ---- attack plane -----------------------------------------------
     /** Complete off-chip state of one 64B line, as an attacker sees

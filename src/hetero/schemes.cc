@@ -2,6 +2,8 @@
 
 #include "baselines/adaptive_mac_engine.hh"
 #include "baselines/common_counters_engine.hh"
+#include "baselines/mgx_engine.hh"
+#include "baselines/secddr_engine.hh"
 #include "baselines/static_best.hh"
 #include "common/logging.hh"
 #include "core/multigran_engine.hh"
@@ -55,6 +57,8 @@ schemeName(Scheme s)
       case Scheme::BmfUnusedOurs: return "BMF&Unused+Ours";
       case Scheme::BmfUnusedOursNoSwitchCost:
         return "BMF&Unused+Ours w/o Switch";
+      case Scheme::Mgx: return "MGX";
+      case Scheme::SecDdr: return "SecDDR";
     }
     return "?";
 }
@@ -114,6 +118,21 @@ makeEngine(Scheme scheme, std::size_t data_bytes,
       case Scheme::BmfUnusedOursNoSwitchCost:
         return makeOurs("BMF&Unused+Ours-noswitch", data_bytes,
                         withSubtreeOpts(timing), false, std::nullopt);
+      case Scheme::Mgx: {
+        // Standard scenario layout (hetero/scenario.cc): CPU at slot
+        // 0, GPU at 1, NPUs at 2/3 -- only the NPUs carry a software
+        // schedule MGX can derive versions from.  Benches building
+        // bespoke device mixes construct MgxEngine directly with
+        // mgxScheduleFor() over their workload profiles.
+        std::array<MgxSchedule, 8> sched{};
+        sched[2].software_managed = true;
+        sched[3].software_managed = true;
+        sched[6].software_managed = true;
+        sched[7].software_managed = true;
+        return std::make_unique<MgxEngine>(data_bytes, timing, sched);
+      }
+      case Scheme::SecDdr:
+        return std::make_unique<SecDdrEngine>(data_bytes, timing);
     }
     panic("unhandled scheme");
 }

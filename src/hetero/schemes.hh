@@ -33,18 +33,33 @@ enum class Scheme
     BmfUnused,            //!< conventional + subtree opts [16,17]
     BmfUnusedOurs,        //!< ours + subtree opts
     BmfUnusedOursNoSwitchCost,  //!< Fig. 20 rightmost bar
+    // Related-work engines of the extended matrix (docs/ENGINES.md).
+    // Appended at the end: the perf-diff CI gates pin the manifests
+    // of the kMainSchemes benches, so new schemes join the extended
+    // list below, never kMainSchemes.
+    Mgx,                  //!< application-derived versions (MGX)
+    SecDdr,               //!< link-level per-transfer MAC (SecDDR)
 };
 
 /** Display name matching the paper's legends. */
 const char *schemeName(Scheme s);
 
-/** All Table-5 schemes in presentation order. */
+/** All Table-5 schemes in presentation order.  Frozen: the perf-diff
+ *  CI gates compare bench manifests over exactly this list, so
+ *  additions go to kRelatedWorkSchemes instead. */
 constexpr std::array<Scheme, 9> kMainSchemes = {
     Scheme::Unsecure,      Scheme::Conventional,
     Scheme::Adaptive,      Scheme::CommonCTR,
     Scheme::StaticDeviceBest, Scheme::MultiCtrOnly,
     Scheme::Ours,          Scheme::BmfUnused,
     Scheme::BmfUnusedOurs,
+};
+
+/** Related-work timing engines beyond Table 5 (the extended engine
+ *  matrix): swept by the non-perf-gated comparison benches. */
+constexpr std::array<Scheme, 2> kRelatedWorkSchemes = {
+    Scheme::Mgx,
+    Scheme::SecDdr,
 };
 
 /**

@@ -1,0 +1,227 @@
+#include "mee/nvm_memory.hh"
+
+#include <array>
+#include <utility>
+
+namespace mgmee {
+
+namespace {
+
+/** Set a flag for the current scope (persist re-entrancy guard). */
+struct ScopedFlag
+{
+    explicit ScopedFlag(bool &flag) : flag_(flag) { flag_ = true; }
+    ~ScopedFlag() { flag_ = false; }
+    bool &flag_;
+};
+
+} // namespace
+
+NvmSecureMemory::NvmSecureMemory(std::size_t data_bytes,
+                                 const Keys &keys, PersistMode mode)
+    : SecureMemory(data_bytes, keys), mode_(mode),
+      image_(layout_.geometry())
+{
+}
+
+unsigned
+NvmSecureMemory::persistPoints() const
+{
+    // WriteAhead: P0 log append, P1 commit, P2 in-place apply,
+    // P3 anchor bump, P4 log truncate.
+    // Unordered:  U0 data, U1 MAC slabs, U2 tree+layout, U3 anchor.
+    return mode_ == PersistMode::WriteAhead ? 5 : 4;
+}
+
+bool
+NvmSecureMemory::crashAt(unsigned p)
+{
+    if (crash_at_ < 0 || static_cast<unsigned>(crash_at_) != p)
+        return false;
+    crash_at_ = -1;
+    crashed_ = true;
+    return true;
+}
+
+Mac
+NvmSecureMemory::logMacOf(const LogEntry &e) const
+{
+    // Stand-in for a MAC over the full record: enough structure that
+    // recovery can model rejecting a forged/stale record.  The epoch
+    // comparison against the anchor is what actually rejects replays.
+    const std::array<Mac, 4> words{
+        e.epoch, static_cast<Mac>(e.snap.cipher.size()),
+        static_cast<Mac>(e.snap.initialized.size()),
+        static_cast<Mac>(e.snap.stream_parts.size())};
+    return mac_.nestedMac(words);
+}
+
+NvmSecureMemory::Image
+NvmSecureMemory::captureImage() const
+{
+    Image img(layout_.geometry());
+    img.cipher = cipher_;
+    img.tree = tree_;
+    img.mac_slabs = mac_slabs_;
+    img.stream_parts = stream_parts_;
+    img.initialized = initialized_;
+    return img;
+}
+
+void
+NvmSecureMemory::restoreLiveFrom(const Image &img)
+{
+    cipher_ = img.cipher;
+    tree_ = img.tree;
+    mac_slabs_ = img.mac_slabs;
+    stream_parts_ = img.stream_parts;
+    initialized_ = img.initialized;
+    // Copied verified tags predate the power cycle: drop them all so
+    // every post-recovery read re-verifies its full path.
+    invalidateVerifiedCache();
+}
+
+void
+NvmSecureMemory::flushMetadata()
+{
+    SecureMemory::flushMetadata();
+    if (persisting_ || crashed_)
+        return;
+    ScopedFlag in_persist(persisting_);
+    persist();
+}
+
+void
+NvmSecureMemory::persist()
+{
+    const std::uint64_t next_epoch = anchor_.epoch + 1;
+
+    if (mode_ == PersistMode::WriteAhead) {
+        // P0: append the redo record, not yet committed.
+        if (crashAt(0))
+            return;
+        LogEntry rec{captureImage(), trusted_ctrs_, next_epoch, 0,
+                     false};
+        rec.snap.epoch = next_epoch;
+        rec.mac = logMacOf(rec);
+        log_ = std::move(rec);
+        // P1: the commit record -- the atomic commit point.
+        if (crashAt(1))
+            return;
+        log_->committed = true;
+        // P2: apply in place.  The outgoing committed image is what
+        // an attacker could have copied for a later stale replay --
+        // except the epoch-0 boot image, which was never committed
+        // (and whose blank chunks read as zeros without verification,
+        // so it is not a meaningful replay target).
+        if (crashAt(2))
+            return;
+        if (image_.epoch > 0)
+            stale_copy_ = image_;
+        image_ = log_->snap;
+        // P3: bump the tamper-proof anchor to the new epoch.
+        if (crashAt(3))
+            return;
+        anchor_.epoch = next_epoch;
+        anchor_.trusted = log_->trusted;
+        // P4: truncate the log.
+        if (crashAt(4))
+            return;
+        log_.reset();
+        return;
+    }
+
+    // Unordered: the same writes, in place, with no log -- each gap
+    // between steps is a torn-state window a power cut can expose.
+    if (image_.epoch > 0)
+        stale_copy_ = image_;
+    Image snap = captureImage();
+    snap.epoch = next_epoch;
+    if (crashAt(0))
+        return;
+    image_.cipher = snap.cipher;
+    if (crashAt(1))
+        return;
+    image_.mac_slabs = snap.mac_slabs;
+    if (crashAt(2))
+        return;
+    image_.tree = snap.tree;
+    image_.stream_parts = snap.stream_parts;
+    image_.initialized = snap.initialized;
+    if (crashAt(3))
+        return;
+    image_.epoch = next_epoch;
+    anchor_.epoch = next_epoch;
+    anchor_.trusted = trusted_ctrs_;
+}
+
+NvmSecureMemory::RecoveryReport
+NvmSecureMemory::crashAndRecover()
+{
+    recovery_ = RecoveryReport{};
+    crashed_ = false;
+    crash_at_ = -1;
+
+    // Power loss: every volatile structure is gone.  What survives
+    // is the in-place NVM image, the (possibly pending) log, and the
+    // tamper-proof anchor.
+    restoreLiveFrom(image_);
+    trusted_ctrs_ = anchor_.trusted;
+
+    if (log_) {
+        // A committed, authentic record *newer* than the anchor is a
+        // persist the cut interrupted after its commit point: redo
+        // it.  Anything else (uncommitted, forged, or stale epoch)
+        // is discarded.
+        const bool redo = log_->committed &&
+                          log_->mac == logMacOf(*log_) &&
+                          log_->epoch > anchor_.epoch;
+        if (redo) {
+            image_ = log_->snap;
+            image_.epoch = log_->epoch;
+            restoreLiveFrom(image_);
+            trusted_ctrs_ = log_->trusted;
+            anchor_.epoch = log_->epoch;
+            anchor_.trusted = log_->trusted;
+            recovery_.log_replayed = true;
+        } else {
+            recovery_.log_discarded = true;
+        }
+        log_.reset();
+    }
+
+    recovery_.anchor_epoch = anchor_.epoch;
+    recovery_.image_epoch = image_.epoch;
+    // An image epoch behind the anchor means the surviving state is
+    // torn or rolled back; reads will fail verification against the
+    // anchored trusted counters (fail closed), never pass silently.
+    recovery_.image_stale = image_.epoch != anchor_.epoch;
+    return recovery_;
+}
+
+void
+NvmSecureMemory::tornCrash()
+{
+    // Settle lazy node MACs only (no ordered persist): the data
+    // writes of the interrupted persist land in place...
+    SecureMemory::flushMetadata();
+    Image snap = captureImage();
+    image_.cipher = snap.cipher;
+    // ...but the commit record is destroyed by the cut, so the
+    // metadata half of the epoch never reaches NVM.
+    log_.reset();
+    crashAndRecover();
+}
+
+bool
+NvmSecureMemory::staleReplayCrash()
+{
+    if (!stale_copy_ || stale_copy_->epoch == anchor_.epoch)
+        return false;  // no older committed epoch to replay yet
+    image_ = *stale_copy_;
+    log_.reset();
+    crashAndRecover();
+    return true;
+}
+
+} // namespace mgmee

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Crash-consistent persistent-memory (NVM) variant of the functional
+ * engine: write-ahead persist ordering for the integrity metadata,
+ * plus power-loss recovery that rebuilds and re-verifies tree state.
+ *
+ * A DRAM-resident engine may lose its off-chip image at power loss
+ * and simply re-initialise.  With the protected region on NVM the
+ * image *survives*, which creates two new obligations (Freij et al.,
+ * "Streamlining Integrity Tree Updates for Secure Persistent NVM"):
+ *
+ *  1. **Crash consistency.**  A persist that lands data, MACs and
+ *     counters in separate writes can be torn by a power cut,
+ *     leaving an image where data and metadata disagree.  The
+ *     recovered engine must never *silently* accept such a state.
+ *  2. **Persist-time replay.**  An attacker with NVM access across a
+ *     power cycle can re-present an older but internally consistent
+ *     persisted image.  Freshness must therefore be anchored in
+ *     storage the attacker cannot rewrite.
+ *
+ * NvmSecureMemory models both.  `flushMetadata()` (the engine's
+ * persist boundary) is extended into an ordered write-ahead
+ * sequence:
+ *
+ *     P0  append a redo-log record (full settled off-chip image +
+ *         the trusted-counter snapshot), *uncommitted*;
+ *     P1  write the log commit record         <- atomic commit point
+ *     P2  apply the record to the in-place image;
+ *     P3  bump the persistent anchor (epoch + trusted counters) --
+ *         a tamper-proof monotonic register, the NVM analogue of
+ *         keeping the tree root on-chip;
+ *     P4  truncate the log.
+ *
+ * A crash between any two points recovers to a *consistent* image:
+ * before P1 the uncommitted record is discarded (old epoch), from P1
+ * on the committed record is replayed (new epoch).  The `Unordered`
+ * mode applies the same updates in place without the log, so the
+ * recovery test can demonstrate the torn states WAL exists to
+ * prevent -- those recover fail-closed (reads alarm), never silently
+ * torn.
+ *
+ * Replay across the power cycle is caught by the anchor: a stale
+ * image or stale log carries an older epoch than the anchor, and the
+ * anchor's trusted counters no longer match the stale tree, so
+ * recovery (and every subsequent read of rolled-back state) fails
+ * verification.  The fault campaign drives both cases as the
+ * `power_cut` and `stale_persist` attack classes.
+ */
+
+#ifndef MGMEE_MEE_NVM_MEMORY_HH
+#define MGMEE_MEE_NVM_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "mee/secure_memory.hh"
+
+namespace mgmee {
+
+/** SecureMemory whose protected region persists across power loss. */
+class NvmSecureMemory : public SecureMemory
+{
+  public:
+    /** How a persist boundary orders its NVM writes. */
+    enum class PersistMode : std::uint8_t
+    {
+        WriteAhead = 0, //!< redo log + commit record (crash safe)
+        Unordered = 1,  //!< in-place, no log (torn states possible)
+    };
+
+    /** What recovery found after a power cycle. */
+    struct RecoveryReport
+    {
+        bool log_replayed = false;  //!< committed record re-applied
+        bool log_discarded = false; //!< uncommitted/stale record dropped
+        bool image_stale = false;   //!< image epoch behind the anchor
+        std::uint64_t anchor_epoch = 0;
+        std::uint64_t image_epoch = 0;
+    };
+
+    NvmSecureMemory(std::size_t data_bytes, const Keys &keys,
+                    PersistMode mode = PersistMode::WriteAhead);
+
+    /** Base metadata flush extended into the ordered persist. */
+    void flushMetadata() override;
+
+    PersistMode mode() const { return mode_; }
+
+    /** Epoch the persistent anchor currently names. */
+    std::uint64_t persistEpoch() const { return anchor_.epoch; }
+
+    /** Number of distinct crash points in one persist boundary. */
+    unsigned persistPoints() const;
+
+    /**
+     * Arm a crash *before* persist step @p point (0-based) of the
+     * next boundary; persistPoints() or beyond never fires.  Pass -1
+     * to disarm.  Test hook: pair with crashAndRecover().
+     */
+    void armCrash(int point) { crash_at_ = point; }
+
+    /** True once an armed crash fired (cleared by crashAndRecover). */
+    bool crashed() const { return crashed_; }
+
+    /**
+     * Power loss + recovery: drop all volatile state, reload the
+     * persisted image, replay a committed log record if one is
+     * pending, and re-anchor the trusted counters from the
+     * persistent anchor.  Every verified-ancestor tag is invalidated;
+     * reads after recovery re-verify the full tree.
+     */
+    RecoveryReport crashAndRecover();
+
+    const RecoveryReport &lastRecovery() const { return recovery_; }
+
+    // ---- persistence attack surface ---------------------------------
+    /**
+     * Torn-persist attack: a power cut lands the in-flight data
+     * writes in place but destroys the write-ahead commit record, so
+     * the surviving image mixes new ciphertext with old metadata.
+     * Includes the power cycle + recovery.
+     */
+    void tornCrash();
+
+    /**
+     * Stale-persist attack: replace the in-place image (and log)
+     * with the previous *committed* epoch -- an internally
+     * consistent state the attacker saved earlier -- then power
+     * cycle.  False when no earlier committed epoch exists yet.
+     * The anchor keeps the newer epoch, so recovery must reject it.
+     */
+    bool staleReplayCrash();
+
+  private:
+    /** One persisted copy of the complete off-chip state. */
+    struct Image
+    {
+        explicit Image(const TreeGeometry &geom) : tree(geom) {}
+
+        std::unordered_map<std::uint64_t,
+                           std::array<std::uint8_t, kCachelineBytes>>
+            cipher;
+        FlatTreeStore tree;
+        std::unordered_map<std::uint64_t,
+                           std::vector<std::optional<Mac>>>
+            mac_slabs;
+        std::unordered_map<std::uint64_t, StreamPart> stream_parts;
+        std::unordered_set<std::uint64_t> initialized;
+        std::uint64_t epoch = 0;
+    };
+
+    /** Write-ahead redo record: the settled image plus the trusted
+     *  counters it anchors, MAC'd so a forged record cannot pass. */
+    struct LogEntry
+    {
+        Image snap;
+        std::unordered_map<std::uint64_t, std::uint64_t> trusted;
+        std::uint64_t epoch = 0;
+        Mac mac = 0;
+        bool committed = false;
+    };
+
+    /** Tamper-proof persistent register: monotonic epoch + the
+     *  trusted counters of that epoch (the persisted tree root). */
+    struct Anchor
+    {
+        std::uint64_t epoch = 0;
+        std::unordered_map<std::uint64_t, std::uint64_t> trusted;
+    };
+
+    Image captureImage() const;
+    void restoreLiveFrom(const Image &img);
+    /** Ordered persist of the settled live state (P0..P4). */
+    void persist();
+    /** True (and records the crash) when a crash is armed at @p p. */
+    bool crashAt(unsigned p);
+    Mac logMacOf(const LogEntry &e) const;
+
+    PersistMode mode_;
+    Image image_;                      //!< in-place persisted image
+    std::optional<LogEntry> log_;      //!< pending write-ahead record
+    Anchor anchor_;
+    /** The previous committed epoch, as an attacker could have saved
+     *  it (fuel for staleReplayCrash). */
+    std::optional<Image> stale_copy_;
+    RecoveryReport recovery_;
+    int crash_at_ = -1;
+    bool crashed_ = false;
+    bool persisting_ = false;
+};
+
+} // namespace mgmee
+
+#endif // MGMEE_MEE_NVM_MEMORY_HH

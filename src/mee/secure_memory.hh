@@ -105,8 +105,13 @@ class SecureMemory
      * touches it -- so call this at a kernel/phase boundary (or
      * before snapshotting off-chip state) to bring the stored image
      * fully up to date.
+     *
+     * Virtual: the persistent-memory variant (mee/nvm_memory.hh)
+     * extends the flush into an ordered persist sequence -- the
+     * settled metadata image is exactly what crash-consistent NVM
+     * designs must write back atomically.
      */
-    void flushMetadata();
+    virtual void flushMetadata();
 
     /** Current stream-partition map of @p chunk. */
     StreamPart

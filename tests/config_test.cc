@@ -127,6 +127,12 @@ TEST(ConfigTest, ValidateCatchesCrossFieldProblems)
     c = Config{};
     c.serve_mem_bytes = 100;
     EXPECT_FALSE(c.validate().empty());
+
+    c = Config{};
+    c.nvm_persist = "journal";
+    EXPECT_FALSE(c.validate().empty());
+    c.nvm_persist = "unordered";
+    EXPECT_TRUE(c.validate().empty());
 }
 
 TEST(ConfigTest, SetConfigReplacesAndRestores)

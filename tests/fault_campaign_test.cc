@@ -5,8 +5,12 @@
  * promote/demote-boundary tampering), on both the mgmee and the
  * conventional engine; clean-run false-alarm checks for every
  * engine; the treeless rollback split (managed on-chip versions
- * detect, off-chip versions miss); and the full-sweep acceptance
- * bar (core engines detect everything, zero false alarms anywhere).
+ * detect, off-chip versions miss); the related-work rows (mgx-style
+ * derived versions detect every covered class, secddr-style
+ * interface MACs measurably miss replay-at-rest); the persistent
+ * nvm-mgmee engine (power-cut / stale-persist detected, DRAM classes
+ * unchanged); and the full-sweep acceptance bar (core engines detect
+ * everything, zero false alarms anywhere).
  */
 
 #include <gtest/gtest.h>
@@ -162,6 +166,115 @@ TEST(FaultCampaign, CleanRunsRaiseNoFalseAlarms)
     }
 }
 
+// ---- related-work engines (mgx / secddr-interface) ------------------
+
+TEST(FaultCampaign, MgxDetectsEveryCoveredClass)
+{
+    // The MGX-style engine derives versions from the application's
+    // write schedule (never stored off-chip), so freshness holds:
+    // every class with attackable state on this engine is detected.
+    for (const AttackClass cls :
+         {AttackClass::DataFlip, AttackClass::MacFlip,
+          AttackClass::Rollback, AttackClass::Splice,
+          AttackClass::StaleRekey, AttackClass::StaleFlush}) {
+        const CellResult cell =
+            runCell("mgx", cls, Granularity::Line64B);
+        EXPECT_EQ(Verdict::Detected, cell.verdict)
+            << fault::attackClassName(cls);
+        EXPECT_EQ(0u, cell.false_alarms);
+    }
+    // Derived versions give the attacker no counter state to flip,
+    // and there is no granularity table or persistence domain.
+    for (const AttackClass cls :
+         {AttackClass::CounterFlip, AttackClass::GranTable,
+          AttackClass::PowerCut, AttackClass::StalePersist}) {
+        EXPECT_EQ(Verdict::NotApplicable,
+                  runCell("mgx", cls, Granularity::Line64B).verdict)
+            << fault::attackClassName(cls);
+    }
+}
+
+TEST(FaultCampaign, SecDdrInterfaceMissesReplayAtRest)
+{
+    // Link-level integrity authenticates (addr, cipher) with no
+    // freshness input: tampering is caught...
+    for (const AttackClass cls :
+         {AttackClass::DataFlip, AttackClass::MacFlip,
+          AttackClass::Splice, AttackClass::StaleRekey}) {
+        EXPECT_EQ(Verdict::Detected,
+                  runCell("secddr-interface", cls,
+                          Granularity::Line64B)
+                      .verdict)
+            << fault::attackClassName(cls);
+    }
+    // ...but a consistent {cipher, MAC} replay at rest verifies.
+    // These measured misses are the engine's documented trade-off,
+    // exactly like the treeless-cpu row.
+    for (const AttackClass cls :
+         {AttackClass::Rollback, AttackClass::StaleFlush}) {
+        const CellResult cell = runCell("secddr-interface", cls,
+                                        Granularity::Line64B);
+        EXPECT_EQ(Verdict::Missed, cell.verdict)
+            << fault::attackClassName(cls);
+        EXPECT_GT(cell.injections, 0u);
+    }
+}
+
+// ---- persistent-memory engine (nvm-mgmee) ---------------------------
+
+TEST(FaultCampaign, NvmDetectsPowerCutAndStalePersist)
+{
+    for (const AttackClass cls :
+         {AttackClass::PowerCut, AttackClass::StalePersist}) {
+        for (unsigned g = 0; g < fault::kGranularities; ++g) {
+            const CellResult cell = runCell(
+                "nvm-mgmee", cls, static_cast<Granularity>(g));
+            EXPECT_EQ(Verdict::Detected, cell.verdict)
+                << fault::attackClassName(cls) << " @ "
+                << granularityName(static_cast<Granularity>(g));
+            EXPECT_GT(cell.injections, 0u);
+            EXPECT_EQ(0u, cell.false_alarms);
+        }
+    }
+}
+
+TEST(FaultCampaign, PersistenceClassesNotApplicableWithoutNvm)
+{
+    // DRAM-resident engines have no persisted image to tear or
+    // replay: the cells must be N/A, never Missed.
+    for (const char *engine : {"mgmee", "conventional",
+                               "treeless-cpu", "secddr-interface"}) {
+        for (const AttackClass cls :
+             {AttackClass::PowerCut, AttackClass::StalePersist}) {
+            const CellResult cell =
+                runCell(engine, cls, Granularity::Line64B);
+            EXPECT_EQ(Verdict::NotApplicable, cell.verdict)
+                << engine << " " << fault::attackClassName(cls);
+            EXPECT_EQ(0u, cell.injections);
+        }
+    }
+}
+
+TEST(FaultCampaign, NvmMatchesMgmeeOnEveryDramClass)
+{
+    // Persistence must not weaken anything: on the classes that also
+    // exist for the DRAM engine, nvm-mgmee's verdicts are identical
+    // to mgmee's (full detection, same applicability).
+    for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
+        const auto cls = static_cast<AttackClass>(c);
+        if (cls == AttackClass::PowerCut ||
+            cls == AttackClass::StalePersist)
+            continue;
+        for (unsigned g = 0; g < fault::kGranularities; ++g) {
+            const auto gran = static_cast<Granularity>(g);
+            EXPECT_EQ(runCell("mgmee", cls, gran).verdict,
+                      runCell("nvm-mgmee", cls, gran).verdict)
+                << fault::attackClassName(cls) << " @ "
+                << granularityName(gran);
+        }
+    }
+}
+
 // ---- full sweep -----------------------------------------------------
 
 TEST(FaultCampaign, FullSweepMeetsAcceptanceBar)
@@ -177,12 +290,17 @@ TEST(FaultCampaign, FullSweepMeetsAcceptanceBar)
     EXPECT_EQ(0u, totals[static_cast<unsigned>(Verdict::FalseAlarm)]);
     EXPECT_GT(totals[static_cast<unsigned>(Verdict::Detected)], 0u);
 
-    // The misses are exactly the documented treeless-cpu gaps.
+    // The misses are exactly the documented replay-at-rest gaps of
+    // the two engines with no freshness anchor: treeless-cpu
+    // (off-chip versions, no tree) and secddr-interface (link-level
+    // MAC, no versions at all).
     for (const fault::EngineReport &er : report.engines) {
         for (unsigned c = 0; c < fault::kAttackClasses; ++c) {
             const auto cls = static_cast<AttackClass>(c);
             if (er.classVerdict(cls) == Verdict::Missed) {
-                EXPECT_EQ("treeless-cpu", er.engine);
+                EXPECT_TRUE(er.engine == "treeless-cpu" ||
+                            er.engine == "secddr-interface")
+                    << er.engine;
                 EXPECT_TRUE(cls == AttackClass::Rollback ||
                             cls == AttackClass::StaleFlush)
                     << fault::attackClassName(cls);
